@@ -1,0 +1,96 @@
+// Ablation A4 — does the Sec. III preprocessing actually help? Train the
+// same model on (a) the cleaned corpus and (b) the raw corpus with
+// incomplete records, duplicates, the overlong tail and the short tail
+// left in. Shape: preprocessing improves held-out BLEU per training
+// token (the model stops wasting capacity on malformed records) and
+// removes duplicate leakage.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+struct ArmResult {
+  int corpus_size = 0;
+  size_t train_tokens = 0;
+  double bleu = 0.0;
+  double novelty = 0.0;
+  float val_loss = 0.0f;
+};
+
+rt::StatusOr<ArmResult> RunArm(bool skip_preprocessing, int recipes,
+                               int epochs, int samples) {
+  rt::PipelineOptions options;
+  // Noisier-than-default corpus so the rules have something to remove.
+  options.corpus = rt::bench::StandardCorpus(recipes);
+  options.corpus.incomplete_fraction = 0.08;
+  options.corpus.duplicate_fraction = 0.10;
+  options.corpus.overlong_fraction = 0.04;
+  options.corpus.short_fraction = 0.06;
+  options.skip_preprocessing = skip_preprocessing;
+  options.model = rt::ModelKind::kWordLstm;
+  options.trainer.epochs = epochs;
+  options.trainer.batch_size = 8;
+  options.trainer.seq_len = 48;
+  options.trainer.lr = 3e-3f;
+  RT_ASSIGN_OR_RETURN(auto pipeline, rt::Pipeline::Create(options));
+  ArmResult arm;
+  arm.corpus_size = pipeline->preprocess_stats().output_count;
+  arm.train_tokens = pipeline->train_stream().size();
+  RT_ASSIGN_OR_RETURN(auto train, pipeline->Train());
+  (void)train;
+  arm.val_loss = pipeline->ValidationLoss();
+  rt::GenerationOptions gen;
+  gen.max_new_tokens = 200;
+  gen.sampling.greedy = true;
+  RT_ASSIGN_OR_RETURN(auto report,
+                      pipeline->EvaluateOnTestSet(samples, gen));
+  arm.bleu = report.corpus_bleu;
+  arm.novelty = report.novelty_rate;
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  using rt::bench::Scaled;
+  const int recipes = Scaled(450, 140);
+  const int epochs = Scaled(8, 2);
+  const int samples = Scaled(15, 5);
+
+  auto cleaned = RunArm(/*skip_preprocessing=*/false, recipes, epochs,
+                        samples);
+  auto raw = RunArm(/*skip_preprocessing=*/true, recipes, epochs, samples);
+  if (!cleaned.ok() || !raw.ok()) {
+    std::fprintf(stderr, "ablation arm failed\n");
+    return 1;
+  }
+
+  rt::TextTable table({"arm", "recipes", "train tokens", "corpus BLEU",
+                       "val loss", "BLEU per 100k tokens"});
+  auto add = [&](const char* name, const ArmResult& a) {
+    table.AddRow({name, std::to_string(a.corpus_size),
+                  rt::FormatWithCommas(
+                      static_cast<long long>(a.train_tokens)),
+                  rt::FormatDouble(a.bleu, 3),
+                  rt::FormatDouble(a.val_loss, 3),
+                  rt::FormatDouble(a.bleu * 1e5 / a.train_tokens, 3)});
+  };
+  add("preprocessed (paper Sec. III)", *cleaned);
+  add("raw (no preprocessing)", *raw);
+  std::printf("ABLATION A4 - PREPROCESSING ON/OFF (word-LSTM, same "
+              "generator seed)\n%s",
+              table.Render().c_str());
+
+  const double clean_eff = cleaned->bleu * 1e5 / cleaned->train_tokens;
+  const double raw_eff = raw->bleu * 1e5 / raw->train_tokens;
+  const bool shape_ok =
+      cleaned->corpus_size < raw->corpus_size && clean_eff > raw_eff;
+  std::printf("shape check: cleaning shrinks the corpus yet yields more "
+              "BLEU per training token ... %s\n",
+              shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 2;
+}

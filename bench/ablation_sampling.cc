@@ -1,0 +1,86 @@
+// Ablation A1 — decoding strategy: greedy vs temperature vs top-k vs
+// top-p on the same trained GPT-2. Trade-off to reproduce: greedy
+// maximizes BLEU (fidelity to the reference) while sampling increases
+// distinct-2 diversity and novelty; very high temperature collapses both.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using rt::bench::Scaled;
+
+  // Same configuration the Table I experiment trains GPT-2 medium with.
+  rt::PipelineOptions options =
+      rt::bench::Table1Spec(rt::ModelKind::kGpt2Medium, Scaled(400, 120))
+          .pipeline;
+  options.model = rt::ModelKind::kGpt2Medium;
+  options.trainer.epochs = Scaled(12, 2);
+  auto pipeline = rt::Pipeline::Create(options);
+  if (!pipeline.ok() || !(*pipeline)->Train().ok()) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+  rt::Pipeline& p = **pipeline;
+  const int samples = Scaled(15, 5);
+
+  struct Strategy {
+    const char* name;
+    rt::SamplingOptions sampling;
+    int beam_width = 0;
+  };
+  const std::vector<Strategy> strategies{
+      {"greedy", {.greedy = true}},
+      {"beam-4", {}, /*beam_width=*/4},
+      {"temperature 0.7", {.temperature = 0.7f}},
+      {"temperature 1.0", {.temperature = 1.0f}},
+      {"temperature 2.0", {.temperature = 2.0f}},
+      {"top-k 8", {.temperature = 1.0f, .top_k = 8}},
+      {"top-p 0.9", {.temperature = 1.0f, .top_p = 0.9f}},
+  };
+
+  rt::TextTable table({"strategy", "corpus BLEU", "distinct-2",
+                       "novelty", "ingredient coverage"});
+  double greedy_bleu = 0.0, greedy_d2 = 0.0;
+  double topk_bleu = 0.0, topk_d2 = 0.0, hot_bleu = 1.0;
+  for (const auto& s : strategies) {
+    rt::GenerationOptions gen;
+    gen.sampling = s.sampling;
+    gen.beam_width = s.beam_width;
+    gen.max_new_tokens = 220;
+    gen.seed = 77;
+    auto report = p.EvaluateOnTestSet(samples, gen);
+    if (!report.ok()) {
+      std::fprintf(stderr, "eval failed for %s\n", s.name);
+      return 1;
+    }
+    table.AddRow({s.name, rt::FormatDouble(report->corpus_bleu, 3),
+                  rt::FormatDouble(report->distinct2, 3),
+                  rt::FormatDouble(report->novelty_rate, 2),
+                  rt::FormatDouble(report->mean_ingredient_coverage, 2)});
+    if (std::string(s.name) == "greedy") {
+      greedy_bleu = report->corpus_bleu;
+      greedy_d2 = report->distinct2;
+    }
+    if (std::string(s.name) == "top-k 8") {
+      topk_bleu = report->corpus_bleu;
+      topk_d2 = report->distinct2;
+    }
+    if (std::string(s.name) == "temperature 2.0") {
+      hot_bleu = report->corpus_bleu;
+    }
+  }
+  std::printf("ABLATION A1 - SAMPLING STRATEGY (same trained GPT-2 "
+              "medium, %d prompts)\n%s",
+              samples, table.Render().c_str());
+
+  const bool shape_ok = greedy_bleu > hot_bleu && topk_d2 > greedy_d2 &&
+                        topk_bleu <= greedy_bleu + 0.05;
+  std::printf("shape check: greedy maximizes BLEU, sampling maximizes "
+              "diversity, t=2.0 collapses fidelity ... %s\n",
+              shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 2;
+}

@@ -1,0 +1,98 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace rt::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("RT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const std::string s = env;
+  if (s == "quick") return 0.3;
+  if (s == "full") return 2.0;
+  if (s == "default" || s.empty()) return 1.0;
+  // Numeric override, e.g. RT_BENCH_SCALE=0.5.
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end != env && v > 0.0) return v;
+  return 1.0;
+}
+
+int Scaled(int base, int min_value) {
+  const int v = static_cast<int>(base * ScaleFactor());
+  return v < min_value ? min_value : v;
+}
+
+GeneratorOptions StandardCorpus(int num_recipes, uint64_t seed) {
+  GeneratorOptions corpus;
+  corpus.num_recipes = num_recipes;
+  corpus.seed = seed;
+  corpus.incomplete_fraction = 0.04;
+  corpus.duplicate_fraction = 0.05;
+  corpus.overlong_fraction = 0.02;
+  corpus.short_fraction = 0.04;
+  return corpus;
+}
+
+StatusOr<TrainEvalOutcome> RunTrainEval(const TrainEvalSpec& spec) {
+  PipelineOptions options = spec.pipeline;
+  options.model = spec.kind;
+  RT_ASSIGN_OR_RETURN(auto pipeline, Pipeline::Create(options));
+  TrainEvalOutcome outcome;
+  outcome.model_name = pipeline->model()->name();
+  outcome.params = pipeline->model()->NumParams();
+  RT_ASSIGN_OR_RETURN(outcome.train, pipeline->Train());
+  outcome.val_loss = pipeline->ValidationLoss();
+  RT_ASSIGN_OR_RETURN(
+      outcome.report,
+      pipeline->EvaluateOnTestSet(spec.eval_samples, spec.generation));
+  return outcome;
+}
+
+TrainEvalSpec Table1Spec(ModelKind kind, int num_recipes) {
+  TrainEvalSpec spec;
+  spec.kind = kind;
+  spec.pipeline.corpus = StandardCorpus(num_recipes);
+  spec.pipeline.bpe_vocab_budget = 800;
+  spec.pipeline.trainer.batch_size = 8;
+  spec.pipeline.trainer.grad_clip = 1.0f;
+  spec.pipeline.trainer.schedule = ScheduleKind::kWarmupCosine;
+  spec.pipeline.trainer.warmup_steps = 20;
+  spec.eval_samples = Scaled(20, 5);
+  spec.generation.max_new_tokens = 220;
+  spec.generation.sampling.greedy = true;
+  switch (kind) {
+    case ModelKind::kCharLstm:
+      // Character streams are ~5x longer; fewer epochs, longer windows.
+      spec.pipeline.trainer.epochs = Scaled(3);
+      spec.pipeline.trainer.seq_len = 96;
+      spec.pipeline.trainer.lr = 3e-3f;
+      spec.generation.max_new_tokens = 900;
+      break;
+    case ModelKind::kWordLstm:
+      spec.pipeline.trainer.epochs = Scaled(14);
+      spec.pipeline.trainer.seq_len = 48;
+      spec.pipeline.trainer.lr = 3e-3f;
+      break;
+    case ModelKind::kDistilGpt2:
+      // Recipe-aligned windows: seq_len covers a whole tagged recipe.
+      spec.pipeline.trainer.epochs = Scaled(14);
+      spec.pipeline.trainer.seq_len = 176;
+      spec.pipeline.trainer.batch_size = 4;
+      spec.pipeline.trainer.lr = 3e-3f;
+      spec.generation.max_new_tokens = 200;
+      break;
+    case ModelKind::kGpt2Medium:
+    case ModelKind::kGptDeep:
+      spec.pipeline.trainer.epochs = Scaled(14);
+      spec.pipeline.trainer.seq_len = 176;
+      spec.pipeline.trainer.batch_size = 4;
+      spec.pipeline.trainer.lr = 2e-3f;
+      spec.generation.max_new_tokens = 200;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace rt::bench

@@ -1,0 +1,49 @@
+#ifndef RATATOUILLE_BENCH_BENCH_UTIL_H_
+#define RATATOUILLE_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "core/ratatouille.h"
+
+namespace rt::bench {
+
+/// Global scale knob for the experiment harnesses, read from the
+/// RT_BENCH_SCALE environment variable:
+///   "quick"   - smallest sizes, for smoke runs (~10x faster)
+///   "default" - the standard configuration reported in EXPERIMENTS.md
+///   "full"    - larger corpus / more epochs
+double ScaleFactor();
+
+/// Scales an integer quantity by ScaleFactor(), with a floor.
+int Scaled(int base, int min_value = 1);
+
+/// Standard synthetic-RecipeDB options shared by the experiments
+/// (seeded, with the noise mix the preprocessing figures rely on).
+GeneratorOptions StandardCorpus(int num_recipes, uint64_t seed = 2022);
+
+/// One Table-I-style run: build pipeline, train, evaluate BLEU on the
+/// held-out prompts.
+struct TrainEvalSpec {
+  ModelKind kind = ModelKind::kGpt2Medium;
+  PipelineOptions pipeline;  // .model is overwritten with `kind`
+  int eval_samples = 20;
+  GenerationOptions generation;
+};
+
+struct TrainEvalOutcome {
+  std::string model_name;
+  size_t params = 0;
+  TrainResult train;
+  BleuReport report;
+  float val_loss = 0.0f;
+};
+
+StatusOr<TrainEvalOutcome> RunTrainEval(const TrainEvalSpec& spec);
+
+/// Default per-model trainer settings used by the Table I experiment;
+/// epochs are pre-scaled by ScaleFactor().
+TrainEvalSpec Table1Spec(ModelKind kind, int num_recipes);
+
+}  // namespace rt::bench
+
+#endif  // RATATOUILLE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,116 @@
+// Experiment E6 — reproduces Figs. 4-5: the web application's request
+// path. A user's ingredient list enters the decoupled frontend, is
+// proxied to the model backend, and a structured recipe (title,
+// quantified ingredients, instructions) returns. Measures end-to-end
+// round-trip latency and sequential throughput through both tiers.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  // Train a small word-LSTM backend (fast, structurally coherent).
+  rt::PipelineOptions options;
+  options.corpus = rt::bench::StandardCorpus(rt::bench::Scaled(300, 100));
+  options.model = rt::ModelKind::kWordLstm;
+  options.trainer.epochs = rt::bench::Scaled(5, 2);
+  options.trainer.batch_size = 8;
+  options.trainer.seq_len = 48;
+  auto pipeline = rt::Pipeline::Create(options);
+  if (!pipeline.ok() || !(*pipeline)->Train().ok()) {
+    std::fprintf(stderr, "backend model setup failed\n");
+    return 1;
+  }
+  rt::Pipeline& p = **pipeline;
+
+  rt::BackendService backend(
+      [&p](const rt::GenerateRequest& req) -> rt::StatusOr<rt::Recipe> {
+        rt::GenerationOptions gen;
+        gen.max_new_tokens = req.max_tokens;
+        gen.sampling.temperature = static_cast<float>(req.temperature);
+        gen.sampling.top_k = req.top_k;
+        gen.seed = req.seed;
+        RT_ASSIGN_OR_RETURN(rt::GeneratedRecipe out,
+                            p.GenerateFromIngredients(req.ingredients, gen));
+        return out.recipe;
+      });
+  if (!backend.Start(0).ok()) {
+    std::fprintf(stderr, "backend start failed\n");
+    return 1;
+  }
+  rt::FrontendService frontend(backend.port());
+  if (!frontend.Start(0).ok()) {
+    std::fprintf(stderr, "frontend start failed\n");
+    return 1;
+  }
+
+  // The UI page itself (Fig. 4).
+  auto page = rt::HttpGet(frontend.port(), "/");
+  const bool page_ok =
+      page.ok() && page->status == 200 &&
+      page->body.find("Ratatouille") != std::string::npos;
+  std::printf("FIG. 4 - frontend serves the ingredient-picker page: %s\n",
+              page_ok ? "yes" : "NO");
+
+  // Generation round trips (Fig. 5).
+  const std::vector<std::string> bodies{
+      R"({"ingredients":["tomato","onion","garlic"],"max_tokens":90,"seed":1})",
+      R"({"ingredients":["chicken","rice","cumin"],"max_tokens":90,"seed":2})",
+      R"({"ingredients":["flour","butter","sugar"],"max_tokens":90,"seed":3})",
+  };
+  const int reps = rt::bench::Scaled(10, 3);
+  std::vector<double> latencies;
+  int ok_count = 0;
+  std::string sample_body;
+  rt::Timer total;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& body : bodies) {
+      rt::Timer timer;
+      auto resp = rt::HttpPost(frontend.port(), "/api/generate", body);
+      latencies.push_back(timer.ElapsedSeconds());
+      if (resp.ok() && resp->status == 200) {
+        ++ok_count;
+        if (sample_body.empty()) sample_body = resp->body;
+      }
+    }
+  }
+  const double wall = total.ElapsedSeconds();
+  const int requests = static_cast<int>(latencies.size());
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = latencies[requests / 2];
+  const double p95 = latencies[static_cast<size_t>(requests * 0.95)];
+
+  std::printf("FIG. 5 - sample structured response (truncated):\n%.300s"
+              "...\n\n",
+              sample_body.c_str());
+  rt::TextTable table({"metric", "value"});
+  table.AddRow({"requests", std::to_string(requests)});
+  table.AddRow({"success", std::to_string(ok_count)});
+  table.AddRow({"p50 latency", rt::FormatDouble(p50 * 1e3, 1) + " ms"});
+  table.AddRow({"p95 latency", rt::FormatDouble(p95 * 1e3, 1) + " ms"});
+  table.AddRow({"throughput",
+                rt::FormatDouble(requests / wall, 1) + " req/s"});
+  table.AddRow({"backend requests seen",
+                std::to_string(backend.requests_served())});
+  std::printf("%s", table.Render().c_str());
+
+  frontend.Stop();
+  backend.Stop();
+
+  // Shape: all requests succeed through the proxy; the backend tier saw
+  // them (true decoupling); responses parse as structured recipes.
+  auto parsed = rt::Json::Parse(sample_body);
+  const bool structured = parsed.ok() && parsed->Get("title").is_string() &&
+                          parsed->Get("instructions").is_array();
+  const bool shape_ok = page_ok && ok_count == requests &&
+                        backend.requests_served() >= requests && structured;
+  std::printf("shape check: UI page + 100%% proxied success + structured "
+              "recipe JSON ... %s\n",
+              shape_ok ? "HOLDS" : "VIOLATED");
+  return shape_ok ? 0 : 2;
+}

@@ -1,0 +1,218 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// kernels: matmul, LSTM cell step, attention block, tokenizers, BLEU,
+// JSON codec and the sampler. These are the components the experiment
+// harnesses are built from; regressions here show up as wall-clock in
+// every bench above.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "eval/bleu.h"
+#include "models/sampler.h"
+#include "nn/layers.h"
+#include "util/json.h"
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+#include "text/bpe_tokenizer.h"
+#include "text/char_tokenizer.h"
+#include "text/word_tokenizer.h"
+
+namespace rt {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Normal({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = ops::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Normal({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = ops::MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(2);
+  Tensor x = Tensor::Normal({256, 512}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor y = ops::SoftmaxRows(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_LstmCellStep(benchmark::State& state) {
+  const int hidden = static_cast<int>(state.range(0));
+  Rng rng(3);
+  LstmLayer cell(64, hidden, &rng);
+  Tensor x = Tensor::Normal({8, 64}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    LstmState s = cell.InitialState(&tape, 8);
+    LstmState s2 = cell.Step(&tape, tape.Leaf(x), s);
+    benchmark::DoNotOptimize(tape.value(s2.h).data());
+  }
+}
+BENCHMARK(BM_LstmCellStep)->Arg(128)->Arg(256);
+
+void BM_TransformerBlockForward(benchmark::State& state) {
+  const int seq = static_cast<int>(state.range(0));
+  Rng rng(4);
+  TransformerBlock block(128, 4, 0.0f, &rng);
+  Tensor x = Tensor::Normal({seq, 128}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor y = block.ForwardRaw(x, seq);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_TransformerBlockForward)->Arg(32)->Arg(128);
+
+void BM_TransformerBlockTrainStep(benchmark::State& state) {
+  Rng rng(5);
+  TransformerBlock block(128, 4, 0.0f, &rng);
+  Tensor x = Tensor::Normal({128, 128}, 1.0f, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    VarId in = tape.Leaf(x);
+    VarId out = block.Forward(&tape, in, 2, 64, &rng, true);
+    tape.Backward(tape.SumAll(tape.Mul(out, out)));
+    benchmark::DoNotOptimize(tape.grad(in).data());
+  }
+}
+BENCHMARK(BM_TransformerBlockTrainStep);
+
+std::vector<std::string> BenchCorpus() {
+  GeneratorOptions opts;
+  opts.num_recipes = 60;
+  opts.seed = 6;
+  RecipeDbGenerator gen(opts);
+  std::vector<std::string> docs;
+  for (const auto& r : gen.Generate()) docs.push_back(r.ToTaggedString());
+  return docs;
+}
+
+void BM_CharTokenizerEncode(benchmark::State& state) {
+  auto docs = BenchCorpus();
+  auto tok = CharTokenizer::Build(docs);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& d : docs) {
+      auto ids = tok.Encode(d);
+      benchmark::DoNotOptimize(ids.data());
+      bytes += d.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_CharTokenizerEncode);
+
+void BM_WordTokenizerEncode(benchmark::State& state) {
+  auto docs = BenchCorpus();
+  auto tok = WordTokenizer::Build(docs);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& d : docs) {
+      auto ids = tok.Encode(d);
+      benchmark::DoNotOptimize(ids.data());
+      bytes += d.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_WordTokenizerEncode);
+
+void BM_BpeTokenizerEncode(benchmark::State& state) {
+  auto docs = BenchCorpus();
+  auto tok = BpeTokenizer::Train(docs, 480);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    for (const auto& d : docs) {
+      auto ids = tok.Encode(d);
+      benchmark::DoNotOptimize(ids.data());
+      bytes += d.size();
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_BpeTokenizerEncode);
+
+void BM_BpeTrain(benchmark::State& state) {
+  auto docs = BenchCorpus();
+  for (auto _ : state) {
+    auto tok = BpeTokenizer::Train(docs, 300);
+    benchmark::DoNotOptimize(tok.vocab_size());
+  }
+}
+BENCHMARK(BM_BpeTrain);
+
+void BM_CorpusBleu(benchmark::State& state) {
+  auto docs = BenchCorpus();
+  std::vector<std::string> cands(docs.begin(), docs.begin() + 30);
+  std::vector<std::string> refs(docs.begin() + 30, docs.begin() + 60);
+  for (auto _ : state) {
+    double b = CorpusBleu(cands, refs);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_CorpusBleu);
+
+void BM_JsonParseDump(benchmark::State& state) {
+  const std::string doc =
+      R"({"ingredients":[{"name":"tomato","quantity":"1/2","unit":"cup"},)"
+      R"({"name":"onion","quantity":"2","unit":""}],"title":"test stew",)"
+      R"("instructions":["heat the oil","add the onion","simmer"]})";
+  for (auto _ : state) {
+    auto parsed = Json::Parse(doc);
+    std::string out = parsed->Dump();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_JsonParseDump);
+
+void BM_SampleFromLogits(benchmark::State& state) {
+  Rng rng(7);
+  Tensor logits = Tensor::Normal({480}, 2.0f, &rng);
+  SamplingOptions opts{.temperature = 0.8f, .top_k = 40};
+  for (auto _ : state) {
+    int id = SampleFromLogits(logits, opts, &rng);
+    benchmark::DoNotOptimize(id);
+  }
+}
+BENCHMARK(BM_SampleFromLogits);
+
+void BM_RecipeGeneration(benchmark::State& state) {
+  GeneratorOptions opts;
+  opts.num_recipes = 1;
+  RecipeDbGenerator gen(opts);
+  Rng rng(8);
+  long long id = 0;
+  for (auto _ : state) {
+    Recipe r = gen.GenerateOne(id++, &rng);
+    benchmark::DoNotOptimize(r.title.data());
+  }
+}
+BENCHMARK(BM_RecipeGeneration);
+
+}  // namespace
+}  // namespace rt
+
+BENCHMARK_MAIN();

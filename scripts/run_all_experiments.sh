@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and the ablations.
+# Usage: scripts/run_all_experiments.sh [quick|default|full]
+set -u
+scale="${1:-default}"
+export RT_BENCH_SCALE="$scale"
+cd "$(dirname "$0")/.."
+fail=0
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "=============================================================="
+  echo ">>> $b  (RT_BENCH_SCALE=$scale)"
+  echo "=============================================================="
+  "$b" || fail=1
+  echo
+done
+exit $fail

@@ -1,0 +1,328 @@
+#include "core/pipeline.h"
+
+#include <cassert>
+
+#include "eval/bleu.h"
+#include "eval/metrics.h"
+#include "models/gpt2_model.h"
+#include "models/lstm_model.h"
+#include "text/bpe_tokenizer.h"
+#include "text/char_tokenizer.h"
+#include "text/special_tokens.h"
+#include "text/word_tokenizer.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace rt {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kCharLstm:
+      return "Char-level LSTM";
+    case ModelKind::kWordLstm:
+      return "Word-level LSTM";
+    case ModelKind::kDistilGpt2:
+      return "DistilGPT2";
+    case ModelKind::kGpt2Medium:
+      return "GPT-2 medium";
+    case ModelKind::kGptDeep:
+      return "GPT-deep (future work)";
+  }
+  return "?";
+}
+
+StatusOr<ModelKind> ParseModelKind(const std::string& name) {
+  if (name == "char-lstm") return ModelKind::kCharLstm;
+  if (name == "word-lstm") return ModelKind::kWordLstm;
+  if (name == "distilgpt2") return ModelKind::kDistilGpt2;
+  if (name == "gpt2-medium") return ModelKind::kGpt2Medium;
+  if (name == "gpt-deep") return ModelKind::kGptDeep;
+  return Status::InvalidArgument("unknown model kind: " + name);
+}
+
+std::unique_ptr<LanguageModel> CreateModel(ModelKind kind, int vocab_size) {
+  switch (kind) {
+    case ModelKind::kCharLstm: {
+      LstmConfig cfg;
+      cfg.vocab_size = vocab_size;
+      cfg.embed_dim = 32;
+      cfg.hidden_dim = 96;
+      cfg.num_layers = 1;
+      cfg.dropout = 0.05f;
+      cfg.name = "char-lstm";
+      return std::make_unique<LstmLm>(cfg);
+    }
+    case ModelKind::kWordLstm: {
+      LstmConfig cfg;
+      cfg.vocab_size = vocab_size;
+      cfg.embed_dim = 64;
+      cfg.hidden_dim = 128;
+      cfg.num_layers = 1;
+      cfg.dropout = 0.05f;
+      cfg.name = "word-lstm";
+      return std::make_unique<LstmLm>(cfg);
+    }
+    case ModelKind::kDistilGpt2:
+      return std::make_unique<Gpt2Lm>(Gpt2Config::Distil(vocab_size));
+    case ModelKind::kGpt2Medium:
+      return std::make_unique<Gpt2Lm>(Gpt2Config::Medium(vocab_size));
+    case ModelKind::kGptDeep:
+      return std::make_unique<Gpt2Lm>(Gpt2Config::Deep(vocab_size));
+  }
+  return nullptr;
+}
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+StatusOr<std::unique_ptr<Pipeline>> Pipeline::Create(
+    PipelineOptions options) {
+  if (options.val_frac < 0 || options.test_frac < 0 ||
+      options.val_frac + options.test_frac >= 1.0) {
+    return Status::InvalidArgument("bad split fractions");
+  }
+  if (options.corpus.num_recipes <= 0) {
+    return Status::InvalidArgument("num_recipes must be positive");
+  }
+  auto pipeline = std::unique_ptr<Pipeline>(new Pipeline(std::move(options)));
+  RT_RETURN_IF_ERROR(pipeline->Initialize());
+  return pipeline;
+}
+
+Status Pipeline::Initialize() {
+  // 1. Synthesize the raw RecipeDB-like corpus.
+  RecipeDbGenerator generator(options_.corpus);
+  std::vector<Recipe> raw = generator.Generate();
+
+  // 2. Preprocess (paper Sec. III), unless ablated away.
+  std::vector<Recipe> clean;
+  if (options_.skip_preprocessing) {
+    clean = std::move(raw);
+    preprocess_stats_ = PreprocessStats{};
+    preprocess_stats_.input_count = preprocess_stats_.output_count =
+        static_cast<int>(clean.size());
+  } else {
+    Preprocessor preprocessor(options_.preprocess);
+    clean = preprocessor.Run(raw, &preprocess_stats_);
+  }
+  if (clean.empty()) {
+    return Status::FailedPrecondition("preprocessing removed every recipe");
+  }
+
+  // 3. Split.
+  splits_ = SplitDataset(clean, options_.val_frac, options_.test_frac,
+                         options_.split_seed);
+  if (splits_.train.empty()) {
+    return Status::FailedPrecondition("empty training split");
+  }
+
+  // 4. Tokenizer over the training documents only.
+  std::vector<std::string> train_docs;
+  train_docs.reserve(splits_.train.size());
+  for (const Recipe& r : splits_.train) {
+    std::string doc = r.ToTaggedString();
+    if (options_.disable_fraction_tokens) doc = DenormalizeFractions(doc);
+    train_docs.push_back(std::move(doc));
+  }
+  switch (options_.model) {
+    case ModelKind::kCharLstm:
+      tokenizer_ =
+          std::make_unique<CharTokenizer>(CharTokenizer::Build(train_docs));
+      break;
+    case ModelKind::kWordLstm:
+      tokenizer_ =
+          std::make_unique<WordTokenizer>(WordTokenizer::Build(train_docs));
+      break;
+    default:
+      tokenizer_ = std::make_unique<BpeTokenizer>(
+          BpeTokenizer::Train(train_docs, options_.bpe_vocab_budget));
+  }
+  stop_token_ = tokenizer_->vocab().GetId(kRecipeEnd);
+  assert(stop_token_ >= 0);
+
+  // 5. Token streams / windows. The GPT-2 family trains one recipe per
+  // window so position embeddings cover exactly the offsets generation
+  // visits (the paper's one-recipe-per-training-instance layout); the
+  // LSTMs use the classic contiguous stream.
+  auto encode_doc = [&](const Recipe& r) {
+    std::string doc = r.ToTaggedString() + " ";
+    if (options_.disable_fraction_tokens) doc = DenormalizeFractions(doc);
+    return tokenizer_->Encode(doc);
+  };
+  auto encode_corpus = [&](const std::vector<Recipe>& recipes) {
+    std::vector<int> stream;
+    for (const Recipe& r : recipes) {
+      std::vector<int> ids = encode_doc(r);
+      stream.insert(stream.end(), ids.begin(), ids.end());
+    }
+    return stream;
+  };
+  if (UsesRecipeWindows()) {
+    auto build = [&](const std::vector<Recipe>& recipes) {
+      std::vector<std::vector<int>> windows;
+      windows.reserve(recipes.size());
+      for (const Recipe& r : recipes) {
+        std::vector<int> ids = encode_doc(r);
+        if (static_cast<int>(ids.size()) > options_.trainer.seq_len + 1) {
+          ids.resize(options_.trainer.seq_len + 1);
+        }
+        windows.push_back(std::move(ids));
+      }
+      return windows;
+    };
+    train_windows_ = build(splits_.train);
+    val_windows_ = build(splits_.val);
+  } else {
+    train_stream_ = encode_corpus(splits_.train);
+    val_stream_ = encode_corpus(splits_.val);
+  }
+  // The raw stream is always available for inspection/benchmarks.
+  if (train_stream_.empty()) train_stream_ = encode_corpus(splits_.train);
+
+  // 6. Model.
+  model_ = CreateModel(options_.model, tokenizer_->vocab_size());
+  if (model_ == nullptr) {
+    return Status::Internal("model construction failed");
+  }
+  return Status::OK();
+}
+
+bool Pipeline::UsesRecipeWindows() const {
+  switch (options_.model) {
+    case ModelKind::kDistilGpt2:
+    case ModelKind::kGpt2Medium:
+    case ModelKind::kGptDeep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TokenSource Pipeline::TrainSource() const {
+  TokenSource source;
+  if (UsesRecipeWindows()) {
+    source.windows = &train_windows_;
+    source.pad_id = tokenizer_->pad_id();
+  } else {
+    source.stream = &train_stream_;
+  }
+  return source;
+}
+
+TokenSource Pipeline::ValSource() const {
+  TokenSource source;
+  if (UsesRecipeWindows()) {
+    source.windows = &val_windows_;
+    source.pad_id = tokenizer_->pad_id();
+  } else {
+    source.stream = &val_stream_;
+  }
+  return source;
+}
+
+StatusOr<TrainResult> Pipeline::Train() {
+  Trainer trainer(model_.get(), options_.trainer);
+  TokenSource val = ValSource();
+  const bool has_val = UsesRecipeWindows() ? !val_windows_.empty()
+                                           : !val_stream_.empty();
+  return trainer.Train(TrainSource(), has_val ? &val : nullptr);
+}
+
+float Pipeline::ValidationLoss() {
+  Trainer trainer(model_.get(), options_.trainer);
+  return trainer.Evaluate(ValSource());
+}
+
+std::string Pipeline::PreparePrompt(const std::string& prompt_text) const {
+  return options_.disable_fraction_tokens
+             ? DenormalizeFractions(prompt_text)
+             : prompt_text;
+}
+
+StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredients(
+    const std::vector<std::string>& ingredients,
+    const GenerationOptions& options) {
+  if (ingredients.empty()) {
+    return Status::InvalidArgument("ingredient list is empty");
+  }
+  Recipe prompt_recipe;
+  for (const std::string& name : ingredients) {
+    prompt_recipe.ingredients.push_back({"", "", ToLower(Trim(name)), ""});
+  }
+  const std::string prompt = PreparePrompt(prompt_recipe.PromptPrefix());
+  std::vector<int> prompt_ids = tokenizer_->Encode(prompt);
+  GenerationOptions opts = options;
+  if (opts.stop_token < 0) opts.stop_token = stop_token_;
+
+  Timer timer;
+  std::vector<int> generated = model_->GenerateIds(prompt_ids, opts);
+  GeneratedRecipe out;
+  out.seconds = timer.ElapsedSeconds();
+  out.tokens_generated = static_cast<int>(generated.size());
+  out.raw_tagged = prompt + " " + tokenizer_->Decode(generated);
+  auto parsed = ParseTaggedRecipe(out.raw_tagged);
+  if (parsed.ok()) {
+    out.recipe = *parsed;
+  }
+  return out;
+}
+
+StatusOr<BleuReport> Pipeline::EvaluateOnTestSet(int num_samples,
+                                                 GenerationOptions options) {
+  if (splits_.test.empty()) {
+    return Status::FailedPrecondition("no test split");
+  }
+  const int n =
+      std::min<int>(num_samples, static_cast<int>(splits_.test.size()));
+  if (options.stop_token < 0) options.stop_token = stop_token_;
+
+  BleuReport report;
+  report.num_samples = n;
+  std::vector<std::string> candidates;
+  std::vector<std::string> references;
+  std::vector<std::string> train_docs;
+  for (const Recipe& r : splits_.train) {
+    train_docs.push_back(r.ToTaggedString());
+  }
+
+  double total_seconds = 0.0;
+  double sentence_bleu_sum = 0.0;
+  double coverage_sum = 0.0;
+  double quantity_sum = 0.0;
+  double validity_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Recipe& ref = splits_.test[i];
+    const std::string prompt = PreparePrompt(ref.PromptPrefix());
+    std::vector<int> prompt_ids = tokenizer_->Encode(prompt);
+    GenerationOptions opts = options;
+    opts.seed = options.seed + static_cast<uint64_t>(i) * 0x9E37;
+
+    Timer timer;
+    std::vector<int> generated = model_->GenerateIds(prompt_ids, opts);
+    total_seconds += timer.ElapsedSeconds();
+
+    const std::string candidate =
+        prompt + " " + tokenizer_->Decode(generated);
+    std::string reference = PreparePrompt(ref.ToTaggedString());
+    candidates.push_back(candidate);
+    references.push_back(reference);
+    sentence_bleu_sum += SentenceBleu(candidate, reference);
+    validity_sum += StructuralValidity(candidate);
+
+    auto parsed = ParseTaggedRecipe(candidate);
+    if (parsed.ok()) {
+      coverage_sum += IngredientCoverage(*parsed, ref.IngredientNames());
+      quantity_sum += QuantityWellFormedness(*parsed);
+    }
+  }
+  report.corpus_bleu = CorpusBleu(candidates, references);
+  report.mean_sentence_bleu = sentence_bleu_sum / n;
+  report.mean_generation_seconds = total_seconds / n;
+  report.distinct2 = DistinctN(candidates, 2);
+  report.novelty_rate = NoveltyRate(candidates, train_docs);
+  report.mean_ingredient_coverage = coverage_sum / n;
+  report.mean_quantity_wellformed = quantity_sum / n;
+  report.mean_structural_validity = validity_sum / n;
+  return report;
+}
+
+}  // namespace rt

@@ -1,0 +1,146 @@
+#ifndef RATATOUILLE_CORE_PIPELINE_H_
+#define RATATOUILLE_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/preprocess.h"
+#include "models/language_model.h"
+#include "models/trainer.h"
+#include "text/tokenizer.h"
+
+namespace rt {
+
+/// The four models of the paper's Table I, plus the future-work config.
+enum class ModelKind {
+  kCharLstm,
+  kWordLstm,
+  kDistilGpt2,
+  kGpt2Medium,
+  kGptDeep,  // paper Sec. VII future work ("GPT-Neo"-style deeper model)
+};
+
+/// Display name matching Table I rows ("Char-level LSTM", ...).
+const char* ModelKindName(ModelKind kind);
+
+/// Parses "char-lstm", "word-lstm", "distilgpt2", "gpt2-medium",
+/// "gpt-deep".
+StatusOr<ModelKind> ParseModelKind(const std::string& name);
+
+/// End-to-end configuration of a Ratatouille run.
+struct PipelineOptions {
+  /// Synthetic RecipeDB corpus parameters.
+  GeneratorOptions corpus;
+  /// Preprocessing rules (paper Sec. III).
+  PreprocessOptions preprocess;
+  /// Skip preprocessing entirely (ablation A4).
+  bool skip_preprocessing = false;
+  double val_frac = 0.05;
+  double test_frac = 0.10;
+  uint64_t split_seed = 17;
+
+  ModelKind model = ModelKind::kGpt2Medium;
+  /// BPE vocabulary budget for the GPT-2 family.
+  int bpe_vocab_budget = 640;
+  /// Strip fraction special tokens before training (ablation A2).
+  bool disable_fraction_tokens = false;
+
+  TrainerOptions trainer;
+};
+
+/// A structured generation result.
+struct GeneratedRecipe {
+  Recipe recipe;          // parsed from the tagged output
+  std::string raw_tagged;  // prompt + generated text
+  double seconds = 0.0;    // wall-clock generation time
+  int tokens_generated = 0;
+};
+
+/// BLEU evaluation summary over held-out prompts (experiment E1).
+struct BleuReport {
+  double corpus_bleu = 0.0;
+  double mean_sentence_bleu = 0.0;
+  int num_samples = 0;
+  double mean_generation_seconds = 0.0;
+  double distinct2 = 0.0;
+  double novelty_rate = 0.0;
+  double mean_ingredient_coverage = 0.0;
+  double mean_quantity_wellformed = 0.0;
+  double mean_structural_validity = 0.0;
+};
+
+/// The end-to-end Ratatouille system: synthesize the RecipeDB-like
+/// corpus, preprocess it, build the tokenizer, train the selected model,
+/// generate recipes from ingredient prompts and evaluate them — the
+/// complete loop behind the paper's web demo.
+class Pipeline {
+ public:
+  /// Builds corpus, splits and tokenizer, and instantiates the model
+  /// (untrained). Fails on inconsistent options.
+  static StatusOr<std::unique_ptr<Pipeline>> Create(PipelineOptions options);
+
+  /// Trains the model on the training split; returns trainer statistics.
+  StatusOr<TrainResult> Train();
+
+  /// Generates a recipe from an ingredient list (the web-app request
+  /// path). The model should be trained first; untrained models produce
+  /// gibberish but the call still succeeds.
+  StatusOr<GeneratedRecipe> GenerateFromIngredients(
+      const std::vector<std::string>& ingredients,
+      const GenerationOptions& options);
+
+  /// Generates continuations for `num_samples` held-out test recipes and
+  /// scores them against the references (corpus BLEU, diversity, novelty,
+  /// coverage, quantity well-formedness).
+  StatusOr<BleuReport> EvaluateOnTestSet(int num_samples,
+                                         GenerationOptions options);
+
+  /// Mean eval loss on the validation stream (perplexity = exp(loss)).
+  float ValidationLoss();
+
+  // Accessors.
+  const PreprocessStats& preprocess_stats() const {
+    return preprocess_stats_;
+  }
+  const DatasetSplits& splits() const { return splits_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+  LanguageModel* model() { return model_.get(); }
+  const PipelineOptions& options() const { return options_; }
+  /// Token id that terminates generation (<RECIPE_END>).
+  int stop_token() const { return stop_token_; }
+  const std::vector<int>& train_stream() const { return train_stream_; }
+
+ private:
+  explicit Pipeline(PipelineOptions options);
+
+  Status Initialize();
+  std::string PreparePrompt(const std::string& prompt_text) const;
+
+  /// True for the GPT-2 family: training uses one recipe per window
+  /// (positions start at 0 for every document, matching generation).
+  bool UsesRecipeWindows() const;
+  TokenSource TrainSource() const;
+  TokenSource ValSource() const;
+
+  PipelineOptions options_;
+  PreprocessStats preprocess_stats_;
+  DatasetSplits splits_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<LanguageModel> model_;
+  std::vector<int> train_stream_;
+  std::vector<int> val_stream_;
+  std::vector<std::vector<int>> train_windows_;
+  std::vector<std::vector<int>> val_windows_;
+  int stop_token_ = -1;
+};
+
+/// Creates a bare model of `kind` for a given vocabulary size (used by
+/// benchmarks that manage their own data).
+std::unique_ptr<LanguageModel> CreateModel(ModelKind kind, int vocab_size);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_CORE_PIPELINE_H_

@@ -1,0 +1,45 @@
+#ifndef RATATOUILLE_CORE_RATATOUILLE_H_
+#define RATATOUILLE_CORE_RATATOUILLE_H_
+
+/// Umbrella public header for the Ratatouille novel-recipe-generation
+/// library — a from-scratch C++ reproduction of "Ratatouille: A tool for
+/// Novel Recipe Generation" (ICDE 2022).
+///
+/// Typical use:
+///
+///   rt::PipelineOptions options;
+///   options.corpus.num_recipes = 1500;
+///   options.model = rt::ModelKind::kGpt2Medium;
+///   options.trainer.epochs = 4;
+///   auto pipeline = rt::Pipeline::Create(options);
+///   (*pipeline)->Train();
+///   auto recipe = (*pipeline)->GenerateFromIngredients(
+///       {"tomato", "onion", "garlic"}, {});
+///
+/// Modules (see DESIGN.md for the full inventory):
+///  - util/    Status, RNG, logging, string/table helpers
+///  - tensor/  float32 tensors, kernels and reverse-mode autodiff
+///  - nn/      layers, optimizers, schedules, checkpoints
+///  - text/    char / word / BPE tokenizers and the tag vocabulary
+///  - data/    synthetic RecipeDB, preprocessing, batching
+///  - models/  char-LSTM, word-LSTM, GPT-2 family, trainer, sampler
+///  - eval/    BLEU, perplexity, diversity, novelty, quantity metrics
+///  - sim/     device cost model (CPU vs A100 projection)
+///  - serve/   HTTP/JSON microservices (backend + decoupled frontend)
+///  - core/    this Pipeline API
+
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "data/preprocess.h"
+#include "data/recipe.h"
+#include "eval/bleu.h"
+#include "eval/metrics.h"
+#include "models/gpt2_model.h"
+#include "models/lstm_model.h"
+#include "models/trainer.h"
+#include "serve/backend_service.h"
+#include "serve/frontend_service.h"
+#include "sim/device_model.h"
+#include "text/special_tokens.h"
+
+#endif  // RATATOUILLE_CORE_RATATOUILLE_H_

@@ -1,0 +1,265 @@
+#include "data/catalog.h"
+
+#include <set>
+
+namespace rt {
+
+const char* IngredientRoleName(IngredientRole role) {
+  switch (role) {
+    case IngredientRole::kProtein:
+      return "protein";
+    case IngredientRole::kVegetable:
+      return "vegetable";
+    case IngredientRole::kGrain:
+      return "grain";
+    case IngredientRole::kDairy:
+      return "dairy";
+    case IngredientRole::kSpice:
+      return "spice";
+    case IngredientRole::kHerb:
+      return "herb";
+    case IngredientRole::kFat:
+      return "fat";
+    case IngredientRole::kLiquid:
+      return "liquid";
+    case IngredientRole::kSweet:
+      return "sweet";
+    case IngredientRole::kFruit:
+      return "fruit";
+  }
+  return "?";
+}
+
+const std::vector<CatalogIngredient>& Catalog::Ingredients() {
+  using R = IngredientRole;
+  static const std::vector<CatalogIngredient>& v =
+      *new std::vector<CatalogIngredient>{
+          // Proteins.
+          {"chicken", R::kProtein, {"pound", "cup"}},
+          {"beef", R::kProtein, {"pound"}},
+          {"pork", R::kProtein, {"pound"}},
+          {"lamb", R::kProtein, {"pound"}},
+          {"shrimp", R::kProtein, {"pound", "cup"}},
+          {"salmon", R::kProtein, {"pound"}},
+          {"tofu", R::kProtein, {"cup", "pound"}},
+          {"chickpeas", R::kProtein, {"cup", "can"}},
+          {"lentils", R::kProtein, {"cup"}},
+          {"black beans", R::kProtein, {"cup", "can"}},
+          {"egg", R::kProtein, {"", "cup"}},
+          {"turkey", R::kProtein, {"pound"}},
+          {"duck", R::kProtein, {"pound"}},
+          {"paneer", R::kProtein, {"cup"}},
+          // Vegetables.
+          {"tomato", R::kVegetable, {"", "cup"}},
+          {"onion", R::kVegetable, {"", "cup"}},
+          {"garlic", R::kVegetable, {"clove", "tsp"}},
+          {"carrot", R::kVegetable, {"", "cup"}},
+          {"potato", R::kVegetable, {"", "cup"}},
+          {"spinach", R::kVegetable, {"cup"}},
+          {"broccoli", R::kVegetable, {"cup"}},
+          {"bell pepper", R::kVegetable, {"", "cup"}},
+          {"mushroom", R::kVegetable, {"cup"}},
+          {"zucchini", R::kVegetable, {"", "cup"}},
+          {"eggplant", R::kVegetable, {"", "cup"}},
+          {"cabbage", R::kVegetable, {"cup"}},
+          {"cauliflower", R::kVegetable, {"cup"}},
+          {"celery", R::kVegetable, {"stalk", "cup"}},
+          {"peas", R::kVegetable, {"cup"}},
+          {"corn", R::kVegetable, {"cup", "can"}},
+          {"kale", R::kVegetable, {"cup"}},
+          {"leek", R::kVegetable, {"", "cup"}},
+          {"pumpkin", R::kVegetable, {"cup"}},
+          {"green beans", R::kVegetable, {"cup"}},
+          {"cucumber", R::kVegetable, {"", "cup"}},
+          {"radish", R::kVegetable, {"", "cup"}},
+          {"ginger", R::kVegetable, {"tbsp", "tsp"}},
+          // Grains & starches.
+          {"rice", R::kGrain, {"cup"}},
+          {"pasta", R::kGrain, {"cup", "pound"}},
+          {"noodles", R::kGrain, {"cup", "pound"}},
+          {"quinoa", R::kGrain, {"cup"}},
+          {"couscous", R::kGrain, {"cup"}},
+          {"barley", R::kGrain, {"cup"}},
+          {"oats", R::kGrain, {"cup"}},
+          {"flour", R::kGrain, {"cup"}},
+          {"cornmeal", R::kGrain, {"cup"}},
+          {"bread crumbs", R::kGrain, {"cup"}},
+          {"tortilla", R::kGrain, {""}},
+          // Dairy.
+          {"milk", R::kDairy, {"cup"}},
+          {"cream", R::kDairy, {"cup"}},
+          {"yogurt", R::kDairy, {"cup"}},
+          {"cheddar cheese", R::kDairy, {"cup"}},
+          {"parmesan cheese", R::kDairy, {"cup", "tbsp"}},
+          {"mozzarella", R::kDairy, {"cup"}},
+          {"feta cheese", R::kDairy, {"cup"}},
+          {"sour cream", R::kDairy, {"cup", "tbsp"}},
+          // Spices.
+          {"cumin", R::kSpice, {"tsp", "tbsp"}},
+          {"paprika", R::kSpice, {"tsp"}},
+          {"turmeric", R::kSpice, {"tsp"}},
+          {"coriander", R::kSpice, {"tsp"}},
+          {"cinnamon", R::kSpice, {"tsp"}},
+          {"nutmeg", R::kSpice, {"tsp"}},
+          {"black pepper", R::kSpice, {"tsp"}},
+          {"salt", R::kSpice, {"tsp", "tbsp"}},
+          {"chili powder", R::kSpice, {"tsp", "tbsp"}},
+          {"curry powder", R::kSpice, {"tbsp", "tsp"}},
+          {"garam masala", R::kSpice, {"tsp"}},
+          {"cardamom", R::kSpice, {"tsp"}},
+          {"saffron", R::kSpice, {"pinch"}},
+          {"cayenne", R::kSpice, {"tsp"}},
+          // Herbs.
+          {"basil", R::kHerb, {"cup", "tbsp"}},
+          {"cilantro", R::kHerb, {"cup", "tbsp"}},
+          {"parsley", R::kHerb, {"cup", "tbsp"}},
+          {"thyme", R::kHerb, {"tsp", "sprig"}},
+          {"rosemary", R::kHerb, {"tsp", "sprig"}},
+          {"oregano", R::kHerb, {"tsp"}},
+          {"mint", R::kHerb, {"cup", "tbsp"}},
+          {"dill", R::kHerb, {"tbsp"}},
+          {"bay leaf", R::kHerb, {""}},
+          // Fats.
+          {"olive oil", R::kFat, {"tbsp", "cup"}},
+          {"butter", R::kFat, {"tbsp", "cup"}},
+          {"vegetable oil", R::kFat, {"tbsp", "cup"}},
+          {"sesame oil", R::kFat, {"tbsp", "tsp"}},
+          {"coconut oil", R::kFat, {"tbsp"}},
+          {"ghee", R::kFat, {"tbsp"}},
+          // Liquids.
+          {"water", R::kLiquid, {"cup"}},
+          {"chicken broth", R::kLiquid, {"cup"}},
+          {"vegetable broth", R::kLiquid, {"cup"}},
+          {"coconut milk", R::kLiquid, {"cup", "can"}},
+          {"soy sauce", R::kLiquid, {"tbsp", "tsp"}},
+          {"white wine", R::kLiquid, {"cup"}},
+          {"tomato sauce", R::kLiquid, {"cup", "can"}},
+          {"lemon juice", R::kLiquid, {"tbsp", "tsp"}},
+          {"lime juice", R::kLiquid, {"tbsp", "tsp"}},
+          {"vinegar", R::kLiquid, {"tbsp", "tsp"}},
+          {"fish sauce", R::kLiquid, {"tbsp", "tsp"}},
+          // Sweets.
+          {"sugar", R::kSweet, {"cup", "tbsp"}},
+          {"brown sugar", R::kSweet, {"cup", "tbsp"}},
+          {"honey", R::kSweet, {"tbsp", "cup"}},
+          {"maple syrup", R::kSweet, {"tbsp", "cup"}},
+          {"chocolate chips", R::kSweet, {"cup"}},
+          {"vanilla extract", R::kSweet, {"tsp"}},
+          {"cocoa powder", R::kSweet, {"cup", "tbsp"}},
+          // Fruits.
+          {"apple", R::kFruit, {"", "cup"}},
+          {"banana", R::kFruit, {"", "cup"}},
+          {"mango", R::kFruit, {"", "cup"}},
+          {"pineapple", R::kFruit, {"cup"}},
+          {"raisins", R::kFruit, {"cup", "tbsp"}},
+          {"blueberries", R::kFruit, {"cup"}},
+          {"strawberries", R::kFruit, {"cup"}},
+          {"orange", R::kFruit, {"", "cup"}},
+          {"coconut", R::kFruit, {"cup"}},
+          {"dates", R::kFruit, {"cup"}},
+      };
+  return v;
+}
+
+const std::vector<Cuisine>& Catalog::Cuisines() {
+  static const std::vector<Cuisine>& v = *new std::vector<Cuisine>{
+      {"italy", "southern europe", "europe", "italian"},
+      {"france", "western europe", "europe", "french"},
+      {"spain", "southern europe", "europe", "spanish"},
+      {"greece", "southern europe", "europe", "greek"},
+      {"germany", "western europe", "europe", "german"},
+      {"hungary", "eastern europe", "europe", "hungarian"},
+      {"india", "indian subcontinent", "asia", "indian"},
+      {"china", "east asia", "asia", "chinese"},
+      {"japan", "east asia", "asia", "japanese"},
+      {"thailand", "southeast asia", "asia", "thai"},
+      {"vietnam", "southeast asia", "asia", "vietnamese"},
+      {"korea", "east asia", "asia", "korean"},
+      {"lebanon", "middle east", "asia", "lebanese"},
+      {"turkey", "middle east", "asia", "turkish"},
+      {"mexico", "central america", "north america", "mexican"},
+      {"usa", "northern america", "north america", "american"},
+      {"canada", "northern america", "north america", "canadian"},
+      {"jamaica", "caribbean", "north america", "jamaican"},
+      {"brazil", "south america", "south america", "brazilian"},
+      {"peru", "south america", "south america", "peruvian"},
+      {"argentina", "south america", "south america", "argentinian"},
+      {"morocco", "northern africa", "africa", "moroccan"},
+      {"ethiopia", "eastern africa", "africa", "ethiopian"},
+      {"nigeria", "western africa", "africa", "nigerian"},
+      {"egypt", "northern africa", "africa", "egyptian"},
+      {"australia", "australasia", "oceania", "australian"},
+      {"new zealand", "australasia", "oceania", "kiwi"},
+  };
+  return v;
+}
+
+const std::vector<std::string>& Catalog::Processes() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "bake",   "boil",    "simmer",  "saute",   "roast",  "grill",
+      "steam",  "fry",     "stir",    "whisk",   "knead",  "chop",
+      "dice",   "mince",   "blend",   "marinate", "braise", "toast",
+      "sear",   "poach",   "reduce",  "caramelize", "fold", "drain",
+      "garnish", "season", "preheat", "chill",   "melt",   "combine",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Catalog::Adjectives() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "rustic", "spicy",  "creamy",  "hearty",  "fresh",
+      "smoky",  "tangy",  "savory",  "classic", "golden",
+      "crispy", "fragrant", "zesty", "sweet",   "homestyle",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Catalog::Preps() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "chopped", "diced",  "minced", "sliced",   "grated",
+      "crushed", "cubed",  "shredded", "julienned", "halved",
+  };
+  return v;
+}
+
+const std::vector<std::string>& Catalog::DishNouns() {
+  static const std::vector<std::string>& v = *new std::vector<std::string>{
+      "stew",  "soup",   "curry",  "salad",  "stir fry",
+      "bake",  "casserole", "bowl", "skillet", "pilaf",
+      "pudding", "cake",
+  };
+  return v;
+}
+
+std::vector<const CatalogIngredient*> Catalog::ByRole(IngredientRole role) {
+  std::vector<const CatalogIngredient*> out;
+  for (const auto& ing : Ingredients()) {
+    if (ing.role == role) out.push_back(&ing);
+  }
+  return out;
+}
+
+namespace {
+
+int CountDistinct(const std::vector<Cuisine>& cuisines,
+                  std::string Cuisine::*field) {
+  std::set<std::string> s;
+  for (const auto& c : cuisines) s.insert(c.*field);
+  return static_cast<int>(s.size());
+}
+
+}  // namespace
+
+int Catalog::NumContinents() {
+  return CountDistinct(Cuisines(), &Cuisine::continent);
+}
+
+int Catalog::NumRegions() {
+  return CountDistinct(Cuisines(), &Cuisine::region);
+}
+
+int Catalog::NumCountries() {
+  return CountDistinct(Cuisines(), &Cuisine::country);
+}
+
+}  // namespace rt

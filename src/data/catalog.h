@@ -1,0 +1,69 @@
+#ifndef RATATOUILLE_DATA_CATALOG_H_
+#define RATATOUILLE_DATA_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+namespace rt {
+
+/// Ingredient roles drive which slots of a dish template an ingredient can
+/// fill (so generated instructions stay semantically coherent).
+enum class IngredientRole {
+  kProtein,
+  kVegetable,
+  kGrain,
+  kDairy,
+  kSpice,
+  kHerb,
+  kFat,
+  kLiquid,
+  kSweet,
+  kFruit,
+};
+
+const char* IngredientRoleName(IngredientRole role);
+
+/// A catalog ingredient with its role and the units it is measured in.
+struct CatalogIngredient {
+  std::string name;
+  IngredientRole role;
+  std::vector<std::string> units;  // admissible units, first is preferred
+};
+
+/// A cuisine: country with its region and continent (RecipeDB organizes
+/// recipes by 6 continents / 26 geo-cultural regions / 74 countries; the
+/// synthetic catalog keeps the same 3-level hierarchy at reduced width).
+struct Cuisine {
+  std::string country;
+  std::string region;
+  std::string continent;
+  std::string adjective;  // "italian", used in titles
+};
+
+/// Static culinary catalog backing the synthetic RecipeDB generator.
+/// All accessors return references to immutable, deterministic data.
+class Catalog {
+ public:
+  static const std::vector<CatalogIngredient>& Ingredients();
+  static const std::vector<Cuisine>& Cuisines();
+  /// Cooking processes ("bake", "simmer", ...; RecipeDB lists 268).
+  static const std::vector<std::string>& Processes();
+  /// Title adjectives ("rustic", "spicy", ...).
+  static const std::vector<std::string>& Adjectives();
+  /// Preparation styles for ingredient lines ("chopped", "diced", ...).
+  static const std::vector<std::string>& Preps();
+  /// Dish-type nouns used in titles ("stew", "salad", ...).
+  static const std::vector<std::string>& DishNouns();
+
+  /// Ingredients filtered by role (references into Ingredients()).
+  static std::vector<const CatalogIngredient*> ByRole(IngredientRole role);
+
+  /// Distinct continents/regions/countries counts (for the dataset report).
+  static int NumContinents();
+  static int NumRegions();
+  static int NumCountries();
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_CATALOG_H_

@@ -1,0 +1,143 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rt {
+
+DatasetSplits SplitDataset(const std::vector<Recipe>& corpus,
+                           double val_frac, double test_frac,
+                           uint64_t seed) {
+  assert(val_frac >= 0.0 && test_frac >= 0.0 &&
+         val_frac + test_frac < 1.0);
+  std::vector<Recipe> shuffled = corpus;
+  Rng rng(seed);
+  rng.Shuffle(&shuffled);
+  DatasetSplits splits;
+  const size_t n = shuffled.size();
+  const size_t n_val = static_cast<size_t>(n * val_frac);
+  const size_t n_test = static_cast<size_t>(n * test_frac);
+  const size_t n_train = n - n_val - n_test;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      splits.train.push_back(std::move(shuffled[i]));
+    } else if (i < n_train + n_val) {
+      splits.val.push_back(std::move(shuffled[i]));
+    } else {
+      splits.test.push_back(std::move(shuffled[i]));
+    }
+  }
+  return splits;
+}
+
+std::vector<int> EncodeCorpus(const Tokenizer& tokenizer,
+                              const std::vector<Recipe>& recipes) {
+  std::vector<int> stream;
+  for (const Recipe& r : recipes) {
+    std::vector<int> ids = tokenizer.Encode(r.ToTaggedString() + " ");
+    stream.insert(stream.end(), ids.begin(), ids.end());
+  }
+  return stream;
+}
+
+std::vector<std::vector<int>> BuildRecipeWindows(
+    const Tokenizer& tokenizer, const std::vector<Recipe>& recipes,
+    int seq_len, int pad_id) {
+  std::vector<std::vector<int>> windows;
+  windows.reserve(recipes.size());
+  for (const Recipe& r : recipes) {
+    std::vector<int> ids = tokenizer.Encode(r.ToTaggedString() + " ");
+    if (static_cast<int>(ids.size()) > seq_len + 1) {
+      ids.resize(seq_len + 1);
+    }
+    while (static_cast<int>(ids.size()) < seq_len + 1) {
+      ids.push_back(pad_id);
+    }
+    windows.push_back(std::move(ids));
+  }
+  return windows;
+}
+
+BatchIterator::BatchIterator(const std::vector<int>* stream, int batch_size,
+                             int seq_len, uint64_t seed)
+    : stream_(stream),
+      batch_size_(batch_size),
+      seq_len_(seq_len),
+      rng_(seed) {
+  assert(batch_size_ > 0 && seq_len_ > 0);
+  const int window = seq_len_ + 1;  // +1 for the shifted target
+  const int n = static_cast<int>(stream_->size());
+  for (int start = 0; start + window <= n; start += window) {
+    offsets_.push_back(start);
+  }
+  rng_.Shuffle(&offsets_);
+}
+
+BatchIterator::BatchIterator(std::vector<std::vector<int>> windows,
+                             int batch_size, int seq_len, uint64_t seed,
+                             int pad_id)
+    : doc_windows_(std::move(windows)),
+      pad_id_(pad_id),
+      batch_size_(batch_size),
+      seq_len_(seq_len),
+      rng_(seed) {
+  assert(batch_size_ > 0 && seq_len_ > 0);
+  for (auto& w : doc_windows_) {
+    assert(w.size() >= 2);
+    if (static_cast<int>(w.size()) > seq_len_ + 1) {
+      w.resize(seq_len_ + 1);
+    }
+  }
+  offsets_.resize(doc_windows_.size());
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    offsets_[i] = static_cast<int>(i);
+  }
+  rng_.Shuffle(&offsets_);
+}
+
+void BatchIterator::FillRow(int window_index, int row, Batch* out) const {
+  const size_t base = static_cast<size_t>(row) * seq_len_;
+  if (stream_ != nullptr) {
+    const int start = window_index;
+    for (int t = 0; t < seq_len_; ++t) {
+      out->inputs[base + t] = (*stream_)[start + t];
+      out->targets[base + t] = (*stream_)[start + t + 1];
+    }
+    return;
+  }
+  const std::vector<int>& w = doc_windows_[window_index];
+  const int len = static_cast<int>(w.size());
+  for (int t = 0; t < seq_len_; ++t) {
+    out->inputs[base + t] = t < len ? w[t] : pad_id_;
+    out->targets[base + t] = t + 1 < len ? w[t + 1] : pad_id_;
+  }
+}
+
+bool BatchIterator::Next(Batch* out) {
+  if (cursor_ >= offsets_.size()) return false;
+  const size_t remaining = offsets_.size() - cursor_;
+  const int b = static_cast<int>(
+      std::min<size_t>(remaining, static_cast<size_t>(batch_size_)));
+  out->batch_size = b;
+  out->seq_len = seq_len_;
+  out->ignore_index = stream_ != nullptr ? -1 : pad_id_;
+  out->inputs.assign(static_cast<size_t>(b) * seq_len_, 0);
+  out->targets.assign(static_cast<size_t>(b) * seq_len_, 0);
+  for (int i = 0; i < b; ++i) {
+    FillRow(offsets_[cursor_ + i], i, out);
+  }
+  cursor_ += b;
+  return true;
+}
+
+void BatchIterator::NextEpoch() {
+  cursor_ = 0;
+  rng_.Shuffle(&offsets_);
+}
+
+int BatchIterator::BatchesPerEpoch() const {
+  return static_cast<int>(
+      (offsets_.size() + batch_size_ - 1) / batch_size_);
+}
+
+}  // namespace rt

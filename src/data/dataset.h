@@ -1,0 +1,101 @@
+#ifndef RATATOUILLE_DATA_DATASET_H_
+#define RATATOUILLE_DATA_DATASET_H_
+
+#include <vector>
+
+#include "data/recipe.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace rt {
+
+/// Train/validation/test partition of a recipe corpus.
+struct DatasetSplits {
+  std::vector<Recipe> train;
+  std::vector<Recipe> val;
+  std::vector<Recipe> test;
+};
+
+/// Shuffles (seeded) and partitions the corpus. Fractions must satisfy
+/// val_frac + test_frac < 1; at least one recipe lands in train when the
+/// corpus is non-empty.
+DatasetSplits SplitDataset(const std::vector<Recipe>& corpus,
+                           double val_frac, double test_frac,
+                           uint64_t seed);
+
+/// Encodes recipes to one flat token stream: each recipe's tagged string,
+/// concatenated in order (the "one long string with all the recipes"
+/// training layout, paper Sec. IV-B).
+std::vector<int> EncodeCorpus(const Tokenizer& tokenizer,
+                              const std::vector<Recipe>& recipes);
+
+/// One training batch of next-token prediction windows.
+struct Batch {
+  int batch_size = 0;
+  int seq_len = 0;
+  /// Row-major [batch_size, seq_len] input ids.
+  std::vector<int> inputs;
+  /// Row-major [batch_size, seq_len] targets (inputs shifted by one).
+  std::vector<int> targets;
+  /// Target value excluded from the loss (padding); -1 = none.
+  int ignore_index = -1;
+};
+
+/// Cuts each recipe into one training window: Encode(tagged + " "),
+/// truncated to `seq_len + 1` tokens and padded with `pad_id`. Documents
+/// always start at position 0, so transformer position embeddings are
+/// trained on exactly the offsets generation visits (the paper's
+/// "recipe ... used as a single training instance" layout, Sec. IV-B).
+std::vector<std::vector<int>> BuildRecipeWindows(
+    const Tokenizer& tokenizer, const std::vector<Recipe>& recipes,
+    int seq_len, int pad_id);
+
+/// Iterates next-token windows, shuffling order every epoch (seeded =>
+/// deterministic). Two sources:
+///  - a flat token stream, sliced into non-overlapping seq_len+1 windows;
+///  - pre-cut per-document windows (see BuildRecipeWindows), where
+///    trailing padding is excluded from the loss via Batch::ignore_index.
+class BatchIterator {
+ public:
+  /// `stream` must outlive the iterator.
+  BatchIterator(const std::vector<int>* stream, int batch_size, int seq_len,
+                uint64_t seed);
+
+  /// Window mode. Each window must have at least 2 tokens; longer windows
+  /// are truncated to seq_len + 1, shorter ones padded with `pad_id`.
+  BatchIterator(std::vector<std::vector<int>> windows, int batch_size,
+                int seq_len, uint64_t seed, int pad_id);
+
+  /// Fills `out` with the next batch; returns false at epoch end (call
+  /// NextEpoch() to reshuffle and continue). Partial final batches are
+  /// returned with a smaller batch_size.
+  bool Next(Batch* out);
+
+  /// Reshuffles windows for a new epoch.
+  void NextEpoch();
+
+  /// Number of full-or-partial batches per epoch.
+  int BatchesPerEpoch() const;
+
+  /// Number of windows available per epoch.
+  int NumWindows() const {
+    return static_cast<int>(stream_ != nullptr ? offsets_.size()
+                                               : doc_windows_.size());
+  }
+
+ private:
+  void FillRow(int window_index, int row, Batch* out) const;
+
+  const std::vector<int>* stream_ = nullptr;       // stream mode
+  std::vector<std::vector<int>> doc_windows_;       // window mode
+  int pad_id_ = 0;
+  int batch_size_;
+  int seq_len_;
+  Rng rng_;
+  std::vector<int> offsets_;  // stream offsets or window indices
+  size_t cursor_ = 0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_DATASET_H_

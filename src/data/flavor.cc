@@ -1,0 +1,257 @@
+#include "data/flavor.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+struct CatalogEntry {
+  NutritionProfile nutrition;   // per 100 g
+  FlavorCompounds compounds;
+};
+
+/// Scaled-down FlavorDB/USDA stand-in. Compound sets are chosen so that
+/// culinary-adjacent ingredients genuinely share compounds (tomato and
+/// basil share "linalool"; dairy shares "diacetyl"; alliums share
+/// "allicin"), giving the pairing analyses real structure.
+const std::map<std::string, CatalogEntry>& CatalogMap() {
+  static const auto& m = *new std::map<std::string, CatalogEntry>{
+      // Vegetables / aromatics.
+      {"tomato", {{18, 0.9, 0.2, 3.9}, {"linalool", "hexanal", "furaneol"}}},
+      {"onion", {{40, 1.1, 0.1, 9.3}, {"allicin", "thiosulfinate", "hexanal"}}},
+      {"garlic", {{149, 6.4, 0.5, 33.1}, {"allicin", "diallyl_disulfide"}}},
+      {"carrot", {{41, 0.9, 0.2, 9.6}, {"terpinolene", "caryophyllene"}}},
+      {"potato", {{77, 2.0, 0.1, 17.5}, {"methional", "hexanal"}}},
+      {"spinach", {{23, 2.9, 0.4, 3.6}, {"hexanal", "methional"}}},
+      {"broccoli", {{34, 2.8, 0.4, 6.6}, {"sulforaphane", "hexanal"}}},
+      {"bell pepper", {{31, 1.0, 0.3, 6.0}, {"pyrazine", "linalool"}}},
+      {"mushroom", {{22, 3.1, 0.3, 3.3}, {"octenol", "methional"}}},
+      {"zucchini", {{17, 1.2, 0.3, 3.1}, {"hexanal"}}},
+      {"eggplant", {{25, 1.0, 0.2, 5.9}, {"hexanal", "methional"}}},
+      {"cabbage", {{25, 1.3, 0.1, 5.8}, {"sulforaphane", "thiosulfinate"}}},
+      {"cauliflower", {{25, 1.9, 0.3, 5.0}, {"sulforaphane"}}},
+      {"celery", {{16, 0.7, 0.2, 3.0}, {"phthalide", "terpinolene"}}},
+      {"peas", {{81, 5.4, 0.4, 14.5}, {"pyrazine", "hexanal"}}},
+      {"corn", {{86, 3.3, 1.4, 19.0}, {"furaneol", "diacetyl"}}},
+      {"kale", {{49, 4.3, 0.9, 8.8}, {"sulforaphane", "hexanal"}}},
+      {"leek", {{61, 1.5, 0.3, 14.2}, {"allicin", "thiosulfinate"}}},
+      {"pumpkin", {{26, 1.0, 0.1, 6.5}, {"caryophyllene", "furaneol"}}},
+      {"green beans", {{31, 1.8, 0.2, 7.0}, {"hexanal", "pyrazine"}}},
+      {"cucumber", {{15, 0.7, 0.1, 3.6}, {"nonadienal", "hexanal"}}},
+      {"radish", {{16, 0.7, 0.1, 3.4}, {"thiosulfinate"}}},
+      {"ginger", {{80, 1.8, 0.8, 17.8}, {"gingerol", "zingiberene"}}},
+      // Proteins.
+      {"chicken", {{239, 27.3, 13.6, 0.0}, {"methional", "pyrazine"}}},
+      {"beef", {{250, 26.0, 15.0, 0.0}, {"pyrazine", "furan", "methional"}}},
+      {"pork", {{242, 27.3, 14.0, 0.0}, {"furan", "methional"}}},
+      {"lamb", {{294, 25.0, 21.0, 0.0}, {"skatole", "pyrazine"}}},
+      {"shrimp", {{99, 24.0, 0.3, 0.2}, {"bromophenol", "pyrazine"}}},
+      {"salmon", {{208, 20.4, 13.4, 0.0}, {"decadienal", "bromophenol"}}},
+      {"tofu", {{76, 8.0, 4.8, 1.9}, {"hexanal", "beany_furanone"}}},
+      {"chickpeas", {{164, 8.9, 2.6, 27.4}, {"pyrazine", "beany_furanone"}}},
+      {"lentils", {{116, 9.0, 0.4, 20.1}, {"pyrazine", "beany_furanone"}}},
+      {"black beans", {{132, 8.9, 0.5, 23.7}, {"pyrazine", "beany_furanone"}}},
+      {"egg", {{155, 13.0, 11.0, 1.1}, {"sulfide", "diacetyl"}}},
+      {"turkey", {{189, 29.0, 7.0, 0.0}, {"pyrazine", "methional"}}},
+      {"duck", {{337, 19.0, 28.0, 0.0}, {"furan", "decadienal"}}},
+      {"paneer", {{296, 18.3, 22.0, 6.1}, {"diacetyl", "lactone"}}},
+      // Grains.
+      {"rice", {{130, 2.7, 0.3, 28.2}, {"popcorn_pyrroline"}}},
+      {"pasta", {{131, 5.0, 1.1, 25.0}, {"hexanal"}}},
+      {"noodles", {{138, 4.5, 2.1, 25.2}, {"hexanal"}}},
+      {"quinoa", {{120, 4.4, 1.9, 21.3}, {"pyrazine", "hexanal"}}},
+      {"couscous", {{112, 3.8, 0.2, 23.2}, {"hexanal"}}},
+      {"barley", {{123, 2.3, 0.4, 28.2}, {"popcorn_pyrroline"}}},
+      {"oats", {{389, 16.9, 6.9, 66.3}, {"hexanal", "vanillin"}}},
+      {"flour", {{364, 10.3, 1.0, 76.3}, {"hexanal"}}},
+      {"cornmeal", {{370, 8.1, 3.6, 79.0}, {"furaneol"}}},
+      {"bread crumbs", {{395, 13.0, 5.3, 71.9}, {"popcorn_pyrroline"}}},
+      {"tortilla", {{218, 5.7, 2.9, 45.0}, {"furaneol"}}},
+      // Dairy.
+      {"milk", {{61, 3.2, 3.3, 4.8}, {"diacetyl", "lactone"}}},
+      {"cream", {{340, 2.1, 36.0, 2.8}, {"diacetyl", "lactone"}}},
+      {"yogurt", {{59, 10.0, 0.4, 3.6}, {"diacetyl", "acetaldehyde"}}},
+      {"cheddar cheese", {{403, 24.9, 33.1, 1.3}, {"diacetyl", "butyric"}}},
+      {"parmesan cheese", {{431, 38.5, 29.0, 4.1}, {"butyric", "lactone"}}},
+      {"mozzarella", {{280, 28.0, 17.0, 3.1}, {"diacetyl", "lactone"}}},
+      {"feta cheese", {{264, 14.2, 21.3, 4.1}, {"butyric", "diacetyl"}}},
+      {"sour cream", {{193, 2.4, 19.4, 4.6}, {"diacetyl", "acetaldehyde"}}},
+      // Spices & herbs.
+      {"cumin", {{375, 17.8, 22.3, 44.2}, {"cuminaldehyde", "pyrazine"}}},
+      {"paprika", {{282, 14.1, 12.9, 54.0}, {"pyrazine", "capsaicin"}}},
+      {"turmeric", {{354, 7.8, 9.9, 64.9}, {"turmerone", "zingiberene"}}},
+      {"coriander", {{298, 12.4, 17.8, 55.0}, {"linalool", "decanal"}}},
+      {"cinnamon", {{247, 4.0, 1.2, 80.6}, {"cinnamaldehyde", "eugenol"}}},
+      {"nutmeg", {{525, 5.8, 36.3, 49.3}, {"myristicin", "eugenol"}}},
+      {"black pepper", {{251, 10.4, 3.3, 63.9}, {"piperine", "caryophyllene"}}},
+      {"salt", {{0, 0.0, 0.0, 0.0}, {"halite"}}},
+      {"chili powder", {{282, 13.5, 14.3, 49.7}, {"capsaicin", "pyrazine"}}},
+      {"curry powder", {{325, 14.3, 14.0, 55.8}, {"cuminaldehyde", "turmerone"}}},
+      {"garam masala", {{379, 15.0, 15.1, 45.0}, {"cinnamaldehyde", "cuminaldehyde"}}},
+      {"cardamom", {{311, 10.8, 6.7, 68.5}, {"cineole", "linalool"}}},
+      {"saffron", {{310, 11.4, 5.9, 65.4}, {"safranal"}}},
+      {"cayenne", {{318, 12.0, 17.3, 56.6}, {"capsaicin"}}},
+      {"basil", {{23, 3.2, 0.6, 2.7}, {"linalool", "eugenol", "estragole"}}},
+      {"cilantro", {{23, 2.1, 0.5, 3.7}, {"decanal", "linalool"}}},
+      {"parsley", {{36, 3.0, 0.8, 6.3}, {"myristicin", "apiole"}}},
+      {"thyme", {{101, 5.6, 1.7, 24.5}, {"thymol", "carvacrol"}}},
+      {"rosemary", {{131, 3.3, 5.9, 20.7}, {"cineole", "camphor"}}},
+      {"oregano", {{265, 9.0, 4.3, 68.9}, {"carvacrol", "thymol"}}},
+      {"mint", {{70, 3.8, 0.9, 14.9}, {"menthol", "carvone"}}},
+      {"dill", {{43, 3.5, 1.1, 7.0}, {"carvone", "phthalide"}}},
+      {"bay leaf", {{313, 7.6, 8.4, 75.0}, {"cineole", "eugenol"}}},
+      // Fats.
+      {"olive oil", {{884, 0.0, 100.0, 0.0}, {"oleocanthal", "hexanal"}}},
+      {"butter", {{717, 0.9, 81.1, 0.1}, {"diacetyl", "butyric", "lactone"}}},
+      {"vegetable oil", {{884, 0.0, 100.0, 0.0}, {"hexanal"}}},
+      {"sesame oil", {{884, 0.0, 100.0, 0.0}, {"sesamol", "pyrazine"}}},
+      {"coconut oil", {{892, 0.0, 99.1, 0.0}, {"lactone", "decanal"}}},
+      {"ghee", {{900, 0.0, 100.0, 0.0}, {"diacetyl", "butyric"}}},
+      // Liquids.
+      {"water", {{0, 0.0, 0.0, 0.0}, {}}},
+      {"chicken broth", {{7, 1.0, 0.2, 0.4}, {"methional", "pyrazine"}}},
+      {"vegetable broth", {{5, 0.3, 0.1, 0.9}, {"hexanal", "methional"}}},
+      {"coconut milk", {{230, 2.3, 23.8, 5.5}, {"lactone", "decanal"}}},
+      {"soy sauce", {{53, 8.1, 0.6, 4.9}, {"furanone", "methional"}}},
+      {"white wine", {{82, 0.1, 0.0, 2.6}, {"linalool", "acetaldehyde"}}},
+      {"tomato sauce", {{29, 1.3, 0.2, 6.6}, {"linalool", "furaneol"}}},
+      {"lemon juice", {{22, 0.4, 0.2, 6.9}, {"limonene", "citral"}}},
+      {"lime juice", {{25, 0.4, 0.1, 8.4}, {"limonene", "citral"}}},
+      {"vinegar", {{18, 0.0, 0.0, 0.0}, {"acetic", "acetaldehyde"}}},
+      {"fish sauce", {{35, 5.1, 0.0, 3.6}, {"bromophenol", "methional"}}},
+      // Sweets.
+      {"sugar", {{387, 0.0, 0.0, 100.0}, {"caramel_furanone"}}},
+      {"brown sugar", {{380, 0.1, 0.0, 98.1}, {"caramel_furanone", "maltol"}}},
+      {"honey", {{304, 0.3, 0.0, 82.4}, {"phenylacetic", "furaneol"}}},
+      {"maple syrup", {{260, 0.0, 0.1, 67.0}, {"maltol", "vanillin"}}},
+      {"chocolate chips", {{479, 4.2, 24.0, 63.1}, {"pyrazine", "vanillin"}}},
+      {"vanilla extract", {{288, 0.1, 0.1, 12.7}, {"vanillin"}}},
+      {"cocoa powder", {{228, 19.6, 13.7, 57.9}, {"pyrazine", "vanillin"}}},
+      // Fruits.
+      {"apple", {{52, 0.3, 0.2, 13.8}, {"hexanal", "estragole", "damascenone"}}},
+      {"banana", {{89, 1.1, 0.3, 22.8}, {"isoamyl_acetate", "eugenol"}}},
+      {"mango", {{60, 0.8, 0.4, 15.0}, {"caryophyllene", "furaneol"}}},
+      {"pineapple", {{50, 0.5, 0.1, 13.1}, {"furaneol", "limonene"}}},
+      {"raisins", {{299, 3.1, 0.5, 79.2}, {"damascenone", "caramel_furanone"}}},
+      {"blueberries", {{57, 0.7, 0.3, 14.5}, {"linalool", "damascenone"}}},
+      {"strawberries", {{32, 0.7, 0.3, 7.7}, {"furaneol", "linalool"}}},
+      {"orange", {{47, 0.9, 0.1, 11.8}, {"limonene", "citral"}}},
+      {"coconut", {{354, 3.3, 33.5, 15.2}, {"lactone", "decanal"}}},
+      {"dates", {{277, 1.8, 0.2, 75.0}, {"caramel_furanone", "maltol"}}},
+  };
+  return m;
+}
+
+const CatalogEntry* Find(const std::string& ingredient) {
+  const auto& m = CatalogMap();
+  auto it = m.find(ToLower(Trim(ingredient)));
+  return it == m.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+const FlavorCompounds& FlavorCompoundsFor(const std::string& ingredient) {
+  static const FlavorCompounds& empty = *new FlavorCompounds();
+  const CatalogEntry* entry = Find(ingredient);
+  return entry != nullptr ? entry->compounds : empty;
+}
+
+const NutritionProfile& NutritionFor(const std::string& ingredient) {
+  static const NutritionProfile& zero = *new NutritionProfile();
+  const CatalogEntry* entry = Find(ingredient);
+  return entry != nullptr ? entry->nutrition : zero;
+}
+
+bool InFlavorCatalog(const std::string& ingredient) {
+  return Find(ingredient) != nullptr;
+}
+
+double PairingScore(const std::string& a, const std::string& b) {
+  const FlavorCompounds& ca = FlavorCompoundsFor(a);
+  const FlavorCompounds& cb = FlavorCompoundsFor(b);
+  if (ca.empty() || cb.empty()) return 0.0;
+  std::set<std::string> sa(ca.begin(), ca.end());
+  std::set<std::string> sb(cb.begin(), cb.end());
+  size_t shared = 0;
+  for (const auto& c : sa) shared += sb.count(c);
+  const size_t unions = sa.size() + sb.size() - shared;
+  return unions == 0 ? 0.0
+                     : static_cast<double>(shared) /
+                           static_cast<double>(unions);
+}
+
+double MeanPairingScore(const Recipe& recipe) {
+  std::vector<std::string> known;
+  for (const auto& line : recipe.ingredients) {
+    if (InFlavorCatalog(line.name)) known.push_back(line.name);
+  }
+  if (known.size() < 2) return 0.0;
+  double total = 0.0;
+  int pairs = 0;
+  for (size_t i = 0; i < known.size(); ++i) {
+    for (size_t j = i + 1; j < known.size(); ++j) {
+      total += PairingScore(known[i], known[j]);
+      ++pairs;
+    }
+  }
+  return total / pairs;
+}
+
+double ApproximateGrams(const IngredientLine& line) {
+  // Quantity to a number ("1 1/2" -> 1.5; empty -> 1).
+  double qty = 0.0;
+  const auto parts = SplitWhitespace(line.quantity);
+  for (const std::string& part : parts) {
+    const size_t slash = part.find('/');
+    if (slash != std::string::npos) {
+      const double num = std::atof(part.substr(0, slash).c_str());
+      const double den = std::atof(part.substr(slash + 1).c_str());
+      if (den > 0) qty += num / den;
+    } else {
+      qty += std::atof(part.c_str());
+    }
+  }
+  if (qty <= 0.0) qty = 1.0;
+
+  double grams_per_unit = 50.0;  // countable items fallback
+  if (line.unit == "cup") {
+    grams_per_unit = 240.0;
+  } else if (line.unit == "tbsp") {
+    grams_per_unit = 15.0;
+  } else if (line.unit == "tsp") {
+    grams_per_unit = 5.0;
+  } else if (line.unit == "pound") {
+    grams_per_unit = 454.0;
+  } else if (line.unit == "can") {
+    grams_per_unit = 400.0;
+  } else if (line.unit == "clove") {
+    grams_per_unit = 5.0;
+  } else if (line.unit == "stalk") {
+    grams_per_unit = 40.0;
+  } else if (line.unit == "sprig") {
+    grams_per_unit = 2.0;
+  } else if (line.unit == "pinch") {
+    grams_per_unit = 0.5;
+  }
+  return qty * grams_per_unit;
+}
+
+NutritionProfile RecipeNutrition(const Recipe& recipe) {
+  NutritionProfile total;
+  for (const auto& line : recipe.ingredients) {
+    const NutritionProfile& per100 = NutritionFor(line.name);
+    const double factor = ApproximateGrams(line) / 100.0;
+    total.calories_kcal += per100.calories_kcal * factor;
+    total.protein_g += per100.protein_g * factor;
+    total.fat_g += per100.fat_g * factor;
+    total.carbs_g += per100.carbs_g * factor;
+  }
+  return total;
+}
+
+}  // namespace rt

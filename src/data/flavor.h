@@ -1,0 +1,59 @@
+#ifndef RATATOUILLE_DATA_FLAVOR_H_
+#define RATATOUILLE_DATA_FLAVOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+
+namespace rt {
+
+// RecipeDB interlinks every ingredient with its flavor molecules
+// (FlavorDB) and nutrition profile (USDA) — paper Sec. III. This module
+// is the synthetic stand-in: a deterministic catalog of flavor-compound
+// sets and per-100g nutrition for the generator's ingredient vocabulary,
+// plus the analyses those linkages enable (food-pairing scores and
+// recipe-level nutrition totals).
+
+/// Per-100 g macro-nutrient profile.
+struct NutritionProfile {
+  double calories_kcal = 0.0;
+  double protein_g = 0.0;
+  double fat_g = 0.0;
+  double carbs_g = 0.0;
+};
+
+/// Flavor-compound ids shared across ingredients (a scaled-down
+/// FlavorDB: compound names stand in for molecule ids).
+using FlavorCompounds = std::vector<std::string>;
+
+/// Looks up the flavor compounds of an ingredient; empty if unknown.
+const FlavorCompounds& FlavorCompoundsFor(const std::string& ingredient);
+
+/// Looks up the nutrition profile; zeros if unknown.
+const NutritionProfile& NutritionFor(const std::string& ingredient);
+
+/// True if the ingredient is in the flavor/nutrition catalog.
+bool InFlavorCatalog(const std::string& ingredient);
+
+/// Food-pairing score of two ingredients: |shared compounds| /
+/// |union of compounds| (Jaccard), the quantity behind the food-pairing
+/// hypothesis analyses RecipeDB supports. 0 when either is unknown.
+double PairingScore(const std::string& a, const std::string& b);
+
+/// Mean pairwise pairing score over a recipe's ingredients (0 when fewer
+/// than two known ingredients).
+double MeanPairingScore(const Recipe& recipe);
+
+/// Approximate grams represented by one ingredient line, from its
+/// quantity and unit ("2 cups" -> ~480 g, "1 tsp" -> ~5 g, ...). Unknown
+/// units fall back to 50 g per count.
+double ApproximateGrams(const IngredientLine& line);
+
+/// Recipe-level nutrition: sums the per-line profiles scaled by
+/// approximate grams.
+NutritionProfile RecipeNutrition(const Recipe& recipe);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_FLAVOR_H_

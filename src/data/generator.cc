@@ -1,0 +1,473 @@
+#include "data/generator.h"
+
+#include <cassert>
+#include <string>
+
+#include "data/catalog.h"
+
+namespace rt {
+namespace {
+
+using R = IngredientRole;
+
+enum class DishKind {
+  kStew,
+  kSoup,
+  kCurry,
+  kSalad,
+  kStirFry,
+  kBakedDessert,
+  kCasserole,
+  kPilaf,
+};
+
+constexpr DishKind kAllKinds[] = {
+    DishKind::kStew,        DishKind::kSoup,      DishKind::kCurry,
+    DishKind::kSalad,       DishKind::kStirFry,   DishKind::kBakedDessert,
+    DishKind::kCasserole,   DishKind::kPilaf,
+};
+
+const char* DishNoun(DishKind kind) {
+  switch (kind) {
+    case DishKind::kStew:
+      return "stew";
+    case DishKind::kSoup:
+      return "soup";
+    case DishKind::kCurry:
+      return "curry";
+    case DishKind::kSalad:
+      return "salad";
+    case DishKind::kStirFry:
+      return "stir fry";
+    case DishKind::kBakedDessert:
+      return "cake";
+    case DishKind::kCasserole:
+      return "casserole";
+    case DishKind::kPilaf:
+      return "pilaf";
+  }
+  return "dish";
+}
+
+/// Ingredients selected for one recipe, bucketed by role.
+struct Selection {
+  std::vector<const CatalogIngredient*> proteins;
+  std::vector<const CatalogIngredient*> vegetables;
+  std::vector<const CatalogIngredient*> grains;
+  std::vector<const CatalogIngredient*> dairy;
+  std::vector<const CatalogIngredient*> spices;
+  std::vector<const CatalogIngredient*> herbs;
+  std::vector<const CatalogIngredient*> fats;
+  std::vector<const CatalogIngredient*> liquids;
+  std::vector<const CatalogIngredient*> sweets;
+  std::vector<const CatalogIngredient*> fruits;
+
+  std::vector<const CatalogIngredient*> All() const {
+    std::vector<const CatalogIngredient*> all;
+    for (const auto* bucket :
+         {&proteins, &vegetables, &grains, &dairy, &spices, &herbs, &fats,
+          &liquids, &sweets, &fruits}) {
+      all.insert(all.end(), bucket->begin(), bucket->end());
+    }
+    return all;
+  }
+};
+
+/// Picks `n` distinct ingredients of `role` (fewer if the role is small).
+std::vector<const CatalogIngredient*> PickRole(R role, int n, Rng* rng) {
+  std::vector<const CatalogIngredient*> pool = Catalog::ByRole(role);
+  rng->Shuffle(&pool);
+  if (static_cast<int>(pool.size()) > n) pool.resize(n);
+  return pool;
+}
+
+std::string QuantityFor(const std::string& unit, Rng* rng) {
+  if (unit.empty()) {
+    // Countable items: 1..4.
+    return std::to_string(rng->UniformInt(1, 4));
+  }
+  if (unit == "cup") {
+    static const char* kCup[] = {"1/4", "1/3", "1/2", "2/3", "3/4",
+                                 "1",   "1 1/2", "2",  "3"};
+    return kCup[rng->NextBelow(9)];
+  }
+  if (unit == "tsp" || unit == "tbsp") {
+    static const char* kSpoon[] = {"1/4", "1/2", "1", "2", "3"};
+    return kSpoon[rng->NextBelow(5)];
+  }
+  if (unit == "pound") {
+    static const char* kPound[] = {"1/2", "1", "1 1/2", "2"};
+    return kPound[rng->NextBelow(4)];
+  }
+  if (unit == "can" || unit == "clove" || unit == "stalk" ||
+      unit == "sprig") {
+    return std::to_string(rng->UniformInt(1, 3));
+  }
+  if (unit == "pinch") return "1";
+  return "1";
+}
+
+IngredientLine MakeLine(const CatalogIngredient& ing, Rng* rng,
+                        bool with_prep) {
+  IngredientLine line;
+  line.unit = rng->Choice(ing.units);
+  line.quantity = QuantityFor(line.unit, rng);
+  line.name = ing.name;
+  if (with_prep && (ing.role == R::kVegetable || ing.role == R::kProtein ||
+                    ing.role == R::kFruit) &&
+      rng->NextBool(0.6)) {
+    line.prep = rng->Choice(Catalog::Preps());
+  }
+  return line;
+}
+
+std::string JoinNames(const std::vector<const CatalogIngredient*>& v,
+                      const std::string& final_sep = " and ") {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += (i + 1 == v.size()) ? final_sep : std::string(" , ");
+    out += v[i]->name;
+  }
+  return out;
+}
+
+int Minutes(Rng* rng, int lo, int hi, int step) {
+  int range = (hi - lo) / step;
+  return lo + step * rng->UniformInt(0, range);
+}
+
+// ---- Per-template instruction builders ----------------------------------
+// Each builder consumes the selection deterministically; the only
+// randomness is durations/optional steps, so the ingredient list strongly
+// predicts the instruction text (that is the structure the models learn).
+
+std::vector<std::string> StewSoupInstructions(const Selection& s, Rng* rng,
+                                              bool is_soup) {
+  std::vector<std::string> steps;
+  steps.push_back("heat the " + s.fats[0]->name +
+                  " in a large pot over medium heat");
+  steps.push_back("add the " + JoinNames(s.vegetables) +
+                  " and saute until softened");
+  if (!s.spices.empty()) {
+    steps.push_back("stir in the " + JoinNames(s.spices) +
+                    " and cook until fragrant");
+  }
+  if (!s.proteins.empty()) {
+    steps.push_back("add the " + s.proteins[0]->name +
+                    " and brown on all sides");
+  }
+  steps.push_back("pour in the " + s.liquids[0]->name +
+                  " and bring to a boil");
+  steps.push_back("reduce the heat and simmer for " +
+                  std::to_string(Minutes(rng, 20, 40, 5)) + " minutes");
+  if (is_soup) {
+    steps.push_back("blend until smooth if a creamy texture is desired");
+  }
+  if (!s.herbs.empty()) {
+    steps.push_back("season with salt and garnish with " +
+                    s.herbs[0]->name + " before serving");
+  } else {
+    steps.push_back("season with salt and serve hot");
+  }
+  return steps;
+}
+
+std::vector<std::string> CurryInstructions(const Selection& s, Rng* rng) {
+  std::vector<std::string> steps;
+  steps.push_back("heat the " + s.fats[0]->name +
+                  " in a heavy pan over medium heat");
+  steps.push_back("add the " + JoinNames(s.vegetables) +
+                  " and cook until golden");
+  steps.push_back("stir in the " + JoinNames(s.spices) +
+                  " and toast for one minute");
+  if (!s.proteins.empty()) {
+    steps.push_back("add the " + s.proteins[0]->name +
+                    " and coat well with the spices");
+  }
+  steps.push_back("pour in the " + s.liquids[0]->name +
+                  " and simmer for " +
+                  std::to_string(Minutes(rng, 15, 35, 5)) + " minutes");
+  if (!s.herbs.empty()) {
+    steps.push_back("garnish with " + s.herbs[0]->name +
+                    " and serve with rice");
+  } else {
+    steps.push_back("serve hot with rice");
+  }
+  return steps;
+}
+
+std::vector<std::string> SaladInstructions(const Selection& s, Rng* rng) {
+  std::vector<std::string> steps;
+  steps.push_back("chop the " + JoinNames(s.vegetables) +
+                  " into bite sized pieces");
+  if (!s.proteins.empty()) {
+    steps.push_back("cook the " + s.proteins[0]->name +
+                    " and let it cool");
+  }
+  steps.push_back("whisk the " + s.fats[0]->name + " with the " +
+                  s.liquids[0]->name + " to make a dressing");
+  steps.push_back("toss everything together in a large bowl");
+  if (!s.dairy.empty()) {
+    steps.push_back("top with the " + s.dairy[0]->name);
+  }
+  if (!s.herbs.empty() && rng->NextBool(0.7)) {
+    steps.push_back("scatter the " + s.herbs[0]->name + " on top");
+  }
+  steps.push_back("chill for " + std::to_string(Minutes(rng, 10, 30, 10)) +
+                  " minutes before serving");
+  return steps;
+}
+
+std::vector<std::string> StirFryInstructions(const Selection& s, Rng* rng) {
+  std::vector<std::string> steps;
+  steps.push_back("heat the " + s.fats[0]->name +
+                  " in a wok over high heat");
+  if (!s.proteins.empty()) {
+    steps.push_back("sear the " + s.proteins[0]->name +
+                    " until nearly cooked through and set aside");
+  }
+  steps.push_back("stir fry the " + JoinNames(s.vegetables) +
+                  " for " + std::to_string(Minutes(rng, 3, 6, 1)) +
+                  " minutes");
+  steps.push_back("add the " + s.liquids[0]->name +
+                  " and toss to combine");
+  if (!s.proteins.empty()) {
+    steps.push_back("return the " + s.proteins[0]->name +
+                    " to the wok and stir well");
+  }
+  if (!s.grains.empty()) {
+    steps.push_back("serve over steamed " + s.grains[0]->name);
+  } else {
+    steps.push_back("serve immediately");
+  }
+  return steps;
+}
+
+std::vector<std::string> BakedDessertInstructions(const Selection& s,
+                                                  Rng* rng) {
+  std::vector<std::string> steps;
+  steps.push_back("preheat the oven to " +
+                  std::to_string(325 + 25 * rng->UniformInt(0, 2)) +
+                  " degrees f");
+  steps.push_back("cream the " + s.fats[0]->name + " with the " +
+                  s.sweets[0]->name + " until light");
+  steps.push_back("beat in the " + s.dairy[0]->name +
+                  " until fully combined");
+  steps.push_back("fold in the " + s.grains[0]->name +
+                  " to form a smooth batter");
+  if (!s.fruits.empty()) {
+    steps.push_back("gently stir in the " + JoinNames(s.fruits));
+  }
+  steps.push_back("pour the batter into a greased pan");
+  steps.push_back("bake for " + std::to_string(Minutes(rng, 25, 50, 5)) +
+                  " minutes until golden");
+  steps.push_back("cool before slicing and serving");
+  return steps;
+}
+
+std::vector<std::string> CasseroleInstructions(const Selection& s,
+                                               Rng* rng) {
+  std::vector<std::string> steps;
+  steps.push_back("preheat the oven to " +
+                  std::to_string(350 + 25 * rng->UniformInt(0, 2)) +
+                  " degrees f");
+  steps.push_back("layer the " + JoinNames(s.vegetables) +
+                  " in a baking dish");
+  if (!s.proteins.empty()) {
+    steps.push_back("scatter the " + s.proteins[0]->name +
+                    " over the vegetables");
+  }
+  steps.push_back("pour the " + s.liquids[0]->name + " over the top");
+  if (!s.dairy.empty()) {
+    steps.push_back("cover with the " + s.dairy[0]->name);
+  }
+  steps.push_back("bake for " + std::to_string(Minutes(rng, 30, 50, 5)) +
+                  " minutes until bubbling");
+  steps.push_back("rest for ten minutes before serving");
+  return steps;
+}
+
+std::vector<std::string> PilafInstructions(const Selection& s, Rng* rng) {
+  std::vector<std::string> steps;
+  steps.push_back("rinse the " + s.grains[0]->name +
+                  " under cold water and drain");
+  steps.push_back("heat the " + s.fats[0]->name + " in a saucepan");
+  steps.push_back("saute the " + JoinNames(s.vegetables) +
+                  " until translucent");
+  if (!s.spices.empty()) {
+    steps.push_back("add the " + JoinNames(s.spices) +
+                    " and stir for one minute");
+  }
+  steps.push_back("add the " + s.grains[0]->name + " and the " +
+                  s.liquids[0]->name + " and bring to a boil");
+  steps.push_back("cover and cook on low for " +
+                  std::to_string(Minutes(rng, 15, 25, 5)) + " minutes");
+  steps.push_back("fluff with a fork and serve");
+  return steps;
+}
+
+Selection SelectIngredients(DishKind kind, Rng* rng) {
+  Selection s;
+  switch (kind) {
+    case DishKind::kStew:
+    case DishKind::kSoup:
+      s.fats = PickRole(R::kFat, 1, rng);
+      s.vegetables = PickRole(R::kVegetable, rng->UniformInt(2, 4), rng);
+      s.spices = PickRole(R::kSpice, rng->UniformInt(1, 2), rng);
+      s.proteins = PickRole(R::kProtein, rng->NextBool(0.8) ? 1 : 0, rng);
+      s.liquids = PickRole(R::kLiquid, 1, rng);
+      s.herbs = PickRole(R::kHerb, rng->NextBool(0.7) ? 1 : 0, rng);
+      break;
+    case DishKind::kCurry:
+      s.fats = PickRole(R::kFat, 1, rng);
+      s.vegetables = PickRole(R::kVegetable, rng->UniformInt(2, 3), rng);
+      s.spices = PickRole(R::kSpice, rng->UniformInt(2, 3), rng);
+      s.proteins = PickRole(R::kProtein, 1, rng);
+      s.liquids = PickRole(R::kLiquid, 1, rng);
+      s.herbs = PickRole(R::kHerb, rng->NextBool(0.6) ? 1 : 0, rng);
+      break;
+    case DishKind::kSalad:
+      s.vegetables = PickRole(R::kVegetable, rng->UniformInt(3, 4), rng);
+      s.proteins = PickRole(R::kProtein, rng->NextBool(0.5) ? 1 : 0, rng);
+      s.fats = PickRole(R::kFat, 1, rng);
+      s.liquids = PickRole(R::kLiquid, 1, rng);
+      s.dairy = PickRole(R::kDairy, rng->NextBool(0.5) ? 1 : 0, rng);
+      s.herbs = PickRole(R::kHerb, 1, rng);
+      break;
+    case DishKind::kStirFry:
+      s.fats = PickRole(R::kFat, 1, rng);
+      s.proteins = PickRole(R::kProtein, 1, rng);
+      s.vegetables = PickRole(R::kVegetable, rng->UniformInt(2, 4), rng);
+      s.liquids = PickRole(R::kLiquid, 1, rng);
+      s.grains = PickRole(R::kGrain, rng->NextBool(0.7) ? 1 : 0, rng);
+      break;
+    case DishKind::kBakedDessert:
+      s.fats = PickRole(R::kFat, 1, rng);
+      s.sweets = PickRole(R::kSweet, rng->UniformInt(1, 2), rng);
+      s.dairy = PickRole(R::kDairy, 1, rng);
+      s.grains = PickRole(R::kGrain, 1, rng);
+      s.fruits = PickRole(R::kFruit, rng->UniformInt(0, 2), rng);
+      break;
+    case DishKind::kCasserole:
+      s.vegetables = PickRole(R::kVegetable, rng->UniformInt(2, 3), rng);
+      s.proteins = PickRole(R::kProtein, rng->NextBool(0.7) ? 1 : 0, rng);
+      s.liquids = PickRole(R::kLiquid, 1, rng);
+      s.dairy = PickRole(R::kDairy, 1, rng);
+      break;
+    case DishKind::kPilaf:
+      s.grains = PickRole(R::kGrain, 1, rng);
+      s.fats = PickRole(R::kFat, 1, rng);
+      s.vegetables = PickRole(R::kVegetable, rng->UniformInt(1, 3), rng);
+      s.spices = PickRole(R::kSpice, rng->UniformInt(1, 2), rng);
+      s.liquids = PickRole(R::kLiquid, 1, rng);
+      break;
+  }
+  return s;
+}
+
+std::vector<std::string> BuildInstructions(DishKind kind,
+                                           const Selection& s, Rng* rng) {
+  switch (kind) {
+    case DishKind::kStew:
+      return StewSoupInstructions(s, rng, /*is_soup=*/false);
+    case DishKind::kSoup:
+      return StewSoupInstructions(s, rng, /*is_soup=*/true);
+    case DishKind::kCurry:
+      return CurryInstructions(s, rng);
+    case DishKind::kSalad:
+      return SaladInstructions(s, rng);
+    case DishKind::kStirFry:
+      return StirFryInstructions(s, rng);
+    case DishKind::kBakedDessert:
+      return BakedDessertInstructions(s, rng);
+    case DishKind::kCasserole:
+      return CasseroleInstructions(s, rng);
+    case DishKind::kPilaf:
+      return PilafInstructions(s, rng);
+  }
+  return {};
+}
+
+std::string MainIngredientName(DishKind kind, const Selection& s) {
+  if (!s.proteins.empty()) return s.proteins[0]->name;
+  if (kind == DishKind::kBakedDessert && !s.fruits.empty()) {
+    return s.fruits[0]->name;
+  }
+  if (kind == DishKind::kBakedDessert && !s.sweets.empty()) {
+    return s.sweets[0]->name;
+  }
+  if (!s.grains.empty()) return s.grains[0]->name;
+  if (!s.vegetables.empty()) return s.vegetables[0]->name;
+  return "house";
+}
+
+}  // namespace
+
+RecipeDbGenerator::RecipeDbGenerator(GeneratorOptions options)
+    : options_(options) {}
+
+Recipe RecipeDbGenerator::GenerateOne(long long id, Rng* rng) const {
+  Recipe r;
+  r.id = id;
+  const DishKind kind =
+      kAllKinds[rng->NextBelow(std::size(kAllKinds))];
+  const Cuisine& cuisine = rng->Choice(Catalog::Cuisines());
+  r.country = cuisine.country;
+  r.region = cuisine.region;
+  r.continent = cuisine.continent;
+
+  Selection sel = SelectIngredients(kind, rng);
+  for (const CatalogIngredient* ing : sel.All()) {
+    r.ingredients.push_back(MakeLine(*ing, rng, /*with_prep=*/true));
+  }
+  r.instructions = BuildInstructions(kind, sel, rng);
+  r.title = rng->Choice(Catalog::Adjectives()) + " " + cuisine.adjective +
+            " " + MainIngredientName(kind, sel) + " " + DishNoun(kind);
+  return r;
+}
+
+std::vector<Recipe> RecipeDbGenerator::Generate() const {
+  Rng rng(options_.seed);
+  std::vector<Recipe> out;
+  out.reserve(options_.num_recipes);
+  for (int i = 0; i < options_.num_recipes; ++i) {
+    const double roll = rng.NextDouble();
+    const double p_dup = options_.duplicate_fraction;
+    const double p_inc = p_dup + options_.incomplete_fraction;
+    const double p_long = p_inc + options_.overlong_fraction;
+    const double p_short = p_long + options_.short_fraction;
+
+    if (roll < p_dup && !out.empty()) {
+      // Redundant record: exact copy of an earlier recipe, new id.
+      Recipe dup = out[rng.NextBelow(out.size())];
+      dup.id = i;
+      out.push_back(std::move(dup));
+      continue;
+    }
+    Recipe r = GenerateOne(i, &rng);
+    if (roll < p_inc) {
+      // Incomplete record: strip instructions or title.
+      if (rng.NextBool()) {
+        r.instructions.clear();
+      } else {
+        r.title.clear();
+      }
+    } else if (roll < p_long) {
+      // Overlong record: restate the steps until past the 2000-char clamp.
+      std::vector<std::string> extra = r.instructions;
+      while (r.TaggedLength() < 2300) {
+        for (const std::string& step : extra) {
+          r.instructions.push_back("repeat to taste : " + step);
+        }
+      }
+    } else if (roll < p_short) {
+      // Short-tail record (-3 sigma): a bare couple of lines.
+      if (r.ingredients.size() > 2) r.ingredients.resize(2);
+      if (!r.instructions.empty()) r.instructions.resize(1);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace rt

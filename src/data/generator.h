@@ -1,0 +1,53 @@
+#ifndef RATATOUILLE_DATA_GENERATOR_H_
+#define RATATOUILLE_DATA_GENERATOR_H_
+
+#include <vector>
+
+#include "data/recipe.h"
+#include "util/rng.h"
+
+namespace rt {
+
+/// Options for the synthetic RecipeDB corpus.
+///
+/// The noise fractions model the defects the paper's preprocessing stage
+/// removes (Sec. III: "removing incomplete and redundant recipes, fixing
+/// the length of recipes to 2000 characters"): incomplete records,
+/// duplicated records, a long tail of overlong recipes and a short tail
+/// (the -3 sigma recipes the paper merges).
+struct GeneratorOptions {
+  int num_recipes = 1000;
+  uint64_t seed = 1;
+  double incomplete_fraction = 0.03;
+  double duplicate_fraction = 0.05;
+  double overlong_fraction = 0.02;
+  double short_fraction = 0.04;
+};
+
+/// Deterministic grammar-based recipe generator standing in for RecipeDB.
+///
+/// Recipes are drawn from dish templates (stew, curry, salad, stir fry,
+/// baked dessert, ...) whose instruction sequences are functions of the
+/// sampled ingredients, so the corpus has a learnable ingredient ->
+/// instructions structure, plus controlled stochasticity (durations,
+/// adjectives, optional steps) that keeps generation from being exactly
+/// memorizable. Same options => bit-identical corpus.
+class RecipeDbGenerator {
+ public:
+  explicit RecipeDbGenerator(GeneratorOptions options);
+
+  /// Generates the full corpus, noise records included.
+  std::vector<Recipe> Generate() const;
+
+  /// Generates one clean recipe (no injected noise).
+  Recipe GenerateOne(long long id, Rng* rng) const;
+
+  const GeneratorOptions& options() const { return options_; }
+
+ private:
+  GeneratorOptions options_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_GENERATOR_H_

@@ -1,0 +1,176 @@
+#include "data/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rt {
+
+double LengthStats::CoverageWithin(double k,
+                                   const std::vector<size_t>& lengths) const {
+  if (lengths.empty()) return 0.0;
+  const double lo = mean - k * stddev;
+  const double hi = mean + k * stddev;
+  size_t inside = 0;
+  for (size_t len : lengths) {
+    const double d = static_cast<double>(len);
+    if (d >= lo && d <= hi) ++inside;
+  }
+  return static_cast<double>(inside) / lengths.size();
+}
+
+LengthStats ComputeLengthStats(const std::vector<size_t>& lengths) {
+  LengthStats s;
+  if (lengths.empty()) return s;
+  double sum = 0.0;
+  s.min_len = lengths[0];
+  s.max_len = lengths[0];
+  for (size_t len : lengths) {
+    sum += static_cast<double>(len);
+    s.min_len = std::min(s.min_len, len);
+    s.max_len = std::max(s.max_len, len);
+  }
+  s.mean = sum / lengths.size();
+  double var = 0.0;
+  for (size_t len : lengths) {
+    const double d = static_cast<double>(len) - s.mean;
+    var += d * d;
+  }
+  s.stddev = std::sqrt(var / lengths.size());
+  return s;
+}
+
+LengthHistogram BuildLengthHistogram(const std::vector<size_t>& lengths,
+                                     size_t bin_width) {
+  LengthHistogram h;
+  h.bin_width = bin_width;
+  if (lengths.empty() || bin_width == 0) return h;
+  size_t max_len = *std::max_element(lengths.begin(), lengths.end());
+  h.counts.assign(max_len / bin_width + 1, 0);
+  for (size_t len : lengths) ++h.counts[len / bin_width];
+  return h;
+}
+
+Preprocessor::Preprocessor(PreprocessOptions options) : options_(options) {}
+
+namespace {
+
+std::vector<size_t> TaggedLengths(const std::vector<Recipe>& corpus) {
+  std::vector<size_t> lengths;
+  lengths.reserve(corpus.size());
+  for (const Recipe& r : corpus) lengths.push_back(r.TaggedLength());
+  return lengths;
+}
+
+/// Truncates trailing instructions (never below one) until the tagged form
+/// fits in max_chars.
+bool ClampToLength(Recipe* r, size_t max_chars) {
+  bool changed = false;
+  while (r->TaggedLength() > max_chars && r->instructions.size() > 1) {
+    r->instructions.pop_back();
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::vector<Recipe> Preprocessor::Run(const std::vector<Recipe>& corpus,
+                                      PreprocessStats* stats) const {
+  PreprocessStats local;
+  PreprocessStats* st = stats != nullptr ? stats : &local;
+  *st = PreprocessStats{};
+  st->input_count = static_cast<int>(corpus.size());
+
+  std::vector<size_t> lengths_before = TaggedLengths(corpus);
+  st->before = ComputeLengthStats(lengths_before);
+  st->coverage_2sigma_before =
+      st->before.CoverageWithin(2.0, lengths_before);
+
+  // Pass 1: drop incomplete and redundant records.
+  std::vector<Recipe> work;
+  work.reserve(corpus.size());
+  std::unordered_set<std::string> seen;
+  for (const Recipe& r : corpus) {
+    if (options_.drop_incomplete && !r.IsComplete()) {
+      ++st->removed_incomplete;
+      continue;
+    }
+    if (options_.drop_duplicates) {
+      auto [it, inserted] = seen.insert(r.ToTaggedString());
+      (void)it;
+      if (!inserted) {
+        ++st->removed_duplicates;
+        continue;
+      }
+    }
+    work.push_back(r);
+  }
+
+  // Pass 2: merge the short tail into near-mean-length records.
+  if (options_.merge_short && !work.empty()) {
+    std::vector<size_t> lens = TaggedLengths(work);
+    LengthStats cur = ComputeLengthStats(lens);
+    const double threshold =
+        std::max(cur.mean - options_.merge_sigma * cur.stddev,
+                 options_.merge_floor_frac * cur.mean);
+    std::vector<Recipe> merged;
+    merged.reserve(work.size());
+    Recipe* open = nullptr;  // short record currently absorbing others
+    for (size_t i = 0; i < work.size(); ++i) {
+      const bool is_short = static_cast<double>(lens[i]) < threshold;
+      if (!is_short) {
+        merged.push_back(std::move(work[i]));
+        continue;
+      }
+      if (open == nullptr) {
+        merged.push_back(std::move(work[i]));
+        open = &merged.back();
+        continue;
+      }
+      // Absorb this short recipe into the open one.
+      for (auto& line : work[i].ingredients) {
+        open->ingredients.push_back(std::move(line));
+      }
+      for (auto& step : work[i].instructions) {
+        open->instructions.push_back(std::move(step));
+      }
+      ++st->merged_short;
+      if (static_cast<double>(open->TaggedLength()) >= cur.mean - cur.stddev) {
+        open = nullptr;  // long enough now
+      }
+    }
+    work = std::move(merged);
+  }
+
+  // Pass 3: clamp overlong recipes to the hard character cap.
+  for (Recipe& r : work) {
+    if (ClampToLength(&r, options_.max_chars)) ++st->clamped;
+  }
+
+  // Pass 4: keep only the sigma band around the mean.
+  if (options_.band_sigma > 0.0 && !work.empty()) {
+    std::vector<size_t> lens = TaggedLengths(work);
+    LengthStats cur = ComputeLengthStats(lens);
+    const double lo = cur.mean - options_.band_sigma * cur.stddev;
+    const double hi = cur.mean + options_.band_sigma * cur.stddev;
+    std::vector<Recipe> kept;
+    kept.reserve(work.size());
+    for (size_t i = 0; i < work.size(); ++i) {
+      const double d = static_cast<double>(lens[i]);
+      if (d < lo || d > hi) {
+        ++st->removed_band;
+        continue;
+      }
+      kept.push_back(std::move(work[i]));
+    }
+    work = std::move(kept);
+  }
+
+  st->output_count = static_cast<int>(work.size());
+  std::vector<size_t> lengths_after = TaggedLengths(work);
+  st->after = ComputeLengthStats(lengths_after);
+  return work;
+}
+
+}  // namespace rt

@@ -1,0 +1,86 @@
+#ifndef RATATOUILLE_DATA_PREPROCESS_H_
+#define RATATOUILLE_DATA_PREPROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/recipe.h"
+
+namespace rt {
+
+/// Length statistics of a recipe corpus (tagged-string character lengths).
+struct LengthStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t min_len = 0;
+  size_t max_len = 0;
+  /// Fraction of recipes with length within mean +/- k*stddev.
+  double CoverageWithin(double k, const std::vector<size_t>& lengths) const;
+};
+
+/// Computes mean/stddev/min/max over tagged lengths.
+LengthStats ComputeLengthStats(const std::vector<size_t>& lengths);
+
+/// Histogram of lengths with fixed-width bins (for the Fig. 3 size
+/// distribution plot).
+struct LengthHistogram {
+  size_t bin_width = 0;
+  std::vector<size_t> counts;  // counts[i] covers [i*w, (i+1)*w)
+};
+LengthHistogram BuildLengthHistogram(const std::vector<size_t>& lengths,
+                                     size_t bin_width);
+
+/// Options for the preprocessing pipeline (paper Sec. III & IV-B).
+struct PreprocessOptions {
+  bool drop_incomplete = true;
+  bool drop_duplicates = true;
+  /// Merge short recipes (below mean - merge_sigma * stddev) into
+  /// near-mean-length records, as the paper does for the -3 sigma tail.
+  bool merge_short = true;
+  double merge_sigma = 3.0;
+  /// Robustness floor for the merge threshold: on small or heavy-tailed
+  /// corpora mean - 3*sigma degenerates below zero, so recipes shorter
+  /// than merge_floor_frac * mean also count as the short tail.
+  double merge_floor_frac = 0.4;
+  /// Keep only recipes within mean +/- band_sigma * stddev (~2 sigma keeps
+  /// 95.46 % of a normal distribution, the figure the paper quotes).
+  double band_sigma = 2.0;
+  /// Hard cap: recipes longer than this many tagged characters are
+  /// truncated by dropping trailing instructions ("fixing the length of
+  /// recipes to 2000 characters").
+  size_t max_chars = 2000;
+};
+
+/// Per-rule accounting of what preprocessing did.
+struct PreprocessStats {
+  int input_count = 0;
+  int removed_incomplete = 0;
+  int removed_duplicates = 0;
+  int merged_short = 0;   // records absorbed by merging
+  int removed_band = 0;   // outside the sigma band
+  int clamped = 0;        // truncated to max_chars
+  int output_count = 0;
+  LengthStats before;
+  LengthStats after;
+  double coverage_2sigma_before = 0.0;
+};
+
+/// Cleans a raw corpus: drops incomplete and duplicate records, merges the
+/// short tail, filters to the sigma band and clamps overlong recipes.
+/// Deterministic; input order is preserved for surviving records.
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessOptions options = {});
+
+  std::vector<Recipe> Run(const std::vector<Recipe>& corpus,
+                          PreprocessStats* stats) const;
+
+  const PreprocessOptions& options() const { return options_; }
+
+ private:
+  PreprocessOptions options_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_PREPROCESS_H_

@@ -1,0 +1,230 @@
+#include "data/recipe.h"
+
+#include <cctype>
+
+#include "text/special_tokens.h"
+#include "util/strings.h"
+
+namespace rt {
+
+std::string IngredientLine::Render() const {
+  std::string out;
+  if (!quantity.empty()) {
+    out += quantity;
+    out += ' ';
+  }
+  if (!unit.empty()) {
+    out += unit;
+    out += ' ';
+  }
+  out += name;
+  if (!prep.empty()) {
+    out += " , ";
+    out += prep;
+  }
+  return out;
+}
+
+bool Recipe::IsComplete() const {
+  return !title.empty() && !ingredients.empty() && !instructions.empty();
+}
+
+std::vector<std::string> Recipe::IngredientNames() const {
+  std::vector<std::string> names;
+  names.reserve(ingredients.size());
+  for (const auto& line : ingredients) names.push_back(line.name);
+  return names;
+}
+
+std::string Recipe::ToTaggedString(bool with_input) const {
+  std::string out = kRecipeStart;
+  if (with_input) {
+    out += ' ';
+    out += kInputStart;
+    const auto names = IngredientNames();
+    for (size_t i = 0; i < names.size(); ++i) {
+      out += ' ';
+      out += names[i];
+      if (i + 1 < names.size()) {
+        out += ' ';
+        out += kInputNext;
+      }
+    }
+    out += ' ';
+    out += kInputEnd;
+  }
+  out += ' ';
+  out += kIngrStart;
+  for (size_t i = 0; i < ingredients.size(); ++i) {
+    out += ' ';
+    out += ingredients[i].Render();
+    if (i + 1 < ingredients.size()) {
+      out += ' ';
+      out += kIngrNext;
+    }
+  }
+  out += ' ';
+  out += kIngrEnd;
+  out += ' ';
+  out += kInstrStart;
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    out += ' ';
+    out += instructions[i];
+    if (i + 1 < instructions.size()) {
+      out += ' ';
+      out += kInstrNext;
+    }
+  }
+  out += ' ';
+  out += kInstrEnd;
+  out += ' ';
+  out += kTitleStart;
+  out += ' ';
+  out += title;
+  out += ' ';
+  out += kTitleEnd;
+  out += ' ';
+  out += kRecipeEnd;
+  return NormalizeFractions(out);
+}
+
+std::string Recipe::PromptPrefix() const {
+  std::string out = kRecipeStart;
+  out += ' ';
+  out += kInputStart;
+  const auto names = IngredientNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    out += ' ';
+    out += names[i];
+    if (i + 1 < names.size()) {
+      out += ' ';
+      out += kInputNext;
+    }
+  }
+  out += ' ';
+  out += kInputEnd;
+  out += ' ';
+  out += kIngrStart;
+  return out;
+}
+
+std::string Recipe::ToRawString() const {
+  std::string out = title;
+  out += "\n\nIngredients:\n";
+  for (const auto& line : ingredients) {
+    out += "- ";
+    out += line.Render();
+    out += '\n';
+  }
+  out += "\n";
+  for (size_t i = 0; i < instructions.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += instructions[i];
+    out += " .";
+  }
+  out += '\n';
+  return out;
+}
+
+size_t Recipe::TaggedLength() const { return ToTaggedString().size(); }
+
+namespace {
+
+// Extracts the text between `open` and `close` tags; empty if missing.
+std::string Section(const std::string& s, const char* open,
+                    const char* close) {
+  size_t a = s.find(open);
+  if (a == std::string::npos) return "";
+  a += std::string(open).size();
+  size_t b = s.find(close, a);
+  if (b == std::string::npos) b = s.size();
+  return Trim(s.substr(a, b - a));
+}
+
+// Model output can embed stray structural tags inside a section (e.g. an
+// <INSTR_START> in the middle of an instruction from an undertrained
+// sampler). Strip them so parse(serialize(parse(x))) is stable.
+std::string StripStructuralTags(const std::string& text) {
+  std::string out = text;
+  for (const std::string& tag : StructuralTags()) {
+    out = ReplaceAll(out, tag, " ");
+  }
+  return Join(SplitWhitespace(out), " ");
+}
+
+IngredientLine ParseIngredientLine(const std::string& text) {
+  IngredientLine line;
+  // Grammar: [quantity] [unit] name [, prep]. Quantity tokens are digits
+  // or fraction literals; unit is a known-ish single word; we parse
+  // permissively since model output may be malformed.
+  std::string work = Trim(text);
+  size_t comma = work.find(" , ");
+  if (comma != std::string::npos) {
+    line.prep = Trim(work.substr(comma + 3));
+    work = Trim(work.substr(0, comma));
+  }
+  std::vector<std::string> toks = SplitWhitespace(work);
+  size_t i = 0;
+  auto is_quantityish = [](const std::string& t) {
+    if (t.empty()) return false;
+    for (char c : t) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '/') {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::string qty;
+  while (i < toks.size() && is_quantityish(toks[i])) {
+    if (!qty.empty()) qty += ' ';
+    qty += toks[i];
+    ++i;
+  }
+  line.quantity = qty;
+  // Heuristic: if at least two tokens remain, the first is the unit.
+  if (toks.size() - i >= 2 && !qty.empty()) {
+    line.unit = toks[i];
+    ++i;
+  }
+  std::string name;
+  for (; i < toks.size(); ++i) {
+    if (!name.empty()) name += ' ';
+    name += toks[i];
+  }
+  line.name = name;
+  return line;
+}
+
+}  // namespace
+
+StatusOr<Recipe> ParseTaggedRecipe(const std::string& tagged) {
+  const std::string s = DenormalizeFractions(tagged);
+  if (s.find(kIngrStart) == std::string::npos &&
+      s.find(kInstrStart) == std::string::npos &&
+      s.find(kTitleStart) == std::string::npos) {
+    return Status::InvalidArgument("no recipe tags found");
+  }
+  Recipe r;
+  r.title = StripStructuralTags(Section(s, kTitleStart, kTitleEnd));
+  const std::string ingr = Section(s, kIngrStart, kIngrEnd);
+  if (!ingr.empty()) {
+    for (const std::string& piece : Split(ReplaceAll(ingr, kIngrNext, "\x01"),
+                                          '\x01')) {
+      std::string trimmed = StripStructuralTags(Trim(piece));
+      if (!trimmed.empty()) {
+        r.ingredients.push_back(ParseIngredientLine(trimmed));
+      }
+    }
+  }
+  const std::string instr = Section(s, kInstrStart, kInstrEnd);
+  if (!instr.empty()) {
+    for (const std::string& piece :
+         Split(ReplaceAll(instr, kInstrNext, "\x01"), '\x01')) {
+      std::string trimmed = StripStructuralTags(Trim(piece));
+      if (!trimmed.empty()) r.instructions.push_back(trimmed);
+    }
+  }
+  return r;
+}
+
+}  // namespace rt

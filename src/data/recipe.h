@@ -1,0 +1,75 @@
+#ifndef RATATOUILLE_DATA_RECIPE_H_
+#define RATATOUILLE_DATA_RECIPE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rt {
+
+/// One quantified ingredient line, e.g. "1/2 cup tomato , chopped".
+struct IngredientLine {
+  std::string quantity;  // "2", "1/2", "1 1/2", may be empty
+  std::string unit;      // "cup", "tsp", ... may be empty
+  std::string name;      // "tomato"
+  std::string prep;      // "chopped", may be empty
+
+  /// Rendered line: "<quantity> <unit> <name> , <prep>".
+  std::string Render() const;
+
+  bool operator==(const IngredientLine&) const = default;
+};
+
+/// A structured recipe record mirroring RecipeDB's schema: title, cuisine
+/// metadata (continent/region/country), quantified ingredients and
+/// step-by-step instructions (paper Sec. III).
+struct Recipe {
+  long long id = 0;
+  std::string title;
+  std::string continent;
+  std::string region;
+  std::string country;
+  std::vector<IngredientLine> ingredients;
+  std::vector<std::string> instructions;
+
+  /// True when the record has a title, at least one ingredient and at
+  /// least one instruction (the preprocessor drops incomplete records).
+  bool IsComplete() const;
+
+  /// Bare ingredient names in order.
+  std::vector<std::string> IngredientNames() const;
+
+  /// Serializes to the tagged training format (paper Fig. 2/3):
+  ///   <RECIPE_START> <INPUT_START> a <INPUT_NEXT> b <INPUT_END>
+  ///   <INGR_START> ... <INGR_END> <INSTR_START> ... <INSTR_END>
+  ///   <TITLE_START> ... <TITLE_END> <RECIPE_END>
+  /// Fractions are replaced by special tokens. When `with_input` is false
+  /// the <INPUT_*> section (the user's ingredient-list prompt) is omitted.
+  std::string ToTaggedString(bool with_input = true) const;
+
+  /// The conditional-generation prompt prefix: everything up to and
+  /// including <INGR_START> (ingredient names only, no quantities).
+  std::string PromptPrefix() const;
+
+  /// Free-text form resembling the raw scraped dataset before
+  /// preprocessing (paper Fig. 1): title line, "Ingredients:" block and a
+  /// running instruction paragraph.
+  std::string ToRawString() const;
+
+  /// Character length of the tagged form (the 2000-char clamp and the
+  /// size-distribution statistics operate on this).
+  size_t TaggedLength() const;
+
+  bool operator==(const Recipe&) const = default;
+};
+
+/// Parses a tagged string (as produced by ToTaggedString or by a model's
+/// sampler) back into a structured Recipe. Unknown/missing sections yield
+/// empty fields rather than errors; a string with no recognizable tags
+/// returns InvalidArgument.
+StatusOr<Recipe> ParseTaggedRecipe(const std::string& tagged);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_RECIPE_H_

@@ -1,0 +1,113 @@
+#include "data/recipe_io.h"
+
+#include <fstream>
+
+namespace rt {
+
+Json RecipeToJsonRecord(const Recipe& recipe) {
+  Json out{Json::Object{}};
+  out.Set("id", static_cast<double>(recipe.id));
+  out.Set("title", recipe.title);
+  out.Set("continent", recipe.continent);
+  out.Set("region", recipe.region);
+  out.Set("country", recipe.country);
+  Json ingredients{Json::Array{}};
+  for (const auto& line : recipe.ingredients) {
+    Json item{Json::Object{}};
+    item.Set("quantity", line.quantity);
+    item.Set("unit", line.unit);
+    item.Set("name", line.name);
+    item.Set("prep", line.prep);
+    ingredients.Append(std::move(item));
+  }
+  out.Set("ingredients", std::move(ingredients));
+  Json instructions{Json::Array{}};
+  for (const auto& step : recipe.instructions) instructions.Append(step);
+  out.Set("instructions", std::move(instructions));
+  return out;
+}
+
+StatusOr<Recipe> RecipeFromJsonRecord(const Json& record) {
+  if (!record.is_object()) {
+    return Status::InvalidArgument("recipe record must be an object");
+  }
+  Recipe r;
+  if (record.Get("id").is_number()) {
+    r.id = static_cast<long long>(record.Get("id").AsNumber());
+  }
+  auto str_field = [&](const char* key) {
+    const Json& v = record.Get(key);
+    return v.is_string() ? v.AsString() : std::string();
+  };
+  r.title = str_field("title");
+  r.continent = str_field("continent");
+  r.region = str_field("region");
+  r.country = str_field("country");
+  const Json& ingredients = record.Get("ingredients");
+  if (ingredients.is_array()) {
+    for (const Json& item : ingredients.AsArray()) {
+      if (!item.is_object()) {
+        return Status::InvalidArgument("ingredient must be an object");
+      }
+      IngredientLine line;
+      auto get = [&](const char* key) {
+        const Json& v = item.Get(key);
+        return v.is_string() ? v.AsString() : std::string();
+      };
+      line.quantity = get("quantity");
+      line.unit = get("unit");
+      line.name = get("name");
+      line.prep = get("prep");
+      r.ingredients.push_back(std::move(line));
+    }
+  }
+  const Json& instructions = record.Get("instructions");
+  if (instructions.is_array()) {
+    for (const Json& step : instructions.AsArray()) {
+      if (!step.is_string()) {
+        return Status::InvalidArgument("instruction must be a string");
+      }
+      r.instructions.push_back(step.AsString());
+    }
+  }
+  return r;
+}
+
+Status SaveRecipesJsonl(const std::vector<Recipe>& recipes,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const Recipe& r : recipes) {
+    out << RecipeToJsonRecord(r).Dump() << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<Recipe>> LoadRecipesJsonl(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<Recipe> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto doc = Json::Parse(line);
+    if (!doc.ok()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": " +
+          doc.status().message());
+    }
+    auto recipe = RecipeFromJsonRecord(*doc);
+    if (!recipe.ok()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": " +
+          recipe.status().message());
+    }
+    out.push_back(std::move(*recipe));
+  }
+  return out;
+}
+
+}  // namespace rt

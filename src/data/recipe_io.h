@@ -1,0 +1,30 @@
+#ifndef RATATOUILLE_DATA_RECIPE_IO_H_
+#define RATATOUILLE_DATA_RECIPE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace rt {
+
+/// JSON round-trip for one recipe record (the export schema mirrors
+/// RecipeDB's fields: title, cuisine hierarchy, quantified ingredients,
+/// instructions).
+Json RecipeToJsonRecord(const Recipe& recipe);
+StatusOr<Recipe> RecipeFromJsonRecord(const Json& record);
+
+/// Writes a corpus as JSON-Lines (one recipe object per line), the
+/// interchange format recipe datasets ship in (RecipeNLG, Recipe1M+).
+Status SaveRecipesJsonl(const std::vector<Recipe>& recipes,
+                        const std::string& path);
+
+/// Reads a JSONL corpus back. Fails on the first malformed line with its
+/// line number in the message.
+StatusOr<std::vector<Recipe>> LoadRecipesJsonl(const std::string& path);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_DATA_RECIPE_IO_H_

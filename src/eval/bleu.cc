@@ -1,0 +1,156 @@
+#include "eval/bleu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+using NgramCounts = std::map<std::vector<std::string>, long long>;
+
+NgramCounts CountNgrams(const std::vector<std::string>& tokens, int n) {
+  NgramCounts counts;
+  if (static_cast<int>(tokens.size()) < n) return counts;
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::vector<std::string> gram(tokens.begin() + i,
+                                  tokens.begin() + i + n);
+    ++counts[std::move(gram)];
+  }
+  return counts;
+}
+
+/// Clipped match count for order n of one candidate against references.
+struct MatchStats {
+  long long matches = 0;
+  long long total = 0;
+};
+
+MatchStats MatchesForOrder(
+    const std::vector<std::string>& candidate,
+    const std::vector<std::vector<std::string>>& references, int n) {
+  MatchStats stats;
+  NgramCounts cand = CountNgrams(candidate, n);
+  // Max reference count per n-gram (multi-reference clipping).
+  NgramCounts max_ref;
+  for (const auto& ref : references) {
+    NgramCounts rc = CountNgrams(ref, n);
+    for (const auto& [gram, count] : rc) {
+      auto it = max_ref.find(gram);
+      if (it == max_ref.end()) {
+        max_ref.emplace(gram, count);
+      } else {
+        it->second = std::max(it->second, count);
+      }
+    }
+  }
+  for (const auto& [gram, count] : cand) {
+    stats.total += count;
+    auto it = max_ref.find(gram);
+    if (it != max_ref.end()) {
+      stats.matches += std::min(count, it->second);
+    }
+  }
+  return stats;
+}
+
+/// Reference length closest to the candidate length (ties -> shorter).
+long long ClosestRefLength(
+    size_t cand_len,
+    const std::vector<std::vector<std::string>>& references) {
+  long long best = 0;
+  long long best_dist = -1;
+  for (const auto& ref : references) {
+    long long len = static_cast<long long>(ref.size());
+    long long dist =
+        std::llabs(len - static_cast<long long>(cand_len));
+    if (best_dist < 0 || dist < best_dist ||
+        (dist == best_dist && len < best)) {
+      best = len;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+double BleuFromStats(const std::vector<MatchStats>& per_order,
+                     long long cand_len, long long ref_len,
+                     const BleuOptions& options) {
+  if (cand_len == 0) return 0.0;
+  double log_precision_sum = 0.0;
+  int orders = 0;
+  for (const MatchStats& s : per_order) {
+    if (s.total == 0) continue;  // candidate shorter than n
+    double matches = static_cast<double>(s.matches);
+    if (matches == 0.0) matches = options.smoothing_epsilon;
+    log_precision_sum += std::log(matches / s.total);
+    ++orders;
+  }
+  if (orders == 0) return 0.0;
+  const double geo_mean = std::exp(log_precision_sum / orders);
+  double brevity = 1.0;
+  if (cand_len < ref_len) {
+    brevity = std::exp(1.0 - static_cast<double>(ref_len) / cand_len);
+  }
+  return brevity * geo_mean;
+}
+
+}  // namespace
+
+double SentenceBleu(const std::vector<std::string>& candidate,
+                    const std::vector<std::vector<std::string>>& references,
+                    const BleuOptions& options) {
+  assert(!references.empty());
+  std::vector<MatchStats> per_order;
+  for (int n = 1; n <= options.max_n; ++n) {
+    per_order.push_back(MatchesForOrder(candidate, references, n));
+  }
+  return BleuFromStats(per_order, static_cast<long long>(candidate.size()),
+                       ClosestRefLength(candidate.size(), references),
+                       options);
+}
+
+double CorpusBleu(
+    const std::vector<std::vector<std::string>>& candidates,
+    const std::vector<std::vector<std::vector<std::string>>>& references,
+    const BleuOptions& options) {
+  assert(candidates.size() == references.size());
+  std::vector<MatchStats> pooled(options.max_n);
+  long long cand_len = 0;
+  long long ref_len = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (int n = 1; n <= options.max_n; ++n) {
+      MatchStats s = MatchesForOrder(candidates[i], references[i], n);
+      pooled[n - 1].matches += s.matches;
+      pooled[n - 1].total += s.total;
+    }
+    cand_len += static_cast<long long>(candidates[i].size());
+    ref_len += ClosestRefLength(candidates[i].size(), references[i]);
+  }
+  return BleuFromStats(pooled, cand_len, ref_len, options);
+}
+
+double SentenceBleu(const std::string& candidate,
+                    const std::string& reference,
+                    const BleuOptions& options) {
+  return SentenceBleu(SplitWhitespace(candidate),
+                      {SplitWhitespace(reference)}, options);
+}
+
+double CorpusBleu(const std::vector<std::string>& candidates,
+                  const std::vector<std::string>& references,
+                  const BleuOptions& options) {
+  assert(candidates.size() == references.size());
+  std::vector<std::vector<std::string>> cands;
+  std::vector<std::vector<std::vector<std::string>>> refs;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    cands.push_back(SplitWhitespace(candidates[i]));
+    refs.push_back({SplitWhitespace(references[i])});
+  }
+  return CorpusBleu(cands, refs, options);
+}
+
+}  // namespace rt

@@ -1,0 +1,44 @@
+#ifndef RATATOUILLE_EVAL_BLEU_H_
+#define RATATOUILLE_EVAL_BLEU_H_
+
+#include <string>
+#include <vector>
+
+namespace rt {
+
+/// BLEU options (Papineni et al., 2002).
+struct BleuOptions {
+  /// Highest n-gram order (BLEU-4 default).
+  int max_n = 4;
+  /// Add-epsilon smoothing applied to zero n-gram matches so short or
+  /// imperfect candidates get a finite score (NLTK "method 1" style).
+  double smoothing_epsilon = 0.1;
+};
+
+/// Sentence BLEU of a candidate token sequence against one or more
+/// references: geometric mean of modified n-gram precisions times the
+/// brevity penalty. Returns a value in [0, 1].
+double SentenceBleu(const std::vector<std::string>& candidate,
+                    const std::vector<std::vector<std::string>>& references,
+                    const BleuOptions& options = {});
+
+/// Corpus BLEU: n-gram statistics are pooled over all candidate/reference
+/// pairs before the geometric mean (the standard corpus-level definition,
+/// not an average of sentence scores). candidates[i] is scored against
+/// references[i].
+double CorpusBleu(
+    const std::vector<std::vector<std::string>>& candidates,
+    const std::vector<std::vector<std::vector<std::string>>>& references,
+    const BleuOptions& options = {});
+
+/// Whitespace-tokenizing convenience wrappers.
+double SentenceBleu(const std::string& candidate,
+                    const std::string& reference,
+                    const BleuOptions& options = {});
+double CorpusBleu(const std::vector<std::string>& candidates,
+                  const std::vector<std::string>& references,
+                  const BleuOptions& options = {});
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_EVAL_BLEU_H_

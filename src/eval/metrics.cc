@@ -1,0 +1,163 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "text/special_tokens.h"
+#include "util/strings.h"
+
+namespace rt {
+
+double PerplexityFromLoss(double mean_loss) { return std::exp(mean_loss); }
+
+double DistinctN(const std::vector<std::string>& texts, int n) {
+  std::set<std::vector<std::string>> unique;
+  long long total = 0;
+  for (const std::string& text : texts) {
+    std::vector<std::string> tokens = SplitWhitespace(text);
+    if (static_cast<int>(tokens.size()) < n) continue;
+    for (size_t i = 0; i + n <= tokens.size(); ++i) {
+      unique.insert(std::vector<std::string>(tokens.begin() + i,
+                                             tokens.begin() + i + n));
+      ++total;
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(unique.size()) / static_cast<double>(total);
+}
+
+namespace {
+
+std::string NormalizeWhitespace(const std::string& s) {
+  return Join(SplitWhitespace(s), " ");
+}
+
+}  // namespace
+
+double NoveltyRate(const std::vector<std::string>& generated,
+                   const std::vector<std::string>& training_corpus) {
+  if (generated.empty()) return 0.0;
+  std::unordered_set<std::string> train;
+  for (const std::string& doc : training_corpus) {
+    train.insert(NormalizeWhitespace(doc));
+  }
+  int novel = 0;
+  for (const std::string& doc : generated) {
+    if (!train.count(NormalizeWhitespace(doc))) ++novel;
+  }
+  return static_cast<double>(novel) / generated.size();
+}
+
+double IngredientCoverage(
+    const Recipe& generated,
+    const std::vector<std::string>& prompt_ingredients) {
+  if (prompt_ingredients.empty()) return 1.0;
+  std::string haystack;
+  for (const auto& line : generated.ingredients) {
+    haystack += line.name + " ";
+  }
+  for (const auto& step : generated.instructions) haystack += step + " ";
+  int covered = 0;
+  for (const std::string& ing : prompt_ingredients) {
+    if (haystack.find(ing) != std::string::npos) ++covered;
+  }
+  return static_cast<double>(covered) / prompt_ingredients.size();
+}
+
+bool IsWellFormedQuantity(const std::string& q) {
+  if (q.empty()) return false;
+  // Grammar: INT | FRAC | INT " " FRAC, where FRAC = INT "/" INT.
+  auto is_int = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  auto is_frac = [&](const std::string& s) {
+    size_t slash = s.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 == s.size()) {
+      return false;
+    }
+    const std::string denom = s.substr(slash + 1);
+    return is_int(s.substr(0, slash)) && is_int(denom) && denom != "0";
+  };
+  std::vector<std::string> parts = SplitWhitespace(q);
+  if (parts.size() == 1) return is_int(parts[0]) || is_frac(parts[0]);
+  if (parts.size() == 2) return is_int(parts[0]) && is_frac(parts[1]);
+  return false;
+}
+
+double StructuralValidity(const std::string& tagged) {
+  // Free text with no tags at all scores 0 outright (the balanced check
+  // below passes vacuously otherwise).
+  bool any_tag = false;
+  for (const auto& tag : StructuralTags()) {
+    any_tag = any_tag || tagged.find(tag) != std::string::npos;
+  }
+  if (!any_tag) return 0.0;
+
+  int checks = 0;
+  int passed = 0;
+  auto check = [&](bool ok) {
+    ++checks;
+    if (ok) ++passed;
+  };
+  auto pos_of = [&](const char* tag) { return tagged.find(tag); };
+  auto section_nonempty = [&](const char* open, const char* close) {
+    const size_t a = pos_of(open);
+    const size_t b = pos_of(close);
+    if (a == std::string::npos || b == std::string::npos || b <= a) {
+      return false;
+    }
+    const size_t start = a + std::string(open).size();
+    return !Trim(tagged.substr(start, b - start)).empty();
+  };
+
+  // Delimiters.
+  check(pos_of(kRecipeStart) != std::string::npos);
+  check(pos_of(kRecipeEnd) != std::string::npos);
+  // Sections present with content.
+  check(section_nonempty(kIngrStart, kIngrEnd));
+  check(section_nonempty(kInstrStart, kInstrEnd));
+  check(section_nonempty(kTitleStart, kTitleEnd));
+  // Canonical order: INGR < INSTR < TITLE.
+  {
+    const size_t ingr = pos_of(kIngrStart);
+    const size_t instr = pos_of(kInstrStart);
+    const size_t title = pos_of(kTitleStart);
+    check(ingr != std::string::npos && instr != std::string::npos &&
+          title != std::string::npos && ingr < instr && instr < title);
+  }
+  // No dangling start tags: every *_START has its *_END afterwards.
+  {
+    bool balanced = true;
+    const std::pair<const char*, const char*> pairs[] = {
+        {kRecipeStart, kRecipeEnd}, {kIngrStart, kIngrEnd},
+        {kInstrStart, kInstrEnd},   {kTitleStart, kTitleEnd},
+        {kInputStart, kInputEnd},
+    };
+    for (const auto& [open, close] : pairs) {
+      const size_t a = pos_of(open);
+      if (a == std::string::npos) continue;  // absent is fine
+      const size_t b = tagged.find(close, a);
+      balanced = balanced && b != std::string::npos;
+    }
+    check(balanced);
+  }
+  return checks == 0 ? 0.0
+                     : static_cast<double>(passed) /
+                           static_cast<double>(checks);
+}
+
+double QuantityWellFormedness(const Recipe& recipe) {
+  if (recipe.ingredients.empty()) return 0.0;
+  int good = 0;
+  for (const auto& line : recipe.ingredients) {
+    if (IsWellFormedQuantity(line.quantity)) ++good;
+  }
+  return static_cast<double>(good) / recipe.ingredients.size();
+}
+
+}  // namespace rt

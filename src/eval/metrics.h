@@ -1,0 +1,49 @@
+#ifndef RATATOUILLE_EVAL_METRICS_H_
+#define RATATOUILLE_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+
+namespace rt {
+
+/// Perplexity from a mean next-token cross-entropy (nats).
+double PerplexityFromLoss(double mean_loss);
+
+/// Distinct-n diversity: number of unique n-grams across all texts
+/// divided by the total n-gram count (Li et al., 2016). Returns 0 when no
+/// n-grams exist.
+double DistinctN(const std::vector<std::string>& texts, int n);
+
+/// Fraction of generated texts that do NOT appear verbatim in the
+/// training corpus ("novel" recipes). Both sides are compared after
+/// whitespace normalization.
+double NoveltyRate(const std::vector<std::string>& generated,
+                   const std::vector<std::string>& training_corpus);
+
+/// Fraction of the prompt ingredients that appear in the generated
+/// recipe's ingredient list or instructions (did the model respect the
+/// user's input?).
+double IngredientCoverage(const Recipe& generated,
+                          const std::vector<std::string>& prompt_ingredients);
+
+/// Fraction of a recipe's ingredient lines whose quantity parses as a
+/// number, fraction or mixed number ("2", "1/2", "1 1/2"). The paper
+/// claims quantity awareness as its contribution over prior work; this is
+/// the metric the ablation uses.
+double QuantityWellFormedness(const Recipe& recipe);
+
+/// True if `q` is a well-formed quantity string.
+bool IsWellFormedQuantity(const std::string& q);
+
+/// Structural validity of a tagged generation in [0, 1]: one point per
+/// satisfied check (recipe delimiters present, ingredient/instruction/
+/// title sections present and non-empty, sections in canonical order,
+/// no dangling start tags), averaged. A perfectly formed recipe scores
+/// 1; free text scores 0.
+double StructuralValidity(const std::string& tagged);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_EVAL_METRICS_H_

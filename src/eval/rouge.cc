@@ -1,0 +1,49 @@
+#include "eval/rouge.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace rt {
+
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0;
+  // Keep the DP row over the shorter sequence.
+  const auto& rows = a.size() >= b.size() ? a : b;
+  const auto& cols = a.size() >= b.size() ? b : a;
+  std::vector<size_t> prev(cols.size() + 1, 0);
+  std::vector<size_t> cur(cols.size() + 1, 0);
+  for (size_t i = 1; i <= rows.size(); ++i) {
+    for (size_t j = 1; j <= cols.size(); ++j) {
+      if (rows[i - 1] == cols[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[cols.size()];
+}
+
+RougeLScore RougeL(const std::vector<std::string>& candidate,
+                   const std::vector<std::string>& reference) {
+  RougeLScore score;
+  if (candidate.empty() || reference.empty()) return score;
+  const double lcs = static_cast<double>(LcsLength(candidate, reference));
+  score.recall = lcs / reference.size();
+  score.precision = lcs / candidate.size();
+  if (score.recall + score.precision > 0.0) {
+    score.f1 = 2.0 * score.recall * score.precision /
+               (score.recall + score.precision);
+  }
+  return score;
+}
+
+RougeLScore RougeL(const std::string& candidate,
+                   const std::string& reference) {
+  return RougeL(SplitWhitespace(candidate), SplitWhitespace(reference));
+}
+
+}  // namespace rt

@@ -1,0 +1,34 @@
+#ifndef RATATOUILLE_EVAL_ROUGE_H_
+#define RATATOUILLE_EVAL_ROUGE_H_
+
+#include <string>
+#include <vector>
+
+namespace rt {
+
+/// ROUGE-L scores (Lin, 2004): longest-common-subsequence based recall,
+/// precision and F-measure between a candidate and a reference token
+/// sequence. Complements BLEU in the evaluation suite: BLEU is
+/// precision-oriented, ROUGE-L rewards covering the reference in order.
+struct RougeLScore {
+  double recall = 0.0;
+  double precision = 0.0;
+  double f1 = 0.0;
+};
+
+/// Token-level ROUGE-L. Either side may be empty (score 0).
+RougeLScore RougeL(const std::vector<std::string>& candidate,
+                   const std::vector<std::string>& reference);
+
+/// Whitespace-tokenizing convenience wrapper.
+RougeLScore RougeL(const std::string& candidate,
+                   const std::string& reference);
+
+/// Length of the longest common subsequence of two token sequences
+/// (O(len(a) * len(b)) time, O(min) space).
+size_t LcsLength(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_EVAL_ROUGE_H_

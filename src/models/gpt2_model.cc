@@ -1,0 +1,306 @@
+#include "models/gpt2_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace rt {
+
+Gpt2Config Gpt2Config::Distil(int vocab_size) {
+  Gpt2Config c;
+  c.vocab_size = vocab_size;
+  c.dim = 48;
+  c.num_layers = 2;
+  c.num_heads = 3;
+  c.max_seq_len = 256;
+  c.name = "distilgpt2";
+  return c;
+}
+
+Gpt2Config Gpt2Config::Medium(int vocab_size) {
+  Gpt2Config c;
+  c.vocab_size = vocab_size;
+  c.dim = 128;
+  c.num_layers = 4;
+  c.num_heads = 4;
+  c.max_seq_len = 256;
+  c.name = "gpt2-medium";
+  return c;
+}
+
+Gpt2Config Gpt2Config::Deep(int vocab_size) {
+  Gpt2Config c;
+  c.vocab_size = vocab_size;
+  c.dim = 128;
+  c.num_layers = 8;
+  c.num_heads = 8;
+  c.max_seq_len = 256;
+  c.name = "gpt-deep";
+  return c;
+}
+
+Gpt2Lm::Root::Root(const Gpt2Config& config, Rng* rng)
+    : tok(config.vocab_size, config.dim, rng),
+      pos(config.max_seq_len, config.dim, rng),
+      ln_f(config.dim) {
+  RegisterModule("tok", &tok);
+  RegisterModule("pos", &pos);
+  for (int l = 0; l < config.num_layers; ++l) {
+    blocks.push_back(std::make_unique<TransformerBlock>(
+        config.dim, config.num_heads, config.dropout, rng));
+    RegisterModule("block" + std::to_string(l), blocks.back().get());
+  }
+  RegisterModule("ln_f", &ln_f);
+}
+
+Gpt2Lm::Gpt2Lm(const Gpt2Config& config)
+    : config_(config),
+      init_rng_(config.init_seed),
+      root_(config_, &init_rng_) {
+  assert(config_.vocab_size > 0);
+  assert(config_.dim % config_.num_heads == 0);
+}
+
+float Gpt2Lm::RunBatch(const Batch& batch, bool training,
+                       Rng* dropout_rng) {
+  const int b = batch.batch_size;
+  const int t_len = batch.seq_len;
+  assert(t_len <= config_.max_seq_len);
+  Tape tape;
+  // ids and positions flattened batch-major: row index = i*T + t.
+  std::vector<int> positions(static_cast<size_t>(b) * t_len);
+  for (int i = 0; i < b; ++i) {
+    for (int t = 0; t < t_len; ++t) {
+      positions[static_cast<size_t>(i) * t_len + t] = t;
+    }
+  }
+  VarId x = tape.Add(root_.tok.Forward(&tape, batch.inputs),
+                     root_.pos.Forward(&tape, positions));
+  x = tape.Dropout(x, config_.dropout, dropout_rng, training);
+  for (const auto& block : root_.blocks) {
+    x = block->Forward(&tape, x, b, t_len, dropout_rng, training);
+  }
+  x = root_.ln_f.Forward(&tape, x);
+  // Weight-tied head: logits = x @ tok_table^T.
+  VarId table = tape.Leaf(root_.tok.table()->value,
+                          &root_.tok.table()->grad);
+  VarId logits = tape.MatMulTransB(x, table);
+  VarId loss =
+      tape.CrossEntropy(logits, batch.targets, batch.ignore_index);
+  const float loss_value = tape.value(loss).item();
+  if (training) tape.Backward(loss);
+  return loss_value;
+}
+
+float Gpt2Lm::TrainStep(const Batch& batch, Rng* dropout_rng) {
+  return RunBatch(batch, /*training=*/true, dropout_rng);
+}
+
+float Gpt2Lm::EvalLoss(const Batch& batch) {
+  Rng unused(0);
+  return RunBatch(batch, /*training=*/false, &unused);
+}
+
+Tensor Gpt2Lm::ForwardLogitsRaw(const std::vector<int>& ids) const {
+  assert(!ids.empty());
+  const int n = static_cast<int>(ids.size());
+  assert(n <= config_.max_seq_len);
+  std::vector<int> positions(n);
+  for (int t = 0; t < n; ++t) positions[t] = t;
+  Tensor x = ops::Add(ops::EmbeddingGather(root_.tok.table()->value, ids),
+                      ops::EmbeddingGather(root_.pos.table()->value,
+                                           positions));
+  for (const auto& block : root_.blocks) {
+    x = block->ForwardRaw(x, n);
+  }
+  x = root_.ln_f.ForwardRaw(x);
+  return ops::MatMulTransB(x, root_.tok.table()->value);
+}
+
+Tensor Gpt2Lm::StepWithCache(int token, KvCache* cache) const {
+  const int pos = cache->len;
+  assert(pos < config_.max_seq_len);
+  Tensor x = ops::Add(
+      ops::EmbeddingGather(root_.tok.table()->value, {token}),
+      ops::EmbeddingGather(root_.pos.table()->value, {pos}));
+  for (size_t l = 0; l < root_.blocks.size(); ++l) {
+    x = root_.blocks[l]->StepRaw(x, &cache->keys[l], &cache->values[l],
+                                 pos);
+  }
+  x = root_.ln_f.ForwardRaw(x);
+  ++cache->len;
+  return ops::MatMulTransB(x, root_.tok.table()->value);
+}
+
+std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
+                                       const BeamOptions& options) const {
+  assert(!prompt.empty());
+  assert(options.beam_width >= 1);
+
+  struct Beam {
+    KvCache cache;
+    std::vector<int> tokens;  // generated so far
+    double log_prob = 0.0;
+    Tensor logits;  // logits after the last processed token
+    bool finished = false;
+  };
+  auto norm_score = [&](const Beam& b) {
+    const double len = std::max<size_t>(b.tokens.size(), 1);
+    return options.length_penalty > 0.0f
+               ? b.log_prob / std::pow(len, options.length_penalty)
+               : b.log_prob;
+  };
+
+  // Seed beam: run the prompt once.
+  Beam seed;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    seed.cache.keys.push_back(Tensor({config_.max_seq_len, config_.dim}));
+    seed.cache.values.push_back(Tensor({config_.max_seq_len, config_.dim}));
+  }
+  for (int id : prompt) {
+    if (seed.cache.len >= config_.max_seq_len) break;
+    seed.logits = StepWithCache(id, &seed.cache);
+  }
+  std::vector<Beam> beams;
+  beams.push_back(std::move(seed));
+
+  for (int step = 0; step < options.max_new_tokens; ++step) {
+    struct Candidate {
+      size_t beam_index;
+      int token;
+      double log_prob;
+    };
+    std::vector<Candidate> candidates;
+    bool any_alive = false;
+    for (size_t bi = 0; bi < beams.size(); ++bi) {
+      Beam& beam = beams[bi];
+      if (beam.finished || beam.cache.len >= config_.max_seq_len) {
+        beam.finished = true;
+        continue;
+      }
+      any_alive = true;
+      const Tensor lp = ops::LogSoftmaxRows(
+          beam.logits.Reshaped({1, static_cast<int>(beam.logits.numel())}));
+      // Top beam_width continuations of this beam.
+      std::vector<int> order(lp.numel());
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int>(i);
+      }
+      const int keep =
+          std::min<int>(options.beam_width, static_cast<int>(order.size()));
+      std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                        [&](int a, int b) { return lp[a] > lp[b]; });
+      for (int k = 0; k < keep; ++k) {
+        candidates.push_back(
+            {bi, order[k], beams[bi].log_prob + lp[order[k]]});
+      }
+    }
+    if (!any_alive) break;
+
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.log_prob > b.log_prob;
+                     });
+    const size_t expand = std::min<size_t>(
+        candidates.size(), static_cast<size_t>(options.beam_width));
+
+    std::vector<Beam> next;
+    // Finished beams survive as-is, competing on normalized score.
+    for (Beam& beam : beams) {
+      if (beam.finished) next.push_back(std::move(beam));
+    }
+    for (size_t c = 0; c < expand; ++c) {
+      const Candidate& cand = candidates[c];
+      Beam child;
+      child.cache = beams[cand.beam_index].cache;  // deep copy
+      child.tokens = beams[cand.beam_index].tokens;
+      child.tokens.push_back(cand.token);
+      child.log_prob = cand.log_prob;
+      if (cand.token == options.stop_token ||
+          child.cache.len >= config_.max_seq_len) {
+        child.finished = true;
+      } else {
+        child.logits = StepWithCache(cand.token, &child.cache);
+      }
+      next.push_back(std::move(child));
+    }
+    // Keep the global top beams by normalized score.
+    std::stable_sort(next.begin(), next.end(),
+                     [&](const Beam& a, const Beam& b) {
+                       return norm_score(a) > norm_score(b);
+                     });
+    if (next.size() > static_cast<size_t>(options.beam_width)) {
+      next.resize(options.beam_width);
+    }
+    beams = std::move(next);
+    bool all_done = true;
+    for (const Beam& beam : beams) all_done = all_done && beam.finished;
+    if (all_done) break;
+  }
+
+  const Beam* best = &beams[0];
+  for (const Beam& beam : beams) {
+    if (norm_score(beam) > norm_score(*best)) best = &beam;
+  }
+  return best->tokens;
+}
+
+std::vector<int> Gpt2Lm::GenerateIds(const std::vector<int>& prompt,
+                                     const GenerationOptions& options) {
+  assert(!prompt.empty());
+  if (options.beam_width > 0) {
+    BeamOptions beam;
+    beam.beam_width = options.beam_width;
+    beam.max_new_tokens = options.max_new_tokens;
+    beam.stop_token = options.stop_token;
+    beam.length_penalty = options.beam_length_penalty;
+    return BeamSearchIds(prompt, beam);
+  }
+  Rng rng(options.seed);
+  std::vector<int> out;
+  out.reserve(options.max_new_tokens);
+
+  if (use_kv_cache_) {
+    KvCache cache;
+    for (int l = 0; l < config_.num_layers; ++l) {
+      cache.keys.push_back(Tensor({config_.max_seq_len, config_.dim}));
+      cache.values.push_back(Tensor({config_.max_seq_len, config_.dim}));
+    }
+    Tensor logits;
+    for (int id : prompt) {
+      if (cache.len >= config_.max_seq_len) break;
+      logits = StepWithCache(id, &cache);
+    }
+    for (int step = 0; step < options.max_new_tokens; ++step) {
+      int next = SampleFromLogits(logits, options.sampling, &rng);
+      out.push_back(next);
+      if (next == options.stop_token) break;
+      if (cache.len >= config_.max_seq_len) break;
+      logits = StepWithCache(next, &cache);
+    }
+    return out;
+  }
+
+  // Naive path: re-encode the full sequence for each new token.
+  std::vector<int> seq = prompt;
+  for (int step = 0; step < options.max_new_tokens; ++step) {
+    // Respect the context window by keeping the trailing tokens.
+    std::vector<int> window = seq;
+    if (static_cast<int>(window.size()) > config_.max_seq_len) {
+      window.assign(seq.end() - config_.max_seq_len, seq.end());
+    }
+    Tensor logits = ForwardLogitsRaw(window);
+    const int last = logits.rows() - 1;
+    int next = SampleFromLogits(
+        logits.data() + static_cast<size_t>(last) * logits.cols(),
+        logits.cols(), options.sampling, &rng);
+    out.push_back(next);
+    if (next == options.stop_token) break;
+    seq.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,118 @@
+#ifndef RATATOUILLE_MODELS_GPT2_MODEL_H_
+#define RATATOUILLE_MODELS_GPT2_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/language_model.h"
+#include "nn/layers.h"
+
+namespace rt {
+
+/// GPT-2 configuration (paper Sec. IV-B). The paper's DistilGPT2 and
+/// GPT-2-medium become two config points of the same architecture with
+/// the real models' relative capacity ordering preserved at CPU scale.
+struct Gpt2Config {
+  int vocab_size = 0;
+  int dim = 64;
+  int num_layers = 2;
+  int num_heads = 2;
+  int max_seq_len = 128;
+  float dropout = 0.1f;
+  uint64_t init_seed = 1;
+  std::string name = "gpt2";
+
+  /// Scaled-down DistilGPT2 (6 layers in the original; shallow/narrow
+  /// relative to medium here).
+  static Gpt2Config Distil(int vocab_size);
+  /// Scaled-down GPT-2 medium (24 layers/1024 dim in the original;
+  /// deeper/wider relative to distil here).
+  static Gpt2Config Medium(int vocab_size);
+  /// Deeper "GPT-Neo-style" config point (paper's named future work).
+  static Gpt2Config Deep(int vocab_size);
+};
+
+/// GPT-2-style decoder-only transformer LM: token+position embeddings,
+/// pre-LN causal self-attention blocks, final LayerNorm, and a weight-tied
+/// output head (logits = x @ token_table^T).
+///
+/// Training runs through the autograd tape; generation uses a raw
+/// inference path with a per-layer KV cache (use_kv_cache option) or a
+/// naive re-encode loop, which the latency ablation compares.
+class Gpt2Lm : public LanguageModel {
+ public:
+  explicit Gpt2Lm(const Gpt2Config& config);
+
+  std::string name() const override { return config_.name; }
+  Module* module() override { return &root_; }
+  int vocab_size() const override { return config_.vocab_size; }
+  int max_seq_len() const override { return config_.max_seq_len; }
+
+  float TrainStep(const Batch& batch, Rng* dropout_rng) override;
+  float EvalLoss(const Batch& batch) override;
+  std::vector<int> GenerateIds(const std::vector<int>& prompt,
+                               const GenerationOptions& options) override;
+
+  /// Toggles the KV-cache fast path for GenerateIds (default on). The
+  /// naive path re-encodes the whole sequence per new token.
+  void set_use_kv_cache(bool on) { use_kv_cache_ = on; }
+  bool use_kv_cache() const { return use_kv_cache_; }
+
+  const Gpt2Config& config() const { return config_; }
+
+  /// Raw (no-tape) forward of a full id sequence; returns logits [n, V].
+  /// Exposed for perplexity evaluation and tests.
+  Tensor ForwardLogitsRaw(const std::vector<int>& ids) const;
+
+  /// Beam-search decoding options.
+  struct BeamOptions {
+    int beam_width = 4;
+    int max_new_tokens = 220;
+    int stop_token = -1;
+    /// Google-NMT style length normalization exponent; 0 disables.
+    float length_penalty = 0.6f;
+  };
+
+  /// Deterministic beam-search decoding over the KV-cache path. Returns
+  /// the highest-scoring completion (new ids only, including the stop
+  /// token when emitted).
+  std::vector<int> BeamSearchIds(const std::vector<int>& prompt,
+                                 const BeamOptions& options) const;
+
+ private:
+  class Root : public Module {
+   public:
+    Root(const Gpt2Config& config, Rng* rng);
+    Embedding tok;
+    Embedding pos;
+    std::vector<std::unique_ptr<TransformerBlock>> blocks;
+    LayerNorm ln_f;
+  };
+
+  /// Per-layer cached keys/values for incremental decoding.
+  struct KvCache {
+    // Each [max_seq_len, dim]; `len` rows are valid.
+    std::vector<Tensor> keys;
+    std::vector<Tensor> values;
+    int len = 0;
+  };
+
+  float RunBatch(const Batch& batch, bool training, Rng* dropout_rng);
+
+  /// Appends one token at position `cache->len`, returns logits row [V].
+  Tensor StepWithCache(int token, KvCache* cache) const;
+
+  /// One raw block forward used by both raw paths.
+  Tensor BlockForwardRaw(const TransformerBlock& block, const Tensor& x,
+                         int seq) const;
+
+  Gpt2Config config_;
+  Rng init_rng_;
+  Root root_;
+  bool use_kv_cache_ = true;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_MODELS_GPT2_MODEL_H_

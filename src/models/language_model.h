@@ -1,0 +1,68 @@
+#ifndef RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
+#define RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/sampler.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace rt {
+
+/// Options for autoregressive generation.
+struct GenerationOptions {
+  SamplingOptions sampling;
+  int max_new_tokens = 256;
+  /// Stop when this token id is emitted (-1 = never). Callers usually set
+  /// it to the <RECIPE_END> id.
+  int stop_token = -1;
+  uint64_t seed = 0;
+  /// > 0 switches to deterministic beam search where the model supports
+  /// it (the GPT-2 family); sampling options are then ignored.
+  int beam_width = 0;
+  /// Length-normalization exponent for beam search.
+  float beam_length_penalty = 0.6f;
+};
+
+/// Common interface of the paper's models (char-LSTM, word-LSTM, GPT-2
+/// variants). Models are token-level: pairing with a tokenizer happens one
+/// layer up (rt::Pipeline). All methods are deterministic given seeds.
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  /// Short id, e.g. "char-lstm", "gpt2-medium".
+  virtual std::string name() const = 0;
+
+  /// The underlying parameter tree (for optimizers and checkpoints).
+  virtual Module* module() = 0;
+
+  /// Runs forward+backward on one batch, leaving gradients accumulated
+  /// in the module parameters (the caller owns the optimizer step).
+  /// Returns the mean next-token cross-entropy of the batch.
+  virtual float TrainStep(const Batch& batch, Rng* dropout_rng) = 0;
+
+  /// Mean next-token cross-entropy without touching gradients.
+  virtual float EvalLoss(const Batch& batch) = 0;
+
+  /// Continues `prompt` autoregressively; returns only the newly
+  /// generated ids.
+  virtual std::vector<int> GenerateIds(const std::vector<int>& prompt,
+                                       const GenerationOptions& options) = 0;
+
+  /// Vocabulary size the model was built for.
+  virtual int vocab_size() const = 0;
+
+  /// Longest sequence the model can attend over (0 = unbounded).
+  virtual int max_seq_len() const { return 0; }
+
+  /// Total trainable weights (for the device-time model).
+  size_t NumParams() { return module()->NumParams(); }
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_MODELS_LANGUAGE_MODEL_H_

@@ -1,0 +1,95 @@
+#include "models/lstm_model.h"
+
+#include <cassert>
+
+namespace rt {
+
+LstmLm::Root::Root(const LstmConfig& config, Rng* rng)
+    : embed(config.vocab_size, config.embed_dim, rng),
+      lstm(config.embed_dim, config.hidden_dim, config.num_layers, rng),
+      head(config.hidden_dim, config.vocab_size, rng) {
+  RegisterModule("embed", &embed);
+  RegisterModule("lstm", &lstm);
+  RegisterModule("head", &head);
+}
+
+LstmLm::LstmLm(const LstmConfig& config)
+    : config_(config),
+      init_rng_(config.init_seed),
+      root_(config_, &init_rng_) {}
+
+float LstmLm::RunBatch(const Batch& batch, bool training, Rng* dropout_rng) {
+  const int b = batch.batch_size;
+  const int t_len = batch.seq_len;
+  assert(b > 0 && t_len > 0);
+  Tape tape;
+  // Per-timestep id columns (the LSTM consumes time-major slices).
+  std::vector<VarId> xs;
+  xs.reserve(t_len);
+  for (int t = 0; t < t_len; ++t) {
+    std::vector<int> ids(b);
+    for (int i = 0; i < b; ++i) {
+      ids[i] = batch.inputs[static_cast<size_t>(i) * t_len + t];
+    }
+    xs.push_back(root_.embed.Forward(&tape, ids));
+  }
+  std::vector<LstmState> states;
+  std::vector<VarId> hs = root_.lstm.Forward(&tape, xs, &states);
+  VarId stacked = tape.ConcatRows(hs);  // [T*B, H], time-major
+  stacked = tape.Dropout(stacked, config_.dropout, dropout_rng, training);
+  VarId logits = root_.head.Forward(&tape, stacked);
+  // Targets rearranged to the same time-major order.
+  std::vector<int> targets(static_cast<size_t>(b) * t_len);
+  for (int t = 0; t < t_len; ++t) {
+    for (int i = 0; i < b; ++i) {
+      targets[static_cast<size_t>(t) * b + i] =
+          batch.targets[static_cast<size_t>(i) * t_len + t];
+    }
+  }
+  VarId loss =
+      tape.CrossEntropy(logits, std::move(targets), batch.ignore_index);
+  const float loss_value = tape.value(loss).item();
+  if (training) tape.Backward(loss);
+  return loss_value;
+}
+
+float LstmLm::TrainStep(const Batch& batch, Rng* dropout_rng) {
+  return RunBatch(batch, /*training=*/true, dropout_rng);
+}
+
+float LstmLm::EvalLoss(const Batch& batch) {
+  Rng unused(0);
+  return RunBatch(batch, /*training=*/false, &unused);
+}
+
+std::vector<int> LstmLm::GenerateIds(const std::vector<int>& prompt,
+                                     const GenerationOptions& options) {
+  assert(!prompt.empty());
+  Rng rng(options.seed);
+  Rng no_dropout(0);
+  Tape tape;
+  std::vector<LstmState> states;
+  // Feed the prompt, keeping only the final hidden state.
+  VarId last_h = kInvalidVar;
+  for (int id : prompt) {
+    std::vector<VarId> hs =
+        root_.lstm.Forward(&tape, {root_.embed.Forward(&tape, {id})},
+                           &states);
+    last_h = hs[0];
+  }
+  std::vector<int> out;
+  out.reserve(options.max_new_tokens);
+  int cur = -1;
+  for (int step = 0; step < options.max_new_tokens; ++step) {
+    VarId logits = root_.head.Forward(&tape, last_h);
+    cur = SampleFromLogits(tape.value(logits), options.sampling, &rng);
+    out.push_back(cur);
+    if (cur == options.stop_token) break;
+    std::vector<VarId> hs = root_.lstm.Forward(
+        &tape, {root_.embed.Forward(&tape, {cur})}, &states);
+    last_h = hs[0];
+  }
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,65 @@
+#ifndef RATATOUILLE_MODELS_LSTM_MODEL_H_
+#define RATATOUILLE_MODELS_LSTM_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/language_model.h"
+#include "nn/layers.h"
+
+namespace rt {
+
+/// Configuration of an LSTM language model (paper Sec. IV-A). The same
+/// class backs both the character-level and word-level baselines; only
+/// the tokenizer (and thus vocab size) differs.
+struct LstmConfig {
+  int vocab_size = 0;
+  int embed_dim = 64;
+  int hidden_dim = 128;
+  int num_layers = 1;
+  float dropout = 0.1f;
+  uint64_t init_seed = 1;
+  /// Display name ("char-lstm" / "word-lstm").
+  std::string name = "lstm";
+};
+
+/// LSTM next-token language model: embedding -> N LSTM layers ->
+/// (dropout) -> linear head over the vocabulary.
+class LstmLm : public LanguageModel {
+ public:
+  explicit LstmLm(const LstmConfig& config);
+
+  std::string name() const override { return config_.name; }
+  Module* module() override { return &root_; }
+  int vocab_size() const override { return config_.vocab_size; }
+
+  float TrainStep(const Batch& batch, Rng* dropout_rng) override;
+  float EvalLoss(const Batch& batch) override;
+  std::vector<int> GenerateIds(const std::vector<int>& prompt,
+                               const GenerationOptions& options) override;
+
+  const LstmConfig& config() const { return config_; }
+
+ private:
+  /// Root module that owns the layers (so NamedParameters is stable).
+  class Root : public Module {
+   public:
+    Root(const LstmConfig& config, Rng* rng);
+    Embedding embed;
+    Lstm lstm;
+    Linear head;
+  };
+
+  /// Shared forward for train/eval; returns the batch loss. When
+  /// `training` is false, no dropout and no backward.
+  float RunBatch(const Batch& batch, bool training, Rng* dropout_rng);
+
+  LstmConfig config_;
+  Rng init_rng_;  // consumed by Root's member initializers
+  Root root_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_MODELS_LSTM_MODEL_H_

@@ -1,0 +1,74 @@
+#include "models/sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace rt {
+
+int SampleFromLogits(const float* logits, int vocab_size,
+                     const SamplingOptions& options, Rng* rng) {
+  assert(vocab_size > 0);
+  if (options.greedy) {
+    int best = 0;
+    for (int i = 1; i < vocab_size; ++i) {
+      if (logits[i] > logits[best]) best = i;
+    }
+    return best;
+  }
+  assert(options.temperature > 0.0f);
+
+  // Softmax with temperature (stable).
+  std::vector<double> probs(vocab_size);
+  float mx = logits[0];
+  for (int i = 1; i < vocab_size; ++i) mx = std::max(mx, logits[i]);
+  double sum = 0.0;
+  for (int i = 0; i < vocab_size; ++i) {
+    probs[i] = std::exp((logits[i] - mx) / options.temperature);
+    sum += probs[i];
+  }
+  for (double& p : probs) p /= sum;
+
+  // Candidate ids sorted by probability (descending) for top-k / top-p.
+  std::vector<int> order(vocab_size);
+  std::iota(order.begin(), order.end(), 0);
+  const bool needs_sort = options.top_k > 0 || options.top_p > 0.0f;
+  if (needs_sort) {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return probs[a] > probs[b];
+    });
+  }
+
+  int keep = vocab_size;
+  if (options.top_k > 0) keep = std::min(keep, options.top_k);
+  if (options.top_p > 0.0f) {
+    double cum = 0.0;
+    int nucleus = 0;
+    for (int i = 0; i < keep; ++i) {
+      cum += probs[order[i]];
+      ++nucleus;
+      if (cum >= options.top_p) break;
+    }
+    keep = nucleus;
+  }
+
+  // Renormalize over the kept set and draw.
+  double kept_mass = 0.0;
+  for (int i = 0; i < keep; ++i) kept_mass += probs[order[i]];
+  double target = rng->NextDouble() * kept_mass;
+  double acc = 0.0;
+  for (int i = 0; i < keep; ++i) {
+    acc += probs[order[i]];
+    if (target < acc) return order[i];
+  }
+  return order[keep - 1];
+}
+
+int SampleFromLogits(const Tensor& logits, const SamplingOptions& options,
+                     Rng* rng) {
+  return SampleFromLogits(logits.data(),
+                          static_cast<int>(logits.numel()), options, rng);
+}
+
+}  // namespace rt

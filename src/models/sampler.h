@@ -1,0 +1,35 @@
+#ifndef RATATOUILLE_MODELS_SAMPLER_H_
+#define RATATOUILLE_MODELS_SAMPLER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rt {
+
+/// Decoding options shared by every model's generation loop.
+struct SamplingOptions {
+  /// Greedy argmax decoding (ignores the knobs below).
+  bool greedy = false;
+  /// Softmax temperature; < 1 sharpens, > 1 flattens. Must be > 0.
+  float temperature = 1.0f;
+  /// Keep only the k most likely tokens (0 = disabled).
+  int top_k = 0;
+  /// Nucleus sampling: keep the smallest set of tokens with cumulative
+  /// probability >= top_p (0 = disabled).
+  float top_p = 0.0f;
+};
+
+/// Draws a token id from a row of unnormalized logits according to the
+/// options. Deterministic given the Rng state.
+int SampleFromLogits(const float* logits, int vocab_size,
+                     const SamplingOptions& options, Rng* rng);
+
+/// Convenience overload for a 1-D / single-row tensor.
+int SampleFromLogits(const Tensor& logits, const SamplingOptions& options,
+                     Rng* rng);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_MODELS_SAMPLER_H_

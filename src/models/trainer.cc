@@ -1,0 +1,179 @@
+#include "models/trainer.h"
+
+#include <fstream>
+
+#include "nn/checkpoint.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace rt {
+
+Trainer::Trainer(LanguageModel* model, TrainerOptions options)
+    : model_(model), options_(std::move(options)) {}
+
+BatchIterator Trainer::MakeIterator(const TokenSource& source,
+                                    uint64_t seed) const {
+  if (source.stream != nullptr) {
+    return BatchIterator(source.stream, options_.batch_size,
+                         options_.seq_len, seed);
+  }
+  return BatchIterator(*source.windows, options_.batch_size,
+                       options_.seq_len, seed, source.pad_id);
+}
+
+float Trainer::Evaluate(const TokenSource& source) {
+  BatchIterator it = MakeIterator(source, options_.seed + 1);
+  double total = 0.0;
+  long long batches = 0;
+  Batch batch;
+  while (it.Next(&batch)) {
+    total += model_->EvalLoss(batch);
+    ++batches;
+  }
+  return batches == 0 ? 0.0f : static_cast<float>(total / batches);
+}
+
+float Trainer::Evaluate(const std::vector<int>& stream) {
+  TokenSource source;
+  source.stream = &stream;
+  return Evaluate(source);
+}
+
+StatusOr<TrainResult> Trainer::Train(const std::vector<int>& train_stream,
+                                     const std::vector<int>* val_stream) {
+  TokenSource train;
+  train.stream = &train_stream;
+  TokenSource val;
+  if (val_stream != nullptr) val.stream = val_stream;
+  return Train(train, val_stream != nullptr ? &val : nullptr);
+}
+
+StatusOr<TrainResult> Trainer::Train(const TokenSource& train,
+                                     const TokenSource* val) {
+  if (options_.epochs <= 0) {
+    return Status::InvalidArgument("epochs must be positive");
+  }
+  if (!train.valid() || (val != nullptr && !val->valid())) {
+    return Status::InvalidArgument(
+        "TokenSource must have exactly one of stream/windows");
+  }
+  BatchIterator it = MakeIterator(train, options_.seed);
+  if (it.NumWindows() == 0) {
+    return Status::InvalidArgument(
+        "training source shorter than one window");
+  }
+
+  Adam optimizer(model_->module()->Parameters(),
+                 {.lr = options_.lr,
+                  .weight_decay = options_.weight_decay});
+  const long long steps_per_epoch = it.BatchesPerEpoch();
+  LrSchedule schedule{.kind = options_.schedule,
+                      .base_lr = options_.lr,
+                      .min_lr = options_.lr * 0.1f,
+                      .warmup_steps = options_.warmup_steps,
+                      .total_steps = steps_per_epoch * options_.epochs};
+
+  TrainResult result;
+  int start_epoch = 0;
+  long long global_step = 0;
+
+  // Resume from a checkpoint if one exists.
+  if (!options_.checkpoint_path.empty()) {
+    std::ifstream probe(options_.checkpoint_path);
+    if (probe.good()) {
+      probe.close();
+      CheckpointMetadata meta;
+      RT_RETURN_IF_ERROR(
+          LoadCheckpoint(model_->module(), options_.checkpoint_path, &meta));
+      start_epoch = static_cast<int>(meta.count("epoch") ? meta["epoch"] : 0);
+      global_step = static_cast<long long>(
+          meta.count("step") ? meta["step"] : 0);
+      result.resumed = true;
+      RT_LOG(Info) << model_->name() << ": resumed from "
+                   << options_.checkpoint_path << " at epoch "
+                   << start_epoch;
+    }
+  }
+
+  Rng dropout_rng(options_.seed + 0x5eed);
+  Timer timer;
+
+  auto save = [&](int epoch) -> Status {
+    if (options_.checkpoint_path.empty()) return Status::OK();
+    CheckpointMetadata meta{{"epoch", static_cast<double>(epoch)},
+                            {"step", static_cast<double>(global_step)},
+                            {"loss", result.final_train_loss}};
+    return SaveCheckpoint(model_->module(), meta, options_.checkpoint_path);
+  };
+
+  float best_val_loss = 1e30f;
+  int epochs_without_improvement = 0;
+
+  for (int epoch = start_epoch; epoch < options_.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    long long epoch_batches = 0;
+    Batch batch;
+    it.NextEpoch();
+    while (it.Next(&batch)) {
+      optimizer.ZeroGrad();
+      const float loss = model_->TrainStep(batch, &dropout_rng);
+      if (options_.grad_clip > 0.0f) {
+        ClipGradNorm(model_->module()->Parameters(), options_.grad_clip);
+      }
+      optimizer.set_lr(schedule.At(global_step));
+      optimizer.Step();
+      ++global_step;
+      epoch_loss += loss;
+      ++epoch_batches;
+      result.final_train_loss = loss;
+      result.tokens_processed +=
+          static_cast<long long>(batch.batch_size) * batch.seq_len;
+      if (options_.log_every > 0 && global_step % options_.log_every == 0) {
+        RT_LOG(Info) << model_->name() << " step " << global_step
+                     << " loss " << loss;
+      }
+      if (options_.checkpoint_every_steps > 0 &&
+          global_step % options_.checkpoint_every_steps == 0) {
+        RT_RETURN_IF_ERROR(save(epoch));
+      }
+      if (options_.step_callback &&
+          !options_.step_callback(global_step, loss)) {
+        result.aborted = true;
+        result.steps = global_step;
+        result.seconds = timer.ElapsedSeconds();
+        return result;
+      }
+    }
+    result.epochs_completed = epoch + 1;
+    result.epoch_train_loss.push_back(
+        epoch_batches == 0 ? 0.0f
+                           : static_cast<float>(epoch_loss / epoch_batches));
+    if (val != nullptr) {
+      result.epoch_val_loss.push_back(Evaluate(*val));
+    }
+    // Epoch-end checkpoint records the NEXT epoch to run.
+    RT_RETURN_IF_ERROR(save(epoch + 1));
+
+    if (options_.early_stop_patience > 0 && val != nullptr) {
+      const float val_loss = result.epoch_val_loss.back();
+      if (val_loss < best_val_loss - 1e-5f) {
+        best_val_loss = val_loss;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >=
+                 options_.early_stop_patience) {
+        result.early_stopped = true;
+        RT_LOG(Info) << model_->name() << ": early stop after epoch "
+                     << epoch + 1 << " (val loss plateau)";
+        break;
+      }
+    }
+  }
+
+  result.steps = global_step;
+  result.seconds = timer.ElapsedSeconds();
+  result.tokens_per_second =
+      result.seconds > 0.0 ? result.tokens_processed / result.seconds : 0.0;
+  return result;
+}
+
+}  // namespace rt

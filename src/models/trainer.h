@@ -1,0 +1,97 @@
+#ifndef RATATOUILLE_MODELS_TRAINER_H_
+#define RATATOUILLE_MODELS_TRAINER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/language_model.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "util/status.h"
+
+namespace rt {
+
+/// Training-loop options.
+struct TrainerOptions {
+  int epochs = 1;
+  int batch_size = 8;
+  int seq_len = 64;
+  float lr = 3e-3f;
+  float grad_clip = 1.0f;  // <= 0 disables
+  float weight_decay = 0.0f;
+  ScheduleKind schedule = ScheduleKind::kConstant;
+  long long warmup_steps = 0;
+  uint64_t seed = 7;
+  /// Empty = no checkpointing. Otherwise a file path; the trainer saves
+  /// every `checkpoint_every_steps` steps and at each epoch end, and
+  /// Train() resumes from it when it exists (the paper's Colab sessions
+  /// crashed every 5-7 epochs; resume is a first-class feature).
+  std::string checkpoint_path;
+  int checkpoint_every_steps = 0;
+  /// Log training loss every N steps (0 = silent).
+  int log_every = 0;
+  /// Stop after this many consecutive epochs without validation-loss
+  /// improvement (0 = disabled; requires a validation source).
+  int early_stop_patience = 0;
+  /// Invoked after every optimizer step; return false to abort training
+  /// (used by fault-injection tests to simulate crashes).
+  std::function<bool(long long step, float loss)> step_callback;
+};
+
+/// Summary of a training run.
+struct TrainResult {
+  long long steps = 0;
+  int epochs_completed = 0;
+  float final_train_loss = 0.0f;
+  std::vector<float> epoch_train_loss;  // mean loss per completed epoch
+  std::vector<float> epoch_val_loss;    // per epoch, if val stream given
+  double seconds = 0.0;
+  double tokens_per_second = 0.0;
+  long long tokens_processed = 0;
+  bool resumed = false;
+  bool aborted = false;        // step_callback requested stop
+  bool early_stopped = false;  // validation loss plateaued
+};
+
+/// A training-data source: either a flat token stream (sliced into
+/// contiguous windows, LSTM-style) or per-document windows from
+/// BuildRecipeWindows (GPT-2-style; padding excluded from the loss).
+struct TokenSource {
+  const std::vector<int>* stream = nullptr;
+  const std::vector<std::vector<int>>* windows = nullptr;
+  int pad_id = 0;
+
+  bool valid() const { return (stream != nullptr) != (windows != nullptr); }
+};
+
+/// Drives next-token training of any LanguageModel with Adam, gradient
+/// clipping, LR scheduling and crash-safe checkpointing.
+class Trainer {
+ public:
+  Trainer(LanguageModel* model, TrainerOptions options);
+
+  /// Trains on `train`; evaluates on `val` after each epoch when
+  /// non-null. Resumes from options.checkpoint_path if present.
+  StatusOr<TrainResult> Train(const TokenSource& train,
+                              const TokenSource* val = nullptr);
+
+  /// Stream-source convenience overload.
+  StatusOr<TrainResult> Train(const std::vector<int>& train_stream,
+                              const std::vector<int>* val_stream = nullptr);
+
+  /// Mean loss of the model over a source (no gradient updates).
+  float Evaluate(const TokenSource& source);
+  float Evaluate(const std::vector<int>& stream);
+
+ private:
+  /// Builds a fresh iterator over `source` for one pass.
+  BatchIterator MakeIterator(const TokenSource& source, uint64_t seed) const;
+
+  LanguageModel* model_;
+  TrainerOptions options_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_MODELS_TRAINER_H_

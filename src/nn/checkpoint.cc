@@ -1,0 +1,159 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace rt {
+namespace {
+
+constexpr char kMagic[] = "RTCKPT01";
+constexpr size_t kMagicLen = 8;
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadF64(std::ifstream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(in, &len)) return false;
+  s->resize(len);
+  in.read(s->data(), len);
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
+                      const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    out.write(kMagic, kMagicLen);
+
+    WriteU32(out, static_cast<uint32_t>(metadata.size()));
+    for (const auto& [key, value] : metadata) {
+      WriteString(out, key);
+      WriteF64(out, value);
+    }
+
+    auto named = module->NamedParameters();
+    WriteU32(out, static_cast<uint32_t>(named.size()));
+    for (const auto& [name, param] : named) {
+      WriteString(out, name);
+      const auto& shape = param->value.shape();
+      WriteU32(out, static_cast<uint32_t>(shape.size()));
+      for (int d : shape) WriteU32(out, static_cast<uint32_t>(d));
+      out.write(reinterpret_cast<const char*>(param->value.data()),
+                static_cast<std::streamsize>(param->value.numel() *
+                                             sizeof(float)));
+    }
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path,
+                      CheckpointMetadata* metadata) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  char magic[kMagicLen];
+  in.read(magic, kMagicLen);
+  if (!in.good() || std::string(magic, kMagicLen) != kMagic) {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+
+  uint32_t meta_count = 0;
+  if (!ReadU32(in, &meta_count)) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  CheckpointMetadata meta;
+  for (uint32_t i = 0; i < meta_count; ++i) {
+    std::string key;
+    double value = 0.0;
+    if (!ReadString(in, &key) || !ReadF64(in, &value)) {
+      return Status::IoError("truncated metadata: " + path);
+    }
+    meta[key] = value;
+  }
+
+  auto named = module->NamedParameters();
+  std::map<std::string, Parameter*> by_name;
+  for (auto& [name, param] : named) by_name[name] = param;
+
+  uint32_t param_count = 0;
+  if (!ReadU32(in, &param_count)) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  if (param_count != named.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " +
+        std::to_string(param_count) + ", module has " +
+        std::to_string(named.size()));
+  }
+  size_t loaded = 0;
+  for (uint32_t i = 0; i < param_count; ++i) {
+    std::string name;
+    if (!ReadString(in, &name)) {
+      return Status::IoError("truncated parameter name: " + path);
+    }
+    uint32_t ndim = 0;
+    if (!ReadU32(in, &ndim)) {
+      return Status::IoError("truncated shape: " + path);
+    }
+    std::vector<int> shape(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      uint32_t dim = 0;
+      if (!ReadU32(in, &dim)) {
+        return Status::IoError("truncated shape: " + path);
+      }
+      shape[d] = static_cast<int>(dim);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("unknown parameter in checkpoint: " + name);
+    }
+    Parameter* param = it->second;
+    if (param->value.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    in.read(reinterpret_cast<char*>(param->value.data()),
+            static_cast<std::streamsize>(param->value.numel() *
+                                         sizeof(float)));
+    if (!in.good()) {
+      return Status::IoError("truncated tensor data: " + path);
+    }
+    ++loaded;
+  }
+  if (loaded != named.size()) {
+    return Status::InvalidArgument("checkpoint missing parameters");
+  }
+  if (metadata != nullptr) *metadata = std::move(meta);
+  return Status::OK();
+}
+
+}  // namespace rt

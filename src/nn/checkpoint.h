@@ -1,0 +1,33 @@
+#ifndef RATATOUILLE_NN_CHECKPOINT_H_
+#define RATATOUILLE_NN_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace rt {
+
+/// Scalar run metadata stored alongside weights (epoch, step, loss, ...).
+using CheckpointMetadata = std::map<std::string, double>;
+
+/// Writes every named parameter of `module` plus metadata to a binary
+/// file. Format: magic "RTCKPT01", metadata entries, then per parameter:
+/// name, shape, float32 data. Atomic-ish: written to path + ".tmp" then
+/// renamed, so a crash mid-save never corrupts an existing checkpoint
+/// (the paper's training environment crashed every 5-7 epochs; resumable
+/// checkpoints are a first-class feature here).
+Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
+                      const std::string& path);
+
+/// Restores parameters by name into `module`. Every parameter of the
+/// module must be present in the file with a matching shape. Extra
+/// entries in the file are an error (guards against loading the wrong
+/// architecture). Metadata is returned through `metadata` if non-null.
+Status LoadCheckpoint(Module* module, const std::string& path,
+                      CheckpointMetadata* metadata = nullptr);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_NN_CHECKPOINT_H_

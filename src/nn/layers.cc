@@ -1,0 +1,273 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "tensor/ops.h"
+
+namespace rt {
+namespace {
+
+/// Creates a tape leaf for a parameter, wiring its gradient sink.
+VarId ParamLeaf(Tape* tape, Parameter* p) {
+  return tape->Leaf(p->value, &p->grad);
+}
+
+}  // namespace
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_(in_features), out_(out_features) {
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = RegisterParameter(
+      "weight", Tensor::Uniform({in_features, out_features}, bound, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+VarId Linear::Forward(Tape* tape, VarId x) const {
+  VarId w = ParamLeaf(tape, weight_);
+  VarId y = tape->MatMul(x, w);
+  if (bias_ != nullptr) {
+    y = tape->AddRowBroadcast(y, ParamLeaf(tape, bias_));
+  }
+  return y;
+}
+
+Tensor Linear::ForwardRaw(const Tensor& x) const {
+  Tensor y = ops::MatMul(x, weight_->value);
+  if (bias_ != nullptr) y = ops::AddRowBroadcast(y, bias_->value);
+  return y;
+}
+
+Embedding::Embedding(int num_embeddings, int dim, Rng* rng, float stddev)
+    : num_(num_embeddings), dim_(dim) {
+  table_ = RegisterParameter(
+      "table", Tensor::Normal({num_embeddings, dim}, stddev, rng));
+}
+
+VarId Embedding::Forward(Tape* tape, const std::vector<int>& ids) const {
+  return tape->Embedding(ParamLeaf(tape, table_), ids);
+}
+
+LayerNorm::LayerNorm(int dim) {
+  gain_ = RegisterParameter("gain", Tensor::Full({dim}, 1.0f));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({dim}));
+}
+
+VarId LayerNorm::Forward(Tape* tape, VarId x) const {
+  return tape->LayerNorm(x, ParamLeaf(tape, gain_),
+                         ParamLeaf(tape, bias_));
+}
+
+Tensor LayerNorm::ForwardRaw(const Tensor& x) const {
+  return ops::LayerNormRows(x, gain_->value, bias_->value, 1e-5f,
+                            nullptr);
+}
+
+LstmLayer::LstmLayer(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  const float bx = 1.0f / std::sqrt(static_cast<float>(input_dim));
+  const float bh = 1.0f / std::sqrt(static_cast<float>(hidden_dim));
+  wx_ = RegisterParameter(
+      "wx", Tensor::Uniform({input_dim, 4 * hidden_dim}, bx, rng));
+  wh_ = RegisterParameter(
+      "wh", Tensor::Uniform({hidden_dim, 4 * hidden_dim}, bh, rng));
+  Tensor bias = Tensor::Zeros({4 * hidden_dim});
+  // Forget-gate bias +1 eases gradient flow early in training.
+  for (int j = hidden_dim; j < 2 * hidden_dim; ++j) bias[j] = 1.0f;
+  b_ = RegisterParameter("b", std::move(bias));
+}
+
+LstmState LstmLayer::InitialState(Tape* tape, int batch_size) const {
+  LstmState s;
+  s.h = tape->Constant(Tensor::Zeros({batch_size, hidden_dim_}));
+  s.c = tape->Constant(Tensor::Zeros({batch_size, hidden_dim_}));
+  return s;
+}
+
+LstmState LstmLayer::Step(Tape* tape, VarId x,
+                          const LstmState& state) const {
+  const int h = hidden_dim_;
+  VarId gates = tape->Add(tape->MatMul(x, ParamLeaf(tape, wx_)),
+                          tape->MatMul(state.h, ParamLeaf(tape, wh_)));
+  gates = tape->AddRowBroadcast(gates, ParamLeaf(tape, b_));
+  VarId i = tape->Sigmoid(tape->SliceCols(gates, 0, h));
+  VarId f = tape->Sigmoid(tape->SliceCols(gates, h, 2 * h));
+  VarId g = tape->Tanh(tape->SliceCols(gates, 2 * h, 3 * h));
+  VarId o = tape->Sigmoid(tape->SliceCols(gates, 3 * h, 4 * h));
+  LstmState next;
+  next.c = tape->Add(tape->Mul(f, state.c), tape->Mul(i, g));
+  next.h = tape->Mul(o, tape->Tanh(next.c));
+  return next;
+}
+
+Lstm::Lstm(int input_dim, int hidden_dim, int num_layers, Rng* rng)
+    : hidden_dim_(hidden_dim) {
+  assert(num_layers >= 1);
+  for (int l = 0; l < num_layers; ++l) {
+    const int in = l == 0 ? input_dim : hidden_dim;
+    layers_.push_back(std::make_unique<LstmLayer>(in, hidden_dim, rng));
+    RegisterModule("layer" + std::to_string(l), layers_.back().get());
+  }
+}
+
+std::vector<VarId> Lstm::Forward(Tape* tape, const std::vector<VarId>& xs,
+                                 std::vector<LstmState>* states) const {
+  assert(!xs.empty());
+  const int batch = tape->value(xs[0]).rows();
+  if (states->empty()) {
+    for (const auto& layer : layers_) {
+      states->push_back(layer->InitialState(tape, batch));
+    }
+  }
+  assert(states->size() == layers_.size());
+  std::vector<VarId> outputs;
+  outputs.reserve(xs.size());
+  for (VarId x : xs) {
+    VarId inp = x;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+      (*states)[l] = layers_[l]->Step(tape, inp, (*states)[l]);
+      inp = (*states)[l].h;
+    }
+    outputs.push_back(inp);
+  }
+  return outputs;
+}
+
+TransformerBlock::TransformerBlock(int dim, int num_heads, float dropout,
+                                   Rng* rng)
+    : dim_(dim),
+      heads_(num_heads),
+      dropout_(dropout),
+      ln1_(dim),
+      qkv_(dim, 3 * dim, rng),
+      attn_proj_(dim, dim, rng),
+      ln2_(dim),
+      mlp_fc_(dim, 4 * dim, rng),
+      mlp_proj_(4 * dim, dim, rng) {
+  assert(dim % num_heads == 0);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("qkv", &qkv_);
+  RegisterModule("attn_proj", &attn_proj_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("mlp_fc", &mlp_fc_);
+  RegisterModule("mlp_proj", &mlp_proj_);
+}
+
+VarId TransformerBlock::Forward(Tape* tape, VarId x, int batch, int seq,
+                                Rng* rng, bool training) const {
+  // Attention sub-block with residual.
+  VarId normed = ln1_.Forward(tape, x);
+  VarId qkv = qkv_.Forward(tape, normed);
+  VarId q = tape->SliceCols(qkv, 0, dim_);
+  VarId k = tape->SliceCols(qkv, dim_, 2 * dim_);
+  VarId v = tape->SliceCols(qkv, 2 * dim_, 3 * dim_);
+  VarId attn = tape->CausalSelfAttention(q, k, v, batch, seq, heads_);
+  attn = attn_proj_.Forward(tape, attn);
+  attn = tape->Dropout(attn, dropout_, rng, training);
+  x = tape->Add(x, attn);
+
+  // MLP sub-block with residual.
+  VarId mlp = ln2_.Forward(tape, x);
+  mlp = mlp_fc_.Forward(tape, mlp);
+  mlp = tape->Gelu(mlp);
+  mlp = mlp_proj_.Forward(tape, mlp);
+  mlp = tape->Dropout(mlp, dropout_, rng, training);
+  return tape->Add(x, mlp);
+}
+
+Tensor TransformerBlock::ForwardRaw(const Tensor& x, int seq) const {
+  assert(x.rows() == seq);
+  const int dh = dim_ / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Tensor qkv = qkv_.ForwardRaw(ln1_.ForwardRaw(x));
+  Tensor attn_out({seq, dim_});
+  std::vector<float> scores(seq);
+  for (int h = 0; h < heads_; ++h) {
+    const int q0 = h * dh;
+    const int k0 = dim_ + h * dh;
+    const int v0 = 2 * dim_ + h * dh;
+    for (int t = 0; t < seq; ++t) {
+      const float* qrow = qkv.data() + static_cast<size_t>(t) * 3 * dim_ + q0;
+      float mx = -1e30f;
+      for (int u = 0; u <= t; ++u) {
+        const float* krow =
+            qkv.data() + static_cast<size_t>(u) * 3 * dim_ + k0;
+        double acc = 0.0;
+        for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+        scores[u] = static_cast<float>(acc) * scale;
+        mx = std::max(mx, scores[u]);
+      }
+      double sum = 0.0;
+      for (int u = 0; u <= t; ++u) {
+        scores[u] = std::exp(scores[u] - mx);
+        sum += scores[u];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      float* orow = attn_out.data() + static_cast<size_t>(t) * dim_ + q0;
+      for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
+      for (int u = 0; u <= t; ++u) {
+        const float p = scores[u] * inv;
+        const float* vrow =
+            qkv.data() + static_cast<size_t>(u) * 3 * dim_ + v0;
+        for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
+      }
+    }
+  }
+  Tensor y = ops::Add(x, attn_proj_.ForwardRaw(attn_out));
+  Tensor mlp = mlp_proj_.ForwardRaw(
+      ops::Gelu(mlp_fc_.ForwardRaw(ln2_.ForwardRaw(y))));
+  return ops::Add(y, mlp);
+}
+
+Tensor TransformerBlock::StepRaw(const Tensor& x_row, Tensor* k_cache,
+                                 Tensor* v_cache, int pos) const {
+  assert(x_row.rows() == 1 && x_row.cols() == dim_);
+  assert(pos < k_cache->rows());
+  const int dh = dim_ / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Tensor qkv = qkv_.ForwardRaw(ln1_.ForwardRaw(x_row));  // [1, 3*dim]
+  // Store this position's key/value.
+  for (int j = 0; j < dim_; ++j) {
+    k_cache->at(pos, j) = qkv[static_cast<size_t>(dim_) + j];
+    v_cache->at(pos, j) = qkv[static_cast<size_t>(2 * dim_) + j];
+  }
+  Tensor attn_out({1, dim_});
+  std::vector<float> scores(pos + 1);
+  for (int h = 0; h < heads_; ++h) {
+    const int c0 = h * dh;
+    const float* qrow = qkv.data() + c0;
+    float mx = -1e30f;
+    for (int u = 0; u <= pos; ++u) {
+      const float* krow = k_cache->data() + static_cast<size_t>(u) * dim_ + c0;
+      double acc = 0.0;
+      for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+      scores[u] = static_cast<float>(acc) * scale;
+      mx = std::max(mx, scores[u]);
+    }
+    double sum = 0.0;
+    for (int u = 0; u <= pos; ++u) {
+      scores[u] = std::exp(scores[u] - mx);
+      sum += scores[u];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    float* orow = attn_out.data() + c0;
+    for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
+    for (int u = 0; u <= pos; ++u) {
+      const float p = scores[u] * inv;
+      const float* vrow =
+          v_cache->data() + static_cast<size_t>(u) * dim_ + c0;
+      for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
+    }
+  }
+  Tensor y = ops::Add(x_row, attn_proj_.ForwardRaw(attn_out));
+  Tensor mlp = mlp_proj_.ForwardRaw(
+      ops::Gelu(mlp_fc_.ForwardRaw(ln2_.ForwardRaw(y))));
+  return ops::Add(y, mlp);
+}
+
+}  // namespace rt

@@ -1,0 +1,162 @@
+#ifndef RATATOUILLE_NN_LAYERS_H_
+#define RATATOUILLE_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tape.h"
+
+namespace rt {
+
+/// Fully-connected layer: y = x W + b. Weights are uniform(+/-1/sqrt(in)).
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  /// x: [m, in] -> [m, out].
+  VarId Forward(Tape* tape, VarId x) const;
+
+  /// Tape-free forward for inference paths.
+  Tensor ForwardRaw(const Tensor& x) const;
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+  Parameter* weight() { return weight_; }
+  Parameter* bias() { return bias_; }
+
+ private:
+  int in_;
+  int out_;
+  Parameter* weight_;          // [in, out]
+  Parameter* bias_ = nullptr;  // [out]
+};
+
+/// Token-id -> embedding-row lookup table.
+class Embedding : public Module {
+ public:
+  Embedding(int num_embeddings, int dim, Rng* rng, float stddev = 0.02f);
+
+  /// ids (length m) -> [m, dim].
+  VarId Forward(Tape* tape, const std::vector<int>& ids) const;
+
+  int num_embeddings() const { return num_; }
+  int dim() const { return dim_; }
+  Parameter* table() { return table_; }
+  const Parameter* table() const { return table_; }
+
+ private:
+  int num_;
+  int dim_;
+  Parameter* table_;  // [num, dim]
+};
+
+/// Row-wise layer normalization with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+
+  /// x: [m, dim] -> [m, dim].
+  VarId Forward(Tape* tape, VarId x) const;
+
+  /// Tape-free forward for inference paths.
+  Tensor ForwardRaw(const Tensor& x) const;
+
+  Parameter* gain() { return gain_; }
+  Parameter* bias() { return bias_; }
+
+ private:
+  Parameter* gain_;  // [dim], ones
+  Parameter* bias_;  // [dim], zeros
+};
+
+/// One LSTM layer's recurrent state for a batch.
+struct LstmState {
+  VarId h = kInvalidVar;  // [B, H]
+  VarId c = kInvalidVar;  // [B, H]
+};
+
+/// Single LSTM layer with the standard i,f,g,o gate parameterization:
+///   gates = x Wx + h Wh + b            (gate order: i | f | g | o)
+///   c' = sigmoid(f) * c + sigmoid(i) * tanh(g)
+///   h' = sigmoid(o) * tanh(c')
+/// The forget-gate bias is initialized to +1 (standard trick).
+class LstmLayer : public Module {
+ public:
+  LstmLayer(int input_dim, int hidden_dim, Rng* rng);
+
+  /// Zero initial state for a batch of `batch_size` on `tape`.
+  LstmState InitialState(Tape* tape, int batch_size) const;
+
+  /// One timestep: x [B, in], state [B, H] -> new state.
+  LstmState Step(Tape* tape, VarId x, const LstmState& state) const;
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Parameter* wx_;  // [in, 4H]
+  Parameter* wh_;  // [H, 4H]
+  Parameter* b_;   // [4H]
+};
+
+/// Stack of LSTM layers processing a token-embedding sequence.
+class Lstm : public Module {
+ public:
+  Lstm(int input_dim, int hidden_dim, int num_layers, Rng* rng);
+
+  /// Per-timestep inputs xs (each [B, in]) -> per-timestep top-layer
+  /// hidden states (each [B, H]). `states` carries the recurrent state
+  /// across calls (one entry per layer); pass an empty vector to start
+  /// from zeros, and reuse it for truncated BPTT / incremental decoding.
+  std::vector<VarId> Forward(Tape* tape, const std::vector<VarId>& xs,
+                             std::vector<LstmState>* states) const;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int hidden_dim_;
+  std::vector<std::unique_ptr<LstmLayer>> layers_;
+};
+
+/// Pre-LayerNorm GPT-2 transformer block:
+///   x = x + Attn(LN1(x)); x = x + MLP(LN2(x)); MLP = proj(gelu(fc(x))).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int dim, int num_heads, float dropout, Rng* rng);
+
+  /// x: [B*T, dim] -> [B*T, dim]. `rng` drives dropout when training.
+  VarId Forward(Tape* tape, VarId x, int batch, int seq, Rng* rng,
+                bool training) const;
+
+  /// Tape-free full forward over one sequence: x [T, dim] -> [T, dim].
+  Tensor ForwardRaw(const Tensor& x, int seq) const;
+
+  /// Tape-free incremental forward of ONE new position. `x_row` is
+  /// [1, dim]; `k_cache`/`v_cache` are preallocated [capacity, dim]
+  /// per-layer caches whose first `pos` rows hold previous steps. The new
+  /// key/value are written at row `pos`. Returns the block output [1, dim].
+  Tensor StepRaw(const Tensor& x_row, Tensor* k_cache, Tensor* v_cache,
+                 int pos) const;
+
+  int dim() const { return dim_; }
+  int num_heads() const { return heads_; }
+
+ private:
+  int dim_;
+  int heads_;
+  float dropout_;
+  LayerNorm ln1_;
+  Linear qkv_;
+  Linear attn_proj_;
+  LayerNorm ln2_;
+  Linear mlp_fc_;
+  Linear mlp_proj_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_NN_LAYERS_H_

@@ -1,0 +1,51 @@
+#include "nn/module.h"
+
+namespace rt {
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& [name, param] : NamedParameters()) out.push_back(param);
+  return out;
+}
+
+std::vector<std::pair<std::string, Parameter*>> Module::NamedParameters() {
+  std::vector<std::pair<std::string, Parameter*>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Parameter*>>* out) {
+  for (auto& p : params_) {
+    out->emplace_back(prefix + p->name, p.get());
+  }
+  for (auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+size_t Module::NumParams() {
+  size_t n = 0;
+  for (Parameter* p : Parameters()) n += p->value.numel();
+  return n;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) p->ZeroGrad();
+}
+
+Parameter* Module::RegisterParameter(std::string name, Tensor init) {
+  auto p = std::make_unique<Parameter>();
+  p->name = std::move(name);
+  p->grad = Tensor::Zeros(init.shape());
+  p->value = std::move(init);
+  params_.push_back(std::move(p));
+  return params_.back().get();
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace rt

@@ -1,0 +1,69 @@
+#ifndef RATATOUILLE_NN_MODULE_H_
+#define RATATOUILLE_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rt {
+
+/// A trainable tensor with its gradient accumulator. Parameters are owned
+/// by Modules and referenced by optimizers; the autograd tape accumulates
+/// into `grad` via leaf grad-sinks.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  void ZeroGrad() { grad.Zero(); }
+};
+
+/// Base class for neural-network building blocks.
+///
+/// Subclasses register their parameters (RegisterParameter) and child
+/// modules (RegisterModule) in their constructor; Parameters() then walks
+/// the tree, yielding stable, fully-qualified names ("blocks.0.attn.wq")
+/// used by optimizers and checkpointing. Modules are neither copyable nor
+/// movable: parameters are referenced by pointer.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its descendants, in registration
+  /// order (deterministic).
+  std::vector<Parameter*> Parameters();
+
+  /// Same, with the fully-qualified name of each parameter.
+  std::vector<std::pair<std::string, Parameter*>> NamedParameters();
+
+  /// Total number of scalar weights.
+  size_t NumParams();
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+ protected:
+  /// Registers and owns a parameter initialized to `init`.
+  Parameter* RegisterParameter(std::string name, Tensor init);
+
+  /// Registers a child (non-owning; the child is a member of the subclass).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Parameter*>>* out);
+
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_NN_MODULE_H_

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace rt {
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.push_back(Tensor::Zeros(p->value.shape()));
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      for (size_t j = 0; j < vel.numel(); ++j) {
+        vel[j] = momentum_ * vel[j] + p->grad[j];
+        p->value[j] -= lr_ * vel[j];
+      }
+    } else {
+      for (size_t j = 0; j < p->value.numel(); ++j) {
+        p->value[j] -= lr_ * p->grad[j];
+      }
+    }
+  }
+  ++step_count_;
+}
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : Optimizer(std::move(params)), opts_(options) {
+  lr_ = opts_.lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float t = static_cast<float>(step_count_);
+  const float bias1 = 1.0f - std::pow(opts_.beta1, t);
+  const float bias2 = 1.0f - std::pow(opts_.beta2, t);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (size_t j = 0; j < p->value.numel(); ++j) {
+      const float g = p->grad[j];
+      m[j] = opts_.beta1 * m[j] + (1.0f - opts_.beta1) * g;
+      v[j] = opts_.beta2 * v[j] + (1.0f - opts_.beta2) * g * g;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      float update = lr_ * mhat / (std::sqrt(vhat) + opts_.eps);
+      if (opts_.weight_decay > 0.0f) {
+        update += lr_ * opts_.weight_decay * p->value[j];
+      }
+      p->value[j] -= update;
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Parameter*>& params, float max_norm) {
+  double sumsq = 0.0;
+  for (Parameter* p : params) {
+    for (size_t j = 0; j < p->grad.numel(); ++j) {
+      sumsq += static_cast<double>(p->grad[j]) * p->grad[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sumsq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) p->grad.Scale(scale);
+  }
+  return norm;
+}
+
+}  // namespace rt

@@ -1,0 +1,78 @@
+#ifndef RATATOUILLE_NN_OPTIMIZER_H_
+#define RATATOUILLE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace rt {
+
+/// Base class for gradient-descent optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the current gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all gradients.
+  void ZeroGrad() {
+    for (Parameter* p : params_) p->ZeroGrad();
+  }
+
+  /// Overrides the learning rate (for schedules).
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+  /// Number of Step() calls so far.
+  long long step_count() const { return step_count_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_ = 1e-3f;
+  long long step_count_ = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam / AdamW. With weight_decay > 0 the decay is decoupled (AdamW).
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Parameter*> params, Options options);
+  void Step() override;
+
+ private:
+  Options opts_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Parameter*>& params, float max_norm);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_NN_OPTIMIZER_H_

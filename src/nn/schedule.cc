@@ -1,0 +1,28 @@
+#include "nn/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rt {
+
+float LrSchedule::At(long long step) const {
+  if (kind == ScheduleKind::kConstant) return base_lr;
+  if (warmup_steps > 0 && step < warmup_steps) {
+    return base_lr * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps);
+  }
+  const long long decay_total = std::max<long long>(
+      1, total_steps - warmup_steps);
+  const long long decay_step =
+      std::min(std::max<long long>(0, step - warmup_steps), decay_total);
+  const float progress =
+      static_cast<float>(decay_step) / static_cast<float>(decay_total);
+  if (kind == ScheduleKind::kWarmupLinear) {
+    return min_lr + (base_lr - min_lr) * (1.0f - progress);
+  }
+  // Cosine.
+  const float cosine = 0.5f * (1.0f + std::cos(progress * 3.14159265f));
+  return min_lr + (base_lr - min_lr) * cosine;
+}
+
+}  // namespace rt

@@ -1,0 +1,29 @@
+#ifndef RATATOUILLE_NN_SCHEDULE_H_
+#define RATATOUILLE_NN_SCHEDULE_H_
+
+namespace rt {
+
+/// Learning-rate schedules as pure functions of the step index.
+enum class ScheduleKind {
+  kConstant,
+  /// Linear warmup to base_lr over warmup_steps, then linear decay to
+  /// min_lr at total_steps.
+  kWarmupLinear,
+  /// Linear warmup, then cosine decay to min_lr at total_steps.
+  kWarmupCosine,
+};
+
+struct LrSchedule {
+  ScheduleKind kind = ScheduleKind::kConstant;
+  float base_lr = 1e-3f;
+  float min_lr = 0.0f;
+  long long warmup_steps = 0;
+  long long total_steps = 1;
+
+  /// Learning rate at `step` (0-based).
+  float At(long long step) const;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_NN_SCHEDULE_H_

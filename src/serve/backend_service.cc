@@ -1,0 +1,127 @@
+#include "serve/backend_service.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace rt {
+
+StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body) {
+  RT_ASSIGN_OR_RETURN(Json doc, Json::Parse(body));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  GenerateRequest req;
+  const Json& ingredients = doc.Get("ingredients");
+  if (!ingredients.is_array() || ingredients.AsArray().empty()) {
+    return Status::InvalidArgument(
+        "'ingredients' must be a non-empty array");
+  }
+  for (const Json& item : ingredients.AsArray()) {
+    if (!item.is_string()) {
+      return Status::InvalidArgument("ingredients must be strings");
+    }
+    req.ingredients.push_back(item.AsString());
+  }
+  if (doc.Get("max_tokens").is_number()) {
+    req.max_tokens = static_cast<int>(doc.Get("max_tokens").AsNumber());
+    if (req.max_tokens <= 0 || req.max_tokens > 4096) {
+      return Status::InvalidArgument("max_tokens out of range");
+    }
+  }
+  if (doc.Get("temperature").is_number()) {
+    req.temperature = doc.Get("temperature").AsNumber();
+    if (req.temperature <= 0.0 || req.temperature > 10.0) {
+      return Status::InvalidArgument("temperature out of range");
+    }
+  }
+  if (doc.Get("top_k").is_number()) {
+    req.top_k = static_cast<int>(doc.Get("top_k").AsNumber());
+    if (req.top_k < 0) return Status::InvalidArgument("top_k negative");
+  }
+  if (doc.Get("seed").is_number()) {
+    req.seed = static_cast<uint64_t>(doc.Get("seed").AsNumber());
+  }
+  return req;
+}
+
+Json RecipeToJson(const Recipe& recipe) {
+  Json out{Json::Object{}};
+  out.Set("title", recipe.title);
+  Json ingredients{Json::Array{}};
+  for (const auto& line : recipe.ingredients) {
+    Json item{Json::Object{}};
+    item.Set("quantity", line.quantity);
+    item.Set("unit", line.unit);
+    item.Set("name", line.name);
+    item.Set("prep", line.prep);
+    item.Set("text", line.Render());
+    ingredients.Append(std::move(item));
+  }
+  out.Set("ingredients", std::move(ingredients));
+  Json instructions{Json::Array{}};
+  for (const auto& step : recipe.instructions) {
+    instructions.Append(step);
+  }
+  out.Set("instructions", std::move(instructions));
+  return out;
+}
+
+BackendService::BackendService(GenerateFn generate)
+    : generate_(std::move(generate)) {
+  server_.Route("GET", "/healthz", [](const HttpRequest&) {
+    return HttpResponse::JsonBody("{\"status\":\"ok\"}");
+  });
+  server_.Route("GET", "/metrics", [this](const HttpRequest&) {
+    return HandleMetrics();
+  });
+  server_.Route("POST", "/api/generate", [this](const HttpRequest& req) {
+    return HandleGenerate(req);
+  });
+}
+
+HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
+  auto parsed = ParseGenerateRequest(request.body);
+  if (!parsed.ok()) {
+    ++generate_client_error_;
+    Json err{Json::Object{}};
+    err.Set("error", parsed.status().ToString());
+    return HttpResponse::JsonBody(err.Dump(), 400);
+  }
+  Timer timer;
+  auto recipe = generate_(*parsed);
+  const double seconds = timer.ElapsedSeconds();
+  total_generate_seconds_ += seconds;
+  max_generate_seconds_ = std::max(max_generate_seconds_, seconds);
+  if (!recipe.ok()) {
+    ++generate_server_error_;
+    Json err{Json::Object{}};
+    err.Set("error", recipe.status().ToString());
+    return HttpResponse::JsonBody(err.Dump(), 500);
+  }
+  ++generate_ok_;
+  return HttpResponse::JsonBody(RecipeToJson(*recipe).Dump());
+}
+
+HttpResponse BackendService::HandleMetrics() const {
+  const long long model_calls = generate_ok_ + generate_server_error_;
+  Json out{Json::Object{}};
+  out.Set("requests_total",
+          static_cast<double>(server_.requests_served()));
+  out.Set("generate_ok", static_cast<double>(generate_ok_));
+  out.Set("generate_client_errors",
+          static_cast<double>(generate_client_error_));
+  out.Set("generate_server_errors",
+          static_cast<double>(generate_server_error_));
+  out.Set("generate_seconds_total", total_generate_seconds_);
+  out.Set("generate_seconds_max", max_generate_seconds_);
+  out.Set("generate_seconds_mean",
+          model_calls > 0 ? total_generate_seconds_ / model_calls : 0.0);
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+Status BackendService::Start(int port) { return server_.Start(port); }
+
+void BackendService::Stop() { server_.Stop(); }
+
+}  // namespace rt

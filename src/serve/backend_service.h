@@ -1,0 +1,64 @@
+#ifndef RATATOUILLE_SERVE_BACKEND_SERVICE_H_
+#define RATATOUILLE_SERVE_BACKEND_SERVICE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/recipe.h"
+#include "serve/http.h"
+#include "util/json.h"
+
+namespace rt {
+
+/// A parsed /api/generate request.
+struct GenerateRequest {
+  std::vector<std::string> ingredients;
+  int max_tokens = 256;
+  double temperature = 1.0;
+  int top_k = 0;
+  uint64_t seed = 0;
+};
+
+/// JSON <-> domain converters (exposed for tests and the frontend).
+StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body);
+Json RecipeToJson(const Recipe& recipe);
+
+/// The generation backend microservice (the Flask-model container of
+/// paper Fig. 4/5): REST endpoints over a model-backed callback.
+///
+///   GET  /healthz        -> {"status":"ok"}
+///   GET  /metrics        -> request/error counters + latency summary
+///   POST /api/generate   -> structured recipe JSON
+///
+/// The callback runs on the server thread; it must be thread-compatible
+/// (the server serves one request at a time).
+class BackendService {
+ public:
+  using GenerateFn =
+      std::function<StatusOr<Recipe>(const GenerateRequest&)>;
+
+  explicit BackendService(GenerateFn generate);
+
+  Status Start(int port);
+  void Stop();
+  int port() const { return server_.port(); }
+  long long requests_served() const { return server_.requests_served(); }
+
+ private:
+  HttpResponse HandleGenerate(const HttpRequest& request);
+  HttpResponse HandleMetrics() const;
+
+  GenerateFn generate_;
+  HttpServer server_;
+  // Generation counters (single-threaded server; plain members suffice).
+  long long generate_ok_ = 0;
+  long long generate_client_error_ = 0;
+  long long generate_server_error_ = 0;
+  double total_generate_seconds_ = 0.0;
+  double max_generate_seconds_ = 0.0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_BACKEND_SERVICE_H_

@@ -1,0 +1,63 @@
+#include "serve/frontend_service.h"
+
+namespace rt {
+namespace {
+
+constexpr const char kIndexHtml[] = R"html(<!doctype html>
+<html>
+<head><meta charset="utf-8"><title>Ratatouille - Novel Recipe Generation</title></head>
+<body>
+<h1>Ratatouille</h1>
+<p>Pick ingredients, generate a novel recipe.</p>
+<form id="gen">
+  <input id="ingredients" placeholder="tomato, onion, garlic">
+  <button type="submit">Get Recipe!</button>
+</form>
+<pre id="result"></pre>
+<script>
+document.getElementById('gen').addEventListener('submit', async (e) => {
+  e.preventDefault();
+  const ingredients = document.getElementById('ingredients').value
+      .split(',').map(s => s.trim()).filter(Boolean);
+  const resp = await fetch('/api/generate', {
+    method: 'POST',
+    headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify({ingredients})
+  });
+  document.getElementById('result').textContent =
+      JSON.stringify(await resp.json(), null, 2);
+});
+</script>
+</body>
+</html>
+)html";
+
+}  // namespace
+
+FrontendService::FrontendService(int backend_port)
+    : backend_port_(backend_port) {
+  server_.Route("GET", "/", [](const HttpRequest&) {
+    return HttpResponse::Html(kIndexHtml);
+  });
+  server_.Route("GET", "/healthz", [](const HttpRequest&) {
+    return HttpResponse::JsonBody("{\"status\":\"ok\"}");
+  });
+  // Reverse proxy: the frontend never imports model code; it forwards
+  // /api/* to the backend tier over HTTP.
+  server_.RoutePrefix("POST", "/api/", [this](const HttpRequest& req) {
+    auto resp = HttpPost(backend_port_, req.path, req.body);
+    if (!resp.ok()) {
+      return HttpResponse::JsonBody(
+          "{\"error\":\"backend unreachable\"}", 502);
+    }
+    return HttpResponse::JsonBody(resp->body, resp->status);
+  });
+}
+
+Status FrontendService::Start(int port) { return server_.Start(port); }
+
+void FrontendService::Stop() { server_.Stop(); }
+
+const char* FrontendService::IndexHtml() { return kIndexHtml; }
+
+}  // namespace rt

@@ -1,0 +1,31 @@
+#ifndef RATATOUILLE_SERVE_FRONTEND_SERVICE_H_
+#define RATATOUILLE_SERVE_FRONTEND_SERVICE_H_
+
+#include "serve/http.h"
+
+namespace rt {
+
+/// The decoupled frontend microservice (the ReactJS container of paper
+/// Sec. VI): serves the single-page UI and reverse-proxies /api/* to the
+/// backend service, so the two tiers scale and deploy independently —
+/// the decoupling the paper's architecture section calls out.
+class FrontendService {
+ public:
+  /// `backend_port` is the already-running BackendService port.
+  explicit FrontendService(int backend_port);
+
+  Status Start(int port);
+  void Stop();
+  int port() const { return server_.port(); }
+
+  /// The embedded single-page UI markup (exposed for tests).
+  static const char* IndexHtml();
+
+ private:
+  int backend_port_;
+  HttpServer server_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_FRONTEND_SERVICE_H_

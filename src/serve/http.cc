@@ -1,0 +1,280 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+/// Reads until the full request (headers + Content-Length body) arrives.
+bool ReadRequest(int fd, std::string* raw) {
+  char buf[4096];
+  size_t body_needed = std::string::npos;
+  size_t header_end = std::string::npos;
+  for (;;) {
+    if (header_end == std::string::npos) {
+      header_end = raw->find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Parse Content-Length if present.
+        body_needed = 0;
+        std::string head = ToLower(raw->substr(0, header_end));
+        size_t cl = head.find("content-length:");
+        if (cl != std::string::npos) {
+          body_needed = std::strtoull(head.c_str() + cl + 15, nullptr, 10);
+        }
+      }
+    }
+    if (header_end != std::string::npos) {
+      const size_t have = raw->size() - (header_end + 4);
+      if (have >= body_needed) return true;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return header_end != std::string::npos;
+    raw->append(buf, static_cast<size_t>(n));
+    if (raw->size() > (16u << 20)) return false;  // 16 MiB cap
+  }
+}
+
+bool ParseRequest(const std::string& raw, HttpRequest* out) {
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  std::istringstream head(raw.substr(0, header_end));
+  std::string line;
+  if (!std::getline(head, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> parts = SplitWhitespace(line);
+  if (parts.size() < 2) return false;
+  out->method = parts[0];
+  std::string target = parts[1];
+  const size_t q = target.find('?');
+  if (q != std::string::npos) {
+    out->path = target.substr(0, q);
+    out->query = target.substr(q + 1);
+  } else {
+    out->path = target;
+  }
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    out->headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  out->body = raw.substr(header_end + 4);
+  return true;
+}
+
+std::string StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+/// Connects to 127.0.0.1:port; returns fd or -1.
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+StatusOr<HttpClientResponse> RoundTrip(int port,
+                                       const std::string& request) {
+  const int fd = ConnectLoopback(port);
+  if (fd < 0) {
+    return Status::IoError("connect failed to port " +
+                           std::to_string(port));
+  }
+  SendAll(fd, request);
+  ::shutdown(fd, SHUT_WR);
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos || raw.size() < 12) {
+    return Status::IoError("malformed HTTP response");
+  }
+  HttpClientResponse resp;
+  resp.status = std::atoi(raw.c_str() + 9);
+  resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace
+
+HttpResponse HttpResponse::Text(std::string body, int status) {
+  return {status, "text/plain", std::move(body)};
+}
+
+HttpResponse HttpResponse::Html(std::string body, int status) {
+  return {status, "text/html", std::move(body)};
+}
+
+HttpResponse HttpResponse::JsonBody(std::string body, int status) {
+  return {status, "application/json", std::move(body)};
+}
+
+HttpResponse HttpResponse::NotFound() {
+  return {404, "text/plain", "not found"};
+}
+
+HttpServer::HttpServer() = default;
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_.push_back({method, path, /*is_prefix=*/false, std::move(handler)});
+}
+
+void HttpServer::RoutePrefix(const std::string& method,
+                             const std::string& prefix, Handler handler) {
+  routes_.push_back({method, prefix, /*is_prefix=*/true, std::move(handler)});
+}
+
+Status HttpServer::Start(int port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind failed on port " + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listen socket unblocks accept().
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string raw;
+  if (!ReadRequest(fd, &raw)) return;
+  HttpRequest request;
+  HttpResponse response;
+  if (!ParseRequest(raw, &request)) {
+    response = HttpResponse::Text("bad request", 400);
+  } else {
+    response = Dispatch(request);
+  }
+  requests_served_.fetch_add(1);
+  SendAll(fd, RenderResponse(response));
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
+  for (const Route_& route : routes_) {
+    if (route.method != request.method) continue;
+    const bool match = route.is_prefix
+                           ? StartsWith(request.path, route.path)
+                           : request.path == route.path;
+    if (match) return route.handler(request);
+  }
+  return HttpResponse::NotFound();
+}
+
+StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path) {
+  return RoundTrip(port, "GET " + path +
+                             " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                             "Connection: close\r\n\r\n");
+}
+
+StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
+                                      const std::string& body,
+                                      const std::string& content_type) {
+  return RoundTrip(port, "POST " + path +
+                             " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                             "Content-Type: " + content_type + "\r\n"
+                             "Content-Length: " +
+                             std::to_string(body.size()) +
+                             "\r\nConnection: close\r\n\r\n" + body);
+}
+
+}  // namespace rt

@@ -1,0 +1,111 @@
+#ifndef RATATOUILLE_SERVE_HTTP_H_
+#define RATATOUILLE_SERVE_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rt {
+
+/// A parsed HTTP/1.1 request.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/api/generate" (query string stripped)
+  std::string query;   // raw query string without '?'
+  std::map<std::string, std::string> headers;  // lower-cased keys
+  std::string body;
+};
+
+/// An HTTP response under construction.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+
+  static HttpResponse Text(std::string body, int status = 200);
+  static HttpResponse Html(std::string body, int status = 200);
+  static HttpResponse JsonBody(std::string body, int status = 200);
+  static HttpResponse NotFound();
+};
+
+/// Minimal loopback HTTP/1.1 server (the Flask stand-in, paper Sec. VI).
+///
+/// Handlers are registered per (method, exact path) or as a prefix route;
+/// each accepted connection is served on the acceptor thread, one request
+/// per connection (Connection: close). Start() binds 127.0.0.1:`port`
+/// (port 0 picks a free port, see port()).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer();
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact (method, path).
+  void Route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  /// Registers a handler for every path starting with `prefix`.
+  void RoutePrefix(const std::string& method, const std::string& prefix,
+                   Handler handler);
+
+  /// Binds and starts the accept loop on a background thread.
+  Status Start(int port);
+
+  /// Stops accepting and joins the background thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(); }
+
+  /// Total requests served (for tests/metrics).
+  long long requests_served() const { return requests_served_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request);
+
+  struct Route_ {
+    std::string method;
+    std::string path;
+    bool is_prefix;
+    Handler handler;
+  };
+
+  std::vector<Route_> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<long long> requests_served_{0};
+  std::thread accept_thread_;
+};
+
+/// Blocking loopback HTTP client used by tests, the frontend proxy and
+/// the benchmark harness.
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// One-shot GET/POST to 127.0.0.1:`port`. Returns IoError on connection
+/// failure or malformed response.
+StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path);
+StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
+                                      const std::string& body,
+                                      const std::string& content_type =
+                                          "application/json");
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_HTTP_H_

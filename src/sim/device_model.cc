@@ -1,0 +1,43 @@
+#include "sim/device_model.h"
+
+namespace rt {
+
+DeviceSpec DeviceSpec::CpuServer() {
+  // 32 cores x 2.5 GHz x 32 FLOP/cycle (AVX-512 FMA) = 2.56 TFLOP/s peak.
+  return {"cpu-server-32c", 2.56e12, 0.30};
+}
+
+DeviceSpec DeviceSpec::A100() {
+  return {"nvidia-a100", 312e12, 0.01};
+}
+
+DeviceSpec DeviceSpec::SingleCore() {
+  // 3 GHz x 16 FLOP/cycle (AVX2 FMA) peak for one core.
+  return {"single-cpu-core", 48e9, 0.10};
+}
+
+TrainingWorkload PaperGpt2MediumWorkload() {
+  TrainingWorkload w;
+  w.param_count = 355'000'000;
+  w.tokens_per_epoch = 27'000'000;  // 118,171 recipes x ~230 tokens
+  w.epochs = 3;
+  return w;
+}
+
+double ProjectSeconds(const TrainingWorkload& workload,
+                      const DeviceSpec& device) {
+  return workload.TotalFlops() / device.achieved_flops();
+}
+
+DeviceSpec CalibrateFromMeasurement(const std::string& name,
+                                    size_t param_count,
+                                    double measured_tokens_per_second) {
+  DeviceSpec d;
+  d.name = name;
+  d.peak_flops = 6.0 * static_cast<double>(param_count) *
+                 measured_tokens_per_second;
+  d.efficiency = 1.0;
+  return d;
+}
+
+}  // namespace rt

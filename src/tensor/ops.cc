@@ -1,0 +1,444 @@
+#include "tensor/ops.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rt::ops {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2);
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  assert(b.rows() == k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j order: unit-stride inner loop over both B and C rows.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* crow = pc + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2);
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  assert(b.cols() == k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* crow = pc + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<size_t>(j) * k;
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2);
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  assert(b.rows() == k);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<size_t>(kk) * m;
+    const float* brow = pb + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  assert(a.SameShape(b));
+  Tensor c = a;
+  c.Add(b);
+  return c;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  assert(a.SameShape(b));
+  Tensor c = a;
+  for (size_t i = 0; i < c.numel(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  assert(a.SameShape(b));
+  Tensor c = a;
+  for (size_t i = 0; i < c.numel(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor c = a;
+  c.Scale(s);
+  return c;
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  assert(x.ndim() == 2 && bias.ndim() == 1);
+  assert(x.cols() == bias.dim(0));
+  Tensor y = x;
+  const int m = x.rows(), n = x.cols();
+  for (int i = 0; i < m; ++i) {
+    float* row = y.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) row[j] += bias[j];
+  }
+  return y;
+}
+
+Tensor SumRows(const Tensor& x) {
+  assert(x.ndim() == 2);
+  const int m = x.rows(), n = x.cols();
+  Tensor out({n});
+  for (int i = 0; i < m; ++i) {
+    const float* row = x.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) out[j] += row[j];
+  }
+  return out;
+}
+
+Tensor Tanh(const Tensor& x) {
+  Tensor y = x;
+  for (size_t i = 0; i < y.numel(); ++i) y[i] = std::tanh(y[i]);
+  return y;
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  Tensor y = x;
+  for (size_t i = 0; i < y.numel(); ++i) {
+    y[i] = 1.0f / (1.0f + std::exp(-y[i]));
+  }
+  return y;
+}
+
+Tensor Relu(const Tensor& x) {
+  Tensor y = x;
+  for (size_t i = 0; i < y.numel(); ++i) y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+  return y;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}  // namespace
+
+Tensor Gelu(const Tensor& x) {
+  Tensor y = x;
+  for (size_t i = 0; i < y.numel(); ++i) {
+    const float v = y[i];
+    y[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+  }
+  return y;
+}
+
+Tensor TanhBackward(const Tensor& y, const Tensor& dy) {
+  assert(y.SameShape(dy));
+  Tensor dx = dy;
+  for (size_t i = 0; i < dx.numel(); ++i) dx[i] *= 1.0f - y[i] * y[i];
+  return dx;
+}
+
+Tensor SigmoidBackward(const Tensor& y, const Tensor& dy) {
+  assert(y.SameShape(dy));
+  Tensor dx = dy;
+  for (size_t i = 0; i < dx.numel(); ++i) dx[i] *= y[i] * (1.0f - y[i]);
+  return dx;
+}
+
+Tensor ReluBackward(const Tensor& x, const Tensor& dy) {
+  assert(x.SameShape(dy));
+  Tensor dx = dy;
+  for (size_t i = 0; i < dx.numel(); ++i) {
+    if (x[i] <= 0.0f) dx[i] = 0.0f;
+  }
+  return dx;
+}
+
+Tensor GeluBackward(const Tensor& x, const Tensor& dy) {
+  assert(x.SameShape(dy));
+  Tensor dx = dy;
+  for (size_t i = 0; i < dx.numel(); ++i) {
+    const float v = x[i];
+    const float u = kGeluC * (v + 0.044715f * v * v * v);
+    const float t = std::tanh(u);
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * v * v);
+    const float grad = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+    dx[i] *= grad;
+  }
+  return dx;
+}
+
+Tensor SoftmaxRows(const Tensor& x) {
+  assert(x.ndim() == 2);
+  const int m = x.rows(), n = x.cols();
+  Tensor y({m, n});
+  for (int i = 0; i < m; ++i) {
+    const float* xi = x.data() + static_cast<size_t>(i) * n;
+    float* yi = y.data() + static_cast<size_t>(i) * n;
+    float mx = xi[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, xi[j]);
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      yi[j] = std::exp(xi[j] - mx);
+      sum += yi[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < n; ++j) yi[j] *= inv;
+  }
+  return y;
+}
+
+Tensor SoftmaxRowsBackward(const Tensor& y, const Tensor& dy) {
+  assert(y.SameShape(dy) && y.ndim() == 2);
+  const int m = y.rows(), n = y.cols();
+  Tensor dx({m, n});
+  for (int i = 0; i < m; ++i) {
+    const float* yi = y.data() + static_cast<size_t>(i) * n;
+    const float* di = dy.data() + static_cast<size_t>(i) * n;
+    float* oi = dx.data() + static_cast<size_t>(i) * n;
+    double dot = 0.0;
+    for (int j = 0; j < n; ++j) dot += yi[j] * di[j];
+    for (int j = 0; j < n; ++j) {
+      oi[j] = yi[j] * (di[j] - static_cast<float>(dot));
+    }
+  }
+  return dx;
+}
+
+Tensor LogSoftmaxRows(const Tensor& x) {
+  assert(x.ndim() == 2);
+  const int m = x.rows(), n = x.cols();
+  Tensor y({m, n});
+  for (int i = 0; i < m; ++i) {
+    const float* xi = x.data() + static_cast<size_t>(i) * n;
+    float* yi = y.data() + static_cast<size_t>(i) * n;
+    float mx = xi[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, xi[j]);
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) sum += std::exp(xi[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int j = 0; j < n; ++j) yi[j] = xi[j] - lse;
+  }
+  return y;
+}
+
+Tensor LayerNormRows(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                     float eps, LayerNormCache* cache) {
+  assert(x.ndim() == 2 && gain.ndim() == 1 && bias.ndim() == 1);
+  const int m = x.rows(), n = x.cols();
+  assert(gain.dim(0) == n && bias.dim(0) == n);
+  Tensor y({m, n});
+  if (cache != nullptr) {
+    cache->mean.resize(m);
+    cache->rstd.resize(m);
+  }
+  for (int i = 0; i < m; ++i) {
+    const float* xi = x.data() + static_cast<size_t>(i) * n;
+    float* yi = y.data() + static_cast<size_t>(i) * n;
+    double mean = 0.0;
+    for (int j = 0; j < n; ++j) mean += xi[j];
+    mean /= n;
+    double var = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double d = xi[j] - mean;
+      var += d * d;
+    }
+    var /= n;
+    const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    if (cache != nullptr) {
+      cache->mean[i] = static_cast<float>(mean);
+      cache->rstd[i] = rstd;
+    }
+    for (int j = 0; j < n; ++j) {
+      yi[j] = (xi[j] - static_cast<float>(mean)) * rstd * gain[j] + bias[j];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNormRowsBackward(const Tensor& x, const Tensor& gain,
+                             const LayerNormCache& cache, const Tensor& dy,
+                             Tensor* dgain, Tensor* dbias) {
+  assert(x.SameShape(dy) && x.ndim() == 2);
+  const int m = x.rows(), n = x.cols();
+  assert(dgain->ndim() == 1 && dgain->dim(0) == n);
+  assert(dbias->ndim() == 1 && dbias->dim(0) == n);
+  Tensor dx({m, n});
+  for (int i = 0; i < m; ++i) {
+    const float* xi = x.data() + static_cast<size_t>(i) * n;
+    const float* di = dy.data() + static_cast<size_t>(i) * n;
+    float* oi = dx.data() + static_cast<size_t>(i) * n;
+    const float mean = cache.mean[i];
+    const float rstd = cache.rstd[i];
+    // xhat_j = (x_j - mean) * rstd; dxhat_j = dy_j * gain_j.
+    double sum_dxhat = 0.0;
+    double sum_dxhat_xhat = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const float xhat = (xi[j] - mean) * rstd;
+      const float dxhat = di[j] * gain[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+      (*dgain)[j] += di[j] * xhat;
+      (*dbias)[j] += di[j];
+    }
+    for (int j = 0; j < n; ++j) {
+      const float xhat = (xi[j] - mean) * rstd;
+      const float dxhat = di[j] * gain[j];
+      oi[j] = rstd * (dxhat -
+                      static_cast<float>(sum_dxhat) / n -
+                      xhat * static_cast<float>(sum_dxhat_xhat) / n);
+    }
+  }
+  return dx;
+}
+
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids) {
+  assert(table.ndim() == 2);
+  const int d = table.cols();
+  Tensor out({static_cast<int>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    assert(ids[i] >= 0 && ids[i] < table.rows());
+    const float* src = table.data() + static_cast<size_t>(ids[i]) * d;
+    float* dst = out.data() + i * d;
+    for (int j = 0; j < d; ++j) dst[j] = src[j];
+  }
+  return out;
+}
+
+void EmbeddingScatterAdd(const std::vector<int>& ids, const Tensor& dy,
+                         Tensor* dtable) {
+  assert(dy.ndim() == 2 && dtable->ndim() == 2);
+  assert(dy.rows() == static_cast<int>(ids.size()));
+  assert(dy.cols() == dtable->cols());
+  const int d = dy.cols();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const float* src = dy.data() + i * d;
+    float* dst = dtable->data() + static_cast<size_t>(ids[i]) * d;
+    for (int j = 0; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor SliceCols(const Tensor& x, int c0, int c1) {
+  assert(x.ndim() == 2 && 0 <= c0 && c0 < c1 && c1 <= x.cols());
+  const int m = x.rows(), n = x.cols(), w = c1 - c0;
+  Tensor y({m, w});
+  for (int i = 0; i < m; ++i) {
+    const float* src = x.data() + static_cast<size_t>(i) * n + c0;
+    float* dst = y.data() + static_cast<size_t>(i) * w;
+    for (int j = 0; j < w; ++j) dst[j] = src[j];
+  }
+  return y;
+}
+
+void SliceColsScatterAdd(const Tensor& dy, int c0, Tensor* dx) {
+  assert(dy.ndim() == 2 && dx->ndim() == 2);
+  assert(dy.rows() == dx->rows());
+  const int m = dy.rows(), w = dy.cols(), n = dx->cols();
+  assert(c0 >= 0 && c0 + w <= n);
+  for (int i = 0; i < m; ++i) {
+    const float* src = dy.data() + static_cast<size_t>(i) * w;
+    float* dst = dx->data() + static_cast<size_t>(i) * n + c0;
+    for (int j = 0; j < w; ++j) dst[j] += src[j];
+  }
+}
+
+Tensor ConcatCols(const std::vector<const Tensor*>& xs) {
+  assert(!xs.empty());
+  const int m = xs[0]->rows();
+  int total = 0;
+  for (const Tensor* x : xs) {
+    assert(x->ndim() == 2 && x->rows() == m);
+    total += x->cols();
+  }
+  Tensor y({m, total});
+  int offset = 0;
+  for (const Tensor* x : xs) {
+    const int w = x->cols();
+    for (int i = 0; i < m; ++i) {
+      const float* src = x->data() + static_cast<size_t>(i) * w;
+      float* dst = y.data() + static_cast<size_t>(i) * total + offset;
+      for (int j = 0; j < w; ++j) dst[j] = src[j];
+    }
+    offset += w;
+  }
+  return y;
+}
+
+Tensor Transpose(const Tensor& x) {
+  assert(x.ndim() == 2);
+  const int m = x.rows(), n = x.cols();
+  Tensor y({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) y.at(j, i) = x.at(i, j);
+  }
+  return y;
+}
+
+float CrossEntropyFromLogits(const Tensor& logits,
+                             const std::vector<int>& targets,
+                             int ignore_index, Tensor* probs) {
+  assert(logits.ndim() == 2);
+  assert(logits.rows() == static_cast<int>(targets.size()));
+  Tensor p = SoftmaxRows(logits);
+  const int m = logits.rows(), v = logits.cols();
+  double loss = 0.0;
+  int valid = 0;
+  for (int i = 0; i < m; ++i) {
+    const int t = targets[i];
+    if (t == ignore_index) continue;
+    assert(t >= 0 && t < v);
+    const float pt = p.data()[static_cast<size_t>(i) * v + t];
+    loss -= std::log(std::max(pt, 1e-12f));
+    ++valid;
+  }
+  if (probs != nullptr) *probs = std::move(p);
+  if (valid == 0) return 0.0f;
+  return static_cast<float>(loss / valid);
+}
+
+Tensor CrossEntropyBackward(const Tensor& probs,
+                            const std::vector<int>& targets,
+                            int ignore_index, float dloss) {
+  assert(probs.ndim() == 2);
+  const int m = probs.rows(), v = probs.cols();
+  assert(m == static_cast<int>(targets.size()));
+  int valid = 0;
+  for (int t : targets) {
+    if (t != ignore_index) ++valid;
+  }
+  Tensor dx({m, v});
+  if (valid == 0) return dx;
+  const float scale = dloss / static_cast<float>(valid);
+  for (int i = 0; i < m; ++i) {
+    const int t = targets[i];
+    float* out = dx.data() + static_cast<size_t>(i) * v;
+    if (t == ignore_index) continue;
+    const float* pi = probs.data() + static_cast<size_t>(i) * v;
+    for (int j = 0; j < v; ++j) out[j] = pi[j] * scale;
+    out[t] -= scale;
+  }
+  return dx;
+}
+
+}  // namespace rt::ops

@@ -1,0 +1,117 @@
+#ifndef RATATOUILLE_TENSOR_OPS_H_
+#define RATATOUILLE_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace rt::ops {
+
+// Pure forward/backward kernels shared by the autograd tape (training) and
+// the raw inference paths (generation with KV cache). All 2-D tensors are
+// row-major; batch/time dimensions are folded into rows by callers.
+
+/// C[m,n] = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[m,k] * B[n,k]^T. Used for output projections with weight
+/// tying and for gradient computations.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// C[m,n] = A[k,m]^T * B[k,n].
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// Element-wise a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Element-wise a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Element-wise a * b (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// a * s.
+Tensor Scale(const Tensor& a, float s);
+
+/// x[m,n] with row vector bias[n] added to every row.
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+
+/// Column-wise sum of x[m,n] -> [n]. (Gradient of AddRowBroadcast.)
+Tensor SumRows(const Tensor& x);
+
+/// Element-wise activations.
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+Tensor Relu(const Tensor& x);
+/// Gaussian error linear unit, tanh approximation (as in GPT-2).
+Tensor Gelu(const Tensor& x);
+
+/// Backward of tanh given the forward output y: dx = dy * (1 - y^2).
+Tensor TanhBackward(const Tensor& y, const Tensor& dy);
+/// Backward of sigmoid given the forward output y: dx = dy * y * (1 - y).
+Tensor SigmoidBackward(const Tensor& y, const Tensor& dy);
+/// Backward of relu given the input x.
+Tensor ReluBackward(const Tensor& x, const Tensor& dy);
+/// Backward of gelu (tanh approximation) given the input x.
+Tensor GeluBackward(const Tensor& x, const Tensor& dy);
+
+/// Row-wise softmax of x[m,n].
+Tensor SoftmaxRows(const Tensor& x);
+
+/// Backward of row-wise softmax given output y and upstream dy.
+Tensor SoftmaxRowsBackward(const Tensor& y, const Tensor& dy);
+
+/// Row-wise log-softmax of x[m,n].
+Tensor LogSoftmaxRows(const Tensor& x);
+
+/// Cache needed to backprop layer norm.
+struct LayerNormCache {
+  std::vector<float> mean;  // per row
+  std::vector<float> rstd;  // per row: 1/sqrt(var + eps)
+};
+
+/// Row-wise layer normalization with affine gain/bias:
+/// y = (x - mean) * rstd * gain + bias. gain/bias have shape [n].
+Tensor LayerNormRows(const Tensor& x, const Tensor& gain, const Tensor& bias,
+                     float eps, LayerNormCache* cache);
+
+/// Backward of LayerNormRows. Outputs dx; accumulates into dgain/dbias.
+Tensor LayerNormRowsBackward(const Tensor& x, const Tensor& gain,
+                             const LayerNormCache& cache, const Tensor& dy,
+                             Tensor* dgain, Tensor* dbias);
+
+/// Gathers rows of table[V,D] by ids -> [len(ids), D].
+Tensor EmbeddingGather(const Tensor& table, const std::vector<int>& ids);
+
+/// Scatters dy rows back into dtable (+=) at positions ids.
+void EmbeddingScatterAdd(const std::vector<int>& ids, const Tensor& dy,
+                         Tensor* dtable);
+
+/// Copies columns [c0, c1) of x[m,n] -> [m, c1-c0].
+Tensor SliceCols(const Tensor& x, int c0, int c1);
+
+/// Accumulates dy[m, c1-c0] into columns [c0, c1) of dx[m,n].
+void SliceColsScatterAdd(const Tensor& dy, int c0, Tensor* dx);
+
+/// Concatenates matrices with equal row counts along columns.
+Tensor ConcatCols(const std::vector<const Tensor*>& xs);
+
+/// x[m,n] -> x^T [n,m].
+Tensor Transpose(const Tensor& x);
+
+/// Mean cross-entropy of logits[m,V] against integer targets[m].
+/// Rows whose target equals `ignore_index` contribute nothing.
+/// If `probs` is non-null it receives softmax(logits) for the backward pass.
+float CrossEntropyFromLogits(const Tensor& logits,
+                             const std::vector<int>& targets,
+                             int ignore_index, Tensor* probs);
+
+/// Backward of mean cross-entropy: dlogits = (probs - onehot) / n_valid,
+/// scaled by upstream dloss; ignored rows get zero gradient.
+Tensor CrossEntropyBackward(const Tensor& probs,
+                            const std::vector<int>& targets,
+                            int ignore_index, float dloss);
+
+}  // namespace rt::ops
+
+#endif  // RATATOUILLE_TENSOR_OPS_H_

@@ -1,0 +1,521 @@
+#include "tensor/tape.h"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "tensor/ops.h"
+
+namespace rt {
+
+VarId Tape::Emit(Tensor value, bool requires_grad,
+                 std::function<void()> backward) {
+  Node node;
+  node.value = std::move(value);
+  node.requires_grad = requires_grad;
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return static_cast<VarId>(nodes_.size()) - 1;
+}
+
+VarId Tape::Constant(Tensor value) {
+  return Emit(std::move(value), /*requires_grad=*/false, nullptr);
+}
+
+VarId Tape::Leaf(Tensor value, Tensor* grad_sink) {
+  VarId id = Emit(std::move(value), /*requires_grad=*/true, nullptr);
+  nodes_[id].grad_sink = grad_sink;
+  if (grad_sink != nullptr) {
+    assert(grad_sink->SameShape(nodes_[id].value));
+  }
+  return id;
+}
+
+const Tensor& Tape::value(VarId id) const {
+  assert(id >= 0 && id < static_cast<VarId>(nodes_.size()));
+  return nodes_[id].value;
+}
+
+const Tensor& Tape::grad(VarId id) const {
+  assert(id >= 0 && id < static_cast<VarId>(nodes_.size()));
+  return nodes_[id].grad;
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+void Tape::AccumGrad(VarId id, const Tensor& g) {
+  Node& node = nodes_[id];
+  if (!node.requires_grad) return;
+  if (node.grad.empty()) {
+    node.grad = Tensor::Zeros(node.value.shape());
+  }
+  node.grad.Add(g);
+}
+
+const Tensor& Tape::GradRef(VarId id) const { return nodes_[id].grad; }
+
+VarId Tape::MatMul(VarId a, VarId b) {
+  Tensor y = ops::MatMul(value(a), value(b));
+  bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, a, b] {
+      const Tensor& dy = GradRef(id);
+      if (RequiresGrad(a)) AccumGrad(a, ops::MatMulTransB(dy, value(b)));
+      if (RequiresGrad(b)) AccumGrad(b, ops::MatMulTransA(value(a), dy));
+    };
+  }
+  return id;
+}
+
+VarId Tape::MatMulTransB(VarId a, VarId b) {
+  Tensor y = ops::MatMulTransB(value(a), value(b));
+  bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, a, b] {
+      const Tensor& dy = GradRef(id);
+      // y = a b^T: da = dy b ; db = dy^T a.
+      if (RequiresGrad(a)) AccumGrad(a, ops::MatMul(dy, value(b)));
+      if (RequiresGrad(b)) AccumGrad(b, ops::MatMulTransA(dy, value(a)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Add(VarId a, VarId b) {
+  Tensor y = ops::Add(value(a), value(b));
+  bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, a, b] {
+      const Tensor& dy = GradRef(id);
+      AccumGrad(a, dy);
+      AccumGrad(b, dy);
+    };
+  }
+  return id;
+}
+
+VarId Tape::Sub(VarId a, VarId b) {
+  Tensor y = ops::Sub(value(a), value(b));
+  bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, a, b] {
+      const Tensor& dy = GradRef(id);
+      AccumGrad(a, dy);
+      AccumGrad(b, ops::Scale(dy, -1.0f));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Mul(VarId a, VarId b) {
+  Tensor y = ops::Mul(value(a), value(b));
+  bool rg = RequiresGrad(a) || RequiresGrad(b);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, a, b] {
+      const Tensor& dy = GradRef(id);
+      if (RequiresGrad(a)) AccumGrad(a, ops::Mul(dy, value(b)));
+      if (RequiresGrad(b)) AccumGrad(b, ops::Mul(dy, value(a)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Scale(VarId a, float s) {
+  Tensor y = ops::Scale(value(a), s);
+  bool rg = RequiresGrad(a);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, a, s] {
+      AccumGrad(a, ops::Scale(GradRef(id), s));
+    };
+  }
+  return id;
+}
+
+VarId Tape::AddRowBroadcast(VarId x, VarId bias) {
+  Tensor y = ops::AddRowBroadcast(value(x), value(bias));
+  bool rg = RequiresGrad(x) || RequiresGrad(bias);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x, bias] {
+      const Tensor& dy = GradRef(id);
+      if (RequiresGrad(x)) AccumGrad(x, dy);
+      if (RequiresGrad(bias)) AccumGrad(bias, ops::SumRows(dy));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Tanh(VarId x) {
+  Tensor y = ops::Tanh(value(x));
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x] {
+      AccumGrad(x, ops::TanhBackward(value(id), GradRef(id)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Sigmoid(VarId x) {
+  Tensor y = ops::Sigmoid(value(x));
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x] {
+      AccumGrad(x, ops::SigmoidBackward(value(id), GradRef(id)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Relu(VarId x) {
+  Tensor y = ops::Relu(value(x));
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x] {
+      AccumGrad(x, ops::ReluBackward(value(x), GradRef(id)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::Gelu(VarId x) {
+  Tensor y = ops::Gelu(value(x));
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x] {
+      AccumGrad(x, ops::GeluBackward(value(x), GradRef(id)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::SoftmaxRows(VarId x) {
+  Tensor y = ops::SoftmaxRows(value(x));
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x] {
+      AccumGrad(x, ops::SoftmaxRowsBackward(value(id), GradRef(id)));
+    };
+  }
+  return id;
+}
+
+VarId Tape::LayerNorm(VarId x, VarId gain, VarId bias, float eps) {
+  auto cache = std::make_shared<ops::LayerNormCache>();
+  Tensor y =
+      ops::LayerNormRows(value(x), value(gain), value(bias), eps, cache.get());
+  bool rg = RequiresGrad(x) || RequiresGrad(gain) || RequiresGrad(bias);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x, gain, bias, cache] {
+      const Tensor& dy = GradRef(id);
+      Tensor dgain = Tensor::Zeros(value(gain).shape());
+      Tensor dbias = Tensor::Zeros(value(bias).shape());
+      Tensor dx = ops::LayerNormRowsBackward(value(x), value(gain), *cache,
+                                             dy, &dgain, &dbias);
+      if (RequiresGrad(x)) AccumGrad(x, dx);
+      if (RequiresGrad(gain)) AccumGrad(gain, dgain);
+      if (RequiresGrad(bias)) AccumGrad(bias, dbias);
+    };
+  }
+  return id;
+}
+
+VarId Tape::Embedding(VarId table, std::vector<int> ids) {
+  Tensor y = ops::EmbeddingGather(value(table), ids);
+  bool rg = RequiresGrad(table);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    auto ids_ptr = std::make_shared<std::vector<int>>(std::move(ids));
+    nodes_[id].backward = [this, id, table, ids_ptr] {
+      Tensor dtable = Tensor::Zeros(value(table).shape());
+      ops::EmbeddingScatterAdd(*ids_ptr, GradRef(id), &dtable);
+      AccumGrad(table, dtable);
+    };
+  }
+  return id;
+}
+
+VarId Tape::SliceCols(VarId x, int c0, int c1) {
+  Tensor y = ops::SliceCols(value(x), c0, c1);
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x, c0] {
+      Tensor dx = Tensor::Zeros(value(x).shape());
+      ops::SliceColsScatterAdd(GradRef(id), c0, &dx);
+      AccumGrad(x, dx);
+    };
+  }
+  return id;
+}
+
+VarId Tape::ConcatRows(const std::vector<VarId>& xs) {
+  assert(!xs.empty());
+  const int n = value(xs[0]).cols();
+  int total_rows = 0;
+  bool rg = false;
+  for (VarId x : xs) {
+    assert(value(x).ndim() == 2 && value(x).cols() == n);
+    total_rows += value(x).rows();
+    rg = rg || RequiresGrad(x);
+  }
+  Tensor y({total_rows, n});
+  int row = 0;
+  for (VarId x : xs) {
+    const Tensor& t = value(x);
+    const size_t bytes_rows = static_cast<size_t>(t.rows()) * n;
+    float* dst = y.data() + static_cast<size_t>(row) * n;
+    const float* src = t.data();
+    for (size_t i = 0; i < bytes_rows; ++i) dst[i] = src[i];
+    row += t.rows();
+  }
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    auto parts = std::make_shared<std::vector<VarId>>(xs);
+    nodes_[id].backward = [this, id, parts] {
+      const Tensor& dy = GradRef(id);
+      const int cols = dy.cols();
+      int r = 0;
+      for (VarId x : *parts) {
+        const int rows = value(x).rows();
+        Tensor dx({rows, cols});
+        const float* src = dy.data() + static_cast<size_t>(r) * cols;
+        float* dst = dx.data();
+        for (size_t i = 0; i < static_cast<size_t>(rows) * cols; ++i) {
+          dst[i] = src[i];
+        }
+        AccumGrad(x, dx);
+        r += rows;
+      }
+    };
+  }
+  return id;
+}
+
+VarId Tape::Dropout(VarId x, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) {
+    // Identity pass-through node keeps graph structure uniform.
+    Tensor y = value(x);
+    bool rg = RequiresGrad(x);
+    VarId id = Emit(std::move(y), rg, nullptr);
+    if (rg) {
+      nodes_[id].backward = [this, id, x] { AccumGrad(x, GradRef(id)); };
+    }
+    return id;
+  }
+  assert(p < 1.0f);
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  auto mask = std::make_shared<Tensor>(Tensor::Zeros(value(x).shape()));
+  Tensor y = value(x);
+  for (size_t i = 0; i < y.numel(); ++i) {
+    if (rng->NextFloat() < keep) {
+      (*mask)[i] = inv_keep;
+      y[i] *= inv_keep;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(std::move(y), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x, mask] {
+      AccumGrad(x, ops::Mul(GradRef(id), *mask));
+    };
+  }
+  return id;
+}
+
+VarId Tape::SumAll(VarId x) {
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(Tensor::Scalar(value(x).Sum()), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x] {
+      const float d = GradRef(id).item();
+      AccumGrad(x, Tensor::Full(value(x).shape(), d));
+    };
+  }
+  return id;
+}
+
+VarId Tape::MeanAll(VarId x) {
+  const float n = static_cast<float>(value(x).numel());
+  bool rg = RequiresGrad(x);
+  VarId id = Emit(Tensor::Scalar(value(x).Mean()), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, x, n] {
+      const float d = GradRef(id).item() / n;
+      AccumGrad(x, Tensor::Full(value(x).shape(), d));
+    };
+  }
+  return id;
+}
+
+VarId Tape::CrossEntropy(VarId logits, std::vector<int> targets,
+                         int ignore_index) {
+  auto probs = std::make_shared<Tensor>();
+  float loss = ops::CrossEntropyFromLogits(value(logits), targets,
+                                           ignore_index, probs.get());
+  bool rg = RequiresGrad(logits);
+  VarId id = Emit(Tensor::Scalar(loss), rg, nullptr);
+  if (rg) {
+    auto targets_ptr = std::make_shared<std::vector<int>>(std::move(targets));
+    nodes_[id].backward = [this, id, logits, probs, targets_ptr,
+                           ignore_index] {
+      const float dloss = GradRef(id).item();
+      AccumGrad(logits, ops::CrossEntropyBackward(*probs, *targets_ptr,
+                                                  ignore_index, dloss));
+    };
+  }
+  return id;
+}
+
+VarId Tape::CausalSelfAttention(VarId q, VarId k, VarId v, int batch,
+                                int seq, int heads) {
+  const Tensor& qt = value(q);
+  const Tensor& kt = value(k);
+  const Tensor& vt = value(v);
+  assert(qt.SameShape(kt) && qt.SameShape(vt));
+  assert(qt.rows() == batch * seq);
+  assert(qt.cols() % heads == 0);
+  const int dh = qt.cols() / heads;
+  const int hd = qt.cols();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  // Softmax probabilities cached for backward: row ((b*H + h)*T + t).
+  auto probs = std::make_shared<Tensor>(
+      Tensor::Zeros({batch * heads * seq, seq}));
+  Tensor out({batch * seq, hd});
+
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < heads; ++h) {
+      const int col0 = h * dh;
+      for (int t = 0; t < seq; ++t) {
+        const float* qrow = qt.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+        float* prow = probs->data() +
+                      static_cast<size_t>((b * heads + h) * seq + t) * seq;
+        // Scores over u <= t with running max for stable softmax.
+        float mx = -1e30f;
+        for (int u = 0; u <= t; ++u) {
+          const float* krow =
+              kt.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+          double acc = 0.0;
+          for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+          prow[u] = static_cast<float>(acc) * scale;
+          mx = std::max(mx, prow[u]);
+        }
+        double sum = 0.0;
+        for (int u = 0; u <= t; ++u) {
+          prow[u] = std::exp(prow[u] - mx);
+          sum += prow[u];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int u = 0; u <= t; ++u) prow[u] *= inv;
+        // Masked positions u > t stay exactly zero.
+        float* orow =
+            out.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+        for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
+        for (int u = 0; u <= t; ++u) {
+          const float p = prow[u];
+          if (p == 0.0f) continue;
+          const float* vrow =
+              vt.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+          for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
+        }
+      }
+    }
+  }
+
+  bool rg = RequiresGrad(q) || RequiresGrad(k) || RequiresGrad(v);
+  VarId id = Emit(std::move(out), rg, nullptr);
+  if (rg) {
+    nodes_[id].backward = [this, id, q, k, v, batch, seq, heads, dh, hd,
+                           scale, probs] {
+      const Tensor& dy = GradRef(id);
+      const Tensor& qt2 = value(q);
+      const Tensor& kt2 = value(k);
+      const Tensor& vt2 = value(v);
+      Tensor dq = Tensor::Zeros(qt2.shape());
+      Tensor dk = Tensor::Zeros(kt2.shape());
+      Tensor dv = Tensor::Zeros(vt2.shape());
+      std::vector<float> dp(seq);
+      for (int b = 0; b < batch; ++b) {
+        for (int h = 0; h < heads; ++h) {
+          const int col0 = h * dh;
+          for (int t = 0; t < seq; ++t) {
+            const float* prow =
+                probs->data() +
+                static_cast<size_t>((b * heads + h) * seq + t) * seq;
+            const float* dyrow =
+                dy.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+            // dV and dP.
+            for (int u = 0; u <= t; ++u) {
+              const float p = prow[u];
+              float* dvrow =
+                  dv.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+              const float* vrow =
+                  vt2.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+              double acc = 0.0;
+              for (int d = 0; d < dh; ++d) {
+                dvrow[d] += p * dyrow[d];
+                acc += dyrow[d] * vrow[d];
+              }
+              dp[u] = static_cast<float>(acc);
+            }
+            // Softmax backward restricted to valid positions.
+            double dot = 0.0;
+            for (int u = 0; u <= t; ++u) dot += prow[u] * dp[u];
+            const float* qrow =
+                qt2.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+            float* dqrow =
+                dq.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+            for (int u = 0; u <= t; ++u) {
+              const float ds =
+                  prow[u] * (dp[u] - static_cast<float>(dot)) * scale;
+              if (ds == 0.0f) continue;
+              const float* krow =
+                  kt2.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+              float* dkrow =
+                  dk.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+              for (int d = 0; d < dh; ++d) {
+                dqrow[d] += ds * krow[d];
+                dkrow[d] += ds * qrow[d];
+              }
+            }
+          }
+        }
+      }
+      if (RequiresGrad(q)) AccumGrad(q, dq);
+      if (RequiresGrad(k)) AccumGrad(k, dk);
+      if (RequiresGrad(v)) AccumGrad(v, dv);
+    };
+  }
+  return id;
+}
+
+void Tape::Backward(VarId loss) {
+  assert(loss >= 0 && loss < static_cast<VarId>(nodes_.size()));
+  assert(nodes_[loss].value.numel() == 1);
+  AccumGrad(loss, Tensor::Scalar(1.0f));
+  for (VarId id = loss; id >= 0; --id) {
+    Node& node = nodes_[id];
+    if (!node.requires_grad || node.grad.empty()) continue;
+    if (node.backward) node.backward();
+    if (node.grad_sink != nullptr) node.grad_sink->Add(node.grad);
+  }
+}
+
+}  // namespace rt

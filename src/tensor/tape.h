@@ -1,0 +1,126 @@
+#ifndef RATATOUILLE_TENSOR_TAPE_H_
+#define RATATOUILLE_TENSOR_TAPE_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace rt {
+
+/// Handle to a node on a Tape.
+using VarId = int;
+inline constexpr VarId kInvalidVar = -1;
+
+/// Define-by-run reverse-mode autodiff tape.
+///
+/// A Tape is built fresh for every training step: leaves are created for
+/// inputs and parameters, ops append nodes with recorded backward closures,
+/// and Backward(loss) propagates gradients in reverse creation order.
+/// Parameter leaves carry an external gradient sink into which their
+/// gradient is accumulated, so optimizers never touch the tape.
+///
+/// Not thread-safe; one tape per training thread.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  /// Leaf with no gradient tracking (e.g. fixed masks).
+  VarId Constant(Tensor value);
+
+  /// Leaf whose gradient is wanted. If `grad_sink` is non-null, the
+  /// gradient is accumulated (+=) into it by Backward(); the sink must
+  /// outlive the tape and have the same shape as `value`.
+  VarId Leaf(Tensor value, Tensor* grad_sink = nullptr);
+
+  /// Forward value of a node.
+  const Tensor& value(VarId id) const;
+
+  /// Gradient of a node after Backward(); empty tensor if none flowed.
+  const Tensor& grad(VarId id) const;
+
+  /// Number of nodes recorded.
+  size_t size() const { return nodes_.size(); }
+
+  /// Drops all nodes (the tape can be reused for the next step).
+  void Clear();
+
+  // ---- Recorded operations --------------------------------------------
+
+  /// y = a[m,k] @ b[k,n].
+  VarId MatMul(VarId a, VarId b);
+  /// y = a[m,k] @ b[n,k]^T (weight-tied output projections).
+  VarId MatMulTransB(VarId a, VarId b);
+  VarId Add(VarId a, VarId b);
+  VarId Sub(VarId a, VarId b);
+  /// Element-wise product.
+  VarId Mul(VarId a, VarId b);
+  /// y = a * s for a compile-time constant s.
+  VarId Scale(VarId a, float s);
+  /// Adds bias[n] to every row of x[m,n].
+  VarId AddRowBroadcast(VarId x, VarId bias);
+  VarId Tanh(VarId x);
+  VarId Sigmoid(VarId x);
+  VarId Relu(VarId x);
+  VarId Gelu(VarId x);
+  /// Row-wise softmax.
+  VarId SoftmaxRows(VarId x);
+  /// Row-wise layer norm with affine params gain[n], bias[n].
+  VarId LayerNorm(VarId x, VarId gain, VarId bias, float eps = 1e-5f);
+  /// Gathers rows of the embedding table at `ids`.
+  VarId Embedding(VarId table, std::vector<int> ids);
+  /// Copies columns [c0, c1).
+  VarId SliceCols(VarId x, int c0, int c1);
+  /// Stacks matrices with equal column counts along rows.
+  VarId ConcatRows(const std::vector<VarId>& xs);
+  /// Inverted dropout: scales kept activations by 1/(1-p) during training;
+  /// identity when `training` is false or p == 0.
+  VarId Dropout(VarId x, float p, Rng* rng, bool training);
+  /// Sum of all elements -> scalar node.
+  VarId SumAll(VarId x);
+  /// Mean of all elements -> scalar node.
+  VarId MeanAll(VarId x);
+  /// Mean cross-entropy of logits[m,V] vs targets[m]; rows with target ==
+  /// ignore_index are excluded. Returns a scalar node.
+  VarId CrossEntropy(VarId logits, std::vector<int> targets,
+                     int ignore_index = -1);
+  /// Fused multi-head causal self-attention. q, k, v are [B*T, H*Dh] with
+  /// row index b*T + t and head h in columns [h*Dh, (h+1)*Dh). Scores are
+  /// scaled by 1/sqrt(Dh) and future positions are masked. Returns the
+  /// attention output with the same layout as the inputs.
+  VarId CausalSelfAttention(VarId q, VarId k, VarId v, int batch, int seq,
+                            int heads);
+
+  /// Runs reverse-mode accumulation seeded with d(loss)=1. `loss` must be
+  /// a scalar node. Gradients of parameter leaves are added into their
+  /// sinks. May be called once per recorded graph.
+  void Backward(VarId loss);
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // allocated lazily during Backward
+    std::function<void()> backward;  // may be empty (leaves/constants)
+    bool requires_grad = false;
+    Tensor* grad_sink = nullptr;
+  };
+
+  VarId Emit(Tensor value, bool requires_grad,
+             std::function<void()> backward);
+  bool RequiresGrad(VarId id) const { return nodes_[id].requires_grad; }
+  /// Accumulates `g` into the gradient buffer of `id` (no-op when the node
+  /// does not require grad).
+  void AccumGrad(VarId id, const Tensor& g);
+  /// Returns the node's gradient, which must have been allocated.
+  const Tensor& GradRef(VarId id) const;
+
+  std::vector<Node> nodes_;
+  Tensor empty_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TENSOR_TAPE_H_

@@ -1,0 +1,100 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rt {
+
+size_t ShapeVolume(const std::vector<int>& shape) {
+  size_t v = 1;
+  for (int d : shape) {
+    assert(d >= 0);
+    v *= static_cast<size_t>(d);
+  }
+  return v;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(ShapeVolume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(data_.size() == ShapeVolume(shape_));
+}
+
+Tensor Tensor::Scalar(float v) { return Tensor({1}, {v}); }
+
+Tensor Tensor::Zeros(std::vector<int> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float v) {
+  Tensor t(std::move(shape));
+  t.Fill(v);
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int> shape, float bound, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(-bound, bound));
+  }
+  return t;
+}
+
+Tensor Tensor::Normal(std::vector<int> shape, float stddev, Rng* rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng->NextGaussian() * stddev);
+  }
+  return t;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::Reshaped(std::vector<int> new_shape) const {
+  assert(ShapeVolume(new_shape) == data_.size());
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::ShapeString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  if (data_.empty()) return 0.0f;
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::Min() const {
+  if (data_.empty()) return 0.0f;
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Max() const {
+  if (data_.empty()) return 0.0f;
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+void Tensor::Add(const Tensor& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+}  // namespace rt

@@ -1,0 +1,135 @@
+#ifndef RATATOUILLE_TENSOR_TENSOR_H_
+#define RATATOUILLE_TENSOR_TENSOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rt {
+
+/// A dense row-major float32 tensor with a dynamic shape.
+///
+/// This is deliberately a simple value type (shape + flat data); all
+/// shapes used by the models are 1-D or 2-D, with batch/time dimensions
+/// folded into rows by the callers. Copy is a deep copy.
+class Tensor {
+ public:
+  /// An empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Tensor with explicit contents; data.size() must equal the shape volume.
+  Tensor(std::vector<int> shape, std::vector<float> data);
+
+  /// 1-element scalar tensor.
+  static Tensor Scalar(float v);
+
+  /// Zero tensor of the given shape.
+  static Tensor Zeros(std::vector<int> shape);
+
+  /// Constant-filled tensor.
+  static Tensor Full(std::vector<int> shape, float v);
+
+  /// I.i.d. uniform in [-bound, bound].
+  static Tensor Uniform(std::vector<int> shape, float bound, Rng* rng);
+
+  /// I.i.d. normal with the given standard deviation.
+  static Tensor Normal(std::vector<int> shape, float stddev, Rng* rng);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+
+  /// Size of dimension `d`. Precondition: 0 <= d < ndim().
+  int dim(int d) const {
+    assert(d >= 0 && d < ndim());
+    return shape_[d];
+  }
+
+  /// Total number of elements.
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Number of rows/cols of a 2-D tensor.
+  int rows() const {
+    assert(ndim() == 2);
+    return shape_[0];
+  }
+  int cols() const {
+    assert(ndim() == 2);
+    return shape_[1];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Flat element access.
+  float& operator[](size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D element access. Precondition: ndim() == 2.
+  float& at(int r, int c) {
+    assert(ndim() == 2 && r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r) * shape_[1] + c];
+  }
+  float at(int r, int c) const {
+    assert(ndim() == 2 && r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r) * shape_[1] + c];
+  }
+
+  /// The value of a 1-element tensor.
+  float item() const {
+    assert(numel() == 1);
+    return data_[0];
+  }
+
+  /// Sets every element to v.
+  void Fill(float v);
+
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+
+  /// Reinterprets the flat data with a new shape of equal volume.
+  Tensor Reshaped(std::vector<int> new_shape) const;
+
+  /// True if shapes are identical.
+  bool SameShape(const Tensor& other) const {
+    return shape_ == other.shape_;
+  }
+
+  /// "[2, 3]" style shape string for error messages.
+  std::string ShapeString() const;
+
+  /// Sum / mean / min / max over all elements (0 for empty tensors).
+  float Sum() const;
+  float Mean() const;
+  float Min() const;
+  float Max() const;
+
+  /// In-place element-wise accumulate: this += other (same shape).
+  void Add(const Tensor& other);
+
+  /// In-place scale: this *= s.
+  void Scale(float s);
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Volume of a shape (product of dimensions; 1 for the empty shape).
+size_t ShapeVolume(const std::vector<int>& shape);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TENSOR_TENSOR_H_

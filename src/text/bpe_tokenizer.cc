@@ -1,0 +1,258 @@
+#include "text/bpe_tokenizer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "text/special_tokens.h"
+#include "text/word_tokenizer.h"
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+constexpr const char* kEndOfWord = "</w>";
+
+using Pair = std::pair<std::string, std::string>;
+
+std::vector<std::string> WordToSymbols(const std::string& word) {
+  std::vector<std::string> symbols;
+  symbols.reserve(word.size() + 1);
+  for (char c : word) symbols.emplace_back(1, c);
+  symbols.emplace_back(kEndOfWord);
+  return symbols;
+}
+
+void MergePairInPlace(std::vector<std::string>* symbols, const Pair& pair) {
+  std::vector<std::string> merged;
+  merged.reserve(symbols->size());
+  size_t i = 0;
+  while (i < symbols->size()) {
+    if (i + 1 < symbols->size() && (*symbols)[i] == pair.first &&
+        (*symbols)[i + 1] == pair.second) {
+      merged.push_back(pair.first + pair.second);
+      i += 2;
+    } else {
+      merged.push_back((*symbols)[i]);
+      ++i;
+    }
+  }
+  *symbols = std::move(merged);
+}
+
+}  // namespace
+
+BpeTokenizer BpeTokenizer::Train(const std::vector<std::string>& corpus,
+                                 int vocab_budget) {
+  BpeTokenizer t;
+  for (const auto& tok : ReservedTokens()) t.vocab_.AddToken(tok);
+  t.vocab_.AddToken(kEndOfWord);
+
+  // Word frequency table over non-reserved pre-tokens.
+  std::map<std::string, long long> word_counts;
+  for (const std::string& doc : corpus) {
+    for (const std::string& w : WordTokenizer::PreTokenize(doc)) {
+      if (StartsWith(w, "<") && EndsWith(w, ">")) continue;
+      ++word_counts[w];
+    }
+  }
+
+  // Seed single-character symbols (sorted => deterministic ids).
+  std::set<char> chars;
+  for (const auto& [word, count] : word_counts) {
+    for (char c : word) chars.insert(c);
+  }
+  for (char c : chars) t.vocab_.AddToken(std::string(1, c));
+
+  // Working segmentation of each distinct word.
+  std::vector<std::pair<std::vector<std::string>, long long>> words;
+  words.reserve(word_counts.size());
+  for (const auto& [word, count] : word_counts) {
+    words.emplace_back(WordToSymbols(word), count);
+  }
+
+  while (t.vocab_.size() < vocab_budget) {
+    // Count adjacent pairs (ordered map => deterministic tie-break on the
+    // lexicographically smallest pair).
+    std::map<Pair, long long> pair_counts;
+    for (const auto& [symbols, count] : words) {
+      for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+        pair_counts[{symbols[i], symbols[i + 1]}] += count;
+      }
+    }
+    Pair best;
+    long long best_count = 0;
+    for (const auto& [pair, count] : pair_counts) {
+      if (count > best_count) {
+        best = pair;
+        best_count = count;
+      }
+    }
+    if (best_count < 2) break;
+
+    t.merge_rank_.emplace(best,
+                          static_cast<int>(t.merge_rank_.size()));
+    t.vocab_.AddToken(best.first + best.second);
+    for (auto& [symbols, count] : words) {
+      MergePairInPlace(&symbols, best);
+    }
+  }
+  return t;
+}
+
+std::vector<std::string> BpeTokenizer::SegmentWord(
+    const std::string& word) const {
+  std::vector<std::string> symbols = WordToSymbols(word);
+  // Repeatedly apply the lowest-rank applicable merge.
+  for (;;) {
+    int best_rank = -1;
+    Pair best;
+    for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+      auto it = merge_rank_.find({symbols[i], symbols[i + 1]});
+      if (it != merge_rank_.end() &&
+          (best_rank < 0 || it->second < best_rank)) {
+        best_rank = it->second;
+        best = it->first;
+      }
+    }
+    if (best_rank < 0) break;
+    MergePairInPlace(&symbols, best);
+  }
+  return symbols;
+}
+
+std::vector<int> BpeTokenizer::Encode(const std::string& text) const {
+  std::vector<int> ids;
+  for (const std::string& w : WordTokenizer::PreTokenize(text)) {
+    if (StartsWith(w, "<") && EndsWith(w, ">")) {
+      int id = vocab_.GetId(w);
+      ids.push_back(id >= 0 ? id : unk_id());
+      continue;
+    }
+    auto it = cache_.find(w);
+    if (it == cache_.end()) {
+      std::vector<int> word_ids;
+      for (const std::string& s : SegmentWord(w)) {
+        int id = vocab_.GetId(s);
+        word_ids.push_back(id >= 0 ? id : unk_id());
+      }
+      it = cache_.emplace(w, std::move(word_ids)).first;
+    }
+    ids.insert(ids.end(), it->second.begin(), it->second.end());
+  }
+  return ids;
+}
+
+std::string BpeTokenizer::Serialize() const {
+  // Header, vocab block (escaped, from Vocab::Serialize), then merges in
+  // rank order. BPE symbols never contain whitespace, so tab-separated
+  // pairs are unambiguous.
+  std::string out = "RTBPE1\n";
+  out += std::to_string(vocab_.size());
+  out += '\n';
+  out += vocab_.Serialize();
+  std::vector<Pair> by_rank(merge_rank_.size());
+  for (const auto& [pair, rank] : merge_rank_) by_rank[rank] = pair;
+  out += std::to_string(by_rank.size());
+  out += '\n';
+  for (const Pair& pair : by_rank) {
+    out += pair.first;
+    out += '\t';
+    out += pair.second;
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<BpeTokenizer> BpeTokenizer::Deserialize(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n', /*keep_empty=*/true);
+  size_t i = 0;
+  auto next_line = [&]() -> const std::string* {
+    return i < lines.size() ? &lines[i++] : nullptr;
+  };
+  const std::string* header = next_line();
+  if (header == nullptr || *header != "RTBPE1") {
+    return Status::InvalidArgument("bad BPE header");
+  }
+  const std::string* count_line = next_line();
+  if (count_line == nullptr) return Status::InvalidArgument("truncated");
+  const int vocab_count = std::atoi(count_line->c_str());
+  if (vocab_count <= 0) return Status::InvalidArgument("bad vocab count");
+  std::string vocab_blob;
+  for (int v = 0; v < vocab_count; ++v) {
+    const std::string* line = next_line();
+    if (line == nullptr) return Status::InvalidArgument("truncated vocab");
+    vocab_blob += *line;
+    vocab_blob += '\n';
+  }
+  BpeTokenizer t;
+  RT_ASSIGN_OR_RETURN(t.vocab_, Vocab::Deserialize(vocab_blob));
+  const std::string* merge_count_line = next_line();
+  if (merge_count_line == nullptr) {
+    return Status::InvalidArgument("missing merge count");
+  }
+  const int merge_count = std::atoi(merge_count_line->c_str());
+  for (int m = 0; m < merge_count; ++m) {
+    const std::string* line = next_line();
+    if (line == nullptr) return Status::InvalidArgument("truncated merges");
+    const size_t tab = line->find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument("bad merge line: " + *line);
+    }
+    t.merge_rank_.emplace(
+        Pair{line->substr(0, tab), line->substr(tab + 1)}, m);
+  }
+  return t;
+}
+
+Status BpeTokenizer::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << Serialize();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<BpeTokenizer> BpeTokenizer::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+std::string BpeTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  bool at_word_start = true;
+  for (int id : ids) {
+    if (id < 0 || id >= vocab_.size() || id == pad_id()) continue;
+    const std::string& tok = vocab_.GetToken(id);
+    if (tok == kEndOfWord) {
+      at_word_start = true;
+      continue;
+    }
+    if (StartsWith(tok, "<") && EndsWith(tok, ">")) {
+      if (!out.empty() && out.back() != ' ') out += ' ';
+      out += tok;
+      out += ' ';
+      at_word_start = true;
+      continue;
+    }
+    if (at_word_start && !out.empty() && out.back() != ' ') out += ' ';
+    at_word_start = false;
+    // Subwords may themselves end with the end-of-word marker when it was
+    // merged into a larger symbol.
+    if (EndsWith(tok, kEndOfWord)) {
+      out += tok.substr(0, tok.size() - 4);
+      at_word_start = true;
+    } else {
+      out += tok;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace rt

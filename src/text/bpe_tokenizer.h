@@ -1,0 +1,58 @@
+#ifndef RATATOUILLE_TEXT_BPE_TOKENIZER_H_
+#define RATATOUILLE_TEXT_BPE_TOKENIZER_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace rt {
+
+/// Trainable byte-pair-encoding tokenizer, the subword scheme GPT-2 uses
+/// (paper Sec. IV-B). Merges are learned greedily from word frequencies:
+/// each step fuses the most frequent adjacent symbol pair (lexicographic
+/// tie-break => deterministic). Words end with the "</w>" marker so word
+/// boundaries survive subword segmentation. Reserved structural/fraction
+/// tags are atomic and never split.
+class BpeTokenizer : public Tokenizer {
+ public:
+  /// Learns merges until the vocabulary reaches `vocab_budget` tokens or
+  /// no pair occurs at least twice.
+  static BpeTokenizer Train(const std::vector<std::string>& corpus,
+                            int vocab_budget);
+
+  std::vector<int> Encode(const std::string& text) const override;
+  std::string Decode(const std::vector<int>& ids) const override;
+  std::string name() const override { return "bpe"; }
+  const Vocab& vocab() const override { return vocab_; }
+
+  /// Number of learned merge rules.
+  int num_merges() const { return static_cast<int>(merge_rank_.size()); }
+
+  /// Subword segmentation of one word (for tests/inspection).
+  std::vector<std::string> SegmentWord(const std::string& word) const;
+
+  /// Serializes vocab + merge rules to a text blob / file, so a trained
+  /// tokenizer can be shipped alongside model checkpoints.
+  std::string Serialize() const;
+  static StatusOr<BpeTokenizer> Deserialize(const std::string& text);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<BpeTokenizer> LoadFromFile(const std::string& path);
+
+ private:
+  BpeTokenizer() = default;
+
+  // rank of each learned pair; lower rank merges first.
+  std::map<std::pair<std::string, std::string>, int> merge_rank_;
+  Vocab vocab_;
+  // Per-word segmentation cache. Encode() is logically const; the cache
+  // makes repeated corpus encoding linear. Not thread-safe.
+  mutable std::unordered_map<std::string, std::vector<int>> cache_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TEXT_BPE_TOKENIZER_H_

@@ -1,0 +1,55 @@
+#include "text/char_tokenizer.h"
+
+#include <set>
+
+#include "text/special_tokens.h"
+#include "util/strings.h"
+
+namespace rt {
+
+CharTokenizer CharTokenizer::Build(const std::vector<std::string>& corpus) {
+  CharTokenizer t;
+  for (const auto& tok : ReservedTokens()) t.vocab_.AddToken(tok);
+  std::set<char> chars;
+  for (const std::string& doc : corpus) {
+    for (char c : doc) chars.insert(c);
+  }
+  for (char c : chars) t.vocab_.AddToken(std::string(1, c));
+  return t;
+}
+
+std::vector<int> CharTokenizer::Encode(const std::string& text) const {
+  std::vector<int> ids;
+  ids.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    // Reserved tags stay atomic even at the character level.
+    if (text[i] == '<') {
+      bool matched = false;
+      for (const auto& tag : ReservedTokens()) {
+        if (text.compare(i, tag.size(), tag) == 0) {
+          ids.push_back(vocab_.GetId(tag));
+          i += tag.size();
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    int id = vocab_.GetId(std::string(1, text[i]));
+    ids.push_back(id >= 0 ? id : unk_id());
+    ++i;
+  }
+  return ids;
+}
+
+std::string CharTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id < 0 || id >= vocab_.size() || id == pad_id()) continue;
+    out += vocab_.GetToken(id);
+  }
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,36 @@
+#ifndef RATATOUILLE_TEXT_CHAR_TOKENIZER_H_
+#define RATATOUILLE_TEXT_CHAR_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace rt {
+
+/// Character-level tokenizer (paper Sec. IV-A, char-level LSTM).
+///
+/// Every byte of the corpus becomes a token, except the reserved
+/// structural/fraction tags, which are kept as single tokens so the tagged
+/// recipe format stays parseable at the character level too. The
+/// vocabulary is the reserved tokens followed by the sorted set of
+/// distinct characters seen during Build().
+class CharTokenizer : public Tokenizer {
+ public:
+  /// Builds the vocabulary from the corpus (deterministic).
+  static CharTokenizer Build(const std::vector<std::string>& corpus);
+
+  std::vector<int> Encode(const std::string& text) const override;
+  std::string Decode(const std::vector<int>& ids) const override;
+  std::string name() const override { return "char"; }
+  const Vocab& vocab() const override { return vocab_; }
+
+ private:
+  CharTokenizer() = default;
+
+  Vocab vocab_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TEXT_CHAR_TOKENIZER_H_

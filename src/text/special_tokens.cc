@@ -1,0 +1,83 @@
+#include "text/special_tokens.h"
+
+#include <array>
+
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+struct FractionEntry {
+  const char* text;   // literal as it appears in recipes
+  const char* token;  // replacement special token
+};
+
+// Ordered longest-first so "1/16" is matched before "1/1..." prefixes
+// could interfere; entries are disjoint anyway but order is part of the
+// deterministic contract.
+constexpr std::array<FractionEntry, 10> kFractions = {{
+    {"1/16", "<FRAC_1_16>"},
+    {"1/2", "<FRAC_1_2>"},
+    {"1/3", "<FRAC_1_3>"},
+    {"2/3", "<FRAC_2_3>"},
+    {"1/4", "<FRAC_1_4>"},
+    {"3/4", "<FRAC_3_4>"},
+    {"1/8", "<FRAC_1_8>"},
+    {"3/8", "<FRAC_3_8>"},
+    {"5/8", "<FRAC_5_8>"},
+    {"7/8", "<FRAC_7_8>"},
+}};
+
+}  // namespace
+
+const std::vector<std::string>& StructuralTags() {
+  static const std::vector<std::string>& tags = *new std::vector<std::string>{
+      kRecipeStart, kRecipeEnd,  kTitleStart, kTitleEnd, kIngrStart,
+      kIngrNext,    kIngrEnd,    kInstrStart, kInstrNext, kInstrEnd,
+      kInputStart,  kInputNext,  kInputEnd,
+  };
+  return tags;
+}
+
+const std::vector<std::string>& ReservedTokens() {
+  static const std::vector<std::string>& tokens =
+      *new std::vector<std::string>([] {
+        std::vector<std::string> v{kPadToken, kUnkToken};
+        for (const auto& t : StructuralTags()) v.push_back(t);
+        for (const auto& f : kFractions) v.push_back(f.token);
+        return v;
+      }());
+  return tokens;
+}
+
+std::string NormalizeFractions(const std::string& text) {
+  std::string out = text;
+  for (const auto& f : kFractions) {
+    out = ReplaceAll(out, f.text, f.token);
+  }
+  return out;
+}
+
+std::string DenormalizeFractions(const std::string& text) {
+  std::string out = text;
+  for (const auto& f : kFractions) {
+    out = ReplaceAll(out, f.token, f.text);
+  }
+  return out;
+}
+
+bool IsStructuralTag(const std::string& token) {
+  for (const auto& t : StructuralTags()) {
+    if (t == token) return true;
+  }
+  return false;
+}
+
+bool IsFractionToken(const std::string& token) {
+  for (const auto& f : kFractions) {
+    if (f.token == token) return true;
+  }
+  return false;
+}
+
+}  // namespace rt

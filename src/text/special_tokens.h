@@ -1,0 +1,54 @@
+#ifndef RATATOUILLE_TEXT_SPECIAL_TOKENS_H_
+#define RATATOUILLE_TEXT_SPECIAL_TOKENS_H_
+
+#include <string>
+#include <vector>
+
+namespace rt {
+
+// Structural tags that delimit the sections of a tagged recipe string
+// (paper Fig. 3). The dataset serializer emits them and the generation
+// parser consumes them; tokenizers keep each tag as a single token.
+inline constexpr const char* kRecipeStart = "<RECIPE_START>";
+inline constexpr const char* kRecipeEnd = "<RECIPE_END>";
+inline constexpr const char* kTitleStart = "<TITLE_START>";
+inline constexpr const char* kTitleEnd = "<TITLE_END>";
+inline constexpr const char* kIngrStart = "<INGR_START>";
+inline constexpr const char* kIngrNext = "<INGR_NEXT>";
+inline constexpr const char* kIngrEnd = "<INGR_END>";
+inline constexpr const char* kInstrStart = "<INSTR_START>";
+inline constexpr const char* kInstrNext = "<INSTR_NEXT>";
+inline constexpr const char* kInstrEnd = "<INSTR_END>";
+inline constexpr const char* kInputStart = "<INPUT_START>";
+inline constexpr const char* kInputNext = "<INPUT_NEXT>";
+inline constexpr const char* kInputEnd = "<INPUT_END>";
+
+// Reserved vocabulary tokens.
+inline constexpr const char* kPadToken = "<PAD>";
+inline constexpr const char* kUnkToken = "<UNK>";
+
+/// All structural tags in a fixed, deterministic order.
+const std::vector<std::string>& StructuralTags();
+
+/// All reserved tokens (pad/unk + structural tags + fraction tokens) in a
+/// fixed order; tokenizers insert these first so their ids are stable.
+const std::vector<std::string>& ReservedTokens();
+
+/// Replaces common cooking fractions ("1/2", "3/4", ...) with dedicated
+/// tokens ("<FRAC_1_2>"), so quantity fractions survive word tokenization
+/// as single units (paper Sec. II: "used special tokens to account the
+/// fractions and numbers").
+std::string NormalizeFractions(const std::string& text);
+
+/// Inverse of NormalizeFractions.
+std::string DenormalizeFractions(const std::string& text);
+
+/// True if `token` is one of the structural tags.
+bool IsStructuralTag(const std::string& token);
+
+/// True if `token` is a fraction token like "<FRAC_1_2>".
+bool IsFractionToken(const std::string& token);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TEXT_SPECIAL_TOKENS_H_

@@ -1,0 +1,40 @@
+#ifndef RATATOUILLE_TEXT_TOKENIZER_H_
+#define RATATOUILLE_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace rt {
+
+/// Interface shared by the character, word and BPE tokenizers.
+///
+/// Tokenizers are built once from a training corpus (deterministically) and
+/// are immutable afterwards; Encode/Decode are const and thread-compatible.
+/// Every tokenizer reserves id 0 for <PAD> and id 1 for <UNK> and keeps the
+/// structural recipe tags and fraction tokens as single tokens.
+class Tokenizer {
+ public:
+  virtual ~Tokenizer() = default;
+
+  /// Token ids for `text`. Unknown symbols map to unk_id().
+  virtual std::vector<int> Encode(const std::string& text) const = 0;
+
+  /// Text for `ids`; inverse of Encode up to unknown-token loss and
+  /// whitespace normalization (exact guarantees vary per tokenizer).
+  virtual std::string Decode(const std::vector<int>& ids) const = 0;
+
+  /// Short identifier, e.g. "char", "word", "bpe".
+  virtual std::string name() const = 0;
+
+  virtual const Vocab& vocab() const = 0;
+
+  int vocab_size() const { return vocab().size(); }
+  int pad_id() const { return 0; }
+  int unk_id() const { return 1; }
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TEXT_TOKENIZER_H_

@@ -1,0 +1,100 @@
+#include "text/vocab.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace rt {
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  ids_.emplace(token, id);
+  return id;
+}
+
+int Vocab::GetId(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Vocab::GetToken(int id) const {
+  assert(id >= 0 && id < size());
+  return tokens_[id];
+}
+
+namespace {
+
+// Tokens may contain newlines (e.g. char-level vocabularies), so the
+// one-token-per-line format escapes backslash and newline.
+std::string EscapeToken(const std::string& t) {
+  std::string out;
+  for (char c : t) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeToken(const std::string& t) {
+  std::string out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == '\\' && i + 1 < t.size()) {
+      ++i;
+      out += t[i] == 'n' ? '\n' : t[i];
+    } else {
+      out += t[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Vocab::Serialize() const {
+  std::string out;
+  for (const std::string& t : tokens_) {
+    out += EscapeToken(t);
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<Vocab> Vocab::Deserialize(const std::string& text) {
+  Vocab v;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string token = UnescapeToken(line);
+    if (v.Contains(token)) {
+      return Status::InvalidArgument("duplicate token in vocab: " + line);
+    }
+    v.AddToken(token);
+  }
+  return v;
+}
+
+Status Vocab::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << Serialize();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Vocab> Vocab::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Deserialize(buf.str());
+}
+
+}  // namespace rt

@@ -1,0 +1,58 @@
+#ifndef RATATOUILLE_TEXT_VOCAB_H_
+#define RATATOUILLE_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rt {
+
+/// Bidirectional token <-> id mapping.
+///
+/// Ids are dense and assigned in insertion order, so a vocabulary built
+/// deterministically (sorted or frequency-ordered insertion) is identical
+/// across runs. Id 0 is conventionally reserved by callers for <PAD> or
+/// <UNK>; Vocab itself imposes no convention.
+class Vocab {
+ public:
+  Vocab() = default;
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of `token`, or -1 if unknown.
+  int GetId(const std::string& token) const;
+
+  /// True if the token is present.
+  bool Contains(const std::string& token) const {
+    return GetId(token) >= 0;
+  }
+
+  /// Token for `id`. Precondition: 0 <= id < size().
+  const std::string& GetToken(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// All tokens in id order.
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// Serializes one token per line (tokens must not contain '\n').
+  std::string Serialize() const;
+
+  /// Rebuilds a vocab from Serialize() output.
+  static StatusOr<Vocab> Deserialize(const std::string& text);
+
+  /// Writes/reads the serialized form to/from a file.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Vocab> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TEXT_VOCAB_H_

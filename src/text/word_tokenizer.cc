@@ -1,0 +1,93 @@
+#include "text/word_tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "text/special_tokens.h"
+
+namespace rt {
+namespace {
+
+bool IsPunct(char c) {
+  return std::ispunct(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::vector<std::string> WordTokenizer::PreTokenize(const std::string& text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Reserved tags (and anything shaped like <...>) stay atomic.
+    if (c == '<') {
+      size_t close = text.find('>', i);
+      if (close != std::string::npos) {
+        out.push_back(text.substr(i, close - i + 1));
+        i = close + 1;
+        continue;
+      }
+    }
+    if (IsPunct(c)) {
+      out.push_back(std::string(1, c));
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i])) &&
+           !IsPunct(text[i]) && text[i] != '<') {
+      ++i;
+    }
+    out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+WordTokenizer WordTokenizer::Build(const std::vector<std::string>& corpus,
+                                   int min_count) {
+  WordTokenizer t;
+  for (const auto& tok : ReservedTokens()) t.vocab_.AddToken(tok);
+
+  std::map<std::string, long long> counts;  // ordered => deterministic ties
+  for (const std::string& doc : corpus) {
+    for (const std::string& w : PreTokenize(doc)) ++counts[w];
+  }
+  std::vector<std::pair<std::string, long long>> by_freq(counts.begin(),
+                                                         counts.end());
+  std::stable_sort(by_freq.begin(), by_freq.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  for (const auto& [word, count] : by_freq) {
+    if (count < min_count) continue;
+    t.vocab_.AddToken(word);  // no-op for reserved tokens already present
+  }
+  return t;
+}
+
+std::vector<int> WordTokenizer::Encode(const std::string& text) const {
+  std::vector<int> ids;
+  for (const std::string& w : PreTokenize(text)) {
+    int id = vocab_.GetId(w);
+    ids.push_back(id >= 0 ? id : unk_id());
+  }
+  return ids;
+}
+
+std::string WordTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id < 0 || id >= vocab_.size() || id == pad_id()) continue;
+    if (!out.empty()) out += ' ';
+    out += vocab_.GetToken(id);
+  }
+  return out;
+}
+
+}  // namespace rt

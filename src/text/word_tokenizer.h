@@ -1,0 +1,41 @@
+#ifndef RATATOUILLE_TEXT_WORD_TOKENIZER_H_
+#define RATATOUILLE_TEXT_WORD_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace rt {
+
+/// Word-level tokenizer (paper Sec. IV-A, word-level LSTM).
+///
+/// Pre-tokenization splits on whitespace and isolates punctuation; the
+/// structural tags and fraction tokens are single words in the tagged
+/// corpus format and are always in-vocabulary. Words seen fewer than
+/// `min_count` times map to <UNK>.
+class WordTokenizer : public Tokenizer {
+ public:
+  /// Builds the vocabulary from the corpus. Words are admitted when they
+  /// occur at least `min_count` times; insertion order is by descending
+  /// frequency (ties broken lexicographically) so ids are deterministic.
+  static WordTokenizer Build(const std::vector<std::string>& corpus,
+                             int min_count = 1);
+
+  /// Splits text into word pre-tokens (shared with the BPE tokenizer).
+  static std::vector<std::string> PreTokenize(const std::string& text);
+
+  std::vector<int> Encode(const std::string& text) const override;
+  std::string Decode(const std::vector<int>& ids) const override;
+  std::string name() const override { return "word"; }
+  const Vocab& vocab() const override { return vocab_; }
+
+ private:
+  WordTokenizer() = default;
+
+  Vocab vocab_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TEXT_WORD_TOKENIZER_H_

@@ -1,0 +1,82 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace rt {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[body] = argv[i + 1];
+      ++i;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+StatusOr<long long> ArgParser::GetInt(const std::string& key,
+                                      long long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + key + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+StatusOr<double> ArgParser::GetDouble(const std::string& key,
+                                      double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + key + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+bool ArgParser::GetBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "true" || it->second == "1") {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rt

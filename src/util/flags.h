@@ -1,0 +1,50 @@
+#ifndef RATATOUILLE_UTIL_FLAGS_H_
+#define RATATOUILLE_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rt {
+
+/// Minimal command-line parser for the CLI tool and examples.
+///
+/// Accepts "--key=value", "--key value" and bare "--switch" (boolean)
+/// forms; everything else is a positional argument. "--" ends flag
+/// parsing. Unknown flags are not an error (callers validate).
+class ArgParser {
+ public:
+  /// Parses argv (argv[0] is skipped).
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if the flag was given (with or without a value).
+  bool Has(const std::string& key) const;
+
+  /// String value of --key (last occurrence wins), or `fallback`.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Integer value, or `fallback` when absent. Returns InvalidArgument
+  /// when present but unparseable.
+  StatusOr<long long> GetInt(const std::string& key,
+                             long long fallback) const;
+
+  /// Double value, or `fallback` when absent.
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const;
+
+  /// Bare "--switch" or "--switch=true/false".
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;  // "" = bare switch
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_FLAGS_H_

@@ -1,0 +1,370 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rt {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+  std::string error;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool Fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (AtEnd()) return Fail("unexpected end of input");
+    const char c = Peek();
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBool(out);
+    if (c == 'n') return ParseNull(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber(out);
+    }
+    return Fail("unexpected character");
+  }
+
+  bool Literal(const char* lit) {
+    size_t len = 0;
+    while (lit[len]) ++len;
+    if (text.compare(pos, len, lit) != 0) return Fail("bad literal");
+    pos += len;
+    return true;
+  }
+
+  bool ParseNull(Json* out) {
+    if (!Literal("null")) return false;
+    *out = Json();
+    return true;
+  }
+
+  bool ParseBool(Json* out) {
+    if (Peek() == 't') {
+      if (!Literal("true")) return false;
+      *out = Json(true);
+    } else {
+      if (!Literal("false")) return false;
+      *out = Json(false);
+    }
+    return true;
+  }
+
+  bool ParseNumber(Json* out) {
+    const size_t start = pos;
+    if (Consume('-')) {
+    }
+    while (!AtEnd() && (std::isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                        Peek() == '+' || Peek() == '-')) {
+      ++pos;
+    }
+    const std::string num = text.substr(start, pos - start);
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == num.c_str() || *end != '\0' || !std::isfinite(v)) {
+      return Fail("bad number");
+    }
+    *out = Json(v);
+    return true;
+  }
+
+  bool ParseStringInto(std::string* s) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    s->clear();
+    while (!AtEnd()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (AtEnd()) return Fail("bad escape");
+        char e = text[pos++];
+        switch (e) {
+          case '"': *s += '"'; break;
+          case '\\': *s += '\\'; break;
+          case '/': *s += '/'; break;
+          case 'b': *s += '\b'; break;
+          case 'f': *s += '\f'; break;
+          case 'n': *s += '\n'; break;
+          case 'r': *s += '\r'; break;
+          case 't': *s += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return Fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Fail("bad \\u digit");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogates unsupported).
+            if (code < 0x80) {
+              *s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *s += static_cast<char>(0xC0 | (code >> 6));
+              *s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *s += static_cast<char>(0xE0 | (code >> 12));
+              *s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        *s += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseString(Json* out) {
+    std::string s;
+    if (!ParseStringInto(&s)) return false;
+    *out = Json(std::move(s));
+    return true;
+  }
+
+  bool ParseArray(Json* out, int depth) {
+    Consume('[');
+    Json::Array arr;
+    SkipWs();
+    if (Consume(']')) {
+      *out = Json(std::move(arr));
+      return true;
+    }
+    for (;;) {
+      Json v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+    *out = Json(std::move(arr));
+    return true;
+  }
+
+  bool ParseObject(Json* out, int depth) {
+    Consume('{');
+    Json::Object obj;
+    SkipWs();
+    if (Consume('}')) {
+      *out = Json(std::move(obj));
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseStringInto(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      Json v;
+      if (!ParseValue(&v, depth + 1)) return false;
+      obj[std::move(key)] = std::move(v);
+      SkipWs();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+    *out = Json(std::move(obj));
+    return true;
+  }
+};
+
+void EscapeInto(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void DumpNumber(double v, std::string* out) {
+  // Integers print without a decimal point.
+  if (v == static_cast<long long>(v) && std::abs(v) < 1e15) {
+    *out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+bool Json::AsBool() const {
+  assert(is_bool());
+  return bool_;
+}
+
+double Json::AsNumber() const {
+  assert(is_number());
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  assert(is_string());
+  return string_;
+}
+
+const Json::Array& Json::AsArray() const {
+  assert(is_array());
+  return array_;
+}
+
+const Json::Object& Json::AsObject() const {
+  assert(is_object());
+  return object_;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  static const Json& null_json = *new Json();
+  if (!is_object()) return null_json;
+  auto it = object_.find(key);
+  return it == object_.end() ? null_json : it->second;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  if (!is_object()) {
+    *this = Json(Object{});
+  }
+  object_[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::Append(Json value) {
+  if (!is_array()) {
+    *this = Json(Array{});
+  }
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  switch (type_) {
+    case Type::kNull:
+      out = "null";
+      break;
+    case Type::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      DumpNumber(number_, &out);
+      break;
+    case Type::kString:
+      EscapeInto(string_, &out);
+      break;
+    case Type::kArray: {
+      out = "[";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += array_[i].Dump();
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out = "{";
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        EscapeInto(key, &out);
+        out += ':';
+        out += value.Dump();
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
+
+StatusOr<Json> Json::Parse(const std::string& text) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.ParseValue(&out, 0)) {
+    return Status::InvalidArgument("JSON parse error: " + p.error);
+  }
+  p.SkipWs();
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after JSON value");
+  }
+  return out;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+}  // namespace rt

@@ -1,0 +1,75 @@
+#ifndef RATATOUILLE_UTIL_JSON_H_
+#define RATATOUILLE_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rt {
+
+/// A JSON value (null / bool / number / string / array / object) with a
+/// recursive-descent parser and a writer. Numbers are doubles. Object
+/// keys are kept in sorted order (std::map) so Dump() is deterministic.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  /// Constructs null.
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}      // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}             // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s)                                        // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  Json(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  Json(Object o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; preconditions checked with assert.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  /// Object field access; returns null Json when absent or not an object.
+  const Json& Get(const std::string& key) const;
+
+  /// Mutable object/array builders.
+  Json& Set(const std::string& key, Json value);
+  Json& Append(Json value);
+
+  /// Serializes to a compact JSON string.
+  std::string Dump() const;
+
+  /// Parses a JSON document (rejects trailing garbage; depth-limited).
+  static StatusOr<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_JSON_H_

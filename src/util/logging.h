@@ -1,0 +1,64 @@
+#ifndef RATATOUILLE_UTIL_LOGGING_H_
+#define RATATOUILLE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log message; emits to stderr on destruction if the global
+/// level admits it. Cheap when suppressed (string build only).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Aborts the process after the message is flushed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rt
+
+/// Stream-style logging: RT_LOG(Info) << "trained " << n << " steps";
+#define RT_LOG(level)                      \
+  ::rt::internal_logging::LogMessage(      \
+      ::rt::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal check, active in all build modes. Aborts with file:line and the
+/// failed condition; additional context may be streamed.
+#define RT_CHECK(cond)                                              \
+  if (!(cond))                                                      \
+  ::rt::internal_logging::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#endif  // RATATOUILLE_UTIL_LOGGING_H_

@@ -1,0 +1,114 @@
+#include "util/strings.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+namespace rt {
+
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool keep_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) pos = s.size();
+    std::string_view piece = s.substr(start, pos - start);
+    if (keep_empty || !piece.empty()) out.emplace_back(piece);
+    if (pos == s.size()) break;
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  assert(!from.empty());
+  std::string out;
+  size_t start = 0;
+  for (;;) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) break;
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+  out.append(s.substr(start));
+  return out;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatWithCommas(long long v) {
+  bool negative = v < 0;
+  unsigned long long uv =
+      negative ? 0ull - static_cast<unsigned long long>(v)
+               : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(uv);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (negative) out += '-';
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace rt

@@ -1,0 +1,43 @@
+#ifndef RATATOUILLE_UTIL_STRINGS_H_
+#define RATATOUILLE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rt {
+
+/// Splits `s` on `delim`, dropping empty pieces when `keep_empty` is false.
+std::vector<std::string> Split(std::string_view s, char delim,
+                               bool keep_empty = false);
+
+/// Splits on any whitespace run; never yields empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces all non-overlapping occurrences of `from` with `to`.
+/// Precondition: `from` is non-empty.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Formats a double with `digits` decimal places (locale-independent).
+std::string FormatDouble(double v, int digits);
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(long long v);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_STRINGS_H_

@@ -1,0 +1,34 @@
+#ifndef RATATOUILLE_UTIL_TABLE_H_
+#define RATATOUILLE_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rt {
+
+/// Plain-text table printer used by the benchmark harnesses to render
+/// paper tables/figures as aligned ASCII (and optionally CSV).
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment, a header rule and outer borders.
+  std::string Render() const;
+
+  /// Renders as CSV (RFC-4180-style quoting for commas/quotes/newlines).
+  std::string RenderCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_TABLE_H_

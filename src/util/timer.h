@@ -1,0 +1,31 @@
+#ifndef RATATOUILLE_UTIL_TIMER_H_
+#define RATATOUILLE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace rt {
+
+/// Monotonic wall-clock stopwatch used by trainers and benchmarks.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_TIMER_H_

@@ -1,0 +1,173 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "text/special_tokens.h"
+
+namespace rt {
+namespace {
+
+/// Small-but-real pipeline options that train in a couple of seconds.
+PipelineOptions TinyOptions(ModelKind kind) {
+  PipelineOptions options;
+  options.corpus.num_recipes = 60;
+  options.corpus.seed = 5;
+  options.model = kind;
+  options.bpe_vocab_budget = 260;
+  options.trainer.epochs = 1;
+  options.trainer.batch_size = 4;
+  options.trainer.seq_len = 32;
+  options.trainer.lr = 3e-3f;
+  return options;
+}
+
+TEST(ModelKindTest, NamesMatchTable1Rows) {
+  EXPECT_STREQ(ModelKindName(ModelKind::kCharLstm), "Char-level LSTM");
+  EXPECT_STREQ(ModelKindName(ModelKind::kWordLstm), "Word-level LSTM");
+  EXPECT_STREQ(ModelKindName(ModelKind::kDistilGpt2), "DistilGPT2");
+  EXPECT_STREQ(ModelKindName(ModelKind::kGpt2Medium), "GPT-2 medium");
+}
+
+TEST(ModelKindTest, ParseRoundTrip) {
+  EXPECT_EQ(*ParseModelKind("char-lstm"), ModelKind::kCharLstm);
+  EXPECT_EQ(*ParseModelKind("gpt2-medium"), ModelKind::kGpt2Medium);
+  EXPECT_EQ(*ParseModelKind("gpt-deep"), ModelKind::kGptDeep);
+  EXPECT_FALSE(ParseModelKind("gpt5").ok());
+}
+
+TEST(CreateModelTest, AllKindsConstruct) {
+  for (ModelKind kind :
+       {ModelKind::kCharLstm, ModelKind::kWordLstm, ModelKind::kDistilGpt2,
+        ModelKind::kGpt2Medium, ModelKind::kGptDeep}) {
+    auto model = CreateModel(kind, 50);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->vocab_size(), 50);
+    EXPECT_GT(model->NumParams(), 0u);
+  }
+}
+
+TEST(PipelineTest, CreateRejectsBadOptions) {
+  PipelineOptions bad = TinyOptions(ModelKind::kWordLstm);
+  bad.val_frac = 0.6;
+  bad.test_frac = 0.6;
+  EXPECT_FALSE(Pipeline::Create(bad).ok());
+  PipelineOptions none = TinyOptions(ModelKind::kWordLstm);
+  none.corpus.num_recipes = 0;
+  EXPECT_FALSE(Pipeline::Create(none).ok());
+}
+
+TEST(PipelineTest, CreateBuildsCorpusTokenizerModel) {
+  auto pipeline = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  ASSERT_TRUE(pipeline.ok());
+  Pipeline& p = **pipeline;
+  EXPECT_GT(p.splits().train.size(), 0u);
+  EXPECT_GT(p.splits().test.size(), 0u);
+  EXPECT_GT(p.tokenizer().vocab_size(), 20);
+  EXPECT_GE(p.stop_token(), 0);
+  EXPECT_EQ(p.tokenizer().vocab().GetToken(p.stop_token()), kRecipeEnd);
+  EXPECT_GT(p.train_stream().size(), 100u);
+  EXPECT_EQ(p.model()->name(), "word-lstm");
+}
+
+TEST(PipelineTest, TokenizerMatchesModelKind) {
+  auto char_p = Pipeline::Create(TinyOptions(ModelKind::kCharLstm));
+  ASSERT_TRUE(char_p.ok());
+  EXPECT_EQ((*char_p)->tokenizer().name(), "char");
+  auto gpt_p = Pipeline::Create(TinyOptions(ModelKind::kDistilGpt2));
+  ASSERT_TRUE(gpt_p.ok());
+  EXPECT_EQ((*gpt_p)->tokenizer().name(), "bpe");
+}
+
+TEST(PipelineTest, TrainReducesValidationLoss) {
+  auto pipeline = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  ASSERT_TRUE(pipeline.ok());
+  Pipeline& p = **pipeline;
+  const float before = p.ValidationLoss();
+  auto result = p.Train();
+  ASSERT_TRUE(result.ok());
+  const float after = p.ValidationLoss();
+  EXPECT_LT(after, before);
+}
+
+TEST(PipelineTest, GenerateFromIngredientsReturnsTaggedText) {
+  auto pipeline = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  ASSERT_TRUE(pipeline.ok());
+  Pipeline& p = **pipeline;
+  ASSERT_TRUE(p.Train().ok());
+  GenerationOptions opts;
+  opts.max_new_tokens = 60;
+  opts.seed = 3;
+  auto gen = p.GenerateFromIngredients({"tomato", "onion"}, opts);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_NE(gen->raw_tagged.find("tomato"), std::string::npos);
+  EXPECT_NE(gen->raw_tagged.find(kIngrStart), std::string::npos);
+  EXPECT_GT(gen->tokens_generated, 0);
+  EXPECT_GT(gen->seconds, 0.0);
+}
+
+TEST(PipelineTest, GenerateRejectsEmptyIngredients) {
+  auto pipeline = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_FALSE((*pipeline)->GenerateFromIngredients({}, {}).ok());
+}
+
+TEST(PipelineTest, EvaluateOnTestSetProducesReport) {
+  auto pipeline = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  ASSERT_TRUE(pipeline.ok());
+  Pipeline& p = **pipeline;
+  ASSERT_TRUE(p.Train().ok());
+  GenerationOptions opts;
+  opts.max_new_tokens = 80;
+  opts.sampling.greedy = true;
+  auto report = p.EvaluateOnTestSet(3, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_samples, 3);
+  EXPECT_GE(report->corpus_bleu, 0.0);
+  EXPECT_LE(report->corpus_bleu, 1.0);
+  EXPECT_GT(report->mean_generation_seconds, 0.0);
+  EXPECT_GE(report->novelty_rate, 0.0);
+  EXPECT_LE(report->novelty_rate, 1.0);
+}
+
+TEST(PipelineTest, DeterministicAcrossRuns) {
+  auto a = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  auto b = Pipeline::Create(TinyOptions(ModelKind::kWordLstm));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)->train_stream(), (*b)->train_stream());
+  ASSERT_TRUE((*a)->Train().ok());
+  ASSERT_TRUE((*b)->Train().ok());
+  GenerationOptions opts;
+  opts.max_new_tokens = 30;
+  opts.seed = 9;
+  auto ga = (*a)->GenerateFromIngredients({"rice"}, opts);
+  auto gb = (*b)->GenerateFromIngredients({"rice"}, opts);
+  ASSERT_TRUE(ga.ok() && gb.ok());
+  EXPECT_EQ(ga->raw_tagged, gb->raw_tagged);
+}
+
+TEST(PipelineTest, FractionTokenAblationChangesStream) {
+  PipelineOptions with = TinyOptions(ModelKind::kWordLstm);
+  PipelineOptions without = TinyOptions(ModelKind::kWordLstm);
+  without.disable_fraction_tokens = true;
+  auto a = Pipeline::Create(with);
+  auto b = Pipeline::Create(without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // With fractions disabled, "1/2" tokenizes as "1 / 2" => longer stream.
+  EXPECT_GT((*b)->train_stream().size(), (*a)->train_stream().size());
+}
+
+TEST(PipelineTest, SkipPreprocessingKeepsNoise) {
+  PipelineOptions noisy = TinyOptions(ModelKind::kWordLstm);
+  noisy.corpus.num_recipes = 200;
+  noisy.corpus.incomplete_fraction = 0.1;
+  PipelineOptions skipped = noisy;
+  skipped.skip_preprocessing = true;
+  auto a = Pipeline::Create(noisy);
+  auto b = Pipeline::Create(skipped);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT((*a)->preprocess_stats().output_count,
+            (*b)->preprocess_stats().output_count);
+}
+
+}  // namespace
+}  // namespace rt

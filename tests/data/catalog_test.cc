@@ -1,0 +1,72 @@
+#include "data/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(CatalogTest, IngredientNamesUnique) {
+  std::set<std::string> names;
+  for (const auto& ing : Catalog::Ingredients()) {
+    EXPECT_TRUE(names.insert(ing.name).second)
+        << "duplicate ingredient: " << ing.name;
+  }
+  EXPECT_GE(names.size(), 100u);
+}
+
+TEST(CatalogTest, EveryRolePopulated) {
+  using R = IngredientRole;
+  for (R role : {R::kProtein, R::kVegetable, R::kGrain, R::kDairy,
+                 R::kSpice, R::kHerb, R::kFat, R::kLiquid, R::kSweet,
+                 R::kFruit}) {
+    EXPECT_FALSE(Catalog::ByRole(role).empty())
+        << IngredientRoleName(role);
+  }
+}
+
+TEST(CatalogTest, ByRoleReturnsOnlyThatRole) {
+  for (const auto* ing : Catalog::ByRole(IngredientRole::kSpice)) {
+    EXPECT_EQ(ing->role, IngredientRole::kSpice);
+  }
+}
+
+TEST(CatalogTest, EveryIngredientHasAUnitSlot) {
+  for (const auto& ing : Catalog::Ingredients()) {
+    EXPECT_FALSE(ing.units.empty()) << ing.name;
+  }
+}
+
+TEST(CatalogTest, CuisineHierarchyCounts) {
+  // RecipeDB: 6 continents / 26 regions / 74 countries. The synthetic
+  // catalog keeps the same 3-level hierarchy at reduced width.
+  EXPECT_EQ(Catalog::NumContinents(), 6);
+  EXPECT_GE(Catalog::NumRegions(), 12);
+  EXPECT_GE(Catalog::NumCountries(), 25);
+  EXPECT_GT(Catalog::NumCountries(), Catalog::NumRegions());
+  EXPECT_GT(Catalog::NumRegions(), Catalog::NumContinents());
+}
+
+TEST(CatalogTest, ProcessesNonEmptyAndLowercase) {
+  EXPECT_GE(Catalog::Processes().size(), 25u);
+  for (const auto& p : Catalog::Processes()) {
+    for (char c : p) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == ' ') << p;
+    }
+  }
+}
+
+TEST(CatalogTest, RoleNamesAreDistinct) {
+  using R = IngredientRole;
+  std::set<std::string> names;
+  for (R role : {R::kProtein, R::kVegetable, R::kGrain, R::kDairy,
+                 R::kSpice, R::kHerb, R::kFat, R::kLiquid, R::kSweet,
+                 R::kFruit}) {
+    names.insert(IngredientRoleName(role));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,133 @@
+#include "data/dataset.h"
+
+#include <set>
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "text/word_tokenizer.h"
+
+namespace rt {
+namespace {
+
+std::vector<Recipe> SmallCorpus(int n = 100) {
+  GeneratorOptions opts;
+  opts.num_recipes = n;
+  opts.seed = 3;
+  opts.incomplete_fraction = 0.0;
+  opts.duplicate_fraction = 0.0;
+  opts.overlong_fraction = 0.0;
+  opts.short_fraction = 0.0;
+  return RecipeDbGenerator(opts).Generate();
+}
+
+TEST(SplitDatasetTest, FractionsRespected) {
+  auto splits = SplitDataset(SmallCorpus(100), 0.1, 0.2, 5);
+  EXPECT_EQ(splits.train.size(), 70u);
+  EXPECT_EQ(splits.val.size(), 10u);
+  EXPECT_EQ(splits.test.size(), 20u);
+}
+
+TEST(SplitDatasetTest, PartitionIsDisjointAndComplete) {
+  auto corpus = SmallCorpus(80);
+  auto splits = SplitDataset(corpus, 0.15, 0.15, 7);
+  std::set<long long> ids;
+  for (const auto* part : {&splits.train, &splits.val, &splits.test}) {
+    for (const Recipe& r : *part) {
+      EXPECT_TRUE(ids.insert(r.id).second) << "duplicated id " << r.id;
+    }
+  }
+  EXPECT_EQ(ids.size(), corpus.size());
+}
+
+TEST(SplitDatasetTest, DeterministicBySeed) {
+  auto corpus = SmallCorpus(50);
+  auto a = SplitDataset(corpus, 0.2, 0.2, 11);
+  auto b = SplitDataset(corpus, 0.2, 0.2, 11);
+  EXPECT_EQ(a.train, b.train);
+  auto c = SplitDataset(corpus, 0.2, 0.2, 12);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(EncodeCorpusTest, ConcatenatesAllRecipes) {
+  auto corpus = SmallCorpus(5);
+  std::vector<std::string> docs;
+  for (const auto& r : corpus) docs.push_back(r.ToTaggedString());
+  auto tok = WordTokenizer::Build(docs);
+  auto stream = EncodeCorpus(tok, corpus);
+  size_t expected = 0;
+  for (const auto& doc : docs) expected += tok.Encode(doc + " ").size();
+  EXPECT_EQ(stream.size(), expected);
+  // No <UNK> in a stream built with its own tokenizer's vocab.
+  for (int id : stream) EXPECT_NE(id, tok.unk_id());
+}
+
+TEST(BatchIteratorTest, YieldsShiftedTargets) {
+  std::vector<int> stream;
+  for (int i = 0; i < 100; ++i) stream.push_back(i);
+  BatchIterator it(&stream, /*batch_size=*/2, /*seq_len=*/9, 13);
+  Batch b;
+  ASSERT_TRUE(it.Next(&b));
+  EXPECT_EQ(b.seq_len, 9);
+  for (int i = 0; i < b.batch_size; ++i) {
+    for (int t = 0; t < b.seq_len; ++t) {
+      EXPECT_EQ(b.targets[i * b.seq_len + t],
+                b.inputs[i * b.seq_len + t] + 1);
+    }
+  }
+}
+
+TEST(BatchIteratorTest, CoversAllWindowsOncePerEpoch) {
+  std::vector<int> stream(101);
+  for (size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<int>(i);
+  BatchIterator it(&stream, 3, 9, 17);  // windows of 10 tokens => 10 windows
+  EXPECT_EQ(it.NumWindows(), 10);
+  EXPECT_EQ(it.BatchesPerEpoch(), 4);  // 3+3+3+1
+  std::set<int> starts;
+  Batch b;
+  int batches = 0;
+  while (it.Next(&b)) {
+    ++batches;
+    for (int i = 0; i < b.batch_size; ++i) {
+      starts.insert(b.inputs[i * b.seq_len]);  // stream[i] == position
+    }
+  }
+  EXPECT_EQ(batches, 4);
+  EXPECT_EQ(starts.size(), 10u);
+}
+
+TEST(BatchIteratorTest, NextEpochReshuffles) {
+  std::vector<int> stream(1000);
+  for (size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<int>(i);
+  BatchIterator it(&stream, 4, 9, 19);
+  std::vector<int> first_epoch, second_epoch;
+  Batch b;
+  while (it.Next(&b)) {
+    for (int i = 0; i < b.batch_size; ++i) {
+      first_epoch.push_back(b.inputs[i * b.seq_len]);
+    }
+  }
+  it.NextEpoch();
+  while (it.Next(&b)) {
+    for (int i = 0; i < b.batch_size; ++i) {
+      second_epoch.push_back(b.inputs[i * b.seq_len]);
+    }
+  }
+  EXPECT_EQ(first_epoch.size(), second_epoch.size());
+  EXPECT_NE(first_epoch, second_epoch);  // different order
+  std::sort(first_epoch.begin(), first_epoch.end());
+  std::sort(second_epoch.begin(), second_epoch.end());
+  EXPECT_EQ(first_epoch, second_epoch);  // same windows
+}
+
+TEST(BatchIteratorTest, StreamShorterThanWindowYieldsNothing) {
+  std::vector<int> stream{1, 2, 3};
+  BatchIterator it(&stream, 2, 8, 23);
+  Batch b;
+  EXPECT_EQ(it.NumWindows(), 0);
+  EXPECT_FALSE(it.Next(&b));
+}
+
+}  // namespace
+}  // namespace rt

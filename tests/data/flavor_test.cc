@@ -1,0 +1,99 @@
+#include "data/flavor.h"
+
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+
+namespace rt {
+namespace {
+
+TEST(FlavorCatalogTest, EveryGeneratorIngredientIsLinked) {
+  // RecipeDB links every ingredient to flavor/nutrition data; the
+  // synthetic catalogs must stay in sync.
+  for (const auto& ing : Catalog::Ingredients()) {
+    EXPECT_TRUE(InFlavorCatalog(ing.name)) << ing.name;
+    EXPECT_FALSE(FlavorCompoundsFor(ing.name).empty() &&
+                 ing.name != "water")
+        << ing.name;
+  }
+}
+
+TEST(FlavorCatalogTest, UnknownIngredientIsGracefulZero) {
+  EXPECT_FALSE(InFlavorCatalog("unobtainium"));
+  EXPECT_TRUE(FlavorCompoundsFor("unobtainium").empty());
+  EXPECT_EQ(NutritionFor("unobtainium").calories_kcal, 0.0);
+  EXPECT_EQ(PairingScore("unobtainium", "tomato"), 0.0);
+}
+
+TEST(FlavorCatalogTest, LookupIsCaseAndSpaceInsensitive) {
+  EXPECT_TRUE(InFlavorCatalog("Tomato"));
+  EXPECT_TRUE(InFlavorCatalog("  olive oil "));
+}
+
+TEST(PairingScoreTest, SharedCompoundsScoreHigher) {
+  // tomato & basil share linalool; tomato & salt share nothing.
+  EXPECT_GT(PairingScore("tomato", "basil"),
+            PairingScore("tomato", "salt"));
+  // Dairy pairs are classic compound-sharers (diacetyl).
+  EXPECT_GT(PairingScore("butter", "cream"), 0.2);
+}
+
+TEST(PairingScoreTest, SymmetricAndSelfMaximal) {
+  EXPECT_DOUBLE_EQ(PairingScore("onion", "garlic"),
+                   PairingScore("garlic", "onion"));
+  EXPECT_DOUBLE_EQ(PairingScore("basil", "basil"), 1.0);
+}
+
+TEST(MeanPairingTest, RequiresTwoKnownIngredients) {
+  Recipe r;
+  r.ingredients = {{"1", "cup", "tomato", ""}};
+  EXPECT_EQ(MeanPairingScore(r), 0.0);
+  r.ingredients.push_back({"1", "", "basil", ""});
+  EXPECT_GT(MeanPairingScore(r), 0.0);
+}
+
+TEST(ApproximateGramsTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ(ApproximateGrams({"2", "cup", "rice", ""}), 480.0);
+  EXPECT_DOUBLE_EQ(ApproximateGrams({"1/2", "cup", "milk", ""}), 120.0);
+  EXPECT_DOUBLE_EQ(ApproximateGrams({"1 1/2", "tsp", "salt", ""}), 7.5);
+  EXPECT_DOUBLE_EQ(ApproximateGrams({"1", "pound", "beef", ""}), 454.0);
+  // Countable fallback: 2 onions ~ 100 g.
+  EXPECT_DOUBLE_EQ(ApproximateGrams({"2", "", "onion", ""}), 100.0);
+  // Missing quantity behaves as 1.
+  EXPECT_DOUBLE_EQ(ApproximateGrams({"", "tbsp", "honey", ""}), 15.0);
+}
+
+TEST(RecipeNutritionTest, SumsScaledProfiles) {
+  Recipe r;
+  r.ingredients = {{"1", "cup", "milk", ""},     // 240 g * 61/100
+                   {"1", "tbsp", "butter", ""}};  // 15 g * 717/100
+  NutritionProfile n = RecipeNutrition(r);
+  EXPECT_NEAR(n.calories_kcal, 2.4 * 61 + 0.15 * 717, 1e-6);
+  EXPECT_GT(n.fat_g, 10.0);
+  EXPECT_GT(n.protein_g, 5.0);
+}
+
+TEST(RecipeNutritionTest, EmptyRecipeIsZero) {
+  Recipe r;
+  NutritionProfile n = RecipeNutrition(r);
+  EXPECT_EQ(n.calories_kcal, 0.0);
+  EXPECT_EQ(n.protein_g, 0.0);
+}
+
+TEST(RecipeNutritionTest, DessertVsSaladMacros) {
+  Recipe dessert;
+  dessert.ingredients = {{"1", "cup", "sugar", ""},
+                         {"1/2", "cup", "butter", ""},
+                         {"2", "cup", "flour", ""}};
+  Recipe salad;
+  salad.ingredients = {{"2", "cup", "spinach", ""},
+                       {"1", "cup", "cucumber", ""},
+                       {"1", "tbsp", "olive oil", ""}};
+  EXPECT_GT(RecipeNutrition(dessert).carbs_g,
+            RecipeNutrition(salad).carbs_g * 5);
+  EXPECT_GT(RecipeNutrition(dessert).calories_kcal,
+            RecipeNutrition(salad).calories_kcal);
+}
+
+}  // namespace
+}  // namespace rt

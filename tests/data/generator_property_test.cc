@@ -1,0 +1,107 @@
+// Seed-swept properties of the synthetic RecipeDB generator: every clean
+// recipe must parse back from its tagged form, carry catalog-consistent
+// metadata and keep the learnable ingredient->instruction structure.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+#include "data/flavor.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+
+namespace rt {
+namespace {
+
+class GeneratorPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<Recipe> Corpus(int n = 60) {
+    GeneratorOptions opts;
+    opts.num_recipes = n;
+    opts.seed = GetParam();
+    opts.incomplete_fraction = 0.0;
+    opts.duplicate_fraction = 0.0;
+    opts.overlong_fraction = 0.0;
+    opts.short_fraction = 0.0;
+    return RecipeDbGenerator(opts).Generate();
+  }
+};
+
+TEST_P(GeneratorPropertyTest, EveryRecipeParsesBackFromTaggedForm) {
+  for (const Recipe& r : Corpus()) {
+    auto parsed = ParseTaggedRecipe(r.ToTaggedString());
+    ASSERT_TRUE(parsed.ok()) << r.id;
+    EXPECT_EQ(parsed->title, r.title);
+    EXPECT_EQ(parsed->instructions, r.instructions);
+    ASSERT_EQ(parsed->ingredients.size(), r.ingredients.size());
+    for (size_t i = 0; i < r.ingredients.size(); ++i) {
+      EXPECT_EQ(parsed->ingredients[i], r.ingredients[i]) << r.id;
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, EveryRecipeIsStructurallyValid) {
+  for (const Recipe& r : Corpus()) {
+    EXPECT_DOUBLE_EQ(StructuralValidity(r.ToTaggedString()), 1.0) << r.id;
+  }
+}
+
+TEST_P(GeneratorPropertyTest, QuantitiesAlwaysWellFormed) {
+  for (const Recipe& r : Corpus()) {
+    EXPECT_DOUBLE_EQ(QuantityWellFormedness(r), 1.0) << r.id;
+  }
+}
+
+TEST_P(GeneratorPropertyTest, MetadataAlwaysFromCatalog) {
+  std::set<std::string> countries, ingredients;
+  for (const auto& c : Catalog::Cuisines()) countries.insert(c.country);
+  for (const auto& i : Catalog::Ingredients()) ingredients.insert(i.name);
+  for (const Recipe& r : Corpus()) {
+    EXPECT_TRUE(countries.count(r.country)) << r.country;
+    for (const auto& line : r.ingredients) {
+      EXPECT_TRUE(ingredients.count(line.name)) << line.name;
+      // RecipeDB linkage: every generated ingredient is flavor-linked.
+      EXPECT_TRUE(InFlavorCatalog(line.name)) << line.name;
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, NoDuplicateIngredientPerRecipe) {
+  for (const Recipe& r : Corpus()) {
+    std::set<std::string> names;
+    for (const auto& line : r.ingredients) {
+      EXPECT_TRUE(names.insert(line.name).second)
+          << "duplicate " << line.name << " in recipe " << r.id;
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, InstructionsReferenceIngredients) {
+  int mentioned = 0, total = 0;
+  for (const Recipe& r : Corpus()) {
+    std::string all;
+    for (const auto& s : r.instructions) all += s + " ";
+    for (const auto& name : r.IngredientNames()) {
+      ++total;
+      mentioned += all.find(name) != std::string::npos;
+    }
+  }
+  EXPECT_GT(static_cast<double>(mentioned) / total, 0.7);
+}
+
+TEST_P(GeneratorPropertyTest, TaggedLengthWithinExpectedBand) {
+  for (const Recipe& r : Corpus()) {
+    EXPECT_GT(r.TaggedLength(), 300u) << r.id;
+    EXPECT_LT(r.TaggedLength(), 2200u) << r.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorPropertyTest,
+                         testing::Values(1u, 1234u, 987654321u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,149 @@
+#include "data/generator.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "data/catalog.h"
+
+namespace rt {
+namespace {
+
+GeneratorOptions CleanOptions(int n, uint64_t seed = 9) {
+  GeneratorOptions opts;
+  opts.num_recipes = n;
+  opts.seed = seed;
+  opts.incomplete_fraction = 0.0;
+  opts.duplicate_fraction = 0.0;
+  opts.overlong_fraction = 0.0;
+  opts.short_fraction = 0.0;
+  return opts;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  RecipeDbGenerator g1(CleanOptions(50));
+  RecipeDbGenerator g2(CleanOptions(50));
+  EXPECT_EQ(g1.Generate(), g2.Generate());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = RecipeDbGenerator(CleanOptions(20, 1)).Generate();
+  auto b = RecipeDbGenerator(CleanOptions(20, 2)).Generate();
+  EXPECT_NE(a, b);
+}
+
+TEST(GeneratorTest, CleanRecipesAreComplete) {
+  auto corpus = RecipeDbGenerator(CleanOptions(200)).Generate();
+  ASSERT_EQ(corpus.size(), 200u);
+  for (const Recipe& r : corpus) {
+    EXPECT_TRUE(r.IsComplete()) << r.id;
+    EXPECT_FALSE(r.country.empty());
+    EXPECT_FALSE(r.region.empty());
+    EXPECT_FALSE(r.continent.empty());
+    EXPECT_GE(r.ingredients.size(), 2u);
+    EXPECT_GE(r.instructions.size(), 3u);
+  }
+}
+
+TEST(GeneratorTest, InstructionsMentionChosenIngredients) {
+  // The corpus must have learnable ingredient -> instruction structure:
+  // most ingredient names should literally appear in the instruction text.
+  auto corpus = RecipeDbGenerator(CleanOptions(100)).Generate();
+  int mentioned = 0, total = 0;
+  for (const Recipe& r : corpus) {
+    std::string all_instr;
+    for (const auto& step : r.instructions) all_instr += step + " ";
+    for (const auto& name : r.IngredientNames()) {
+      ++total;
+      if (all_instr.find(name) != std::string::npos) ++mentioned;
+    }
+  }
+  EXPECT_GT(static_cast<double>(mentioned) / total, 0.7);
+}
+
+TEST(GeneratorTest, CuisineMetadataComesFromCatalog) {
+  auto corpus = RecipeDbGenerator(CleanOptions(100)).Generate();
+  std::set<std::string> valid_countries;
+  for (const auto& c : Catalog::Cuisines()) {
+    valid_countries.insert(c.country);
+  }
+  for (const Recipe& r : corpus) {
+    EXPECT_TRUE(valid_countries.count(r.country)) << r.country;
+  }
+}
+
+TEST(GeneratorTest, QuantitiesPresentOnIngredients) {
+  // Future-work feature the paper claims: quantities are first-class.
+  auto corpus = RecipeDbGenerator(CleanOptions(100)).Generate();
+  int with_qty = 0, total = 0;
+  for (const Recipe& r : corpus) {
+    for (const auto& line : r.ingredients) {
+      ++total;
+      if (!line.quantity.empty()) ++with_qty;
+    }
+  }
+  EXPECT_EQ(with_qty, total);  // every line carries a quantity
+}
+
+TEST(GeneratorTest, IncompleteFractionProducesIncompleteRecords) {
+  GeneratorOptions opts = CleanOptions(500);
+  opts.incomplete_fraction = 0.10;
+  auto corpus = RecipeDbGenerator(opts).Generate();
+  int incomplete = 0;
+  for (const Recipe& r : corpus) incomplete += !r.IsComplete();
+  EXPECT_GT(incomplete, 20);
+  EXPECT_LT(incomplete, 90);
+}
+
+TEST(GeneratorTest, DuplicateFractionProducesExactCopies) {
+  GeneratorOptions opts = CleanOptions(500);
+  opts.duplicate_fraction = 0.10;
+  auto corpus = RecipeDbGenerator(opts).Generate();
+  std::unordered_set<std::string> seen;
+  int dups = 0;
+  for (const Recipe& r : corpus) {
+    if (!seen.insert(r.ToTaggedString()).second) ++dups;
+  }
+  EXPECT_GT(dups, 20);
+}
+
+TEST(GeneratorTest, OverlongFractionExceedsClampLength) {
+  GeneratorOptions opts = CleanOptions(300);
+  opts.overlong_fraction = 0.10;
+  auto corpus = RecipeDbGenerator(opts).Generate();
+  int overlong = 0;
+  for (const Recipe& r : corpus) overlong += r.TaggedLength() > 2000;
+  EXPECT_GT(overlong, 10);
+}
+
+TEST(GeneratorTest, ShortFractionCreatesShortTail) {
+  GeneratorOptions opts = CleanOptions(300);
+  opts.short_fraction = 0.10;
+  auto corpus = RecipeDbGenerator(opts).Generate();
+  int shorts = 0;
+  for (const Recipe& r : corpus) {
+    shorts += r.ingredients.size() <= 2 && r.instructions.size() <= 1;
+  }
+  EXPECT_GT(shorts, 10);
+}
+
+TEST(GeneratorTest, TitlesFollowTemplate) {
+  auto corpus = RecipeDbGenerator(CleanOptions(50)).Generate();
+  for (const Recipe& r : corpus) {
+    // "adjective cuisine main dish" => at least 4 words.
+    int words = 1;
+    for (char c : r.title) words += c == ' ';
+    EXPECT_GE(words, 4) << r.title;
+  }
+}
+
+TEST(GeneratorTest, CorpusCoversManyCuisinesAndDishes) {
+  auto corpus = RecipeDbGenerator(CleanOptions(400)).Generate();
+  std::set<std::string> countries;
+  for (const Recipe& r : corpus) countries.insert(r.country);
+  EXPECT_GE(countries.size(), 20u);
+}
+
+}  // namespace
+}  // namespace rt

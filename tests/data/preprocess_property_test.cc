@@ -1,0 +1,80 @@
+// Seed-swept invariants of the preprocessing pipeline.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "data/preprocess.h"
+
+namespace rt {
+namespace {
+
+class PreprocessPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<Recipe> Noisy(int n = 500) {
+    GeneratorOptions opts;
+    opts.num_recipes = n;
+    opts.seed = GetParam();
+    opts.incomplete_fraction = 0.05;
+    opts.duplicate_fraction = 0.06;
+    opts.overlong_fraction = 0.03;
+    opts.short_fraction = 0.05;
+    return RecipeDbGenerator(opts).Generate();
+  }
+};
+
+TEST_P(PreprocessPropertyTest, OutputAlwaysCleanAndBounded) {
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(Noisy(), &stats);
+  std::set<std::string> seen;
+  for (const Recipe& r : clean) {
+    EXPECT_TRUE(r.IsComplete());
+    EXPECT_LE(r.TaggedLength(), 2000u);
+    EXPECT_TRUE(seen.insert(r.ToTaggedString()).second);
+  }
+}
+
+TEST_P(PreprocessPropertyTest, AccountingAlwaysBalances) {
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(Noisy(), &stats);
+  EXPECT_EQ(stats.input_count - stats.removed_incomplete -
+                stats.removed_duplicates - stats.merged_short -
+                stats.removed_band,
+            static_cast<int>(clean.size()));
+}
+
+TEST_P(PreprocessPropertyTest, SecondPassIsStable) {
+  // Re-preprocessing an already-clean corpus must find nothing
+  // incomplete or duplicated (the rules are idempotent on their targets).
+  auto clean = Preprocessor().Run(Noisy(), nullptr);
+  PreprocessStats second;
+  Preprocessor().Run(clean, &second);
+  EXPECT_EQ(second.removed_incomplete, 0);
+  EXPECT_EQ(second.removed_duplicates, 0);
+  EXPECT_EQ(second.clamped, 0);
+}
+
+TEST_P(PreprocessPropertyTest, SurvivorsKeepInputOrder) {
+  auto corpus = Noisy();
+  auto clean = Preprocessor().Run(corpus, nullptr);
+  // Ids of unmerged survivors must appear in nondecreasing input order.
+  long long prev = -1;
+  int ordered = 0, total = 0;
+  for (const Recipe& r : clean) {
+    ++total;
+    if (r.id >= prev) ++ordered;
+    prev = r.id;
+  }
+  // Merged records can swallow later ids, so allow a small tolerance.
+  EXPECT_GT(static_cast<double>(ordered) / total, 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreprocessPropertyTest,
+                         testing::Values(7u, 77u, 777u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,155 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <set>
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace rt {
+namespace {
+
+std::vector<Recipe> NoisyCorpus(int n = 600) {
+  GeneratorOptions opts;
+  opts.num_recipes = n;
+  opts.seed = 21;
+  opts.incomplete_fraction = 0.05;
+  opts.duplicate_fraction = 0.06;
+  opts.overlong_fraction = 0.03;
+  opts.short_fraction = 0.05;
+  return RecipeDbGenerator(opts).Generate();
+}
+
+TEST(LengthStatsTest, MeanAndStddev) {
+  LengthStats s = ComputeLengthStats({10, 20, 30});
+  EXPECT_DOUBLE_EQ(s.mean, 20.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(200.0 / 3.0), 1e-9);
+  EXPECT_EQ(s.min_len, 10u);
+  EXPECT_EQ(s.max_len, 30u);
+}
+
+TEST(LengthStatsTest, EmptyIsZero) {
+  LengthStats s = ComputeLengthStats({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(LengthStatsTest, CoverageWithinBand) {
+  std::vector<size_t> lengths{10, 20, 30, 1000};
+  LengthStats s = ComputeLengthStats(lengths);
+  EXPECT_GT(s.CoverageWithin(2.0, lengths), 0.5);
+  EXPECT_EQ(s.CoverageWithin(100.0, lengths), 1.0);
+}
+
+TEST(LengthHistogramTest, BinsCoverAllLengths) {
+  LengthHistogram h = BuildLengthHistogram({5, 15, 15, 25}, 10);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+}
+
+TEST(PreprocessorTest, RemovesIncompleteRecords) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(corpus, &stats);
+  EXPECT_GT(stats.removed_incomplete, 0);
+  for (const Recipe& r : clean) EXPECT_TRUE(r.IsComplete());
+}
+
+TEST(PreprocessorTest, RemovesDuplicates) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(corpus, &stats);
+  EXPECT_GT(stats.removed_duplicates, 0);
+  std::set<std::string> seen;
+  for (const Recipe& r : clean) {
+    EXPECT_TRUE(seen.insert(r.ToTaggedString()).second);
+  }
+}
+
+TEST(PreprocessorTest, ClampsTo2000Chars) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(corpus, &stats);
+  EXPECT_GT(stats.clamped, 0);
+  for (const Recipe& r : clean) {
+    EXPECT_LE(r.TaggedLength(), 2000u) << r.id;
+  }
+}
+
+TEST(PreprocessorTest, MergesShortTail) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(corpus, &stats);
+  EXPECT_GT(stats.merged_short, 0);
+}
+
+TEST(PreprocessorTest, StatsAreConsistent) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(corpus, &stats);
+  EXPECT_EQ(stats.input_count, static_cast<int>(corpus.size()));
+  EXPECT_EQ(stats.output_count, static_cast<int>(clean.size()));
+  EXPECT_EQ(stats.input_count - stats.removed_incomplete -
+                stats.removed_duplicates - stats.merged_short -
+                stats.removed_band,
+            stats.output_count);
+  EXPECT_GT(stats.before.mean, 0.0);
+  EXPECT_GT(stats.after.mean, 0.0);
+}
+
+TEST(PreprocessorTest, TwoSigmaCoverageNearNormalFigure) {
+  // The paper keeps ~2 sigma (95.46 %) of the size-distribution curve; the
+  // synthetic corpus should show comparable coverage before filtering.
+  auto corpus = NoisyCorpus(2000);
+  PreprocessStats stats;
+  Preprocessor().Run(corpus, &stats);
+  EXPECT_GT(stats.coverage_2sigma_before, 0.90);
+  EXPECT_LE(stats.coverage_2sigma_before, 1.0);
+}
+
+TEST(PreprocessorTest, AfterStatsTighterThanBefore) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats stats;
+  Preprocessor().Run(corpus, &stats);
+  EXPECT_LT(stats.after.stddev, stats.before.stddev);
+  EXPECT_LE(stats.after.max_len, 2000u);
+}
+
+TEST(PreprocessorTest, RulesCanBeDisabled) {
+  auto corpus = NoisyCorpus();
+  PreprocessOptions opts;
+  opts.drop_incomplete = false;
+  opts.drop_duplicates = false;
+  opts.merge_short = false;
+  opts.band_sigma = 0.0;
+  opts.max_chars = 1u << 30;
+  PreprocessStats stats;
+  auto out = Preprocessor(opts).Run(corpus, &stats);
+  EXPECT_EQ(out.size(), corpus.size());
+  EXPECT_EQ(stats.removed_incomplete, 0);
+  EXPECT_EQ(stats.removed_duplicates, 0);
+  EXPECT_EQ(stats.clamped, 0);
+  EXPECT_EQ(stats.removed_band, 0);
+}
+
+TEST(PreprocessorTest, DeterministicOutput) {
+  auto corpus = NoisyCorpus();
+  PreprocessStats s1, s2;
+  auto a = Preprocessor().Run(corpus, &s1);
+  auto b = Preprocessor().Run(corpus, &s2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s1.output_count, s2.output_count);
+}
+
+TEST(PreprocessorTest, EmptyCorpus) {
+  PreprocessStats stats;
+  auto out = Preprocessor().Run({}, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.input_count, 0);
+  EXPECT_EQ(stats.output_count, 0);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,84 @@
+#include "data/recipe_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace rt {
+namespace {
+
+std::vector<Recipe> Corpus(int n = 25) {
+  GeneratorOptions opts;
+  opts.num_recipes = n;
+  opts.seed = 55;
+  return RecipeDbGenerator(opts).Generate();
+}
+
+TEST(RecipeJsonTest, RecordRoundTrip) {
+  for (const Recipe& r : Corpus(10)) {
+    auto back = RecipeFromJsonRecord(RecipeToJsonRecord(r));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, r);
+  }
+}
+
+TEST(RecipeJsonTest, RejectsNonObject) {
+  EXPECT_FALSE(RecipeFromJsonRecord(Json(Json::Array{})).ok());
+  EXPECT_FALSE(RecipeFromJsonRecord(Json("text")).ok());
+}
+
+TEST(RecipeJsonTest, MissingFieldsYieldEmptyValues) {
+  auto r = RecipeFromJsonRecord(*Json::Parse(R"({"title":"x"})"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->title, "x");
+  EXPECT_TRUE(r->ingredients.empty());
+  EXPECT_TRUE(r->instructions.empty());
+  EXPECT_EQ(r->id, 0);
+}
+
+TEST(RecipeJsonlTest, FileRoundTripPreservesCorpus) {
+  auto corpus = Corpus();
+  const std::string path = testing::TempDir() + "/corpus.jsonl";
+  ASSERT_TRUE(SaveRecipesJsonl(corpus, path).ok());
+  auto loaded = LoadRecipesJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, corpus);
+  std::remove(path.c_str());
+}
+
+TEST(RecipeJsonlTest, SkipsBlankLines) {
+  const std::string path = testing::TempDir() + "/blank.jsonl";
+  {
+    std::ofstream out(path);
+    out << RecipeToJsonRecord(Corpus(1)[0]).Dump() << "\n\n";
+  }
+  auto loaded = LoadRecipesJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(RecipeJsonlTest, MalformedLineReportsLineNumber) {
+  const std::string path = testing::TempDir() + "/bad.jsonl";
+  {
+    std::ofstream out(path);
+    out << RecipeToJsonRecord(Corpus(1)[0]).Dump() << "\n";
+    out << "{not json}\n";
+  }
+  auto loaded = LoadRecipesJsonl(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RecipeJsonlTest, MissingFileIsIoError) {
+  auto loaded = LoadRecipesJsonl("/nonexistent/corpus.jsonl");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,146 @@
+#include "data/recipe.h"
+
+#include <gtest/gtest.h>
+
+#include "text/special_tokens.h"
+
+namespace rt {
+namespace {
+
+Recipe MakeRecipe() {
+  Recipe r;
+  r.id = 7;
+  r.title = "rustic italian tomato stew";
+  r.continent = "europe";
+  r.region = "southern europe";
+  r.country = "italy";
+  r.ingredients = {
+      {"1/2", "cup", "tomato", "chopped"},
+      {"2", "tbsp", "olive oil", ""},
+      {"1", "", "onion", "diced"},
+  };
+  r.instructions = {
+      "heat the olive oil in a large pot over medium heat",
+      "add the onion and saute until softened",
+      "add the tomato and simmer for 20 minutes",
+  };
+  return r;
+}
+
+TEST(IngredientLineTest, RenderFormats) {
+  EXPECT_EQ((IngredientLine{"1/2", "cup", "tomato", "chopped"}).Render(),
+            "1/2 cup tomato , chopped");
+  EXPECT_EQ((IngredientLine{"2", "", "onion", ""}).Render(), "2 onion");
+  EXPECT_EQ((IngredientLine{"", "", "salt", ""}).Render(), "salt");
+}
+
+TEST(RecipeTest, IsComplete) {
+  Recipe r = MakeRecipe();
+  EXPECT_TRUE(r.IsComplete());
+  Recipe no_title = r;
+  no_title.title.clear();
+  EXPECT_FALSE(no_title.IsComplete());
+  Recipe no_instr = r;
+  no_instr.instructions.clear();
+  EXPECT_FALSE(no_instr.IsComplete());
+  Recipe no_ingr = r;
+  no_ingr.ingredients.clear();
+  EXPECT_FALSE(no_ingr.IsComplete());
+}
+
+TEST(RecipeTest, TaggedStringHasAllSections) {
+  const std::string s = MakeRecipe().ToTaggedString();
+  EXPECT_NE(s.find(kRecipeStart), std::string::npos);
+  EXPECT_NE(s.find(kInputStart), std::string::npos);
+  EXPECT_NE(s.find(kIngrStart), std::string::npos);
+  EXPECT_NE(s.find(kInstrStart), std::string::npos);
+  EXPECT_NE(s.find(kTitleStart), std::string::npos);
+  EXPECT_NE(s.find(kRecipeEnd), std::string::npos);
+  // Fractions are normalized in the tagged form.
+  EXPECT_EQ(s.find("1/2"), std::string::npos);
+  EXPECT_NE(s.find("<FRAC_1_2>"), std::string::npos);
+}
+
+TEST(RecipeTest, TaggedStringWithoutInputSection) {
+  const std::string s = MakeRecipe().ToTaggedString(/*with_input=*/false);
+  EXPECT_EQ(s.find(kInputStart), std::string::npos);
+  EXPECT_NE(s.find(kIngrStart), std::string::npos);
+}
+
+TEST(RecipeTest, PromptPrefixEndsAtIngrStart) {
+  const std::string p = MakeRecipe().PromptPrefix();
+  EXPECT_NE(p.find(kInputStart), std::string::npos);
+  EXPECT_NE(p.find("tomato"), std::string::npos);
+  EXPECT_TRUE(p.ends_with(kIngrStart));
+  // No quantities in the prompt.
+  EXPECT_EQ(p.find("cup"), std::string::npos);
+}
+
+TEST(RecipeTest, RawStringResemblesScrapedText) {
+  const std::string raw = MakeRecipe().ToRawString();
+  EXPECT_NE(raw.find("Ingredients:"), std::string::npos);
+  EXPECT_NE(raw.find("- 1/2 cup tomato , chopped"), std::string::npos);
+  EXPECT_EQ(raw.find(kRecipeStart), std::string::npos);
+}
+
+TEST(RecipeTest, ParseTaggedRoundTrip) {
+  Recipe original = MakeRecipe();
+  auto parsed = ParseTaggedRecipe(original.ToTaggedString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->title, original.title);
+  ASSERT_EQ(parsed->ingredients.size(), original.ingredients.size());
+  for (size_t i = 0; i < original.ingredients.size(); ++i) {
+    EXPECT_EQ(parsed->ingredients[i].quantity,
+              original.ingredients[i].quantity);
+    EXPECT_EQ(parsed->ingredients[i].unit, original.ingredients[i].unit);
+    EXPECT_EQ(parsed->ingredients[i].name, original.ingredients[i].name);
+    EXPECT_EQ(parsed->ingredients[i].prep, original.ingredients[i].prep);
+  }
+  EXPECT_EQ(parsed->instructions, original.instructions);
+}
+
+TEST(RecipeTest, ParseRejectsTaglessText) {
+  auto parsed = ParseTaggedRecipe("just some words");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecipeTest, ParseToleratesTruncatedOutput) {
+  // A sampler may stop mid-recipe; sections after the cut are empty.
+  Recipe r = MakeRecipe();
+  std::string s = r.ToTaggedString();
+  s = s.substr(0, s.find(kInstrStart));
+  auto parsed = ParseTaggedRecipe(s);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ingredients.size(), 3u);
+  EXPECT_TRUE(parsed->instructions.empty());
+  EXPECT_TRUE(parsed->title.empty());
+}
+
+TEST(RecipeTest, ParseIngredientWithoutQuantity) {
+  std::string s = std::string(kRecipeStart) + " " + kIngrStart +
+                  " salt <INGR_NEXT> 2 cups rice " + kIngrEnd + " " +
+                  kRecipeEnd;
+  auto parsed = ParseTaggedRecipe(s);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->ingredients.size(), 2u);
+  EXPECT_EQ(parsed->ingredients[0].name, "salt");
+  EXPECT_EQ(parsed->ingredients[0].quantity, "");
+  EXPECT_EQ(parsed->ingredients[1].quantity, "2");
+  EXPECT_EQ(parsed->ingredients[1].unit, "cups");
+  EXPECT_EQ(parsed->ingredients[1].name, "rice");
+}
+
+TEST(RecipeTest, TaggedLengthMatchesStringSize) {
+  Recipe r = MakeRecipe();
+  EXPECT_EQ(r.TaggedLength(), r.ToTaggedString().size());
+}
+
+TEST(RecipeTest, IngredientNamesInOrder) {
+  auto names = MakeRecipe().IngredientNames();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"tomato", "olive oil", "onion"}));
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,117 @@
+// Tests for recipe-aligned training windows (the GPT-2 training layout).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "text/word_tokenizer.h"
+
+namespace rt {
+namespace {
+
+std::vector<Recipe> SmallCorpus(int n = 12) {
+  GeneratorOptions opts;
+  opts.num_recipes = n;
+  opts.seed = 77;
+  opts.incomplete_fraction = 0.0;
+  opts.duplicate_fraction = 0.0;
+  opts.overlong_fraction = 0.0;
+  opts.short_fraction = 0.0;
+  return RecipeDbGenerator(opts).Generate();
+}
+
+WordTokenizer BuildTok(const std::vector<Recipe>& corpus) {
+  std::vector<std::string> docs;
+  for (const auto& r : corpus) docs.push_back(r.ToTaggedString());
+  return WordTokenizer::Build(docs);
+}
+
+TEST(BuildRecipeWindowsTest, OneWindowPerRecipePaddedToLength) {
+  auto corpus = SmallCorpus();
+  auto tok = BuildTok(corpus);
+  const int seq = 64;
+  auto windows = BuildRecipeWindows(tok, corpus, seq, tok.pad_id());
+  ASSERT_EQ(windows.size(), corpus.size());
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.size(), static_cast<size_t>(seq + 1));
+  }
+}
+
+TEST(BuildRecipeWindowsTest, WindowStartsAtRecipeStart) {
+  auto corpus = SmallCorpus();
+  auto tok = BuildTok(corpus);
+  auto windows = BuildRecipeWindows(tok, corpus, 64, tok.pad_id());
+  const int start_id = tok.vocab().GetId("<RECIPE_START>");
+  for (const auto& w : windows) {
+    EXPECT_EQ(w[0], start_id);
+  }
+}
+
+TEST(BuildRecipeWindowsTest, LongRecipesTruncated) {
+  auto corpus = SmallCorpus();
+  auto tok = BuildTok(corpus);
+  auto windows = BuildRecipeWindows(tok, corpus, 8, tok.pad_id());
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.size(), 9u);
+    // Truncated windows contain no padding.
+    for (int id : w) EXPECT_NE(id, tok.pad_id());
+  }
+}
+
+TEST(WindowBatchIteratorTest, PaddingExcludedViaIgnoreIndex) {
+  std::vector<std::vector<int>> windows{{5, 6, 7}, {8, 9, 10, 11}};
+  BatchIterator it(windows, /*batch_size=*/2, /*seq_len=*/5, 3,
+                   /*pad_id=*/0);
+  Batch b;
+  ASSERT_TRUE(it.Next(&b));
+  EXPECT_EQ(b.ignore_index, 0);
+  EXPECT_EQ(b.batch_size, 2);
+  // Every row: inputs beyond the window are pad; targets shifted by one.
+  for (int i = 0; i < 2; ++i) {
+    int first = b.inputs[i * 5];
+    EXPECT_TRUE(first == 5 || first == 8);
+    EXPECT_EQ(b.targets[i * 5], first + 1);
+    EXPECT_EQ(b.inputs[i * 5 + 4], 0);   // padded
+    EXPECT_EQ(b.targets[i * 5 + 4], 0);  // ignored
+  }
+}
+
+TEST(WindowBatchIteratorTest, StreamModeHasNoIgnoreIndex) {
+  std::vector<int> stream(50);
+  for (size_t i = 0; i < stream.size(); ++i) stream[i] = static_cast<int>(i);
+  BatchIterator it(&stream, 2, 9, 5);
+  Batch b;
+  ASSERT_TRUE(it.Next(&b));
+  EXPECT_EQ(b.ignore_index, -1);
+}
+
+TEST(WindowBatchIteratorTest, EpochCoversEveryWindowOnce) {
+  std::vector<std::vector<int>> windows;
+  for (int i = 0; i < 10; ++i) {
+    windows.push_back({100 + i, 200 + i, 300 + i});
+  }
+  BatchIterator it(windows, 3, 4, 7, 0);
+  EXPECT_EQ(it.NumWindows(), 10);
+  std::set<int> firsts;
+  Batch b;
+  while (it.Next(&b)) {
+    for (int i = 0; i < b.batch_size; ++i) {
+      firsts.insert(b.inputs[i * b.seq_len]);
+    }
+  }
+  EXPECT_EQ(firsts.size(), 10u);
+}
+
+TEST(WindowBatchIteratorTest, OverlongWindowsTruncatedAtConstruction) {
+  std::vector<std::vector<int>> windows{{1, 2, 3, 4, 5, 6, 7, 8, 9}};
+  BatchIterator it(windows, 1, 3, 11, 0);  // window cap = 4 tokens
+  Batch b;
+  ASSERT_TRUE(it.Next(&b));
+  EXPECT_EQ(b.inputs[2], 3);
+  EXPECT_EQ(b.targets[2], 4);
+}
+
+}  // namespace
+}  // namespace rt

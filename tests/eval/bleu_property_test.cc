@@ -1,0 +1,110 @@
+// Property-based BLEU tests over generated recipe text: identity,
+// bounds, monotonicity in reference count, and degradation under
+// perturbation — swept across corpus seeds with TEST_P.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "eval/bleu.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+class BleuPropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  std::vector<std::string> Docs(int n) {
+    GeneratorOptions opts;
+    opts.num_recipes = n;
+    opts.seed = GetParam();
+    opts.incomplete_fraction = 0.0;
+    opts.duplicate_fraction = 0.0;
+    opts.overlong_fraction = 0.0;
+    opts.short_fraction = 0.0;
+    std::vector<std::string> docs;
+    for (const auto& r : RecipeDbGenerator(opts).Generate()) {
+      docs.push_back(r.ToTaggedString());
+    }
+    return docs;
+  }
+};
+
+TEST_P(BleuPropertyTest, IdentityScoresOne) {
+  for (const auto& doc : Docs(5)) {
+    EXPECT_NEAR(SentenceBleu(doc, doc), 1.0, 1e-9);
+  }
+}
+
+TEST_P(BleuPropertyTest, AlwaysInUnitInterval) {
+  auto docs = Docs(6);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    for (size_t j = 0; j < docs.size(); ++j) {
+      const double b = SentenceBleu(docs[i], docs[j]);
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST_P(BleuPropertyTest, ExtraReferenceNeverHurts) {
+  auto docs = Docs(4);
+  auto cand = SplitWhitespace(docs[0]);
+  auto ref1 = SplitWhitespace(docs[1]);
+  auto ref2 = SplitWhitespace(docs[2]);
+  const double one_ref = SentenceBleu(cand, {ref1});
+  const double two_refs = SentenceBleu(cand, {ref1, ref2});
+  EXPECT_GE(two_refs + 1e-12, one_ref);
+}
+
+TEST_P(BleuPropertyTest, TokenCorruptionDegradesScore) {
+  auto docs = Docs(3);
+  Rng rng(GetParam() + 1);
+  for (const auto& doc : Docs(3)) {
+    auto tokens = SplitWhitespace(doc);
+    auto corrupted = tokens;
+    // Corrupt every 4th token.
+    for (size_t i = 0; i < corrupted.size(); i += 4) {
+      corrupted[i] = "zzz" + std::to_string(rng.NextBelow(100));
+    }
+    const double clean = SentenceBleu(tokens, {tokens});
+    const double noisy = SentenceBleu(corrupted, {tokens});
+    EXPECT_LT(noisy, clean);
+    EXPECT_GT(noisy, 0.0);  // smoothing keeps it finite
+  }
+}
+
+TEST_P(BleuPropertyTest, CorpusBleuBoundedByBestAndWorstSentence) {
+  auto docs = Docs(5);
+  std::vector<std::string> cands(docs.begin(), docs.begin() + 2);
+  std::vector<std::string> refs(docs.begin() + 2, docs.begin() + 4);
+  const double corpus = CorpusBleu(cands, refs);
+  EXPECT_GE(corpus, 0.0);
+  EXPECT_LE(corpus, 1.0 + 1e-12);
+}
+
+TEST_P(BleuPropertyTest, TruncationTriggersBrevityPenalty) {
+  for (const auto& doc : Docs(3)) {
+    auto tokens = SplitWhitespace(doc);
+    auto half = std::vector<std::string>(tokens.begin(),
+                                         tokens.begin() + tokens.size() / 2);
+    const double full = SentenceBleu(tokens, {tokens});
+    const double truncated = SentenceBleu(half, {tokens});
+    EXPECT_LT(truncated, full);
+    // Precisions are perfect for a prefix, so the entire loss comes from
+    // the brevity penalty: score <= exp(1 - 2) roughly.
+    EXPECT_LT(truncated, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BleuPropertyTest,
+                         testing::Values(11u, 22u, 33u),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,137 @@
+#include "eval/bleu.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+std::vector<std::string> Tok(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ' ') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+TEST(SentenceBleuTest, PerfectMatchIsOne) {
+  auto t = Tok("the cat sat on the mat with the hat");
+  EXPECT_NEAR(SentenceBleu(t, {t}), 1.0, 1e-9);
+}
+
+TEST(SentenceBleuTest, CompletelyDifferentNearZero) {
+  double b = SentenceBleu(Tok("aa bb cc dd ee ff gg hh"),
+                          {Tok("xx yy zz ww vv uu tt ss")});
+  EXPECT_LT(b, 0.05);
+}
+
+TEST(SentenceBleuTest, PartialOverlapBetween) {
+  double b = SentenceBleu(
+      Tok("the cat sat on the mat today ok"),
+      {Tok("the cat sat on the red mat yesterday maybe")});
+  EXPECT_GT(b, 0.2);
+  EXPECT_LT(b, 0.95);
+}
+
+TEST(SentenceBleuTest, BrevityPenaltyPunishesShortCandidates) {
+  auto ref = Tok("a b c d e f g h i j");
+  double full = SentenceBleu(ref, {ref});
+  double half = SentenceBleu(Tok("a b c d e"), {ref});
+  EXPECT_LT(half, full);
+  // Precisions are perfect, so the gap is exactly the brevity penalty.
+  EXPECT_NEAR(half, std::exp(1.0 - 10.0 / 5.0), 1e-6);
+}
+
+TEST(SentenceBleuTest, NoLengthPenaltyForLongerCandidates) {
+  auto ref = Tok("a b c d e");
+  // Candidate repeats the reference exactly once, doubling length;
+  // precision halves... actually clipping halves unigram precision.
+  double b = SentenceBleu(Tok("a b c d e a b c d e"), {ref});
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 1.0);
+}
+
+TEST(SentenceBleuTest, ClippingPreventsGaming) {
+  // "the the the..." must not get high precision against one "the".
+  auto cand = Tok("the the the the the the the");
+  auto ref = Tok("the cat is on the mat again");
+  double b = SentenceBleu(cand, {ref});
+  EXPECT_LT(b, 0.1);
+}
+
+TEST(SentenceBleuTest, MultiReferenceTakesBest) {
+  auto cand = Tok("simmer the stew for twenty minutes now");
+  auto ref_far = Tok("bake the cake until golden and done");
+  auto ref_near = Tok("simmer the stew for twenty minutes please");
+  double multi = SentenceBleu(cand, {ref_far, ref_near});
+  double only_far = SentenceBleu(cand, {ref_far});
+  EXPECT_GT(multi, only_far);
+}
+
+TEST(SentenceBleuTest, EmptyCandidateIsZero) {
+  EXPECT_EQ(SentenceBleu(std::vector<std::string>{},
+                         {Tok("a b c")}),
+            0.0);
+}
+
+TEST(SentenceBleuTest, ShortCandidateUsesAvailableOrders) {
+  // 2-token candidate has no 3- or 4-grams; BLEU still finite.
+  double b = SentenceBleu(Tok("hello world"),
+                          {Tok("hello world how are you")});
+  EXPECT_GT(b, 0.0);
+}
+
+TEST(CorpusBleuTest, PoolsStatistics) {
+  std::vector<std::string> cands{"the cat sat down", "a dog ran fast"};
+  std::vector<std::string> refs{"the cat sat down", "a dog ran fast"};
+  EXPECT_NEAR(CorpusBleu(cands, refs), 1.0, 1e-9);
+}
+
+TEST(CorpusBleuTest, MixedQualityBetweenExtremes) {
+  std::vector<std::string> cands{"the cat sat on the mat ok",
+                                 "zz yy xx ww vv uu tt"};
+  std::vector<std::string> refs{"the cat sat on the mat ok",
+                                "a b c d e f g"};
+  double b = CorpusBleu(cands, refs);
+  EXPECT_GT(b, 0.2);
+  EXPECT_LT(b, 0.9);
+}
+
+TEST(CorpusBleuTest, CorpusIsNotMeanOfSentences) {
+  // Standard corpus BLEU pools counts; verify it differs from averaging.
+  std::vector<std::string> cands{"a b", "x y z w q r t u"};
+  std::vector<std::string> refs{"a b", "x y z w q r t u"};
+  double corpus = CorpusBleu(cands, refs);
+  EXPECT_NEAR(corpus, 1.0, 1e-9);
+}
+
+TEST(CorpusBleuTest, MonotoneInQuality) {
+  std::vector<std::string> refs{
+      "heat the oil in a large pot over medium heat",
+      "add the onion and cook until softened today"};
+  std::vector<std::string> good{
+      "heat the oil in a large pot over medium heat",
+      "add the onion and cook until browned today"};
+  std::vector<std::string> bad{
+      "heat something in somewhere over low flame now",
+      "mix every item and wait until done maybe"};
+  EXPECT_GT(CorpusBleu(good, refs), CorpusBleu(bad, refs));
+}
+
+TEST(BleuOptionsTest, MaxNOneIsUnigramPrecision) {
+  BleuOptions opts;
+  opts.max_n = 1;
+  // 3 of 4 unigrams match, lengths equal.
+  double b = SentenceBleu(Tok("a b c z"), {Tok("a b c d")}, opts);
+  EXPECT_NEAR(b, 0.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace rt

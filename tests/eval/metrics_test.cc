@@ -1,0 +1,91 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(PerplexityTest, ExpOfLoss) {
+  EXPECT_NEAR(PerplexityFromLoss(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(PerplexityFromLoss(std::log(50.0)), 50.0, 1e-9);
+}
+
+TEST(DistinctNTest, AllUniqueIsOne) {
+  EXPECT_NEAR(DistinctN({"a b c d"}, 1), 1.0, 1e-12);
+  EXPECT_NEAR(DistinctN({"a b c d"}, 2), 1.0, 1e-12);
+}
+
+TEST(DistinctNTest, RepetitionLowersScore) {
+  // "a a a a": 4 unigrams, 1 unique.
+  EXPECT_NEAR(DistinctN({"a a a a"}, 1), 0.25, 1e-12);
+  double repetitive = DistinctN({"the cat the cat the cat"}, 2);
+  double diverse = DistinctN({"the cat ate a small fish"}, 2);
+  EXPECT_LT(repetitive, diverse);
+}
+
+TEST(DistinctNTest, PoolsAcrossTexts) {
+  // Same text twice halves distinct-1.
+  EXPECT_NEAR(DistinctN({"a b", "a b"}, 1), 0.5, 1e-12);
+}
+
+TEST(DistinctNTest, EmptyAndTooShort) {
+  EXPECT_EQ(DistinctN({}, 2), 0.0);
+  EXPECT_EQ(DistinctN({"one"}, 2), 0.0);
+}
+
+TEST(NoveltyRateTest, VerbatimCopiesAreNotNovel) {
+  std::vector<std::string> train{"recipe one text", "recipe two text"};
+  EXPECT_EQ(NoveltyRate({"recipe one text"}, train), 0.0);
+  EXPECT_EQ(NoveltyRate({"a brand new recipe"}, train), 1.0);
+  EXPECT_NEAR(NoveltyRate({"recipe one text", "something new"}, train),
+              0.5, 1e-12);
+}
+
+TEST(NoveltyRateTest, WhitespaceInsensitive) {
+  std::vector<std::string> train{"a  b   c"};
+  EXPECT_EQ(NoveltyRate({"a b c"}, train), 0.0);
+}
+
+TEST(IngredientCoverageTest, CountsPromptMentions) {
+  Recipe r;
+  r.ingredients = {{"2", "cup", "tomato", ""}};
+  r.instructions = {"add the onion and simmer"};
+  EXPECT_NEAR(IngredientCoverage(r, {"tomato", "onion"}), 1.0, 1e-12);
+  EXPECT_NEAR(IngredientCoverage(r, {"tomato", "garlic"}), 0.5, 1e-12);
+  EXPECT_EQ(IngredientCoverage(r, {}), 1.0);
+}
+
+TEST(QuantityTest, WellFormedQuantities) {
+  EXPECT_TRUE(IsWellFormedQuantity("2"));
+  EXPECT_TRUE(IsWellFormedQuantity("12"));
+  EXPECT_TRUE(IsWellFormedQuantity("1/2"));
+  EXPECT_TRUE(IsWellFormedQuantity("1 1/2"));
+  EXPECT_TRUE(IsWellFormedQuantity("3/4"));
+}
+
+TEST(QuantityTest, MalformedQuantities) {
+  EXPECT_FALSE(IsWellFormedQuantity(""));
+  EXPECT_FALSE(IsWellFormedQuantity("abc"));
+  EXPECT_FALSE(IsWellFormedQuantity("1/"));
+  EXPECT_FALSE(IsWellFormedQuantity("/2"));
+  EXPECT_FALSE(IsWellFormedQuantity("1/0"));
+  EXPECT_FALSE(IsWellFormedQuantity("1 2 3"));
+  EXPECT_FALSE(IsWellFormedQuantity("1/2 1"));  // frac then int invalid
+  EXPECT_FALSE(IsWellFormedQuantity("one half"));
+}
+
+TEST(QuantityTest, RecipeWellFormedness) {
+  Recipe r;
+  r.ingredients = {{"2", "cup", "rice", ""},
+                   {"1/2", "tsp", "salt", ""},
+                   {"some", "", "pepper", ""},
+                   {"", "", "water", ""}};
+  EXPECT_NEAR(QuantityWellFormedness(r), 0.5, 1e-12);
+  Recipe empty;
+  EXPECT_EQ(QuantityWellFormedness(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace rt

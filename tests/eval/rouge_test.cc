@@ -1,0 +1,63 @@
+#include "eval/rouge.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LcsLength({"a", "b", "c"}, {"a", "b", "c"}), 3u);
+  EXPECT_EQ(LcsLength({"a", "b", "c"}, {"a", "x", "c"}), 2u);
+  EXPECT_EQ(LcsLength({"a", "b"}, {"c", "d"}), 0u);
+  EXPECT_EQ(LcsLength({}, {"a"}), 0u);
+  // Order matters: subsequence, not bag-of-words.
+  EXPECT_EQ(LcsLength({"a", "b", "c"}, {"c", "b", "a"}), 1u);
+}
+
+TEST(LcsTest, SymmetricInArguments) {
+  std::vector<std::string> a{"x", "y", "z", "w", "q"};
+  std::vector<std::string> b{"y", "w"};
+  EXPECT_EQ(LcsLength(a, b), LcsLength(b, a));
+}
+
+TEST(RougeLTest, PerfectMatchIsOne) {
+  auto s = RougeL("heat the oil in a pan", "heat the oil in a pan");
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(RougeLTest, DisjointIsZero) {
+  auto s = RougeL("aa bb cc", "xx yy zz");
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(RougeLTest, RecallPrecisionAsymmetry) {
+  // Candidate is a strict prefix of the reference: precision 1, recall<1.
+  auto s = RougeL("heat the oil", "heat the oil in a pan");
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_NEAR(s.f1, 2.0 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(RougeLTest, EmptyInputsSafe) {
+  EXPECT_DOUBLE_EQ(RougeL("", "a b").f1, 0.0);
+  EXPECT_DOUBLE_EQ(RougeL("a b", "").f1, 0.0);
+}
+
+TEST(RougeLTest, OrderSensitive) {
+  double in_order = RougeL("add salt then pepper", "add salt then pepper").f1;
+  double shuffled = RougeL("pepper then salt add", "add salt then pepper").f1;
+  EXPECT_GT(in_order, shuffled);
+}
+
+TEST(RougeLTest, MonotoneInOverlap) {
+  const std::string ref = "simmer the stew for twenty minutes then serve";
+  double close = RougeL("simmer the stew for thirty minutes then serve",
+                        ref).f1;
+  double far = RougeL("bake a cake and cool it completely first", ref).f1;
+  EXPECT_GT(close, far);
+}
+
+}  // namespace
+}  // namespace rt

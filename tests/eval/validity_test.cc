@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "eval/metrics.h"
+
+namespace rt {
+namespace {
+
+TEST(StructuralValidityTest, WellFormedRecipeScoresOne) {
+  GeneratorOptions opts;
+  opts.num_recipes = 5;
+  opts.seed = 9;
+  opts.incomplete_fraction = 0.0;  // noise-free corpus
+  opts.duplicate_fraction = 0.0;
+  opts.overlong_fraction = 0.0;
+  opts.short_fraction = 0.0;
+  for (const Recipe& r : RecipeDbGenerator(opts).Generate()) {
+    EXPECT_DOUBLE_EQ(StructuralValidity(r.ToTaggedString()), 1.0);
+  }
+}
+
+TEST(StructuralValidityTest, FreeTextScoresZero) {
+  EXPECT_DOUBLE_EQ(
+      StructuralValidity("just a plain sentence about cooking"), 0.0);
+}
+
+TEST(StructuralValidityTest, TruncatedGenerationScoresBetween) {
+  GeneratorOptions opts;
+  opts.num_recipes = 1;
+  opts.seed = 10;
+  Recipe r = RecipeDbGenerator(opts).Generate()[0];
+  std::string s = r.ToTaggedString();
+  s = s.substr(0, s.find("<INSTR_END>"));  // lost instr end, title, end
+  const double v = StructuralValidity(s);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(StructuralValidityTest, WrongSectionOrderPenalized) {
+  const std::string reordered =
+      "<RECIPE_START> <TITLE_START> soup <TITLE_END> <INGR_START> water "
+      "<INGR_END> <INSTR_START> boil <INSTR_END> <RECIPE_END>";
+  const std::string canonical =
+      "<RECIPE_START> <INGR_START> water <INGR_END> <INSTR_START> boil "
+      "<INSTR_END> <TITLE_START> soup <TITLE_END> <RECIPE_END>";
+  EXPECT_LT(StructuralValidity(reordered),
+            StructuralValidity(canonical));
+  EXPECT_DOUBLE_EQ(StructuralValidity(canonical), 1.0);
+}
+
+TEST(StructuralValidityTest, EmptySectionNotCounted) {
+  const std::string empty_ingr =
+      "<RECIPE_START> <INGR_START> <INGR_END> <INSTR_START> boil "
+      "<INSTR_END> <TITLE_START> soup <TITLE_END> <RECIPE_END>";
+  EXPECT_LT(StructuralValidity(empty_ingr), 1.0);
+}
+
+}  // namespace
+}  // namespace rt

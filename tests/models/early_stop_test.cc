@@ -1,0 +1,81 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "models/lstm_model.h"
+#include "models/trainer.h"
+
+namespace rt {
+namespace {
+
+std::unique_ptr<LstmLm> MakeModel() {
+  LstmConfig cfg;
+  cfg.vocab_size = 6;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 12;
+  cfg.dropout = 0.0f;
+  cfg.name = "early-stop-lstm";
+  return std::make_unique<LstmLm>(cfg);
+}
+
+std::vector<int> PeriodicStream(int n) {
+  std::vector<int> s(n);
+  for (int i = 0; i < n; ++i) s[i] = i % 6;
+  return s;
+}
+
+TEST(EarlyStopTest, StopsOnPlateau) {
+  auto model = MakeModel();
+  TrainerOptions opts;
+  // The validation stream is random noise from a different distribution:
+  // val loss stops improving almost immediately, triggering the stop.
+  opts.epochs = 40;
+  opts.batch_size = 4;
+  opts.seq_len = 12;
+  opts.lr = 0.02f;
+  opts.early_stop_patience = 3;
+  Trainer trainer(model.get(), opts);
+  auto train = PeriodicStream(400);
+  std::vector<int> val(200);
+  Rng rng(99);
+  for (int& v : val) v = static_cast<int>(rng.NextBelow(6));
+  auto result = trainer.Train(train, &val);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->early_stopped);
+  EXPECT_LT(result->epochs_completed, 40);
+  EXPECT_GE(result->epochs_completed, 3);
+}
+
+TEST(EarlyStopTest, DisabledByDefault) {
+  auto model = MakeModel();
+  TrainerOptions opts;
+  opts.epochs = 6;
+  opts.batch_size = 4;
+  opts.seq_len = 12;
+  opts.lr = 0.02f;
+  Trainer trainer(model.get(), opts);
+  auto train = PeriodicStream(400);
+  auto val = PeriodicStream(120);
+  auto result = trainer.Train(train, &val);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->early_stopped);
+  EXPECT_EQ(result->epochs_completed, 6);
+}
+
+TEST(EarlyStopTest, NoValSourceMeansNoEarlyStop) {
+  auto model = MakeModel();
+  TrainerOptions opts;
+  opts.epochs = 5;
+  opts.batch_size = 4;
+  opts.seq_len = 12;
+  opts.early_stop_patience = 1;
+  Trainer trainer(model.get(), opts);
+  auto train = PeriodicStream(300);
+  auto result = trainer.Train(train);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->early_stopped);
+  EXPECT_EQ(result->epochs_completed, 5);
+}
+
+}  // namespace
+}  // namespace rt

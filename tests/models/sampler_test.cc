@@ -1,0 +1,122 @@
+#include "models/sampler.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(SamplerTest, GreedyPicksArgmax) {
+  Rng rng(1);
+  Tensor logits({4}, {0.1f, 5.0f, -2.0f, 4.9f});
+  SamplingOptions opts{.greedy = true};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SampleFromLogits(logits, opts, &rng), 1);
+  }
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  Tensor logits({5}, {1, 2, 3, 2, 1});
+  SamplingOptions opts;
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(SampleFromLogits(logits, opts, &a),
+              SampleFromLogits(logits, opts, &b));
+  }
+}
+
+TEST(SamplerTest, SamplesFollowDistribution) {
+  Rng rng(7);
+  // p ~ [0.09, 0.24, 0.67] approx (logits 0, 1, 2).
+  Tensor logits({3}, {0.0f, 1.0f, 2.0f});
+  SamplingOptions opts;
+  std::map<int, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    counts[SampleFromLogits(logits, opts, &rng)]++;
+  }
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.665, 0.03);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.245, 0.03);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.090, 0.02);
+}
+
+TEST(SamplerTest, LowTemperatureApproachesGreedy) {
+  Rng rng(11);
+  Tensor logits({3}, {1.0f, 1.5f, 1.4f});
+  SamplingOptions opts{.temperature = 0.01f};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleFromLogits(logits, opts, &rng), 1);
+  }
+}
+
+TEST(SamplerTest, HighTemperatureFlattens) {
+  Rng rng(13);
+  Tensor logits({2}, {0.0f, 3.0f});
+  SamplingOptions hot{.temperature = 100.0f};
+  int zeros = 0;
+  for (int i = 0; i < 4000; ++i) {
+    zeros += SampleFromLogits(logits, hot, &rng) == 0;
+  }
+  // Near-uniform at very high temperature.
+  EXPECT_NEAR(zeros / 4000.0, 0.5, 0.05);
+}
+
+TEST(SamplerTest, TopKExcludesTail) {
+  Rng rng(17);
+  Tensor logits({4}, {10.0f, 9.0f, 1.0f, 0.0f});
+  SamplingOptions opts{.top_k = 2};
+  for (int i = 0; i < 200; ++i) {
+    int s = SampleFromLogits(logits, opts, &rng);
+    EXPECT_TRUE(s == 0 || s == 1) << s;
+  }
+}
+
+TEST(SamplerTest, TopKOneIsGreedy) {
+  Rng rng(19);
+  Tensor logits({5}, {1, 7, 3, 2, 0});
+  SamplingOptions opts{.top_k = 1};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleFromLogits(logits, opts, &rng), 1);
+  }
+}
+
+TEST(SamplerTest, TopPKeepsNucleusOnly) {
+  Rng rng(23);
+  // probs ~ [0.88, 0.12, ~0] -> top_p 0.8 keeps only id 0.
+  Tensor logits({3}, {4.0f, 2.0f, -10.0f});
+  SamplingOptions opts{.top_p = 0.8f};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(SampleFromLogits(logits, opts, &rng), 0);
+  }
+}
+
+TEST(SamplerTest, TopPWideKeepsDiversity) {
+  Rng rng(29);
+  Tensor logits({3}, {1.0f, 1.0f, 1.0f});
+  SamplingOptions opts{.top_p = 0.99f};
+  std::map<int, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    counts[SampleFromLogits(logits, opts, &rng)]++;
+  }
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(SamplerTest, TopKAndTopPCompose) {
+  Rng rng(31);
+  Tensor logits({4}, {3.0f, 2.9f, 2.8f, -10.0f});
+  // top_k=3 keeps {0,1,2}; top_p small then tightens to {0}.
+  SamplingOptions opts{.top_k = 3, .top_p = 0.3f};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleFromLogits(logits, opts, &rng), 0);
+  }
+}
+
+TEST(SamplerTest, SingleTokenVocab) {
+  Rng rng(37);
+  Tensor logits({1}, {0.5f});
+  EXPECT_EQ(SampleFromLogits(logits, {}, &rng), 0);
+}
+
+}  // namespace
+}  // namespace rt

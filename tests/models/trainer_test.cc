@@ -1,0 +1,185 @@
+#include "models/trainer.h"
+
+#include <memory>
+#include <cstdio>
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "models/lstm_model.h"
+
+namespace rt {
+namespace {
+
+constexpr int kVocab = 8;
+
+std::unique_ptr<LstmLm> MakeModel(uint64_t seed = 1) {
+  LstmConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.dropout = 0.0f;
+  cfg.init_seed = seed;
+  cfg.name = "trainer-test-lstm";
+  return std::make_unique<LstmLm>(cfg);
+}
+
+std::vector<int> PeriodicStream(int n) {
+  std::vector<int> s(n);
+  for (int i = 0; i < n; ++i) s[i] = i % kVocab;
+  return s;
+}
+
+TrainerOptions SmallOptions() {
+  TrainerOptions opts;
+  opts.epochs = 3;
+  opts.batch_size = 4;
+  opts.seq_len = 8;
+  opts.lr = 0.01f;
+  return opts;
+}
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  auto model = MakeModel();
+  Trainer trainer(model.get(), SmallOptions());
+  auto stream = PeriodicStream(600);
+  auto result = trainer.Train(stream);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->epoch_train_loss.size(), 3u);
+  EXPECT_LT(result->epoch_train_loss.back(),
+            result->epoch_train_loss.front() * 0.7f);
+  EXPECT_EQ(result->epochs_completed, 3);
+  EXPECT_GT(result->steps, 0);
+  EXPECT_GT(result->tokens_processed, 0);
+  EXPECT_FALSE(result->resumed);
+}
+
+TEST(TrainerTest, ValidationLossTracked) {
+  auto model = MakeModel();
+  Trainer trainer(model.get(), SmallOptions());
+  auto train = PeriodicStream(400);
+  auto val = PeriodicStream(120);
+  auto result = trainer.Train(train, &val);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->epoch_val_loss.size(), 3u);
+  // Same distribution => val loss also falls.
+  EXPECT_LT(result->epoch_val_loss.back(),
+            result->epoch_val_loss.front());
+}
+
+TEST(TrainerTest, RejectsEmptyStream) {
+  auto model = MakeModel();
+  Trainer trainer(model.get(), SmallOptions());
+  std::vector<int> tiny{1, 2, 3};
+  auto result = trainer.Train(tiny);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, RejectsNonPositiveEpochs) {
+  auto model = MakeModel();
+  TrainerOptions opts = SmallOptions();
+  opts.epochs = 0;
+  Trainer trainer(model.get(), opts);
+  auto stream = PeriodicStream(200);
+  EXPECT_FALSE(trainer.Train(stream).ok());
+}
+
+TEST(TrainerTest, StepCallbackCanAbort) {
+  auto model = MakeModel();
+  TrainerOptions opts = SmallOptions();
+  opts.step_callback = [](long long step, float) { return step < 5; };
+  Trainer trainer(model.get(), opts);
+  auto stream = PeriodicStream(600);
+  auto result = trainer.Train(stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->aborted);
+  EXPECT_EQ(result->steps, 5);
+}
+
+TEST(TrainerTest, CrashAndResumeMatchesUninterruptedRun) {
+  // The paper's Colab sessions died every 5-7 epochs; training must be
+  // resumable from checkpoints with the final model still learning.
+  const std::string ckpt = testing::TempDir() + "/trainer_resume.ckpt";
+  std::remove(ckpt.c_str());
+  auto stream = PeriodicStream(600);
+
+  // Interrupted run: crash after epoch 1 (abort mid-epoch-2), then resume.
+  auto crashy = MakeModel(3);
+  TrainerOptions opts = SmallOptions();
+  opts.checkpoint_path = ckpt;
+  long long steps_per_epoch = 0;
+  {
+    Trainer t(crashy.get(), SmallOptions());
+    auto probe = t.Train(stream);
+    ASSERT_TRUE(probe.ok());
+    steps_per_epoch = probe->steps / 3;
+  }
+  auto interrupted = MakeModel(3);
+  {
+    TrainerOptions crash_opts = opts;
+    long long crash_at = steps_per_epoch + 2;  // inside epoch 2
+    crash_opts.step_callback = [crash_at](long long step, float) {
+      return step < crash_at;
+    };
+    Trainer t(interrupted.get(), crash_opts);
+    auto result = t.Train(stream);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->aborted);
+  }
+  // Resume: a FRESH model object picks up from the epoch-1 checkpoint.
+  auto resumed = MakeModel(99);  // different init, overwritten by load
+  {
+    Trainer t(resumed.get(), opts);
+    auto result = t.Train(stream);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->resumed);
+    EXPECT_EQ(result->epochs_completed, 3);
+    // Final loss comparable to a never-crashed run.
+    EXPECT_LT(result->epoch_train_loss.back(), 1.0f);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(TrainerTest, CheckpointEveryStepsWritesFile) {
+  const std::string ckpt = testing::TempDir() + "/trainer_steps.ckpt";
+  std::remove(ckpt.c_str());
+  auto model = MakeModel();
+  TrainerOptions opts = SmallOptions();
+  opts.epochs = 1;
+  opts.checkpoint_path = ckpt;
+  opts.checkpoint_every_steps = 3;
+  Trainer trainer(model.get(), opts);
+  auto stream = PeriodicStream(400);
+  ASSERT_TRUE(trainer.Train(stream).ok());
+  std::ifstream probe(ckpt);
+  EXPECT_TRUE(probe.good());
+  std::remove(ckpt.c_str());
+}
+
+TEST(TrainerTest, EvaluateMatchesEvalLossScale) {
+  auto model = MakeModel();
+  Trainer trainer(model.get(), SmallOptions());
+  auto stream = PeriodicStream(300);
+  float loss = trainer.Evaluate(stream);
+  EXPECT_NEAR(loss, std::log(static_cast<float>(kVocab)), 0.5f);
+}
+
+TEST(TrainerTest, ScheduleAndClipOptionsRun) {
+  auto model = MakeModel();
+  TrainerOptions opts = SmallOptions();
+  opts.schedule = ScheduleKind::kWarmupCosine;
+  opts.warmup_steps = 5;
+  opts.grad_clip = 0.5f;
+  opts.weight_decay = 0.01f;
+  Trainer trainer(model.get(), opts);
+  auto stream = PeriodicStream(500);
+  auto result = trainer.Train(stream);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->epoch_train_loss.back(),
+            result->epoch_train_loss.front());
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,145 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace rt {
+namespace {
+
+class TinyModel : public Module {
+ public:
+  explicit TinyModel(uint64_t seed) {
+    Rng rng(seed);
+    w_ = RegisterParameter("w", Tensor::Normal({3, 2}, 1.0f, &rng));
+    b_ = RegisterParameter("b", Tensor::Normal({2}, 1.0f, &rng));
+  }
+  Parameter* w_;
+  Parameter* b_;
+};
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  TinyModel a(1);
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  CheckpointMetadata meta{{"epoch", 3.0}, {"loss", 0.25}};
+  ASSERT_TRUE(SaveCheckpoint(&a, meta, path).ok());
+
+  TinyModel b(2);  // different init
+  CheckpointMetadata loaded_meta;
+  ASSERT_TRUE(LoadCheckpoint(&b, path, &loaded_meta).ok());
+  for (size_t i = 0; i < a.w_->value.numel(); ++i) {
+    EXPECT_EQ(b.w_->value[i], a.w_->value[i]);
+  }
+  for (size_t i = 0; i < a.b_->value.numel(); ++i) {
+    EXPECT_EQ(b.b_->value[i], a.b_->value[i]);
+  }
+  EXPECT_DOUBLE_EQ(loaded_meta.at("epoch"), 3.0);
+  EXPECT_DOUBLE_EQ(loaded_meta.at("loss"), 0.25);
+}
+
+TEST(CheckpointTest, EmptyMetadataOk) {
+  TinyModel a(3);
+  const std::string path = TempPath("ckpt_nometa.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, {}, path).ok());
+  TinyModel b(4);
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  EXPECT_EQ(b.w_->value[0], a.w_->value[0]);
+}
+
+TEST(CheckpointTest, LoadMissingFileFails) {
+  TinyModel m(5);
+  Status s = LoadCheckpoint(&m, "/nonexistent/ckpt.bin");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, BadMagicRejected) {
+  const std::string path = TempPath("ckpt_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTACKPTxxxxxxxxxxxxxxx";
+  }
+  TinyModel m(6);
+  Status s = LoadCheckpoint(&m, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+class OtherModel : public Module {
+ public:
+  OtherModel() {
+    RegisterParameter("w", Tensor({3, 2}));
+    RegisterParameter("b", Tensor({2}));
+    RegisterParameter("extra", Tensor({1}));
+  }
+};
+
+TEST(CheckpointTest, ArchitectureMismatchRejected) {
+  TinyModel a(7);
+  const std::string path = TempPath("ckpt_mismatch.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, {}, path).ok());
+  OtherModel other;
+  Status s = LoadCheckpoint(&other, path);
+  EXPECT_FALSE(s.ok());
+}
+
+class WrongShapeModel : public Module {
+ public:
+  WrongShapeModel() {
+    RegisterParameter("w", Tensor({2, 3}));  // transposed shape
+    RegisterParameter("b", Tensor({2}));
+  }
+};
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  TinyModel a(8);
+  const std::string path = TempPath("ckpt_shape.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, {}, path).ok());
+  WrongShapeModel wrong;
+  Status s = LoadCheckpoint(&wrong, path);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, TruncatedFileRejected) {
+  TinyModel a(9);
+  const std::string path = TempPath("ckpt_trunc.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, {{"step", 1.0}}, path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() / 2));
+  }
+  TinyModel b(10);
+  Status s = LoadCheckpoint(&b, path);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(CheckpointTest, OverwriteIsAtomicViaRename) {
+  TinyModel a(11);
+  const std::string path = TempPath("ckpt_atomic.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, {{"v", 1.0}}, path).ok());
+  TinyModel c(12);
+  ASSERT_TRUE(SaveCheckpoint(&c, {{"v", 2.0}}, path).ok());
+  // No stale tmp file remains.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  TinyModel d(13);
+  CheckpointMetadata meta;
+  ASSERT_TRUE(LoadCheckpoint(&d, path, &meta).ok());
+  EXPECT_DOUBLE_EQ(meta.at("v"), 2.0);
+  EXPECT_EQ(d.w_->value[0], c.w_->value[0]);
+}
+
+}  // namespace
+}  // namespace rt

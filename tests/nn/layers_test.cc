@@ -1,0 +1,244 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+
+namespace rt {
+namespace {
+
+TEST(LinearTest, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin(3, 2, &rng);
+  lin.weight()->value.Fill(0.0f);
+  lin.bias()->value = Tensor({2}, {10.0f, -10.0f});
+  Tape tape;
+  VarId x = tape.Leaf(Tensor({4, 3}));
+  VarId y = lin.Forward(&tape, x);
+  EXPECT_EQ(tape.value(y).shape(), (std::vector<int>{4, 2}));
+  EXPECT_FLOAT_EQ(tape.value(y).at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(tape.value(y).at(3, 1), -10.0f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear lin(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(lin.Parameters().size(), 1u);
+  Tape tape;
+  VarId y = lin.Forward(&tape, tape.Leaf(Tensor::Zeros({1, 3})));
+  EXPECT_FLOAT_EQ(tape.value(y).at(0, 0), 0.0f);
+}
+
+TEST(LinearTest, GradientReachesParameters) {
+  Rng rng(3);
+  Linear lin(2, 2, &rng);
+  Tape tape;
+  VarId x = tape.Leaf(Tensor({1, 2}, {1.0f, 2.0f}));
+  VarId loss = tape.SumAll(lin.Forward(&tape, x));
+  tape.Backward(loss);
+  // d(sum(xW + b))/dW[i][j] = x[i]; /db = 1.
+  EXPECT_FLOAT_EQ(lin.weight()->grad.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(lin.weight()->grad.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(lin.bias()->grad[0], 1.0f);
+}
+
+TEST(EmbeddingTest, LookupReturnsRows) {
+  Rng rng(4);
+  Embedding emb(5, 3, &rng);
+  Tape tape;
+  VarId e = emb.Forward(&tape, {2, 2, 4});
+  const Tensor& v = tape.value(e);
+  EXPECT_EQ(v.shape(), (std::vector<int>{3, 3}));
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(v.at(0, j), v.at(1, j));  // same id, same row
+    EXPECT_EQ(v.at(0, j), emb.table()->value.at(2, j));
+  }
+}
+
+TEST(LayerNormTest, OutputNormalizedPerRow) {
+  LayerNorm ln(8);
+  Rng rng(5);
+  Tape tape;
+  VarId x = tape.Leaf(Tensor::Normal({4, 8}, 3.0f, &rng));
+  VarId y = ln.Forward(&tape, x);
+  const Tensor& out = tape.value(y);
+  for (int i = 0; i < 4; ++i) {
+    double mean = 0.0;
+    for (int j = 0; j < 8; ++j) mean += out.at(i, j);
+    EXPECT_NEAR(mean / 8.0, 0.0, 1e-4);
+  }
+}
+
+TEST(LstmLayerTest, StepShapesAndStateEvolution) {
+  Rng rng(6);
+  LstmLayer cell(4, 6, &rng);
+  Tape tape;
+  LstmState s = cell.InitialState(&tape, 3);
+  EXPECT_EQ(tape.value(s.h).shape(), (std::vector<int>{3, 6}));
+  VarId x = tape.Leaf(Tensor::Normal({3, 4}, 1.0f, &rng));
+  LstmState s1 = cell.Step(&tape, x, s);
+  EXPECT_EQ(tape.value(s1.h).shape(), (std::vector<int>{3, 6}));
+  // State moved away from zero.
+  EXPECT_GT(std::abs(tape.value(s1.h).Sum()), 0.0f);
+  // Hidden values bounded by tanh.
+  EXPECT_LE(tape.value(s1.h).Max(), 1.0f);
+  EXPECT_GE(tape.value(s1.h).Min(), -1.0f);
+}
+
+TEST(LstmLayerTest, ForgetBiasInitializedToOne) {
+  Rng rng(7);
+  LstmLayer cell(2, 3, &rng);
+  auto named = cell.NamedParameters();
+  const Tensor* bias = nullptr;
+  for (auto& [name, p] : named) {
+    if (name == "b") bias = &p->value;
+  }
+  ASSERT_NE(bias, nullptr);
+  // Gate order i|f|g|o, each width 3: forget block is [3, 6).
+  EXPECT_EQ((*bias)[2], 0.0f);
+  EXPECT_EQ((*bias)[3], 1.0f);
+  EXPECT_EQ((*bias)[5], 1.0f);
+  EXPECT_EQ((*bias)[6], 0.0f);
+}
+
+TEST(LstmTest, ForwardProducesPerTimestepOutputs) {
+  Rng rng(8);
+  Lstm lstm(4, 5, /*num_layers=*/2, &rng);
+  EXPECT_EQ(lstm.num_layers(), 2);
+  Tape tape;
+  std::vector<VarId> xs;
+  for (int t = 0; t < 3; ++t) {
+    xs.push_back(tape.Leaf(Tensor::Normal({2, 4}, 1.0f, &rng)));
+  }
+  std::vector<LstmState> states;
+  auto ys = lstm.Forward(&tape, xs, &states);
+  ASSERT_EQ(ys.size(), 3u);
+  EXPECT_EQ(states.size(), 2u);
+  for (VarId y : ys) {
+    EXPECT_EQ(tape.value(y).shape(), (std::vector<int>{2, 5}));
+  }
+}
+
+TEST(LstmTest, StatePersistsAcrossForwardCalls) {
+  Rng rng(9);
+  Lstm lstm(2, 3, 1, &rng);
+  Tape tape;
+  std::vector<LstmState> states;
+  VarId x = tape.Leaf(Tensor::Full({1, 2}, 1.0f));
+  auto y1 = lstm.Forward(&tape, {x}, &states);
+  auto y2 = lstm.Forward(&tape, {x}, &states);  // reuses carried state
+  // Same input, different state => different output.
+  bool differs = false;
+  for (int j = 0; j < 3; ++j) {
+    differs |= std::abs(tape.value(y1[0]).at(0, j) -
+                        tape.value(y2[0]).at(0, j)) > 1e-6f;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TransformerBlockTest, ForwardPreservesShape) {
+  Rng rng(10);
+  TransformerBlock block(8, 2, 0.0f, &rng);
+  Tape tape;
+  VarId x = tape.Leaf(Tensor::Normal({6, 8}, 1.0f, &rng));
+  VarId y = block.Forward(&tape, x, /*batch=*/2, /*seq=*/3, &rng,
+                          /*training=*/false);
+  EXPECT_EQ(tape.value(y).shape(), (std::vector<int>{6, 8}));
+}
+
+TEST(TransformerBlockTest, GradientsFlowToAllParameters) {
+  Rng rng(11);
+  TransformerBlock block(8, 2, 0.0f, &rng);
+  Tape tape;
+  VarId x = tape.Leaf(Tensor::Normal({4, 8}, 1.0f, &rng));
+  VarId y = block.Forward(&tape, x, 1, 4, &rng, /*training=*/true);
+  tape.Backward(tape.SumAll(tape.Mul(y, y)));
+  for (auto& [name, p] : block.NamedParameters()) {
+    double norm = 0.0;
+    for (size_t i = 0; i < p->grad.numel(); ++i) {
+      norm += std::abs(p->grad[i]);
+    }
+    EXPECT_GT(norm, 0.0) << "no gradient reached " << name;
+  }
+}
+
+// End-to-end learning sanity: a 1-layer LSTM + linear head learns to
+// predict a fixed repeating token sequence (loss drops well below the
+// uniform baseline).
+TEST(LayersIntegrationTest, LstmLearnsRepeatingSequence) {
+  Rng rng(12);
+  const int vocab = 4, dim = 8, hidden = 16, steps = 8;
+  Embedding emb(vocab, dim, &rng, 0.1f);
+  Lstm lstm(dim, hidden, 1, &rng);
+  Linear head(hidden, vocab, &rng);
+  std::vector<Parameter*> params;
+  for (Module* m : std::vector<Module*>{&emb, &lstm, &head}) {
+    for (Parameter* p : m->Parameters()) params.push_back(p);
+  }
+  Adam opt(params, {.lr = 0.01f});
+  // Sequence 0,1,2,3,0,1,2,3,... inputs are current, targets next.
+  std::vector<int> inputs(steps), targets(steps);
+  for (int t = 0; t < steps; ++t) {
+    inputs[t] = t % vocab;
+    targets[t] = (t + 1) % vocab;
+  }
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int iter = 0; iter < 60; ++iter) {
+    Tape tape;
+    std::vector<VarId> xs;
+    for (int t = 0; t < steps; ++t) {
+      xs.push_back(emb.Forward(&tape, {inputs[t]}));
+    }
+    std::vector<LstmState> states;
+    auto hs = lstm.Forward(&tape, xs, &states);
+    VarId stacked = tape.ConcatRows(hs);
+    VarId logits = head.Forward(&tape, stacked);
+    VarId loss = tape.CrossEntropy(logits, targets);
+    if (iter == 0) first_loss = tape.value(loss).item();
+    last_loss = tape.value(loss).item();
+    opt.ZeroGrad();
+    tape.Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(first_loss, std::log(4.0f), 0.7f);
+  EXPECT_LT(last_loss, 0.2f);
+}
+
+// Same sanity for a transformer block: learn a constant-next-token rule.
+TEST(LayersIntegrationTest, TransformerLearnsCopyPattern) {
+  Rng rng(13);
+  const int vocab = 4, dim = 8, seq = 4;
+  Embedding tok(vocab, dim, &rng, 0.1f);
+  Embedding pos(seq, dim, &rng, 0.1f);
+  TransformerBlock block(dim, 2, 0.0f, &rng);
+  LayerNorm lnf(dim);
+  Linear head(dim, vocab, &rng);
+  std::vector<Parameter*> params;
+  for (Module* m :
+       std::vector<Module*>{&tok, &pos, &block, &lnf, &head}) {
+    for (Parameter* p : m->Parameters()) params.push_back(p);
+  }
+  Adam opt(params, {.lr = 0.01f});
+  std::vector<int> inputs{0, 1, 2, 3};
+  std::vector<int> targets{1, 2, 3, 0};
+  std::vector<int> positions{0, 1, 2, 3};
+  float last_loss = 1e9f;
+  for (int iter = 0; iter < 80; ++iter) {
+    Tape tape;
+    VarId x = tape.Add(tok.Forward(&tape, inputs),
+                       pos.Forward(&tape, positions));
+    x = block.Forward(&tape, x, 1, seq, &rng, true);
+    x = lnf.Forward(&tape, x);
+    VarId loss = tape.CrossEntropy(head.Forward(&tape, x), targets);
+    last_loss = tape.value(loss).item();
+    opt.ZeroGrad();
+    tape.Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, 0.3f);
+}
+
+}  // namespace
+}  // namespace rt

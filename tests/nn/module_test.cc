@@ -1,0 +1,82 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+
+namespace rt {
+namespace {
+
+class ToyModule : public Module {
+ public:
+  ToyModule() {
+    a_ = RegisterParameter("a", Tensor({2, 3}));
+    b_ = RegisterParameter("b", Tensor({3}));
+  }
+  Parameter* a_;
+  Parameter* b_;
+};
+
+class NestedModule : public Module {
+ public:
+  NestedModule() {
+    w_ = RegisterParameter("w", Tensor({4}));
+    RegisterModule("inner", &inner_);
+  }
+  Parameter* w_;
+  ToyModule inner_;
+};
+
+TEST(ModuleTest, ParametersInRegistrationOrder) {
+  ToyModule m;
+  auto params = m.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0], m.a_);
+  EXPECT_EQ(params[1], m.b_);
+}
+
+TEST(ModuleTest, NamedParametersQualifyNestedNames) {
+  NestedModule m;
+  auto named = m.NamedParameters();
+  ASSERT_EQ(named.size(), 3u);
+  EXPECT_EQ(named[0].first, "w");
+  EXPECT_EQ(named[1].first, "inner.a");
+  EXPECT_EQ(named[2].first, "inner.b");
+}
+
+TEST(ModuleTest, NumParamsCountsScalars) {
+  NestedModule m;
+  EXPECT_EQ(m.NumParams(), 4u + 6u + 3u);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  ToyModule m;
+  m.a_->grad.Fill(5.0f);
+  m.b_->grad.Fill(-1.0f);
+  m.ZeroGrad();
+  for (Parameter* p : m.Parameters()) {
+    for (size_t i = 0; i < p->grad.numel(); ++i) {
+      EXPECT_EQ(p->grad[i], 0.0f);
+    }
+  }
+}
+
+TEST(ModuleTest, GradAllocatedWithValueShape) {
+  ToyModule m;
+  EXPECT_TRUE(m.a_->grad.SameShape(m.a_->value));
+  EXPECT_TRUE(m.b_->grad.SameShape(m.b_->value));
+}
+
+TEST(ModuleTest, LayerParameterNamesAreStable) {
+  Rng rng(1);
+  TransformerBlock block(8, 2, 0.0f, &rng);
+  auto named = block.NamedParameters();
+  ASSERT_FALSE(named.empty());
+  EXPECT_EQ(named[0].first, "ln1.gain");
+  bool has_qkv = false;
+  for (auto& [name, p] : named) has_qkv |= name == "qkv.weight";
+  EXPECT_TRUE(has_qkv);
+}
+
+}  // namespace
+}  // namespace rt

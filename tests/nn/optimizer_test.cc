@@ -1,0 +1,133 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+/// Minimizes f(w) = sum((w - target)^2) with the given optimizer; the
+/// gradient is computed analytically each step.
+template <typename MakeOpt>
+float MinimizeQuadratic(MakeOpt make_opt, int iters) {
+  Parameter p;
+  p.value = Tensor({3}, {5.0f, -4.0f, 2.0f});
+  p.grad = Tensor::Zeros({3});
+  const float target[3] = {1.0f, 2.0f, -1.0f};
+  auto opt = make_opt(std::vector<Parameter*>{&p});
+  for (int i = 0; i < iters; ++i) {
+    opt->ZeroGrad();
+    for (int j = 0; j < 3; ++j) {
+      p.grad[j] = 2.0f * (p.value[j] - target[j]);
+    }
+    opt->Step();
+  }
+  float err = 0.0f;
+  for (int j = 0; j < 3; ++j) {
+    err += std::abs(p.value[j] - target[j]);
+  }
+  return err;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  float err = MinimizeQuadratic(
+      [](std::vector<Parameter*> ps) {
+        return std::make_unique<Sgd>(std::move(ps), 0.1f);
+      },
+      100);
+  EXPECT_LT(err, 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  float plain = MinimizeQuadratic(
+      [](std::vector<Parameter*> ps) {
+        return std::make_unique<Sgd>(std::move(ps), 0.02f);
+      },
+      40);
+  float momentum = MinimizeQuadratic(
+      [](std::vector<Parameter*> ps) {
+        return std::make_unique<Sgd>(std::move(ps), 0.02f, 0.9f);
+      },
+      40);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  float err = MinimizeQuadratic(
+      [](std::vector<Parameter*> ps) {
+        return std::make_unique<Adam>(std::move(ps),
+                                      Adam::Options{.lr = 0.3f});
+      },
+      200);
+  EXPECT_LT(err, 1e-2f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Parameter p;
+  p.value = Tensor({1}, {10.0f});
+  p.grad = Tensor::Zeros({1});
+  Adam opt({&p}, {.lr = 0.1f, .weight_decay = 0.1f});
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();  // gradient stays zero: pure decay
+    opt.Step();
+  }
+  EXPECT_LT(std::abs(p.value[0]), 10.0f * std::pow(1.0f - 0.01f, 49));
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Parameter p;
+  p.value = Tensor({1}, {1.0f});
+  p.grad = Tensor::Zeros({1});
+  Adam opt({&p}, {});
+  EXPECT_EQ(opt.step_count(), 0);
+  opt.Step();
+  opt.Step();
+  EXPECT_EQ(opt.step_count(), 2);
+}
+
+TEST(OptimizerTest, SetLrOverridesSchedule) {
+  Parameter p;
+  p.value = Tensor({1}, {1.0f});
+  p.grad = Tensor({1}, {1.0f});
+  Sgd opt({&p}, 1.0f);
+  opt.set_lr(0.0f);
+  opt.Step();
+  EXPECT_EQ(p.value[0], 1.0f);  // zero lr => no movement
+}
+
+TEST(ClipGradNormTest, NormAboveThresholdIsRescaled) {
+  Parameter a, b;
+  a.value = Tensor({2});
+  a.grad = Tensor({2}, {3.0f, 0.0f});
+  b.value = Tensor({1});
+  b.grad = Tensor({1}, {4.0f});
+  // Global norm sqrt(9+16) = 5.
+  float pre = ClipGradNorm({&a, &b}, 1.0f);
+  EXPECT_FLOAT_EQ(pre, 5.0f);
+  EXPECT_NEAR(a.grad[0], 3.0f / 5.0f, 1e-6f);
+  EXPECT_NEAR(b.grad[0], 4.0f / 5.0f, 1e-6f);
+  double sumsq = a.grad[0] * a.grad[0] + b.grad[0] * b.grad[0];
+  EXPECT_NEAR(std::sqrt(sumsq), 1.0, 1e-5);
+}
+
+TEST(ClipGradNormTest, NormBelowThresholdUntouched) {
+  Parameter a;
+  a.value = Tensor({1});
+  a.grad = Tensor({1}, {0.5f});
+  float pre = ClipGradNorm({&a}, 1.0f);
+  EXPECT_FLOAT_EQ(pre, 0.5f);
+  EXPECT_FLOAT_EQ(a.grad[0], 0.5f);
+}
+
+TEST(ClipGradNormTest, ZeroGradSafe) {
+  Parameter a;
+  a.value = Tensor({2});
+  a.grad = Tensor::Zeros({2});
+  EXPECT_FLOAT_EQ(ClipGradNorm({&a}, 1.0f), 0.0f);
+}
+
+}  // namespace
+}  // namespace rt

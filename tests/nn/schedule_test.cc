@@ -1,0 +1,64 @@
+#include "nn/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(ScheduleTest, ConstantIgnoresStep) {
+  LrSchedule s{.kind = ScheduleKind::kConstant, .base_lr = 0.5f};
+  EXPECT_FLOAT_EQ(s.At(0), 0.5f);
+  EXPECT_FLOAT_EQ(s.At(1000000), 0.5f);
+}
+
+TEST(ScheduleTest, WarmupRampsLinearly) {
+  LrSchedule s{.kind = ScheduleKind::kWarmupLinear,
+               .base_lr = 1.0f,
+               .min_lr = 0.0f,
+               .warmup_steps = 10,
+               .total_steps = 110};
+  EXPECT_FLOAT_EQ(s.At(0), 0.1f);
+  EXPECT_FLOAT_EQ(s.At(4), 0.5f);
+  EXPECT_FLOAT_EQ(s.At(9), 1.0f);
+}
+
+TEST(ScheduleTest, LinearDecayReachesMinLr) {
+  LrSchedule s{.kind = ScheduleKind::kWarmupLinear,
+               .base_lr = 1.0f,
+               .min_lr = 0.1f,
+               .warmup_steps = 0,
+               .total_steps = 100};
+  EXPECT_FLOAT_EQ(s.At(0), 1.0f);
+  EXPECT_NEAR(s.At(50), 0.55f, 1e-5f);
+  EXPECT_FLOAT_EQ(s.At(100), 0.1f);
+  EXPECT_FLOAT_EQ(s.At(500), 0.1f);  // clamps past the end
+}
+
+TEST(ScheduleTest, CosineDecayMonotoneAndBounded) {
+  LrSchedule s{.kind = ScheduleKind::kWarmupCosine,
+               .base_lr = 1.0f,
+               .min_lr = 0.0f,
+               .warmup_steps = 5,
+               .total_steps = 105};
+  float prev = s.At(5);
+  EXPECT_NEAR(prev, 1.0f, 1e-4f);
+  for (long long t = 6; t <= 105; ++t) {
+    float cur = s.At(t);
+    EXPECT_LE(cur, prev + 1e-6f);
+    EXPECT_GE(cur, 0.0f);
+    prev = cur;
+  }
+  EXPECT_NEAR(s.At(105), 0.0f, 1e-4f);
+}
+
+TEST(ScheduleTest, CosineHalfwayIsHalf) {
+  LrSchedule s{.kind = ScheduleKind::kWarmupCosine,
+               .base_lr = 2.0f,
+               .min_lr = 0.0f,
+               .warmup_steps = 0,
+               .total_steps = 100};
+  EXPECT_NEAR(s.At(50), 1.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,121 @@
+// Adversarial/robustness tests for the HTTP layer: malformed requests,
+// raw-socket abuse, lifecycle churn. The server must never crash and
+// must answer every parseable request.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/http.h"
+
+namespace rt {
+namespace {
+
+/// Sends raw bytes to the server and returns whatever comes back.
+std::string RawExchange(int port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ::shutdown(fd, SHUT_WR);
+  std::string out;
+  char buf[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+class HttpRobustnessTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    server_.Route("GET", "/ok", [](const HttpRequest&) {
+      return HttpResponse::Text("fine");
+    });
+    server_.Route("POST", "/echo", [](const HttpRequest& req) {
+      return HttpResponse::Text(req.body);
+    });
+    ASSERT_TRUE(server_.Start(0).ok());
+  }
+  void TearDown() override { server_.Stop(); }
+  HttpServer server_;
+};
+
+TEST_F(HttpRobustnessTest, GarbageRequestLineGets400) {
+  std::string resp = RawExchange(server_.port(), "NONSENSE\r\n\r\n");
+  EXPECT_NE(resp.find("400"), std::string::npos);
+}
+
+TEST_F(HttpRobustnessTest, EmptyConnectionHandledQuietly) {
+  // Client connects and immediately closes; the server must survive and
+  // keep serving.
+  RawExchange(server_.port(), "");
+  auto resp = HttpGet(server_.port(), "/ok");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "fine");
+}
+
+TEST_F(HttpRobustnessTest, TruncatedHeadersThenServeNext) {
+  RawExchange(server_.port(), "GET /ok HTTP/1.1\r\nHost: x");  // no CRLFCRLF
+  auto resp = HttpGet(server_.port(), "/ok");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+}
+
+TEST_F(HttpRobustnessTest, BodyShorterThanContentLengthStillAnswered) {
+  // Client claims 100 bytes but sends 4 then closes the write side; the
+  // read loop must terminate (recv returns 0) and still answer.
+  std::string req =
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 100\r\n\r\nabcd";
+  std::string resp = RawExchange(server_.port(), req);
+  EXPECT_NE(resp.find("HTTP/1.1"), std::string::npos);
+}
+
+TEST_F(HttpRobustnessTest, LargeBodyRoundTrips) {
+  std::string body(512 * 1024, 'x');
+  auto resp = HttpPost(server_.port(), "/echo", body);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body.size(), body.size());
+}
+
+TEST_F(HttpRobustnessTest, UnsupportedMethodIs404) {
+  std::string resp = RawExchange(
+      server_.port(), "DELETE /ok HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(resp.find("404"), std::string::npos);
+}
+
+TEST_F(HttpRobustnessTest, ManyStartStopCyclesDoNotLeakPorts) {
+  for (int i = 0; i < 5; ++i) {
+    HttpServer s;
+    s.Route("GET", "/x", [](const HttpRequest&) {
+      return HttpResponse::Text("y");
+    });
+    ASSERT_TRUE(s.Start(0).ok());
+    auto resp = HttpGet(s.port(), "/x");
+    ASSERT_TRUE(resp.ok());
+    s.Stop();
+  }
+}
+
+TEST_F(HttpRobustnessTest, HeaderCaseInsensitivity) {
+  std::string req =
+      "POST /echo HTTP/1.1\r\nhOsT: x\r\ncOntent-LENGTH: 3\r\n\r\nabc";
+  std::string resp = RawExchange(server_.port(), req);
+  EXPECT_NE(resp.find("abc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rt

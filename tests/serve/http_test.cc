@@ -1,0 +1,122 @@
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+class HttpServerTest : public testing::Test {
+ protected:
+  void TearDown() override { server_.Stop(); }
+  HttpServer server_;
+};
+
+TEST_F(HttpServerTest, ServesRegisteredRoute) {
+  server_.Route("GET", "/hello", [](const HttpRequest&) {
+    return HttpResponse::Text("world");
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  ASSERT_GT(server_.port(), 0);
+  auto resp = HttpGet(server_.port(), "/hello");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "world");
+}
+
+TEST_F(HttpServerTest, UnknownPathIs404) {
+  ASSERT_TRUE(server_.Start(0).ok());
+  auto resp = HttpGet(server_.port(), "/nope");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST_F(HttpServerTest, PostBodyDelivered) {
+  server_.Route("POST", "/echo", [](const HttpRequest& req) {
+    return HttpResponse::Text(req.body);
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  auto resp = HttpPost(server_.port(), "/echo", "payload 123");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "payload 123");
+}
+
+TEST_F(HttpServerTest, MethodMismatchedRouteNotUsed) {
+  server_.Route("POST", "/only-post", [](const HttpRequest&) {
+    return HttpResponse::Text("posted");
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  auto resp = HttpGet(server_.port(), "/only-post");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST_F(HttpServerTest, PrefixRouteMatches) {
+  server_.RoutePrefix("GET", "/api/", [](const HttpRequest& req) {
+    return HttpResponse::Text("api:" + req.path);
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  auto resp = HttpGet(server_.port(), "/api/anything/here");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "api:/api/anything/here");
+}
+
+TEST_F(HttpServerTest, QueryStringSeparated) {
+  server_.Route("GET", "/q", [](const HttpRequest& req) {
+    return HttpResponse::Text(req.query);
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  auto resp = HttpGet(server_.port(), "/q?a=1&b=2");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "a=1&b=2");
+}
+
+TEST_F(HttpServerTest, HeadersLowercasedAndTrimmed) {
+  server_.Route("POST", "/h", [](const HttpRequest& req) {
+    auto it = req.headers.find("content-type");
+    return HttpResponse::Text(
+        it == req.headers.end() ? "missing" : it->second);
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  auto resp = HttpPost(server_.port(), "/h", "x", "application/json");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "application/json");
+}
+
+TEST_F(HttpServerTest, ServesManySequentialRequests) {
+  server_.Route("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::Text("pong");
+  });
+  ASSERT_TRUE(server_.Start(0).ok());
+  for (int i = 0; i < 25; ++i) {
+    auto resp = HttpGet(server_.port(), "/ping");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->body, "pong");
+  }
+  EXPECT_EQ(server_.requests_served(), 25);
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndRestartable) {
+  ASSERT_TRUE(server_.Start(0).ok());
+  const int port = server_.port();
+  server_.Stop();
+  server_.Stop();
+  EXPECT_FALSE(HttpGet(port, "/").ok());  // no longer listening
+  ASSERT_TRUE(server_.Start(0).ok());     // can start again
+  auto resp = HttpGet(server_.port(), "/missing");
+  ASSERT_TRUE(resp.ok());
+}
+
+TEST_F(HttpServerTest, DoubleStartRejected) {
+  ASSERT_TRUE(server_.Start(0).ok());
+  EXPECT_EQ(server_.Start(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HttpClientTest, ConnectFailureIsIoError) {
+  // Port 1 is essentially never listening.
+  auto resp = HttpGet(1, "/");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace rt

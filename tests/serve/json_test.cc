@@ -1,0 +1,97 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(JsonTest, ParsePrimitives) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_EQ(Json::Parse("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(Json::Parse("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("-3.5e2")->AsNumber(), -350.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParseNestedStructures) {
+  auto doc = Json::Parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->is_object());
+  const Json& a = doc->Get("a");
+  ASSERT_TRUE(a.is_array());
+  EXPECT_EQ(a.AsArray().size(), 3u);
+  EXPECT_TRUE(a.AsArray()[2].Get("b").AsBool());
+  EXPECT_TRUE(doc->Get("c").is_null());
+  EXPECT_TRUE(doc->Get("missing").is_null());
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto doc = Json::Parse(R"("line\nbreak \"quoted\" tab\t back\\slash")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "line\nbreak \"quoted\" tab\t back\\slash");
+}
+
+TEST(JsonTest, UnicodeEscape) {
+  auto doc = Json::Parse("\"caf\\u00e9\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "caf\xc3\xa9");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, RejectsDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpRoundTrip) {
+  const std::string src =
+      R"({"arr":[1,2.5,"x"],"obj":{"k":null},"s":"a\"b","t":true})";
+  auto doc = Json::Parse(src);
+  ASSERT_TRUE(doc.ok());
+  auto re = Json::Parse(doc->Dump());
+  ASSERT_TRUE(re.ok());
+  EXPECT_EQ(*doc, *re);
+}
+
+TEST(JsonTest, DumpDeterministicSortedKeys) {
+  Json a{Json::Object{}};
+  a.Set("zeta", 1).Set("alpha", 2);
+  EXPECT_EQ(a.Dump(), R"({"alpha":2,"zeta":1})");
+}
+
+TEST(JsonTest, IntegersDumpWithoutDecimal) {
+  EXPECT_EQ(Json(5).Dump(), "5");
+  EXPECT_EQ(Json(5.5).Dump(), "5.5");
+}
+
+TEST(JsonTest, BuildersCreateContainers) {
+  Json obj;
+  obj.Set("list", Json(Json::Array{}));
+  Json arr;
+  arr.Append(1).Append("two");
+  obj.Set("arr", arr);
+  EXPECT_TRUE(obj.is_object());
+  EXPECT_EQ(obj.Get("arr").AsArray().size(), 2u);
+}
+
+TEST(JsonTest, ControlCharsEscapedOnDump) {
+  Json s(std::string("a\x01""b"));
+  EXPECT_EQ(s.Dump(), "\"a\\u0001b\"");
+  auto back = Json::Parse(s.Dump());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsString(), "a\x01""b");
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+
+namespace rt {
+namespace {
+
+StatusOr<Recipe> OkGenerate(const GenerateRequest& req) {
+  Recipe r;
+  r.title = "dish";
+  for (const auto& ing : req.ingredients) {
+    r.ingredients.push_back({"1", "", ing, ""});
+  }
+  r.instructions = {"cook"};
+  return r;
+}
+
+TEST(MetricsEndpointTest, CountsSuccessAndErrors) {
+  int fail_next = 0;
+  BackendService backend(
+      [&fail_next](const GenerateRequest& req) -> StatusOr<Recipe> {
+        if (fail_next > 0) {
+          --fail_next;
+          return Status::Internal("boom");
+        }
+        return OkGenerate(req);
+      });
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  // 2 ok, 1 server error, 1 client error.
+  auto ok1 = HttpPost(backend.port(), "/api/generate",
+                      R"({"ingredients":["a"]})");
+  auto ok2 = HttpPost(backend.port(), "/api/generate",
+                      R"({"ingredients":["b"]})");
+  fail_next = 1;
+  auto err5 = HttpPost(backend.port(), "/api/generate",
+                       R"({"ingredients":["c"]})");
+  auto err4 = HttpPost(backend.port(), "/api/generate", "{}");
+  ASSERT_TRUE(ok1.ok() && ok2.ok() && err5.ok() && err4.ok());
+  EXPECT_EQ(ok1->status, 200);
+  EXPECT_EQ(err5->status, 500);
+  EXPECT_EQ(err4->status, 400);
+
+  auto metrics = HttpGet(backend.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("generate_ok").AsNumber(), 2.0);
+  EXPECT_EQ(doc->Get("generate_server_errors").AsNumber(), 1.0);
+  EXPECT_EQ(doc->Get("generate_client_errors").AsNumber(), 1.0);
+  EXPECT_GE(doc->Get("generate_seconds_total").AsNumber(), 0.0);
+  EXPECT_GE(doc->Get("generate_seconds_max").AsNumber(),
+            doc->Get("generate_seconds_mean").AsNumber());
+  EXPECT_GE(doc->Get("requests_total").AsNumber(), 4.0);
+  backend.Stop();
+}
+
+TEST(MetricsEndpointTest, FreshServiceReportsZeros) {
+  BackendService backend(OkGenerate);
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto metrics = HttpGet(backend.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("generate_ok").AsNumber(), 0.0);
+  EXPECT_EQ(doc->Get("generate_seconds_mean").AsNumber(), 0.0);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/frontend_service.h"
+
+namespace rt {
+namespace {
+
+/// Canned generator: returns a recipe echoing the requested ingredients.
+StatusOr<Recipe> FakeGenerate(const GenerateRequest& req) {
+  Recipe r;
+  r.title = "test dish";
+  for (const std::string& ing : req.ingredients) {
+    r.ingredients.push_back({"1", "cup", ing, ""});
+  }
+  r.instructions = {"combine everything", "serve"};
+  return r;
+}
+
+TEST(ParseGenerateRequestTest, FullRequest) {
+  auto req = ParseGenerateRequest(
+      R"({"ingredients":["tomato","rice"],"max_tokens":99,)"
+      R"("temperature":0.7,"top_k":5,"seed":42})");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->ingredients,
+            (std::vector<std::string>{"tomato", "rice"}));
+  EXPECT_EQ(req->max_tokens, 99);
+  EXPECT_NEAR(req->temperature, 0.7, 1e-9);
+  EXPECT_EQ(req->top_k, 5);
+  EXPECT_EQ(req->seed, 42u);
+}
+
+TEST(ParseGenerateRequestTest, DefaultsApplied) {
+  auto req = ParseGenerateRequest(R"({"ingredients":["salt"]})");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->max_tokens, 256);
+  EXPECT_EQ(req->top_k, 0);
+}
+
+TEST(ParseGenerateRequestTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseGenerateRequest("not json").ok());
+  EXPECT_FALSE(ParseGenerateRequest("[]").ok());
+  EXPECT_FALSE(ParseGenerateRequest(R"({"ingredients":[]})").ok());
+  EXPECT_FALSE(ParseGenerateRequest(R"({"ingredients":[1]})").ok());
+  EXPECT_FALSE(
+      ParseGenerateRequest(R"({"ingredients":["a"],"max_tokens":-1})")
+          .ok());
+  EXPECT_FALSE(
+      ParseGenerateRequest(R"({"ingredients":["a"],"temperature":0})")
+          .ok());
+}
+
+TEST(RecipeToJsonTest, StructuredFields) {
+  Recipe r;
+  r.title = "soup";
+  r.ingredients = {{"1/2", "cup", "peas", "crushed"}};
+  r.instructions = {"boil", "serve"};
+  Json j = RecipeToJson(r);
+  EXPECT_EQ(j.Get("title").AsString(), "soup");
+  const auto& ing = j.Get("ingredients").AsArray();
+  ASSERT_EQ(ing.size(), 1u);
+  EXPECT_EQ(ing[0].Get("name").AsString(), "peas");
+  EXPECT_EQ(ing[0].Get("text").AsString(), "1/2 cup peas , crushed");
+  EXPECT_EQ(j.Get("instructions").AsArray().size(), 2u);
+}
+
+class ServiceStackTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    backend_ = std::make_unique<BackendService>(FakeGenerate);
+    ASSERT_TRUE(backend_->Start(0).ok());
+    frontend_ = std::make_unique<FrontendService>(backend_->port());
+    ASSERT_TRUE(frontend_->Start(0).ok());
+  }
+  void TearDown() override {
+    if (frontend_) frontend_->Stop();
+    if (backend_) backend_->Stop();
+  }
+  std::unique_ptr<BackendService> backend_;
+  std::unique_ptr<FrontendService> frontend_;
+};
+
+TEST_F(ServiceStackTest, BackendHealthz) {
+  auto resp = HttpGet(backend_->port(), "/healthz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "{\"status\":\"ok\"}");
+}
+
+TEST_F(ServiceStackTest, BackendGeneratesRecipe) {
+  auto resp = HttpPost(backend_->port(), "/api/generate",
+                       R"({"ingredients":["tomato","basil"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("title").AsString(), "test dish");
+  EXPECT_EQ(doc->Get("ingredients").AsArray().size(), 2u);
+}
+
+TEST_F(ServiceStackTest, BackendRejectsBadRequestWith400) {
+  auto resp = HttpPost(backend_->port(), "/api/generate", "{}");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->Get("error").is_string());
+}
+
+TEST_F(ServiceStackTest, FrontendServesIndexPage) {
+  auto resp = HttpGet(frontend_->port(), "/");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("Ratatouille"), std::string::npos);
+  EXPECT_NE(resp->body.find("/api/generate"), std::string::npos);
+}
+
+TEST_F(ServiceStackTest, FrontendProxiesApiToBackend) {
+  // The paper's decoupled two-tier architecture: the browser only ever
+  // talks to the frontend; generation flows through the proxy.
+  auto resp = HttpPost(frontend_->port(), "/api/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("ingredients").AsArray()[0].Get("name").AsString(),
+            "rice");
+  EXPECT_GE(backend_->requests_served(), 1);
+}
+
+TEST_F(ServiceStackTest, FrontendReports502WhenBackendDown) {
+  backend_->Stop();
+  auto resp = HttpPost(frontend_->port(), "/api/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 502);
+}
+
+TEST(BackendErrorTest, GeneratorFailureIs500) {
+  BackendService backend([](const GenerateRequest&) -> StatusOr<Recipe> {
+    return Status::Internal("model exploded");
+  });
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto resp = HttpPost(backend.port(), "/api/generate",
+                       R"({"ingredients":["x"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 500);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

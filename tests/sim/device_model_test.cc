@@ -1,0 +1,64 @@
+#include "sim/device_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(DeviceSpecTest, AchievedIsPeakTimesEfficiency) {
+  DeviceSpec d{"toy", 100.0, 0.25};
+  EXPECT_DOUBLE_EQ(d.achieved_flops(), 25.0);
+}
+
+TEST(WorkloadTest, TotalFlopsIsSixNdTokens) {
+  TrainingWorkload w{1000, 500, 2};
+  EXPECT_DOUBLE_EQ(w.TotalFlops(), 6.0 * 1000 * 500 * 2);
+}
+
+TEST(ProjectionTest, GpuBeatsCpuOnPaperWorkload) {
+  TrainingWorkload w = PaperGpt2MediumWorkload();
+  const double cpu_s = ProjectSeconds(w, DeviceSpec::CpuServer());
+  const double gpu_s = ProjectSeconds(w, DeviceSpec::A100());
+  EXPECT_LT(gpu_s, cpu_s);
+}
+
+TEST(ProjectionTest, RatioMatchesPaperBand) {
+  // Paper Sec. V: 2-3 days on CPU vs ~16 h on the A100 (ratio ~3-4.5x).
+  TrainingWorkload w = PaperGpt2MediumWorkload();
+  const double cpu_h = ProjectSeconds(w, DeviceSpec::CpuServer()) / 3600.0;
+  const double gpu_h = ProjectSeconds(w, DeviceSpec::A100()) / 3600.0;
+  EXPECT_GT(cpu_h, 40.0);   // at least ~1.7 days
+  EXPECT_LT(cpu_h, 90.0);   // at most ~3.7 days
+  EXPECT_GT(gpu_h, 8.0);
+  EXPECT_LT(gpu_h, 24.0);
+  const double ratio = cpu_h / gpu_h;
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(ProjectionTest, ScalesLinearlyInEpochs) {
+  TrainingWorkload w1 = PaperGpt2MediumWorkload();
+  TrainingWorkload w2 = w1;
+  w2.epochs = 2 * w1.epochs;
+  const DeviceSpec d = DeviceSpec::A100();
+  EXPECT_NEAR(ProjectSeconds(w2, d), 2.0 * ProjectSeconds(w1, d), 1e-6);
+}
+
+TEST(CalibrationTest, RoundTripsMeasurement) {
+  // A device calibrated at X tokens/s projects exactly tokens/X seconds.
+  const size_t params = 2'000'000;
+  DeviceSpec d = CalibrateFromMeasurement("local", params, 150.0);
+  TrainingWorkload w{params, 1500, 1};
+  EXPECT_NEAR(ProjectSeconds(w, d), 1500.0 / 150.0, 1e-9);
+}
+
+TEST(CalibrationTest, FasterMeasurementShorterProjection) {
+  const size_t params = 1'000'000;
+  DeviceSpec slow = CalibrateFromMeasurement("slow", params, 10.0);
+  DeviceSpec fast = CalibrateFromMeasurement("fast", params, 100.0);
+  TrainingWorkload w{params, 10000, 1};
+  EXPECT_GT(ProjectSeconds(w, slow), ProjectSeconds(w, fast));
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,201 @@
+// Property-based gradient verification: for every differentiable tape op,
+// the analytic gradient must match a central-difference numerical gradient.
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tape.h"
+
+namespace rt {
+namespace {
+
+/// Builds a scalar loss from leaf vars; re-invoked for every perturbation.
+using LossFn =
+    std::function<VarId(Tape&, const std::vector<VarId>&)>;
+
+struct GradCheckCase {
+  std::string name;
+  std::vector<std::vector<int>> shapes;  // one per input
+  LossFn fn;
+  uint64_t seed = 42;
+};
+
+// Pretty test-name printer.
+std::string CaseName(const testing::TestParamInfo<GradCheckCase>& info) {
+  return info.param.name;
+}
+
+float EvalLoss(const GradCheckCase& c, const std::vector<Tensor>& inputs) {
+  Tape tape;
+  std::vector<VarId> vars;
+  vars.reserve(inputs.size());
+  for (const Tensor& t : inputs) vars.push_back(tape.Leaf(t));
+  VarId loss = c.fn(tape, vars);
+  return tape.value(loss).item();
+}
+
+class GradCheckTest : public testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  const GradCheckCase& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<Tensor> inputs;
+  for (const auto& shape : c.shapes) {
+    inputs.push_back(Tensor::Normal(shape, 0.5f, &rng));
+  }
+
+  // Analytic gradients.
+  Tape tape;
+  std::vector<VarId> vars;
+  for (const Tensor& t : inputs) vars.push_back(tape.Leaf(t));
+  VarId loss = c.fn(tape, vars);
+  tape.Backward(loss);
+
+  const float eps = 5e-3f;
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    const Tensor& analytic = tape.grad(vars[vi]);
+    ASSERT_FALSE(analytic.empty()) << "no grad flowed to input " << vi;
+    for (size_t e = 0; e < inputs[vi].numel(); ++e) {
+      std::vector<Tensor> plus = inputs;
+      std::vector<Tensor> minus = inputs;
+      plus[vi][e] += eps;
+      minus[vi][e] -= eps;
+      const float numeric =
+          (EvalLoss(c, plus) - EvalLoss(c, minus)) / (2.0f * eps);
+      const float a = analytic[e];
+      const float tol = 2e-3f + 2e-2f * std::abs(numeric);
+      EXPECT_NEAR(a, numeric, tol)
+          << c.name << " input " << vi << " elem " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest,
+    testing::Values(
+        GradCheckCase{"MatMul",
+                      {{3, 4}, {4, 2}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.SumAll(t.Tanh(t.MatMul(v[0], v[1])));
+                      }},
+        GradCheckCase{"MatMulTransB",
+                      {{3, 4}, {2, 4}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.SumAll(t.Tanh(t.MatMulTransB(v[0], v[1])));
+                      }},
+        GradCheckCase{"AddSubMul",
+                      {{2, 3}, {2, 3}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId s = t.Add(v[0], v[1]);
+                        VarId d = t.Sub(v[0], v[1]);
+                        return t.SumAll(t.Mul(s, d));
+                      }},
+        GradCheckCase{"ScaleMean",
+                      {{5}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.MeanAll(t.Scale(v[0], 3.0f));
+                      }},
+        GradCheckCase{"AddRowBroadcast",
+                      {{3, 4}, {4}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.SumAll(
+                            t.Tanh(t.AddRowBroadcast(v[0], v[1])));
+                      }},
+        GradCheckCase{"Tanh",
+                      {{2, 3}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId y = t.Tanh(v[0]);
+                        return t.SumAll(t.Mul(y, y));
+                      }},
+        GradCheckCase{"Sigmoid",
+                      {{2, 3}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId y = t.Sigmoid(v[0]);
+                        return t.SumAll(t.Mul(y, y));
+                      }},
+        GradCheckCase{"Gelu",
+                      {{2, 4}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.SumAll(t.Gelu(v[0]));
+                      }},
+        GradCheckCase{"Relu",
+                      {{2, 4}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.SumAll(t.Mul(t.Relu(v[0]), t.Relu(v[0])));
+                      },
+                      /*seed=*/7},
+        GradCheckCase{"Softmax",
+                      {{3, 5}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId y = t.SoftmaxRows(v[0]);
+                        return t.SumAll(t.Mul(y, y));
+                      }},
+        GradCheckCase{"LayerNorm",
+                      {{3, 6}, {6}, {6}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId y = t.LayerNorm(v[0], v[1], v[2]);
+                        return t.SumAll(t.Mul(y, y));
+                      }},
+        GradCheckCase{"Embedding",
+                      {{4, 3}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId e = t.Embedding(v[0], {0, 2, 2, 3});
+                        return t.SumAll(t.Tanh(e));
+                      }},
+        GradCheckCase{"SliceConcat",
+                      {{2, 6}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId a = t.SliceCols(v[0], 0, 3);
+                        VarId b = t.SliceCols(v[0], 3, 6);
+                        VarId stacked = t.ConcatRows({a, b});
+                        return t.SumAll(t.Mul(stacked, stacked));
+                      }},
+        GradCheckCase{"CrossEntropy",
+                      {{4, 5}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.CrossEntropy(v[0], {1, 4, 0, 2});
+                      }},
+        GradCheckCase{"CrossEntropyIgnore",
+                      {{4, 5}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        return t.CrossEntropy(v[0], {1, -1, 0, -1}, -1);
+                      }},
+        GradCheckCase{"Attention1Head",
+                      {{4, 3}, {4, 3}, {4, 3}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId o = t.CausalSelfAttention(v[0], v[1], v[2],
+                                                        /*batch=*/1,
+                                                        /*seq=*/4,
+                                                        /*heads=*/1);
+                        return t.SumAll(t.Mul(o, o));
+                      }},
+        GradCheckCase{"Attention2Batch2Head",
+                      {{6, 4}, {6, 4}, {6, 4}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        VarId o = t.CausalSelfAttention(v[0], v[1], v[2],
+                                                        /*batch=*/2,
+                                                        /*seq=*/3,
+                                                        /*heads=*/2);
+                        return t.SumAll(t.Tanh(o));
+                      }},
+        GradCheckCase{"LstmCellComposite",
+                      {{2, 8}, {2, 8}},
+                      [](Tape& t, const std::vector<VarId>& v) {
+                        // i,f,g,o gates from slices; c' = f*c + i*g.
+                        VarId i = t.Sigmoid(t.SliceCols(v[0], 0, 2));
+                        VarId f = t.Sigmoid(t.SliceCols(v[0], 2, 4));
+                        VarId g = t.Tanh(t.SliceCols(v[0], 4, 6));
+                        VarId o = t.Sigmoid(t.SliceCols(v[0], 6, 8));
+                        VarId c = t.Add(t.Mul(f, t.SliceCols(v[1], 0, 2)),
+                                        t.Mul(i, g));
+                        VarId h = t.Mul(o, t.Tanh(c));
+                        return t.SumAll(t.Mul(h, h));
+                      }}),
+    CaseName);
+
+}  // namespace
+}  // namespace rt

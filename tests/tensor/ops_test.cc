@@ -1,0 +1,221 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rt::ops {
+namespace {
+
+TEST(MatMulTest, KnownProduct) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, IdentityIsNoop) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor eye({2, 2}, {1, 0, 0, 1});
+  Tensor c = MatMul(a, eye);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_FLOAT_EQ(c.at(i, j), a.at(i, j));
+  }
+}
+
+TEST(MatMulTest, TransBMatchesExplicitTranspose) {
+  Rng rng(1);
+  Tensor a = Tensor::Normal({3, 4}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({5, 4}, 1.0f, &rng);
+  Tensor via_trans = MatMul(a, Transpose(b));
+  Tensor direct = MatMulTransB(a, b);
+  ASSERT_TRUE(direct.SameShape(via_trans));
+  for (size_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct[i], via_trans[i], 1e-5f);
+  }
+}
+
+TEST(MatMulTest, TransAMatchesExplicitTranspose) {
+  Rng rng(2);
+  Tensor a = Tensor::Normal({4, 3}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({4, 5}, 1.0f, &rng);
+  Tensor via_trans = MatMul(Transpose(a), b);
+  Tensor direct = MatMulTransA(a, b);
+  ASSERT_TRUE(direct.SameShape(via_trans));
+  for (size_t i = 0; i < direct.numel(); ++i) {
+    EXPECT_NEAR(direct[i], via_trans[i], 1e-5f);
+  }
+}
+
+TEST(ElementwiseTest, AddSubMulScale) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 5});
+  EXPECT_FLOAT_EQ(Add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b)[1], -3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)[1], 10.0f);
+  EXPECT_FLOAT_EQ(Scale(a, -2.0f)[0], -2.0f);
+}
+
+TEST(BroadcastTest, AddRowBroadcastAndSumRows) {
+  Tensor x({2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, {10, 20, 30});
+  Tensor y = AddRowBroadcast(x, bias);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 30.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 11.0f);
+  Tensor s = SumRows(x);
+  EXPECT_FLOAT_EQ(s[0], 1.0f);
+  EXPECT_FLOAT_EQ(s[2], 1.0f);
+}
+
+TEST(ActivationTest, TanhSigmoidReluGeluValues) {
+  Tensor x({4}, {-2.0f, -0.5f, 0.0f, 2.0f});
+  Tensor t = Tanh(x);
+  EXPECT_NEAR(t[3], std::tanh(2.0f), 1e-6f);
+  Tensor s = Sigmoid(x);
+  EXPECT_NEAR(s[2], 0.5f, 1e-6f);
+  EXPECT_NEAR(s[0], 1.0f / (1.0f + std::exp(2.0f)), 1e-6f);
+  Tensor r = Relu(x);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[3], 2.0f);
+  Tensor g = Gelu(x);
+  EXPECT_NEAR(g[2], 0.0f, 1e-6f);
+  EXPECT_NEAR(g[3], 1.954f, 1e-2f);  // gelu(2) ~ 1.954
+  EXPECT_LT(g[0], 0.0f);             // small negative tail
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndOrderPreserved) {
+  Tensor x({2, 3}, {1, 2, 3, -1, 0, 1000});
+  Tensor y = SoftmaxRows(x);
+  for (int i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (int j = 0; j < 3; ++j) sum += y.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_LT(y.at(0, 0), y.at(0, 2));
+  // Large logits must not overflow.
+  EXPECT_NEAR(y.at(1, 2), 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxTest, InvariantToRowShift) {
+  Tensor x({1, 3}, {1, 2, 3});
+  Tensor shifted({1, 3}, {101, 102, 103});
+  Tensor a = SoftmaxRows(x), b = SoftmaxRows(shifted);
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(a[j], b[j], 1e-6f);
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  Tensor x({2, 4}, {0.1f, -0.2f, 0.3f, 2.0f, 5.0f, 4.0f, 3.0f, 2.0f});
+  Tensor ls = LogSoftmaxRows(x);
+  Tensor sm = SoftmaxRows(x);
+  for (size_t i = 0; i < ls.numel(); ++i) {
+    EXPECT_NEAR(ls[i], std::log(sm[i]), 1e-5f);
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Tensor x({2, 4}, {1, 2, 3, 4, -10, 0, 10, 20});
+  Tensor gain = Tensor::Full({4}, 1.0f);
+  Tensor bias = Tensor::Zeros({4});
+  LayerNormCache cache;
+  Tensor y = LayerNormRows(x, gain, bias, 1e-5f, &cache);
+  for (int i = 0; i < 2; ++i) {
+    double mean = 0, var = 0;
+    for (int j = 0; j < 4; ++j) mean += y.at(i, j);
+    mean /= 4;
+    for (int j = 0; j < 4; ++j) {
+      var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    }
+    var /= 4;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+  EXPECT_EQ(cache.mean.size(), 2u);
+  EXPECT_NEAR(cache.mean[0], 2.5f, 1e-5f);
+}
+
+TEST(LayerNormTest, AffineParamsApplied) {
+  Tensor x({1, 2}, {0, 2});
+  Tensor gain({2}, {3, 3});
+  Tensor bias({2}, {1, 1});
+  Tensor y = LayerNormRows(x, gain, bias, 1e-8f, nullptr);
+  // Normalized row is {-1, +1}; y = 3*xhat + 1.
+  EXPECT_NEAR(y[0], -2.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 4.0f, 1e-3f);
+}
+
+TEST(EmbeddingTest, GatherAndScatter) {
+  Tensor table({3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor out = EmbeddingGather(table, {2, 0, 2});
+  EXPECT_FLOAT_EQ(out.at(0, 1), 21.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+  Tensor dtable = Tensor::Zeros({3, 2});
+  Tensor dy({3, 2}, {1, 1, 2, 2, 3, 3});
+  EmbeddingScatterAdd({2, 0, 2}, dy, &dtable);
+  EXPECT_FLOAT_EQ(dtable.at(2, 0), 4.0f);  // rows 0 and 2 of dy
+  EXPECT_FLOAT_EQ(dtable.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(dtable.at(1, 0), 0.0f);
+}
+
+TEST(SliceTest, SliceAndScatterRoundTrip) {
+  Tensor x({2, 4}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor mid = SliceCols(x, 1, 3);
+  EXPECT_EQ(mid.cols(), 2);
+  EXPECT_FLOAT_EQ(mid.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mid.at(1, 1), 7.0f);
+  Tensor dx = Tensor::Zeros({2, 4});
+  SliceColsScatterAdd(mid, 1, &dx);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+}
+
+TEST(ConcatTest, ConcatCols) {
+  Tensor a({2, 1}, {1, 2});
+  Tensor b({2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatCols({&a, &b});
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 2), 6.0f);
+}
+
+TEST(TransposeTest, Involution) {
+  Rng rng(3);
+  Tensor x = Tensor::Normal({3, 5}, 1.0f, &rng);
+  Tensor tt = Transpose(Transpose(x));
+  for (size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(tt[i], x[i]);
+}
+
+TEST(CrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits({2, 3}, {100, 0, 0, 0, 100, 0});
+  float loss = CrossEntropyFromLogits(logits, {0, 1}, -1, nullptr);
+  EXPECT_NEAR(loss, 0.0f, 1e-4f);
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogV) {
+  Tensor logits = Tensor::Zeros({4, 8});
+  float loss = CrossEntropyFromLogits(logits, {0, 1, 2, 3}, -1, nullptr);
+  EXPECT_NEAR(loss, std::log(8.0f), 1e-5f);
+}
+
+TEST(CrossEntropyTest, IgnoreIndexExcludesRows) {
+  Tensor logits({2, 2}, {100, 0, 0, 100});
+  // Second row is wrong but ignored.
+  float loss = CrossEntropyFromLogits(logits, {0, -1}, -1, nullptr);
+  EXPECT_NEAR(loss, 0.0f, 1e-4f);
+  // All ignored: defined as zero.
+  EXPECT_EQ(CrossEntropyFromLogits(logits, {-1, -1}, -1, nullptr), 0.0f);
+}
+
+TEST(CrossEntropyTest, BackwardIsProbsMinusOneHot) {
+  Tensor logits = Tensor::Zeros({1, 4});
+  Tensor probs;
+  CrossEntropyFromLogits(logits, {2}, -1, &probs);
+  Tensor d = CrossEntropyBackward(probs, {2}, -1, 1.0f);
+  EXPECT_NEAR(d.at(0, 0), 0.25f, 1e-5f);
+  EXPECT_NEAR(d.at(0, 2), 0.25f - 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace rt::ops

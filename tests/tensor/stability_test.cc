@@ -1,0 +1,100 @@
+// Numerical-stability and depth stress tests for the autodiff engine.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tape.h"
+
+namespace rt {
+namespace {
+
+bool AllFinite(const Tensor& t) {
+  for (size_t i = 0; i < t.numel(); ++i) {
+    if (!std::isfinite(t[i])) return false;
+  }
+  return true;
+}
+
+TEST(StabilityTest, SoftmaxSurvivesExtremeLogits) {
+  Tensor x({2, 3}, {1e30f, -1e30f, 0.0f, 88.0f, -88.0f, 0.0f});
+  Tensor y = ops::SoftmaxRows(x);
+  EXPECT_TRUE(AllFinite(y));
+  EXPECT_NEAR(y.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(y.at(0, 1), 0.0f, 1e-5f);
+}
+
+TEST(StabilityTest, CrossEntropySurvivesConfidentWrongPrediction) {
+  // Model is certain of the wrong class: loss is large but finite and
+  // the gradient well-defined.
+  Tape tape;
+  Tensor logits({1, 3}, {50.0f, -50.0f, 0.0f});
+  VarId l = tape.Leaf(logits);
+  VarId loss = tape.CrossEntropy(l, {1});
+  EXPECT_TRUE(std::isfinite(tape.value(loss).item()));
+  EXPECT_GT(tape.value(loss).item(), 10.0f);
+  tape.Backward(loss);
+  EXPECT_TRUE(AllFinite(tape.grad(l)));
+}
+
+TEST(StabilityTest, DeepChainBackpropStaysFinite) {
+  // 120 tanh layers: gradients shrink but must remain finite and the
+  // tape must handle the long dependency chain.
+  Rng rng(5);
+  Tape tape;
+  VarId x = tape.Leaf(Tensor::Normal({4, 8}, 0.5f, &rng));
+  VarId h = x;
+  for (int i = 0; i < 120; ++i) h = tape.Tanh(h);
+  tape.Backward(tape.SumAll(h));
+  EXPECT_TRUE(AllFinite(tape.grad(x)));
+  EXPECT_GT(tape.size(), 120u);
+}
+
+TEST(StabilityTest, LayerNormSurvivesConstantRows) {
+  // Zero-variance rows: eps keeps rstd finite.
+  Tensor x = Tensor::Full({3, 6}, 4.0f);
+  Tensor gain = Tensor::Full({6}, 1.0f);
+  Tensor bias = Tensor::Zeros({6});
+  Tensor y = ops::LayerNormRows(x, gain, bias, 1e-5f, nullptr);
+  EXPECT_TRUE(AllFinite(y));
+  for (size_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.0f, 1e-4f);
+}
+
+TEST(StabilityTest, AttentionLongSequenceFinite) {
+  Rng rng(6);
+  const int seq = 160;
+  Tape tape;
+  VarId q = tape.Leaf(Tensor::Normal({seq, 8}, 2.0f, &rng));
+  VarId k = tape.Leaf(Tensor::Normal({seq, 8}, 2.0f, &rng));
+  VarId v = tape.Leaf(Tensor::Normal({seq, 8}, 2.0f, &rng));
+  VarId out = tape.CausalSelfAttention(q, k, v, 1, seq, 2);
+  EXPECT_TRUE(AllFinite(tape.value(out)));
+  tape.Backward(tape.MeanAll(out));
+  EXPECT_TRUE(AllFinite(tape.grad(q)));
+  EXPECT_TRUE(AllFinite(tape.grad(k)));
+  EXPECT_TRUE(AllFinite(tape.grad(v)));
+}
+
+TEST(StabilityTest, GeluExtremeInputsFinite) {
+  Tensor x({4}, {-1000.0f, -10.0f, 10.0f, 1000.0f});
+  Tensor y = ops::Gelu(x);
+  EXPECT_TRUE(AllFinite(y));
+  Tensor dy = Tensor::Full({4}, 1.0f);
+  EXPECT_TRUE(AllFinite(ops::GeluBackward(x, dy)));
+}
+
+TEST(StabilityTest, RepeatedTapeReuseDoesNotLeakState) {
+  Rng rng(7);
+  Tensor sink = Tensor::Zeros({8});
+  for (int step = 0; step < 50; ++step) {
+    Tape tape;
+    VarId x = tape.Leaf(Tensor::Normal({8}, 1.0f, &rng), &sink);
+    tape.Backward(tape.SumAll(tape.Tanh(x)));
+  }
+  EXPECT_TRUE(AllFinite(sink));
+  EXPECT_NE(sink.Sum(), 0.0f);
+}
+
+}  // namespace
+}  // namespace rt

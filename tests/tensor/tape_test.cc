@@ -1,0 +1,206 @@
+#include "tensor/tape.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace rt {
+namespace {
+
+TEST(TapeTest, LeafValueRoundTrip) {
+  Tape tape;
+  VarId x = tape.Leaf(Tensor({2}, {1, 2}));
+  EXPECT_EQ(tape.value(x)[1], 2.0f);
+  EXPECT_EQ(tape.size(), 1u);
+}
+
+TEST(TapeTest, SimpleChainGradient) {
+  // loss = sum(2 * x) => dloss/dx = 2.
+  Tape tape;
+  VarId x = tape.Leaf(Tensor({3}, {1, 2, 3}));
+  VarId y = tape.Scale(x, 2.0f);
+  VarId loss = tape.SumAll(y);
+  tape.Backward(loss);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(tape.grad(x)[i], 2.0f);
+}
+
+TEST(TapeTest, GradSinkAccumulates) {
+  Tensor sink = Tensor::Zeros({2});
+  {
+    Tape tape;
+    VarId x = tape.Leaf(Tensor({2}, {1, 1}), &sink);
+    tape.Backward(tape.SumAll(x));
+  }
+  {
+    Tape tape;
+    VarId x = tape.Leaf(Tensor({2}, {1, 1}), &sink);
+    tape.Backward(tape.SumAll(tape.Scale(x, 3.0f)));
+  }
+  // 1 from first step + 3 from second.
+  EXPECT_FLOAT_EQ(sink[0], 4.0f);
+  EXPECT_FLOAT_EQ(sink[1], 4.0f);
+}
+
+TEST(TapeTest, FanOutAccumulatesGradients) {
+  // loss = sum(x*x + x) -> d/dx = 2x + 1.
+  Tape tape;
+  VarId x = tape.Leaf(Tensor({2}, {3, -1}));
+  VarId sq = tape.Mul(x, x);
+  VarId s = tape.Add(sq, x);
+  tape.Backward(tape.SumAll(s));
+  EXPECT_FLOAT_EQ(tape.grad(x)[0], 7.0f);
+  EXPECT_FLOAT_EQ(tape.grad(x)[1], -1.0f);
+}
+
+TEST(TapeTest, ConstantsReceiveNoGradient) {
+  Tape tape;
+  VarId c = tape.Constant(Tensor({2}, {5, 5}));
+  VarId x = tape.Leaf(Tensor({2}, {1, 2}));
+  VarId y = tape.Mul(c, x);
+  tape.Backward(tape.SumAll(y));
+  EXPECT_TRUE(tape.grad(c).empty());
+  EXPECT_FLOAT_EQ(tape.grad(x)[0], 5.0f);
+}
+
+TEST(TapeTest, MatMulGradShapes) {
+  Rng rng(1);
+  Tape tape;
+  VarId a = tape.Leaf(Tensor::Normal({2, 3}, 1.0f, &rng));
+  VarId b = tape.Leaf(Tensor::Normal({3, 4}, 1.0f, &rng));
+  VarId y = tape.MatMul(a, b);
+  tape.Backward(tape.SumAll(y));
+  EXPECT_EQ(tape.grad(a).shape(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(tape.grad(b).shape(), (std::vector<int>{3, 4}));
+}
+
+TEST(TapeTest, DropoutEvalIsIdentity) {
+  Rng rng(2);
+  Tape tape;
+  Tensor x({4}, {1, 2, 3, 4});
+  VarId in = tape.Leaf(x);
+  VarId out = tape.Dropout(in, 0.5f, &rng, /*training=*/false);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tape.value(out)[i], x[i]);
+}
+
+TEST(TapeTest, DropoutTrainingPreservesExpectation) {
+  Rng rng(3);
+  const int n = 20000;
+  Tape tape;
+  VarId in = tape.Leaf(Tensor::Full({n}, 1.0f));
+  VarId out = tape.Dropout(in, 0.25f, &rng, /*training=*/true);
+  // Inverted dropout: E[out] == 1. Kept entries are 1/0.75.
+  float mean = tape.value(out).Mean();
+  EXPECT_NEAR(mean, 1.0f, 0.02f);
+  int zeros = 0;
+  for (int i = 0; i < n; ++i) {
+    float v = tape.value(out)[i];
+    EXPECT_TRUE(v == 0.0f || std::abs(v - 1.0f / 0.75f) < 1e-5f);
+    zeros += v == 0.0f;
+  }
+  EXPECT_NEAR(static_cast<float>(zeros) / n, 0.25f, 0.02f);
+}
+
+TEST(TapeTest, DropoutGradientMatchesMask) {
+  Rng rng(4);
+  Tape tape;
+  VarId in = tape.Leaf(Tensor::Full({1000}, 2.0f));
+  VarId out = tape.Dropout(in, 0.5f, &rng, /*training=*/true);
+  tape.Backward(tape.SumAll(out));
+  for (int i = 0; i < 1000; ++i) {
+    float v = tape.value(out)[i];
+    float g = tape.grad(in)[i];
+    if (v == 0.0f) {
+      EXPECT_EQ(g, 0.0f);
+    } else {
+      EXPECT_NEAR(g, 2.0f, 1e-5f);  // 1/keep = 2
+    }
+  }
+}
+
+TEST(TapeTest, CrossEntropyLossValue) {
+  Tape tape;
+  VarId logits = tape.Leaf(Tensor::Zeros({2, 4}));
+  VarId loss = tape.CrossEntropy(logits, {1, 3});
+  EXPECT_NEAR(tape.value(loss).item(), std::log(4.0f), 1e-5f);
+  tape.Backward(loss);
+  // Gradient: (p - onehot)/2 with p = 0.25.
+  EXPECT_NEAR(tape.grad(logits).at(0, 1), (0.25f - 1.0f) / 2.0f, 1e-5f);
+  EXPECT_NEAR(tape.grad(logits).at(0, 0), 0.25f / 2.0f, 1e-5f);
+}
+
+TEST(TapeTest, ConcatRowsStacksAndSplitsGrad) {
+  Tape tape;
+  VarId a = tape.Leaf(Tensor({1, 2}, {1, 2}));
+  VarId b = tape.Leaf(Tensor({2, 2}, {3, 4, 5, 6}));
+  VarId c = tape.ConcatRows({a, b});
+  EXPECT_EQ(tape.value(c).rows(), 3);
+  EXPECT_FLOAT_EQ(tape.value(c).at(2, 1), 6.0f);
+  VarId scaled = tape.Scale(c, 2.0f);
+  tape.Backward(tape.SumAll(scaled));
+  EXPECT_FLOAT_EQ(tape.grad(a).at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(tape.grad(b).at(1, 1), 2.0f);
+}
+
+TEST(TapeTest, EmbeddingGradAccumulatesRepeatedIds) {
+  Tape tape;
+  VarId table = tape.Leaf(Tensor({3, 2}, {0, 0, 0, 0, 0, 0}));
+  VarId emb = tape.Embedding(table, {1, 1, 2});
+  tape.Backward(tape.SumAll(emb));
+  EXPECT_FLOAT_EQ(tape.grad(table).at(1, 0), 2.0f);  // id 1 used twice
+  EXPECT_FLOAT_EQ(tape.grad(table).at(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(tape.grad(table).at(0, 0), 0.0f);
+}
+
+TEST(TapeTest, AttentionFirstTokenAttendsOnlyToItself) {
+  // With T=2: output row 0 must equal V row 0 (causal mask).
+  Rng rng(5);
+  Tape tape;
+  Tensor q = Tensor::Normal({2, 4}, 1.0f, &rng);
+  Tensor k = Tensor::Normal({2, 4}, 1.0f, &rng);
+  Tensor v = Tensor::Normal({2, 4}, 1.0f, &rng);
+  VarId qv = tape.Leaf(q), kv = tape.Leaf(k), vv = tape.Leaf(v);
+  VarId out = tape.CausalSelfAttention(qv, kv, vv, /*batch=*/1, /*seq=*/2,
+                                       /*heads=*/2);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(tape.value(out).at(0, j), v.at(0, j), 1e-5f);
+  }
+}
+
+TEST(TapeTest, AttentionUniformKeysAverageValues) {
+  // If all keys equal, attention over t+1 positions is uniform.
+  Tape tape;
+  Tensor q = Tensor::Full({3, 2}, 1.0f);
+  Tensor k = Tensor::Full({3, 2}, 1.0f);
+  Tensor v({3, 2}, {0, 0, 3, 3, 6, 6});
+  VarId out = tape.CausalSelfAttention(tape.Leaf(q), tape.Leaf(k),
+                                       tape.Leaf(v), 1, 3, 1);
+  EXPECT_NEAR(tape.value(out).at(0, 0), 0.0f, 1e-5f);
+  EXPECT_NEAR(tape.value(out).at(1, 0), 1.5f, 1e-5f);
+  EXPECT_NEAR(tape.value(out).at(2, 0), 3.0f, 1e-5f);
+}
+
+TEST(TapeTest, ClearAllowsReuse) {
+  Tape tape;
+  tape.Leaf(Tensor({1}, {1}));
+  EXPECT_EQ(tape.size(), 1u);
+  tape.Clear();
+  EXPECT_EQ(tape.size(), 0u);
+  VarId x = tape.Leaf(Tensor({1}, {5}));
+  EXPECT_EQ(x, 0);
+}
+
+TEST(TapeTest, SliceColsForwardBackward) {
+  Tape tape;
+  VarId x = tape.Leaf(Tensor({1, 4}, {1, 2, 3, 4}));
+  VarId mid = tape.SliceCols(x, 1, 3);
+  tape.Backward(tape.SumAll(mid));
+  EXPECT_FLOAT_EQ(tape.grad(x).at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(tape.grad(x).at(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(tape.grad(x).at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(tape.grad(x).at(0, 3), 0.0f);
+}
+
+}  // namespace
+}  // namespace rt

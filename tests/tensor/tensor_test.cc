@@ -1,0 +1,109 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+TEST(TensorTest, ZerosShapeAndContents) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.numel(), 6u);
+  for (size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ExplicitDataRowMajorAccess) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor s = Tensor::Scalar(3.5f);
+  EXPECT_EQ(s.numel(), 1u);
+  EXPECT_EQ(s.item(), 3.5f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({4}, 2.0f);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.0f);
+  t.Fill(-1.0f);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], -1.0f);
+}
+
+TEST(TensorTest, UniformWithinBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::Uniform({100}, 0.5f, &rng);
+  for (size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -0.5f);
+    EXPECT_LE(t[i], 0.5f);
+  }
+  EXPECT_NE(t[0], t[1]);  // not constant
+}
+
+TEST(TensorTest, NormalHasRequestedSpread) {
+  Rng rng(5);
+  Tensor t = Tensor::Normal({10000}, 0.1f, &rng);
+  double sumsq = 0.0;
+  for (size_t i = 0; i < t.numel(); ++i) sumsq += t[i] * t[i];
+  EXPECT_NEAR(std::sqrt(sumsq / t.numel()), 0.1, 0.01);
+}
+
+TEST(TensorTest, ReshapedPreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.at(0, 0), 1.0f);
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_EQ(r.numel(), 6u);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({2, 2}, {1, -2, 3, 4});
+  EXPECT_EQ(t.Sum(), 6.0f);
+  EXPECT_EQ(t.Mean(), 1.5f);
+  EXPECT_EQ(t.Min(), -2.0f);
+  EXPECT_EQ(t.Max(), 4.0f);
+}
+
+TEST(TensorTest, AddAndScaleInPlace) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.Add(b);
+  EXPECT_EQ(a[2], 33.0f);
+  a.Scale(0.5f);
+  EXPECT_EQ(a[0], 5.5f);
+}
+
+TEST(TensorTest, DeepCopySemantics) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2, 3]");
+  EXPECT_EQ(Tensor({7}).ShapeString(), "[7]");
+}
+
+TEST(ShapeVolumeTest, Products) {
+  EXPECT_EQ(ShapeVolume({}), 1u);
+  EXPECT_EQ(ShapeVolume({0}), 0u);
+  EXPECT_EQ(ShapeVolume({2, 3, 4}), 24u);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,63 @@
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "text/bpe_tokenizer.h"
+
+namespace rt {
+namespace {
+
+std::vector<std::string> Corpus() {
+  return {
+      "<RECIPE_START> <INGR_START> <FRAC_1_2> cup tomato sauce "
+      "<INGR_NEXT> 2 tsp salt <INGR_END> <INSTR_START> simmer the tomato "
+      "sauce gently <INSTR_END> <TITLE_START> tomato sauce <TITLE_END> "
+      "<RECIPE_END>",
+      "<RECIPE_START> <INGR_START> 1 cup rice <INGR_END> <INSTR_START> "
+      "boil the rice and serve <INSTR_END> <TITLE_START> plain rice "
+      "<TITLE_END> <RECIPE_END>",
+  };
+}
+
+TEST(BpeSerializationTest, RoundTripPreservesEncoding) {
+  auto original = BpeTokenizer::Train(Corpus(), 300);
+  auto restored = BpeTokenizer::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->vocab().tokens(), original.vocab().tokens());
+  EXPECT_EQ(restored->num_merges(), original.num_merges());
+  for (const auto& doc : Corpus()) {
+    EXPECT_EQ(restored->Encode(doc), original.Encode(doc));
+  }
+  // Segmentation identical on an unseen word too.
+  EXPECT_EQ(restored->SegmentWord("tomatoes"),
+            original.SegmentWord("tomatoes"));
+}
+
+TEST(BpeSerializationTest, FileRoundTrip) {
+  auto original = BpeTokenizer::Train(Corpus(), 250);
+  const std::string path = testing::TempDir() + "/bpe_test.txt";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto loaded = BpeTokenizer::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->Encode(Corpus()[0]), original.Encode(Corpus()[0]));
+  std::remove(path.c_str());
+}
+
+TEST(BpeSerializationTest, RejectsBadHeader) {
+  EXPECT_FALSE(BpeTokenizer::Deserialize("NOTBPE\n2\na\nb\n0\n").ok());
+}
+
+TEST(BpeSerializationTest, RejectsTruncated) {
+  auto original = BpeTokenizer::Train(Corpus(), 200);
+  std::string blob = original.Serialize();
+  EXPECT_FALSE(
+      BpeTokenizer::Deserialize(blob.substr(0, blob.size() / 2)).ok());
+}
+
+TEST(BpeSerializationTest, LoadMissingFileIsIoError) {
+  auto r = BpeTokenizer::LoadFromFile("/nonexistent/bpe.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,68 @@
+#include "text/special_tokens.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(SpecialTokensTest, ReservedTokensStartWithPadUnk) {
+  const auto& reserved = ReservedTokens();
+  ASSERT_GE(reserved.size(), 2u);
+  EXPECT_EQ(reserved[0], kPadToken);
+  EXPECT_EQ(reserved[1], kUnkToken);
+}
+
+TEST(SpecialTokensTest, ReservedTokensAreUnique) {
+  const auto& reserved = ReservedTokens();
+  std::set<std::string> unique(reserved.begin(), reserved.end());
+  EXPECT_EQ(unique.size(), reserved.size());
+}
+
+TEST(SpecialTokensTest, StructuralTagsIncluded) {
+  EXPECT_TRUE(IsStructuralTag(kRecipeStart));
+  EXPECT_TRUE(IsStructuralTag(kTitleEnd));
+  EXPECT_TRUE(IsStructuralTag(kInputNext));
+  EXPECT_FALSE(IsStructuralTag("<FRAC_1_2>"));
+  EXPECT_FALSE(IsStructuralTag("tomato"));
+}
+
+TEST(FractionTest, NormalizeCommonFractions) {
+  EXPECT_EQ(NormalizeFractions("1/2 cup sugar"), "<FRAC_1_2> cup sugar");
+  EXPECT_EQ(NormalizeFractions("add 3/4 tsp and 1/8 tsp"),
+            "add <FRAC_3_4> tsp and <FRAC_1_8> tsp");
+}
+
+TEST(FractionTest, SixteenthBeforeHalf) {
+  // "1/16" must not be corrupted into "<FRAC_1_1>6"-style artifacts.
+  EXPECT_EQ(NormalizeFractions("1/16 tsp saffron"),
+            "<FRAC_1_16> tsp saffron");
+}
+
+TEST(FractionTest, RoundTrip) {
+  const std::string original =
+      "1/2 cup flour , 1/3 cup milk , 2/3 tsp salt , 1/16 tsp nutmeg";
+  EXPECT_EQ(DenormalizeFractions(NormalizeFractions(original)), original);
+}
+
+TEST(FractionTest, MixedNumberPreserved) {
+  // "1 1/2" keeps its whole part.
+  EXPECT_EQ(NormalizeFractions("1 1/2 cups"), "1 <FRAC_1_2> cups");
+  EXPECT_EQ(DenormalizeFractions("1 <FRAC_1_2> cups"), "1 1/2 cups");
+}
+
+TEST(FractionTest, IsFractionToken) {
+  EXPECT_TRUE(IsFractionToken("<FRAC_1_2>"));
+  EXPECT_TRUE(IsFractionToken("<FRAC_1_16>"));
+  EXPECT_FALSE(IsFractionToken("<RECIPE_START>"));
+  EXPECT_FALSE(IsFractionToken("1/2"));
+}
+
+TEST(FractionTest, NoFractionsUntouched) {
+  EXPECT_EQ(NormalizeFractions("2 cups rice"), "2 cups rice");
+  EXPECT_EQ(DenormalizeFractions("plain text"), "plain text");
+}
+
+}  // namespace
+}  // namespace rt

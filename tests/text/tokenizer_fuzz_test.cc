@@ -1,0 +1,101 @@
+// Fuzz-style robustness: tokenizers must never crash, emit out-of-range
+// ids or lose decode/encode stability on arbitrary byte strings.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/bpe_tokenizer.h"
+#include "text/char_tokenizer.h"
+#include "text/word_tokenizer.h"
+#include "util/rng.h"
+
+namespace rt {
+namespace {
+
+std::vector<std::string> TrainingDocs() {
+  return {
+      "<RECIPE_START> <INGR_START> 1 cup rice <INGR_END> <INSTR_START> "
+      "boil the rice well <INSTR_END> <TITLE_START> rice <TITLE_END> "
+      "<RECIPE_END>",
+      "mixed CASE text, punctuation!? and (parens) plus 123 456",
+  };
+}
+
+std::string RandomBytes(Rng* rng, int len) {
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    // Printable-ish ASCII plus some controls and high bytes.
+    s += static_cast<char>(rng->NextBelow(256));
+  }
+  return s;
+}
+
+std::string RandomAsciiSoup(Rng* rng, int len) {
+  static const char* pool =
+      "abc <>RECIPE_START_END/0123456789\t\n<<>>__<FRAC_1_2>";
+  std::string s;
+  const size_t n = std::string(pool).size();
+  for (int i = 0; i < len; ++i) s += pool[rng->NextBelow(n)];
+  return s;
+}
+
+template <typename Tok>
+void FuzzOne(const Tok& tok, const std::string& input) {
+  std::vector<int> ids = tok.Encode(input);
+  for (int id : ids) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, tok.vocab_size());
+  }
+  // decode(encode(.)) must be a fixed point after one application.
+  std::string once = tok.Decode(ids);
+  std::string twice = tok.Decode(tok.Encode(once));
+  ASSERT_EQ(once, twice);
+}
+
+TEST(TokenizerFuzzTest, RandomBytesNeverCrash) {
+  auto docs = TrainingDocs();
+  auto char_tok = CharTokenizer::Build(docs);
+  auto word_tok = WordTokenizer::Build(docs);
+  auto bpe_tok = BpeTokenizer::Train(docs, 200);
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string input = RandomBytes(&rng, 1 + trial * 3);
+    FuzzOne(char_tok, input);
+    FuzzOne(word_tok, input);
+    FuzzOne(bpe_tok, input);
+  }
+}
+
+TEST(TokenizerFuzzTest, TagLikeSoupNeverCrashes) {
+  auto docs = TrainingDocs();
+  auto char_tok = CharTokenizer::Build(docs);
+  auto word_tok = WordTokenizer::Build(docs);
+  auto bpe_tok = BpeTokenizer::Train(docs, 200);
+  Rng rng(321);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string input = RandomAsciiSoup(&rng, 1 + trial * 5);
+    FuzzOne(char_tok, input);
+    FuzzOne(word_tok, input);
+    FuzzOne(bpe_tok, input);
+  }
+}
+
+TEST(TokenizerFuzzTest, EmptyAndWhitespaceInputs) {
+  auto docs = TrainingDocs();
+  auto char_tok = CharTokenizer::Build(docs);
+  auto word_tok = WordTokenizer::Build(docs);
+  auto bpe_tok = BpeTokenizer::Train(docs, 200);
+  for (const std::string& input :
+       {std::string(), std::string("   "), std::string("\n\t\r"),
+        std::string("<"), std::string("<unclosed tag never ends")}) {
+    FuzzOne(char_tok, input);
+    FuzzOne(word_tok, input);
+    FuzzOne(bpe_tok, input);
+  }
+}
+
+}  // namespace
+}  // namespace rt

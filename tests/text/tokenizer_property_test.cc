@@ -1,0 +1,120 @@
+// Property-style sweeps over all tokenizers against generated recipe
+// corpora: round-trip stability, vocabulary closure on the training set,
+// determinism across seeds and stream consistency with EncodeCorpus.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "text/bpe_tokenizer.h"
+#include "text/char_tokenizer.h"
+#include "text/special_tokens.h"
+#include "text/word_tokenizer.h"
+
+namespace rt {
+namespace {
+
+struct TokCase {
+  std::string name;
+  uint64_t corpus_seed;
+};
+
+std::vector<Recipe> CorpusFor(uint64_t seed, int n = 40) {
+  GeneratorOptions opts;
+  opts.num_recipes = n;
+  opts.seed = seed;
+  opts.incomplete_fraction = 0.0;
+  opts.duplicate_fraction = 0.0;
+  opts.overlong_fraction = 0.0;
+  opts.short_fraction = 0.0;
+  return RecipeDbGenerator(opts).Generate();
+}
+
+std::vector<std::string> Docs(const std::vector<Recipe>& corpus) {
+  std::vector<std::string> docs;
+  for (const auto& r : corpus) docs.push_back(r.ToTaggedString());
+  return docs;
+}
+
+std::unique_ptr<Tokenizer> Make(const std::string& name,
+                                const std::vector<std::string>& docs) {
+  if (name == "char") {
+    return std::make_unique<CharTokenizer>(CharTokenizer::Build(docs));
+  }
+  if (name == "word") {
+    return std::make_unique<WordTokenizer>(WordTokenizer::Build(docs));
+  }
+  return std::make_unique<BpeTokenizer>(BpeTokenizer::Train(docs, 500));
+}
+
+class TokenizerPropertyTest
+    : public testing::TestWithParam<TokCase> {};
+
+TEST_P(TokenizerPropertyTest, NoUnkOnTrainingDocuments) {
+  auto corpus = CorpusFor(GetParam().corpus_seed);
+  auto docs = Docs(corpus);
+  auto tok = Make(GetParam().name, docs);
+  for (const auto& doc : docs) {
+    for (int id : tok->Encode(doc)) {
+      ASSERT_NE(id, tok->unk_id()) << GetParam().name;
+    }
+  }
+}
+
+TEST_P(TokenizerPropertyTest, DecodeEncodeStableOnTrainingDocs) {
+  auto corpus = CorpusFor(GetParam().corpus_seed, 20);
+  auto docs = Docs(corpus);
+  auto tok = Make(GetParam().name, docs);
+  for (const auto& doc : docs) {
+    std::string once = tok->Decode(tok->Encode(doc));
+    std::string twice = tok->Decode(tok->Encode(once));
+    ASSERT_EQ(once, twice) << GetParam().name;
+  }
+}
+
+TEST_P(TokenizerPropertyTest, TagsAlwaysAtomic) {
+  auto corpus = CorpusFor(GetParam().corpus_seed, 10);
+  auto docs = Docs(corpus);
+  auto tok = Make(GetParam().name, docs);
+  for (const auto& tag : StructuralTags()) {
+    auto ids = tok->Encode(tag);
+    ASSERT_EQ(ids.size(), 1u) << GetParam().name << " split " << tag;
+    EXPECT_EQ(tok->vocab().GetToken(ids[0]), tag);
+  }
+}
+
+TEST_P(TokenizerPropertyTest, EncodeCorpusMatchesPerDocEncoding) {
+  auto corpus = CorpusFor(GetParam().corpus_seed, 8);
+  auto docs = Docs(corpus);
+  auto tok = Make(GetParam().name, docs);
+  auto stream = EncodeCorpus(*tok, corpus);
+  std::vector<int> manual;
+  for (const auto& r : corpus) {
+    auto ids = tok->Encode(r.ToTaggedString() + " ");
+    manual.insert(manual.end(), ids.begin(), ids.end());
+  }
+  EXPECT_EQ(stream, manual) << GetParam().name;
+}
+
+TEST_P(TokenizerPropertyTest, StopTokenPresentInVocab) {
+  auto corpus = CorpusFor(GetParam().corpus_seed, 6);
+  auto tok = Make(GetParam().name, Docs(corpus));
+  EXPECT_GE(tok->vocab().GetId(kRecipeEnd), 0) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTokenizers, TokenizerPropertyTest,
+    testing::Values(TokCase{"char", 101}, TokCase{"char", 202},
+                    TokCase{"word", 101}, TokCase{"word", 202},
+                    TokCase{"bpe", 101}, TokCase{"bpe", 202}),
+    [](const testing::TestParamInfo<TokCase>& info) {
+      return info.param.name + "_seed" +
+             std::to_string(info.param.corpus_seed);
+    });
+
+}  // namespace
+}  // namespace rt

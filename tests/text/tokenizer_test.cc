@@ -1,0 +1,195 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/bpe_tokenizer.h"
+#include "text/char_tokenizer.h"
+#include "text/special_tokens.h"
+#include "text/word_tokenizer.h"
+
+namespace rt {
+namespace {
+
+std::vector<std::string> SmallCorpus() {
+  return {
+      "<RECIPE_START> <INGR_START> <FRAC_1_2> cup tomato <INGR_NEXT> 2 "
+      "tsp salt <INGR_END> <INSTR_START> chop the tomato <INSTR_NEXT> "
+      "season with salt <INSTR_END> <TITLE_START> simple tomato salad "
+      "<TITLE_END> <RECIPE_END>",
+      "<RECIPE_START> <INGR_START> 1 cup rice <INGR_END> <INSTR_START> "
+      "boil the rice <INSTR_END> <TITLE_START> plain rice <TITLE_END> "
+      "<RECIPE_END>",
+  };
+}
+
+// ---- CharTokenizer ------------------------------------------------------
+
+TEST(CharTokenizerTest, RoundTripPlainText) {
+  auto tok = CharTokenizer::Build(SmallCorpus());
+  const std::string text = "chop the tomato";
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(CharTokenizerTest, TagsAreSingleTokens) {
+  auto tok = CharTokenizer::Build(SmallCorpus());
+  auto ids = tok.Encode("<RECIPE_START>");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(tok.vocab().GetToken(ids[0]), kRecipeStart);
+}
+
+TEST(CharTokenizerTest, TaggedRoundTrip) {
+  auto tok = CharTokenizer::Build(SmallCorpus());
+  const std::string text = SmallCorpus()[0];
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(CharTokenizerTest, UnknownCharMapsToUnk) {
+  auto tok = CharTokenizer::Build({"abc"});
+  auto ids = tok.Encode("a~z");  // '~' and 'z' unseen
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[1], tok.unk_id());
+  EXPECT_EQ(ids[2], tok.unk_id());
+}
+
+TEST(CharTokenizerTest, VocabSmallAndDeterministic) {
+  auto a = CharTokenizer::Build(SmallCorpus());
+  auto b = CharTokenizer::Build(SmallCorpus());
+  EXPECT_EQ(a.vocab().tokens(), b.vocab().tokens());
+  // Reserved + handful of characters.
+  EXPECT_LT(a.vocab_size(), 100);
+}
+
+TEST(CharTokenizerTest, PadSkippedInDecode) {
+  auto tok = CharTokenizer::Build({"ab"});
+  std::vector<int> ids = tok.Encode("ab");
+  ids.push_back(tok.pad_id());
+  EXPECT_EQ(tok.Decode(ids), "ab");
+}
+
+// ---- WordTokenizer ------------------------------------------------------
+
+TEST(WordTokenizerTest, PreTokenizeSeparatesPunctuationAndTags) {
+  auto toks = WordTokenizer::PreTokenize(
+      "<INGR_START> 1/2 cup tomato , chopped <INGR_END>");
+  EXPECT_EQ(toks, (std::vector<std::string>{"<INGR_START>", "1", "/", "2",
+                                            "cup", "tomato", ",", "chopped",
+                                            "<INGR_END>"}));
+}
+
+TEST(WordTokenizerTest, FractionTokensSurviveAsSingleUnits) {
+  auto toks = WordTokenizer::PreTokenize("<FRAC_1_2> cup sugar");
+  EXPECT_EQ(toks[0], "<FRAC_1_2>");
+  EXPECT_EQ(toks.size(), 3u);
+}
+
+TEST(WordTokenizerTest, RoundTripNormalizedText) {
+  auto tok = WordTokenizer::Build(SmallCorpus());
+  const std::string text = "chop the tomato";
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(WordTokenizerTest, OovMapsToUnk) {
+  auto tok = WordTokenizer::Build(SmallCorpus());
+  auto ids = tok.Encode("quinoa");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], tok.unk_id());
+}
+
+TEST(WordTokenizerTest, MinCountFiltersRareWords) {
+  auto tok = WordTokenizer::Build({"common common common rare"},
+                                  /*min_count=*/2);
+  EXPECT_TRUE(tok.vocab().Contains("common"));
+  EXPECT_FALSE(tok.vocab().Contains("rare"));
+}
+
+TEST(WordTokenizerTest, FrequencyOrderedIdsAreDeterministic) {
+  auto a = WordTokenizer::Build(SmallCorpus());
+  auto b = WordTokenizer::Build(SmallCorpus());
+  EXPECT_EQ(a.vocab().tokens(), b.vocab().tokens());
+}
+
+TEST(WordTokenizerTest, ReservedTokensAlwaysPresent) {
+  auto tok = WordTokenizer::Build({"just words"});
+  EXPECT_TRUE(tok.vocab().Contains(kRecipeStart));
+  EXPECT_TRUE(tok.vocab().Contains("<FRAC_1_2>"));
+  EXPECT_EQ(tok.vocab().GetId(kPadToken), 0);
+  EXPECT_EQ(tok.vocab().GetId(kUnkToken), 1);
+}
+
+// ---- BpeTokenizer -------------------------------------------------------
+
+TEST(BpeTokenizerTest, LearnsMergesAndRoundTrips) {
+  std::vector<std::string> corpus(
+      20, "the tomato and the potato in the pot");
+  auto tok = BpeTokenizer::Train(corpus, /*vocab_budget=*/120);
+  EXPECT_GT(tok.num_merges(), 0);
+  const std::string text = "the tomato and the potato";
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(BpeTokenizerTest, FrequentWordBecomesSingleToken) {
+  std::vector<std::string> corpus(50, "tomato tomato tomato");
+  auto tok = BpeTokenizer::Train(corpus, /*vocab_budget=*/200);
+  auto segments = tok.SegmentWord("tomato");
+  EXPECT_EQ(segments.size(), 1u);  // fully merged incl. </w>
+}
+
+TEST(BpeTokenizerTest, TagsNeverSplit) {
+  auto tok = BpeTokenizer::Train(SmallCorpus(), 150);
+  auto ids = tok.Encode("<RECIPE_START> <FRAC_1_2>");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(tok.vocab().GetToken(ids[0]), kRecipeStart);
+  EXPECT_EQ(tok.vocab().GetToken(ids[1]), "<FRAC_1_2>");
+}
+
+TEST(BpeTokenizerTest, TaggedRoundTrip) {
+  auto tok = BpeTokenizer::Train(SmallCorpus(), 300);
+  const std::string text = SmallCorpus()[1];
+  EXPECT_EQ(tok.Decode(tok.Encode(text)), text);
+}
+
+TEST(BpeTokenizerTest, BudgetCapsVocab) {
+  std::vector<std::string> corpus(
+      30, "many different words appear here repeatedly tonight");
+  auto big = BpeTokenizer::Train(corpus, 500);
+  auto small = BpeTokenizer::Train(corpus, 60);
+  EXPECT_LE(small.vocab_size(), 60);
+  EXPECT_LE(small.vocab_size(), big.vocab_size());
+}
+
+TEST(BpeTokenizerTest, DeterministicTraining) {
+  auto a = BpeTokenizer::Train(SmallCorpus(), 200);
+  auto b = BpeTokenizer::Train(SmallCorpus(), 200);
+  EXPECT_EQ(a.vocab().tokens(), b.vocab().tokens());
+  EXPECT_EQ(a.Encode(SmallCorpus()[0]), b.Encode(SmallCorpus()[0]));
+}
+
+TEST(BpeTokenizerTest, UnseenCharactersMapToUnk) {
+  auto tok = BpeTokenizer::Train({"abc abc"}, 50);
+  auto ids = tok.Encode("xyz");
+  for (size_t i = 0; i + 1 < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], tok.unk_id());
+  }
+}
+
+// Cross-tokenizer property: encoding is deterministic and decode(encode)
+// is stable under double application.
+TEST(AllTokenizersTest, DecodeEncodeIdempotent) {
+  auto corpus = SmallCorpus();
+  auto char_tok = CharTokenizer::Build(corpus);
+  auto word_tok = WordTokenizer::Build(corpus);
+  auto bpe_tok = BpeTokenizer::Train(corpus, 300);
+  const Tokenizer* toks[] = {&char_tok, &word_tok, &bpe_tok};
+  for (const Tokenizer* t : toks) {
+    for (const std::string& doc : corpus) {
+      std::string once = t->Decode(t->Encode(doc));
+      std::string twice = t->Decode(t->Encode(once));
+      EXPECT_EQ(once, twice) << t->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,76 @@
+#include "text/vocab.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(VocabTest, AddAssignsDenseIds) {
+  Vocab v;
+  EXPECT_EQ(v.AddToken("a"), 0);
+  EXPECT_EQ(v.AddToken("b"), 1);
+  EXPECT_EQ(v.AddToken("a"), 0);  // idempotent
+  EXPECT_EQ(v.size(), 2);
+}
+
+TEST(VocabTest, LookupBothDirections) {
+  Vocab v;
+  v.AddToken("tomato");
+  v.AddToken("onion");
+  EXPECT_EQ(v.GetId("onion"), 1);
+  EXPECT_EQ(v.GetToken(0), "tomato");
+  EXPECT_EQ(v.GetId("garlic"), -1);
+  EXPECT_TRUE(v.Contains("tomato"));
+  EXPECT_FALSE(v.Contains("garlic"));
+}
+
+TEST(VocabTest, SerializeRoundTrip) {
+  Vocab v;
+  v.AddToken("<PAD>");
+  v.AddToken("hello");
+  v.AddToken("world");
+  auto restored = Vocab::Deserialize(v.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 3);
+  EXPECT_EQ(restored->GetId("world"), 2);
+}
+
+TEST(VocabTest, SerializeEscapesNewlineTokens) {
+  Vocab v;
+  v.AddToken("\n");       // char-level vocabularies contain newline
+  v.AddToken("\\");       // and backslash
+  v.AddToken("a\nb");
+  auto restored = Vocab::Deserialize(v.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 3);
+  EXPECT_EQ(restored->GetId("\n"), 0);
+  EXPECT_EQ(restored->GetId("\\"), 1);
+  EXPECT_EQ(restored->GetId("a\nb"), 2);
+}
+
+TEST(VocabTest, DeserializeRejectsDuplicates) {
+  auto v = Vocab::Deserialize("a\nb\na\n");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VocabTest, FileRoundTrip) {
+  Vocab v;
+  v.AddToken("x");
+  v.AddToken("y");
+  const std::string path = testing::TempDir() + "/vocab_test.txt";
+  ASSERT_TRUE(v.SaveToFile(path).ok());
+  auto loaded = Vocab::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2);
+  EXPECT_EQ(loaded->GetId("y"), 1);
+}
+
+TEST(VocabTest, LoadMissingFileFails) {
+  auto v = Vocab::LoadFromFile("/nonexistent/path/vocab.txt");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,79 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+ArgParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return ArgParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ArgParserTest, EqualsForm) {
+  auto p = Parse({"--model=gpt2-medium", "--epochs=5"});
+  EXPECT_EQ(p.GetString("model"), "gpt2-medium");
+  EXPECT_EQ(p.GetInt("epochs", 0).value(), 5);
+}
+
+TEST(ArgParserTest, SpaceForm) {
+  auto p = Parse({"--model", "word-lstm", "--lr", "0.003"});
+  EXPECT_EQ(p.GetString("model"), "word-lstm");
+  EXPECT_DOUBLE_EQ(p.GetDouble("lr", 0).value(), 0.003);
+}
+
+TEST(ArgParserTest, BareSwitch) {
+  auto p = Parse({"--verbose", "--quick"});
+  EXPECT_TRUE(p.GetBool("verbose"));
+  EXPECT_TRUE(p.GetBool("quick"));
+  EXPECT_FALSE(p.GetBool("absent"));
+  EXPECT_TRUE(p.GetBool("absent", true));
+}
+
+TEST(ArgParserTest, BoolWithExplicitValue) {
+  auto p = Parse({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(p.GetBool("a"));
+  EXPECT_FALSE(p.GetBool("b"));
+  EXPECT_TRUE(p.GetBool("c"));
+  EXPECT_FALSE(p.GetBool("d"));
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  auto p = Parse({"train", "--epochs=2", "corpus.jsonl"});
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"train", "corpus.jsonl"}));
+}
+
+TEST(ArgParserTest, DoubleDashEndsFlags) {
+  auto p = Parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(p.Has("a"));
+  EXPECT_EQ(p.positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(ArgParserTest, FallbacksWhenAbsent) {
+  auto p = Parse({});
+  EXPECT_EQ(p.GetString("x", "def"), "def");
+  EXPECT_EQ(p.GetInt("n", 42).value(), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("d", 2.5).value(), 2.5);
+}
+
+TEST(ArgParserTest, BadNumbersAreErrors) {
+  auto p = Parse({"--n=abc", "--d=xyz"});
+  EXPECT_FALSE(p.GetInt("n", 0).ok());
+  EXPECT_FALSE(p.GetDouble("d", 0).ok());
+}
+
+TEST(ArgParserTest, LastOccurrenceWins) {
+  auto p = Parse({"--n=1", "--n=2"});
+  EXPECT_EQ(p.GetInt("n", 0).value(), 2);
+}
+
+TEST(ArgParserTest, SwitchBeforeAnotherFlagHasNoValue) {
+  auto p = Parse({"--verbose", "--model=x"});
+  EXPECT_TRUE(p.GetBool("verbose"));
+  EXPECT_EQ(p.GetString("model"), "x");
+}
+
+}  // namespace
+}  // namespace rt

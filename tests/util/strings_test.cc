@@ -1,0 +1,82 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, DropsEmptyByDefault) {
+  EXPECT_EQ(Split("a,,b,", ','), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitTest, KeepEmptyPreservesStructure) {
+  EXPECT_EQ(Split("a,,b,", ',', /*keep_empty=*/true),
+            (std::vector<std::string>{"a", "", "b", ""}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_TRUE(Split("", ',').empty());
+  EXPECT_EQ(Split("", ',', true), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(TrimTest, RemovesEdgesOnly) {
+  EXPECT_EQ(Trim("  hi there \n"), "hi there");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123 Case!"), "mixed 123 case!");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("<RECIPE_START> x", "<RECIPE_START>"));
+  EXPECT_FALSE(StartsWith("x", "xx"));
+  EXPECT_TRUE(EndsWith("foo.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "foo.csv"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ReplaceAllTest, NonOverlapping) {
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("1/2 cup 1/2 tsp", "1/2", "<FRAC_1_2>"),
+            "<FRAC_1_2> cup <FRAC_1_2> tsp");
+  EXPECT_EQ(ReplaceAll("none here", "xyz", "q"), "none here");
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(0.347, 3), "0.347");
+  EXPECT_EQ(FormatDouble(0.8062, 3), "0.806");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(118171), "118,171");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace rt

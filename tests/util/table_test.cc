@@ -1,0 +1,44 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Model", "BLEU Score"});
+  t.AddRow({"Char-level LSTM", "0.347"});
+  t.AddRow({"GPT-2 medium", "0.806"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| Model           |"), std::string::npos);
+  EXPECT_NE(out.find("| Char-level LSTM |"), std::string::npos);
+  EXPECT_NE(out.find("0.806"), std::string::npos);
+  // Top rule, header rule, bottom rule.
+  size_t rules = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == '+' && (i == 0 || out[i - 1] == '\n')) ++rules;
+  }
+  EXPECT_EQ(rules, 3u);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"has\"quote", "multi\nline"});
+  std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 4), "a,b\n");
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable t({"only"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,282 @@
+// The Ratatouille command-line tool: every stage of the system as a
+// subcommand, so the library can be driven without writing C++.
+//
+//   ratatouille_cli gen-corpus  --recipes=500 --seed=7 --out=corpus.jsonl
+//   ratatouille_cli preprocess  --in=corpus.jsonl --out=clean.jsonl
+//   ratatouille_cli train       --model=gpt2-medium --recipes=400 \
+//                               --epochs=10 --checkpoint=model.ckpt
+//   ratatouille_cli generate    --model=gpt2-medium --checkpoint=model.ckpt \
+//                               --recipes=400 tomato onion garlic
+//   ratatouille_cli evaluate    --model=word-lstm --recipes=300 --samples=10
+//   ratatouille_cli serve       --model=word-lstm --recipes=300 \
+//                               --backend-port=8081 --frontend-port=8080
+//
+// Train/generate/evaluate/serve rebuild the deterministic pipeline from
+// (--recipes, --seed, --model); generate/serve restore weights from
+// --checkpoint when given, so a `train` run's model is reusable.
+
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "core/ratatouille.h"
+#include "data/recipe_io.h"
+#include "nn/checkpoint.h"
+#include "util/flags.h"
+
+namespace rt {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ratatouille_cli <command> [flags]\n"
+      "commands:\n"
+      "  gen-corpus  --recipes=N --seed=S --out=FILE [--raw]\n"
+      "  preprocess  --in=FILE --out=FILE\n"
+      "  train       --model=KIND --recipes=N --epochs=E\n"
+      "              [--seed=S --lr=F --seq-len=T --batch=B\n"
+      "               --checkpoint=FILE --patience=P]\n"
+      "  generate    --model=KIND --recipes=N [--checkpoint=FILE\n"
+      "               --max-tokens=M --temperature=F --top-k=K\n"
+      "               --beam=W --gen-seed=S] INGREDIENT...\n"
+      "  evaluate    --model=KIND --recipes=N --epochs=E --samples=K\n"
+      "  serve       --model=KIND --recipes=N --epochs=E\n"
+      "              [--backend-port=P --frontend-port=P]\n"
+      "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<PipelineOptions> PipelineOptionsFromFlags(const ArgParser& args) {
+  PipelineOptions options;
+  RT_ASSIGN_OR_RETURN(auto recipes, args.GetInt("recipes", 300));
+  RT_ASSIGN_OR_RETURN(auto seed, args.GetInt("seed", 2022));
+  options.corpus.num_recipes = static_cast<int>(recipes);
+  options.corpus.seed = static_cast<uint64_t>(seed);
+  RT_ASSIGN_OR_RETURN(options.model,
+                      ParseModelKind(args.GetString("model", "word-lstm")));
+  RT_ASSIGN_OR_RETURN(auto epochs, args.GetInt("epochs", 4));
+  options.trainer.epochs = static_cast<int>(epochs);
+  RT_ASSIGN_OR_RETURN(auto lr, args.GetDouble("lr", 3e-3));
+  options.trainer.lr = static_cast<float>(lr);
+  const bool is_gpt = options.model == ModelKind::kDistilGpt2 ||
+                      options.model == ModelKind::kGpt2Medium ||
+                      options.model == ModelKind::kGptDeep;
+  RT_ASSIGN_OR_RETURN(auto seq,
+                      args.GetInt("seq-len", is_gpt ? 176 : 48));
+  options.trainer.seq_len = static_cast<int>(seq);
+  RT_ASSIGN_OR_RETURN(auto batch, args.GetInt("batch", is_gpt ? 4 : 8));
+  options.trainer.batch_size = static_cast<int>(batch);
+  RT_ASSIGN_OR_RETURN(auto patience, args.GetInt("patience", 0));
+  options.trainer.early_stop_patience = static_cast<int>(patience);
+  options.trainer.checkpoint_path = args.GetString("checkpoint");
+  options.bpe_vocab_budget = 800;
+  return options;
+}
+
+int CmdGenCorpus(const ArgParser& args) {
+  const std::string out = args.GetString("out");
+  if (out.empty()) return Usage();
+  auto recipes = args.GetInt("recipes", 500);
+  auto seed = args.GetInt("seed", 2022);
+  if (!recipes.ok() || !seed.ok()) return Usage();
+  GeneratorOptions options;
+  options.num_recipes = static_cast<int>(*recipes);
+  options.seed = static_cast<uint64_t>(*seed);
+  auto corpus = RecipeDbGenerator(options).Generate();
+  if (args.GetBool("raw")) {
+    // Raw text dump (Fig. 1 form) instead of JSONL.
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) return Fail(Status::IoError("cannot open " + out));
+    for (const auto& r : corpus) {
+      std::fprintf(f, "%s\n----\n", r.ToRawString().c_str());
+    }
+    std::fclose(f);
+  } else {
+    Status s = SaveRecipesJsonl(corpus, out);
+    if (!s.ok()) return Fail(s);
+  }
+  std::printf("wrote %zu recipes to %s\n", corpus.size(), out.c_str());
+  return 0;
+}
+
+int CmdPreprocess(const ArgParser& args) {
+  const std::string in = args.GetString("in");
+  const std::string out = args.GetString("out");
+  if (in.empty() || out.empty()) return Usage();
+  auto corpus = LoadRecipesJsonl(in);
+  if (!corpus.ok()) return Fail(corpus.status());
+  PreprocessStats stats;
+  auto clean = Preprocessor().Run(*corpus, &stats);
+  Status s = SaveRecipesJsonl(clean, out);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "in=%d removed_incomplete=%d removed_duplicates=%d merged=%d "
+      "band=%d clamped=%d out=%d\n",
+      stats.input_count, stats.removed_incomplete,
+      stats.removed_duplicates, stats.merged_short, stats.removed_band,
+      stats.clamped, stats.output_count);
+  return 0;
+}
+
+StatusOr<std::unique_ptr<Pipeline>> BuildPipeline(const ArgParser& args,
+                                                  bool load_checkpoint) {
+  RT_ASSIGN_OR_RETURN(PipelineOptions options,
+                      PipelineOptionsFromFlags(args));
+  if (load_checkpoint) options.trainer.checkpoint_path.clear();
+  RT_ASSIGN_OR_RETURN(auto pipeline, Pipeline::Create(options));
+  if (load_checkpoint) {
+    const std::string ckpt = args.GetString("checkpoint");
+    if (!ckpt.empty()) {
+      RT_RETURN_IF_ERROR(
+          LoadCheckpoint(pipeline->model()->module(), ckpt));
+      std::printf("restored weights from %s\n", ckpt.c_str());
+    }
+  }
+  return pipeline;
+}
+
+int CmdTrain(const ArgParser& args) {
+  auto pipeline = BuildPipeline(args, /*load_checkpoint=*/false);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  Pipeline& p = **pipeline;
+  std::printf("model=%s params=%zu vocab=%d train_recipes=%zu\n",
+              p.model()->name().c_str(), p.model()->NumParams(),
+              p.tokenizer().vocab_size(), p.splits().train.size());
+  auto result = p.Train();
+  if (!result.ok()) return Fail(result.status());
+  std::printf("steps=%lld epochs=%d final_loss=%.3f val_loss=%.3f "
+              "seconds=%.1f tokens/s=%.0f%s%s\n",
+              result->steps, result->epochs_completed,
+              result->final_train_loss, p.ValidationLoss(),
+              result->seconds, result->tokens_per_second,
+              result->resumed ? " (resumed)" : "",
+              result->early_stopped ? " (early stop)" : "");
+  return 0;
+}
+
+int CmdGenerate(const ArgParser& args) {
+  std::vector<std::string> ingredients(args.positional().begin() + 1,
+                                       args.positional().end());
+  if (ingredients.empty()) {
+    ingredients = {"tomato", "onion", "garlic"};
+  }
+  auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  GenerationOptions gen;
+  auto max_tokens = args.GetInt("max-tokens", 200);
+  auto temperature = args.GetDouble("temperature", 0.8);
+  auto top_k = args.GetInt("top-k", 10);
+  auto beam = args.GetInt("beam", 0);
+  auto gen_seed = args.GetInt("gen-seed", 1);
+  if (!max_tokens.ok() || !temperature.ok() || !top_k.ok() || !beam.ok() ||
+      !gen_seed.ok()) {
+    return Usage();
+  }
+  gen.max_new_tokens = static_cast<int>(*max_tokens);
+  gen.sampling.temperature = static_cast<float>(*temperature);
+  gen.sampling.top_k = static_cast<int>(*top_k);
+  gen.beam_width = static_cast<int>(*beam);
+  gen.seed = static_cast<uint64_t>(*gen_seed);
+  auto out = (*pipeline)->GenerateFromIngredients(ingredients, gen);
+  if (!out.ok()) return Fail(out.status());
+  std::printf("%s\n", RecipeToJsonRecord(out->recipe).Dump().c_str());
+  std::fprintf(stderr, "generated %d tokens in %.2fs\n",
+               out->tokens_generated, out->seconds);
+  return 0;
+}
+
+int CmdEvaluate(const ArgParser& args) {
+  auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  Pipeline& p = **pipeline;
+  if (args.GetString("checkpoint").empty()) {
+    auto train = p.Train();
+    if (!train.ok()) return Fail(train.status());
+  }
+  auto samples = args.GetInt("samples", 10);
+  if (!samples.ok()) return Usage();
+  GenerationOptions gen;
+  gen.max_new_tokens = 220;
+  gen.sampling.greedy = true;
+  auto report = p.EvaluateOnTestSet(static_cast<int>(*samples), gen);
+  if (!report.ok()) return Fail(report.status());
+  std::printf(
+      "corpus_bleu=%.3f sentence_bleu=%.3f distinct2=%.3f novelty=%.2f "
+      "coverage=%.2f quantity_ok=%.2f validity=%.2f gen_seconds=%.3f\n",
+      report->corpus_bleu, report->mean_sentence_bleu, report->distinct2,
+      report->novelty_rate, report->mean_ingredient_coverage,
+      report->mean_quantity_wellformed, report->mean_structural_validity,
+      report->mean_generation_seconds);
+  return 0;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+int CmdServe(const ArgParser& args) {
+  auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  Pipeline& p = **pipeline;
+  if (args.GetString("checkpoint").empty()) {
+    std::printf("training backing model...\n");
+    auto train = p.Train();
+    if (!train.ok()) return Fail(train.status());
+  }
+  auto backend_port = args.GetInt("backend-port", 0);
+  auto frontend_port = args.GetInt("frontend-port", 0);
+  if (!backend_port.ok() || !frontend_port.ok()) return Usage();
+
+  BackendService backend(
+      [&p](const GenerateRequest& req) -> StatusOr<Recipe> {
+        GenerationOptions gen;
+        gen.max_new_tokens = req.max_tokens;
+        gen.sampling.temperature = static_cast<float>(req.temperature);
+        gen.sampling.top_k = req.top_k;
+        gen.seed = req.seed;
+        RT_ASSIGN_OR_RETURN(GeneratedRecipe out,
+                            p.GenerateFromIngredients(req.ingredients, gen));
+        return out.recipe;
+      });
+  Status s = backend.Start(static_cast<int>(*backend_port));
+  if (!s.ok()) return Fail(s);
+  FrontendService frontend(backend.port());
+  s = frontend.Start(static_cast<int>(*frontend_port));
+  if (!s.ok()) return Fail(s);
+  std::printf("backend  http://127.0.0.1:%d\nfrontend http://127.0.0.1:%d\n"
+              "Ctrl-C to stop\n",
+              backend.port(), frontend.port());
+  std::signal(SIGINT, OnSignal);
+  while (!g_stop) {
+    struct timespec ts{0, 200'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  frontend.Stop();
+  backend.Stop();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.positional().empty()) return Usage();
+  const std::string& command = args.positional()[0];
+  if (command == "gen-corpus") return CmdGenCorpus(args);
+  if (command == "preprocess") return CmdPreprocess(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "serve") return CmdServe(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rt
+
+int main(int argc, char** argv) { return rt::Main(argc, argv); }
