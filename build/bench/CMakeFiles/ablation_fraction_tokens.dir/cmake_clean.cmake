@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fraction_tokens.dir/ablation_fraction_tokens.cc.o"
+  "CMakeFiles/ablation_fraction_tokens.dir/ablation_fraction_tokens.cc.o.d"
+  "ablation_fraction_tokens"
+  "ablation_fraction_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fraction_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fraction_tokens.
+# This may be replaced when dependencies are built.

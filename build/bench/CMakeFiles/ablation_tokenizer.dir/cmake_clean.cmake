@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tokenizer.dir/ablation_tokenizer.cc.o"
+  "CMakeFiles/ablation_tokenizer.dir/ablation_tokenizer.cc.o.d"
+  "ablation_tokenizer"
+  "ablation_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_preprocessing.dir/fig2_preprocessing.cc.o"
+  "CMakeFiles/fig2_preprocessing.dir/fig2_preprocessing.cc.o.d"
+  "fig2_preprocessing"
+  "fig2_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_length_distribution.cc" "bench/CMakeFiles/fig3_length_distribution.dir/fig3_length_distribution.cc.o" "gcc" "bench/CMakeFiles/fig3_length_distribution.dir/fig3_length_distribution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/rt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rt_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/rt_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_generation_latency.dir/fig_generation_latency.cc.o"
+  "CMakeFiles/fig_generation_latency.dir/fig_generation_latency.cc.o.d"
+  "fig_generation_latency"
+  "fig_generation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_generation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

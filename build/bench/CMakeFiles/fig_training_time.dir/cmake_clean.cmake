@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_training_time.dir/fig_training_time.cc.o"
+  "CMakeFiles/fig_training_time.dir/fig_training_time.cc.o.d"
+  "fig_training_time"
+  "fig_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_webapp_roundtrip.dir/fig_webapp_roundtrip.cc.o"
+  "CMakeFiles/fig_webapp_roundtrip.dir/fig_webapp_roundtrip.cc.o.d"
+  "fig_webapp_roundtrip"
+  "fig_webapp_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_webapp_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_webapp_roundtrip.
+# This may be replaced when dependencies are built.

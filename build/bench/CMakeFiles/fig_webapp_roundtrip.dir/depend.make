@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_webapp_roundtrip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/rt_bench_util.dir/bench_util.cc.o.d"
+  "librt_bench_util.a"
+  "librt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bleu.dir/table1_bleu.cc.o"
+  "CMakeFiles/table1_bleu.dir/table1_bleu.cc.o.d"
+  "table1_bleu"
+  "table1_bleu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bleu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

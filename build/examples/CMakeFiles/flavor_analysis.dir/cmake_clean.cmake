@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flavor_analysis.dir/flavor_analysis.cpp.o"
+  "CMakeFiles/flavor_analysis.dir/flavor_analysis.cpp.o.d"
+  "flavor_analysis"
+  "flavor_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flavor_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

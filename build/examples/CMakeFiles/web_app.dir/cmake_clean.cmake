@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_app.dir/web_app.cpp.o"
+  "CMakeFiles/web_app.dir/web_app.cpp.o.d"
+  "web_app"
+  "web_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_core.dir/pipeline.cc.o"
+  "CMakeFiles/rt_core.dir/pipeline.cc.o.d"
+  "librt_core.a"
+  "librt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalog.cc" "src/data/CMakeFiles/rt_data.dir/catalog.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/catalog.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/rt_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/flavor.cc" "src/data/CMakeFiles/rt_data.dir/flavor.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/flavor.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/rt_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/data/CMakeFiles/rt_data.dir/preprocess.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/preprocess.cc.o.d"
+  "/root/repo/src/data/recipe.cc" "src/data/CMakeFiles/rt_data.dir/recipe.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/recipe.cc.o.d"
+  "/root/repo/src/data/recipe_io.cc" "src/data/CMakeFiles/rt_data.dir/recipe_io.cc.o" "gcc" "src/data/CMakeFiles/rt_data.dir/recipe_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

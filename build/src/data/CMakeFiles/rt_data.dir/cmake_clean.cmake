@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_data.dir/catalog.cc.o"
+  "CMakeFiles/rt_data.dir/catalog.cc.o.d"
+  "CMakeFiles/rt_data.dir/dataset.cc.o"
+  "CMakeFiles/rt_data.dir/dataset.cc.o.d"
+  "CMakeFiles/rt_data.dir/flavor.cc.o"
+  "CMakeFiles/rt_data.dir/flavor.cc.o.d"
+  "CMakeFiles/rt_data.dir/generator.cc.o"
+  "CMakeFiles/rt_data.dir/generator.cc.o.d"
+  "CMakeFiles/rt_data.dir/preprocess.cc.o"
+  "CMakeFiles/rt_data.dir/preprocess.cc.o.d"
+  "CMakeFiles/rt_data.dir/recipe.cc.o"
+  "CMakeFiles/rt_data.dir/recipe.cc.o.d"
+  "CMakeFiles/rt_data.dir/recipe_io.cc.o"
+  "CMakeFiles/rt_data.dir/recipe_io.cc.o.d"
+  "librt_data.a"
+  "librt_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

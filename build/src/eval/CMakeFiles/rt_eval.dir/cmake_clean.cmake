@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_eval.dir/bleu.cc.o"
+  "CMakeFiles/rt_eval.dir/bleu.cc.o.d"
+  "CMakeFiles/rt_eval.dir/metrics.cc.o"
+  "CMakeFiles/rt_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/rt_eval.dir/rouge.cc.o"
+  "CMakeFiles/rt_eval.dir/rouge.cc.o.d"
+  "librt_eval.a"
+  "librt_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gpt2_model.cc" "src/models/CMakeFiles/rt_models.dir/gpt2_model.cc.o" "gcc" "src/models/CMakeFiles/rt_models.dir/gpt2_model.cc.o.d"
+  "/root/repo/src/models/lstm_model.cc" "src/models/CMakeFiles/rt_models.dir/lstm_model.cc.o" "gcc" "src/models/CMakeFiles/rt_models.dir/lstm_model.cc.o.d"
+  "/root/repo/src/models/sampler.cc" "src/models/CMakeFiles/rt_models.dir/sampler.cc.o" "gcc" "src/models/CMakeFiles/rt_models.dir/sampler.cc.o.d"
+  "/root/repo/src/models/trainer.cc" "src/models/CMakeFiles/rt_models.dir/trainer.cc.o" "gcc" "src/models/CMakeFiles/rt_models.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rt_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

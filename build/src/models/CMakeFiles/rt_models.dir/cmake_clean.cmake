@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_models.dir/gpt2_model.cc.o"
+  "CMakeFiles/rt_models.dir/gpt2_model.cc.o.d"
+  "CMakeFiles/rt_models.dir/lstm_model.cc.o"
+  "CMakeFiles/rt_models.dir/lstm_model.cc.o.d"
+  "CMakeFiles/rt_models.dir/sampler.cc.o"
+  "CMakeFiles/rt_models.dir/sampler.cc.o.d"
+  "CMakeFiles/rt_models.dir/trainer.cc.o"
+  "CMakeFiles/rt_models.dir/trainer.cc.o.d"
+  "librt_models.a"
+  "librt_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

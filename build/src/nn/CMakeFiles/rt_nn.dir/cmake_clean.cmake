@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/rt_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/rt_nn.dir/layers.cc.o"
+  "CMakeFiles/rt_nn.dir/layers.cc.o.d"
+  "CMakeFiles/rt_nn.dir/module.cc.o"
+  "CMakeFiles/rt_nn.dir/module.cc.o.d"
+  "CMakeFiles/rt_nn.dir/optimizer.cc.o"
+  "CMakeFiles/rt_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/rt_nn.dir/schedule.cc.o"
+  "CMakeFiles/rt_nn.dir/schedule.cc.o.d"
+  "librt_nn.a"
+  "librt_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/backend_service.cc" "src/serve/CMakeFiles/rt_serve.dir/backend_service.cc.o" "gcc" "src/serve/CMakeFiles/rt_serve.dir/backend_service.cc.o.d"
+  "/root/repo/src/serve/frontend_service.cc" "src/serve/CMakeFiles/rt_serve.dir/frontend_service.cc.o" "gcc" "src/serve/CMakeFiles/rt_serve.dir/frontend_service.cc.o.d"
+  "/root/repo/src/serve/http.cc" "src/serve/CMakeFiles/rt_serve.dir/http.cc.o" "gcc" "src/serve/CMakeFiles/rt_serve.dir/http.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_serve.dir/backend_service.cc.o"
+  "CMakeFiles/rt_serve.dir/backend_service.cc.o.d"
+  "CMakeFiles/rt_serve.dir/frontend_service.cc.o"
+  "CMakeFiles/rt_serve.dir/frontend_service.cc.o.d"
+  "CMakeFiles/rt_serve.dir/http.cc.o"
+  "CMakeFiles/rt_serve.dir/http.cc.o.d"
+  "librt_serve.a"
+  "librt_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_sim.dir/device_model.cc.o"
+  "CMakeFiles/rt_sim.dir/device_model.cc.o.d"
+  "librt_sim.a"
+  "librt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_tensor.dir/ops.cc.o"
+  "CMakeFiles/rt_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/rt_tensor.dir/tape.cc.o"
+  "CMakeFiles/rt_tensor.dir/tape.cc.o.d"
+  "CMakeFiles/rt_tensor.dir/tensor.cc.o"
+  "CMakeFiles/rt_tensor.dir/tensor.cc.o.d"
+  "librt_tensor.a"
+  "librt_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

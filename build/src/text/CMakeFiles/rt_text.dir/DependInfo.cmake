@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bpe_tokenizer.cc" "src/text/CMakeFiles/rt_text.dir/bpe_tokenizer.cc.o" "gcc" "src/text/CMakeFiles/rt_text.dir/bpe_tokenizer.cc.o.d"
+  "/root/repo/src/text/char_tokenizer.cc" "src/text/CMakeFiles/rt_text.dir/char_tokenizer.cc.o" "gcc" "src/text/CMakeFiles/rt_text.dir/char_tokenizer.cc.o.d"
+  "/root/repo/src/text/special_tokens.cc" "src/text/CMakeFiles/rt_text.dir/special_tokens.cc.o" "gcc" "src/text/CMakeFiles/rt_text.dir/special_tokens.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/rt_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/rt_text.dir/vocab.cc.o.d"
+  "/root/repo/src/text/word_tokenizer.cc" "src/text/CMakeFiles/rt_text.dir/word_tokenizer.cc.o" "gcc" "src/text/CMakeFiles/rt_text.dir/word_tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

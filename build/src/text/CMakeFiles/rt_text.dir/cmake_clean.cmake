@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_text.dir/bpe_tokenizer.cc.o"
+  "CMakeFiles/rt_text.dir/bpe_tokenizer.cc.o.d"
+  "CMakeFiles/rt_text.dir/char_tokenizer.cc.o"
+  "CMakeFiles/rt_text.dir/char_tokenizer.cc.o.d"
+  "CMakeFiles/rt_text.dir/special_tokens.cc.o"
+  "CMakeFiles/rt_text.dir/special_tokens.cc.o.d"
+  "CMakeFiles/rt_text.dir/vocab.cc.o"
+  "CMakeFiles/rt_text.dir/vocab.cc.o.d"
+  "CMakeFiles/rt_text.dir/word_tokenizer.cc.o"
+  "CMakeFiles/rt_text.dir/word_tokenizer.cc.o.d"
+  "librt_text.a"
+  "librt_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_util.dir/flags.cc.o"
+  "CMakeFiles/rt_util.dir/flags.cc.o.d"
+  "CMakeFiles/rt_util.dir/json.cc.o"
+  "CMakeFiles/rt_util.dir/json.cc.o.d"
+  "CMakeFiles/rt_util.dir/logging.cc.o"
+  "CMakeFiles/rt_util.dir/logging.cc.o.d"
+  "CMakeFiles/rt_util.dir/rng.cc.o"
+  "CMakeFiles/rt_util.dir/rng.cc.o.d"
+  "CMakeFiles/rt_util.dir/status.cc.o"
+  "CMakeFiles/rt_util.dir/status.cc.o.d"
+  "CMakeFiles/rt_util.dir/strings.cc.o"
+  "CMakeFiles/rt_util.dir/strings.cc.o.d"
+  "CMakeFiles/rt_util.dir/table.cc.o"
+  "CMakeFiles/rt_util.dir/table.cc.o.d"
+  "librt_util.a"
+  "librt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

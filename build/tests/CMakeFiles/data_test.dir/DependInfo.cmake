@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/catalog_test.cc" "tests/CMakeFiles/data_test.dir/data/catalog_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/catalog_test.cc.o.d"
+  "/root/repo/tests/data/dataset_test.cc" "tests/CMakeFiles/data_test.dir/data/dataset_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/dataset_test.cc.o.d"
+  "/root/repo/tests/data/flavor_test.cc" "tests/CMakeFiles/data_test.dir/data/flavor_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/flavor_test.cc.o.d"
+  "/root/repo/tests/data/generator_property_test.cc" "tests/CMakeFiles/data_test.dir/data/generator_property_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/generator_property_test.cc.o.d"
+  "/root/repo/tests/data/generator_test.cc" "tests/CMakeFiles/data_test.dir/data/generator_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/generator_test.cc.o.d"
+  "/root/repo/tests/data/preprocess_property_test.cc" "tests/CMakeFiles/data_test.dir/data/preprocess_property_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/preprocess_property_test.cc.o.d"
+  "/root/repo/tests/data/preprocess_test.cc" "tests/CMakeFiles/data_test.dir/data/preprocess_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/preprocess_test.cc.o.d"
+  "/root/repo/tests/data/recipe_io_test.cc" "tests/CMakeFiles/data_test.dir/data/recipe_io_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/recipe_io_test.cc.o.d"
+  "/root/repo/tests/data/recipe_test.cc" "tests/CMakeFiles/data_test.dir/data/recipe_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/recipe_test.cc.o.d"
+  "/root/repo/tests/data/window_test.cc" "tests/CMakeFiles/data_test.dir/data/window_test.cc.o" "gcc" "tests/CMakeFiles/data_test.dir/data/window_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_test.dir/data/catalog_test.cc.o"
+  "CMakeFiles/data_test.dir/data/catalog_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/dataset_test.cc.o"
+  "CMakeFiles/data_test.dir/data/dataset_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/flavor_test.cc.o"
+  "CMakeFiles/data_test.dir/data/flavor_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/generator_property_test.cc.o"
+  "CMakeFiles/data_test.dir/data/generator_property_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/generator_test.cc.o"
+  "CMakeFiles/data_test.dir/data/generator_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/preprocess_property_test.cc.o"
+  "CMakeFiles/data_test.dir/data/preprocess_property_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/preprocess_test.cc.o"
+  "CMakeFiles/data_test.dir/data/preprocess_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/recipe_io_test.cc.o"
+  "CMakeFiles/data_test.dir/data/recipe_io_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/recipe_test.cc.o"
+  "CMakeFiles/data_test.dir/data/recipe_test.cc.o.d"
+  "CMakeFiles/data_test.dir/data/window_test.cc.o"
+  "CMakeFiles/data_test.dir/data/window_test.cc.o.d"
+  "data_test"
+  "data_test.pdb"
+  "data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

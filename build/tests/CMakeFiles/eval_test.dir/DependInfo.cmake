@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/bleu_property_test.cc" "tests/CMakeFiles/eval_test.dir/eval/bleu_property_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/bleu_property_test.cc.o.d"
+  "/root/repo/tests/eval/bleu_test.cc" "tests/CMakeFiles/eval_test.dir/eval/bleu_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/bleu_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/eval_test.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/rouge_test.cc" "tests/CMakeFiles/eval_test.dir/eval/rouge_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/rouge_test.cc.o.d"
+  "/root/repo/tests/eval/validity_test.cc" "tests/CMakeFiles/eval_test.dir/eval/validity_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/validity_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/rt_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serve/http_robustness_test.cc" "tests/CMakeFiles/serve_test.dir/serve/http_robustness_test.cc.o" "gcc" "tests/CMakeFiles/serve_test.dir/serve/http_robustness_test.cc.o.d"
+  "/root/repo/tests/serve/http_test.cc" "tests/CMakeFiles/serve_test.dir/serve/http_test.cc.o" "gcc" "tests/CMakeFiles/serve_test.dir/serve/http_test.cc.o.d"
+  "/root/repo/tests/serve/json_test.cc" "tests/CMakeFiles/serve_test.dir/serve/json_test.cc.o" "gcc" "tests/CMakeFiles/serve_test.dir/serve/json_test.cc.o.d"
+  "/root/repo/tests/serve/metrics_endpoint_test.cc" "tests/CMakeFiles/serve_test.dir/serve/metrics_endpoint_test.cc.o" "gcc" "tests/CMakeFiles/serve_test.dir/serve/metrics_endpoint_test.cc.o.d"
+  "/root/repo/tests/serve/services_test.cc" "tests/CMakeFiles/serve_test.dir/serve/services_test.cc.o" "gcc" "tests/CMakeFiles/serve_test.dir/serve/services_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/serve/CMakeFiles/rt_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/gradcheck_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/gradcheck_test.cc.o.d"
+  "/root/repo/tests/tensor/ops_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/ops_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/ops_test.cc.o.d"
+  "/root/repo/tests/tensor/stability_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/stability_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/stability_test.cc.o.d"
+  "/root/repo/tests/tensor/tape_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/tape_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/tape_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/tensor_test.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/tensor_test.dir/tensor/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/rt_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/bpe_serialization_test.cc" "tests/CMakeFiles/text_test.dir/text/bpe_serialization_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/bpe_serialization_test.cc.o.d"
+  "/root/repo/tests/text/special_tokens_test.cc" "tests/CMakeFiles/text_test.dir/text/special_tokens_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/special_tokens_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_fuzz_test.cc" "tests/CMakeFiles/text_test.dir/text/tokenizer_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tokenizer_fuzz_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_property_test.cc" "tests/CMakeFiles/text_test.dir/text/tokenizer_property_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tokenizer_property_test.cc.o.d"
+  "/root/repo/tests/text/tokenizer_test.cc" "tests/CMakeFiles/text_test.dir/text/tokenizer_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "/root/repo/tests/text/vocab_test.cc" "tests/CMakeFiles/text_test.dir/text/vocab_test.cc.o" "gcc" "tests/CMakeFiles/text_test.dir/text/vocab_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/rt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/rt_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

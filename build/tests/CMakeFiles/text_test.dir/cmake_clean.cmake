@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/bpe_serialization_test.cc.o"
+  "CMakeFiles/text_test.dir/text/bpe_serialization_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/special_tokens_test.cc.o"
+  "CMakeFiles/text_test.dir/text/special_tokens_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_fuzz_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_fuzz_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_property_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_property_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/vocab_test.cc.o"
+  "CMakeFiles/text_test.dir/text/vocab_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+  "text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ratatouille_cli.dir/ratatouille_cli.cc.o"
+  "CMakeFiles/ratatouille_cli.dir/ratatouille_cli.cc.o.d"
+  "ratatouille_cli"
+  "ratatouille_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ratatouille_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
