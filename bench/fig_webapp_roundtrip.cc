@@ -2,16 +2,82 @@
 // path. A user's ingredient list enters the decoupled frontend, is
 // proxied to the model backend, and a structured recipe (title,
 // quantified ingredients, instructions) returns. Measures end-to-end
-// round-trip latency and sequential throughput through both tiers.
+// round-trip latency and sequential throughput through both tiers, then
+// sweeps the concurrent serving core: a single-threaded baseline
+// (1 worker, 1 model session) versus the pooled configuration
+// (4 workers, 2 sessions) under 8 keep-alive client threads.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/timer.h"
+
+namespace {
+
+struct SweepResult {
+  int requests = 0;
+  int ok = 0;
+  double wall = 0.0;
+  long served = 0;
+  bool metrics_consistent = false;
+};
+
+// Hammers a backend configuration with `threads` keep-alive clients,
+// `per_thread` requests each, directly against POST /v1/generate.
+SweepResult RunConcurrentSweep(rt::Pipeline* p, int workers, int sessions,
+                               int threads, int per_thread) {
+  SweepResult result;
+  rt::BackendOptions options;
+  options.model_sessions = sessions;
+  options.http.num_workers = workers;
+  options.http.max_queue = 256;
+  std::vector<std::unique_ptr<rt::LanguageModel>> session_models;
+  rt::BackendService backend(
+      rt::MakePipelineSessionFactory(p, &session_models), options);
+  if (!backend.Start(0).ok()) return result;
+
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  rt::Timer total;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      rt::HttpClient client(backend.port());
+      for (int i = 0; i < per_thread; ++i) {
+        const std::string body =
+            R"({"ingredients":["tomato","onion"],"max_tokens":24,"seed":)" +
+            std::to_string(t * per_thread + i + 1) + "}";
+        auto resp = client.Post("/v1/generate", body);
+        if (resp.ok() && resp->status == 200) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  result.wall = total.ElapsedSeconds();
+  result.requests = threads * per_thread;
+  result.ok = ok_count.load();
+  result.served = backend.requests_served();
+
+  // /v1/metrics must agree with what the clients observed.
+  auto metrics = rt::HttpGet(backend.port(), "/v1/metrics");
+  if (metrics.ok() && metrics->status == 200) {
+    auto parsed = rt::Json::Parse(metrics->body);
+    result.metrics_consistent =
+        parsed.ok() && parsed->Get("generate_ok").is_number() &&
+        static_cast<int>(parsed->Get("generate_ok").AsNumber()) == result.ok;
+  }
+  backend.Stop();
+  return result;
+}
+
+}  // namespace
 
 int main() {
   // Train a small word-LSTM backend (fast, structurally coherent).
@@ -28,17 +94,10 @@ int main() {
   }
   rt::Pipeline& p = **pipeline;
 
+  std::vector<std::unique_ptr<rt::LanguageModel>> session_models;
   rt::BackendService backend(
-      [&p](const rt::GenerateRequest& req) -> rt::StatusOr<rt::Recipe> {
-        rt::GenerationOptions gen;
-        gen.max_new_tokens = req.max_tokens;
-        gen.sampling.temperature = static_cast<float>(req.temperature);
-        gen.sampling.top_k = req.top_k;
-        gen.seed = req.seed;
-        RT_ASSIGN_OR_RETURN(rt::GeneratedRecipe out,
-                            p.GenerateFromIngredients(req.ingredients, gen));
-        return out.recipe;
-      });
+      rt::MakePipelineSessionFactory(&p, &session_models),
+      rt::BackendOptions{});
   if (!backend.Start(0).ok()) {
     std::fprintf(stderr, "backend start failed\n");
     return 1;
@@ -57,7 +116,7 @@ int main() {
   std::printf("FIG. 4 - frontend serves the ingredient-picker page: %s\n",
               page_ok ? "yes" : "NO");
 
-  // Generation round trips (Fig. 5).
+  // Generation round trips (Fig. 5), sequentially through both tiers.
   const std::vector<std::string> bodies{
       R"({"ingredients":["tomato","onion","garlic"],"max_tokens":90,"seed":1})",
       R"({"ingredients":["chicken","rice","cumin"],"max_tokens":90,"seed":2})",
@@ -71,7 +130,7 @@ int main() {
   for (int r = 0; r < reps; ++r) {
     for (const auto& body : bodies) {
       rt::Timer timer;
-      auto resp = rt::HttpPost(frontend.port(), "/api/generate", body);
+      auto resp = rt::HttpPost(frontend.port(), "/v1/generate", body);
       latencies.push_back(timer.ElapsedSeconds());
       if (resp.ok() && resp->status == 200) {
         ++ok_count;
@@ -102,15 +161,55 @@ int main() {
   frontend.Stop();
   backend.Stop();
 
+  // Concurrent serving sweep: single-threaded baseline vs the pooled
+  // configuration, 8 keep-alive clients each.
+  const int threads = 8;
+  const int per_thread = rt::bench::Scaled(8, 3);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("\nConcurrent sweep (%d clients x %d requests, %u cores):\n",
+              threads, per_thread, cores);
+  SweepResult base = RunConcurrentSweep(&p, 1, 1, threads, per_thread);
+  SweepResult pooled = RunConcurrentSweep(&p, 4, 2, threads, per_thread);
+  const double base_tput = base.wall > 0 ? base.requests / base.wall : 0;
+  const double pooled_tput =
+      pooled.wall > 0 ? pooled.requests / pooled.wall : 0;
+  const double speedup = base_tput > 0 ? pooled_tput / base_tput : 0;
+  rt::TextTable sweep({"config", "ok/total", "throughput", "served"});
+  sweep.AddRow({"1 worker, 1 session",
+                std::to_string(base.ok) + "/" + std::to_string(base.requests),
+                rt::FormatDouble(base_tput, 1) + " req/s",
+                std::to_string(base.served)});
+  sweep.AddRow({"4 workers, 2 sessions",
+                std::to_string(pooled.ok) + "/" +
+                    std::to_string(pooled.requests),
+                rt::FormatDouble(pooled_tput, 1) + " req/s",
+                std::to_string(pooled.served)});
+  std::printf("%s", sweep.Render().c_str());
+  std::printf("speedup: %.2fx\n", speedup);
+
   // Shape: all requests succeed through the proxy; the backend tier saw
-  // them (true decoupling); responses parse as structured recipes.
+  // them (true decoupling); responses parse as structured recipes; the
+  // concurrent sweep drops nothing and /v1/metrics agrees with the
+  // clients. The >= 2x pooled speedup is only physically meaningful with
+  // enough cores to run workers in parallel, so it is gated on that.
   auto parsed = rt::Json::Parse(sample_body);
-  const bool structured = parsed.ok() && parsed->Get("title").is_string() &&
-                          parsed->Get("instructions").is_array();
+  const bool structured =
+      parsed.ok() && parsed->Get("recipe").Get("title").is_string() &&
+      parsed->Get("recipe").Get("instructions").is_array();
+  const bool sweep_ok =
+      base.ok == base.requests && pooled.ok == pooled.requests &&
+      base.served >= base.requests && pooled.served >= pooled.requests &&
+      base.metrics_consistent && pooled.metrics_consistent;
+  const bool speedup_ok = cores < 4 || speedup >= 2.0;
+  if (cores < 4) {
+    std::printf("speedup gate skipped: %u cores (< 4) cannot run the "
+                "worker pool in parallel\n", cores);
+  }
   const bool shape_ok = page_ok && ok_count == requests &&
-                        backend.requests_served() >= requests && structured;
+                        backend.requests_served() >= requests && structured &&
+                        sweep_ok && speedup_ok;
   std::printf("shape check: UI page + 100%% proxied success + structured "
-              "recipe JSON ... %s\n",
+              "recipe JSON + lossless concurrent sweep ... %s\n",
               shape_ok ? "HOLDS" : "VIOLATED");
   return shape_ok ? 0 : 2;
 }

@@ -1,11 +1,11 @@
 // The paper's web application (Sec. VI, Figs. 4-5): a decoupled two-tier
 // microservice stack. The backend wraps a trained model behind
-// POST /api/generate; the frontend serves the page and reverse-proxies
+// POST /v1/generate; the frontend serves the page and reverse-proxies
 // API calls, exactly mirroring the Flask + ReactJS split.
 //
 //   ./build/examples/web_app [backend_port frontend_port]
 //
-// Then: curl -s localhost:<frontend>/api/generate \
+// Then: curl -s localhost:<frontend>/v1/generate \
 //         -d '{"ingredients":["tomato","basil"]}'
 // Pass 0 0 (default) for ephemeral ports. The demo issues a self-request
 // and exits; give explicit ports to keep it serving until Ctrl-C.
@@ -13,6 +13,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <vector>
 
 #include "core/ratatouille.h"
 
@@ -42,18 +44,15 @@ int main(int argc, char** argv) {
   }
   rt::Pipeline& p = **pipeline;
 
-  // Backend tier: model inference behind REST.
+  // Backend tier: model inference behind REST. Two generation sessions
+  // (the trained model plus one deep copy) serve requests in parallel
+  // from the HTTP worker pool.
+  rt::BackendOptions backend_options;
+  backend_options.model_sessions = 2;
+  backend_options.models = {"word-lstm"};
+  std::vector<std::unique_ptr<rt::LanguageModel>> session_models;
   rt::BackendService backend(
-      [&p](const rt::GenerateRequest& req) -> rt::StatusOr<rt::Recipe> {
-        rt::GenerationOptions gen;
-        gen.max_new_tokens = req.max_tokens;
-        gen.sampling.temperature = static_cast<float>(req.temperature);
-        gen.sampling.top_k = req.top_k;
-        gen.seed = req.seed;
-        RT_ASSIGN_OR_RETURN(rt::GeneratedRecipe out,
-                            p.GenerateFromIngredients(req.ingredients, gen));
-        return out.recipe;
-      });
+      rt::MakePipelineSessionFactory(&p, &session_models), backend_options);
   if (auto s = backend.Start(backend_port); !s.ok()) {
     std::fprintf(stderr, "backend: %s\n", s.ToString().c_str());
     return 1;
@@ -65,10 +64,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "frontend: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("backend  : http://127.0.0.1:%d  (POST /api/generate)\n",
+  std::printf("backend  : http://127.0.0.1:%d  (POST /v1/generate)\n",
               backend.port());
-  std::printf("frontend : http://127.0.0.1:%d  (GET /)\n",
-              frontend.port());
+  std::printf("frontend : http://127.0.0.1:%d  (GET /)\n", frontend.port());
+  std::printf("workers=%d sessions=%d\n", backend.server().num_workers(),
+              backend.model_sessions());
 
   if (serve_forever) {
     std::signal(SIGINT, OnSignal);
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     }
   } else {
     // Demo round trip through the full stack.
-    auto resp = rt::HttpPost(frontend.port(), "/api/generate",
+    auto resp = rt::HttpPost(frontend.port(), "/v1/generate",
                              R"({"ingredients":["tomato","basil"],)"
                              R"("max_tokens":120,"seed":7})");
     if (resp.ok()) {

@@ -241,6 +241,24 @@ std::string Pipeline::PreparePrompt(const std::string& prompt_text) const {
 StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredients(
     const std::vector<std::string>& ingredients,
     const GenerationOptions& options) {
+  return GenerateFromIngredientsWith(model_.get(), ingredients, options);
+}
+
+StatusOr<std::unique_ptr<LanguageModel>> Pipeline::CloneModel() {
+  std::unique_ptr<LanguageModel> copy = model_->Clone();
+  if (copy == nullptr) {
+    return Status::Unimplemented("model '" + model_->name() +
+                                 "' does not support Clone()");
+  }
+  return copy;
+}
+
+StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredientsWith(
+    LanguageModel* model, const std::vector<std::string>& ingredients,
+    const GenerationOptions& options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model is null");
+  }
   if (ingredients.empty()) {
     return Status::InvalidArgument("ingredient list is empty");
   }
@@ -254,7 +272,7 @@ StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredients(
   if (opts.stop_token < 0) opts.stop_token = stop_token_;
 
   Timer timer;
-  std::vector<int> generated = model_->GenerateIds(prompt_ids, opts);
+  std::vector<int> generated = model->GenerateIds(prompt_ids, opts);
   GeneratedRecipe out;
   out.seconds = timer.ElapsedSeconds();
   out.tokens_generated = static_cast<int>(generated.size());
@@ -323,6 +341,46 @@ StatusOr<BleuReport> Pipeline::EvaluateOnTestSet(int num_samples,
   report.mean_quantity_wellformed = quantity_sum / n;
   report.mean_structural_validity = validity_sum / n;
   return report;
+}
+
+GenerationOptions ToGenerationOptions(const GenerateRequest& request) {
+  GenerationOptions gen;
+  gen.max_new_tokens = request.max_tokens;
+  gen.sampling.temperature = static_cast<float>(request.temperature);
+  gen.sampling.top_k = request.top_k;
+  gen.sampling.top_p = static_cast<float>(request.top_p);
+  gen.sampling.greedy = request.greedy;
+  gen.beam_width = request.beam_width;
+  gen.seed = request.seed;
+  return gen;
+}
+
+BackendService::SessionFactory MakePipelineSessionFactory(
+    Pipeline* pipeline,
+    std::vector<std::unique_ptr<LanguageModel>>* session_models) {
+  return [pipeline, session_models](int session_index)
+             -> BackendService::GenerateFn {
+    LanguageModel* model = pipeline->model();
+    if (session_index > 0) {
+      auto clone = pipeline->CloneModel();
+      if (!clone.ok()) {
+        const Status status = clone.status();
+        return [status](const GenerateRequest&) -> StatusOr<Recipe> {
+          return status;
+        };
+      }
+      session_models->push_back(std::move(*clone));
+      model = session_models->back().get();
+    }
+    return [pipeline, model](const GenerateRequest& req)
+               -> StatusOr<Recipe> {
+      RT_ASSIGN_OR_RETURN(GeneratedRecipe out,
+                          pipeline->GenerateFromIngredientsWith(
+                              model, req.ingredients,
+                              ToGenerationOptions(req)));
+      return out.recipe;
+    };
+  };
 }
 
 }  // namespace rt

@@ -10,6 +10,7 @@
 #include "data/preprocess.h"
 #include "models/language_model.h"
 #include "models/trainer.h"
+#include "serve/backend_service.h"
 #include "text/tokenizer.h"
 
 namespace rt {
@@ -92,6 +93,18 @@ class Pipeline {
       const std::vector<std::string>& ingredients,
       const GenerationOptions& options);
 
+  /// Same, but decodes with `model` instead of the pipeline's own
+  /// instance. The tokenizer and prompt preparation are shared (both
+  /// immutable after Create()), so independent model instances — see
+  /// CloneModel() — can generate concurrently from different threads.
+  StatusOr<GeneratedRecipe> GenerateFromIngredientsWith(
+      LanguageModel* model, const std::vector<std::string>& ingredients,
+      const GenerationOptions& options);
+
+  /// Deep-copies the trained model for an additional generation session
+  /// (serving concurrency). Fails for model kinds without Clone().
+  StatusOr<std::unique_ptr<LanguageModel>> CloneModel();
+
   /// Generates continuations for `num_samples` held-out test recipes and
   /// scores them against the references (corpus BLEU, diversity, novelty,
   /// coverage, quantity well-formedness).
@@ -140,6 +153,19 @@ class Pipeline {
 /// Creates a bare model of `kind` for a given vocabulary size (used by
 /// benchmarks that manage their own data).
 std::unique_ptr<LanguageModel> CreateModel(ModelKind kind, int vocab_size);
+
+/// Maps a parsed /v1/generate request onto decoding options — the
+/// serving glue shared by the CLI, the web-app example and the
+/// benchmarks.
+GenerationOptions ToGenerationOptions(const GenerateRequest& request);
+
+/// Builds a BackendService session factory over `pipeline`: session 0
+/// decodes with the pipeline's own trained model, later sessions with
+/// deep copies (Pipeline::CloneModel()). `session_models` receives
+/// ownership of the clones and must outlive the BackendService.
+BackendService::SessionFactory MakePipelineSessionFactory(
+    Pipeline* pipeline,
+    std::vector<std::unique_ptr<LanguageModel>>* session_models);
 
 }  // namespace rt
 

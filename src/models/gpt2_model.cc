@@ -303,4 +303,11 @@ std::vector<int> Gpt2Lm::GenerateIds(const std::vector<int>& prompt,
   return out;
 }
 
+std::unique_ptr<LanguageModel> Gpt2Lm::Clone() {
+  auto copy = std::make_unique<Gpt2Lm>(config_);
+  copy->use_kv_cache_ = use_kv_cache_;
+  if (!CopyParameters(root_, copy->root_).ok()) return nullptr;
+  return copy;
+}
+
 }  // namespace rt

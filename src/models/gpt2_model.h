@@ -53,6 +53,7 @@ class Gpt2Lm : public LanguageModel {
   float EvalLoss(const Batch& batch) override;
   std::vector<int> GenerateIds(const std::vector<int>& prompt,
                                const GenerationOptions& options) override;
+  std::unique_ptr<LanguageModel> Clone() override;
 
   /// Toggles the KV-cache fast path for GenerateIds (default on). The
   /// naive path re-encodes the whole sequence per new token.

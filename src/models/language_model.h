@@ -1,6 +1,7 @@
 #ifndef RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
 #define RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,12 @@ class LanguageModel {
   /// generated ids.
   virtual std::vector<int> GenerateIds(const std::vector<int>& prompt,
                                        const GenerationOptions& options) = 0;
+
+  /// Deep-copies the model (configuration + current weights) into an
+  /// independent instance, so concurrent serving sessions can generate
+  /// in parallel while each instance stays single-threaded. Returns
+  /// nullptr when the model kind does not support cloning.
+  virtual std::unique_ptr<LanguageModel> Clone() { return nullptr; }
 
   /// Vocabulary size the model was built for.
   virtual int vocab_size() const = 0;

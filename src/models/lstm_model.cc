@@ -92,4 +92,10 @@ std::vector<int> LstmLm::GenerateIds(const std::vector<int>& prompt,
   return out;
 }
 
+std::unique_ptr<LanguageModel> LstmLm::Clone() {
+  auto copy = std::make_unique<LstmLm>(config_);
+  if (!CopyParameters(root_, copy->root_).ok()) return nullptr;
+  return copy;
+}
+
 }  // namespace rt

@@ -38,6 +38,7 @@ class LstmLm : public LanguageModel {
   float EvalLoss(const Batch& batch) override;
   std::vector<int> GenerateIds(const std::vector<int>& prompt,
                                const GenerationOptions& options) override;
+  std::unique_ptr<LanguageModel> Clone() override;
 
   const LstmConfig& config() const { return config_; }
 

@@ -48,4 +48,23 @@ void Module::RegisterModule(std::string name, Module* child) {
   children_.emplace_back(std::move(name), child);
 }
 
+Status CopyParameters(Module& from, Module& to) {
+  auto src = from.NamedParameters();
+  auto dst = to.NamedParameters();
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument(
+        "parameter trees differ in size: " + std::to_string(src.size()) +
+        " vs " + std::to_string(dst.size()));
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i].first != dst[i].first ||
+        src[i].second->value.shape() != dst[i].second->value.shape()) {
+      return Status::InvalidArgument("parameter mismatch at '" +
+                                     src[i].first + "'");
+    }
+    dst[i].second->value = src[i].second->value;
+  }
+  return Status::OK();
+}
+
 }  // namespace rt

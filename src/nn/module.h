@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace rt {
 
@@ -63,6 +64,11 @@ class Module {
   std::vector<std::unique_ptr<Parameter>> params_;
   std::vector<std::pair<std::string, Module*>> children_;
 };
+
+/// Copies every parameter value of `from` into `to`. The two trees must
+/// be structurally identical (same registration order, names, shapes) —
+/// the backbone of LanguageModel::Clone(). Gradients are not copied.
+Status CopyParameters(Module& from, Module& to);
 
 }  // namespace rt
 

@@ -5,44 +5,138 @@
 #include "util/timer.h"
 
 namespace rt {
+namespace {
 
-StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body) {
-  RT_ASSIGN_OR_RETURN(Json doc, Json::Parse(body));
+/// Fails with (code, message) by writing the code through and returning
+/// InvalidArgument, so both the envelope and the Status carry context.
+Status ValidationError(std::string* error_code, const std::string& code,
+                       const std::string& message) {
+  if (error_code != nullptr) *error_code = code;
+  return Status::InvalidArgument(message);
+}
+
+const std::array<double, LatencyHistogram::kNumBuckets - 1> kLatencyBounds =
+    {0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+     0.1,   0.2,   0.5,   1.0,  2.0,  5.0};
+
+}  // namespace
+
+StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
+                                               std::string* error_code) {
+  auto doc_or = Json::Parse(body);
+  if (!doc_or.ok()) {
+    return ValidationError(error_code, "invalid_json",
+                           "body is not valid JSON: " +
+                               doc_or.status().message());
+  }
+  const Json& doc = *doc_or;
   if (!doc.is_object()) {
-    return Status::InvalidArgument("request must be a JSON object");
+    return ValidationError(error_code, "invalid_request",
+                           "request must be a JSON object");
+  }
+  static const std::vector<std::string> kKnownFields = {
+      "ingredients", "max_tokens", "temperature", "top_k", "top_p",
+      "greedy",      "beam_width", "seed",        "model"};
+  for (const auto& [key, value] : doc.AsObject()) {
+    if (std::find(kKnownFields.begin(), kKnownFields.end(), key) ==
+        kKnownFields.end()) {
+      return ValidationError(error_code, "unknown_field",
+                             "unknown field '" + key + "'");
+    }
   }
   GenerateRequest req;
   const Json& ingredients = doc.Get("ingredients");
   if (!ingredients.is_array() || ingredients.AsArray().empty()) {
-    return Status::InvalidArgument(
-        "'ingredients' must be a non-empty array");
+    return ValidationError(error_code, "missing_ingredients",
+                           "'ingredients' must be a non-empty array");
   }
   for (const Json& item : ingredients.AsArray()) {
     if (!item.is_string()) {
-      return Status::InvalidArgument("ingredients must be strings");
+      return ValidationError(error_code, "bad_ingredients",
+                             "ingredients must be strings");
     }
     req.ingredients.push_back(item.AsString());
   }
-  if (doc.Get("max_tokens").is_number()) {
+  if (!doc.Get("max_tokens").is_null()) {
+    if (!doc.Get("max_tokens").is_number()) {
+      return ValidationError(error_code, "bad_max_tokens",
+                             "'max_tokens' must be a number");
+    }
     req.max_tokens = static_cast<int>(doc.Get("max_tokens").AsNumber());
     if (req.max_tokens <= 0 || req.max_tokens > 4096) {
-      return Status::InvalidArgument("max_tokens out of range");
+      return ValidationError(error_code, "bad_max_tokens",
+                             "max_tokens out of range (1..4096)");
     }
   }
-  if (doc.Get("temperature").is_number()) {
+  if (!doc.Get("temperature").is_null()) {
+    if (!doc.Get("temperature").is_number()) {
+      return ValidationError(error_code, "bad_temperature",
+                             "'temperature' must be a number");
+    }
     req.temperature = doc.Get("temperature").AsNumber();
     if (req.temperature <= 0.0 || req.temperature > 10.0) {
-      return Status::InvalidArgument("temperature out of range");
+      return ValidationError(error_code, "bad_temperature",
+                             "temperature out of range (0..10]");
     }
   }
-  if (doc.Get("top_k").is_number()) {
+  if (!doc.Get("top_k").is_null()) {
+    if (!doc.Get("top_k").is_number()) {
+      return ValidationError(error_code, "bad_top_k",
+                             "'top_k' must be a number");
+    }
     req.top_k = static_cast<int>(doc.Get("top_k").AsNumber());
-    if (req.top_k < 0) return Status::InvalidArgument("top_k negative");
+    if (req.top_k < 0) {
+      return ValidationError(error_code, "bad_top_k", "top_k negative");
+    }
   }
-  if (doc.Get("seed").is_number()) {
+  if (!doc.Get("top_p").is_null()) {
+    if (!doc.Get("top_p").is_number()) {
+      return ValidationError(error_code, "bad_top_p",
+                             "'top_p' must be a number");
+    }
+    req.top_p = doc.Get("top_p").AsNumber();
+    if (req.top_p < 0.0 || req.top_p > 1.0) {
+      return ValidationError(error_code, "bad_top_p",
+                             "top_p out of range [0..1]");
+    }
+  }
+  if (!doc.Get("greedy").is_null()) {
+    if (!doc.Get("greedy").is_bool()) {
+      return ValidationError(error_code, "bad_greedy",
+                             "'greedy' must be a boolean");
+    }
+    req.greedy = doc.Get("greedy").AsBool();
+  }
+  if (!doc.Get("beam_width").is_null()) {
+    if (!doc.Get("beam_width").is_number()) {
+      return ValidationError(error_code, "bad_beam_width",
+                             "'beam_width' must be a number");
+    }
+    req.beam_width = static_cast<int>(doc.Get("beam_width").AsNumber());
+    if (req.beam_width < 0 || req.beam_width > 64) {
+      return ValidationError(error_code, "bad_beam_width",
+                             "beam_width out of range [0..64]");
+    }
+  }
+  if (!doc.Get("seed").is_null()) {
+    if (!doc.Get("seed").is_number()) {
+      return ValidationError(error_code, "bad_seed",
+                             "'seed' must be a number");
+    }
     req.seed = static_cast<uint64_t>(doc.Get("seed").AsNumber());
   }
+  if (!doc.Get("model").is_null()) {
+    if (!doc.Get("model").is_string()) {
+      return ValidationError(error_code, "bad_model",
+                             "'model' must be a string");
+    }
+    req.model = doc.Get("model").AsString();
+  }
   return req;
+}
+
+StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body) {
+  return ParseGenerateRequest(body, nullptr);
 }
 
 Json RecipeToJson(const Recipe& recipe) {
@@ -67,56 +161,202 @@ Json RecipeToJson(const Recipe& recipe) {
   return out;
 }
 
+const std::array<double, LatencyHistogram::kNumBuckets - 1>&
+LatencyHistogram::Bounds() {
+  return kLatencyBounds;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int bucket = kNumBuckets - 1;  // +Inf
+  for (int i = 0; i < kNumBuckets - 1; ++i) {
+    if (seconds <= kLatencyBounds[static_cast<size_t>(i)]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[static_cast<size_t>(bucket)];
+  ++observations_;
+  total_seconds_ += seconds;
+  max_seconds_ = std::max(max_seconds_, seconds);
+}
+
+void LatencyHistogram::FillMetrics(const std::string& prefix,
+                                   Json* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out->Set(prefix + "seconds_total", total_seconds_);
+  out->Set(prefix + "seconds_max", max_seconds_);
+  out->Set(prefix + "seconds_mean",
+           observations_ > 0 ? total_seconds_ / observations_ : 0.0);
+  Json bounds{Json::Array{}};
+  Json counts{Json::Array{}};
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (i < kNumBuckets - 1) {
+      bounds.Append(kLatencyBounds[static_cast<size_t>(i)]);
+    } else {
+      bounds.Append("inf");
+    }
+    counts.Append(static_cast<double>(counts_[static_cast<size_t>(i)]));
+  }
+  out->Set(prefix + "latency_bucket_le", std::move(bounds));
+  out->Set(prefix + "latency_bucket_count", std::move(counts));
+}
+
 BackendService::BackendService(GenerateFn generate)
-    : generate_(std::move(generate)) {
-  server_.Route("GET", "/healthz", [](const HttpRequest&) {
+    : BackendService(
+          [&generate](int) { return generate; },
+          [] {
+            BackendOptions options;
+            options.model_sessions = 1;
+            return options;
+          }()) {}
+
+BackendService::BackendService(const SessionFactory& factory,
+                               BackendOptions options)
+    : options_(std::move(options)),
+      server_(options_.http) {
+  if (options_.model_sessions < 1) options_.model_sessions = 1;
+  if (options_.models.empty()) options_.models = {"default"};
+  sessions_.reserve(static_cast<size_t>(options_.model_sessions));
+  for (int i = 0; i < options_.model_sessions; ++i) {
+    sessions_.push_back(factory(i));
+    free_sessions_.push_back(i);
+  }
+  RegisterRoutes();
+}
+
+void BackendService::RegisterRoutes() {
+  const auto healthz = [](const HttpRequest&) {
     return HttpResponse::JsonBody("{\"status\":\"ok\"}");
-  });
-  server_.Route("GET", "/metrics", [this](const HttpRequest&) {
+  };
+  const auto deprecate = [](HttpResponse resp) {
+    resp.headers["Deprecation"] = "true";
+    return resp;
+  };
+  // Versioned surface.
+  (void)server_.Route("GET", "/v1/healthz", healthz);
+  (void)server_.Route("GET", "/v1/metrics", [this](const HttpRequest&) {
     return HandleMetrics();
   });
-  server_.Route("POST", "/api/generate", [this](const HttpRequest& req) {
-    return HandleGenerate(req);
+  (void)server_.Route("GET", "/v1/models", [this](const HttpRequest&) {
+    return HandleModels();
   });
+  (void)server_.Route("POST", "/v1/generate",
+                      [this](const HttpRequest& req) {
+                        return HandleGenerate(req);
+                      });
+  // Deprecated aliases: identical behavior + Deprecation header.
+  (void)server_.Route("GET", "/healthz",
+                      [healthz, deprecate](const HttpRequest& req) {
+                        return deprecate(healthz(req));
+                      });
+  (void)server_.Route("GET", "/metrics",
+                      [this, deprecate](const HttpRequest&) {
+                        return deprecate(HandleMetrics());
+                      });
+  (void)server_.Route("POST", "/api/generate",
+                      [this, deprecate](const HttpRequest& req) {
+                        return deprecate(HandleGenerate(req));
+                      });
+}
+
+int BackendService::AcquireSession() {
+  std::unique_lock<std::mutex> lock(session_mutex_);
+  session_cv_.wait(lock, [this] { return !free_sessions_.empty(); });
+  const int index = free_sessions_.back();
+  free_sessions_.pop_back();
+  sessions_in_use_.fetch_add(1);
+  return index;
+}
+
+void BackendService::ReleaseSession(int index) {
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    free_sessions_.push_back(index);
+  }
+  sessions_in_use_.fetch_sub(1);
+  session_cv_.notify_one();
 }
 
 HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
-  auto parsed = ParseGenerateRequest(request.body);
+  std::string code;
+  auto parsed = ParseGenerateRequest(request.body, &code);
   if (!parsed.ok()) {
-    ++generate_client_error_;
-    Json err{Json::Object{}};
-    err.Set("error", parsed.status().ToString());
-    return HttpResponse::JsonBody(err.Dump(), 400);
+    generate_client_error_.fetch_add(1);
+    return JsonError(400, code, parsed.status().message(),
+                     request.request_id);
   }
+  GenerateRequest req = *parsed;
+  if (req.model.empty()) {
+    req.model = options_.models.front();
+  } else if (std::find(options_.models.begin(), options_.models.end(),
+                       req.model) == options_.models.end()) {
+    generate_client_error_.fetch_add(1);
+    return JsonError(400, "bad_model",
+                     "unknown model '" + req.model + "'",
+                     request.request_id);
+  }
+
+  const int slot = AcquireSession();
   Timer timer;
-  auto recipe = generate_(*parsed);
+  auto recipe = sessions_[static_cast<size_t>(slot)](req);
   const double seconds = timer.ElapsedSeconds();
-  total_generate_seconds_ += seconds;
-  max_generate_seconds_ = std::max(max_generate_seconds_, seconds);
+  ReleaseSession(slot);
+  latency_.Record(seconds);
+
   if (!recipe.ok()) {
-    ++generate_server_error_;
-    Json err{Json::Object{}};
-    err.Set("error", recipe.status().ToString());
-    return HttpResponse::JsonBody(err.Dump(), 500);
+    generate_server_error_.fetch_add(1);
+    return JsonError(500, "generation_failed",
+                     recipe.status().ToString(), request.request_id);
   }
-  ++generate_ok_;
-  return HttpResponse::JsonBody(RecipeToJson(*recipe).Dump());
+  generate_ok_.fetch_add(1);
+  Json out{Json::Object{}};
+  out.Set("request_id", request.request_id);
+  out.Set("model", req.model);
+  Json params{Json::Object{}};
+  params.Set("max_tokens", req.max_tokens);
+  params.Set("temperature", req.temperature);
+  params.Set("top_k", req.top_k);
+  params.Set("top_p", req.top_p);
+  params.Set("greedy", req.greedy);
+  params.Set("beam_width", req.beam_width);
+  params.Set("seed", static_cast<double>(req.seed));
+  out.Set("params", std::move(params));
+  out.Set("recipe", RecipeToJson(*recipe));
+  return HttpResponse::JsonBody(out.Dump());
 }
 
 HttpResponse BackendService::HandleMetrics() const {
-  const long long model_calls = generate_ok_ + generate_server_error_;
   Json out{Json::Object{}};
   out.Set("requests_total",
           static_cast<double>(server_.requests_served()));
-  out.Set("generate_ok", static_cast<double>(generate_ok_));
+  out.Set("requests_rejected",
+          static_cast<double>(server_.requests_rejected()));
+  out.Set("generate_ok", static_cast<double>(generate_ok_.load()));
   out.Set("generate_client_errors",
-          static_cast<double>(generate_client_error_));
+          static_cast<double>(generate_client_error_.load()));
   out.Set("generate_server_errors",
-          static_cast<double>(generate_server_error_));
-  out.Set("generate_seconds_total", total_generate_seconds_);
-  out.Set("generate_seconds_max", max_generate_seconds_);
-  out.Set("generate_seconds_mean",
-          model_calls > 0 ? total_generate_seconds_ / model_calls : 0.0);
+          static_cast<double>(generate_server_error_.load()));
+  out.Set("model_sessions", static_cast<double>(sessions_.size()));
+  out.Set("model_sessions_in_use",
+          static_cast<double>(sessions_in_use_.load()));
+  out.Set("workers", static_cast<double>(server_.num_workers()));
+  out.Set("queue_depth", static_cast<double>(server_.queue_depth()));
+  latency_.FillMetrics("generate_", &out);
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse BackendService::HandleModels() const {
+  Json models{Json::Array{}};
+  for (size_t i = 0; i < options_.models.size(); ++i) {
+    Json entry{Json::Object{}};
+    entry.Set("name", options_.models[i]);
+    entry.Set("default", i == 0);
+    entry.Set("sessions", static_cast<double>(sessions_.size()));
+    models.Append(std::move(entry));
+  }
+  Json out{Json::Object{}};
+  out.Set("models", std::move(models));
   return HttpResponse::JsonBody(out.Dump());
 }
 

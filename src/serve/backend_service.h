@@ -1,7 +1,11 @@
 #ifndef RATATOUILLE_SERVE_BACKEND_SERVICE_H_
 #define RATATOUILLE_SERVE_BACKEND_SERVICE_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,52 +15,131 @@
 
 namespace rt {
 
-/// A parsed /api/generate request.
+/// A parsed /v1/generate request. Defaults are the resolved decoding
+/// parameters echoed back in the response.
 struct GenerateRequest {
   std::vector<std::string> ingredients;
   int max_tokens = 256;
   double temperature = 1.0;
   int top_k = 0;
+  double top_p = 0.0;
+  bool greedy = false;
+  int beam_width = 0;
   uint64_t seed = 0;
+  /// Model selection by name; empty picks the service default. The
+  /// handler resolves it before the callback runs.
+  std::string model;
 };
 
+/// Stable machine-readable error codes emitted by request validation
+/// (the `error.code` field of the envelope). See docs/api.md.
+///   invalid_json, invalid_request, unknown_field, missing_ingredients,
+///   bad_ingredients, bad_max_tokens, bad_temperature, bad_top_k,
+///   bad_top_p, bad_beam_width, bad_greedy, bad_seed, bad_model
+
 /// JSON <-> domain converters (exposed for tests and the frontend).
+/// On failure `*error_code` (when non-null) receives the stable code.
+StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
+                                               std::string* error_code);
 StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body);
 Json RecipeToJson(const Recipe& recipe);
 
+/// Mutex-protected latency histogram with fixed log-spaced buckets,
+/// surfaced at /v1/metrics.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 13;  // 12 finite bounds + +Inf
+
+  /// Upper bucket bounds in seconds (last bucket is +Inf).
+  static const std::array<double, kNumBuckets - 1>& Bounds();
+
+  void Record(double seconds);
+
+  /// Adds `latency_bucket_le` / `latency_bucket_count` arrays plus
+  /// total/max/mean summary fields (under `prefix`) to `out`.
+  void FillMetrics(const std::string& prefix, Json* out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<long long, kNumBuckets> counts_{};
+  long long observations_ = 0;
+  double total_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+};
+
+/// Configuration of the generation backend.
+struct BackendOptions {
+  /// Concurrent generation slots. Each slot owns one model callback, so
+  /// independent requests generate in parallel while every model
+  /// instance stays single-threaded.
+  int model_sessions = 2;
+  /// Threaded HTTP server tuning.
+  HttpServerOptions http;
+  /// Model names advertised by /v1/models; the first entry is the
+  /// default used when a request omits `model`. Empty means {"default"}.
+  std::vector<std::string> models;
+};
+
 /// The generation backend microservice (the Flask-model container of
-/// paper Fig. 4/5): REST endpoints over a model-backed callback.
+/// paper Fig. 4/5), redesigned as a versioned REST surface over a pool
+/// of model sessions:
 ///
-///   GET  /healthz        -> {"status":"ok"}
-///   GET  /metrics        -> request/error counters + latency summary
-///   POST /api/generate   -> structured recipe JSON
+///   POST /v1/generate   -> structured recipe + resolved params
+///   GET  /v1/healthz    -> {"status":"ok"}
+///   GET  /v1/metrics    -> atomic counters + latency histogram
+///   GET  /v1/models     -> advertised model names
 ///
-/// The callback runs on the server thread; it must be thread-compatible
-/// (the server serves one request at a time).
+/// The pre-/v1 paths (/api/generate, /healthz, /metrics) remain as thin
+/// aliases that answer identically plus a `Deprecation: true` header.
+///
+/// Requests are served concurrently by the HttpServer worker pool; a
+/// generate request blocks until a model session is free.
 class BackendService {
  public:
   using GenerateFn =
       std::function<StatusOr<Recipe>(const GenerateRequest&)>;
+  /// Builds the callback for one session slot. Called `model_sessions`
+  /// times at construction; each returned callback is only ever invoked
+  /// by one request at a time.
+  using SessionFactory = std::function<GenerateFn(int session_index)>;
 
+  /// Single-session service (the callback is never run concurrently).
   explicit BackendService(GenerateFn generate);
+
+  BackendService(const SessionFactory& factory, BackendOptions options);
 
   Status Start(int port);
   void Stop();
   int port() const { return server_.port(); }
   long long requests_served() const { return server_.requests_served(); }
+  int model_sessions() const {
+    return static_cast<int>(sessions_.size());
+  }
+  const HttpServer& server() const { return server_; }
 
  private:
+  void RegisterRoutes();
   HttpResponse HandleGenerate(const HttpRequest& request);
   HttpResponse HandleMetrics() const;
+  HttpResponse HandleModels() const;
 
-  GenerateFn generate_;
+  /// Blocks until a session slot is free, returns its index.
+  int AcquireSession();
+  void ReleaseSession(int index);
+
+  BackendOptions options_;
+  std::vector<GenerateFn> sessions_;
   HttpServer server_;
-  // Generation counters (single-threaded server; plain members suffice).
-  long long generate_ok_ = 0;
-  long long generate_client_error_ = 0;
-  long long generate_server_error_ = 0;
-  double total_generate_seconds_ = 0.0;
-  double max_generate_seconds_ = 0.0;
+
+  std::mutex session_mutex_;
+  std::condition_variable session_cv_;
+  std::vector<int> free_sessions_;
+
+  std::atomic<long long> generate_ok_{0};
+  std::atomic<long long> generate_client_error_{0};
+  std::atomic<long long> generate_server_error_{0};
+  std::atomic<long long> sessions_in_use_{0};
+  LatencyHistogram latency_;
 };
 
 }  // namespace rt

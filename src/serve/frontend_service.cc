@@ -19,7 +19,7 @@ document.getElementById('gen').addEventListener('submit', async (e) => {
   e.preventDefault();
   const ingredients = document.getElementById('ingredients').value
       .split(',').map(s => s.trim()).filter(Boolean);
-  const resp = await fetch('/api/generate', {
+  const resp = await fetch('/v1/generate', {
     method: 'POST',
     headers: {'Content-Type': 'application/json'},
     body: JSON.stringify({ingredients})
@@ -36,22 +36,38 @@ document.getElementById('gen').addEventListener('submit', async (e) => {
 
 FrontendService::FrontendService(int backend_port)
     : backend_port_(backend_port) {
-  server_.Route("GET", "/", [](const HttpRequest&) {
+  const auto healthz = [](const HttpRequest&) {
+    return HttpResponse::JsonBody("{\"status\":\"ok\"}");
+  };
+  (void)server_.Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse::Html(kIndexHtml);
   });
-  server_.Route("GET", "/healthz", [](const HttpRequest&) {
-    return HttpResponse::JsonBody("{\"status\":\"ok\"}");
-  });
+  (void)server_.Route("GET", "/v1/healthz", healthz);
+  (void)server_.Route("GET", "/healthz",
+                      [healthz](const HttpRequest& req) {
+                        HttpResponse resp = healthz(req);
+                        resp.headers["Deprecation"] = "true";
+                        return resp;
+                      });
   // Reverse proxy: the frontend never imports model code; it forwards
-  // /api/* to the backend tier over HTTP.
-  server_.RoutePrefix("POST", "/api/", [this](const HttpRequest& req) {
+  // /v1/* (and the deprecated /api/*) to the backend tier over HTTP.
+  const auto proxy = [this](const HttpRequest& req) {
     auto resp = HttpPost(backend_port_, req.path, req.body);
     if (!resp.ok()) {
-      return HttpResponse::JsonBody(
-          "{\"error\":\"backend unreachable\"}", 502);
+      return JsonError(502, "backend_unreachable",
+                       "backend did not answer: " +
+                           resp.status().message(),
+                       req.request_id);
     }
-    return HttpResponse::JsonBody(resp->body, resp->status);
-  });
+    HttpResponse out = HttpResponse::JsonBody(resp->body, resp->status);
+    const auto deprecated = resp->headers.find("deprecation");
+    if (deprecated != resp->headers.end()) {
+      out.headers["Deprecation"] = deprecated->second;
+    }
+    return out;
+  };
+  (void)server_.RoutePrefix("POST", "/v1/", proxy);
+  (void)server_.RoutePrefix("POST", "/api/", proxy);
 }
 
 Status FrontendService::Start(int port) { return server_.Start(port); }

@@ -2,45 +2,25 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace rt {
 namespace {
 
-/// Reads until the full request (headers + Content-Length body) arrives.
-bool ReadRequest(int fd, std::string* raw) {
-  char buf[4096];
-  size_t body_needed = std::string::npos;
-  size_t header_end = std::string::npos;
-  for (;;) {
-    if (header_end == std::string::npos) {
-      header_end = raw->find("\r\n\r\n");
-      if (header_end != std::string::npos) {
-        // Parse Content-Length if present.
-        body_needed = 0;
-        std::string head = ToLower(raw->substr(0, header_end));
-        size_t cl = head.find("content-length:");
-        if (cl != std::string::npos) {
-          body_needed = std::strtoull(head.c_str() + cl + 15, nullptr, 10);
-        }
-      }
-    }
-    if (header_end != std::string::npos) {
-      const size_t have = raw->size() - (header_end + 4);
-      if (have >= body_needed) return true;
-    }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return header_end != std::string::npos;
-    raw->append(buf, static_cast<size_t>(n));
-    if (raw->size() > (16u << 20)) return false;  // 16 MiB cap
-  }
-}
+constexpr size_t kMaxRequestBytes = 16u << 20;  // 16 MiB
+/// Blocking reads happen in short poll slices so Stop() stays responsive
+/// without per-connection wakeup plumbing.
+constexpr int kPollSliceMs = 50;
 
 bool ParseRequest(const std::string& raw, HttpRequest* out) {
   const size_t header_end = raw.find("\r\n\r\n");
@@ -53,6 +33,7 @@ bool ParseRequest(const std::string& raw, HttpRequest* out) {
   if (parts.size() < 2) return false;
   out->method = parts[0];
   std::string target = parts[1];
+  out->version = parts.size() > 2 ? parts[2] : "";
   const size_t q = target.find('?');
   if (q != std::string::npos) {
     out->path = target.substr(0, q);
@@ -81,8 +62,16 @@ std::string StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
     case 500:
       return "Internal Server Error";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }
@@ -98,14 +87,47 @@ void SendAll(int fd, const std::string& data) {
   }
 }
 
-std::string RenderResponse(const HttpResponse& response) {
+std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusText(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += response.body;
   return out;
+}
+
+void SetSendTimeout(int fd, int millis) {
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Half-closes the write side, briefly drains unread input, then closes.
+/// Closing with unread bytes pending would RST the connection and could
+/// destroy a response (e.g. the 503 reject) before the client reads it.
+void LingeringClose(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  timeval tv{};
+  tv.tv_usec = 100 * 1000;  // 100 ms drain cap
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char sink[4096];
+  for (int i = 0; i < 4 && ::recv(fd, sink, sizeof(sink), 0) > 0; ++i) {
+  }
+  ::close(fd);
+}
+
+/// Returns the Content-Length parsed from a lower-cased header block, or
+/// 0 when absent.
+size_t ContentLengthOf(const std::string& head_lower) {
+  const size_t cl = head_lower.find("content-length:");
+  if (cl == std::string::npos) return 0;
+  return std::strtoull(head_lower.c_str() + cl + 15, nullptr, 10);
 }
 
 /// Connects to 127.0.0.1:port; returns fd or -1.
@@ -124,8 +146,39 @@ int ConnectLoopback(int port) {
   return fd;
 }
 
-StatusOr<HttpClientResponse> RoundTrip(int port,
-                                       const std::string& request) {
+/// Parses a complete response (status line + headers + Content-Length
+/// body) from the front of `buffer`. Returns false when more bytes are
+/// needed; `*consumed` is set on success.
+bool TryParseClientResponse(const std::string& buffer,
+                            HttpClientResponse* resp, size_t* consumed) {
+  const size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  if (buffer.size() < 12 || buffer.compare(0, 5, "HTTP/") != 0) {
+    return false;
+  }
+  const size_t body_len = ContentLengthOf(ToLower(buffer.substr(0, header_end)));
+  const size_t total = header_end + 4 + body_len;
+  if (buffer.size() < total) return false;
+  resp->status = std::atoi(buffer.c_str() + 9);
+  resp->headers.clear();
+  std::istringstream head(buffer.substr(0, header_end));
+  std::string line;
+  std::getline(head, line);  // status line
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    resp->headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  resp->body = buffer.substr(header_end + 4, body_len);
+  *consumed = total;
+  return true;
+}
+
+/// One-shot exchange: send, half-close, read to EOF, parse.
+StatusOr<HttpClientResponse> OneShotRoundTrip(int port,
+                                              const std::string& request) {
   const int fd = ConnectLoopback(port);
   if (fd < 0) {
     return Status::IoError("connect failed to port " +
@@ -141,112 +194,333 @@ StatusOr<HttpClientResponse> RoundTrip(int port,
     raw.append(buf, static_cast<size_t>(n));
   }
   ::close(fd);
-  const size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos || raw.size() < 12) {
-    return Status::IoError("malformed HTTP response");
-  }
   HttpClientResponse resp;
-  resp.status = std::atoi(raw.c_str() + 9);
-  resp.body = raw.substr(header_end + 4);
+  size_t consumed = 0;
+  if (!TryParseClientResponse(raw, &resp, &consumed)) {
+    // Fall back for responses without Content-Length framing.
+    const size_t header_end = raw.find("\r\n\r\n");
+    if (header_end == std::string::npos || raw.size() < 12) {
+      return Status::IoError("malformed HTTP response");
+    }
+    resp.status = std::atoi(raw.c_str() + 9);
+    resp.body = raw.substr(header_end + 4);
+  }
   return resp;
+}
+
+std::string FormatGetRequest(const std::string& path, bool keep_alive) {
+  return "GET " + path +
+         " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: " +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+}
+
+std::string FormatPostRequest(const std::string& path,
+                              const std::string& body,
+                              const std::string& content_type,
+                              bool keep_alive) {
+  return "POST " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: " +
+         content_type + "\r\nContent-Length: " +
+         std::to_string(body.size()) + "\r\nConnection: " +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n" + body;
 }
 
 }  // namespace
 
 HttpResponse HttpResponse::Text(std::string body, int status) {
-  return {status, "text/plain", std::move(body)};
+  return {status, "text/plain", std::move(body), {}};
 }
 
 HttpResponse HttpResponse::Html(std::string body, int status) {
-  return {status, "text/html", std::move(body)};
+  return {status, "text/html", std::move(body), {}};
 }
 
 HttpResponse HttpResponse::JsonBody(std::string body, int status) {
-  return {status, "application/json", std::move(body)};
+  return {status, "application/json", std::move(body), {}};
 }
 
 HttpResponse HttpResponse::NotFound() {
-  return {404, "text/plain", "not found"};
+  return JsonError(404, "not_found", "no route for this path", "");
 }
 
-HttpServer::HttpServer() = default;
+HttpResponse JsonError(int status, const std::string& code,
+                       const std::string& message,
+                       const std::string& request_id) {
+  Json detail{Json::Object{}};
+  detail.Set("code", code);
+  detail.Set("message", message);
+  detail.Set("request_id", request_id);
+  Json out{Json::Object{}};
+  out.Set("error", std::move(detail));
+  return HttpResponse::JsonBody(out.Dump(), status);
+}
+
+HttpServer::HttpServer() : HttpServer(HttpServerOptions{}) {}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(options) {
+  if (options_.num_workers <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.num_workers = hw > 0 ? static_cast<int>(hw) : 4;
+  }
+  if (options_.max_queue < 1) options_.max_queue = 1;
+}
 
 HttpServer::~HttpServer() { Stop(); }
 
-void HttpServer::Route(const std::string& method, const std::string& path,
-                       Handler handler) {
+Status HttpServer::Route(const std::string& method, const std::string& path,
+                         Handler handler) {
+  if (running_.load()) {
+    return Status::FailedPrecondition(
+        "Route() after Start() would race the dispatcher");
+  }
   routes_.push_back({method, path, /*is_prefix=*/false, std::move(handler)});
+  return Status::OK();
 }
 
-void HttpServer::RoutePrefix(const std::string& method,
-                             const std::string& prefix, Handler handler) {
+Status HttpServer::RoutePrefix(const std::string& method,
+                               const std::string& prefix, Handler handler) {
+  if (running_.load()) {
+    return Status::FailedPrecondition(
+        "RoutePrefix() after Start() would race the dispatcher");
+  }
   routes_.push_back({method, prefix, /*is_prefix=*/true, std::move(handler)});
+  return Status::OK();
 }
 
 Status HttpServer::Start(int port) {
   if (running_.load()) return Status::FailedPrecondition("already running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     return Status::IoError("bind failed on port " + std::to_string(port));
   }
-  if (::listen(listen_fd_, 64) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
     return Status::IoError("listen failed");
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+  draining_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    pending_.clear();
+  }
   running_.store(true);
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void HttpServer::Stop() {
   if (!running_.exchange(false)) return;
+  draining_.store(true);
   // Closing the listen socket unblocks accept().
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
+  queue_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Connections that were queued but never picked up are closed unserved.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+}
+
+int HttpServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return static_cast<int>(pending_.size());
+}
+
+std::string HttpServer::NextRequestId() {
+  return "req-" + std::to_string(port_) + "-" +
+         std::to_string(request_counter_.fetch_add(1) + 1);
 }
 
 void HttpServer::AcceptLoop() {
-  while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  for (;;) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
-      if (!running_.load()) break;
+      if (!running_.load() || draining_.load()) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    bool queued = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (static_cast<int>(pending_.size()) < options_.max_queue &&
+          !draining_.load()) {
+        pending_.push_back(fd);
+        queued = true;
+      }
+    }
+    if (queued) {
+      queue_cv_.notify_one();
       continue;
     }
-    HandleConnection(fd);
-    ::close(fd);
+    // Backpressure: reject instead of queueing unbounded latency.
+    requests_rejected_.fetch_add(1);
+    SetSendTimeout(fd, options_.write_timeout_ms);
+    HttpResponse resp = JsonError(503, "overloaded",
+                                  "request queue is full", NextRequestId());
+    resp.headers["Retry-After"] =
+        std::to_string(options_.retry_after_seconds);
+    SendAll(fd, RenderResponse(resp, /*keep_alive=*/false));
+    LingeringClose(fd);
   }
 }
 
-void HttpServer::HandleConnection(int fd) {
-  std::string raw;
-  if (!ReadRequest(fd, &raw)) return;
-  HttpRequest request;
-  HttpResponse response;
-  if (!ParseRequest(raw, &request)) {
-    response = HttpResponse::Text("bad request", 400);
-  } else {
-    response = Dispatch(request);
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return draining_.load() || !pending_.empty();
+      });
+      if (draining_.load()) break;  // queued fds are closed by Stop()
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(fd);
+    LingeringClose(fd);
   }
-  requests_served_.fetch_add(1);
-  SendAll(fd, RenderResponse(response));
+}
+
+HttpServer::ReadOutcome HttpServer::ReadOneRequest(int fd,
+                                                   std::string* buffer,
+                                                   size_t* request_end) {
+  const auto complete = [&]() -> bool {
+    const size_t header_end = buffer->find("\r\n\r\n");
+    if (header_end == std::string::npos) return false;
+    const size_t body_needed =
+        ContentLengthOf(ToLower(buffer->substr(0, header_end)));
+    const size_t total = header_end + 4 + body_needed;
+    if (buffer->size() < total) return false;
+    *request_end = total;
+    return true;
+  };
+
+  char buf[4096];
+  int waited_ms = 0;
+  // Leftover pipelined bytes count as an in-progress request: apply the
+  // read budget, not the idle budget.
+  bool in_request = !buffer->empty();
+  for (;;) {
+    if (complete()) return ReadOutcome::kRequest;
+    if (buffer->size() > kMaxRequestBytes) return ReadOutcome::kTooLarge;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollSliceMs);
+    if (draining_.load()) {
+      // Drain: serve nothing new; a half-read request is abandoned.
+      return ReadOutcome::kClosed;
+    }
+    if (ready == 0) {
+      waited_ms += kPollSliceMs;
+      const int budget =
+          in_request ? options_.read_timeout_ms : options_.idle_timeout_ms;
+      if (waited_ms >= budget) {
+        return in_request ? ReadOutcome::kTimeout : ReadOutcome::kClosed;
+      }
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ReadOutcome::kClosed;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      // Peer half-closed. Serve a header-complete request even when the
+      // advertised body was cut short; otherwise just close.
+      if (buffer->find("\r\n\r\n") != std::string::npos) {
+        *request_end = buffer->size();
+        return ReadOutcome::kRequest;
+      }
+      return ReadOutcome::kClosed;
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return ReadOutcome::kClosed;
+    }
+    buffer->append(buf, static_cast<size_t>(n));
+    in_request = true;
+    waited_ms = 0;  // progress resets the clock
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  SetSendTimeout(fd, options_.write_timeout_ms);
+  std::string buffer;
+  int served_on_connection = 0;
+  bool close_connection = false;
+  while (!close_connection) {
+    size_t request_end = 0;
+    const ReadOutcome outcome = ReadOneRequest(fd, &buffer, &request_end);
+    if (outcome == ReadOutcome::kClosed) return;
+    HttpRequest request;
+    HttpResponse response;
+    bool parsed = false;
+    if (outcome == ReadOutcome::kTimeout) {
+      response = JsonError(408, "request_timeout",
+                           "timed out reading the request", NextRequestId());
+      close_connection = true;
+    } else if (outcome == ReadOutcome::kTooLarge) {
+      response = JsonError(413, "payload_too_large",
+                           "request exceeds the 16 MiB cap", NextRequestId());
+      close_connection = true;
+    } else {
+      std::string raw = buffer.substr(0, request_end);
+      buffer.erase(0, request_end);
+      if (!ParseRequest(raw, &request)) {
+        response = JsonError(400, "bad_request", "malformed HTTP request",
+                             NextRequestId());
+        close_connection = true;
+      } else {
+        request.request_id = NextRequestId();
+        parsed = true;
+        response = Dispatch(request);
+      }
+    }
+    if (parsed) {
+      const auto it = request.headers.find("connection");
+      const std::string conn =
+          it == request.headers.end() ? "" : ToLower(it->second);
+      if (conn == "close") {
+        close_connection = true;
+      } else if (request.version == "HTTP/1.0" && conn != "keep-alive") {
+        close_connection = true;
+      }
+    }
+    ++served_on_connection;
+    if (options_.max_keepalive_requests > 0 &&
+        served_on_connection >= options_.max_keepalive_requests) {
+      close_connection = true;
+    }
+    if (draining_.load()) close_connection = true;
+    requests_served_.fetch_add(1);
+    SendAll(fd, RenderResponse(response, !close_connection));
+  }
 }
 
 HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
@@ -255,26 +529,94 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
     const bool match = route.is_prefix
                            ? StartsWith(request.path, route.path)
                            : request.path == route.path;
-    if (match) return route.handler(request);
+    if (!match) continue;
+    try {
+      return route.handler(request);
+    } catch (const std::exception& e) {
+      return JsonError(500, "internal", e.what(), request.request_id);
+    } catch (...) {
+      return JsonError(500, "internal", "handler threw",
+                       request.request_id);
+    }
   }
-  return HttpResponse::NotFound();
+  HttpResponse resp = JsonError(404, "not_found",
+                                "no route for " + request.method + " " +
+                                    request.path,
+                                request.request_id);
+  return resp;
 }
 
 StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path) {
-  return RoundTrip(port, "GET " + path +
-                             " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                             "Connection: close\r\n\r\n");
+  return OneShotRoundTrip(port, FormatGetRequest(path, /*keep_alive=*/false));
 }
 
 StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
                                       const std::string& body,
                                       const std::string& content_type) {
-  return RoundTrip(port, "POST " + path +
-                             " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                             "Content-Type: " + content_type + "\r\n"
-                             "Content-Length: " +
-                             std::to_string(body.size()) +
-                             "\r\nConnection: close\r\n\r\n" + body);
+  return OneShotRoundTrip(
+      port, FormatPostRequest(path, body, content_type,
+                              /*keep_alive=*/false));
+}
+
+HttpClient::HttpClient(int port) : port_(port) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<HttpClientResponse> HttpClient::Get(const std::string& path) {
+  return RoundTrip(FormatGetRequest(path, /*keep_alive=*/true),
+                   /*retry_on_stale=*/true);
+}
+
+StatusOr<HttpClientResponse> HttpClient::Post(
+    const std::string& path, const std::string& body,
+    const std::string& content_type) {
+  return RoundTrip(FormatPostRequest(path, body, content_type,
+                                     /*keep_alive=*/true),
+                   /*retry_on_stale=*/true);
+}
+
+StatusOr<HttpClientResponse> HttpClient::RoundTrip(
+    const std::string& request, bool retry_on_stale) {
+  const bool fresh_connection = fd_ < 0;
+  if (fd_ < 0) {
+    fd_ = ConnectLoopback(port_);
+    buffer_.clear();
+    if (fd_ < 0) {
+      return Status::IoError("connect failed to port " +
+                             std::to_string(port_));
+    }
+  }
+  SendAll(fd_, request);
+  HttpClientResponse resp;
+  size_t consumed = 0;
+  char buf[4096];
+  while (!TryParseClientResponse(buffer_, &resp, &consumed)) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      // The server may have closed an idle keep-alive connection between
+      // requests; retry once on a fresh connection.
+      Close();
+      if (retry_on_stale && !fresh_connection) {
+        return RoundTrip(request, /*retry_on_stale=*/false);
+      }
+      return Status::IoError("connection closed mid-response");
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+  }
+  buffer_.erase(0, consumed);
+  const auto conn = resp.headers.find("connection");
+  if (conn != resp.headers.end() && ToLower(conn->second) == "close") {
+    Close();
+  }
+  return resp;
 }
 
 }  // namespace rt

@@ -2,8 +2,11 @@
 #define RATATOUILLE_SERVE_HTTP_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,10 +18,14 @@ namespace rt {
 /// A parsed HTTP/1.1 request.
 struct HttpRequest {
   std::string method;  // "GET", "POST", ...
-  std::string path;    // "/api/generate" (query string stripped)
+  std::string path;    // "/v1/generate" (query string stripped)
   std::string query;   // raw query string without '?'
+  std::string version;  // "HTTP/1.1" (empty when absent)
   std::map<std::string, std::string> headers;  // lower-cased keys
   std::string body;
+  /// Server-assigned id, unique per request ("req-<port>-<n>"). Handlers
+  /// echo it in responses and error envelopes.
+  std::string request_id;
 };
 
 /// An HTTP response under construction.
@@ -26,6 +33,8 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain";
   std::string body;
+  /// Extra response headers (e.g. "Retry-After", "Deprecation").
+  std::map<std::string, std::string> headers;
 
   static HttpResponse Text(std::string body, int status = 200);
   static HttpResponse Html(std::string body, int status = 200);
@@ -33,34 +42,70 @@ struct HttpResponse {
   static HttpResponse NotFound();
 };
 
-/// Minimal loopback HTTP/1.1 server (the Flask stand-in, paper Sec. VI).
+/// Builds the structured error envelope used by every non-2xx response:
+///   {"error":{"code":"...","message":"...","request_id":"..."}}
+HttpResponse JsonError(int status, const std::string& code,
+                       const std::string& message,
+                       const std::string& request_id);
+
+/// Tuning knobs for the threaded server.
+struct HttpServerOptions {
+  /// Worker threads serving connections; <= 0 means
+  /// std::thread::hardware_concurrency().
+  int num_workers = 0;
+  /// Accepted connections waiting for a free worker. When the queue is
+  /// full new connections are rejected with 503 + Retry-After.
+  int max_queue = 64;
+  /// Budget for reading one complete request once its first byte arrived.
+  int read_timeout_ms = 5000;
+  /// How long a keep-alive connection may sit idle between requests.
+  int idle_timeout_ms = 5000;
+  /// Socket send timeout per response.
+  int write_timeout_ms = 5000;
+  /// Close a keep-alive connection after this many requests (0 = no cap).
+  int max_keepalive_requests = 0;
+  /// Advisory Retry-After (seconds) on 503 responses.
+  int retry_after_seconds = 1;
+};
+
+/// Loopback HTTP/1.1 server (the Flask stand-in, paper Sec. VI), rebuilt
+/// for concurrency: an acceptor thread feeds accepted connections into a
+/// bounded queue drained by a fixed worker pool. Connections are served
+/// with HTTP/1.1 keep-alive (pipelined requests are answered sequentially
+/// in order); when the queue is full the acceptor answers 503 with a
+/// Retry-After header instead of queueing unbounded latency.
 ///
-/// Handlers are registered per (method, exact path) or as a prefix route;
-/// each accepted connection is served on the acceptor thread, one request
-/// per connection (Connection: close). Start() binds 127.0.0.1:`port`
-/// (port 0 picks a free port, see port()).
+/// Lifecycle: Route()/RoutePrefix() must happen before Start() (they
+/// return FailedPrecondition while running — registering mid-flight would
+/// race the dispatcher). Start() binds 127.0.0.1:`port` (0 picks a free
+/// port). Stop() drains gracefully: stop accepting, finish in-flight
+/// requests, close idle and queued connections, join all threads. A
+/// stopped server can Start() again.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
   HttpServer();
+  explicit HttpServer(HttpServerOptions options);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Registers a handler for an exact (method, path).
-  void Route(const std::string& method, const std::string& path,
-             Handler handler);
+  /// Registers a handler for an exact (method, path). Fails once the
+  /// server is running.
+  Status Route(const std::string& method, const std::string& path,
+               Handler handler);
 
   /// Registers a handler for every path starting with `prefix`.
-  void RoutePrefix(const std::string& method, const std::string& prefix,
-                   Handler handler);
+  Status RoutePrefix(const std::string& method, const std::string& prefix,
+                     Handler handler);
 
-  /// Binds and starts the accept loop on a background thread.
+  /// Binds and starts the acceptor + worker pool.
   Status Start(int port);
 
-  /// Stops accepting and joins the background thread. Idempotent.
+  /// Graceful drain; idempotent and safe to call concurrently with
+  /// in-flight requests.
   void Stop();
 
   /// The bound port (valid after Start()).
@@ -68,13 +113,33 @@ class HttpServer {
 
   bool running() const { return running_.load(); }
 
-  /// Total requests served (for tests/metrics).
+  /// Total requests answered (including error responses).
   long long requests_served() const { return requests_served_.load(); }
 
+  /// Connections rejected with 503 because the queue was full.
+  long long requests_rejected() const { return requests_rejected_.load(); }
+
+  /// Accepted connections currently waiting for a worker.
+  int queue_depth() const;
+
+  /// Resolved worker count (valid after Start()).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  const HttpServerOptions& options() const { return options_; }
+
  private:
+  enum class ReadOutcome { kRequest, kClosed, kTimeout, kTooLarge };
+
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// Waits for one complete request in `buffer` (which may already hold
+  /// pipelined bytes), reading more as needed. On kRequest,
+  /// `*request_end` is the offset one past the request's body.
+  ReadOutcome ReadOneRequest(int fd, std::string* buffer,
+                             size_t* request_end);
   HttpResponse Dispatch(const HttpRequest& request);
+  std::string NextRequestId();
 
   struct Route_ {
     std::string method;
@@ -83,28 +148,68 @@ class HttpServer {
     Handler handler;
   };
 
+  HttpServerOptions options_;
   std::vector<Route_> routes_;
-  int listen_fd_ = -1;
+  /// Atomic: Stop() closes it from another thread to unblock accept().
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   std::atomic<long long> requests_served_{0};
+  std::atomic<long long> requests_rejected_{0};
+  std::atomic<long long> request_counter_{0};
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+
   std::thread accept_thread_;
+  std::vector<std::thread> workers_;
 };
 
-/// Blocking loopback HTTP client used by tests, the frontend proxy and
-/// the benchmark harness.
+/// Response as seen by the test/bench clients.
 struct HttpClientResponse {
   int status = 0;
   std::string body;
+  std::map<std::string, std::string> headers;  // lower-cased keys
 };
 
-/// One-shot GET/POST to 127.0.0.1:`port`. Returns IoError on connection
-/// failure or malformed response.
+/// One-shot GET/POST to 127.0.0.1:`port` (Connection: close). Returns
+/// IoError on connection failure or malformed response.
 StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path);
 StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
                                       const std::string& body,
                                       const std::string& content_type =
                                           "application/json");
+
+/// Persistent keep-alive client: issues sequential requests over one
+/// connection, reconnecting transparently if the server closed it.
+/// Not thread-safe; use one instance per client thread.
+class HttpClient {
+ public:
+  explicit HttpClient(int port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  StatusOr<HttpClientResponse> Get(const std::string& path);
+  StatusOr<HttpClientResponse> Post(const std::string& path,
+                                    const std::string& body,
+                                    const std::string& content_type =
+                                        "application/json");
+
+  /// Closes the current connection (a later request reconnects).
+  void Close();
+
+ private:
+  StatusOr<HttpClientResponse> RoundTrip(const std::string& request,
+                                         bool retry_on_stale);
+
+  int port_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the previous response
+};
 
 }  // namespace rt
 

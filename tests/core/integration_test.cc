@@ -51,35 +51,32 @@ TEST(IntegrationTest, PipelineBehindWebStack) {
   ASSERT_TRUE((*pipeline)->Train().ok());
   Pipeline& p = **pipeline;
 
-  BackendService backend(
-      [&p](const GenerateRequest& req) -> StatusOr<Recipe> {
-        GenerationOptions gen;
-        gen.max_new_tokens = req.max_tokens;
-        gen.sampling.temperature = static_cast<float>(req.temperature);
-        gen.seed = req.seed;
-        RT_ASSIGN_OR_RETURN(GeneratedRecipe out,
-                            p.GenerateFromIngredients(req.ingredients, gen));
-        return out.recipe;
-      });
+  std::vector<std::unique_ptr<LanguageModel>> session_models;
+  BackendService backend(MakePipelineSessionFactory(&p, &session_models),
+                         BackendOptions{});
   ASSERT_TRUE(backend.Start(0).ok());
   FrontendService frontend(backend.port());
   ASSERT_TRUE(frontend.Start(0).ok());
 
-  auto resp = HttpPost(frontend.port(), "/api/generate",
+  auto resp = HttpPost(frontend.port(), "/v1/generate",
                        R"({"ingredients":["tomato","onion"],)"
                        R"("max_tokens":60,"seed":4})");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
   auto doc = Json::Parse(resp->body);
   ASSERT_TRUE(doc.ok());
-  EXPECT_TRUE(doc->Get("instructions").is_array());
+  EXPECT_TRUE(doc->Get("recipe").Get("instructions").is_array());
+  EXPECT_TRUE(doc->Get("request_id").is_string());
 
   // Same seed => same recipe via the HTTP path (determinism end to end).
-  auto resp2 = HttpPost(frontend.port(), "/api/generate",
+  // The server-assigned request_id differs, so compare the recipes.
+  auto resp2 = HttpPost(frontend.port(), "/v1/generate",
                         R"({"ingredients":["tomato","onion"],)"
                         R"("max_tokens":60,"seed":4})");
   ASSERT_TRUE(resp2.ok());
-  EXPECT_EQ(resp->body, resp2->body);
+  auto doc2 = Json::Parse(resp2->body);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_TRUE(doc->Get("recipe") == doc2->Get("recipe"));
 
   frontend.Stop();
   backend.Stop();

@@ -123,6 +123,33 @@ TEST_P(ModelBehaviorTest, GenerationDeterministicGivenSeed) {
   EXPECT_EQ(a, b);
 }
 
+TEST_P(ModelBehaviorTest, CloneGeneratesIdenticallyAndIndependently) {
+  auto model = GetParam().make();
+  Batch b = PeriodicBatch(4, 16);
+  Adam opt(model->module()->Parameters(), {.lr = 0.01f});
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    opt.ZeroGrad();
+    model->TrainStep(b, &rng);
+    opt.Step();
+  }
+  auto clone = model->Clone();
+  ASSERT_NE(clone, nullptr);
+
+  GenerationOptions opts;
+  opts.max_new_tokens = 10;
+  opts.sampling.greedy = true;
+  EXPECT_EQ(model->GenerateIds({0, 1, 2}, opts),
+            clone->GenerateIds({0, 1, 2}, opts));
+
+  // Deep copy: perturbing the clone must not change the original.
+  auto original = model->GenerateIds({0, 1, 2}, opts);
+  for (Parameter* p : clone->module()->Parameters()) {
+    for (size_t i = 0; i < p->value.numel(); ++i) p->value[i] += 1.0f;
+  }
+  EXPECT_EQ(model->GenerateIds({0, 1, 2}, opts), original);
+}
+
 TEST_P(ModelBehaviorTest, TrainedModelContinuesPattern) {
   auto model = GetParam().make();
   Batch b = PeriodicBatch(4, 16);

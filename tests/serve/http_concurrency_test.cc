@@ -1,0 +1,278 @@
+// Concurrency tests for the threaded HTTP server: keep-alive hammering
+// from many client threads, queue backpressure (503 + Retry-After),
+// graceful drain, and lifecycle edges (Route after Start, restart).
+
+#include "serve/http.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+
+namespace rt {
+namespace {
+
+TEST(HttpConcurrencyTest, KeepAliveHammerLosesNothing) {
+  HttpServerOptions options;
+  options.num_workers = 4;
+  HttpServer server(options);
+  std::atomic<int> handled{0};
+  ASSERT_TRUE(server
+                  .Route("POST", "/echo",
+                         [&handled](const HttpRequest& req) {
+                           handled.fetch_add(1);
+                           return HttpResponse::Text(req.body);
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client(server.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string body =
+            "t" + std::to_string(t) + "-" + std::to_string(i);
+        auto resp = client.Post("/echo", body);
+        if (resp.ok() && resp->status == 200 && resp->body == body) {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // No request dropped, mangled, or cross-wired between connections.
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(handled.load(), kThreads * kPerThread);
+  EXPECT_EQ(server.requests_served(), kThreads * kPerThread);
+  server.Stop();
+}
+
+TEST(HttpConcurrencyTest, RequestsServedIsMonotonicUnderLoad) {
+  HttpServer server;
+  ASSERT_TRUE(server
+                  .Route("GET", "/ping",
+                         [](const HttpRequest&) {
+                           return HttpResponse::Text("pong");
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotonic{true};
+  std::thread watcher([&] {
+    long long last = 0;
+    while (!done.load()) {
+      const long long now = server.requests_served();
+      if (now < last) monotonic.store(false);
+      last = now;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      HttpClient client(server.port());
+      for (int i = 0; i < 25; ++i) (void)client.Get("/ping");
+    });
+  }
+  for (auto& c : clients) c.join();
+  done.store(true);
+  watcher.join();
+  EXPECT_TRUE(monotonic.load());
+  EXPECT_EQ(server.requests_served(), 100);
+  server.Stop();
+}
+
+TEST(HttpConcurrencyTest, FullQueueRejectsWith503RetryAfter) {
+  HttpServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  options.retry_after_seconds = 7;
+  HttpServer server(options);
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> entered{0};
+  ASSERT_TRUE(server
+                  .Route("GET", "/slow",
+                         [&](const HttpRequest&) {
+                           entered.fetch_add(1);
+                           std::unique_lock<std::mutex> lock(gate_mutex);
+                           gate_cv.wait(lock, [&] { return gate_open; });
+                           return HttpResponse::Text("done");
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Occupy the only worker...
+  std::thread busy([&] {
+    auto resp = HttpGet(server.port(), "/slow");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200);
+  });
+  while (entered.load() < 1) std::this_thread::yield();
+
+  // ...and the only queue slot.
+  std::thread queued([&] {
+    auto resp = HttpGet(server.port(), "/slow");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200);
+  });
+  while (server.queue_depth() < 1) std::this_thread::yield();
+
+  // The next connection must be turned away immediately.
+  auto rejected = HttpGet(server.port(), "/slow");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 503);
+  auto retry = rejected->headers.find("retry-after");
+  ASSERT_NE(retry, rejected->headers.end());
+  EXPECT_EQ(retry->second, "7");
+  auto doc = Json::Parse(rejected->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("error").Get("code").AsString(), "overloaded");
+  EXPECT_GE(server.requests_rejected(), 1);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  busy.join();
+  queued.join();
+  server.Stop();
+}
+
+TEST(HttpConcurrencyTest, StopDrainsInFlightRequest) {
+  HttpServer server;
+  std::atomic<int> entered{0};
+  ASSERT_TRUE(server
+                  .Route("GET", "/slow",
+                         [&entered](const HttpRequest&) {
+                           entered.fetch_add(1);
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(200));
+                           return HttpResponse::Text("finished");
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  std::thread client([&] {
+    auto resp = HttpGet(server.port(), "/slow");
+    // Graceful drain: the in-flight response is delivered, not RST.
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->body, "finished");
+  });
+  while (entered.load() < 1) std::this_thread::yield();
+  server.Stop();
+  client.join();
+  EXPECT_EQ(server.requests_served(), 1);
+}
+
+TEST(HttpLifecycleTest, RouteAfterStartIsRejected) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  Status s = server.Route("GET", "/late", [](const HttpRequest&) {
+    return HttpResponse::Text("x");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  Status sp = server.RoutePrefix("GET", "/late/", [](const HttpRequest&) {
+    return HttpResponse::Text("x");
+  });
+  EXPECT_EQ(sp.code(), StatusCode::kFailedPrecondition);
+  server.Stop();
+}
+
+TEST(HttpLifecycleTest, StartAfterStopServesAgain) {
+  HttpServer server;
+  ASSERT_TRUE(server
+                  .Route("GET", "/ping",
+                         [](const HttpRequest&) {
+                           return HttpResponse::Text("pong");
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_TRUE(HttpGet(server.port(), "/ping").ok());
+  server.Stop();
+  ASSERT_TRUE(server.Start(0).ok());
+  auto resp = HttpGet(server.port(), "/ping");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "pong");
+  server.Stop();
+}
+
+TEST(BackendConcurrencyTest, SessionPoolServesParallelClients) {
+  // A generate function slow enough that requests overlap. Each session
+  // slot must never run two requests at once.
+  constexpr int kSessions = 2;
+  std::vector<std::atomic<int>> in_use(kSessions);
+  std::atomic<bool> overlap{false};
+  BackendOptions options;
+  options.model_sessions = kSessions;
+  options.http.num_workers = 4;
+  BackendService backend(
+      [&](int slot) -> BackendService::GenerateFn {
+        return [&, slot](const GenerateRequest& req) -> StatusOr<Recipe> {
+          if (in_use[static_cast<size_t>(slot)].fetch_add(1) != 0) {
+            overlap.store(true);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          in_use[static_cast<size_t>(slot)].fetch_sub(1);
+          Recipe r;
+          r.title = "dish-" + std::to_string(slot);
+          for (const auto& ing : req.ingredients) {
+            r.ingredients.push_back({"1", "", ing, ""});
+          }
+          r.instructions = {"cook"};
+          return r;
+        };
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      HttpClient client(backend.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        auto resp =
+            client.Post("/v1/generate", R"({"ingredients":["rice"]})");
+        if (resp.ok() && resp->status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_FALSE(overlap.load());
+
+  // /v1/metrics agrees with what the clients saw.
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("generate_ok").AsNumber(),
+            static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(doc->Get("generate_server_errors").AsNumber(), 0.0);
+  EXPECT_EQ(doc->Get("model_sessions").AsNumber(), 2.0);
+  EXPECT_EQ(doc->Get("model_sessions_in_use").AsNumber(), 0.0);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

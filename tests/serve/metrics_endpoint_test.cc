@@ -1,3 +1,5 @@
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 #include "serve/backend_service.h"
@@ -16,13 +18,14 @@ StatusOr<Recipe> OkGenerate(const GenerateRequest& req) {
 }
 
 TEST(MetricsEndpointTest, CountsSuccessAndErrors) {
-  int fail_next = 0;
+  // Atomic: written by the test thread, read by an HTTP worker thread.
+  std::atomic<int> fail_next{0};
   BackendService backend(
       [&fail_next](const GenerateRequest& req) -> StatusOr<Recipe> {
-        if (fail_next > 0) {
-          --fail_next;
+        if (fail_next.fetch_sub(1) > 0) {
           return Status::Internal("boom");
         }
+        fail_next.fetch_add(1);
         return OkGenerate(req);
       });
   ASSERT_TRUE(backend.Start(0).ok());

@@ -88,23 +88,41 @@ TEST_F(ServiceStackTest, BackendHealthz) {
 }
 
 TEST_F(ServiceStackTest, BackendGeneratesRecipe) {
+  auto resp = HttpPost(backend_->port(), "/v1/generate",
+                       R"({"ingredients":["tomato","basil"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("recipe").Get("title").AsString(), "test dish");
+  EXPECT_EQ(doc->Get("recipe").Get("ingredients").AsArray().size(), 2u);
+  EXPECT_TRUE(doc->Get("request_id").is_string());
+}
+
+TEST_F(ServiceStackTest, DeprecatedAliasStillServes) {
+  // /api/generate answers identically to /v1/generate but flags itself.
   auto resp = HttpPost(backend_->port(), "/api/generate",
                        R"({"ingredients":["tomato","basil"]})");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
   auto doc = Json::Parse(resp->body);
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->Get("title").AsString(), "test dish");
-  EXPECT_EQ(doc->Get("ingredients").AsArray().size(), 2u);
+  EXPECT_EQ(doc->Get("recipe").Get("title").AsString(), "test dish");
+  auto dep = resp->headers.find("deprecation");
+  ASSERT_NE(dep, resp->headers.end());
+  EXPECT_EQ(dep->second, "true");
 }
 
 TEST_F(ServiceStackTest, BackendRejectsBadRequestWith400) {
-  auto resp = HttpPost(backend_->port(), "/api/generate", "{}");
+  auto resp = HttpPost(backend_->port(), "/v1/generate", "{}");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 400);
   auto doc = Json::Parse(resp->body);
   ASSERT_TRUE(doc.ok());
-  EXPECT_TRUE(doc->Get("error").is_string());
+  const Json& error = doc->Get("error");
+  EXPECT_EQ(error.Get("code").AsString(), "missing_ingredients");
+  EXPECT_TRUE(error.Get("message").is_string());
+  EXPECT_TRUE(error.Get("request_id").is_string());
 }
 
 TEST_F(ServiceStackTest, FrontendServesIndexPage) {
@@ -112,29 +130,37 @@ TEST_F(ServiceStackTest, FrontendServesIndexPage) {
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
   EXPECT_NE(resp->body.find("Ratatouille"), std::string::npos);
-  EXPECT_NE(resp->body.find("/api/generate"), std::string::npos);
+  EXPECT_NE(resp->body.find("/v1/generate"), std::string::npos);
 }
 
 TEST_F(ServiceStackTest, FrontendProxiesApiToBackend) {
   // The paper's decoupled two-tier architecture: the browser only ever
   // talks to the frontend; generation flows through the proxy.
-  auto resp = HttpPost(frontend_->port(), "/api/generate",
+  auto resp = HttpPost(frontend_->port(), "/v1/generate",
                        R"({"ingredients":["rice"]})");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
   auto doc = Json::Parse(resp->body);
   ASSERT_TRUE(doc.ok());
-  EXPECT_EQ(doc->Get("ingredients").AsArray()[0].Get("name").AsString(),
+  EXPECT_EQ(doc->Get("recipe")
+                .Get("ingredients")
+                .AsArray()[0]
+                .Get("name")
+                .AsString(),
             "rice");
   EXPECT_GE(backend_->requests_served(), 1);
 }
 
 TEST_F(ServiceStackTest, FrontendReports502WhenBackendDown) {
   backend_->Stop();
-  auto resp = HttpPost(frontend_->port(), "/api/generate",
+  auto resp = HttpPost(frontend_->port(), "/v1/generate",
                        R"({"ingredients":["rice"]})");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 502);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("error").Get("code").AsString(),
+            "backend_unreachable");
 }
 
 TEST(BackendErrorTest, GeneratorFailureIs500) {
@@ -142,10 +168,13 @@ TEST(BackendErrorTest, GeneratorFailureIs500) {
     return Status::Internal("model exploded");
   });
   ASSERT_TRUE(backend.Start(0).ok());
-  auto resp = HttpPost(backend.port(), "/api/generate",
+  auto resp = HttpPost(backend.port(), "/v1/generate",
                        R"({"ingredients":["x"]})");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 500);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("error").Get("code").AsString(), "generation_failed");
   backend.Stop();
 }
 

@@ -1,0 +1,196 @@
+// Wire-contract tests for the versioned /v1 API: every stable error
+// code, the structured error envelope, parameter echoing, request ids,
+// /v1/models, and the Deprecation header on the legacy aliases.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+
+namespace rt {
+namespace {
+
+StatusOr<Recipe> FakeGenerate(const GenerateRequest& req) {
+  Recipe r;
+  r.title = "dish";
+  for (const auto& ing : req.ingredients) {
+    r.ingredients.push_back({"1", "", ing, ""});
+  }
+  r.instructions = {"cook"};
+  return r;
+}
+
+class V1ApiTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    BackendOptions options;
+    options.models = {"word-lstm", "gpt2-medium"};
+    backend_ = std::make_unique<BackendService>(
+        [](int) -> BackendService::GenerateFn { return FakeGenerate; },
+        options);
+    ASSERT_TRUE(backend_->Start(0).ok());
+  }
+  void TearDown() override {
+    if (backend_) backend_->Stop();
+  }
+
+  /// POSTs to /v1/generate and returns the envelope's error code.
+  std::string ErrorCodeFor(const std::string& body, int expect_status) {
+    auto resp = HttpPost(backend_->port(), "/v1/generate", body);
+    if (!resp.ok()) return "<transport error>";
+    if (resp->status != expect_status) {
+      return "<status " + std::to_string(resp->status) + ">";
+    }
+    auto doc = Json::Parse(resp->body);
+    if (!doc.ok()) return "<unparseable body>";
+    const Json& error = doc->Get("error");
+    if (!error.Get("message").is_string() ||
+        !error.Get("request_id").is_string()) {
+      return "<incomplete envelope>";
+    }
+    return error.Get("code").AsString();
+  }
+
+  std::unique_ptr<BackendService> backend_;
+};
+
+TEST_F(V1ApiTest, EveryValidationErrorHasAStableCode) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"not json at all", "invalid_json"},
+      {"[1,2,3]", "invalid_request"},
+      {"{}", "missing_ingredients"},
+      {R"({"ingredients":[]})", "missing_ingredients"},
+      {R"({"ingredients":[42]})", "bad_ingredients"},
+      {R"({"ingredients":["a"],"max_tokens":0})", "bad_max_tokens"},
+      {R"({"ingredients":["a"],"max_tokens":9999})", "bad_max_tokens"},
+      {R"({"ingredients":["a"],"max_tokens":"many"})", "bad_max_tokens"},
+      {R"({"ingredients":["a"],"temperature":0})", "bad_temperature"},
+      {R"({"ingredients":["a"],"temperature":11})", "bad_temperature"},
+      {R"({"ingredients":["a"],"top_k":-1})", "bad_top_k"},
+      {R"({"ingredients":["a"],"top_p":1.5})", "bad_top_p"},
+      {R"({"ingredients":["a"],"top_p":-0.1})", "bad_top_p"},
+      {R"({"ingredients":["a"],"greedy":"yes"})", "bad_greedy"},
+      {R"({"ingredients":["a"],"beam_width":65})", "bad_beam_width"},
+      {R"({"ingredients":["a"],"seed":"x"})", "bad_seed"},
+      {R"({"ingredients":["a"],"model":3})", "bad_model"},
+      {R"({"ingredients":["a"],"model":"no-such-model"})", "bad_model"},
+      {R"({"ingredients":["a"],"temparature":1})", "unknown_field"},
+  };
+  for (const auto& [body, code] : cases) {
+    EXPECT_EQ(ErrorCodeFor(body, 400), code) << "body: " << body;
+  }
+}
+
+TEST_F(V1ApiTest, GenerateEchoesResolvedParamsAndRequestId) {
+  auto resp = HttpPost(
+      backend_->port(), "/v1/generate",
+      R"({"ingredients":["rice"],"max_tokens":32,"temperature":0.5,)"
+      R"("top_p":0.9,"greedy":true,"beam_width":4,"seed":11})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("model").AsString(), "word-lstm");  // default model
+  const Json& params = doc->Get("params");
+  EXPECT_EQ(params.Get("max_tokens").AsNumber(), 32.0);
+  EXPECT_NEAR(params.Get("temperature").AsNumber(), 0.5, 1e-9);
+  EXPECT_NEAR(params.Get("top_p").AsNumber(), 0.9, 1e-9);
+  EXPECT_TRUE(params.Get("greedy").AsBool());
+  EXPECT_EQ(params.Get("beam_width").AsNumber(), 4.0);
+  EXPECT_EQ(params.Get("seed").AsNumber(), 11.0);
+  const std::string id = doc->Get("request_id").AsString();
+  EXPECT_EQ(id.rfind("req-", 0), 0u);
+
+  // Ids are unique per request.
+  auto resp2 = HttpPost(backend_->port(), "/v1/generate",
+                        R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp2.ok());
+  auto doc2 = Json::Parse(resp2->body);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_NE(doc2->Get("request_id").AsString(), id);
+}
+
+TEST_F(V1ApiTest, NamedModelIsAcceptedAndEchoed) {
+  auto resp =
+      HttpPost(backend_->port(), "/v1/generate",
+               R"({"ingredients":["rice"],"model":"gpt2-medium"})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("model").AsString(), "gpt2-medium");
+}
+
+TEST_F(V1ApiTest, ModelsEndpointListsConfiguredModels) {
+  auto resp = HttpGet(backend_->port(), "/v1/models");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  const auto& models = doc->Get("models").AsArray();
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].Get("name").AsString(), "word-lstm");
+  EXPECT_TRUE(models[0].Get("default").AsBool());
+  EXPECT_EQ(models[1].Get("name").AsString(), "gpt2-medium");
+  EXPECT_FALSE(models[1].Get("default").AsBool());
+}
+
+TEST_F(V1ApiTest, VersionedRoutesCarryNoDeprecationHeader) {
+  for (const std::string path : {"/v1/healthz", "/v1/metrics",
+                                 "/v1/models"}) {
+    auto resp = HttpGet(backend_->port(), path);
+    ASSERT_TRUE(resp.ok()) << path;
+    EXPECT_EQ(resp->status, 200) << path;
+    EXPECT_EQ(resp->headers.count("deprecation"), 0u) << path;
+  }
+}
+
+TEST_F(V1ApiTest, LegacyAliasesAnswerWithDeprecationHeader) {
+  for (const std::string path : {"/healthz", "/metrics"}) {
+    auto resp = HttpGet(backend_->port(), path);
+    ASSERT_TRUE(resp.ok()) << path;
+    EXPECT_EQ(resp->status, 200) << path;
+    auto it = resp->headers.find("deprecation");
+    ASSERT_NE(it, resp->headers.end()) << path;
+    EXPECT_EQ(it->second, "true") << path;
+  }
+  auto post = HttpPost(backend_->port(), "/api/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 200);
+  EXPECT_EQ(post->headers.count("deprecation"), 1u);
+}
+
+TEST_F(V1ApiTest, HealthzBodyIsStable) {
+  auto resp = HttpGet(backend_->port(), "/v1/healthz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "{\"status\":\"ok\"}");
+}
+
+TEST_F(V1ApiTest, UnknownPathGets404Envelope) {
+  auto resp = HttpGet(backend_->port(), "/v2/everything");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 404);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("error").Get("code").AsString(), "not_found");
+  EXPECT_TRUE(doc->Get("error").Get("request_id").is_string());
+}
+
+TEST(BackendLifecycleTest, StartAfterStopServesAgain) {
+  BackendService backend(FakeGenerate);
+  ASSERT_TRUE(backend.Start(0).ok());
+  backend.Stop();
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto resp = HttpGet(backend.port(), "/v1/healthz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

@@ -40,11 +40,12 @@ int Usage() {
       "              [--seed=S --lr=F --seq-len=T --batch=B\n"
       "               --checkpoint=FILE --patience=P]\n"
       "  generate    --model=KIND --recipes=N [--checkpoint=FILE\n"
-      "               --max-tokens=M --temperature=F --top-k=K\n"
-      "               --beam=W --gen-seed=S] INGREDIENT...\n"
+      "               --max-tokens=M --temperature=F --top-k=K --top-p=F\n"
+      "               --greedy --beam=W --gen-seed=S] INGREDIENT...\n"
       "  evaluate    --model=KIND --recipes=N --epochs=E --samples=K\n"
       "  serve       --model=KIND --recipes=N --epochs=E\n"
-      "              [--backend-port=P --frontend-port=P]\n"
+      "              [--backend-port=P --frontend-port=P --workers=N\n"
+      "               --sessions=N --queue=N]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n");
   return 2;
 }
@@ -174,15 +175,18 @@ int CmdGenerate(const ArgParser& args) {
   auto max_tokens = args.GetInt("max-tokens", 200);
   auto temperature = args.GetDouble("temperature", 0.8);
   auto top_k = args.GetInt("top-k", 10);
+  auto top_p = args.GetDouble("top-p", 0.0);
   auto beam = args.GetInt("beam", 0);
   auto gen_seed = args.GetInt("gen-seed", 1);
-  if (!max_tokens.ok() || !temperature.ok() || !top_k.ok() || !beam.ok() ||
-      !gen_seed.ok()) {
+  if (!max_tokens.ok() || !temperature.ok() || !top_k.ok() ||
+      !top_p.ok() || !beam.ok() || !gen_seed.ok()) {
     return Usage();
   }
   gen.max_new_tokens = static_cast<int>(*max_tokens);
   gen.sampling.temperature = static_cast<float>(*temperature);
   gen.sampling.top_k = static_cast<int>(*top_k);
+  gen.sampling.top_p = static_cast<float>(*top_p);
+  gen.sampling.greedy = args.GetBool("greedy");
   gen.beam_width = static_cast<int>(*beam);
   gen.seed = static_cast<uint64_t>(*gen_seed);
   auto out = (*pipeline)->GenerateFromIngredients(ingredients, gen);
@@ -232,27 +236,34 @@ int CmdServe(const ArgParser& args) {
   }
   auto backend_port = args.GetInt("backend-port", 0);
   auto frontend_port = args.GetInt("frontend-port", 0);
-  if (!backend_port.ok() || !frontend_port.ok()) return Usage();
+  auto workers = args.GetInt("workers", 0);
+  auto sessions = args.GetInt("sessions", 2);
+  auto queue = args.GetInt("queue", 64);
+  if (!backend_port.ok() || !frontend_port.ok() || !workers.ok() ||
+      !sessions.ok() || !queue.ok()) {
+    return Usage();
+  }
 
-  BackendService backend(
-      [&p](const GenerateRequest& req) -> StatusOr<Recipe> {
-        GenerationOptions gen;
-        gen.max_new_tokens = req.max_tokens;
-        gen.sampling.temperature = static_cast<float>(req.temperature);
-        gen.sampling.top_k = req.top_k;
-        gen.seed = req.seed;
-        RT_ASSIGN_OR_RETURN(GeneratedRecipe out,
-                            p.GenerateFromIngredients(req.ingredients, gen));
-        return out.recipe;
-      });
+  BackendOptions options;
+  options.model_sessions = static_cast<int>(*sessions);
+  options.http.num_workers = static_cast<int>(*workers);
+  options.http.max_queue = static_cast<int>(*queue);
+  options.models = {args.GetString("model", "word-lstm")};
+  std::vector<std::unique_ptr<LanguageModel>> session_models;
+  BackendService backend(MakePipelineSessionFactory(&p, &session_models),
+                         options);
   Status s = backend.Start(static_cast<int>(*backend_port));
   if (!s.ok()) return Fail(s);
   FrontendService frontend(backend.port());
   s = frontend.Start(static_cast<int>(*frontend_port));
   if (!s.ok()) return Fail(s);
-  std::printf("backend  http://127.0.0.1:%d\nfrontend http://127.0.0.1:%d\n"
+  std::printf("backend  http://127.0.0.1:%d  (POST /v1/generate)\n"
+              "frontend http://127.0.0.1:%d  (GET /)\n"
+              "workers=%d sessions=%d queue=%d\n"
               "Ctrl-C to stop\n",
-              backend.port(), frontend.port());
+              backend.port(), frontend.port(),
+              backend.server().num_workers(), backend.model_sessions(),
+              backend.server().options().max_queue);
   std::signal(SIGINT, OnSignal);
   while (!g_stop) {
     struct timespec ts{0, 200'000'000};
