@@ -10,6 +10,8 @@
 #include "eval/bleu.h"
 #include "models/sampler.h"
 #include "nn/layers.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
 #include "util/json.h"
 #include "tensor/ops.h"
 #include "tensor/tape.h"
@@ -198,6 +200,28 @@ void BM_SampleFromLogits(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampleFromLogits);
+
+void BM_DeadlineExpiredCheck(benchmark::State& state) {
+  // The per-token abort check every decode loop pays: one clock read
+  // plus a comparison (plus a shared_ptr null test in CheckAbort).
+  const Deadline deadline = Deadline::AfterMillis(3'600'000);
+  for (auto _ : state) {
+    bool expired = deadline.expired();
+    benchmark::DoNotOptimize(expired);
+  }
+}
+BENCHMARK(BM_DeadlineExpiredCheck);
+
+void BM_FaultPointUnarmed(benchmark::State& state) {
+  // Un-armed fast path of an instrumented fault point — this is the
+  // always-on cost paid by every socket read/write in production.
+  auto& faults = FaultInjector::Instance();
+  for (auto _ : state) {
+    auto fired = faults.Hit("bench.unarmed");
+    benchmark::DoNotOptimize(fired.has_value());
+  }
+}
+BENCHMARK(BM_FaultPointUnarmed);
 
 void BM_RecipeGeneration(benchmark::State& state) {
   GeneratorOptions opts;

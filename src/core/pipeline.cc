@@ -272,11 +272,12 @@ StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredientsWith(
   if (opts.stop_token < 0) opts.stop_token = stop_token_;
 
   Timer timer;
-  std::vector<int> generated = model->GenerateIds(prompt_ids, opts);
+  GenerationResult generated = model->Generate(prompt_ids, opts);
   GeneratedRecipe out;
   out.seconds = timer.ElapsedSeconds();
-  out.tokens_generated = static_cast<int>(generated.size());
-  out.raw_tagged = prompt + " " + tokenizer_->Decode(generated);
+  out.tokens_generated = static_cast<int>(generated.ids.size());
+  out.finish = generated.finish;
+  out.raw_tagged = prompt + " " + tokenizer_->Decode(generated.ids);
   auto parsed = ParseTaggedRecipe(out.raw_tagged);
   if (parsed.ok()) {
     out.recipe = *parsed;
@@ -352,6 +353,8 @@ GenerationOptions ToGenerationOptions(const GenerateRequest& request) {
   gen.sampling.greedy = request.greedy;
   gen.beam_width = request.beam_width;
   gen.seed = request.seed;
+  gen.deadline = request.deadline;
+  gen.cancel = request.cancel;
   return gen;
 }
 
@@ -365,20 +368,26 @@ BackendService::SessionFactory MakePipelineSessionFactory(
       auto clone = pipeline->CloneModel();
       if (!clone.ok()) {
         const Status status = clone.status();
-        return [status](const GenerateRequest&) -> StatusOr<Recipe> {
-          return status;
-        };
+        return [status](const GenerateRequest&)
+                   -> StatusOr<GenerateOutcome> { return status; };
       }
       session_models->push_back(std::move(*clone));
       model = session_models->back().get();
     }
     return [pipeline, model](const GenerateRequest& req)
-               -> StatusOr<Recipe> {
+               -> StatusOr<GenerateOutcome> {
       RT_ASSIGN_OR_RETURN(GeneratedRecipe out,
                           pipeline->GenerateFromIngredientsWith(
                               model, req.ingredients,
                               ToGenerationOptions(req)));
-      return out.recipe;
+      GenerateOutcome outcome;
+      outcome.recipe = std::move(out.recipe);
+      outcome.finish_reason = FinishReasonName(out.finish);
+      outcome.tokens_generated = out.tokens_generated;
+      outcome.deadline_exceeded =
+          out.finish == FinishReason::kDeadlineExceeded;
+      outcome.cancelled = out.finish == FinishReason::kCancelled;
+      return outcome;
     };
   };
 }

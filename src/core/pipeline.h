@@ -58,6 +58,9 @@ struct GeneratedRecipe {
   std::string raw_tagged;  // prompt + generated text
   double seconds = 0.0;    // wall-clock generation time
   int tokens_generated = 0;
+  /// How decoding ended; kDeadlineExceeded / kCancelled mean the recipe
+  /// was parsed from a partial decode.
+  FinishReason finish = FinishReason::kStopToken;
 };
 
 /// BLEU evaluation summary over held-out prompts (experiment E1).

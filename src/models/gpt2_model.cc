@@ -134,10 +134,21 @@ Tensor Gpt2Lm::StepWithCache(int token, KvCache* cache) const {
   return ops::MatMulTransB(x, root_.tok.table()->value);
 }
 
-std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
-                                       const BeamOptions& options) const {
+GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
+                                    const BeamOptions& options) const {
   assert(!prompt.empty());
   assert(options.beam_width >= 1);
+
+  // Deadline/cancel polling shared by the prompt and step loops.
+  const auto check_abort = [&options]() -> std::optional<FinishReason> {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return FinishReason::kCancelled;
+    }
+    if (options.deadline.expired()) {
+      return FinishReason::kDeadlineExceeded;
+    }
+    return std::nullopt;
+  };
 
   struct Beam {
     KvCache cache;
@@ -145,6 +156,7 @@ std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
     double log_prob = 0.0;
     Tensor logits;  // logits after the last processed token
     bool finished = false;
+    FinishReason end = FinishReason::kMaxTokens;  // valid when finished
   };
   auto norm_score = [&](const Beam& b) {
     const double len = std::max<size_t>(b.tokens.size(), 1);
@@ -160,13 +172,20 @@ std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
     seed.cache.values.push_back(Tensor({config_.max_seq_len, config_.dim}));
   }
   for (int id : prompt) {
+    if (auto abort = check_abort()) {
+      GenerationResult result;
+      result.finish = *abort;
+      return result;
+    }
     if (seed.cache.len >= config_.max_seq_len) break;
     seed.logits = StepWithCache(id, &seed.cache);
   }
   std::vector<Beam> beams;
   beams.push_back(std::move(seed));
 
+  std::optional<FinishReason> aborted;
   for (int step = 0; step < options.max_new_tokens; ++step) {
+    if ((aborted = check_abort())) break;
     struct Candidate {
       size_t beam_index;
       int token;
@@ -177,6 +196,7 @@ std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
     for (size_t bi = 0; bi < beams.size(); ++bi) {
       Beam& beam = beams[bi];
       if (beam.finished || beam.cache.len >= config_.max_seq_len) {
+        if (!beam.finished) beam.end = FinishReason::kContextFull;
         beam.finished = true;
         continue;
       }
@@ -218,9 +238,12 @@ std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
       child.tokens = beams[cand.beam_index].tokens;
       child.tokens.push_back(cand.token);
       child.log_prob = cand.log_prob;
-      if (cand.token == options.stop_token ||
-          child.cache.len >= config_.max_seq_len) {
+      if (cand.token == options.stop_token) {
         child.finished = true;
+        child.end = FinishReason::kStopToken;
+      } else if (child.cache.len >= config_.max_seq_len) {
+        child.finished = true;
+        child.end = FinishReason::kContextFull;
       } else {
         child.logits = StepWithCache(cand.token, &child.cache);
       }
@@ -244,11 +267,16 @@ std::vector<int> Gpt2Lm::BeamSearchIds(const std::vector<int>& prompt,
   for (const Beam& beam : beams) {
     if (norm_score(beam) > norm_score(*best)) best = &beam;
   }
-  return best->tokens;
+  GenerationResult result;
+  result.ids = best->tokens;
+  result.finish = aborted ? *aborted
+                          : (best->finished ? best->end
+                                            : FinishReason::kMaxTokens);
+  return result;
 }
 
-std::vector<int> Gpt2Lm::GenerateIds(const std::vector<int>& prompt,
-                                     const GenerationOptions& options) {
+GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
+                                  const GenerationOptions& options) {
   assert(!prompt.empty());
   if (options.beam_width > 0) {
     BeamOptions beam;
@@ -256,11 +284,13 @@ std::vector<int> Gpt2Lm::GenerateIds(const std::vector<int>& prompt,
     beam.max_new_tokens = options.max_new_tokens;
     beam.stop_token = options.stop_token;
     beam.length_penalty = options.beam_length_penalty;
-    return BeamSearchIds(prompt, beam);
+    beam.deadline = options.deadline;
+    beam.cancel = options.cancel;
+    return BeamSearch(prompt, beam);
   }
+  GenerationResult result;
   Rng rng(options.seed);
-  std::vector<int> out;
-  out.reserve(options.max_new_tokens);
+  result.ids.reserve(options.max_new_tokens);
 
   if (use_kv_cache_) {
     KvCache cache;
@@ -270,22 +300,41 @@ std::vector<int> Gpt2Lm::GenerateIds(const std::vector<int>& prompt,
     }
     Tensor logits;
     for (int id : prompt) {
+      if (auto abort = CheckAbort(options)) {
+        result.finish = *abort;
+        return result;
+      }
       if (cache.len >= config_.max_seq_len) break;
       logits = StepWithCache(id, &cache);
     }
     for (int step = 0; step < options.max_new_tokens; ++step) {
+      if (auto abort = CheckAbort(options)) {
+        result.finish = *abort;
+        return result;
+      }
       int next = SampleFromLogits(logits, options.sampling, &rng);
-      out.push_back(next);
-      if (next == options.stop_token) break;
-      if (cache.len >= config_.max_seq_len) break;
+      result.ids.push_back(next);
+      if (next == options.stop_token) {
+        result.finish = FinishReason::kStopToken;
+        return result;
+      }
+      if (cache.len >= config_.max_seq_len) {
+        result.finish = FinishReason::kContextFull;
+        return result;
+      }
       logits = StepWithCache(next, &cache);
     }
-    return out;
+    result.finish = FinishReason::kMaxTokens;
+    return result;
   }
 
   // Naive path: re-encode the full sequence for each new token.
   std::vector<int> seq = prompt;
   for (int step = 0; step < options.max_new_tokens; ++step) {
+    if (auto abort = CheckAbort(options)) {
+      result.finish = *abort;
+      return result;
+    }
     // Respect the context window by keeping the trailing tokens.
     std::vector<int> window = seq;
     if (static_cast<int>(window.size()) > config_.max_seq_len) {
@@ -296,11 +345,15 @@ std::vector<int> Gpt2Lm::GenerateIds(const std::vector<int>& prompt,
     int next = SampleFromLogits(
         logits.data() + static_cast<size_t>(last) * logits.cols(),
         logits.cols(), options.sampling, &rng);
-    out.push_back(next);
-    if (next == options.stop_token) break;
+    result.ids.push_back(next);
+    if (next == options.stop_token) {
+      result.finish = FinishReason::kStopToken;
+      return result;
+    }
     seq.push_back(next);
   }
-  return out;
+  result.finish = FinishReason::kMaxTokens;
+  return result;
 }
 
 std::unique_ptr<LanguageModel> Gpt2Lm::Clone() {

@@ -51,8 +51,8 @@ class Gpt2Lm : public LanguageModel {
 
   float TrainStep(const Batch& batch, Rng* dropout_rng) override;
   float EvalLoss(const Batch& batch) override;
-  std::vector<int> GenerateIds(const std::vector<int>& prompt,
-                               const GenerationOptions& options) override;
+  GenerationResult Generate(const std::vector<int>& prompt,
+                            const GenerationOptions& options) override;
   std::unique_ptr<LanguageModel> Clone() override;
 
   /// Toggles the KV-cache fast path for GenerateIds (default on). The
@@ -73,13 +73,24 @@ class Gpt2Lm : public LanguageModel {
     int stop_token = -1;
     /// Google-NMT style length normalization exponent; 0 disables.
     float length_penalty = 0.6f;
+    /// Checked once per beam step; expiry returns the best beam so far.
+    Deadline deadline;
+    /// Cooperative cancellation, polled alongside the deadline.
+    std::shared_ptr<const CancelToken> cancel;
   };
 
   /// Deterministic beam-search decoding over the KV-cache path. Returns
-  /// the highest-scoring completion (new ids only, including the stop
-  /// token when emitted).
+  /// the highest-scoring completion so far (new ids only, including the
+  /// stop token when emitted) plus why the search stopped — deadline or
+  /// cancellation mid-search yields the best partial beam.
+  GenerationResult BeamSearch(const std::vector<int>& prompt,
+                              const BeamOptions& options) const;
+
+  /// Convenience wrapper: the winning beam's ids only.
   std::vector<int> BeamSearchIds(const std::vector<int>& prompt,
-                                 const BeamOptions& options) const;
+                                 const BeamOptions& options) const {
+    return BeamSearch(prompt, options).ids;
+  }
 
  private:
   class Root : public Module {

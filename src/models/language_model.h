@@ -2,6 +2,7 @@
 #define RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "models/sampler.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
+#include "util/deadline.h"
 #include "util/rng.h"
 
 namespace rt {
@@ -26,7 +28,68 @@ struct GenerationOptions {
   int beam_width = 0;
   /// Length-normalization exponent for beam search.
   float beam_length_penalty = 0.6f;
+  /// Generation stops with a partial result once this passes; the decode
+  /// loops check it at token granularity. Default: no deadline.
+  Deadline deadline;
+  /// Optional cooperative cancellation, polled once per token alongside
+  /// the deadline. The model only reads the token; the owner fires it.
+  std::shared_ptr<const CancelToken> cancel;
 };
+
+/// Why a generation stopped.
+enum class FinishReason {
+  kStopToken,         // emitted options.stop_token
+  kMaxTokens,         // hit options.max_new_tokens
+  kContextFull,       // ran out of attention positions
+  kDeadlineExceeded,  // options.deadline passed mid-decode
+  kCancelled,         // options.cancel fired mid-decode
+};
+
+/// Stable lower_snake_case name ("stop_token", "deadline_exceeded", ...)
+/// used in serving responses and logs.
+inline const char* FinishReasonName(FinishReason reason) {
+  switch (reason) {
+    case FinishReason::kStopToken:
+      return "stop_token";
+    case FinishReason::kMaxTokens:
+      return "max_tokens";
+    case FinishReason::kContextFull:
+      return "context_full";
+    case FinishReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case FinishReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+/// A generation and why it ended. `ids` holds whatever was decoded
+/// before the stop — on deadline/cancellation that is a usable partial
+/// result, not garbage.
+struct GenerationResult {
+  std::vector<int> ids;
+  FinishReason finish = FinishReason::kMaxTokens;
+
+  /// True when the result was cut short by deadline or cancellation.
+  bool truncated() const {
+    return finish == FinishReason::kDeadlineExceeded ||
+           finish == FinishReason::kCancelled;
+  }
+};
+
+/// The abort reason when `options` demand stopping now (cancellation
+/// wins over deadline), or nullopt to keep decoding. Decode loops call
+/// this once per token.
+inline std::optional<FinishReason> CheckAbort(
+    const GenerationOptions& options) {
+  if (options.cancel != nullptr && options.cancel->cancelled()) {
+    return FinishReason::kCancelled;
+  }
+  if (options.deadline.expired()) {
+    return FinishReason::kDeadlineExceeded;
+  }
+  return std::nullopt;
+}
 
 /// Common interface of the paper's models (char-LSTM, word-LSTM, GPT-2
 /// variants). Models are token-level: pairing with a tokenizer happens one
@@ -49,10 +112,20 @@ class LanguageModel {
   /// Mean next-token cross-entropy without touching gradients.
   virtual float EvalLoss(const Batch& batch) = 0;
 
-  /// Continues `prompt` autoregressively; returns only the newly
-  /// generated ids.
-  virtual std::vector<int> GenerateIds(const std::vector<int>& prompt,
-                                       const GenerationOptions& options) = 0;
+  /// Continues `prompt` autoregressively; returns the newly generated
+  /// ids plus why decoding stopped. Honors options.deadline and
+  /// options.cancel at token granularity: an already-expired deadline
+  /// returns immediately with zero tokens, and a deadline or
+  /// cancellation mid-decode returns the partial result within ~one
+  /// token step, leaving the model reusable.
+  virtual GenerationResult Generate(const std::vector<int>& prompt,
+                                    const GenerationOptions& options) = 0;
+
+  /// Convenience wrapper: the generated ids only.
+  std::vector<int> GenerateIds(const std::vector<int>& prompt,
+                               const GenerationOptions& options) {
+    return Generate(prompt, options).ids;
+  }
 
   /// Deep-copies the model (configuration + current weights) into an
   /// independent instance, so concurrent serving sessions can generate

@@ -62,34 +62,47 @@ float LstmLm::EvalLoss(const Batch& batch) {
   return RunBatch(batch, /*training=*/false, &unused);
 }
 
-std::vector<int> LstmLm::GenerateIds(const std::vector<int>& prompt,
-                                     const GenerationOptions& options) {
+GenerationResult LstmLm::Generate(const std::vector<int>& prompt,
+                                  const GenerationOptions& options) {
   assert(!prompt.empty());
+  GenerationResult result;
   Rng rng(options.seed);
   Rng no_dropout(0);
   Tape tape;
   std::vector<LstmState> states;
-  // Feed the prompt, keeping only the final hidden state.
+  // Feed the prompt, keeping only the final hidden state. Deadlines are
+  // honored even here so an already-expired request does no work.
   VarId last_h = kInvalidVar;
   for (int id : prompt) {
+    if (auto abort = CheckAbort(options)) {
+      result.finish = *abort;
+      return result;
+    }
     std::vector<VarId> hs =
         root_.lstm.Forward(&tape, {root_.embed.Forward(&tape, {id})},
                            &states);
     last_h = hs[0];
   }
-  std::vector<int> out;
-  out.reserve(options.max_new_tokens);
+  result.ids.reserve(options.max_new_tokens);
   int cur = -1;
   for (int step = 0; step < options.max_new_tokens; ++step) {
+    if (auto abort = CheckAbort(options)) {
+      result.finish = *abort;
+      return result;
+    }
     VarId logits = root_.head.Forward(&tape, last_h);
     cur = SampleFromLogits(tape.value(logits), options.sampling, &rng);
-    out.push_back(cur);
-    if (cur == options.stop_token) break;
+    result.ids.push_back(cur);
+    if (cur == options.stop_token) {
+      result.finish = FinishReason::kStopToken;
+      return result;
+    }
     std::vector<VarId> hs = root_.lstm.Forward(
         &tape, {root_.embed.Forward(&tape, {cur})}, &states);
     last_h = hs[0];
   }
-  return out;
+  result.finish = FinishReason::kMaxTokens;
+  return result;
 }
 
 std::unique_ptr<LanguageModel> LstmLm::Clone() {

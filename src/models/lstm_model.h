@@ -36,8 +36,8 @@ class LstmLm : public LanguageModel {
 
   float TrainStep(const Batch& batch, Rng* dropout_rng) override;
   float EvalLoss(const Batch& batch) override;
-  std::vector<int> GenerateIds(const std::vector<int>& prompt,
-                               const GenerationOptions& options) override;
+  GenerationResult Generate(const std::vector<int>& prompt,
+                            const GenerationOptions& options) override;
   std::unique_ptr<LanguageModel> Clone() override;
 
   const LstmConfig& config() const { return config_; }

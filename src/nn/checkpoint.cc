@@ -1,40 +1,48 @@
 #include "nn/checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <vector>
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 
 namespace rt {
 namespace {
 
-constexpr char kMagic[] = "RTCKPT01";
+/// v2 appends a CRC-32 of the payload; v1 files (no checksum) still load.
+constexpr char kMagic[] = "RTCKPT02";
+constexpr char kMagicV1[] = "RTCKPT01";
 constexpr size_t kMagicLen = 8;
 
-void WriteU32(std::ofstream& out, uint32_t v) {
+void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteF64(std::ofstream& out, double v) {
+void WriteF64(std::ostream& out, double v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteString(std::ofstream& out, const std::string& s) {
+void WriteString(std::ostream& out, const std::string& s) {
   WriteU32(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-bool ReadU32(std::ifstream& in, uint32_t* v) {
+bool ReadU32(std::istream& in, uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return in.good();
 }
 
-bool ReadF64(std::ifstream& in, double* v) {
+bool ReadF64(std::istream& in, double* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return in.good();
 }
 
-bool ReadString(std::ifstream& in, std::string* s) {
+bool ReadString(std::istream& in, std::string* s) {
   uint32_t len = 0;
   if (!ReadU32(in, &len)) return false;
   s->resize(len);
@@ -46,29 +54,50 @@ bool ReadString(std::ifstream& in, std::string* s) {
 
 Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
                       const std::string& path) {
+  // The payload is assembled in memory so the CRC covers exactly the
+  // bytes that land on disk between the magic and the trailer.
+  std::ostringstream payload;
+  WriteU32(payload, static_cast<uint32_t>(metadata.size()));
+  for (const auto& [key, value] : metadata) {
+    WriteString(payload, key);
+    WriteF64(payload, value);
+  }
+  auto named = module->NamedParameters();
+  WriteU32(payload, static_cast<uint32_t>(named.size()));
+  for (const auto& [name, param] : named) {
+    WriteString(payload, name);
+    const auto& shape = param->value.shape();
+    WriteU32(payload, static_cast<uint32_t>(shape.size()));
+    for (int d : shape) WriteU32(payload, static_cast<uint32_t>(d));
+    payload.write(reinterpret_cast<const char*>(param->value.data()),
+                  static_cast<std::streamsize>(param->value.numel() *
+                                               sizeof(float)));
+  }
+
+  std::string bytes = payload.str();
+  const uint32_t crc = Crc32(bytes);
+  std::string file_bytes(kMagic, kMagicLen);
+  file_bytes += bytes;
+  file_bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+
+  // Fault point for the torn-write tests: drop the tail of the file the
+  // way a crash or full disk would, after the CRC was computed.
+  if (auto fired = FaultInjector::Instance().Hit("ckpt.truncate")) {
+    const size_t chop =
+        static_cast<size_t>(fired->amount > 0 ? fired->amount : 4);
+    if (chop >= file_bytes.size()) {
+      file_bytes.clear();
+    } else {
+      file_bytes.resize(file_bytes.size() - chop);
+    }
+  }
+
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open for write: " + tmp);
-    out.write(kMagic, kMagicLen);
-
-    WriteU32(out, static_cast<uint32_t>(metadata.size()));
-    for (const auto& [key, value] : metadata) {
-      WriteString(out, key);
-      WriteF64(out, value);
-    }
-
-    auto named = module->NamedParameters();
-    WriteU32(out, static_cast<uint32_t>(named.size()));
-    for (const auto& [name, param] : named) {
-      WriteString(out, name);
-      const auto& shape = param->value.shape();
-      WriteU32(out, static_cast<uint32_t>(shape.size()));
-      for (int d : shape) WriteU32(out, static_cast<uint32_t>(d));
-      out.write(reinterpret_cast<const char*>(param->value.data()),
-                static_cast<std::streamsize>(param->value.numel() *
-                                             sizeof(float)));
-    }
+    out.write(file_bytes.data(),
+              static_cast<std::streamsize>(file_bytes.size()));
     if (!out) return Status::IoError("write failed: " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -79,13 +108,38 @@ Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
 
 Status LoadCheckpoint(Module* module, const std::string& path,
                       CheckpointMetadata* metadata) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  char magic[kMagicLen];
-  in.read(magic, kMagicLen);
-  if (!in.good() || std::string(magic, kMagicLen) != kMagic) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream whole;
+  whole << file.rdbuf();
+  std::string bytes = whole.str();
+  if (bytes.size() < kMagicLen) {
     return Status::InvalidArgument("bad checkpoint magic: " + path);
   }
+  const std::string magic = bytes.substr(0, kMagicLen);
+  std::string payload;
+  if (magic == kMagic) {
+    // v2: the last four bytes are a CRC-32 of everything in between.
+    if (bytes.size() < kMagicLen + sizeof(uint32_t)) {
+      return Status::IoError("truncated checkpoint: " + path);
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    payload = bytes.substr(kMagicLen,
+                           bytes.size() - kMagicLen - sizeof(uint32_t));
+    const uint32_t actual = Crc32(payload);
+    if (actual != stored) {
+      return Status::IoError(
+          "checkpoint CRC mismatch (corrupt or truncated): " + path);
+    }
+  } else if (magic == kMagicV1) {
+    payload = bytes.substr(kMagicLen);  // legacy: no checksum to verify
+  } else {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  bytes.clear();
+  std::istringstream in(payload, std::ios::binary);
 
   uint32_t meta_count = 0;
   if (!ReadU32(in, &meta_count)) {

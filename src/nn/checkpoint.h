@@ -13,18 +13,23 @@ namespace rt {
 using CheckpointMetadata = std::map<std::string, double>;
 
 /// Writes every named parameter of `module` plus metadata to a binary
-/// file. Format: magic "RTCKPT01", metadata entries, then per parameter:
-/// name, shape, float32 data. Atomic-ish: written to path + ".tmp" then
+/// file. Format: magic "RTCKPT02", metadata entries, then per parameter:
+/// name, shape, float32 data, then a trailing CRC-32 of everything
+/// between magic and checksum. Atomic-ish: written to path + ".tmp" then
 /// renamed, so a crash mid-save never corrupts an existing checkpoint
 /// (the paper's training environment crashed every 5-7 epochs; resumable
 /// checkpoints are a first-class feature here).
 Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
                       const std::string& path);
 
-/// Restores parameters by name into `module`. Every parameter of the
-/// module must be present in the file with a matching shape. Extra
-/// entries in the file are an error (guards against loading the wrong
-/// architecture). Metadata is returned through `metadata` if non-null.
+/// Restores parameters by name into `module`. The trailing CRC-32 is
+/// verified first, so silent corruption (bit flips, torn writes that
+/// survived the rename) fails cleanly instead of loading garbage
+/// weights; legacy "RTCKPT01" files load without a checksum. Every
+/// parameter of the module must be present in the file with a matching
+/// shape. Extra entries in the file are an error (guards against loading
+/// the wrong architecture). Metadata is returned through `metadata` if
+/// non-null.
 Status LoadCheckpoint(Module* module, const std::string& path,
                       CheckpointMetadata* metadata = nullptr);
 

@@ -1,7 +1,10 @@
 #include "serve/backend_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace rt {
@@ -35,8 +38,9 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
                            "request must be a JSON object");
   }
   static const std::vector<std::string> kKnownFields = {
-      "ingredients", "max_tokens", "temperature", "top_k", "top_p",
-      "greedy",      "beam_width", "seed",        "model"};
+      "ingredients", "max_tokens", "temperature", "top_k",      "top_p",
+      "greedy",      "beam_width", "seed",        "model",
+      "timeout_ms"};
   for (const auto& [key, value] : doc.AsObject()) {
     if (std::find(kKnownFields.begin(), kKnownFields.end(), key) ==
         kKnownFields.end()) {
@@ -132,6 +136,17 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
     }
     req.model = doc.Get("model").AsString();
   }
+  if (!doc.Get("timeout_ms").is_null()) {
+    if (!doc.Get("timeout_ms").is_number()) {
+      return ValidationError(error_code, "bad_timeout_ms",
+                             "'timeout_ms' must be a number");
+    }
+    req.timeout_ms = static_cast<int>(doc.Get("timeout_ms").AsNumber());
+    if (req.timeout_ms < 0) {
+      return ValidationError(error_code, "bad_timeout_ms",
+                             "timeout_ms must be >= 0");
+    }
+  }
   return req;
 }
 
@@ -202,6 +217,39 @@ void LatencyHistogram::FillMetrics(const std::string& prefix,
   out->Set(prefix + "latency_bucket_count", std::move(counts));
 }
 
+namespace {
+
+/// Fills in the derived defaults before any subobject is built from the
+/// options (the HttpServer snapshot in particular must already carry the
+/// queue deadline).
+BackendOptions NormalizeOptions(BackendOptions options) {
+  if (options.model_sessions < 1) options.model_sessions = 1;
+  if (options.models.empty()) options.models = {"default"};
+  if (options.default_timeout_ms < 1) options.default_timeout_ms = 1;
+  if (options.max_timeout_ms < options.default_timeout_ms) {
+    options.max_timeout_ms = options.default_timeout_ms;
+  }
+  if (options.http.queue_deadline_ms <= 0) {
+    // Connections that out-waited the maximum possible budget in the
+    // accept queue are dead on arrival; let the HTTP layer shed them.
+    options.http.queue_deadline_ms = options.max_timeout_ms;
+  }
+  return options;
+}
+
+}  // namespace
+
+BackendService::GenerateFn BackendService::WrapRecipeFn(RecipeFn fn) {
+  return [fn = std::move(fn)](
+             const GenerateRequest& req) -> StatusOr<GenerateOutcome> {
+    auto recipe = fn(req);
+    if (!recipe.ok()) return recipe.status();
+    GenerateOutcome outcome;
+    outcome.recipe = *std::move(recipe);
+    return outcome;
+  };
+}
+
 BackendService::BackendService(GenerateFn generate)
     : BackendService(
           [&generate](int) { return generate; },
@@ -213,10 +261,10 @@ BackendService::BackendService(GenerateFn generate)
 
 BackendService::BackendService(const SessionFactory& factory,
                                BackendOptions options)
-    : options_(std::move(options)),
-      server_(options_.http) {
-  if (options_.model_sessions < 1) options_.model_sessions = 1;
-  if (options_.models.empty()) options_.models = {"default"};
+    : options_(NormalizeOptions(std::move(options))),
+      server_(options_.http),
+      breaker_(options_.breaker),
+      drain_cancel_(std::make_shared<CancelToken>()) {
   sessions_.reserve(static_cast<size_t>(options_.model_sessions));
   for (int i = 0; i < options_.model_sessions; ++i) {
     sessions_.push_back(factory(i));
@@ -260,9 +308,14 @@ void BackendService::RegisterRoutes() {
                       });
 }
 
-int BackendService::AcquireSession() {
+int BackendService::AcquireSession(const Deadline& deadline) {
   std::unique_lock<std::mutex> lock(session_mutex_);
-  session_cv_.wait(lock, [this] { return !free_sessions_.empty(); });
+  const auto have_slot = [this] { return !free_sessions_.empty(); };
+  if (deadline.is_infinite()) {
+    session_cv_.wait(lock, have_slot);
+  } else if (!session_cv_.wait_until(lock, deadline.when(), have_slot)) {
+    return -1;  // the budget ran out while queued for a model session
+  }
   const int index = free_sessions_.back();
   free_sessions_.pop_back();
   sessions_in_use_.fetch_add(1);
@@ -297,22 +350,97 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
                      request.request_id);
   }
 
-  const int slot = AcquireSession();
+  // Resolve the budget: client ask capped at the server maximum, else
+  // the server default. The deadline is anchored at queue admission, so
+  // time already spent waiting for a worker counts against it.
+  const int budget_ms =
+      req.timeout_ms > 0 ? std::min(req.timeout_ms, options_.max_timeout_ms)
+                         : options_.default_timeout_ms;
+  req.timeout_ms = budget_ms;
+  const auto admitted =
+      request.admitted_at == std::chrono::steady_clock::time_point{}
+          ? std::chrono::steady_clock::now()
+          : request.admitted_at;
+  req.deadline =
+      Deadline::At(admitted + std::chrono::milliseconds(budget_ms));
+  req.cancel = drain_cancel_;
+
+  const auto deadline_response = [&](long long tokens_generated) {
+    generate_deadline_exceeded_.fetch_add(1);
+    Json details{Json::Object{}};
+    details.Set("tokens_generated",
+                static_cast<double>(tokens_generated));
+    details.Set("timeout_ms", budget_ms);
+    return JsonError(504, "deadline_exceeded",
+                     "generation exceeded its " +
+                         std::to_string(budget_ms) + " ms budget",
+                     request.request_id, std::move(details));
+  };
+
+  // Fast-fail while the breaker is open: answering 503 in microseconds
+  // beats burning a model session on a request that will time out.
+  if (!breaker_.Allow()) {
+    breaker_rejected_.fetch_add(1);
+    HttpResponse resp = JsonError(
+        503, "circuit_open",
+        "generation circuit breaker is open (recent requests timed out)",
+        request.request_id);
+    const int retry_s =
+        std::max(1, (options_.breaker.cooldown_ms + 999) / 1000);
+    resp.headers["Retry-After"] = std::to_string(retry_s);
+    return resp;
+  }
+
+  // A request whose budget is already spent (queue wait, slow read) is
+  // shed before it touches a session. Not a breaker outcome: the model
+  // never ran, so this says nothing about generation health.
+  if (req.deadline.expired()) {
+    return deadline_response(0);
+  }
+
+  const int slot = AcquireSession(req.deadline);
+  if (slot < 0) {
+    breaker_.RecordTimeout();
+    return deadline_response(0);
+  }
   Timer timer;
-  auto recipe = sessions_[static_cast<size_t>(slot)](req);
+  auto& faults = FaultInjector::Instance();
+  if (auto slow = faults.Hit("backend.generate.latency")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow->amount));
+  }
+  StatusOr<GenerateOutcome> outcome =
+      faults.Hit("backend.generate.fail")
+          ? StatusOr<GenerateOutcome>(Status::Internal(
+                "generation failed (injected backend.generate.fail)"))
+          : sessions_[static_cast<size_t>(slot)](req);
   const double seconds = timer.ElapsedSeconds();
   ReleaseSession(slot);
   latency_.Record(seconds);
 
-  if (!recipe.ok()) {
+  if (!outcome.ok()) {
     generate_server_error_.fetch_add(1);
     return JsonError(500, "generation_failed",
-                     recipe.status().ToString(), request.request_id);
+                     outcome.status().ToString(), request.request_id);
   }
+  if (outcome->cancelled) {
+    generate_cancelled_.fetch_add(1);
+    return JsonError(503, "shutting_down",
+                     "generation was cancelled because the server is "
+                     "shutting down",
+                     request.request_id);
+  }
+  if (outcome->deadline_exceeded || req.deadline.expired()) {
+    breaker_.RecordTimeout();
+    return deadline_response(outcome->tokens_generated);
+  }
+  breaker_.RecordSuccess();
   generate_ok_.fetch_add(1);
   Json out{Json::Object{}};
   out.Set("request_id", request.request_id);
   out.Set("model", req.model);
+  out.Set("finish_reason", outcome->finish_reason);
+  out.Set("tokens_generated",
+          static_cast<double>(outcome->tokens_generated));
   Json params{Json::Object{}};
   params.Set("max_tokens", req.max_tokens);
   params.Set("temperature", req.temperature);
@@ -321,8 +449,9 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   params.Set("greedy", req.greedy);
   params.Set("beam_width", req.beam_width);
   params.Set("seed", static_cast<double>(req.seed));
+  params.Set("timeout_ms", req.timeout_ms);
   out.Set("params", std::move(params));
-  out.Set("recipe", RecipeToJson(*recipe));
+  out.Set("recipe", RecipeToJson(outcome->recipe));
   return HttpResponse::JsonBody(out.Dump());
 }
 
@@ -337,6 +466,15 @@ HttpResponse BackendService::HandleMetrics() const {
           static_cast<double>(generate_client_error_.load()));
   out.Set("generate_server_errors",
           static_cast<double>(generate_server_error_.load()));
+  out.Set("generate_deadline_exceeded",
+          static_cast<double>(generate_deadline_exceeded_.load()));
+  out.Set("generate_cancelled",
+          static_cast<double>(generate_cancelled_.load()));
+  out.Set("requests_shed",
+          static_cast<double>(server_.requests_shed()));
+  out.Set("breaker_rejected",
+          static_cast<double>(breaker_rejected_.load()));
+  out.Set("breaker_state", std::string(breaker_.state_name()));
   out.Set("model_sessions", static_cast<double>(sessions_.size()));
   out.Set("model_sessions_in_use",
           static_cast<double>(sessions_in_use_.load()));
@@ -360,8 +498,18 @@ HttpResponse BackendService::HandleModels() const {
   return HttpResponse::JsonBody(out.Dump());
 }
 
-Status BackendService::Start(int port) { return server_.Start(port); }
+Status BackendService::Start(int port) {
+  // Safe: no worker polls the token while the server is stopped.
+  drain_cancel_->Reset();
+  return server_.Start(port);
+}
 
-void BackendService::Stop() { server_.Stop(); }
+void BackendService::Stop() {
+  // Fire the drain token first so in-flight generations abort at their
+  // next token check; the HTTP drain below then finishes quickly with
+  // 503 "shutting_down" responses instead of waiting out full decodes.
+  drain_cancel_->RequestCancel();
+  server_.Stop();
+}
 
 }  // namespace rt

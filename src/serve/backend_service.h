@@ -5,12 +5,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "data/recipe.h"
+#include "serve/circuit_breaker.h"
 #include "serve/http.h"
+#include "util/deadline.h"
 #include "util/json.h"
 
 namespace rt {
@@ -29,13 +32,38 @@ struct GenerateRequest {
   /// Model selection by name; empty picks the service default. The
   /// handler resolves it before the callback runs.
   std::string model;
+  /// Client-requested budget in milliseconds; 0 means "use the server
+  /// default". The handler caps it at BackendOptions::max_timeout_ms.
+  int timeout_ms = 0;
+  /// Resolved by the handler before the session callback runs: the
+  /// absolute budget (anchored at queue admission) and the server's
+  /// drain token. Session callbacks thread both into GenerationOptions.
+  Deadline deadline;
+  std::shared_ptr<const CancelToken> cancel;
+};
+
+/// What one session callback produced: the recipe plus how decoding
+/// ended, so the handler can answer 504/503 with partial-progress
+/// metadata instead of a bare error.
+struct GenerateOutcome {
+  Recipe recipe;
+  /// "stop_token", "max_tokens", "context_full", "deadline_exceeded" or
+  /// "cancelled" (FinishReasonName of the model's finish reason).
+  std::string finish_reason = "stop_token";
+  /// Tokens the model emitted before finishing or being interrupted.
+  long long tokens_generated = 0;
+  bool deadline_exceeded = false;
+  bool cancelled = false;
 };
 
 /// Stable machine-readable error codes emitted by request validation
 /// (the `error.code` field of the envelope). See docs/api.md.
 ///   invalid_json, invalid_request, unknown_field, missing_ingredients,
 ///   bad_ingredients, bad_max_tokens, bad_temperature, bad_top_k,
-///   bad_top_p, bad_beam_width, bad_greedy, bad_seed, bad_model
+///   bad_top_p, bad_beam_width, bad_greedy, bad_seed, bad_model,
+///   bad_timeout_ms
+/// Runtime codes: deadline_exceeded (504), circuit_open (503),
+///   shutting_down (503), generation_failed (500).
 
 /// JSON <-> domain converters (exposed for tests and the frontend).
 /// On failure `*error_code` (when non-null) receives the stable code.
@@ -78,6 +106,17 @@ struct BackendOptions {
   /// Model names advertised by /v1/models; the first entry is the
   /// default used when a request omits `model`. Empty means {"default"}.
   std::vector<std::string> models;
+  /// Generation budget applied when a request omits `timeout_ms`.
+  /// Deadlines start at queue admission, so time spent waiting for a
+  /// worker or a model session counts against the budget.
+  int default_timeout_ms = 30000;
+  /// Upper bound on a client-supplied `timeout_ms` (larger asks are
+  /// silently capped, echoed back capped in `params`).
+  int max_timeout_ms = 120000;
+  /// Circuit breaker over generation timeouts: when enough recent
+  /// requests blow their deadline the service fast-fails 503 +
+  /// Retry-After instead of queueing more doomed work.
+  CircuitBreakerOptions breaker;
 };
 
 /// The generation backend microservice (the Flask-model container of
@@ -97,11 +136,18 @@ struct BackendOptions {
 class BackendService {
  public:
   using GenerateFn =
-      std::function<StatusOr<Recipe>(const GenerateRequest&)>;
+      std::function<StatusOr<GenerateOutcome>(const GenerateRequest&)>;
+  /// Legacy callback shape (recipe only); adapt with WrapRecipeFn.
+  using RecipeFn = std::function<StatusOr<Recipe>(const GenerateRequest&)>;
   /// Builds the callback for one session slot. Called `model_sessions`
   /// times at construction; each returned callback is only ever invoked
   /// by one request at a time.
   using SessionFactory = std::function<GenerateFn(int session_index)>;
+
+  /// Adapts a recipe-only callback to a GenerateFn whose outcome always
+  /// reports a clean "stop_token" finish (used by tests and simple
+  /// backends that do not track decoding progress).
+  static GenerateFn WrapRecipeFn(RecipeFn fn);
 
   /// Single-session service (the callback is never run concurrently).
   explicit BackendService(GenerateFn generate);
@@ -123,13 +169,18 @@ class BackendService {
   HttpResponse HandleMetrics() const;
   HttpResponse HandleModels() const;
 
-  /// Blocks until a session slot is free, returns its index.
-  int AcquireSession();
+  /// Blocks until a session slot is free or the deadline expires;
+  /// returns the slot index, or -1 when the wait timed out.
+  int AcquireSession(const Deadline& deadline);
   void ReleaseSession(int index);
 
   BackendOptions options_;
   std::vector<GenerateFn> sessions_;
   HttpServer server_;
+  CircuitBreaker breaker_;
+  /// Fired by Stop() before the HTTP drain so in-flight generations
+  /// abort at the next token instead of running to completion.
+  std::shared_ptr<CancelToken> drain_cancel_;
 
   std::mutex session_mutex_;
   std::condition_variable session_cv_;
@@ -138,6 +189,9 @@ class BackendService {
   std::atomic<long long> generate_ok_{0};
   std::atomic<long long> generate_client_error_{0};
   std::atomic<long long> generate_server_error_{0};
+  std::atomic<long long> generate_deadline_exceeded_{0};
+  std::atomic<long long> generate_cancelled_{0};
+  std::atomic<long long> breaker_rejected_{0};
   std::atomic<long long> sessions_in_use_{0};
   LatencyHistogram latency_;
 };

@@ -1,0 +1,107 @@
+#include "serve/circuit_breaker.h"
+
+namespace rt {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  if (options_.window < 1) options_.window = 1;
+  if (options_.min_samples < 1) options_.min_samples = 1;
+  if (options_.min_samples > options_.window) {
+    options_.min_samples = options_.window;
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() - opened_at_ <
+          std::chrono::milliseconds(options_.cooldown_ms)) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kHalfOpen:
+      // The probe came back healthy: close and start fresh.
+      state_ = State::kClosed;
+      probe_in_flight_ = false;
+      outcomes_.clear();
+      window_timeouts_ = 0;
+      return;
+    case State::kClosed:
+      outcomes_.push_back(false);
+      if (static_cast<int>(outcomes_.size()) > options_.window) {
+        if (outcomes_.front()) --window_timeouts_;
+        outcomes_.pop_front();
+      }
+      return;
+    case State::kOpen:
+      return;  // straggler from before the trip
+  }
+}
+
+void CircuitBreaker::RecordTimeout() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kHalfOpen:
+      // The probe timed out too: back to open for another cooldown.
+      state_ = State::kOpen;
+      opened_at_ = Clock::now();
+      probe_in_flight_ = false;
+      return;
+    case State::kClosed:
+      outcomes_.push_back(true);
+      ++window_timeouts_;
+      if (static_cast<int>(outcomes_.size()) > options_.window) {
+        if (outcomes_.front()) --window_timeouts_;
+        outcomes_.pop_front();
+      }
+      MaybeTripLocked();
+      return;
+    case State::kOpen:
+      return;  // straggler from before the trip
+  }
+}
+
+void CircuitBreaker::MaybeTripLocked() {
+  const int n = static_cast<int>(outcomes_.size());
+  if (n < options_.min_samples) return;
+  if (window_timeouts_ < options_.trip_ratio * n) return;
+  state_ = State::kOpen;
+  opened_at_ = Clock::now();
+  outcomes_.clear();
+  window_timeouts_ = 0;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+const char* CircuitBreaker::state_name() const {
+  switch (state()) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+}  // namespace rt

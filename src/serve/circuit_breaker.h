@@ -1,0 +1,74 @@
+#ifndef RATATOUILLE_SERVE_CIRCUIT_BREAKER_H_
+#define RATATOUILLE_SERVE_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+namespace rt {
+
+/// Tuning for the generation circuit breaker.
+struct CircuitBreakerOptions {
+  /// Recent generation outcomes considered (sliding window).
+  int window = 20;
+  /// Never trip before this many outcomes are in the window.
+  int min_samples = 4;
+  /// Trip when at least this fraction of the window timed out.
+  double trip_ratio = 0.5;
+  /// How long the breaker stays open before letting one probe through.
+  int cooldown_ms = 1000;
+};
+
+/// A classic three-state circuit breaker over generation timeouts.
+///
+///   closed    -> requests flow; outcomes fill a sliding window. When
+///                the window's timeout fraction reaches trip_ratio
+///                (with >= min_samples outcomes), the breaker opens.
+///   open      -> requests fast-fail (the caller answers 503 +
+///                Retry-After) until cooldown_ms has passed.
+///   half-open -> exactly one probe request is admitted; success closes
+///                the breaker, a timeout re-opens it for another
+///                cooldown.
+///
+/// Thread-safe; every method takes the internal mutex. Timeouts of
+/// requests already in flight when the breaker opened are ignored, so a
+/// burst of stragglers cannot re-trip a freshly recovered breaker.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options);
+
+  /// True when a request may proceed now. In the open state this is
+  /// where the cooldown expiry is noticed and the probe admitted.
+  bool Allow();
+
+  /// Reports a generation that completed without a timeout.
+  void RecordSuccess();
+
+  /// Reports a generation that exceeded its deadline.
+  void RecordTimeout();
+
+  State state() const;
+
+  /// "closed" / "open" / "half_open" (for /v1/metrics).
+  const char* state_name() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Trips to open when the window says so. Caller holds mutex_.
+  void MaybeTripLocked();
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::deque<bool> outcomes_;  // true = timeout
+  int window_timeouts_ = 0;
+  Clock::time_point opened_at_{};
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_CIRCUIT_BREAKER_H_

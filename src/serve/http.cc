@@ -7,10 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
+#include "util/fault_injection.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -72,19 +76,48 @@ std::string StatusText(int status) {
       return "Bad Gateway";
     case 503:
       return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }
 }
 
-void SendAll(int fd, const std::string& data) {
+/// Sends the whole buffer: EINTR is retried, short writes continue from
+/// where they left off, and real socket errors (EPIPE from a vanished
+/// peer, EAGAIN from an SO_SNDTIMEO expiry) surface as a Status so
+/// callers can stop writing into a dead connection. MSG_NOSIGNAL keeps a
+/// broken pipe an errno instead of a process-killing SIGPIPE.
+Status SendAll(int fd, const std::string& data) {
+  auto& faults = FaultInjector::Instance();
+  if (auto slow = faults.Hit("http.write.slow")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow->amount));
+  }
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return;
+    size_t chunk = data.size() - sent;
+    if (auto fired = faults.Hit("http.write.short")) {
+      chunk = std::min<size_t>(
+          chunk, static_cast<size_t>(std::max(fired->amount, 1)));
+    }
+    if (faults.Hit("http.write.fail")) {
+      return Status::IoError("send failed (injected http.write.fail)");
+    }
+    const ssize_t n = ::send(fd, data.data() + sent, chunk, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IoError("send timed out");
+      }
+      return Status::IoError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("send made no progress");
+    }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
 }
 
 std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
@@ -184,7 +217,10 @@ StatusOr<HttpClientResponse> OneShotRoundTrip(int port,
     return Status::IoError("connect failed to port " +
                            std::to_string(port));
   }
-  SendAll(fd, request);
+  if (Status sent = SendAll(fd, request); !sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
   ::shutdown(fd, SHUT_WR);
   std::string raw;
   char buf[4096];
@@ -249,6 +285,19 @@ HttpResponse JsonError(int status, const std::string& code,
   detail.Set("code", code);
   detail.Set("message", message);
   detail.Set("request_id", request_id);
+  Json out{Json::Object{}};
+  out.Set("error", std::move(detail));
+  return HttpResponse::JsonBody(out.Dump(), status);
+}
+
+HttpResponse JsonError(int status, const std::string& code,
+                       const std::string& message,
+                       const std::string& request_id, Json details) {
+  Json detail{Json::Object{}};
+  detail.Set("code", code);
+  detail.Set("message", message);
+  detail.Set("request_id", request_id);
+  detail.Set("details", std::move(details));
   Json out{Json::Object{}};
   out.Set("error", std::move(detail));
   return HttpResponse::JsonBody(out.Dump(), status);
@@ -340,7 +389,7 @@ void HttpServer::Stop() {
   workers_.clear();
   // Connections that were queued but never picked up are closed unserved.
   std::lock_guard<std::mutex> lock(queue_mutex_);
-  for (int fd : pending_) ::close(fd);
+  for (const PendingConn& conn : pending_) ::close(conn.fd);
   pending_.clear();
 }
 
@@ -369,7 +418,7 @@ void HttpServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       if (static_cast<int>(pending_.size()) < options_.max_queue &&
           !draining_.load()) {
-        pending_.push_back(fd);
+        pending_.push_back({fd, std::chrono::steady_clock::now()});
         queued = true;
       }
     }
@@ -384,25 +433,40 @@ void HttpServer::AcceptLoop() {
                                   "request queue is full", NextRequestId());
     resp.headers["Retry-After"] =
         std::to_string(options_.retry_after_seconds);
-    SendAll(fd, RenderResponse(resp, /*keep_alive=*/false));
+    (void)SendAll(fd, RenderResponse(resp, /*keep_alive=*/false));
     LingeringClose(fd);
   }
 }
 
 void HttpServer::WorkerLoop() {
   for (;;) {
-    int fd = -1;
+    PendingConn conn{-1, {}};
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
         return draining_.load() || !pending_.empty();
       });
       if (draining_.load()) break;  // queued fds are closed by Stop()
-      fd = pending_.front();
+      conn = pending_.front();
       pending_.pop_front();
     }
-    ServeConnection(fd);
-    LingeringClose(fd);
+    // A connection that out-waited the queue deadline is answered with a
+    // 504 instead of a request whose budget is already spent.
+    if (options_.queue_deadline_ms > 0 &&
+        std::chrono::steady_clock::now() - conn.admitted >=
+            std::chrono::milliseconds(options_.queue_deadline_ms)) {
+      requests_shed_.fetch_add(1);
+      HttpResponse resp = JsonError(
+          504, "deadline_exceeded",
+          "request deadline expired while waiting in the accept queue",
+          NextRequestId());
+      SetSendTimeout(conn.fd, options_.write_timeout_ms);
+      (void)SendAll(conn.fd, RenderResponse(resp, /*keep_alive=*/false));
+      LingeringClose(conn.fd);
+      continue;
+    }
+    ServeConnection(conn.fd, conn.admitted);
+    LingeringClose(conn.fd);
   }
 }
 
@@ -447,7 +511,18 @@ HttpServer::ReadOutcome HttpServer::ReadOneRequest(int fd,
       if (errno == EINTR) continue;
       return ReadOutcome::kClosed;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    auto& faults = FaultInjector::Instance();
+    if (auto slow = faults.Hit("http.read.slow")) {
+      // A slow client: stall before consuming the bytes the peer sent.
+      std::this_thread::sleep_for(std::chrono::milliseconds(slow->amount));
+    }
+    size_t want = sizeof(buf);
+    if (auto fired = faults.Hit("http.read.short")) {
+      // Trickle reads: consume at most `amount` bytes per recv so header
+      // parsing sees many partial buffers.
+      want = static_cast<size_t>(std::max(fired->amount, 1));
+    }
+    const ssize_t n = ::recv(fd, buf, want, 0);
     if (n == 0) {
       // Peer half-closed. Serve a header-complete request even when the
       // advertised body was cut short; otherwise just close.
@@ -469,16 +544,24 @@ HttpServer::ReadOutcome HttpServer::ReadOneRequest(int fd,
   }
 }
 
-void HttpServer::ServeConnection(int fd) {
+void HttpServer::ServeConnection(
+    int fd, std::chrono::steady_clock::time_point admitted) {
   SetSendTimeout(fd, options_.write_timeout_ms);
   std::string buffer;
   int served_on_connection = 0;
   bool close_connection = false;
   while (!close_connection) {
+    // The first request inherits the connection's queue-admission stamp
+    // (its wait for a worker counts against its deadline); later
+    // keep-alive requests start their budget here.
+    const auto request_admitted = served_on_connection == 0
+                                      ? admitted
+                                      : std::chrono::steady_clock::now();
     size_t request_end = 0;
     const ReadOutcome outcome = ReadOneRequest(fd, &buffer, &request_end);
     if (outcome == ReadOutcome::kClosed) return;
     HttpRequest request;
+    request.admitted_at = request_admitted;
     HttpResponse response;
     bool parsed = false;
     if (outcome == ReadOutcome::kTimeout) {
@@ -519,7 +602,11 @@ void HttpServer::ServeConnection(int fd) {
     }
     if (draining_.load()) close_connection = true;
     requests_served_.fetch_add(1);
-    SendAll(fd, RenderResponse(response, !close_connection));
+    if (!SendAll(fd, RenderResponse(response, !close_connection)).ok()) {
+      // The peer is gone (or the send timed out); writing further
+      // responses into this connection would only interleave garbage.
+      return;
+    }
   }
 }
 
@@ -594,7 +681,16 @@ StatusOr<HttpClientResponse> HttpClient::RoundTrip(
                              std::to_string(port_));
     }
   }
-  SendAll(fd_, request);
+  if (Status sent = SendAll(fd_, request); !sent.ok()) {
+    // A send failure on a reused connection usually means the server
+    // closed it while idle; retry once on a fresh one, same as a read
+    // that hits EOF mid-response.
+    Close();
+    if (retry_on_stale && !fresh_connection) {
+      return RoundTrip(request, /*retry_on_stale=*/false);
+    }
+    return sent;
+  }
   HttpClientResponse resp;
   size_t consumed = 0;
   char buf[4096];

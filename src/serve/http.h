@@ -2,6 +2,7 @@
 #define RATATOUILLE_SERVE_HTTP_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -11,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/json.h"
 #include "util/status.h"
 
 namespace rt {
@@ -26,6 +28,13 @@ struct HttpRequest {
   /// Server-assigned id, unique per request ("req-<port>-<n>"). Handlers
   /// echo it in responses and error envelopes.
   std::string request_id;
+  /// When the server took responsibility for this request: queue
+  /// admission for a connection's first request, start of read for
+  /// later keep-alive requests. Per-request deadlines start here, so
+  /// time spent waiting for a worker counts against the budget. A
+  /// default-constructed (epoch) value means "unknown"; handlers treat
+  /// it as now.
+  std::chrono::steady_clock::time_point admitted_at{};
 };
 
 /// An HTTP response under construction.
@@ -48,6 +57,12 @@ HttpResponse JsonError(int status, const std::string& code,
                        const std::string& message,
                        const std::string& request_id);
 
+/// Same envelope plus a machine-readable `error.details` object (e.g.
+/// tokens_generated on a DEADLINE_EXCEEDED response).
+HttpResponse JsonError(int status, const std::string& code,
+                       const std::string& message,
+                       const std::string& request_id, Json details);
+
 /// Tuning knobs for the threaded server.
 struct HttpServerOptions {
   /// Worker threads serving connections; <= 0 means
@@ -66,6 +81,11 @@ struct HttpServerOptions {
   int max_keepalive_requests = 0;
   /// Advisory Retry-After (seconds) on 503 responses.
   int retry_after_seconds = 1;
+  /// Shed connections that waited in the accept queue longer than this
+  /// (ms) with 504 instead of serving a request whose deadline already
+  /// passed (0 = never shed). Serving layers set it to their default
+  /// request timeout.
+  int queue_deadline_ms = 0;
 };
 
 /// Loopback HTTP/1.1 server (the Flask stand-in, paper Sec. VI), rebuilt
@@ -119,6 +139,10 @@ class HttpServer {
   /// Connections rejected with 503 because the queue was full.
   long long requests_rejected() const { return requests_rejected_.load(); }
 
+  /// Connections answered 504 unserved because they out-waited
+  /// queue_deadline_ms in the accept queue.
+  long long requests_shed() const { return requests_shed_.load(); }
+
   /// Accepted connections currently waiting for a worker.
   int queue_depth() const;
 
@@ -132,7 +156,8 @@ class HttpServer {
 
   void AcceptLoop();
   void WorkerLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(int fd,
+                       std::chrono::steady_clock::time_point admitted);
   /// Waits for one complete request in `buffer` (which may already hold
   /// pipelined bytes), reading more as needed. On kRequest,
   /// `*request_end` is the offset one past the request's body.
@@ -157,11 +182,19 @@ class HttpServer {
   std::atomic<bool> draining_{false};
   std::atomic<long long> requests_served_{0};
   std::atomic<long long> requests_rejected_{0};
+  std::atomic<long long> requests_shed_{0};
   std::atomic<long long> request_counter_{0};
+
+  /// An accepted connection waiting for a worker, stamped with its
+  /// admission time so deadlines cover queue wait.
+  struct PendingConn {
+    int fd;
+    std::chrono::steady_clock::time_point admitted;
+  };
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
+  std::deque<PendingConn> pending_;  // accepted fds awaiting a worker
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

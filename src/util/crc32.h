@@ -1,0 +1,27 @@
+#ifndef RATATOUILLE_UTIL_CRC32_H_
+#define RATATOUILLE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace rt {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum zlib and
+/// PNG use. Guards on-disk payloads (checkpoints) against truncation
+/// and bit flips.
+uint32_t Crc32(const void* data, size_t len);
+
+inline uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+/// Streaming form: feed chunks with the running value, starting from 0.
+///   uint32_t crc = 0;
+///   crc = Crc32Update(crc, a, la);
+///   crc = Crc32Update(crc, b, lb);  // == Crc32(a+b)
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t len);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_CRC32_H_

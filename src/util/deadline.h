@@ -1,0 +1,91 @@
+#ifndef RATATOUILLE_UTIL_DEADLINE_H_
+#define RATATOUILLE_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace rt {
+
+/// A point in monotonic time by which work must finish. Defaults to
+/// "no deadline". Cheap to copy and cheap to poll, so decode loops can
+/// check it once per generated token. Deadlines compose by taking the
+/// earlier of two (see EarlierOf) and are carried through
+/// GenerationOptions from the serving layer down to the models.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (ms <= 0 is already expired).
+  static Deadline AfterMillis(long long ms) {
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  /// Expires at an absolute monotonic instant (e.g. queue admission
+  /// time plus the request budget).
+  static Deadline At(Clock::time_point when) { return Deadline(when); }
+
+  bool is_infinite() const { return !finite_; }
+
+  bool expired() const { return finite_ && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry: <= 0 when expired, max() when infinite.
+  long long remaining_millis() const {
+    if (!finite_) return std::numeric_limits<long long>::max();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               when_ - Clock::now())
+        .count();
+  }
+
+  /// The absolute expiry instant. Precondition: !is_infinite().
+  Clock::time_point when() const { return when_; }
+
+  /// The earlier (stricter) of two deadlines.
+  static Deadline EarlierOf(const Deadline& a, const Deadline& b) {
+    if (a.is_infinite()) return b;
+    if (b.is_infinite()) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : finite_(true), when_(when) {}
+
+  bool finite_ = false;
+  Clock::time_point when_{};
+};
+
+/// A shared flag for cooperative cancellation. The owner (e.g. the
+/// serving layer draining on shutdown) fires it; workers poll
+/// cancelled() at safe points — the decode loops check once per token —
+/// and return a partial result instead of running blind. Thread-safe;
+/// firing is sticky until Reset().
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void RequestCancel() {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token. Only safe while no worker is polling it (e.g.
+  /// between server Start() cycles).
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_DEADLINE_H_

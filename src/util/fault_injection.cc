@@ -1,0 +1,68 @@
+#include "util/fault_injection.h"
+
+namespace rt {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = points_.insert_or_assign(point, PointState{});
+  it->second.spec = spec;
+  it->second.rng = Rng(spec.seed);
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+std::optional<FaultInjector::Fired> FaultInjector::Hit(
+    const std::string& point) {
+  // Inert fast path: no point armed anywhere.
+  if (armed_points_.load(std::memory_order_relaxed) == 0) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return std::nullopt;
+  PointState& state = it->second;
+  const long long hit = state.hits++;
+  if (hit < state.spec.skip) return std::nullopt;
+  if (state.spec.count >= 0 &&
+      hit >= static_cast<long long>(state.spec.skip) + state.spec.count) {
+    return std::nullopt;
+  }
+  if (state.spec.probability < 1.0 &&
+      state.rng.NextDouble() >= state.spec.probability) {
+    return std::nullopt;
+  }
+  ++state.fires;
+  return Fired{state.spec.amount};
+}
+
+long long FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+long long FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+}  // namespace rt

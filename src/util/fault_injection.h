@@ -1,0 +1,102 @@
+#ifndef RATATOUILLE_UTIL_FAULT_INJECTION_H_
+#define RATATOUILLE_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "util/rng.h"
+
+namespace rt {
+
+/// Deterministic, seed-driven fault injection for robustness tests.
+///
+/// Production code is instrumented with named fault *points* — e.g.
+/// "http.write.short", "backend.generate.fail", "ckpt.truncate" — by
+/// calling Hit(point) on the failure path it wants to make testable.
+/// The registry is compiled in always but inert unless a test Arm()s a
+/// point: the un-armed fast path is a single relaxed atomic load, so
+/// the instrumentation costs nothing in normal serving.
+///
+/// Determinism: which hits fire is a pure function of the FaultSpec
+/// (skip/count window) and, when probability < 1, of a per-point Rng
+/// seeded from spec.seed — never of wall-clock time. The same test run
+/// therefore injects the same faults every time, in CI and under
+/// sanitizers.
+///
+/// Registered points (kept in sync with call sites):
+///   http.read.slow      sleep `amount` ms before each socket read
+///   http.read.short     cap each socket read to `amount` (>=1) bytes
+///   http.write.slow     sleep `amount` ms before each response write
+///   http.write.short    cap each send() to `amount` (>=1) bytes
+///   http.write.fail     fail the response write with an error
+///   backend.generate.latency  sleep `amount` ms inside the session slot
+///   backend.generate.fail     fail the generation with Internal
+///   ckpt.truncate       chop `amount` (>=4) bytes off a saved checkpoint
+class FaultInjector {
+ public:
+  /// When and how a fault point fires. Hits are counted per point from
+  /// the moment it is armed.
+  struct FaultSpec {
+    /// Pass through this many hits before firing starts.
+    int skip = 0;
+    /// Fire at most this many times after `skip` (-1 = unlimited).
+    int count = -1;
+    /// Chance an in-window hit actually fires; draws come from a
+    /// deterministic per-point Rng seeded with `seed`.
+    double probability = 1.0;
+    uint64_t seed = 0;
+    /// Magnitude knob, interpreted by the call site: latency in ms for
+    /// *.slow points, bytes per op for *.short, bytes chopped for
+    /// ckpt.truncate.
+    int amount = 0;
+  };
+
+  /// What an armed point tells its call site when it fires.
+  struct Fired {
+    int amount = 0;
+  };
+
+  /// Process-wide registry (fault points are reached from arbitrary
+  /// threads: HTTP workers, sessions, checkpoint writers).
+  static FaultInjector& Instance();
+
+  /// Arms `point`; resets its hit/fire counters.
+  void Arm(const std::string& point, FaultSpec spec);
+
+  void Disarm(const std::string& point);
+
+  /// Disarms every point (test teardown).
+  void Reset();
+
+  /// Counts a hit on `point`; returns engaged iff the fault fires this
+  /// hit. Inert (and cheap) when the point is not armed.
+  std::optional<Fired> Hit(const std::string& point);
+
+  /// Times `point` was reached since it was armed (0 when not armed).
+  long long hits(const std::string& point) const;
+
+  /// Times `point` actually fired since it was armed.
+  long long fires(const std::string& point) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    FaultSpec spec;
+    Rng rng{0};
+    long long hits = 0;
+    long long fires = 0;
+  };
+
+  /// Number of armed points; the fast path's only read.
+  std::atomic<int> armed_points_{0};
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState> points_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_FAULT_INJECTION_H_

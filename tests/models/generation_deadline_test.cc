@@ -1,0 +1,180 @@
+// Deadline and cancellation behavior of the decode loops: an expired
+// deadline returns immediately with zero tokens, an abort mid-decode
+// returns a usable partial result, and the model stays reusable.
+
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "models/gpt2_model.h"
+#include "models/lstm_model.h"
+
+namespace rt {
+namespace {
+
+constexpr int kVocab = 12;
+
+std::unique_ptr<LanguageModel> MakeLstm() {
+  LstmConfig cfg;
+  cfg.vocab_size = kVocab;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 1;
+  cfg.dropout = 0.0f;
+  cfg.name = "lstm-test";
+  return std::make_unique<LstmLm>(cfg);
+}
+
+std::unique_ptr<Gpt2Lm> MakeGpt2() {
+  Gpt2Config cfg;
+  cfg.vocab_size = kVocab;
+  cfg.dim = 16;
+  cfg.num_layers = 2;
+  cfg.num_heads = 2;
+  cfg.max_seq_len = 96;
+  cfg.dropout = 0.0f;
+  cfg.name = "gpt2-test";
+  return std::make_unique<Gpt2Lm>(cfg);
+}
+
+GenerationOptions GreedyOptions(int max_new_tokens) {
+  GenerationOptions options;
+  options.max_new_tokens = max_new_tokens;
+  options.sampling.greedy = true;
+  return options;
+}
+
+TEST(ExpiredDeadlineLstmTest, ReturnsImmediatelyWithZeroTokens) {
+  auto model = MakeLstm();
+  GenerationOptions options = GreedyOptions(50);
+  options.deadline = Deadline::AfterMillis(0);
+  GenerationResult result = model->Generate({1, 2, 3}, options);
+  EXPECT_TRUE(result.ids.empty());
+  EXPECT_EQ(result.finish, FinishReason::kDeadlineExceeded);
+  EXPECT_TRUE(result.truncated());
+}
+
+TEST(ExpiredDeadlineGpt2Test, ReturnsImmediatelyOnBothDecodePaths) {
+  auto model = MakeGpt2();
+  GenerationOptions options = GreedyOptions(50);
+  options.deadline = Deadline::AfterMillis(-1);
+  for (bool kv : {true, false}) {
+    model->set_use_kv_cache(kv);
+    GenerationResult result = model->Generate({1, 2, 3}, options);
+    EXPECT_TRUE(result.ids.empty()) << "kv=" << kv;
+    EXPECT_EQ(result.finish, FinishReason::kDeadlineExceeded)
+        << "kv=" << kv;
+  }
+}
+
+TEST(ExpiredDeadlineGpt2Test, BeamSearchReturnsImmediately) {
+  auto model = MakeGpt2();
+  GenerationOptions options = GreedyOptions(50);
+  options.beam_width = 3;
+  options.deadline = Deadline::AfterMillis(0);
+  GenerationResult result = model->Generate({1, 2, 3}, options);
+  EXPECT_TRUE(result.ids.empty());
+  EXPECT_EQ(result.finish, FinishReason::kDeadlineExceeded);
+}
+
+TEST(CancellationTest, PreCancelledTokenStopsBothModels) {
+  auto token = std::make_shared<CancelToken>();
+  token->RequestCancel();
+  for (auto* model_factory : {+[]() -> std::unique_ptr<LanguageModel> {
+                                return MakeLstm();
+                              },
+                              +[]() -> std::unique_ptr<LanguageModel> {
+                                return MakeGpt2();
+                              }}) {
+    auto model = model_factory();
+    GenerationOptions options = GreedyOptions(50);
+    options.cancel = token;
+    GenerationResult result = model->Generate({1, 2, 3}, options);
+    EXPECT_TRUE(result.ids.empty()) << model->name();
+    EXPECT_EQ(result.finish, FinishReason::kCancelled) << model->name();
+  }
+}
+
+TEST(CancellationTest, CancelWinsOverExpiredDeadline) {
+  auto token = std::make_shared<CancelToken>();
+  token->RequestCancel();
+  auto model = MakeLstm();
+  GenerationOptions options = GreedyOptions(10);
+  options.cancel = token;
+  options.deadline = Deadline::AfterMillis(0);
+  EXPECT_EQ(model->Generate({1}, options).finish,
+            FinishReason::kCancelled);
+}
+
+TEST(CancellationTest, MidBeamSearchCancelLeavesModelReusable) {
+  // Big enough that the full search takes far longer than the 20 ms
+  // cancel delay, so the token always fires mid-search.
+  Gpt2Config cfg;
+  cfg.vocab_size = kVocab;
+  cfg.dim = 64;
+  cfg.num_layers = 3;
+  cfg.num_heads = 4;
+  cfg.max_seq_len = 1024;
+  cfg.dropout = 0.0f;
+  Gpt2Lm model(cfg);
+  auto token = std::make_shared<CancelToken>();
+
+  // Fire the token from another thread while beam search decodes a long
+  // budget; the search must come back early with a clean partial result.
+  Gpt2Lm::BeamOptions beam;
+  beam.beam_width = 4;
+  beam.max_new_tokens = 900;
+  beam.cancel = token;
+  std::thread firer([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token->RequestCancel();
+  });
+  GenerationResult cancelled = model.BeamSearch({1, 2, 3}, beam);
+  firer.join();
+  EXPECT_EQ(cancelled.finish, FinishReason::kCancelled);
+  EXPECT_LT(static_cast<int>(cancelled.ids.size()), 900);
+
+  // The same instance must generate normally afterwards: cancellation
+  // does not poison model state.
+  GenerationOptions options = GreedyOptions(8);
+  GenerationResult after = model.Generate({1, 2, 3}, options);
+  EXPECT_EQ(after.ids.size(), 8u);
+  EXPECT_EQ(after.finish, FinishReason::kMaxTokens);
+
+  // And with the token reset, beam search runs to completion again.
+  token->Reset();
+  beam.max_new_tokens = 6;
+  GenerationResult clean = model.BeamSearch({1, 2, 3}, beam);
+  EXPECT_FALSE(clean.truncated());
+  EXPECT_LE(clean.ids.size(), 6u);
+}
+
+TEST(DeadlineMidDecodeTest, PartialResultWithinOneTokenStep) {
+  // The naive (re-encode everything per token) path over a long context
+  // is slow enough that a 30 ms budget always expires mid-decode, on
+  // fast machines and under sanitizers alike.
+  Gpt2Config cfg;
+  cfg.vocab_size = kVocab;
+  cfg.dim = 32;
+  cfg.num_layers = 2;
+  cfg.num_heads = 2;
+  cfg.max_seq_len = 512;
+  cfg.dropout = 0.0f;
+  Gpt2Lm model(cfg);
+  model.set_use_kv_cache(false);
+  GenerationOptions options = GreedyOptions(400);
+  options.deadline = Deadline::AfterMillis(30);
+  GenerationResult result = model.Generate({1, 2, 3}, options);
+  EXPECT_EQ(result.finish, FinishReason::kDeadlineExceeded);
+  // It stopped before the token budget, leaving a partial result.
+  EXPECT_LT(static_cast<int>(result.ids.size()), 400);
+
+  // Reusable afterwards.
+  GenerationResult after = model.Generate({1, 2, 3}, GreedyOptions(4));
+  EXPECT_EQ(after.finish, FinishReason::kMaxTokens);
+  EXPECT_EQ(after.ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rt

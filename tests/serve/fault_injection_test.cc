@@ -1,0 +1,435 @@
+// Deadline propagation, cancellation, circuit breaking and fault
+// injection across the serving stack. Every fault here is driven by the
+// deterministic FaultInjector registry or by explicit deadlines — no
+// reliance on racing real work, so the suite behaves the same under
+// sanitizers and in CI.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/http.h"
+#include "util/fault_injection.h"
+#include "util/json.h"
+
+namespace rt {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// A session callback that decodes fake "tokens" at `token_ms` apiece,
+/// honoring the request deadline and cancel token the way the real
+/// pipeline does.
+BackendService::GenerateFn SimulatedDecode(int token_ms, int max_tokens) {
+  return [token_ms, max_tokens](
+             const GenerateRequest& req) -> StatusOr<GenerateOutcome> {
+    GenerateOutcome out;
+    for (int i = 0; i < max_tokens; ++i) {
+      if (req.cancel != nullptr && req.cancel->cancelled()) {
+        out.cancelled = true;
+        out.finish_reason = "cancelled";
+        return out;
+      }
+      if (req.deadline.expired()) {
+        out.deadline_exceeded = true;
+        out.finish_reason = "deadline_exceeded";
+        return out;
+      }
+      std::this_thread::sleep_for(milliseconds(token_ms));
+      ++out.tokens_generated;
+    }
+    out.finish_reason = "max_tokens";
+    out.recipe.title = "done";
+    out.recipe.ingredients.push_back({"1", "", "rice", ""});
+    out.recipe.instructions = {"cook"};
+    return out;
+  };
+}
+
+Json ErrorOf(const HttpClientResponse& resp) {
+  auto doc = Json::Parse(resp.body);
+  EXPECT_TRUE(doc.ok()) << resp.body;
+  return doc.ok() ? doc->Get("error") : Json{};
+}
+
+class FaultInjectionServeTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectionServeTest, TimeoutAnswers504EnvelopeWithProgress) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.default_timeout_ms = 100;
+  BackendService backend(
+      [](int) { return SimulatedDecode(/*token_ms=*/5, /*max_tokens=*/1000); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+  Json error = ErrorOf(*resp);
+  EXPECT_EQ(error.Get("code").AsString(), "deadline_exceeded");
+  EXPECT_TRUE(error.Get("request_id").is_string());
+  const Json& details = error.Get("details");
+  EXPECT_EQ(details.Get("timeout_ms").AsNumber(), 100.0);
+  // It made partial progress before the budget ran out.
+  EXPECT_GT(details.Get("tokens_generated").AsNumber(), 0.0);
+  EXPECT_LT(details.Get("tokens_generated").AsNumber(), 1000.0);
+
+  // The session slot is immediately reusable: a request that fits its
+  // budget succeeds right after the timeout.
+  auto quick = HttpPost(backend.port(), "/v1/generate",
+                        R"({"ingredients":["rice"],"max_tokens":5})");
+  // (SimulatedDecode ignores max_tokens from the request; give it time.)
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc->Get("generate_deadline_exceeded").AsNumber(), 1.0);
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, ClientTimeoutOverridesAndIsCapped) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.default_timeout_ms = 100;
+  options.max_timeout_ms = 150;
+  BackendService backend(
+      [](int) { return SimulatedDecode(/*token_ms=*/1, /*max_tokens=*/20); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  // Fast generation + huge client ask: succeeds, params echo the cap.
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"],"timeout_ms":99999})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("params").Get("timeout_ms").AsNumber(), 150.0);
+  EXPECT_EQ(doc->Get("finish_reason").AsString(), "max_tokens");
+  EXPECT_EQ(doc->Get("tokens_generated").AsNumber(), 20.0);
+
+  // A tiny client budget forces the timeout path with its own number.
+  auto timed_out = HttpPost(
+      backend.port(), "/v1/generate",
+      R"({"ingredients":["rice"],"timeout_ms":5})");
+  ASSERT_TRUE(timed_out.ok());
+  EXPECT_EQ(timed_out->status, 504);
+  EXPECT_EQ(ErrorOf(*timed_out).Get("details").Get("timeout_ms").AsNumber(),
+            5.0);
+
+  // Validation: non-numeric / negative timeout_ms is a stable 400.
+  auto bad = HttpPost(backend.port(), "/v1/generate",
+                      R"({"ingredients":["rice"],"timeout_ms":-3})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_EQ(ErrorOf(*bad).Get("code").AsString(), "bad_timeout_ms");
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, BreakerTripsFastFailsAndRecovers) {
+  // should_timeout is flipped by the test thread and read by workers.
+  std::atomic<bool> should_timeout{true};
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.breaker.window = 4;
+  options.breaker.min_samples = 2;
+  options.breaker.trip_ratio = 1.0;
+  options.breaker.cooldown_ms = 100;
+  BackendService backend(
+      [&should_timeout](int) -> BackendService::GenerateFn {
+        return [&should_timeout](const GenerateRequest&)
+                   -> StatusOr<GenerateOutcome> {
+          GenerateOutcome out;
+          if (should_timeout.load()) {
+            out.deadline_exceeded = true;
+            out.finish_reason = "deadline_exceeded";
+            return out;
+          }
+          out.recipe.title = "ok";
+          out.recipe.instructions = {"cook"};
+          return out;
+        };
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  const std::string body = R"({"ingredients":["rice"]})";
+
+  // Two timeouts trip the breaker (min_samples=2, ratio 1.0).
+  for (int i = 0; i < 2; ++i) {
+    auto resp = HttpPost(backend.port(), "/v1/generate", body);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 504);
+  }
+
+  // Open: fast-fail 503 with Retry-After, the generator never runs.
+  auto rejected = HttpPost(backend.port(), "/v1/generate", body);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 503);
+  EXPECT_EQ(ErrorOf(*rejected).Get("code").AsString(), "circuit_open");
+  EXPECT_FALSE(rejected->headers.find("retry-after") ==
+               rejected->headers.end());
+
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("breaker_state").AsString(), "open");
+  EXPECT_GE(doc->Get("breaker_rejected").AsNumber(), 1.0);
+
+  // After the cooldown a healthy probe closes the breaker again.
+  should_timeout.store(false);
+  std::this_thread::sleep_for(milliseconds(300));
+  auto probe = HttpPost(backend.port(), "/v1/generate", body);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->status, 200);
+  auto after = HttpPost(backend.port(), "/v1/generate", body);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200);
+
+  metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("breaker_state").AsString(), "closed");
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, SlowRequestReadShedsBeforeGeneration) {
+  // http.read.slow stalls the server's first socket read for 150 ms;
+  // with a 30 ms budget anchored at admission, the handler sheds the
+  // request before the generator ever runs.
+  std::atomic<int> generator_runs{0};
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.default_timeout_ms = 30;
+  BackendService backend(
+      [&generator_runs](int) -> BackendService::GenerateFn {
+        return [&generator_runs](const GenerateRequest&)
+                   -> StatusOr<GenerateOutcome> {
+          generator_runs.fetch_add(1);
+          GenerateOutcome out;
+          out.recipe.title = "ok";
+          return out;
+        };
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  FaultInjector::FaultSpec spec;
+  spec.count = 1;
+  spec.amount = 150;
+  FaultInjector::Instance().Arm("http.read.slow", spec);
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+  Json error = ErrorOf(*resp);
+  EXPECT_EQ(error.Get("code").AsString(), "deadline_exceeded");
+  EXPECT_EQ(error.Get("details").Get("tokens_generated").AsNumber(), 0.0);
+  EXPECT_EQ(generator_runs.load(), 0);
+  EXPECT_EQ(FaultInjector::Instance().fires("http.read.slow"), 1);
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, TrickledReadsStillServeRequests) {
+  // http.read.short forces the server to consume the request a few
+  // bytes per recv; parsing must still assemble it correctly.
+  BackendService backend(BackendService::WrapRecipeFn(
+      [](const GenerateRequest& req) -> StatusOr<Recipe> {
+        Recipe r;
+        r.title = "dish";
+        for (const auto& ing : req.ingredients) {
+          r.ingredients.push_back({"1", "", ing, ""});
+        }
+        r.instructions = {"cook"};
+        return r;
+      }));
+  ASSERT_TRUE(backend.Start(0).ok());
+  FaultInjector::FaultSpec spec;
+  spec.amount = 3;
+  FaultInjector::Instance().Arm("http.read.short", spec);
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice","beans"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  // The request definitely arrived in many small reads.
+  EXPECT_GT(FaultInjector::Instance().fires("http.read.short"), 5);
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, ShortWritesStillDeliverResponses) {
+  HttpServer server;
+  ASSERT_TRUE(server
+                  .Route("GET", "/ok",
+                         [](const HttpRequest&) {
+                           return HttpResponse::Text(
+                               std::string(2000, 'x'));
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+  // skip=1: the client's own send (also instrumented) passes whole,
+  // then every server-side chunk is capped at 7 bytes.
+  FaultInjector::FaultSpec spec;
+  spec.skip = 1;
+  spec.amount = 7;
+  FaultInjector::Instance().Arm("http.write.short", spec);
+  auto resp = HttpGet(server.port(), "/ok");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body.size(), 2000u);
+  EXPECT_GT(FaultInjector::Instance().fires("http.write.short"), 100);
+  server.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, FailedWriteClosesConnectionCleanly) {
+  HttpServer server;
+  ASSERT_TRUE(server
+                  .Route("GET", "/ok",
+                         [](const HttpRequest&) {
+                           return HttpResponse::Text("fine");
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+  // skip=1 lets the client's request out; the server's response write
+  // then fails, so the client sees a dead connection, not a hang.
+  FaultInjector::FaultSpec spec;
+  spec.skip = 1;
+  spec.count = 1;
+  FaultInjector::Instance().Arm("http.write.fail", spec);
+  auto resp = HttpGet(server.port(), "/ok");
+  EXPECT_FALSE(resp.ok());
+  FaultInjector::Instance().Reset();
+  // The server survives and serves the next request normally.
+  auto again = HttpGet(server.port(), "/ok");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, 200);
+  server.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, InjectedBackendFailureIs500) {
+  BackendOptions options;
+  BackendService backend(
+      [](int) { return SimulatedDecode(/*token_ms=*/0, /*max_tokens=*/1); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  FaultInjector::FaultSpec spec;
+  spec.count = 1;
+  FaultInjector::Instance().Arm("backend.generate.fail", spec);
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 500);
+  EXPECT_EQ(ErrorOf(*resp).Get("code").AsString(), "generation_failed");
+  // Disarmed after one fire: the next request is healthy.
+  auto again = HttpPost(backend.port(), "/v1/generate",
+                        R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, 200);
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, InjectedSessionLatencyBlowsTheBudget) {
+  BackendOptions options;
+  options.default_timeout_ms = 40;
+  BackendService backend(
+      [](int) { return SimulatedDecode(/*token_ms=*/0, /*max_tokens=*/1); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  FaultInjector::FaultSpec spec;
+  spec.count = 1;
+  spec.amount = 120;
+  FaultInjector::Instance().Arm("backend.generate.latency", spec);
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+  EXPECT_EQ(ErrorOf(*resp).Get("code").AsString(), "deadline_exceeded");
+  backend.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, SlowlorisHeaderTrickleGets408) {
+  HttpServerOptions http;
+  http.read_timeout_ms = 150;
+  http.idle_timeout_ms = 2000;
+  HttpServer server(http);
+  ASSERT_TRUE(server
+                  .Route("GET", "/ok",
+                         [](const HttpRequest&) {
+                           return HttpResponse::Text("fine");
+                         })
+                  .ok());
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Half a request line, then silence: the classic slowloris hold.
+  const std::string partial = "GET /ok HTTP/1.1\r\nHost: 1";
+  ASSERT_GT(::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL), 0);
+  std::string out;
+  char buf[2048];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(out.find("408"), std::string::npos) << out;
+  EXPECT_NE(out.find("request_timeout"), std::string::npos) << out;
+  server.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, StopCancelsInFlightGeneration) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.default_timeout_ms = 10000;  // the drain, not the deadline, ends it
+  BackendService backend(
+      [](int) {
+        return SimulatedDecode(/*token_ms=*/5, /*max_tokens=*/2000);
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  const int port = backend.port();
+
+  StatusOr<HttpClientResponse> resp = Status::Internal("not run");
+  std::thread client([&resp, port] {
+    resp = HttpPost(port, "/v1/generate", R"({"ingredients":["rice"]})");
+  });
+  // Give the request time to reach the generation loop, then drain.
+  std::this_thread::sleep_for(milliseconds(100));
+  backend.Stop();
+  client.join();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 503);
+  EXPECT_EQ(ErrorOf(*resp).Get("code").AsString(), "shutting_down");
+
+  // A stopped-and-restarted service generates again (token was re-armed).
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc->Get("generate_cancelled").AsNumber(), 1.0);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

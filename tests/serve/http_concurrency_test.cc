@@ -224,7 +224,8 @@ TEST(BackendConcurrencyTest, SessionPoolServesParallelClients) {
   options.http.num_workers = 4;
   BackendService backend(
       [&](int slot) -> BackendService::GenerateFn {
-        return [&, slot](const GenerateRequest& req) -> StatusOr<Recipe> {
+        return BackendService::WrapRecipeFn(
+            [&, slot](const GenerateRequest& req) -> StatusOr<Recipe> {
           if (in_use[static_cast<size_t>(slot)].fetch_add(1) != 0) {
             overlap.store(true);
           }
@@ -237,7 +238,7 @@ TEST(BackendConcurrencyTest, SessionPoolServesParallelClients) {
           }
           r.instructions = {"cook"};
           return r;
-        };
+        });
       },
       options);
   ASSERT_TRUE(backend.Start(0).ok());

@@ -20,14 +20,14 @@ StatusOr<Recipe> OkGenerate(const GenerateRequest& req) {
 TEST(MetricsEndpointTest, CountsSuccessAndErrors) {
   // Atomic: written by the test thread, read by an HTTP worker thread.
   std::atomic<int> fail_next{0};
-  BackendService backend(
+  BackendService backend(BackendService::WrapRecipeFn(
       [&fail_next](const GenerateRequest& req) -> StatusOr<Recipe> {
         if (fail_next.fetch_sub(1) > 0) {
           return Status::Internal("boom");
         }
         fail_next.fetch_add(1);
         return OkGenerate(req);
-      });
+      }));
   ASSERT_TRUE(backend.Start(0).ok());
 
   // 2 ok, 1 server error, 1 client error.
@@ -59,7 +59,7 @@ TEST(MetricsEndpointTest, CountsSuccessAndErrors) {
 }
 
 TEST(MetricsEndpointTest, FreshServiceReportsZeros) {
-  BackendService backend(OkGenerate);
+  BackendService backend(BackendService::WrapRecipeFn(OkGenerate));
   ASSERT_TRUE(backend.Start(0).ok());
   auto metrics = HttpGet(backend.port(), "/metrics");
   ASSERT_TRUE(metrics.ok());

@@ -67,7 +67,8 @@ TEST(RecipeToJsonTest, StructuredFields) {
 class ServiceStackTest : public testing::Test {
  protected:
   void SetUp() override {
-    backend_ = std::make_unique<BackendService>(FakeGenerate);
+    backend_ = std::make_unique<BackendService>(
+        BackendService::WrapRecipeFn(FakeGenerate));
     ASSERT_TRUE(backend_->Start(0).ok());
     frontend_ = std::make_unique<FrontendService>(backend_->port());
     ASSERT_TRUE(frontend_->Start(0).ok());
@@ -164,9 +165,10 @@ TEST_F(ServiceStackTest, FrontendReports502WhenBackendDown) {
 }
 
 TEST(BackendErrorTest, GeneratorFailureIs500) {
-  BackendService backend([](const GenerateRequest&) -> StatusOr<Recipe> {
-    return Status::Internal("model exploded");
-  });
+  BackendService backend(BackendService::WrapRecipeFn(
+      [](const GenerateRequest&) -> StatusOr<Recipe> {
+        return Status::Internal("model exploded");
+      }));
   ASSERT_TRUE(backend.Start(0).ok());
   auto resp = HttpPost(backend.port(), "/v1/generate",
                        R"({"ingredients":["x"]})");

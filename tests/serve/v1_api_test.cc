@@ -29,7 +29,9 @@ class V1ApiTest : public testing::Test {
     BackendOptions options;
     options.models = {"word-lstm", "gpt2-medium"};
     backend_ = std::make_unique<BackendService>(
-        [](int) -> BackendService::GenerateFn { return FakeGenerate; },
+        [](int) -> BackendService::GenerateFn {
+          return BackendService::WrapRecipeFn(FakeGenerate);
+        },
         options);
     ASSERT_TRUE(backend_->Start(0).ok());
   }
@@ -182,7 +184,7 @@ TEST_F(V1ApiTest, UnknownPathGets404Envelope) {
 }
 
 TEST(BackendLifecycleTest, StartAfterStopServesAgain) {
-  BackendService backend(FakeGenerate);
+  BackendService backend(BackendService::WrapRecipeFn(FakeGenerate));
   ASSERT_TRUE(backend.Start(0).ok());
   backend.Stop();
   ASSERT_TRUE(backend.Start(0).ok());

@@ -1,0 +1,161 @@
+// Deadline / CancelToken semantics, the deterministic fault-injection
+// registry, and the CRC-32 used by checkpoint integrity checks.
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
+
+namespace rt {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 1'000'000'000LL);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).expired());
+  EXPECT_LE(Deadline::AfterMillis(0).remaining_millis(), 0);
+}
+
+TEST(DeadlineTest, FutureDeadlineExpiresOnSchedule) {
+  Deadline d = Deadline::AfterMillis(30);
+  EXPECT_FALSE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(45));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, EarlierOfPicksTheStricterDeadline) {
+  const Deadline infinite;
+  const Deadline near = Deadline::AfterMillis(10);
+  const Deadline far = Deadline::AfterMillis(100000);
+  EXPECT_EQ(Deadline::EarlierOf(infinite, near).when(), near.when());
+  EXPECT_EQ(Deadline::EarlierOf(near, infinite).when(), near.when());
+  EXPECT_EQ(Deadline::EarlierOf(near, far).when(), near.when());
+  EXPECT_TRUE(Deadline::EarlierOf(infinite, infinite).is_infinite());
+}
+
+TEST(DeadlineTest, AtAnchorsToAnAbsoluteInstant) {
+  const auto now = Deadline::Clock::now();
+  Deadline d = Deadline::At(now - std::chrono::milliseconds(1));
+  EXPECT_TRUE(d.expired());
+  EXPECT_FALSE(Deadline::At(now + std::chrono::hours(1)).expired());
+}
+
+TEST(CancelTokenTest, FiresStickyUntilReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  token.RequestCancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+class FaultInjectorTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, UnarmedPointNeverFires) {
+  auto& faults = FaultInjector::Instance();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(faults.Hit("test.unarmed").has_value());
+  }
+  EXPECT_EQ(faults.hits("test.unarmed"), 0);
+  EXPECT_EQ(faults.fires("test.unarmed"), 0);
+}
+
+TEST_F(FaultInjectorTest, SkipCountWindowIsExact) {
+  auto& faults = FaultInjector::Instance();
+  FaultInjector::FaultSpec spec;
+  spec.skip = 2;
+  spec.count = 3;
+  spec.amount = 7;
+  faults.Arm("test.window", spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (auto f = faults.Hit("test.window")) {
+      ++fired;
+      EXPECT_EQ(f->amount, 7);
+      // Fires exactly on hits 3..5 (after skipping 2).
+      EXPECT_GE(i, 2);
+      EXPECT_LT(i, 5);
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(faults.hits("test.window"), 10);
+  EXPECT_EQ(faults.fires("test.window"), 3);
+}
+
+TEST_F(FaultInjectorTest, ProbabilityDrawsAreSeedDeterministic) {
+  auto& faults = FaultInjector::Instance();
+  FaultInjector::FaultSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 42;
+  const auto run = [&] {
+    faults.Arm("test.prob", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(faults.Hit("test.prob").has_value());
+    }
+    return fired;
+  };
+  const auto first = run();
+  const auto second = run();  // re-arming resets the per-point Rng
+  EXPECT_EQ(first, second);
+  // With p=0.5 over 64 draws, both all-fire and no-fire are ~2^-64.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FaultInjectorTest, DisarmStopsFiringAndResetClearsAll) {
+  auto& faults = FaultInjector::Instance();
+  faults.Arm("test.a", {});
+  faults.Arm("test.b", {});
+  EXPECT_TRUE(faults.Hit("test.a").has_value());
+  faults.Disarm("test.a");
+  EXPECT_FALSE(faults.Hit("test.a").has_value());
+  EXPECT_TRUE(faults.Hit("test.b").has_value());
+  faults.Reset();
+  EXPECT_FALSE(faults.Hit("test.b").has_value());
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // The standard IEEE 802.3 check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("")), 0x00000000u);
+}
+
+TEST(Crc32Test, StreamingUpdateMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = 0;
+  for (char c : data) crc = Crc32Update(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(i);
+  }
+  const uint32_t clean = Crc32(data);
+  data[100] = static_cast<char>(data[100] ^ 0x10);
+  EXPECT_NE(Crc32(data), clean);
+}
+
+}  // namespace
+}  // namespace rt

@@ -45,7 +45,7 @@ int Usage() {
       "  evaluate    --model=KIND --recipes=N --epochs=E --samples=K\n"
       "  serve       --model=KIND --recipes=N --epochs=E\n"
       "              [--backend-port=P --frontend-port=P --workers=N\n"
-      "               --sessions=N --queue=N]\n"
+      "               --sessions=N --queue=N --request-timeout-ms=MS]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n");
   return 2;
 }
@@ -239,8 +239,10 @@ int CmdServe(const ArgParser& args) {
   auto workers = args.GetInt("workers", 0);
   auto sessions = args.GetInt("sessions", 2);
   auto queue = args.GetInt("queue", 64);
+  auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
   if (!backend_port.ok() || !frontend_port.ok() || !workers.ok() ||
-      !sessions.ok() || !queue.ok()) {
+      !sessions.ok() || !queue.ok() || !request_timeout_ms.ok() ||
+      *request_timeout_ms < 1) {
     return Usage();
   }
 
@@ -248,6 +250,7 @@ int CmdServe(const ArgParser& args) {
   options.model_sessions = static_cast<int>(*sessions);
   options.http.num_workers = static_cast<int>(*workers);
   options.http.max_queue = static_cast<int>(*queue);
+  options.default_timeout_ms = static_cast<int>(*request_timeout_ms);
   options.models = {args.GetString("model", "word-lstm")};
   std::vector<std::unique_ptr<LanguageModel>> session_models;
   BackendService backend(MakePipelineSessionFactory(&p, &session_models),
@@ -259,11 +262,12 @@ int CmdServe(const ArgParser& args) {
   if (!s.ok()) return Fail(s);
   std::printf("backend  http://127.0.0.1:%d  (POST /v1/generate)\n"
               "frontend http://127.0.0.1:%d  (GET /)\n"
-              "workers=%d sessions=%d queue=%d\n"
+              "workers=%d sessions=%d queue=%d request-timeout-ms=%d\n"
               "Ctrl-C to stop\n",
               backend.port(), frontend.port(),
               backend.server().num_workers(), backend.model_sessions(),
-              backend.server().options().max_queue);
+              backend.server().options().max_queue,
+              static_cast<int>(*request_timeout_ms));
   std::signal(SIGINT, OnSignal);
   while (!g_stop) {
     struct timespec ts{0, 200'000'000};
