@@ -32,23 +32,39 @@ void WriteString(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-bool ReadU32(std::istream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+/// Bounds-checked cursor over the in-memory payload. Parsing straight
+/// from the single buffer keeps load at one transient copy of the
+/// checkpoint (the old substr + istringstream route held three).
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size)
+      : p_(data), end_(data + size) {}
 
-bool ReadF64(std::istream& in, double* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
 
-bool ReadString(std::istream& in, std::string* s) {
-  uint32_t len = 0;
-  if (!ReadU32(in, &len)) return false;
-  s->resize(len);
-  in.read(s->data(), len);
-  return in.good();
-}
+  bool ReadRaw(void* out, size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
+
+  bool ReadString(std::string* s) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > remaining()) return false;  // reject bogus lengths early
+    s->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
 
 }  // namespace
 
@@ -108,48 +124,59 @@ Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
 
 Status LoadCheckpoint(Module* module, const std::string& path,
                       CheckpointMetadata* metadata) {
-  std::ifstream file(path, std::ios::binary);
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
   if (!file) return Status::IoError("cannot open for read: " + path);
-  std::ostringstream whole;
-  whole << file.rdbuf();
-  std::string bytes = whole.str();
-  if (bytes.size() < kMagicLen) {
+  const std::streamoff file_size = file.tellg();
+  file.seekg(0);
+  if (file_size < static_cast<std::streamoff>(kMagicLen)) {
     return Status::InvalidArgument("bad checkpoint magic: " + path);
   }
-  const std::string magic = bytes.substr(0, kMagicLen);
-  std::string payload;
-  if (magic == kMagic) {
-    // v2: the last four bytes are a CRC-32 of everything in between.
-    if (bytes.size() < kMagicLen + sizeof(uint32_t)) {
+  char magic[kMagicLen];
+  if (!file.read(magic, kMagicLen)) {
+    return Status::IoError("read failed: " + path);
+  }
+  const bool v2 = std::memcmp(magic, kMagic, kMagicLen) == 0;
+  const bool v1 = std::memcmp(magic, kMagicV1, kMagicLen) == 0;
+  if (!v2 && !v1) {
+    return Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  // v2: the last four bytes are a CRC-32 of everything in between.
+  // Only the payload itself is held in memory — the magic and trailer
+  // are read around it, so load peaks at one copy of the checkpoint.
+  if (v2 && file_size < static_cast<std::streamoff>(kMagicLen +
+                                                    sizeof(uint32_t))) {
+    return Status::IoError("truncated checkpoint: " + path);
+  }
+  const size_t payload_size =
+      static_cast<size_t>(file_size) - kMagicLen -
+      (v2 ? sizeof(uint32_t) : 0);
+  std::string payload(payload_size, '\0');
+  if (payload_size > 0 &&
+      !file.read(payload.data(),
+                 static_cast<std::streamsize>(payload_size))) {
+    return Status::IoError("read failed: " + path);
+  }
+  if (v2) {
+    uint32_t stored = 0;
+    if (!file.read(reinterpret_cast<char*>(&stored), sizeof(stored))) {
       return Status::IoError("truncated checkpoint: " + path);
     }
-    uint32_t stored = 0;
-    std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(uint32_t),
-                sizeof(uint32_t));
-    payload = bytes.substr(kMagicLen,
-                           bytes.size() - kMagicLen - sizeof(uint32_t));
-    const uint32_t actual = Crc32(payload);
-    if (actual != stored) {
+    if (Crc32(payload) != stored) {
       return Status::IoError(
           "checkpoint CRC mismatch (corrupt or truncated): " + path);
     }
-  } else if (magic == kMagicV1) {
-    payload = bytes.substr(kMagicLen);  // legacy: no checksum to verify
-  } else {
-    return Status::InvalidArgument("bad checkpoint magic: " + path);
   }
-  bytes.clear();
-  std::istringstream in(payload, std::ios::binary);
+  ByteReader in(payload.data(), payload.size());
 
   uint32_t meta_count = 0;
-  if (!ReadU32(in, &meta_count)) {
+  if (!in.ReadU32(&meta_count)) {
     return Status::IoError("truncated checkpoint: " + path);
   }
   CheckpointMetadata meta;
   for (uint32_t i = 0; i < meta_count; ++i) {
     std::string key;
     double value = 0.0;
-    if (!ReadString(in, &key) || !ReadF64(in, &value)) {
+    if (!in.ReadString(&key) || !in.ReadF64(&value)) {
       return Status::IoError("truncated metadata: " + path);
     }
     meta[key] = value;
@@ -160,7 +187,7 @@ Status LoadCheckpoint(Module* module, const std::string& path,
   for (auto& [name, param] : named) by_name[name] = param;
 
   uint32_t param_count = 0;
-  if (!ReadU32(in, &param_count)) {
+  if (!in.ReadU32(&param_count)) {
     return Status::IoError("truncated checkpoint: " + path);
   }
   if (param_count != named.size()) {
@@ -172,17 +199,17 @@ Status LoadCheckpoint(Module* module, const std::string& path,
   size_t loaded = 0;
   for (uint32_t i = 0; i < param_count; ++i) {
     std::string name;
-    if (!ReadString(in, &name)) {
+    if (!in.ReadString(&name)) {
       return Status::IoError("truncated parameter name: " + path);
     }
     uint32_t ndim = 0;
-    if (!ReadU32(in, &ndim)) {
+    if (!in.ReadU32(&ndim)) {
       return Status::IoError("truncated shape: " + path);
     }
     std::vector<int> shape(ndim);
     for (uint32_t d = 0; d < ndim; ++d) {
       uint32_t dim = 0;
-      if (!ReadU32(in, &dim)) {
+      if (!in.ReadU32(&dim)) {
         return Status::IoError("truncated shape: " + path);
       }
       shape[d] = static_cast<int>(dim);
@@ -195,10 +222,8 @@ Status LoadCheckpoint(Module* module, const std::string& path,
     if (param->value.shape() != shape) {
       return Status::InvalidArgument("shape mismatch for " + name);
     }
-    in.read(reinterpret_cast<char*>(param->value.data()),
-            static_cast<std::streamsize>(param->value.numel() *
-                                         sizeof(float)));
-    if (!in.good()) {
+    if (!in.ReadRaw(param->value.data(),
+                    param->value.numel() * sizeof(float))) {
       return Status::IoError("truncated tensor data: " + path);
     }
     ++loaded;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <climits>
+#include <cmath>
 #include <thread>
 
 #include "util/fault_injection.h"
@@ -16,6 +18,19 @@ Status ValidationError(std::string* error_code, const std::string& code,
                        const std::string& message) {
   if (error_code != nullptr) *error_code = code;
   return Status::InvalidArgument(message);
+}
+
+/// Truncates a JSON number into [lo, hi]. Casting a NaN or out-of-int-
+/// range double is undefined behavior, so the range check happens on
+/// the double before any cast.
+bool IntInRange(const Json& value, int lo, int hi, int* out) {
+  const double raw = value.AsNumber();
+  if (!std::isfinite(raw) || raw < static_cast<double>(lo) ||
+      raw > static_cast<double>(hi)) {
+    return false;
+  }
+  *out = static_cast<int>(raw);
+  return true;
 }
 
 const std::array<double, LatencyHistogram::kNumBuckets - 1> kLatencyBounds =
@@ -66,8 +81,7 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
       return ValidationError(error_code, "bad_max_tokens",
                              "'max_tokens' must be a number");
     }
-    req.max_tokens = static_cast<int>(doc.Get("max_tokens").AsNumber());
-    if (req.max_tokens <= 0 || req.max_tokens > 4096) {
+    if (!IntInRange(doc.Get("max_tokens"), 1, 4096, &req.max_tokens)) {
       return ValidationError(error_code, "bad_max_tokens",
                              "max_tokens out of range (1..4096)");
     }
@@ -88,9 +102,9 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
       return ValidationError(error_code, "bad_top_k",
                              "'top_k' must be a number");
     }
-    req.top_k = static_cast<int>(doc.Get("top_k").AsNumber());
-    if (req.top_k < 0) {
-      return ValidationError(error_code, "bad_top_k", "top_k negative");
+    if (!IntInRange(doc.Get("top_k"), 0, INT_MAX, &req.top_k)) {
+      return ValidationError(error_code, "bad_top_k",
+                             "top_k out of range");
     }
   }
   if (!doc.Get("top_p").is_null()) {
@@ -116,8 +130,7 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
       return ValidationError(error_code, "bad_beam_width",
                              "'beam_width' must be a number");
     }
-    req.beam_width = static_cast<int>(doc.Get("beam_width").AsNumber());
-    if (req.beam_width < 0 || req.beam_width > 64) {
+    if (!IntInRange(doc.Get("beam_width"), 0, 64, &req.beam_width)) {
       return ValidationError(error_code, "bad_beam_width",
                              "beam_width out of range [0..64]");
     }
@@ -127,7 +140,13 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
       return ValidationError(error_code, "bad_seed",
                              "'seed' must be a number");
     }
-    req.seed = static_cast<uint64_t>(doc.Get("seed").AsNumber());
+    const double raw_seed = doc.Get("seed").AsNumber();
+    if (!std::isfinite(raw_seed) || raw_seed < 0.0 ||
+        raw_seed >= 18446744073709551616.0 /* 2^64 */) {
+      return ValidationError(error_code, "bad_seed",
+                             "seed out of range [0..2^64)");
+    }
+    req.seed = static_cast<uint64_t>(raw_seed);
   }
   if (!doc.Get("model").is_null()) {
     if (!doc.Get("model").is_string()) {
@@ -141,10 +160,9 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
       return ValidationError(error_code, "bad_timeout_ms",
                              "'timeout_ms' must be a number");
     }
-    req.timeout_ms = static_cast<int>(doc.Get("timeout_ms").AsNumber());
-    if (req.timeout_ms < 0) {
+    if (!IntInRange(doc.Get("timeout_ms"), 0, INT_MAX, &req.timeout_ms)) {
       return ValidationError(error_code, "bad_timeout_ms",
-                             "timeout_ms must be >= 0");
+                             "timeout_ms out of range");
     }
   }
   return req;
@@ -379,7 +397,8 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
 
   // Fast-fail while the breaker is open: answering 503 in microseconds
   // beats burning a model session on a request that will time out.
-  if (!breaker_.Allow()) {
+  const CircuitBreaker::Ticket ticket = breaker_.Allow();
+  if (ticket == 0) {
     breaker_rejected_.fetch_add(1);
     HttpResponse resp = JsonError(
         503, "circuit_open",
@@ -390,6 +409,11 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
     resp.headers["Retry-After"] = std::to_string(retry_s);
     return resp;
   }
+  // Every exit below must settle the ticket; paths that learn nothing
+  // about generation health (pre-session shed, internal error,
+  // cancellation) fall through to the guard's abandoned report, so a
+  // half-open probe can never wedge the breaker.
+  CircuitBreaker::Outcome breaker_outcome(breaker_, ticket);
 
   // A request whose budget is already spent (queue wait, slow read) is
   // shed before it touches a session. Not a breaker outcome: the model
@@ -400,7 +424,7 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
 
   const int slot = AcquireSession(req.deadline);
   if (slot < 0) {
-    breaker_.RecordTimeout();
+    breaker_outcome.Timeout();
     return deadline_response(0);
   }
   Timer timer;
@@ -430,10 +454,10 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
                      request.request_id);
   }
   if (outcome->deadline_exceeded || req.deadline.expired()) {
-    breaker_.RecordTimeout();
+    breaker_outcome.Timeout();
     return deadline_response(outcome->tokens_generated);
   }
-  breaker_.RecordSuccess();
+  breaker_outcome.Success();
   generate_ok_.fetch_add(1);
   Json out{Json::Object{}};
   out.Set("request_id", request.request_id);

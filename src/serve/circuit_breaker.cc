@@ -11,69 +11,81 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
   }
 }
 
-bool CircuitBreaker::Allow() {
+CircuitBreaker::Ticket CircuitBreaker::Allow() {
   std::lock_guard<std::mutex> lock(mutex_);
   switch (state_) {
     case State::kClosed:
-      return true;
+      return ++next_ticket_;
     case State::kOpen:
       if (Clock::now() - opened_at_ <
           std::chrono::milliseconds(options_.cooldown_ms)) {
-        return false;
+        return 0;
       }
       state_ = State::kHalfOpen;
-      probe_in_flight_ = true;
-      return true;
+      probe_ticket_ = ++next_ticket_;
+      return probe_ticket_;
     case State::kHalfOpen:
-      if (probe_in_flight_) return false;
-      probe_in_flight_ = true;
-      return true;
+      if (probe_ticket_ != 0) return 0;
+      probe_ticket_ = ++next_ticket_;
+      return probe_ticket_;
   }
-  return true;
+  return 0;
 }
 
-void CircuitBreaker::RecordSuccess() {
+void CircuitBreaker::RecordSuccess(Ticket ticket) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket == 0 || ticket < min_valid_ticket_) return;  // straggler
   switch (state_) {
     case State::kHalfOpen:
+      if (ticket != probe_ticket_) return;
       // The probe came back healthy: close and start fresh.
       state_ = State::kClosed;
-      probe_in_flight_ = false;
+      probe_ticket_ = 0;
       outcomes_.clear();
       window_timeouts_ = 0;
       return;
     case State::kClosed:
-      outcomes_.push_back(false);
-      if (static_cast<int>(outcomes_.size()) > options_.window) {
-        if (outcomes_.front()) --window_timeouts_;
-        outcomes_.pop_front();
-      }
+      PushOutcomeLocked(false);
       return;
     case State::kOpen:
-      return;  // straggler from before the trip
+      return;
   }
 }
 
-void CircuitBreaker::RecordTimeout() {
+void CircuitBreaker::RecordTimeout(Ticket ticket) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket == 0 || ticket < min_valid_ticket_) return;  // straggler
   switch (state_) {
     case State::kHalfOpen:
+      if (ticket != probe_ticket_) return;
       // The probe timed out too: back to open for another cooldown.
-      state_ = State::kOpen;
-      opened_at_ = Clock::now();
-      probe_in_flight_ = false;
+      OpenLocked();
       return;
     case State::kClosed:
-      outcomes_.push_back(true);
-      ++window_timeouts_;
-      if (static_cast<int>(outcomes_.size()) > options_.window) {
-        if (outcomes_.front()) --window_timeouts_;
-        outcomes_.pop_front();
-      }
+      PushOutcomeLocked(true);
       MaybeTripLocked();
       return;
     case State::kOpen:
-      return;  // straggler from before the trip
+      return;
+  }
+}
+
+void CircuitBreaker::RecordAbandoned(Ticket ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ticket == 0 || ticket < min_valid_ticket_) return;  // straggler
+  // An abandoned probe proved nothing either way; free the probe slot
+  // so the next request can try instead of wedging half-open forever.
+  if (state_ == State::kHalfOpen && ticket == probe_ticket_) {
+    probe_ticket_ = 0;
+  }
+}
+
+void CircuitBreaker::PushOutcomeLocked(bool timeout) {
+  outcomes_.push_back(timeout);
+  if (timeout) ++window_timeouts_;
+  if (static_cast<int>(outcomes_.size()) > options_.window) {
+    if (outcomes_.front()) --window_timeouts_;
+    outcomes_.pop_front();
   }
 }
 
@@ -81,10 +93,16 @@ void CircuitBreaker::MaybeTripLocked() {
   const int n = static_cast<int>(outcomes_.size());
   if (n < options_.min_samples) return;
   if (window_timeouts_ < options_.trip_ratio * n) return;
+  OpenLocked();
+}
+
+void CircuitBreaker::OpenLocked() {
   state_ = State::kOpen;
   opened_at_ = Clock::now();
+  probe_ticket_ = 0;
   outcomes_.clear();
   window_timeouts_ = 0;
+  min_valid_ticket_ = next_ticket_ + 1;
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {

@@ -2,6 +2,7 @@
 #define RATATOUILLE_SERVE_CIRCUIT_BREAKER_H_
 
 #include <chrono>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 
@@ -28,26 +29,70 @@ struct CircuitBreakerOptions {
 ///                Retry-After) until cooldown_ms has passed.
 ///   half-open -> exactly one probe request is admitted; success closes
 ///                the breaker, a timeout re-opens it for another
-///                cooldown.
+///                cooldown, and an abandoned probe (the request died
+///                for a non-timeout reason) frees the probe slot so
+///                the next request can probe instead.
 ///
-/// Thread-safe; every method takes the internal mutex. Timeouts of
-/// requests already in flight when the breaker opened are ignored, so a
-/// burst of stragglers cannot re-trip a freshly recovered breaker.
+/// Every admission is identified by a ticket. Allow() hands one out
+/// (0 = denied) and exactly one of RecordSuccess / RecordTimeout /
+/// RecordAbandoned must be called with it — the Outcome guard below
+/// makes that automatic. Tickets issued before the breaker last
+/// opened are ignored on record, so stragglers from before a trip can
+/// neither close a half-open breaker nor re-trip a recovered one, and
+/// only the probe's own outcome drives half-open transitions.
+///
+/// Thread-safe; every method takes the internal mutex.
 class CircuitBreaker {
  public:
   enum class State { kClosed, kOpen, kHalfOpen };
 
+  /// Identifies one admitted request. 0 is never issued and means
+  /// "denied"; passing 0 to any Record* is a no-op.
+  using Ticket = uint64_t;
+
+  /// Ties an admitted request to exactly one recorded outcome. Call
+  /// Success() or Timeout() on the way out; if neither happens (error
+  /// paths, cancellation, early shed) the destructor reports the
+  /// ticket as abandoned, so a half-open probe can never wedge the
+  /// breaker by exiting through a path that forgets to report.
+  class Outcome {
+   public:
+    Outcome(CircuitBreaker& breaker, Ticket ticket)
+        : breaker_(breaker), ticket_(ticket) {}
+    Outcome(const Outcome&) = delete;
+    Outcome& operator=(const Outcome&) = delete;
+    ~Outcome() { breaker_.RecordAbandoned(Take()); }
+
+    void Success() { breaker_.RecordSuccess(Take()); }
+    void Timeout() { breaker_.RecordTimeout(Take()); }
+
+   private:
+    Ticket Take() {
+      const Ticket t = ticket_;
+      ticket_ = 0;
+      return t;
+    }
+
+    CircuitBreaker& breaker_;
+    Ticket ticket_;
+  };
+
   explicit CircuitBreaker(CircuitBreakerOptions options);
 
-  /// True when a request may proceed now. In the open state this is
-  /// where the cooldown expiry is noticed and the probe admitted.
-  bool Allow();
+  /// Nonzero ticket when a request may proceed now, 0 to fast-fail. In
+  /// the open state this is where the cooldown expiry is noticed and
+  /// the probe admitted.
+  Ticket Allow();
 
   /// Reports a generation that completed without a timeout.
-  void RecordSuccess();
+  void RecordSuccess(Ticket ticket);
 
   /// Reports a generation that exceeded its deadline.
-  void RecordTimeout();
+  void RecordTimeout(Ticket ticket);
+
+  /// Reports a request that ended without learning anything about
+  /// generation health (validation shed, internal error, cancelled).
+  void RecordAbandoned(Ticket ticket);
 
   State state() const;
 
@@ -57,8 +102,16 @@ class CircuitBreaker {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// Appends one outcome to the sliding window. Caller holds mutex_.
+  void PushOutcomeLocked(bool timeout);
+
   /// Trips to open when the window says so. Caller holds mutex_.
   void MaybeTripLocked();
+
+  /// Moves to open and invalidates all outstanding tickets, so
+  /// stragglers admitted earlier cannot influence later states.
+  /// Caller holds mutex_.
+  void OpenLocked();
 
   CircuitBreakerOptions options_;
   mutable std::mutex mutex_;
@@ -66,7 +119,9 @@ class CircuitBreaker {
   std::deque<bool> outcomes_;  // true = timeout
   int window_timeouts_ = 0;
   Clock::time_point opened_at_{};
-  bool probe_in_flight_ = false;
+  Ticket next_ticket_ = 0;
+  Ticket probe_ticket_ = 0;      // nonzero while a probe is in flight
+  Ticket min_valid_ticket_ = 1;  // older tickets are stragglers
 };
 
 }  // namespace rt

@@ -519,8 +519,10 @@ HttpServer::ReadOutcome HttpServer::ReadOneRequest(int fd,
     size_t want = sizeof(buf);
     if (auto fired = faults.Hit("http.read.short")) {
       // Trickle reads: consume at most `amount` bytes per recv so header
-      // parsing sees many partial buffers.
-      want = static_cast<size_t>(std::max(fired->amount, 1));
+      // parsing sees many partial buffers. Clamped to the stack buffer —
+      // an over-sized amount must not turn into an overflowing recv.
+      want = std::min(sizeof(buf),
+                      static_cast<size_t>(std::max(fired->amount, 1)));
     }
     const ssize_t n = ::recv(fd, buf, want, 0);
     if (n == 0) {

@@ -1,0 +1,112 @@
+#include "serve/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+// window=4 / min_samples=2 / ratio 1.0: two timeouts trip the breaker.
+// cooldown_ms=0 so Allow() right after a trip already admits the probe.
+CircuitBreakerOptions FastOptions() {
+  CircuitBreakerOptions options;
+  options.window = 4;
+  options.min_samples = 2;
+  options.trip_ratio = 1.0;
+  options.cooldown_ms = 0;
+  return options;
+}
+
+// Trips the breaker with two timed-out admissions.
+void Trip(CircuitBreaker* breaker) {
+  const CircuitBreaker::Ticket t1 = breaker->Allow();
+  const CircuitBreaker::Ticket t2 = breaker->Allow();
+  ASSERT_NE(t1, 0u);
+  ASSERT_NE(t2, 0u);
+  breaker->RecordTimeout(t1);
+  breaker->RecordTimeout(t2);
+  ASSERT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, AbandonedProbeDoesNotWedgeHalfOpen) {
+  CircuitBreaker breaker(FastOptions());
+  Trip(&breaker);
+  const CircuitBreaker::Ticket probe = breaker.Allow();
+  ASSERT_NE(probe, 0u);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Allow(), 0u);  // only one probe at a time
+  // The probe exits through a non-timeout path (500, cancel, shed):
+  // the slot must free up for the next request to probe.
+  breaker.RecordAbandoned(probe);
+  const CircuitBreaker::Ticket probe2 = breaker.Allow();
+  ASSERT_NE(probe2, 0u);
+  breaker.RecordSuccess(probe2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OutcomeGuardAbandonsOnEarlyExit) {
+  CircuitBreaker breaker(FastOptions());
+  Trip(&breaker);
+  {
+    // An early return that never calls Success()/Timeout().
+    CircuitBreaker::Outcome probe(breaker, breaker.Allow());
+  }
+  EXPECT_NE(breaker.Allow(), 0u);
+}
+
+TEST(CircuitBreakerTest, ProbeTimeoutReopens) {
+  CircuitBreaker breaker(FastOptions());
+  Trip(&breaker);
+  const CircuitBreaker::Ticket probe = breaker.Allow();
+  ASSERT_NE(probe, 0u);
+  breaker.RecordTimeout(probe);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreakerTest, StragglerOutcomesCannotDriveHalfOpen) {
+  CircuitBreaker breaker(FastOptions());
+  const CircuitBreaker::Ticket straggler_ok = breaker.Allow();
+  const CircuitBreaker::Ticket straggler_slow = breaker.Allow();
+  Trip(&breaker);
+  const CircuitBreaker::Ticket probe = breaker.Allow();
+  ASSERT_NE(probe, 0u);
+  // A success from before the trip must not close the breaker on the
+  // probe's behalf.
+  breaker.RecordSuccess(straggler_ok);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  // A timeout from before the trip must neither re-open nor free the
+  // probe slot while the probe is still running.
+  breaker.RecordTimeout(straggler_slow);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.Allow(), 0u);
+  // Only the probe's own outcome decides.
+  breaker.RecordSuccess(probe);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StragglersCannotRetripRecoveredBreaker) {
+  CircuitBreaker breaker(FastOptions());
+  const CircuitBreaker::Ticket s1 = breaker.Allow();
+  const CircuitBreaker::Ticket s2 = breaker.Allow();
+  Trip(&breaker);
+  const CircuitBreaker::Ticket probe = breaker.Allow();
+  ASSERT_NE(probe, 0u);
+  breaker.RecordSuccess(probe);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // A burst of pre-trip timeouts lands after recovery: ignored.
+  breaker.RecordTimeout(s1);
+  breaker.RecordTimeout(s2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, ClosedWindowStillTripsOnFreshTimeouts) {
+  CircuitBreaker breaker(FastOptions());
+  Trip(&breaker);
+  const CircuitBreaker::Ticket probe = breaker.Allow();
+  ASSERT_NE(probe, 0u);
+  breaker.RecordSuccess(probe);
+  // Post-recovery tickets count as usual, so real regressions re-trip.
+  Trip(&breaker);
+}
+
+}  // namespace
+}  // namespace rt

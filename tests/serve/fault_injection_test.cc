@@ -270,6 +270,33 @@ TEST_F(FaultInjectionServeTest, TrickledReadsStillServeRequests) {
   backend.Stop();
 }
 
+TEST_F(FaultInjectionServeTest, OversizedShortReadAmountIsClamped) {
+  // An `amount` far beyond the server's 4 KiB read buffer must be
+  // clamped, not handed to recv() verbatim (that was a stack overflow,
+  // caught by ASan).
+  BackendService backend(BackendService::WrapRecipeFn(
+      [](const GenerateRequest&) -> StatusOr<Recipe> {
+        Recipe r;
+        r.title = "dish";
+        r.ingredients.push_back({"1", "", "rice", ""});
+        r.instructions = {"cook"};
+        return r;
+      }));
+  ASSERT_TRUE(backend.Start(0).ok());
+  FaultInjector::FaultSpec spec;
+  spec.amount = 1 << 20;  // 1 MiB "cap" vs. a 4 KiB buffer
+  FaultInjector::Instance().Arm("http.read.short", spec);
+  // A body well past 4 KiB keeps the socket buffer full enough that an
+  // unclamped recv() really would write past the stack buffer.
+  std::string body = R"({"ingredients":["rice")";
+  for (int i = 0; i < 4000; ++i) body += R"(,"rice")";
+  body += "]}";
+  auto resp = HttpPost(backend.port(), "/v1/generate", body);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  backend.Stop();
+}
+
 TEST_F(FaultInjectionServeTest, ShortWritesStillDeliverResponses) {
   HttpServer server;
   ASSERT_TRUE(server
