@@ -13,6 +13,7 @@
 #include "util/deadline.h"
 #include "util/fault_injection.h"
 #include "util/json.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/tape.h"
 #include "text/bpe_tokenizer.h"
@@ -47,6 +48,52 @@ void BM_MatMulTransB(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatMulTransB)->Arg(128);
+
+void BM_GemmReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Normal({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({n, n}, 1.0f, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::GemmRef(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmReference)->Arg(128)->Arg(256);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Normal({n, n}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({n, n}, 1.0f, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    kernels::GemmBlocked(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(128)->Arg(256);
+
+void BM_GemmPackedDecode(benchmark::State& state) {
+  // The decode hot path: one-row GEMV against a pre-packed weight, the
+  // shape every Linear::ForwardRawTo hits per generated token.
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Normal({1, n}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({n, n}, 1.0f, &rng);
+  kernels::PackedB packed;
+  packed.Pack(n, n, b.data());
+  Tensor c({1, n});
+  for (auto _ : state) {
+    kernels::GemmPacked(1, a.data(), packed, c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n);
+}
+BENCHMARK(BM_GemmPackedDecode)->Arg(256)->Arg(768);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   Rng rng(2);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace rt {
@@ -116,22 +118,68 @@ Tensor Gpt2Lm::ForwardLogitsRaw(const std::vector<int>& ids) const {
     x = block->ForwardRaw(x, n);
   }
   x = root_.ln_f.ForwardRaw(x);
-  return ops::MatMulTransB(x, root_.tok.table()->value);
+  // Weight-tied head on the cached packed token table — bitwise
+  // identical to ops::MatMulTransB, minus the per-call repack.
+  Tensor logits({n, config_.vocab_size});
+  kernels::GemmPacked(n, x.data(), PackedTokTransposed(), logits.data(),
+                      /*accumulate=*/false);
+  return logits;
 }
 
-Tensor Gpt2Lm::StepWithCache(int token, KvCache* cache) const {
-  const int pos = cache->len;
-  assert(pos < config_.max_seq_len);
-  Tensor x = ops::Add(
-      ops::EmbeddingGather(root_.tok.table()->value, {token}),
-      ops::EmbeddingGather(root_.pos.table()->value, {pos}));
-  for (size_t l = 0; l < root_.blocks.size(); ++l) {
-    x = root_.blocks[l]->StepRaw(x, &cache->keys[l], &cache->values[l],
-                                 pos);
+const kernels::PackedB& Gpt2Lm::PackedTokTransposed() const {
+  const Parameter* table = root_.tok.table();
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  if (packed_tok_version_ != table->version) {
+    packed_tok_t_.PackTransposed(config_.vocab_size, config_.dim,
+                                 table->value.data());
+    packed_tok_version_ = table->version;
   }
-  x = root_.ln_f.ForwardRaw(x);
+  return packed_tok_t_;
+}
+
+void Gpt2Lm::InitCache(KvCache* cache) const {
+  cache->keys.clear();
+  cache->values.clear();
+  for (int l = 0; l < config_.num_layers; ++l) {
+    cache->keys.push_back(Tensor({config_.max_seq_len, config_.dim}));
+    cache->values.push_back(Tensor({config_.max_seq_len, config_.dim}));
+  }
+  cache->len = 0;
+  cache->logits = Tensor({1, config_.vocab_size});
+}
+
+const Tensor& Gpt2Lm::StepWithCache(int token, KvCache* cache) const {
+  const int pos = cache->len;
+  const int dim = config_.dim;
+  assert(pos < config_.max_seq_len);
+  assert(token >= 0 && token < config_.vocab_size);
+  assert(cache->keys.size() == root_.blocks.size());
+  if (cache->logits.numel() == 0) {
+    cache->logits = Tensor({1, config_.vocab_size});
+  }
+  Workspace& ws = cache->ws;
+  ws.Reset();
+
+  // Token + position embedding rows, summed like the batched gather.
+  float* x = ws.Alloc(dim);
+  const float* trow =
+      root_.tok.table()->value.data() + static_cast<size_t>(token) * dim;
+  const float* prow =
+      root_.pos.table()->value.data() + static_cast<size_t>(pos) * dim;
+  for (int j = 0; j < dim; ++j) x[j] = trow[j] + prow[j];
+
+  // Ping-pong through the blocks; all scratch comes from the arena.
+  float* y = ws.Alloc(dim);
+  for (size_t l = 0; l < root_.blocks.size(); ++l) {
+    root_.blocks[l]->StepRaw(x, y, &cache->keys[l], &cache->values[l],
+                             pos, &ws);
+    std::swap(x, y);
+  }
+  root_.ln_f.ForwardRawRow(x, x);
+  kernels::GemmPacked(1, x, PackedTokTransposed(), cache->logits.data(),
+                      /*accumulate=*/false);
   ++cache->len;
-  return ops::MatMulTransB(x, root_.tok.table()->value);
+  return cache->logits;
 }
 
 GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
@@ -151,10 +199,9 @@ GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
   };
 
   struct Beam {
-    KvCache cache;
+    KvCache cache;  // cache.logits holds the last processed token's row
     std::vector<int> tokens;  // generated so far
     double log_prob = 0.0;
-    Tensor logits;  // logits after the last processed token
     bool finished = false;
     FinishReason end = FinishReason::kMaxTokens;  // valid when finished
   };
@@ -167,10 +214,7 @@ GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
 
   // Seed beam: run the prompt once.
   Beam seed;
-  for (int l = 0; l < config_.num_layers; ++l) {
-    seed.cache.keys.push_back(Tensor({config_.max_seq_len, config_.dim}));
-    seed.cache.values.push_back(Tensor({config_.max_seq_len, config_.dim}));
-  }
+  InitCache(&seed.cache);
   for (int id : prompt) {
     if (auto abort = check_abort()) {
       GenerationResult result;
@@ -178,7 +222,7 @@ GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
       return result;
     }
     if (seed.cache.len >= config_.max_seq_len) break;
-    seed.logits = StepWithCache(id, &seed.cache);
+    StepWithCache(id, &seed.cache);
   }
   std::vector<Beam> beams;
   beams.push_back(std::move(seed));
@@ -201,8 +245,8 @@ GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
         continue;
       }
       any_alive = true;
-      const Tensor lp = ops::LogSoftmaxRows(
-          beam.logits.Reshaped({1, static_cast<int>(beam.logits.numel())}));
+      const Tensor lp = ops::LogSoftmaxRows(beam.cache.logits.Reshaped(
+          {1, static_cast<int>(beam.cache.logits.numel())}));
       // Top beam_width continuations of this beam.
       std::vector<int> order(lp.numel());
       for (size_t i = 0; i < order.size(); ++i) {
@@ -245,7 +289,7 @@ GenerationResult Gpt2Lm::BeamSearch(const std::vector<int>& prompt,
         child.finished = true;
         child.end = FinishReason::kContextFull;
       } else {
-        child.logits = StepWithCache(cand.token, &child.cache);
+        StepWithCache(cand.token, &child.cache);
       }
       next.push_back(std::move(child));
     }
@@ -294,25 +338,21 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
 
   if (use_kv_cache_) {
     KvCache cache;
-    for (int l = 0; l < config_.num_layers; ++l) {
-      cache.keys.push_back(Tensor({config_.max_seq_len, config_.dim}));
-      cache.values.push_back(Tensor({config_.max_seq_len, config_.dim}));
-    }
-    Tensor logits;
+    InitCache(&cache);
     for (int id : prompt) {
       if (auto abort = CheckAbort(options)) {
         result.finish = *abort;
         return result;
       }
       if (cache.len >= config_.max_seq_len) break;
-      logits = StepWithCache(id, &cache);
+      StepWithCache(id, &cache);
     }
     for (int step = 0; step < options.max_new_tokens; ++step) {
       if (auto abort = CheckAbort(options)) {
         result.finish = *abort;
         return result;
       }
-      int next = SampleFromLogits(logits, options.sampling, &rng);
+      int next = SampleFromLogits(cache.logits, options.sampling, &rng);
       result.ids.push_back(next);
       if (next == options.stop_token) {
         result.finish = FinishReason::kStopToken;
@@ -322,7 +362,7 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
         result.finish = FinishReason::kContextFull;
         return result;
       }
-      logits = StepWithCache(next, &cache);
+      StepWithCache(next, &cache);
     }
     result.finish = FinishReason::kMaxTokens;
     return result;

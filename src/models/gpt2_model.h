@@ -2,11 +2,14 @@
 #define RATATOUILLE_MODELS_GPT2_MODEL_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "models/language_model.h"
 #include "nn/layers.h"
+#include "tensor/kernels.h"
+#include "tensor/workspace.h"
 
 namespace rt {
 
@@ -92,6 +95,28 @@ class Gpt2Lm : public LanguageModel {
     return BeamSearch(prompt, options).ids;
   }
 
+  /// Per-layer cached keys/values for incremental decoding, plus the
+  /// decode scratch arena and the logits row the step path writes into.
+  /// Copying a cache (beam search) deep-copies the tensors but starts
+  /// the copy with a fresh, empty workspace.
+  struct KvCache {
+    // Each [max_seq_len, dim]; `len` rows are valid.
+    std::vector<Tensor> keys;
+    std::vector<Tensor> values;
+    int len = 0;
+    Workspace ws;
+    Tensor logits;  // [1, vocab], rewritten by every step
+  };
+
+  /// Sizes `cache` for this model (len reset to 0).
+  void InitCache(KvCache* cache) const;
+
+  /// Appends one token at position `cache->len`; returns the logits row
+  /// [1, V], which lives in `cache->logits` (valid until the next step
+  /// on the same cache). Heap-allocation-free once the cache's
+  /// workspace has warmed up.
+  const Tensor& StepWithCache(int token, KvCache* cache) const;
+
  private:
   class Root : public Module {
    public:
@@ -102,27 +127,19 @@ class Gpt2Lm : public LanguageModel {
     LayerNorm ln_f;
   };
 
-  /// Per-layer cached keys/values for incremental decoding.
-  struct KvCache {
-    // Each [max_seq_len, dim]; `len` rows are valid.
-    std::vector<Tensor> keys;
-    std::vector<Tensor> values;
-    int len = 0;
-  };
-
   float RunBatch(const Batch& batch, bool training, Rng* dropout_rng);
 
-  /// Appends one token at position `cache->len`, returns logits row [V].
-  Tensor StepWithCache(int token, KvCache* cache) const;
-
-  /// One raw block forward used by both raw paths.
-  Tensor BlockForwardRaw(const TransformerBlock& block, const Tensor& x,
-                         int seq) const;
+  /// The token table packed column-major for the weight-tied head
+  /// (logits = x @ table^T), refreshed lazily per parameter version.
+  const kernels::PackedB& PackedTokTransposed() const;
 
   Gpt2Config config_;
   Rng init_rng_;
   Root root_;
   bool use_kv_cache_ = true;
+  mutable kernels::PackedB packed_tok_t_;
+  mutable uint64_t packed_tok_version_ = ~0ull;
+  mutable std::mutex pack_mutex_;
 };
 
 }  // namespace rt

@@ -67,39 +67,44 @@ GenerationResult LstmLm::Generate(const std::vector<int>& prompt,
   assert(!prompt.empty());
   GenerationResult result;
   Rng rng(options.seed);
-  Rng no_dropout(0);
-  Tape tape;
-  std::vector<LstmState> states;
+  // Tape-free decode: one packed-GEMV LSTM step per token, with all
+  // scratch in a workspace arena so steady-state decoding does not heap
+  // allocate (the old path grew an autograd tape per token).
+  Workspace ws;
+  LstmDecodeState state;
+  const Tensor& embed = root_.embed.table()->value;
+  const int edim = config_.embed_dim;
+  const float* h = nullptr;
   // Feed the prompt, keeping only the final hidden state. Deadlines are
   // honored even here so an already-expired request does no work.
-  VarId last_h = kInvalidVar;
   for (int id : prompt) {
     if (auto abort = CheckAbort(options)) {
       result.finish = *abort;
       return result;
     }
-    std::vector<VarId> hs =
-        root_.lstm.Forward(&tape, {root_.embed.Forward(&tape, {id})},
-                           &states);
-    last_h = hs[0];
+    assert(id >= 0 && id < config_.vocab_size);
+    ws.Reset();
+    h = root_.lstm.StepRaw(embed.data() + static_cast<size_t>(id) * edim,
+                           &state, &ws);
   }
   result.ids.reserve(options.max_new_tokens);
-  int cur = -1;
+  std::vector<float> logits(config_.vocab_size);
   for (int step = 0; step < options.max_new_tokens; ++step) {
     if (auto abort = CheckAbort(options)) {
       result.finish = *abort;
       return result;
     }
-    VarId logits = root_.head.Forward(&tape, last_h);
-    cur = SampleFromLogits(tape.value(logits), options.sampling, &rng);
+    root_.head.ForwardRawTo(1, h, logits.data());
+    const int cur = SampleFromLogits(logits.data(), config_.vocab_size,
+                                     options.sampling, &rng);
     result.ids.push_back(cur);
     if (cur == options.stop_token) {
       result.finish = FinishReason::kStopToken;
       return result;
     }
-    std::vector<VarId> hs = root_.lstm.Forward(
-        &tape, {root_.embed.Forward(&tape, {cur})}, &states);
-    last_h = hs[0];
+    ws.Reset();
+    h = root_.lstm.StepRaw(embed.data() + static_cast<size_t>(cur) * edim,
+                           &state, &ws);
   }
   result.finish = FinishReason::kMaxTokens;
   return result;

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "nn/checkpoint.h"
+#include "tensor/thread_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -61,6 +62,9 @@ StatusOr<TrainResult> Trainer::Train(const TokenSource& train,
   if (it.NumWindows() == 0) {
     return Status::InvalidArgument(
         "training source shorter than one window");
+  }
+  if (options_.compute_threads > 0) {
+    ThreadPool::SetGlobalThreads(options_.compute_threads);
   }
 
   Adam optimizer(model_->module()->Parameters(),

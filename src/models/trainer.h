@@ -37,6 +37,9 @@ struct TrainerOptions {
   /// Invoked after every optimizer step; return false to abort training
   /// (used by fault-injection tests to simulate crashes).
   std::function<bool(long long step, float loss)> step_callback;
+  /// Intra-op compute threads for the shared kernel pool (0 = leave the
+  /// process-wide setting untouched).
+  int compute_threads = 0;
 };
 
 /// Summary of a training run.

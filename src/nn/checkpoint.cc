@@ -226,6 +226,7 @@ Status LoadCheckpoint(Module* module, const std::string& path,
                     param->value.numel() * sizeof(float))) {
       return Status::IoError("truncated tensor data: " + path);
     }
+    param->MarkUpdated();
     ++loaded;
   }
   if (loaded != named.size()) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "tensor/ops.h"
+#include "tensor/thread_pool.h"
 
 namespace rt {
 namespace {
@@ -12,6 +13,21 @@ namespace {
 /// Creates a tape leaf for a parameter, wiring its gradient sink.
 VarId ParamLeaf(Tape* tape, Parameter* p) {
   return tape->Leaf(p->value, &p->grad);
+}
+
+/// Refreshes a lazily packed weight cache against the parameter version.
+/// Serialized by the caller's mutex; the double-check inside keeps
+/// concurrent first-touch packs from racing on the panel storage.
+const kernels::PackedB& RefreshPacked(std::mutex* mu,
+                                      kernels::PackedB* packed,
+                                      uint64_t* cached_version,
+                                      const Parameter& p, int k, int n) {
+  std::lock_guard<std::mutex> lock(*mu);
+  if (*cached_version != p.version) {
+    packed->Pack(k, n, p.value.data());
+    *cached_version = p.version;
+  }
+  return *packed;
 }
 
 }  // namespace
@@ -35,9 +51,25 @@ VarId Linear::Forward(Tape* tape, VarId x) const {
   return y;
 }
 
+const kernels::PackedB& Linear::PackedWeight() const {
+  return RefreshPacked(&pack_mutex_, &packed_, &packed_version_, *weight_,
+                       in_, out_);
+}
+
+void Linear::ForwardRawTo(int m, const float* x, float* y) const {
+  kernels::GemmPacked(m, x, PackedWeight(), y, false);
+  if (bias_ != nullptr) {
+    for (int i = 0; i < m; ++i) {
+      kernels::AddBiasRow(out_, bias_->value.data(),
+                          y + static_cast<size_t>(i) * out_);
+    }
+  }
+}
+
 Tensor Linear::ForwardRaw(const Tensor& x) const {
-  Tensor y = ops::MatMul(x, weight_->value);
-  if (bias_ != nullptr) y = ops::AddRowBroadcast(y, bias_->value);
+  assert(x.cols() == in_);
+  Tensor y({x.rows(), out_});
+  ForwardRawTo(x.rows(), x.data(), y.data());
   return y;
 }
 
@@ -51,7 +83,7 @@ VarId Embedding::Forward(Tape* tape, const std::vector<int>& ids) const {
   return tape->Embedding(ParamLeaf(tape, table_), ids);
 }
 
-LayerNorm::LayerNorm(int dim) {
+LayerNorm::LayerNorm(int dim) : dim_(dim) {
   gain_ = RegisterParameter("gain", Tensor::Full({dim}, 1.0f));
   bias_ = RegisterParameter("bias", Tensor::Zeros({dim}));
 }
@@ -64,6 +96,11 @@ VarId LayerNorm::Forward(Tape* tape, VarId x) const {
 Tensor LayerNorm::ForwardRaw(const Tensor& x) const {
   return ops::LayerNormRows(x, gain_->value, bias_->value, 1e-5f,
                             nullptr);
+}
+
+void LayerNorm::ForwardRawRow(const float* x, float* y) const {
+  kernels::LayerNormRow(dim_, x, gain_->value.data(), bias_->value.data(),
+                        1e-5f, y, nullptr, nullptr);
 }
 
 LstmLayer::LstmLayer(int input_dim, int hidden_dim, Rng* rng)
@@ -103,6 +140,20 @@ LstmState LstmLayer::Step(Tape* tape, VarId x,
   return next;
 }
 
+void LstmLayer::StepRaw(const float* x, float* h, float* c,
+                        float* gates) const {
+  const kernels::PackedB& pwx = RefreshPacked(
+      &pack_mutex_, &packed_wx_, &packed_wx_version_, *wx_, input_dim_,
+      4 * hidden_dim_);
+  const kernels::PackedB& pwh = RefreshPacked(
+      &pack_mutex_, &packed_wh_, &packed_wh_version_, *wh_, hidden_dim_,
+      4 * hidden_dim_);
+  kernels::GemmPacked(1, x, pwx, gates, false);
+  kernels::GemmPacked(1, h, pwh, gates, true);
+  kernels::AddBiasRow(4 * hidden_dim_, b_->value.data(), gates);
+  kernels::LstmCellRow(hidden_dim_, gates, h, c);
+}
+
 Lstm::Lstm(int input_dim, int hidden_dim, int num_layers, Rng* rng)
     : hidden_dim_(hidden_dim) {
   assert(num_layers >= 1);
@@ -134,6 +185,23 @@ std::vector<VarId> Lstm::Forward(Tape* tape, const std::vector<VarId>& xs,
     outputs.push_back(inp);
   }
   return outputs;
+}
+
+const float* Lstm::StepRaw(const float* x, LstmDecodeState* state,
+                           Workspace* ws) const {
+  const int h = hidden_dim_;
+  if (state->h.empty()) {
+    state->h.assign(layers_.size(), std::vector<float>(h, 0.0f));
+    state->c.assign(layers_.size(), std::vector<float>(h, 0.0f));
+  }
+  assert(state->h.size() == layers_.size());
+  float* gates = ws->Alloc(static_cast<size_t>(4) * h);
+  const float* inp = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l]->StepRaw(inp, state->h[l].data(), state->c[l].data(), gates);
+    inp = state->h[l].data();
+  }
+  return inp;
 }
 
 TransformerBlock::TransformerBlock(int dim, int num_heads, float dropout,
@@ -182,92 +250,106 @@ Tensor TransformerBlock::ForwardRaw(const Tensor& x, int seq) const {
   assert(x.rows() == seq);
   const int dh = dim_ / heads_;
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const std::ptrdiff_t qkv_stride = 3 * dim_;
 
-  Tensor qkv = qkv_.ForwardRaw(ln1_.ForwardRaw(x));
+  Tensor normed({seq, dim_});
+  for (int t = 0; t < seq; ++t) {
+    ln1_.ForwardRawRow(x.data() + static_cast<size_t>(t) * dim_,
+                       normed.data() + static_cast<size_t>(t) * dim_);
+  }
+  Tensor qkv({seq, 3 * dim_});
+  qkv_.ForwardRawTo(seq, normed.data(), qkv.data());
+
+  // Heads write disjoint column ranges of attn_out; each runs its own
+  // causal row sweep over the shared qkv buffer.
   Tensor attn_out({seq, dim_});
-  std::vector<float> scores(seq);
-  for (int h = 0; h < heads_; ++h) {
+  ParallelFor(heads_, [&](int h) {
+    std::vector<float> scores(seq);
     const int q0 = h * dh;
     const int k0 = dim_ + h * dh;
     const int v0 = 2 * dim_ + h * dh;
     for (int t = 0; t < seq; ++t) {
-      const float* qrow = qkv.data() + static_cast<size_t>(t) * 3 * dim_ + q0;
-      float mx = -1e30f;
-      for (int u = 0; u <= t; ++u) {
-        const float* krow =
-            qkv.data() + static_cast<size_t>(u) * 3 * dim_ + k0;
-        double acc = 0.0;
-        for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
-        scores[u] = static_cast<float>(acc) * scale;
-        mx = std::max(mx, scores[u]);
-      }
-      double sum = 0.0;
-      for (int u = 0; u <= t; ++u) {
-        scores[u] = std::exp(scores[u] - mx);
-        sum += scores[u];
-      }
-      const float inv = static_cast<float>(1.0 / sum);
-      float* orow = attn_out.data() + static_cast<size_t>(t) * dim_ + q0;
-      for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
-      for (int u = 0; u <= t; ++u) {
-        const float p = scores[u] * inv;
-        const float* vrow =
-            qkv.data() + static_cast<size_t>(u) * 3 * dim_ + v0;
-        for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
-      }
+      kernels::AttendRow(
+          qkv.data() + static_cast<size_t>(t) * qkv_stride + q0,
+          qkv.data() + k0, qkv_stride, qkv.data() + v0, qkv_stride, t + 1,
+          dh, scale, scores.data(),
+          attn_out.data() + static_cast<size_t>(t) * dim_ + q0);
     }
+  });
+
+  Tensor y({seq, dim_});
+  attn_proj_.ForwardRawTo(seq, attn_out.data(), y.data());
+  for (size_t i = 0; i < y.numel(); ++i) y[i] = x[i] + y[i];
+
+  Tensor normed2({seq, dim_});
+  for (int t = 0; t < seq; ++t) {
+    ln2_.ForwardRawRow(y.data() + static_cast<size_t>(t) * dim_,
+                       normed2.data() + static_cast<size_t>(t) * dim_);
   }
-  Tensor y = ops::Add(x, attn_proj_.ForwardRaw(attn_out));
-  Tensor mlp = mlp_proj_.ForwardRaw(
-      ops::Gelu(mlp_fc_.ForwardRaw(ln2_.ForwardRaw(y))));
-  return ops::Add(y, mlp);
+  Tensor fc({seq, 4 * dim_});
+  mlp_fc_.ForwardRawTo(seq, normed2.data(), fc.data());
+  kernels::GeluRow(static_cast<int>(fc.numel()), fc.data(), fc.data());
+  Tensor mlp({seq, dim_});
+  mlp_proj_.ForwardRawTo(seq, fc.data(), mlp.data());
+  for (size_t i = 0; i < y.numel(); ++i) y[i] = y[i] + mlp[i];
+  return y;
+}
+
+void TransformerBlock::StepRaw(const float* x, float* out, Tensor* k_cache,
+                               Tensor* v_cache, int pos,
+                               Workspace* ws) const {
+  assert(pos < k_cache->rows());
+  const int dh = dim_ / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const int capacity = k_cache->rows();
+
+  float* normed = ws->Alloc(dim_);
+  ln1_.ForwardRawRow(x, normed);
+  float* qkv = ws->Alloc(static_cast<size_t>(3) * dim_);
+  qkv_.ForwardRawTo(1, normed, qkv);
+
+  // Store this position's key/value.
+  float* krow = k_cache->data() + static_cast<size_t>(pos) * dim_;
+  float* vrow = v_cache->data() + static_cast<size_t>(pos) * dim_;
+  for (int j = 0; j < dim_; ++j) {
+    krow[j] = qkv[static_cast<size_t>(dim_) + j];
+    vrow[j] = qkv[static_cast<size_t>(2 * dim_) + j];
+  }
+
+  float* attn_out = ws->Alloc(dim_);
+  // Scores scratch is capacity-sized (not pos-sized) so the arena's
+  // high-water mark stabilizes after the first step — the zero-alloc
+  // decode guarantee depends on this.
+  float* scores = ws->Alloc(static_cast<size_t>(heads_) * capacity);
+  ParallelFor(heads_, [&](int h) {
+    const int c0 = h * dh;
+    kernels::AttendRow(qkv + c0, k_cache->data() + c0, dim_,
+                       v_cache->data() + c0, dim_, pos + 1, dh, scale,
+                       scores + static_cast<size_t>(h) * capacity,
+                       attn_out + c0);
+  });
+
+  float* y = ws->Alloc(dim_);
+  attn_proj_.ForwardRawTo(1, attn_out, y);
+  for (int j = 0; j < dim_; ++j) y[j] = x[j] + y[j];
+
+  float* normed2 = ws->Alloc(dim_);
+  ln2_.ForwardRawRow(y, normed2);
+  float* fc = ws->Alloc(static_cast<size_t>(4) * dim_);
+  mlp_fc_.ForwardRawTo(1, normed2, fc);
+  kernels::GeluRow(4 * dim_, fc, fc);
+  float* mlp = ws->Alloc(dim_);
+  mlp_proj_.ForwardRawTo(1, fc, mlp);
+  for (int j = 0; j < dim_; ++j) out[j] = y[j] + mlp[j];
 }
 
 Tensor TransformerBlock::StepRaw(const Tensor& x_row, Tensor* k_cache,
                                  Tensor* v_cache, int pos) const {
   assert(x_row.rows() == 1 && x_row.cols() == dim_);
-  assert(pos < k_cache->rows());
-  const int dh = dim_ / heads_;
-  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
-
-  Tensor qkv = qkv_.ForwardRaw(ln1_.ForwardRaw(x_row));  // [1, 3*dim]
-  // Store this position's key/value.
-  for (int j = 0; j < dim_; ++j) {
-    k_cache->at(pos, j) = qkv[static_cast<size_t>(dim_) + j];
-    v_cache->at(pos, j) = qkv[static_cast<size_t>(2 * dim_) + j];
-  }
-  Tensor attn_out({1, dim_});
-  std::vector<float> scores(pos + 1);
-  for (int h = 0; h < heads_; ++h) {
-    const int c0 = h * dh;
-    const float* qrow = qkv.data() + c0;
-    float mx = -1e30f;
-    for (int u = 0; u <= pos; ++u) {
-      const float* krow = k_cache->data() + static_cast<size_t>(u) * dim_ + c0;
-      double acc = 0.0;
-      for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
-      scores[u] = static_cast<float>(acc) * scale;
-      mx = std::max(mx, scores[u]);
-    }
-    double sum = 0.0;
-    for (int u = 0; u <= pos; ++u) {
-      scores[u] = std::exp(scores[u] - mx);
-      sum += scores[u];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    float* orow = attn_out.data() + c0;
-    for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
-    for (int u = 0; u <= pos; ++u) {
-      const float p = scores[u] * inv;
-      const float* vrow =
-          v_cache->data() + static_cast<size_t>(u) * dim_ + c0;
-      for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
-    }
-  }
-  Tensor y = ops::Add(x_row, attn_proj_.ForwardRaw(attn_out));
-  Tensor mlp = mlp_proj_.ForwardRaw(
-      ops::Gelu(mlp_fc_.ForwardRaw(ln2_.ForwardRaw(y))));
-  return ops::Add(y, mlp);
+  Workspace ws;
+  Tensor out({1, dim_});
+  StepRaw(x_row.data(), out.data(), k_cache, v_cache, pos, &ws);
+  return out;
 }
 
 }  // namespace rt

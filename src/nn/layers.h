@@ -1,10 +1,14 @@
 #ifndef RATATOUILLE_NN_LAYERS_H_
 #define RATATOUILLE_NN_LAYERS_H_
 
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "nn/module.h"
+#include "tensor/kernels.h"
 #include "tensor/tape.h"
+#include "tensor/workspace.h"
 
 namespace rt {
 
@@ -19,6 +23,16 @@ class Linear : public Module {
   /// Tape-free forward for inference paths.
   Tensor ForwardRaw(const Tensor& x) const;
 
+  /// Tape-free forward into caller memory: y [m, out] is overwritten.
+  /// Runs on the packed-weight fast path — the panels are cached across
+  /// calls and refreshed lazily when the weight Parameter's version
+  /// changes, so repeated decode steps skip the pack entirely.
+  void ForwardRawTo(int m, const float* x, float* y) const;
+
+  /// The weight matrix packed for kernels::GemmPacked, refreshed lazily
+  /// against weight()->version.
+  const kernels::PackedB& PackedWeight() const;
+
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
@@ -30,6 +44,9 @@ class Linear : public Module {
   int out_;
   Parameter* weight_;          // [in, out]
   Parameter* bias_ = nullptr;  // [out]
+  mutable kernels::PackedB packed_;
+  mutable uint64_t packed_version_ = ~0ull;
+  mutable std::mutex pack_mutex_;
 };
 
 /// Token-id -> embedding-row lookup table.
@@ -62,10 +79,14 @@ class LayerNorm : public Module {
   /// Tape-free forward for inference paths.
   Tensor ForwardRaw(const Tensor& x) const;
 
+  /// Tape-free forward of one row into caller memory (y may alias x).
+  void ForwardRawRow(const float* x, float* y) const;
+
   Parameter* gain() { return gain_; }
   Parameter* bias() { return bias_; }
 
  private:
+  int dim_;
   Parameter* gain_;  // [dim], ones
   Parameter* bias_;  // [dim], zeros
 };
@@ -74,6 +95,14 @@ class LayerNorm : public Module {
 struct LstmState {
   VarId h = kInvalidVar;  // [B, H]
   VarId c = kInvalidVar;  // [B, H]
+};
+
+/// Recurrent state for the tape-free single-sequence decode path: one
+/// h/c vector of hidden_dim floats per layer. Default-constructed state
+/// is lazily zero-initialized by Lstm::StepRaw.
+struct LstmDecodeState {
+  std::vector<std::vector<float>> h;
+  std::vector<std::vector<float>> c;
 };
 
 /// Single LSTM layer with the standard i,f,g,o gate parameterization:
@@ -91,6 +120,10 @@ class LstmLayer : public Module {
   /// One timestep: x [B, in], state [B, H] -> new state.
   LstmState Step(Tape* tape, VarId x, const LstmState& state) const;
 
+  /// Tape-free single-row timestep: x [in], h/c [H] updated in place.
+  /// `gates` is caller scratch of 4H floats. Uses packed-weight GEMVs.
+  void StepRaw(const float* x, float* h, float* c, float* gates) const;
+
   int input_dim() const { return input_dim_; }
   int hidden_dim() const { return hidden_dim_; }
 
@@ -100,6 +133,11 @@ class LstmLayer : public Module {
   Parameter* wx_;  // [in, 4H]
   Parameter* wh_;  // [H, 4H]
   Parameter* b_;   // [4H]
+  mutable kernels::PackedB packed_wx_;
+  mutable uint64_t packed_wx_version_ = ~0ull;
+  mutable kernels::PackedB packed_wh_;
+  mutable uint64_t packed_wh_version_ = ~0ull;
+  mutable std::mutex pack_mutex_;
 };
 
 /// Stack of LSTM layers processing a token-embedding sequence.
@@ -113,6 +151,13 @@ class Lstm : public Module {
   /// from zeros, and reuse it for truncated BPTT / incremental decoding.
   std::vector<VarId> Forward(Tape* tape, const std::vector<VarId>& xs,
                              std::vector<LstmState>* states) const;
+
+  /// Tape-free single-sequence timestep: feeds x [input_dim] through the
+  /// stack, updating `state` in place (lazily zero-initialized when
+  /// empty). Scratch comes from `ws`; returns the top layer's hidden
+  /// state ([hidden_dim], owned by `state`, valid until the next call).
+  const float* StepRaw(const float* x, LstmDecodeState* state,
+                       Workspace* ws) const;
 
   int num_layers() const { return static_cast<int>(layers_.size()); }
   int hidden_dim() const { return hidden_dim_; }
@@ -133,6 +178,7 @@ class TransformerBlock : public Module {
                 bool training) const;
 
   /// Tape-free full forward over one sequence: x [T, dim] -> [T, dim].
+  /// Attention heads run on the shared compute pool.
   Tensor ForwardRaw(const Tensor& x, int seq) const;
 
   /// Tape-free incremental forward of ONE new position. `x_row` is
@@ -141,6 +187,12 @@ class TransformerBlock : public Module {
   /// key/value are written at row `pos`. Returns the block output [1, dim].
   Tensor StepRaw(const Tensor& x_row, Tensor* k_cache, Tensor* v_cache,
                  int pos) const;
+
+  /// Same, allocation-free: x [dim] is the input row, out [dim] receives
+  /// the block output (out must not alias x). All scratch comes from
+  /// `ws`, so a warmed-up Workspace makes the step heap-allocation-free.
+  void StepRaw(const float* x, float* out, Tensor* k_cache, Tensor* v_cache,
+               int pos, Workspace* ws) const;
 
   int dim() const { return dim_; }
   int num_heads() const { return heads_; }

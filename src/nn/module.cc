@@ -63,6 +63,7 @@ Status CopyParameters(Module& from, Module& to) {
                                      src[i].first + "'");
     }
     dst[i].second->value = src[i].second->value;
+    dst[i].second->MarkUpdated();
   }
   return Status::OK();
 }

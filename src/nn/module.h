@@ -18,8 +18,13 @@ struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+  /// Bumped on every in-place mutation of `value` (optimizer steps,
+  /// checkpoint loads, CopyParameters). Layers key lazily packed weight
+  /// caches off this so stale panels are never used after an update.
+  uint64_t version = 0;
 
   void ZeroGrad() { grad.Zero(); }
+  void MarkUpdated() { ++version; }
 };
 
 /// Base class for neural-network building blocks.

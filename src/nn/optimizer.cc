@@ -29,6 +29,7 @@ void Sgd::Step() {
         p->value[j] -= lr_ * p->grad[j];
       }
     }
+    p->MarkUpdated();
   }
   ++step_count_;
 }
@@ -65,6 +66,7 @@ void Adam::Step() {
       }
       p->value[j] -= update;
     }
+    p->MarkUpdated();
   }
 }
 

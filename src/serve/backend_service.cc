@@ -6,6 +6,7 @@
 #include <cmath>
 #include <thread>
 
+#include "tensor/thread_pool.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 
@@ -235,6 +236,11 @@ void LatencyHistogram::FillMetrics(const std::string& prefix,
   out->Set(prefix + "latency_bucket_count", std::move(counts));
 }
 
+double LatencyHistogram::MeanSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return observations_ > 0 ? total_seconds_ / observations_ : 0.0;
+}
+
 namespace {
 
 /// Fills in the derived defaults before any subobject is built from the
@@ -246,6 +252,9 @@ BackendOptions NormalizeOptions(BackendOptions options) {
   if (options.default_timeout_ms < 1) options.default_timeout_ms = 1;
   if (options.max_timeout_ms < options.default_timeout_ms) {
     options.max_timeout_ms = options.default_timeout_ms;
+  }
+  for (auto& [model, budget_ms] : options.model_timeout_ms) {
+    budget_ms = std::clamp(budget_ms, 1, options.max_timeout_ms);
   }
   if (options.http.queue_deadline_ms <= 0) {
     // Connections that out-waited the maximum possible budget in the
@@ -283,6 +292,9 @@ BackendService::BackendService(const SessionFactory& factory,
       server_(options_.http),
       breaker_(options_.breaker),
       drain_cancel_(std::make_shared<CancelToken>()) {
+  if (options_.compute_threads > 0) {
+    ThreadPool::SetGlobalThreads(options_.compute_threads);
+  }
   sessions_.reserve(static_cast<size_t>(options_.model_sessions));
   for (int i = 0; i < options_.model_sessions; ++i) {
     sessions_.push_back(factory(i));
@@ -369,11 +381,18 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   }
 
   // Resolve the budget: client ask capped at the server maximum, else
-  // the server default. The deadline is anchored at queue admission, so
-  // time already spent waiting for a worker counts against it.
-  const int budget_ms =
-      req.timeout_ms > 0 ? std::min(req.timeout_ms, options_.max_timeout_ms)
-                         : options_.default_timeout_ms;
+  // the per-model default when one is configured, else the server
+  // default. The deadline is anchored at queue admission, so time
+  // already spent waiting for a worker counts against it.
+  int budget_ms;
+  if (req.timeout_ms > 0) {
+    budget_ms = std::min(req.timeout_ms, options_.max_timeout_ms);
+  } else {
+    const auto per_model = options_.model_timeout_ms.find(req.model);
+    budget_ms = per_model != options_.model_timeout_ms.end()
+                    ? per_model->second
+                    : options_.default_timeout_ms;
+  }
   req.timeout_ms = budget_ms;
   const auto admitted =
       request.admitted_at == std::chrono::steady_clock::time_point{}
@@ -385,14 +404,27 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
 
   const auto deadline_response = [&](long long tokens_generated) {
     generate_deadline_exceeded_.fetch_add(1);
+    // Retry-After mirrors the 503 circuit_open hint: the breaker's
+    // remaining cooldown when it has already tripped, else an estimate
+    // of when capacity returns from the observed mean latency.
+    const int breaker_wait_ms = breaker_.cooldown_remaining_ms();
+    const int retry_s =
+        breaker_wait_ms > 0
+            ? std::max(1, (breaker_wait_ms + 999) / 1000)
+            : std::max(1, static_cast<int>(
+                              std::ceil(latency_.MeanSeconds())));
     Json details{Json::Object{}};
     details.Set("tokens_generated",
                 static_cast<double>(tokens_generated));
     details.Set("timeout_ms", budget_ms);
-    return JsonError(504, "deadline_exceeded",
-                     "generation exceeded its " +
-                         std::to_string(budget_ms) + " ms budget",
-                     request.request_id, std::move(details));
+    details.Set("retry_after_s", retry_s);
+    HttpResponse resp =
+        JsonError(504, "deadline_exceeded",
+                  "generation exceeded its " +
+                      std::to_string(budget_ms) + " ms budget",
+                  request.request_id, std::move(details));
+    resp.headers["Retry-After"] = std::to_string(retry_s);
+    return resp;
   };
 
   // Fast-fail while the breaker is open: answering 503 in microseconds

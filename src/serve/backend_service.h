@@ -5,6 +5,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -87,6 +88,10 @@ class LatencyHistogram {
   /// total/max/mean summary fields (under `prefix`) to `out`.
   void FillMetrics(const std::string& prefix, Json* out) const;
 
+  /// Mean observed latency in seconds (0 before any observation) —
+  /// feeds the 504 Retry-After capacity estimate.
+  double MeanSeconds() const;
+
  private:
   mutable std::mutex mutex_;
   std::array<long long, kNumBuckets> counts_{};
@@ -110,6 +115,12 @@ struct BackendOptions {
   /// Deadlines start at queue admission, so time spent waiting for a
   /// worker or a model session counts against the budget.
   int default_timeout_ms = 30000;
+  /// Per-model default budgets, consulted before `default_timeout_ms`
+  /// when a request omits `timeout_ms` (a beam-search model point wants
+  /// a larger budget than a greedy one). Entries are clamped into
+  /// [1, max_timeout_ms] at construction; models not listed fall back
+  /// to `default_timeout_ms`.
+  std::map<std::string, int> model_timeout_ms;
   /// Upper bound on a client-supplied `timeout_ms` (larger asks are
   /// silently capped, echoed back capped in `params`).
   int max_timeout_ms = 120000;
@@ -117,6 +128,9 @@ struct BackendOptions {
   /// requests blow their deadline the service fast-fails 503 +
   /// Retry-After instead of queueing more doomed work.
   CircuitBreakerOptions breaker;
+  /// Intra-op compute threads for the shared kernel pool, applied
+  /// process-wide at construction (0 = leave the current setting).
+  int compute_threads = 0;
 };
 
 /// The generation backend microservice (the Flask-model container of

@@ -122,4 +122,13 @@ const char* CircuitBreaker::state_name() const {
   return "?";
 }
 
+int CircuitBreaker::cooldown_remaining_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kOpen) return 0;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - opened_at_);
+  const auto remaining = options_.cooldown_ms - elapsed.count();
+  return remaining > 0 ? static_cast<int>(remaining) : 0;
+}
+
 }  // namespace rt

@@ -99,6 +99,10 @@ class CircuitBreaker {
   /// "closed" / "open" / "half_open" (for /v1/metrics).
   const char* state_name() const;
 
+  /// Milliseconds of cooldown left while open (0 when closed, half-open
+  /// or the cooldown has already lapsed) — the Retry-After hint.
+  int cooldown_remaining_ms() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 

@@ -456,10 +456,17 @@ void HttpServer::WorkerLoop() {
         std::chrono::steady_clock::now() - conn.admitted >=
             std::chrono::milliseconds(options_.queue_deadline_ms)) {
       requests_shed_.fetch_add(1);
+      // Mirrors the 503 overload path: a shed connection means the
+      // queue is draining slower than requests age out, so the standing
+      // retry hint applies here too.
+      Json details{Json::Object{}};
+      details.Set("retry_after_s", options_.retry_after_seconds);
       HttpResponse resp = JsonError(
           504, "deadline_exceeded",
           "request deadline expired while waiting in the accept queue",
-          NextRequestId());
+          NextRequestId(), std::move(details));
+      resp.headers["Retry-After"] =
+          std::to_string(options_.retry_after_seconds);
       SetSendTimeout(conn.fd, options_.write_timeout_ms);
       (void)SendAll(conn.fd, RenderResponse(resp, /*keep_alive=*/false));
       LingeringClose(conn.fd);

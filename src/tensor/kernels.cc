@@ -1,0 +1,404 @@
+// Compiled without -ffast-math (see src/tensor/CMakeLists.txt): the
+// micro-kernel's determinism contract — one strictly k-ordered
+// accumulation chain per C element, identical for every tile shape —
+// relies on the compiler not reassociating float chains. Throughput
+// comes from instruction-level parallelism across the 4x16 accumulator
+// tile, not from reassociation.
+
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/thread_pool.h"
+
+namespace rt::kernels {
+namespace {
+
+/// K-slab depth: panels are consumed in fixed 256-deep slabs so the
+/// active B slab stays L2-resident. Slab boundaries are constants, and
+/// a C element's chain passes through a float store/reload between
+/// slabs (value-preserving), so slabbing never changes results.
+constexpr int kSlabK = 256;
+
+/// Below this many flops (2*m*n*k) a GEMM runs single-threaded — the
+/// fork/join overhead outweighs the work.
+constexpr double kMinParallelFlops = 1 << 18;
+
+/// One multiply-accumulate chain step. On FMA hardware this is an
+/// explicit std::fma — a single correctly-rounded IEEE operation, so
+/// every MicroKernel instantiation rounds identically (unlike compiler
+/// contraction, which fuses inconsistently across template shapes; FP
+/// contraction is therefore disabled for this file). Without FMA
+/// hardware the separate mul+add rounds identically everywhere too.
+inline float MacStep(float av, float bv, float acc) {
+#ifdef __FMA__
+  return std::fma(av, bv, acc);
+#else
+  return acc + av * bv;
+#endif
+}
+
+/// Computes a kRowTile x kPanelWidth tile of C: MR rows of A against
+/// one packed panel, over kc k-steps. Each acc[r][j] is one strictly
+/// k-ordered chain; the j loop vectorizes. A is addressed generically
+/// (a_row_stride/a_k_stride) so the same kernel serves normal and
+/// transposed-A orientations.
+template <int MR>
+void MicroKernel(int kc, const float* a, std::ptrdiff_t a_row_stride,
+                 std::ptrdiff_t a_k_stride, const float* panel, float* c,
+                 int ldc, int nr, bool accumulate) {
+  float acc[MR][kPanelWidth];
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < kPanelWidth; ++j) {
+      acc[r][j] = (accumulate && j < nr) ? c[r * ldc + j] : 0.0f;
+    }
+  }
+  // One advancing base pointer + MR fixed row offsets: the compiler
+  // keeps the offsets in scalar registers, leaving the vector ports to
+  // the accumulator tile.
+  const float* ak = a;
+  const float* bp = panel;
+  for (int kk = 0; kk < kc; ++kk, ak += a_k_stride, bp += kPanelWidth) {
+    for (int r = 0; r < MR; ++r) {
+      const float av = ak[r * a_row_stride];
+      for (int j = 0; j < kPanelWidth; ++j) {
+        acc[r][j] = MacStep(av, bp[j], acc[r][j]);
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+void RunTile(int mr, int kc, const float* a, std::ptrdiff_t a_row_stride,
+             std::ptrdiff_t a_k_stride, const float* panel, float* c,
+             int ldc, int nr, bool accumulate) {
+  switch (mr) {
+    case 8:
+      MicroKernel<8>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    case 7:
+      MicroKernel<7>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    case 6:
+      MicroKernel<6>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    case 5:
+      MicroKernel<5>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    case 4:
+      MicroKernel<4>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    case 3:
+      MicroKernel<3>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    case 2:
+      MicroKernel<2>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+    default:
+      MicroKernel<1>(kc, a, a_row_stride, a_k_stride, panel, c, ldc, nr,
+                     accumulate);
+      break;
+  }
+}
+
+/// Computes row tiles [tile0, tile1) against panels [p0, p1), full k.
+/// Tiles and panels are globally indexed, so any partition of the
+/// (tile, panel) space computes identical values.
+void ComputeBlock(int tile0, int tile1, int p0, int p1, int m,
+                  const float* a, std::ptrdiff_t a_row_stride,
+                  std::ptrdiff_t a_k_stride, const PackedB& b, float* c,
+                  int ldc, bool accumulate) {
+  const int k = b.k();
+  const int n = b.n();
+  for (int k0 = 0; k0 < k; k0 += kSlabK) {
+    const int kc = std::min(kSlabK, k - k0);
+    const bool acc_slab = accumulate || k0 > 0;
+    for (int t = tile0; t < tile1; ++t) {
+      const int r0 = t * kRowTile;
+      const int mr = std::min(kRowTile, m - r0);
+      const float* a_tile = a + r0 * a_row_stride + k0 * a_k_stride;
+      float* c_tile = c + static_cast<size_t>(r0) * ldc;
+      for (int p = p0; p < p1; ++p) {
+        const int c0 = p * kPanelWidth;
+        const int nr = std::min(kPanelWidth, n - c0);
+        RunTile(mr, kc, a_tile, a_row_stride, a_k_stride,
+                b.panel(p) + static_cast<size_t>(k0) * kPanelWidth,
+                c_tile + c0, ldc, nr, acc_slab);
+      }
+    }
+  }
+}
+
+/// Parallel driver over pre-packed B. Partitions row tiles when there
+/// are enough of them, otherwise column panels (the m=1 decode GEMV
+/// case) — either way work items map to fixed output regions.
+void GemmPackedStrided(int m, const float* a, std::ptrdiff_t a_row_stride,
+                       std::ptrdiff_t a_k_stride, const PackedB& b,
+                       float* c, int ldc, bool accumulate) {
+  if (m <= 0 || b.empty()) return;
+  const int tiles = (m + kRowTile - 1) / kRowTile;
+  const int panels = b.num_panels();
+  const auto pool = ThreadPool::Global();
+  const int threads = pool->num_threads();
+  const double flops = 2.0 * m * b.n() * b.k();
+  if (threads <= 1 || flops < kMinParallelFlops) {
+    ComputeBlock(0, tiles, 0, panels, m, a, a_row_stride, a_k_stride, b, c,
+                 ldc, accumulate);
+    return;
+  }
+  if (tiles >= threads) {
+    const int items = std::min(tiles, threads * 4);
+    pool->ParallelFor(items, [&](int it) {
+      const int t0 = static_cast<int>(static_cast<long long>(it) * tiles /
+                                      items);
+      const int t1 = static_cast<int>(
+          static_cast<long long>(it + 1) * tiles / items);
+      ComputeBlock(t0, t1, 0, panels, m, a, a_row_stride, a_k_stride, b, c,
+                   ldc, accumulate);
+    });
+  } else {
+    const int items = std::min(panels, threads * 4);
+    pool->ParallelFor(items, [&](int it) {
+      const int q0 = static_cast<int>(static_cast<long long>(it) * panels /
+                                      items);
+      const int q1 = static_cast<int>(
+          static_cast<long long>(it + 1) * panels / items);
+      ComputeBlock(0, tiles, q0, q1, m, a, a_row_stride, a_k_stride, b, c,
+                   ldc, accumulate);
+    });
+  }
+}
+
+/// Per-thread pack scratch for the pack-per-call entry points.
+PackedB& PackScratch() {
+  thread_local PackedB scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void PackedB::Pack(int k, int n, const float* b) {
+  k_ = k;
+  n_ = n;
+  const int panels = num_panels();
+  data_.resize(static_cast<size_t>(panels) * k * kPanelWidth);
+  for (int p = 0; p < panels; ++p) {
+    const int c0 = p * kPanelWidth;
+    const int nr = std::min(kPanelWidth, n - c0);
+    float* dst = data_.data() + static_cast<size_t>(p) * k * kPanelWidth;
+    for (int kk = 0; kk < k; ++kk) {
+      const float* src = b + static_cast<size_t>(kk) * n + c0;
+      for (int j = 0; j < nr; ++j) dst[j] = src[j];
+      for (int j = nr; j < kPanelWidth; ++j) dst[j] = 0.0f;
+      dst += kPanelWidth;
+    }
+  }
+}
+
+void PackedB::PackTransposed(int n, int k, const float* b) {
+  k_ = k;
+  n_ = n;
+  const int panels = num_panels();
+  data_.resize(static_cast<size_t>(panels) * k * kPanelWidth);
+  for (int p = 0; p < panels; ++p) {
+    const int c0 = p * kPanelWidth;
+    const int nr = std::min(kPanelWidth, n - c0);
+    float* dst = data_.data() + static_cast<size_t>(p) * k * kPanelWidth;
+    for (int kk = 0; kk < k; ++kk) {
+      for (int j = 0; j < nr; ++j) {
+        dst[j] = b[static_cast<size_t>(c0 + j) * k + kk];
+      }
+      for (int j = nr; j < kPanelWidth; ++j) dst[j] = 0.0f;
+      dst += kPanelWidth;
+    }
+  }
+}
+
+KernelConfig& Config() {
+  static KernelConfig config;
+  return config;
+}
+
+void Gemm(int m, int n, int k, const float* a, const float* b, float* c) {
+  if (Config().use_blocked) {
+    GemmBlocked(m, n, k, a, b, c);
+  } else {
+    GemmRef(m, n, k, a, b, c);
+  }
+}
+
+void GemmTransB(int m, int n, int k, const float* a, const float* b,
+                float* c) {
+  if (Config().use_blocked) {
+    GemmTransBBlocked(m, n, k, a, b, c);
+  } else {
+    GemmTransBRef(m, n, k, a, b, c);
+  }
+}
+
+void GemmTransA(int m, int n, int k, const float* a, const float* b,
+                float* c) {
+  if (Config().use_blocked) {
+    GemmTransABlocked(m, n, k, a, b, c);
+  } else {
+    GemmTransARef(m, n, k, a, b, c);
+  }
+}
+
+void GemmBlocked(int m, int n, int k, const float* a, const float* b,
+                 float* c) {
+  PackedB& packed = PackScratch();
+  packed.Pack(k, n, b);
+  GemmPackedStrided(m, a, k, 1, packed, c, n, /*accumulate=*/false);
+}
+
+void GemmTransBBlocked(int m, int n, int k, const float* a, const float* b,
+                       float* c) {
+  PackedB& packed = PackScratch();
+  packed.PackTransposed(n, k, b);
+  GemmPackedStrided(m, a, k, 1, packed, c, n, /*accumulate=*/false);
+}
+
+void GemmTransABlocked(int m, int n, int k, const float* a, const float* b,
+                       float* c) {
+  PackedB& packed = PackScratch();
+  packed.Pack(k, n, b);
+  // A is [k, m] row-major: consecutive k for a fixed output row are m
+  // apart, consecutive rows are adjacent.
+  GemmPackedStrided(m, a, 1, m, packed, c, n, /*accumulate=*/false);
+}
+
+void GemmPacked(int m, const float* a, const PackedB& b, float* c,
+                bool accumulate) {
+  GemmPackedStrided(m, a, b.k(), 1, b, c, b.n(), accumulate);
+}
+
+void GemmRef(int m, int n, int k, const float* a, const float* b,
+             float* c) {
+  // i-k-j order: unit-stride inner loop over both B and C rows.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = b + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransBRef(int m, int n, int k, const float* a, const float* b,
+                   float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void GemmTransARef(int m, int n, int k, const float* a, const float* b,
+                   float* c) {
+  for (size_t i = 0; i < static_cast<size_t>(m) * n; ++i) c[i] = 0.0f;
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<size_t>(kk) * m;
+    const float* brow = b + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* crow = c + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void AddBiasRow(int n, const float* bias, float* x) {
+  for (int j = 0; j < n; ++j) x[j] += bias[j];
+}
+
+void LayerNormRow(int n, const float* x, const float* gain,
+                  const float* bias, float eps, float* y, float* mean_out,
+                  float* rstd_out) {
+  double mean = 0.0;
+  for (int j = 0; j < n; ++j) mean += x[j];
+  mean /= n;
+  double var = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double d = x[j] - mean;
+    var += d * d;
+  }
+  var /= n;
+  const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
+  const float fmean = static_cast<float>(mean);
+  for (int j = 0; j < n; ++j) {
+    y[j] = (x[j] - fmean) * rstd * gain[j] + bias[j];
+  }
+  if (mean_out != nullptr) *mean_out = fmean;
+  if (rstd_out != nullptr) *rstd_out = rstd;
+}
+
+void GeluRow(int n, const float* x, float* y) {
+  constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (int j = 0; j < n; ++j) {
+    const float v = x[j];
+    y[j] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
+  }
+}
+
+void AttendRow(const float* q, const float* keys, std::ptrdiff_t key_stride,
+               const float* values, std::ptrdiff_t value_stride, int t_len,
+               int dh, float scale, float* scores, float* out) {
+  float mx = -1e30f;
+  for (int u = 0; u < t_len; ++u) {
+    const float* krow = keys + static_cast<size_t>(u) * key_stride;
+    double acc = 0.0;
+    for (int d = 0; d < dh; ++d) acc += q[d] * krow[d];
+    scores[u] = static_cast<float>(acc) * scale;
+    mx = std::max(mx, scores[u]);
+  }
+  double sum = 0.0;
+  for (int u = 0; u < t_len; ++u) {
+    scores[u] = std::exp(scores[u] - mx);
+    sum += scores[u];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (int d = 0; d < dh; ++d) out[d] = 0.0f;
+  for (int u = 0; u < t_len; ++u) {
+    const float p = scores[u] * inv;
+    const float* vrow = values + static_cast<size_t>(u) * value_stride;
+    for (int d = 0; d < dh; ++d) out[d] += p * vrow[d];
+  }
+}
+
+void LstmCellRow(int hidden_dim, const float* gates, float* h, float* c) {
+  const float* gi = gates;
+  const float* gf = gates + hidden_dim;
+  const float* gg = gates + 2 * hidden_dim;
+  const float* go = gates + 3 * hidden_dim;
+  for (int j = 0; j < hidden_dim; ++j) {
+    const float i = 1.0f / (1.0f + std::exp(-gi[j]));
+    const float f = 1.0f / (1.0f + std::exp(-gf[j]));
+    const float g = std::tanh(gg[j]);
+    const float o = 1.0f / (1.0f + std::exp(-go[j]));
+    const float cn = f * c[j] + i * g;
+    c[j] = cn;
+    h[j] = o * std::tanh(cn);
+  }
+}
+
+}  // namespace rt::kernels

@@ -1,0 +1,135 @@
+#ifndef RATATOUILLE_TENSOR_KERNELS_H_
+#define RATATOUILLE_TENSOR_KERNELS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rt::kernels {
+
+/// Column width of a packed-B panel (the micro-kernel's N tile): two
+/// 512-bit registers per row.
+inline constexpr int kPanelWidth = 32;
+/// Rows per micro-kernel tile (the M tile). Together with the panel
+/// width this gives the mul+add micro-kernel enough independent
+/// accumulator chains to hide vector-add latency while still fitting
+/// the accumulator tile in vector registers without spills.
+inline constexpr int kRowTile = 6;
+
+/// B packed into kPanelWidth-column panels for the GEMM micro-kernel:
+/// panel p holds columns [p*16, p*16+16) as [k][16] with the ragged tail
+/// zero-padded. Packing once and reusing across calls is the decode fast
+/// path — weight matrices are packed lazily per Parameter version and
+/// every token's GEMV runs straight on the panels.
+class PackedB {
+ public:
+  /// Packs row-major B [k, n].
+  void Pack(int k, int n, const float* b);
+
+  /// Packs the transpose of row-major B [n, k] — i.e. the operand
+  /// orientation of GemmTransB (logits = x @ table^T).
+  void PackTransposed(int n, int k, const float* b);
+
+  bool empty() const { return k_ == 0; }
+  int k() const { return k_; }
+  int n() const { return n_; }
+  int num_panels() const { return (n_ + kPanelWidth - 1) / kPanelWidth; }
+  const float* panel(int p) const {
+    return data_.data() +
+           static_cast<size_t>(p) * k_ * kPanelWidth;
+  }
+
+ private:
+  std::vector<float> data_;
+  int k_ = 0;
+  int n_ = 0;
+};
+
+/// Process-wide kernel dispatch. Blocked kernels are the default; parity
+/// tests flip use_blocked to run the reference implementations through
+/// the same ops:: call sites.
+struct KernelConfig {
+  bool use_blocked = true;
+};
+KernelConfig& Config();
+
+// ---------------------------------------------------------------------------
+// GEMM entry points. All write C (no implicit accumulation); C is
+// row-major [m, n] and fully overwritten. Dispatch honors Config().
+//
+// Determinism contract: every C element is accumulated by a single
+// chain in strictly increasing k order, and thread partitioning only
+// splits rows (micro-tile-aligned) or column panels — results are
+// bitwise identical for any thread count, and a row's value does not
+// depend on how many other rows the call computes. The incremental
+// KV-cache decode path (m = 1) therefore reproduces the batched
+// forward (m = seq) exactly.
+// ---------------------------------------------------------------------------
+
+/// C[m,n] = A[m,k] * B[k,n].
+void Gemm(int m, int n, int k, const float* a, const float* b, float* c);
+
+/// C[m,n] = A[m,k] * B[n,k]^T.
+void GemmTransB(int m, int n, int k, const float* a, const float* b,
+                float* c);
+
+/// C[m,n] = A[k,m]^T * B[k,n].
+void GemmTransA(int m, int n, int k, const float* a, const float* b,
+                float* c);
+
+// Blocked implementations (pack-per-call; parallel over the pool).
+void GemmBlocked(int m, int n, int k, const float* a, const float* b,
+                 float* c);
+void GemmTransBBlocked(int m, int n, int k, const float* a, const float* b,
+                       float* c);
+void GemmTransABlocked(int m, int n, int k, const float* a, const float* b,
+                       float* c);
+
+// Reference implementations (naive loops, single-threaded).
+void GemmRef(int m, int n, int k, const float* a, const float* b, float* c);
+void GemmTransBRef(int m, int n, int k, const float* a, const float* b,
+                   float* c);
+void GemmTransARef(int m, int n, int k, const float* a, const float* b,
+                   float* c);
+
+/// C[m, b.n()] (+)= A[m, b.k()] * B using pre-packed panels — the
+/// repeated-weight fast path. A is row-major with tight stride b.k();
+/// C has tight stride b.n(). With accumulate, C's prior contents join
+/// each element's chain before the k loop.
+void GemmPacked(int m, const float* a, const PackedB& b, float* c,
+                bool accumulate);
+
+// ---------------------------------------------------------------------------
+// Strict row helpers shared by the batched and incremental decode paths.
+// This translation unit is compiled without -ffast-math, so calling the
+// same helper from both paths yields bit-identical rows — the KV-cache
+// vs. naive-decode parity guarantee.
+// ---------------------------------------------------------------------------
+
+/// x[j] += bias[j].
+void AddBiasRow(int n, const float* bias, float* x);
+
+/// y = LayerNorm(x) * gain + bias over one row. mean_out/rstd_out are
+/// optional (backward cache).
+void LayerNormRow(int n, const float* x, const float* gain,
+                  const float* bias, float eps, float* y, float* mean_out,
+                  float* rstd_out);
+
+/// y[j] = gelu(x[j]) (tanh approximation, matching ops::Gelu).
+void GeluRow(int n, const float* x, float* y);
+
+/// One attention row for one head: scaled dot-product scores of q
+/// against t_len cached keys, softmax, weighted sum of values into
+/// out[dh]. keys/values are strided row-major (stride in floats, head
+/// column offset applied by the caller); scores is caller scratch of
+/// t_len floats.
+void AttendRow(const float* q, const float* keys, std::ptrdiff_t key_stride,
+               const float* values, std::ptrdiff_t value_stride, int t_len,
+               int dh, float scale, float* scores, float* out);
+
+/// One LSTM cell update from pre-activation gates [4H] in i|f|g|o
+/// order: c and h ([H] each) are updated in place.
+void LstmCellRow(int hidden_dim, const float* gates, float* h, float* c);
+
+}  // namespace rt::kernels
+
+#endif  // RATATOUILLE_TENSOR_KERNELS_H_

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "tensor/kernels.h"
+
 namespace rt::ops {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -10,20 +12,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int m = a.rows(), k = a.cols(), n = b.cols();
   assert(b.rows() == k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j order: unit-stride inner loop over both B and C rows.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -32,19 +21,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int m = a.rows(), k = a.cols(), n = b.rows();
   assert(b.cols() == k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* crow = pc + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<size_t>(j) * k;
-      double acc = 0.0;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = static_cast<float>(acc);
-    }
-  }
+  kernels::GemmTransB(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -53,19 +30,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int k = a.rows(), m = a.cols(), n = b.cols();
   assert(b.rows() == k);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<size_t>(kk) * m;
-    const float* brow = pb + static_cast<size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = pc + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmTransA(m, n, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -144,11 +109,10 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 }  // namespace
 
 Tensor Gelu(const Tensor& x) {
-  Tensor y = x;
-  for (size_t i = 0; i < y.numel(); ++i) {
-    const float v = y[i];
-    y[i] = 0.5f * v * (1.0f + std::tanh(kGeluC * (v + 0.044715f * v * v * v)));
-  }
+  Tensor y(x.shape());
+  // Via the strict kernel helper so the batched forward and the
+  // incremental decode path round identically.
+  kernels::GeluRow(static_cast<int>(x.numel()), x.data(), y.data());
   return y;
 }
 
@@ -253,26 +217,14 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gain, const Tensor& bias,
     cache->mean.resize(m);
     cache->rstd.resize(m);
   }
+  // Row work delegates to the strict kernel helper so the batched
+  // forward and the incremental decode path round identically.
   for (int i = 0; i < m; ++i) {
     const float* xi = x.data() + static_cast<size_t>(i) * n;
     float* yi = y.data() + static_cast<size_t>(i) * n;
-    double mean = 0.0;
-    for (int j = 0; j < n; ++j) mean += xi[j];
-    mean /= n;
-    double var = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const double d = xi[j] - mean;
-      var += d * d;
-    }
-    var /= n;
-    const float rstd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    if (cache != nullptr) {
-      cache->mean[i] = static_cast<float>(mean);
-      cache->rstd[i] = rstd;
-    }
-    for (int j = 0; j < n; ++j) {
-      yi[j] = (xi[j] - static_cast<float>(mean)) * rstd * gain[j] + bias[j];
-    }
+    kernels::LayerNormRow(n, xi, gain.data(), bias.data(), eps, yi,
+                          cache != nullptr ? &cache->mean[i] : nullptr,
+                          cache != nullptr ? &cache->rstd[i] : nullptr);
   }
   return y;
 }

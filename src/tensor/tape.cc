@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "tensor/ops.h"
+#include "tensor/thread_pool.h"
 
 namespace rt {
 
@@ -400,44 +401,48 @@ VarId Tape::CausalSelfAttention(VarId q, VarId k, VarId v, int batch,
       Tensor::Zeros({batch * heads * seq, seq}));
   Tensor out({batch * seq, hd});
 
-  for (int b = 0; b < batch; ++b) {
-    for (int h = 0; h < heads; ++h) {
-      const int col0 = h * dh;
-      for (int t = 0; t < seq; ++t) {
-        const float* qrow = qt.data() + static_cast<size_t>(b * seq + t) * hd + col0;
-        float* prow = probs->data() +
-                      static_cast<size_t>((b * heads + h) * seq + t) * seq;
-        // Scores over u <= t with running max for stable softmax.
-        float mx = -1e30f;
-        for (int u = 0; u <= t; ++u) {
-          const float* krow =
-              kt.data() + static_cast<size_t>(b * seq + u) * hd + col0;
-          double acc = 0.0;
-          for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
-          prow[u] = static_cast<float>(acc) * scale;
-          mx = std::max(mx, prow[u]);
-        }
-        double sum = 0.0;
-        for (int u = 0; u <= t; ++u) {
-          prow[u] = std::exp(prow[u] - mx);
-          sum += prow[u];
-        }
-        const float inv = static_cast<float>(1.0 / sum);
-        for (int u = 0; u <= t; ++u) prow[u] *= inv;
-        // Masked positions u > t stay exactly zero.
-        float* orow =
-            out.data() + static_cast<size_t>(b * seq + t) * hd + col0;
-        for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
-        for (int u = 0; u <= t; ++u) {
-          const float p = prow[u];
-          if (p == 0.0f) continue;
-          const float* vrow =
-              vt.data() + static_cast<size_t>(b * seq + u) * hd + col0;
-          for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
-        }
+  // Parallel over (batch, head): each item reads shared q/k/v but
+  // writes disjoint probs rows and disjoint out column ranges, so the
+  // partition is race-free and the values thread-count-independent.
+  ParallelFor(batch * heads, [&](int bh) {
+    const int b = bh / heads;
+    const int h = bh % heads;
+    const int col0 = h * dh;
+    for (int t = 0; t < seq; ++t) {
+      const float* qrow =
+          qt.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+      float* prow = probs->data() +
+                    static_cast<size_t>((b * heads + h) * seq + t) * seq;
+      // Scores over u <= t with running max for stable softmax.
+      float mx = -1e30f;
+      for (int u = 0; u <= t; ++u) {
+        const float* krow =
+            kt.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+        double acc = 0.0;
+        for (int d = 0; d < dh; ++d) acc += qrow[d] * krow[d];
+        prow[u] = static_cast<float>(acc) * scale;
+        mx = std::max(mx, prow[u]);
+      }
+      double sum = 0.0;
+      for (int u = 0; u <= t; ++u) {
+        prow[u] = std::exp(prow[u] - mx);
+        sum += prow[u];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int u = 0; u <= t; ++u) prow[u] *= inv;
+      // Masked positions u > t stay exactly zero.
+      float* orow =
+          out.data() + static_cast<size_t>(b * seq + t) * hd + col0;
+      for (int d = 0; d < dh; ++d) orow[d] = 0.0f;
+      for (int u = 0; u <= t; ++u) {
+        const float p = prow[u];
+        if (p == 0.0f) continue;
+        const float* vrow =
+            vt.data() + static_cast<size_t>(b * seq + u) * hd + col0;
+        for (int d = 0; d < dh; ++d) orow[d] += p * vrow[d];
       }
     }
-  }
+  });
 
   bool rg = RequiresGrad(q) || RequiresGrad(k) || RequiresGrad(v);
   VarId id = Emit(std::move(out), rg, nullptr);
@@ -451,9 +456,14 @@ VarId Tape::CausalSelfAttention(VarId q, VarId k, VarId v, int batch,
       Tensor dq = Tensor::Zeros(qt2.shape());
       Tensor dk = Tensor::Zeros(kt2.shape());
       Tensor dv = Tensor::Zeros(vt2.shape());
-      std::vector<float> dp(seq);
-      for (int b = 0; b < batch; ++b) {
-        for (int h = 0; h < heads; ++h) {
+      // Parallel over (batch, head): dq/dk/dv writes for one item stay
+      // inside batch row b and head column range [col0, col0 + dh), so
+      // items never alias. dp is per-item scratch.
+      ParallelFor(batch * heads, [&](int bh) {
+        const int b = bh / heads;
+        const int h = bh % heads;
+        std::vector<float> dp(seq);
+        {
           const int col0 = h * dh;
           for (int t = 0; t < seq; ++t) {
             const float* prow =
@@ -497,7 +507,7 @@ VarId Tape::CausalSelfAttention(VarId q, VarId k, VarId v, int batch,
             }
           }
         }
-      }
+      });
       if (RequiresGrad(q)) AccumGrad(q, dq);
       if (RequiresGrad(k)) AccumGrad(k, dk);
       if (RequiresGrad(v)) AccumGrad(v, dv);

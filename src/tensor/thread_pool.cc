@@ -1,0 +1,148 @@
+#include "tensor/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace rt {
+namespace {
+
+/// True while the current thread is inside a ParallelFor item; nested
+/// regions run serially instead of re-entering the pool.
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = false; }
+};
+
+int ThreadsFromEnv() {
+  const char* env = std::getenv("RT_COMPUTE_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
+
+std::mutex g_global_mutex;
+std::shared_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mutex
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const bool serial = num_threads_ <= 1 || n == 1 || t_in_parallel_region;
+  std::unique_lock<std::mutex> region(region_mutex_, std::defer_lock);
+  // A busy pool (another caller mid-region) degrades to inline serial
+  // execution rather than blocking — concurrent serve sessions stay
+  // independent instead of convoying on the pool.
+  if (serial || !region.try_lock()) {
+    RegionGuard guard;
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_live_ = true;
+    next_.store(0, std::memory_order_relaxed);
+    total_ = n;
+    pending_.store(n, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  RunItems();  // the caller is a full participant
+
+  // Wait for every item to finish AND for every worker to leave the
+  // claim loop — a worker between claims must not observe the next
+  // job's state mid-install.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock,
+                [this] { return pending_.load() == 0 && active_ == 0; });
+  job_ = nullptr;
+  job_live_ = false;
+  if (error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // job_live_ keeps a worker that wakes late — after the caller
+      // already tore the job down — from touching the next job's state.
+      work_cv_.wait(lock, [&] {
+        return stop_ || (epoch_ != seen_epoch && job_live_);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++active_;
+    }
+    RunItems();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunItems() {
+  RegionGuard guard;
+  for (;;) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) return;
+    try {
+      (*job_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_shared<ThreadPool>(ThreadsFromEnv());
+  }
+  return g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  auto pool = std::make_shared<ThreadPool>(num_threads);
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::move(pool);
+}
+
+int ThreadPool::GlobalThreads() { return Global()->num_threads(); }
+
+void ParallelFor(int n, const std::function<void(int)>& fn) {
+  ThreadPool::Global()->ParallelFor(n, fn);
+}
+
+}  // namespace rt

@@ -1,0 +1,101 @@
+#ifndef RATATOUILLE_TENSOR_THREAD_POOL_H_
+#define RATATOUILLE_TENSOR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rt {
+
+/// Fixed-size intra-op worker pool with a blocking ParallelFor.
+///
+/// One pool is shared process-wide (Global()) so the GEMM row
+/// partitioner, the attention head loops and any other intra-op
+/// parallelism draw from the same set of threads and serve-layer
+/// sessions cannot oversubscribe the machine. The pool size is set once
+/// at startup from --compute-threads (or the RT_COMPUTE_THREADS
+/// environment variable) and defaults to 1, which makes every
+/// ParallelFor run inline on the caller.
+///
+/// Work items are indexed, and an item's output must depend only on its
+/// index — the pool distributes indices dynamically, so the partition
+/// varies run to run but the computed values do not. Kernels built on
+/// ParallelFor are therefore bitwise deterministic in the result for
+/// any pool size.
+class ThreadPool {
+ public:
+  /// Creates `num_threads - 1` workers (the caller of ParallelFor is
+  /// always the extra participant). num_threads < 1 is clamped to 1.
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Outstanding ParallelFor calls must have
+  /// returned; the destructor only has to wake idle workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n). The caller participates; the
+  /// call returns after every item has finished. The first exception
+  /// thrown by any item is rethrown in the caller once all claimed
+  /// items have settled (remaining unclaimed items are abandoned).
+  ///
+  /// Nested calls (fn itself calling ParallelFor, on any pool) run the
+  /// inner loop serially inline, so kernels can parallelize at their
+  /// own level without deadlocking when composed.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// The process-wide pool. First use creates it with the size from
+  /// RT_COMPUTE_THREADS (default 1).
+  static std::shared_ptr<ThreadPool> Global();
+
+  /// Replaces the process-wide pool with one of `num_threads`. In-flight
+  /// ParallelFor calls on the old pool finish on the old threads (the
+  /// pool is shared_ptr-held); new calls see the new size. Intended for
+  /// startup flag wiring and tests, not for per-request tuning.
+  static void SetGlobalThreads(int num_threads);
+
+  /// Size of the current process-wide pool.
+  static int GlobalThreads();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs items of the current job until none remain.
+  void RunItems();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for pending_ == 0
+  /// Serializes parallel regions: concurrent callers (e.g. two serve
+  /// sessions decoding at once) fall back to inline serial execution
+  /// instead of queueing behind each other.
+  std::mutex region_mutex_;
+
+  const std::function<void(int)>* job_ = nullptr;  // valid for one epoch
+  bool job_live_ = false;  // set on install, cleared on teardown
+  std::atomic<int> next_{0};
+  int total_ = 0;
+  std::atomic<int> pending_{0};
+  int active_ = 0;  // workers currently inside the claim loop
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// Convenience wrapper over the global pool: runs fn(i) for i in
+/// [0, n), inline when the pool has a single thread.
+void ParallelFor(int n, const std::function<void(int)>& fn);
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TENSOR_THREAD_POOL_H_

@@ -1,0 +1,69 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+
+namespace rt {
+namespace {
+
+/// Round spans up so consecutive Allocs start on 64-byte boundaries
+/// (16 floats) — keeps vectorized kernels on aligned-friendly strides.
+constexpr size_t kAlignFloats = 16;
+
+size_t AlignUp(size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+float* Workspace::Alloc(size_t n) {
+  const size_t need = AlignUp(std::max<size_t>(n, 1));
+  while (block_index_ < blocks_.size()) {
+    Block& block = blocks_[block_index_];
+    if (block.cap - block.used >= need) {
+      float* out = block.data.get() + block.used;
+      block.used += need;
+      in_use_ += need;
+      high_water_ = std::max(high_water_, in_use_);
+      return out;
+    }
+    ++block_index_;
+  }
+  // Grow geometrically so a cold arena converges in a few blocks.
+  const size_t cap = std::max(need, std::max<size_t>(capacity(), 1024));
+  Block block;
+  block.data = std::make_unique<float[]>(cap);
+  block.cap = cap;
+  block.used = need;
+  ++heap_allocs_;
+  blocks_.push_back(std::move(block));
+  block_index_ = blocks_.size() - 1;
+  in_use_ += need;
+  high_water_ = std::max(high_water_, in_use_);
+  return blocks_.back().data.get();
+}
+
+void Workspace::Reset() {
+  if (blocks_.size() > 1) {
+    // Coalesce: one block sized to the high-water mark serves every
+    // span of the next cycle without block-boundary waste.
+    const size_t cap = std::max(high_water_, capacity());
+    blocks_.clear();
+    Block block;
+    block.data = std::make_unique<float[]>(cap);
+    block.cap = cap;
+    ++heap_allocs_;
+    blocks_.push_back(std::move(block));
+  } else {
+    for (Block& block : blocks_) block.used = 0;
+  }
+  block_index_ = 0;
+  in_use_ = 0;
+}
+
+size_t Workspace::capacity() const {
+  size_t total = 0;
+  for (const Block& block : blocks_) total += block.cap;
+  return total;
+}
+
+}  // namespace rt

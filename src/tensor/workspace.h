@@ -1,0 +1,82 @@
+#ifndef RATATOUILLE_TENSOR_WORKSPACE_H_
+#define RATATOUILLE_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rt {
+
+/// Bump-pointer arena for hot-loop scratch buffers.
+///
+/// Decode loops (KV-cache step, LSTM step, beam search) borrow their
+/// per-token intermediates from a Workspace instead of heap-allocating
+/// fresh Tensors: Alloc() hands out float spans, Reset() makes the whole
+/// capacity reusable for the next token. After a warmup token has sized
+/// the arena, the steady state performs zero heap allocations — the
+/// heap_allocs() counter lets tests assert exactly that.
+///
+/// Alloc never moves previously returned spans within one Reset cycle
+/// (growth appends a new block rather than reallocating), so a hot loop
+/// can hold several live scratch buffers at once. Reset() coalesces a
+/// fragmented arena into one block sized to the observed high-water
+/// mark, so fragmentation-driven growth converges after one cycle.
+///
+/// Not thread-safe; each decode session owns its workspace.
+class Workspace {
+ public:
+  Workspace() = default;
+
+  /// Copying a workspace yields a fresh, empty arena: scratch contents
+  /// are transient, and this keeps owners (e.g. KV caches duplicated by
+  /// beam search) cheaply copyable.
+  Workspace(const Workspace&) {}
+  Workspace& operator=(const Workspace&) {
+    blocks_.clear();
+    block_index_ = 0;
+    in_use_ = 0;
+    high_water_ = 0;
+    heap_allocs_ = 0;
+    return *this;
+  }
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Returns an uninitialized span of n floats, valid until Reset().
+  float* Alloc(size_t n);
+
+  /// Makes the full capacity available again. Spans from before the
+  /// call are invalidated. Coalesces multi-block arenas into one block.
+  void Reset();
+
+  /// Floats handed out since the last Reset().
+  size_t in_use() const { return in_use_; }
+
+  /// Largest in_use() ever observed (floats).
+  size_t high_water() const { return high_water_; }
+
+  /// Number of heap allocations the arena has performed. Flat across
+  /// tokens once warm — the zero-allocs-per-token assertion.
+  int64_t heap_allocs() const { return heap_allocs_; }
+
+  /// Total floats of capacity across all blocks.
+  size_t capacity() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    size_t cap = 0;
+    size_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  size_t block_index_ = 0;  // current bump block
+  size_t in_use_ = 0;
+  size_t high_water_ = 0;
+  int64_t heap_allocs_ = 0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TENSOR_WORKSPACE_H_

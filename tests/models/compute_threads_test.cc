@@ -1,0 +1,153 @@
+// Kernel-layer properties surfaced at the model level: the KV-cache
+// decode path performs zero heap allocations per token once its
+// workspace arena is warm, and generation is bitwise identical for any
+// --compute-threads setting (the pool only partitions work whose result
+// does not depend on the partition).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/gpt2_model.h"
+#include "models/lstm_model.h"
+#include "tensor/thread_pool.h"
+
+namespace rt {
+namespace {
+
+Gpt2Config TinyGpt2Config() {
+  Gpt2Config cfg;
+  cfg.vocab_size = 24;
+  cfg.dim = 16;
+  cfg.num_layers = 2;
+  cfg.num_heads = 2;
+  cfg.max_seq_len = 64;
+  cfg.dropout = 0.0f;
+  cfg.name = "gpt2-threads-test";
+  return cfg;
+}
+
+TEST(KvCacheWorkspaceTest, DecodeIsAllocationFreeOnceWarm) {
+  Gpt2Lm model(TinyGpt2Config());
+  Gpt2Lm::KvCache cache;
+  model.InitCache(&cache);
+  // Warmup: the first steps size the arena (Reset coalesces after the
+  // first full cycle, so give it two tokens).
+  model.StepWithCache(1, &cache);
+  model.StepWithCache(2, &cache);
+  const int64_t warm = cache.ws.heap_allocs();
+  for (int t = 3; t < 40; ++t) {
+    model.StepWithCache(t % model.vocab_size(), &cache);
+    EXPECT_EQ(cache.ws.heap_allocs(), warm)
+        << "token " << t << " heap-allocated decode scratch";
+  }
+}
+
+TEST(KvCacheWorkspaceTest, InitCacheReusesArenaAcrossSequences) {
+  Gpt2Lm model(TinyGpt2Config());
+  Gpt2Lm::KvCache cache;
+  model.InitCache(&cache);
+  for (int t = 0; t < 8; ++t) model.StepWithCache(t, &cache);
+  const int64_t warm = cache.ws.heap_allocs();
+  // A fresh sequence on the same cache keeps the warmed arena.
+  model.InitCache(&cache);
+  for (int t = 0; t < 8; ++t) model.StepWithCache(t, &cache);
+  EXPECT_EQ(cache.ws.heap_allocs(), warm);
+}
+
+class ComputeThreadsTest : public testing::Test {
+ protected:
+  void SetUp() override { original_ = ThreadPool::GlobalThreads(); }
+  void TearDown() override { ThreadPool::SetGlobalThreads(original_); }
+  int original_ = 1;
+};
+
+TEST_F(ComputeThreadsTest, Gpt2GreedyGenerationIsThreadCountInvariant) {
+  Gpt2Lm model(TinyGpt2Config());
+  GenerationOptions options;
+  options.sampling.greedy = true;
+  options.max_new_tokens = 24;
+  const std::vector<int> prompt = {1, 2, 3};
+
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = model.GenerateIds(prompt, options);
+  ThreadPool::SetGlobalThreads(4);
+  const auto parallel = model.GenerateIds(prompt, options);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ComputeThreadsTest, Gpt2BeamSearchIsThreadCountInvariant) {
+  Gpt2Lm model(TinyGpt2Config());
+  Gpt2Lm::BeamOptions options;
+  options.beam_width = 3;
+  options.max_new_tokens = 16;
+  const std::vector<int> prompt = {4, 5};
+
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = model.BeamSearchIds(prompt, options);
+  ThreadPool::SetGlobalThreads(4);
+  const auto parallel = model.BeamSearchIds(prompt, options);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ComputeThreadsTest, Gpt2SampledGenerationIsThreadCountInvariant) {
+  Gpt2Lm model(TinyGpt2Config());
+  GenerationOptions options;
+  options.sampling.temperature = 0.9f;
+  options.sampling.top_k = 8;
+  options.max_new_tokens = 24;
+  options.seed = 1234;
+  const std::vector<int> prompt = {1};
+
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = model.GenerateIds(prompt, options);
+  ThreadPool::SetGlobalThreads(4);
+  const auto parallel = model.GenerateIds(prompt, options);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ComputeThreadsTest, LstmGenerationIsThreadCountInvariant) {
+  LstmConfig cfg;
+  cfg.vocab_size = 24;
+  cfg.embed_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.num_layers = 2;
+  cfg.dropout = 0.0f;
+  cfg.name = "lstm-threads-test";
+  LstmLm model(cfg);
+  GenerationOptions options;
+  options.sampling.greedy = true;
+  options.max_new_tokens = 24;
+  const std::vector<int> prompt = {2, 3};
+
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = model.GenerateIds(prompt, options);
+  ThreadPool::SetGlobalThreads(4);
+  const auto parallel = model.GenerateIds(prompt, options);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(ComputeThreadsTest, TrainingLossIsThreadCountInvariant) {
+  // The tape attention forward/backward also run through ParallelFor;
+  // a train step's loss must not depend on the pool size.
+  Batch batch;
+  batch.batch_size = 2;
+  batch.seq_len = 12;
+  for (int i = 0; i < batch.batch_size * batch.seq_len; ++i) {
+    batch.inputs.push_back(i % 24);
+    batch.targets.push_back((i + 1) % 24);
+  }
+  ThreadPool::SetGlobalThreads(1);
+  Gpt2Lm serial_model(TinyGpt2Config());
+  Rng rng1(7);
+  const float serial_loss = serial_model.TrainStep(batch, &rng1);
+  ThreadPool::SetGlobalThreads(4);
+  Gpt2Lm parallel_model(TinyGpt2Config());
+  Rng rng2(7);
+  const float parallel_loss = parallel_model.TrainStep(batch, &rng2);
+  EXPECT_EQ(serial_loss, parallel_loss);
+}
+
+}  // namespace
+}  // namespace rt

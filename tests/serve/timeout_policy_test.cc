@@ -1,0 +1,159 @@
+// Per-model timeout budgets and the 504 Retry-After hint: requests that
+// omit timeout_ms resolve their budget from BackendOptions::
+// model_timeout_ms before default_timeout_ms, and both deadline-
+// exceeded paths answer with a Retry-After header plus a machine-
+// readable retry_after_s detail (mirroring the 503 circuit_open shape).
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/http.h"
+#include "util/json.h"
+
+namespace rt {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Decodes fake tokens at `token_ms` apiece until max_tokens or the
+/// request deadline, like the real pipeline.
+BackendService::GenerateFn SlowDecode(int token_ms, int max_tokens) {
+  return [token_ms, max_tokens](
+             const GenerateRequest& req) -> StatusOr<GenerateOutcome> {
+    GenerateOutcome out;
+    for (int i = 0; i < max_tokens; ++i) {
+      if (req.deadline.expired()) {
+        out.deadline_exceeded = true;
+        out.finish_reason = "deadline_exceeded";
+        return out;
+      }
+      std::this_thread::sleep_for(milliseconds(token_ms));
+      ++out.tokens_generated;
+    }
+    out.finish_reason = "max_tokens";
+    out.recipe.title = "done";
+    out.recipe.ingredients.push_back({"1", "", "rice", ""});
+    out.recipe.instructions = {"cook"};
+    return out;
+  };
+}
+
+Json ErrorOf(const HttpClientResponse& resp) {
+  auto doc = Json::Parse(resp.body);
+  EXPECT_TRUE(doc.ok()) << resp.body;
+  return doc.ok() ? doc->Get("error") : Json{};
+}
+
+TEST(TimeoutPolicyTest, PerModelBudgetUsedWhenRequestOmitsTimeout) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.models = {"fast-model", "slow-model"};
+  options.default_timeout_ms = 5000;
+  options.model_timeout_ms = {{"fast-model", 40}};
+  BackendService backend(
+      [](int) { return SlowDecode(/*token_ms=*/5, /*max_tokens=*/1000); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  // No timeout_ms + listed model: the per-model budget applies, so the
+  // slow decode blows the 40 ms budget and 504s with that number.
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"],"model":"fast-model"})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+  Json error = ErrorOf(*resp);
+  EXPECT_EQ(error.Get("code").AsString(), "deadline_exceeded");
+  EXPECT_EQ(error.Get("details").Get("timeout_ms").AsNumber(), 40.0);
+
+  // Explicit client timeout_ms still beats the per-model default.
+  auto explicit_resp = HttpPost(
+      backend.port(), "/v1/generate",
+      R"({"ingredients":["rice"],"model":"fast-model","timeout_ms":60})");
+  ASSERT_TRUE(explicit_resp.ok());
+  EXPECT_EQ(explicit_resp->status, 504);
+  EXPECT_EQ(
+      ErrorOf(*explicit_resp).Get("details").Get("timeout_ms").AsNumber(),
+      60.0);
+  backend.Stop();
+}
+
+TEST(TimeoutPolicyTest, UnlistedModelFallsBackToDefaultBudget) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.models = {"fast-model", "slow-model"};
+  options.default_timeout_ms = 45;
+  options.model_timeout_ms = {{"fast-model", 5000}};
+  BackendService backend(
+      [](int) { return SlowDecode(/*token_ms=*/5, /*max_tokens=*/1000); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"],"model":"slow-model"})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+  EXPECT_EQ(ErrorOf(*resp).Get("details").Get("timeout_ms").AsNumber(),
+            45.0);
+  backend.Stop();
+}
+
+TEST(TimeoutPolicyTest, PerModelBudgetsClampedIntoValidRange) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.models = {"too-big", "too-small"};
+  options.max_timeout_ms = 50;
+  options.default_timeout_ms = 40;
+  options.model_timeout_ms = {{"too-big", 99999}, {"too-small", -7}};
+  BackendService backend(
+      [](int) { return SlowDecode(/*token_ms=*/5, /*max_tokens=*/1000); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  // too-big clamps to max_timeout_ms.
+  auto big = HttpPost(backend.port(), "/v1/generate",
+                      R"({"ingredients":["rice"],"model":"too-big"})");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->status, 504);
+  EXPECT_EQ(ErrorOf(*big).Get("details").Get("timeout_ms").AsNumber(), 50.0);
+
+  // too-small clamps to 1 ms: expires immediately, still a well-formed
+  // 504 rather than a crash or a hung request.
+  auto small = HttpPost(backend.port(), "/v1/generate",
+                        R"({"ingredients":["rice"],"model":"too-small"})");
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->status, 504);
+  EXPECT_EQ(ErrorOf(*small).Get("details").Get("timeout_ms").AsNumber(),
+            1.0);
+  backend.Stop();
+}
+
+TEST(TimeoutPolicyTest, DeadlineExceededCarriesRetryAfterHint) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.default_timeout_ms = 40;
+  BackendService backend(
+      [](int) { return SlowDecode(/*token_ms=*/5, /*max_tokens=*/1000); },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+
+  // Machine-readable hint in the envelope...
+  Json error = ErrorOf(*resp);
+  EXPECT_EQ(error.Get("code").AsString(), "deadline_exceeded");
+  EXPECT_GE(error.Get("details").Get("retry_after_s").AsNumber(), 1.0);
+
+  // ...and the standard header (client keys are lower-cased).
+  auto it = resp->headers.find("retry-after");
+  ASSERT_NE(it, resp->headers.end());
+  EXPECT_GE(std::stoi(it->second), 1);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

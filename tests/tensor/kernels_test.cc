@@ -1,0 +1,183 @@
+// Parity and determinism tests for the blocked GEMM kernel layer:
+// blocked vs reference on ragged shapes, bitwise row-invariance (the
+// KV-cache decode guarantee), thread-count invariance, packed-B parity
+// and accumulate mode.
+
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/thread_pool.h"
+#include "util/rng.h"
+
+namespace rt {
+namespace {
+
+std::vector<float> RandomVec(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian()) * 0.5f;
+  return v;
+}
+
+/// Largest relative error of `got` against `want`.
+double MaxRelError(const std::vector<float>& want,
+                   const std::vector<float>& got) {
+  EXPECT_EQ(want.size(), got.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < want.size(); ++i) {
+    const double denom = std::max(1.0, std::fabs(double{want[i]}));
+    worst = std::max(worst, std::fabs(double{got[i]} - want[i]) / denom);
+  }
+  return worst;
+}
+
+struct Shape {
+  int m, n, k;
+};
+
+// Ragged shapes straddling every tile boundary: 1x1, tall-skinny,
+// wide-flat, K not a multiple of the panel/block sizes, and sizes just
+// around kRowTile (4) and kPanelWidth (16).
+const Shape kShapes[] = {
+    {1, 1, 1},    {1, 1, 7},    {3, 5, 2},     {4, 16, 16},  {5, 17, 9},
+    {7, 33, 31},  {8, 15, 64},  {13, 64, 19},  {16, 16, 1},  {17, 3, 100},
+    {64, 1, 37},  {1, 64, 129}, {200, 7, 5},   {31, 96, 48}, {48, 48, 48},
+    {6, 130, 70},
+};
+
+TEST(KernelsTest, BlockedMatchesReferenceOnRaggedShapes) {
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, 1000 + s.m);
+    const auto b = RandomVec(s.k * s.n, 2000 + s.n);
+    std::vector<float> want(s.m * s.n), got(s.m * s.n);
+    kernels::GemmRef(s.m, s.n, s.k, a.data(), b.data(), want.data());
+    kernels::GemmBlocked(s.m, s.n, s.k, a.data(), b.data(), got.data());
+    EXPECT_LE(MaxRelError(want, got), 1e-4)
+        << "shape " << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(KernelsTest, TransBBlockedMatchesReference) {
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(s.m * s.k, 3000 + s.m);
+    const auto b = RandomVec(s.n * s.k, 4000 + s.n);  // B is [n, k]
+    std::vector<float> want(s.m * s.n), got(s.m * s.n);
+    kernels::GemmTransBRef(s.m, s.n, s.k, a.data(), b.data(), want.data());
+    kernels::GemmTransBBlocked(s.m, s.n, s.k, a.data(), b.data(),
+                               got.data());
+    EXPECT_LE(MaxRelError(want, got), 1e-4)
+        << "shape " << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(KernelsTest, TransABlockedMatchesReference) {
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(s.k * s.m, 5000 + s.m);  // A is [k, m]
+    const auto b = RandomVec(s.k * s.n, 6000 + s.n);
+    std::vector<float> want(s.m * s.n), got(s.m * s.n);
+    kernels::GemmTransARef(s.m, s.n, s.k, a.data(), b.data(), want.data());
+    kernels::GemmTransABlocked(s.m, s.n, s.k, a.data(), b.data(),
+                               got.data());
+    EXPECT_LE(MaxRelError(want, got), 1e-4)
+        << "shape " << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+// The decode-parity guarantee: row r of a batched Gemm is bitwise equal
+// to the m=1 GEMV of that row, because both run the same strictly
+// k-ordered accumulation chain regardless of the micro-tile height.
+TEST(KernelsTest, BatchedRowBitwiseEqualsSingleRowGemv) {
+  const int m = 5, n = 33, k = 29;  // ragged: exercises all MR tails
+  const auto a = RandomVec(m * k, 77);
+  const auto b = RandomVec(k * n, 78);
+  std::vector<float> batched(m * n), row(n);
+  kernels::GemmBlocked(m, n, k, a.data(), b.data(), batched.data());
+  for (int r = 0; r < m; ++r) {
+    kernels::GemmBlocked(1, n, k, a.data() + r * k, b.data(), row.data());
+    EXPECT_EQ(0, std::memcmp(batched.data() + r * n, row.data(),
+                             n * sizeof(float)))
+        << "row " << r;
+  }
+}
+
+TEST(KernelsTest, ThreadCountDoesNotChangeBits) {
+  const int m = 37, n = 130, k = 65;
+  const auto a = RandomVec(m * k, 88);
+  const auto b = RandomVec(k * n, 89);
+  std::vector<float> serial(m * n), parallel(m * n);
+  ThreadPool::SetGlobalThreads(1);
+  kernels::GemmBlocked(m, n, k, a.data(), b.data(), serial.data());
+  ThreadPool::SetGlobalThreads(4);
+  kernels::GemmBlocked(m, n, k, a.data(), b.data(), parallel.data());
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                           serial.size() * sizeof(float)));
+}
+
+// Packing once and calling GemmPacked must be bitwise identical to the
+// pack-per-call blocked path: decode reuses cached panels and the tests
+// upstream assert EXPECT_EQ against the batched forward.
+TEST(KernelsTest, PackedGemmBitwiseEqualsBlocked) {
+  const int m = 9, n = 70, k = 45;
+  const auto a = RandomVec(m * k, 90);
+  const auto b = RandomVec(k * n, 91);
+  std::vector<float> blocked(m * n), packed_out(m * n);
+  kernels::GemmBlocked(m, n, k, a.data(), b.data(), blocked.data());
+  kernels::PackedB packed;
+  packed.Pack(k, n, b.data());
+  EXPECT_EQ(packed.k(), k);
+  EXPECT_EQ(packed.n(), n);
+  kernels::GemmPacked(m, a.data(), packed, packed_out.data(), false);
+  EXPECT_EQ(0, std::memcmp(blocked.data(), packed_out.data(),
+                           blocked.size() * sizeof(float)));
+}
+
+TEST(KernelsTest, PackTransposedMatchesTransBReference) {
+  const int m = 6, n = 41, k = 23;
+  const auto a = RandomVec(m * k, 92);
+  const auto b = RandomVec(n * k, 93);  // row-major [n, k]
+  std::vector<float> want(m * n), got(m * n);
+  kernels::GemmTransBRef(m, n, k, a.data(), b.data(), want.data());
+  kernels::PackedB packed;
+  packed.PackTransposed(n, k, b.data());
+  kernels::GemmPacked(m, a.data(), packed, got.data(), false);
+  EXPECT_LE(MaxRelError(want, got), 1e-4);
+}
+
+TEST(KernelsTest, PackedAccumulateAddsIntoC) {
+  const int m = 3, n = 20, k = 17;
+  const auto a = RandomVec(m * k, 94);
+  const auto b = RandomVec(k * n, 95);
+  const auto base = RandomVec(m * n, 96);
+  kernels::PackedB packed;
+  packed.Pack(k, n, b.data());
+  std::vector<float> overwrite(m * n);
+  kernels::GemmPacked(m, a.data(), packed, overwrite.data(), false);
+  std::vector<float> accum = base;
+  kernels::GemmPacked(m, a.data(), packed, accum.data(), true);
+  for (int i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(accum[i], base[i] + overwrite[i], 1e-4f) << "i=" << i;
+  }
+}
+
+TEST(KernelsTest, DispatchHonorsConfig) {
+  const int m = 4, n = 18, k = 10;
+  const auto a = RandomVec(m * k, 97);
+  const auto b = RandomVec(k * n, 98);
+  std::vector<float> ref(m * n), dispatched(m * n);
+  kernels::GemmRef(m, n, k, a.data(), b.data(), ref.data());
+  const bool saved = kernels::Config().use_blocked;
+  kernels::Config().use_blocked = false;
+  kernels::Gemm(m, n, k, a.data(), b.data(), dispatched.data());
+  kernels::Config().use_blocked = saved;
+  // With blocking disabled, dispatch must be the reference bit-for-bit.
+  EXPECT_EQ(0, std::memcmp(ref.data(), dispatched.data(),
+                           ref.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace rt

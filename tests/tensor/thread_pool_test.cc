@@ -1,0 +1,97 @@
+// ThreadPool behavior tests: full index coverage, exception
+// propagation, nested-call serialization, global pool swapping, reuse
+// across jobs, and degenerate inputs.
+
+#include "tensor/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rt {
+namespace {
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  const int n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(8, [&](int i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long long> sum{0};
+    pool.ParallelFor(round + 1, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), static_cast<long long>(round) * (round + 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](int i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after an exception unwound a job.
+  std::atomic<int> count{0};
+  pool.ParallelFor(32, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunSerially) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](int) {
+    // A nested region must not deadlock; it runs inline on the worker.
+    pool.ParallelFor(8, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ZeroAndNegativeCountsAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, [&](int) { count.fetch_add(1); });
+  pool.ParallelFor(-5, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsSwapsThePool) {
+  const int original = ThreadPool::GlobalThreads();
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3);
+  std::atomic<int> count{0};
+  ParallelFor(100, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::SetGlobalThreads(original);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), original);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-4);
+  EXPECT_EQ(pool2.num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,87 @@
+// Workspace arena tests: span stability within a cycle, reuse after
+// Reset, high-water coalescing, the zero-allocs-once-warm guarantee,
+// and the copy-gives-fresh-arena contract beam search relies on.
+
+#include "tensor/workspace.h"
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rt {
+namespace {
+
+TEST(WorkspaceTest, AllocReturnsUsableDistinctSpans) {
+  Workspace ws;
+  float* a = ws.Alloc(16);
+  float* b = ws.Alloc(32);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 16; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 32; ++i) b[i] = 2.0f;
+  // Writing b must not clobber a (disjoint spans).
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a[i], 1.0f);
+  EXPECT_EQ(ws.in_use(), 48u);
+}
+
+TEST(WorkspaceTest, GrowthDoesNotMovePriorSpans) {
+  Workspace ws;
+  float* first = ws.Alloc(8);
+  first[0] = 42.0f;
+  // Force growth well past any initial block.
+  for (int i = 0; i < 64; ++i) ws.Alloc(1024);
+  EXPECT_EQ(first[0], 42.0f);  // still valid and untouched
+}
+
+TEST(WorkspaceTest, ResetMakesCapacityReusableWithoutNewAllocs) {
+  Workspace ws;
+  ws.Alloc(100);
+  ws.Alloc(200);
+  ws.Reset();
+  EXPECT_EQ(ws.in_use(), 0u);
+  const int64_t after_reset = ws.heap_allocs();
+  // Same demand as the first cycle: must be served from capacity.
+  ws.Alloc(100);
+  ws.Alloc(200);
+  EXPECT_EQ(ws.heap_allocs(), after_reset);
+  EXPECT_GE(ws.high_water(), 300u);
+}
+
+TEST(WorkspaceTest, HeapAllocsStabilizeAcrossSteadyStateCycles) {
+  Workspace ws;
+  // Fragmented warmup cycle: many blocks may be created.
+  for (int i = 0; i < 10; ++i) ws.Alloc(777);
+  ws.Reset();
+  // One more cycle lets the coalesced block absorb the high water.
+  for (int i = 0; i < 10; ++i) ws.Alloc(777);
+  ws.Reset();
+  const int64_t warm = ws.heap_allocs();
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 10; ++i) ws.Alloc(777);
+    ws.Reset();
+  }
+  EXPECT_EQ(ws.heap_allocs(), warm) << "arena still allocating when warm";
+}
+
+TEST(WorkspaceTest, CopyYieldsFreshEmptyArena) {
+  Workspace ws;
+  ws.Alloc(512);
+  Workspace copy(ws);
+  EXPECT_EQ(copy.in_use(), 0u);
+  EXPECT_EQ(copy.capacity(), 0u);
+  EXPECT_EQ(copy.heap_allocs(), 0);
+  // And the copy works independently.
+  float* p = copy.Alloc(4);
+  p[0] = 1.0f;
+  EXPECT_EQ(p[0], 1.0f);
+
+  Workspace assigned;
+  assigned.Alloc(64);
+  assigned = ws;
+  EXPECT_EQ(assigned.in_use(), 0u);
+  EXPECT_EQ(assigned.capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace rt

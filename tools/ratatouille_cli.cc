@@ -38,14 +38,16 @@ int Usage() {
       "  preprocess  --in=FILE --out=FILE\n"
       "  train       --model=KIND --recipes=N --epochs=E\n"
       "              [--seed=S --lr=F --seq-len=T --batch=B\n"
-      "               --checkpoint=FILE --patience=P]\n"
+      "               --checkpoint=FILE --patience=P\n"
+      "               --compute-threads=N]\n"
       "  generate    --model=KIND --recipes=N [--checkpoint=FILE\n"
       "               --max-tokens=M --temperature=F --top-k=K --top-p=F\n"
       "               --greedy --beam=W --gen-seed=S] INGREDIENT...\n"
       "  evaluate    --model=KIND --recipes=N --epochs=E --samples=K\n"
       "  serve       --model=KIND --recipes=N --epochs=E\n"
       "              [--backend-port=P --frontend-port=P --workers=N\n"
-      "               --sessions=N --queue=N --request-timeout-ms=MS]\n"
+      "               --sessions=N --queue=N --request-timeout-ms=MS\n"
+      "               --compute-threads=N]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n");
   return 2;
 }
@@ -77,6 +79,9 @@ StatusOr<PipelineOptions> PipelineOptionsFromFlags(const ArgParser& args) {
   options.trainer.batch_size = static_cast<int>(batch);
   RT_ASSIGN_OR_RETURN(auto patience, args.GetInt("patience", 0));
   options.trainer.early_stop_patience = static_cast<int>(patience);
+  RT_ASSIGN_OR_RETURN(auto compute_threads,
+                      args.GetInt("compute-threads", 0));
+  options.trainer.compute_threads = static_cast<int>(compute_threads);
   options.trainer.checkpoint_path = args.GetString("checkpoint");
   options.bpe_vocab_budget = 800;
   return options;
@@ -240,9 +245,11 @@ int CmdServe(const ArgParser& args) {
   auto sessions = args.GetInt("sessions", 2);
   auto queue = args.GetInt("queue", 64);
   auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
+  auto compute_threads = args.GetInt("compute-threads", 0);
   if (!backend_port.ok() || !frontend_port.ok() || !workers.ok() ||
       !sessions.ok() || !queue.ok() || !request_timeout_ms.ok() ||
-      *request_timeout_ms < 1) {
+      *request_timeout_ms < 1 || !compute_threads.ok() ||
+      *compute_threads < 0) {
     return Usage();
   }
 
@@ -251,6 +258,7 @@ int CmdServe(const ArgParser& args) {
   options.http.num_workers = static_cast<int>(*workers);
   options.http.max_queue = static_cast<int>(*queue);
   options.default_timeout_ms = static_cast<int>(*request_timeout_ms);
+  options.compute_threads = static_cast<int>(*compute_threads);
   options.models = {args.GetString("model", "word-lstm")};
   std::vector<std::unique_ptr<LanguageModel>> session_models;
   BackendService backend(MakePipelineSessionFactory(&p, &session_models),
