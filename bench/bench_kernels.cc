@@ -18,10 +18,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "models/batch_decode.h"
 #include "models/gpt2_model.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
@@ -31,6 +34,10 @@ namespace rt {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Wall-time budget per measured op; --smoke shrinks it so the whole
+/// suite finishes in CI-friendly seconds while keeping every gated op.
+double g_min_ms = 250.0;
 
 struct BenchResult {
   std::string op;
@@ -42,8 +49,10 @@ struct BenchResult {
 };
 
 /// Runs fn repeatedly for ~min_ms of wall time (after one untimed
-/// warmup call) and returns mean ns per iteration.
-double TimeNs(const std::function<void()>& fn, double min_ms = 250.0) {
+/// warmup call) and returns mean ns per iteration. min_ms < 0 means
+/// "use the global budget" (g_min_ms, shrunk by --smoke).
+double TimeNs(const std::function<void()>& fn, double min_ms = -1.0) {
+  if (min_ms < 0.0) min_ms = g_min_ms;
   fn();  // warmup: page in operands, size arenas, pack weights
   long long iters = 0;
   auto start = Clock::now();
@@ -134,6 +143,42 @@ BenchResult BenchDecode(const Gpt2Lm& model, int threads, int tokens) {
   return r;
 }
 
+/// Continuous-batching decode: `batch` sequences step in lockstep
+/// through the BatchDecoder, one batched forward per iteration.
+/// tokens_per_sec is AGGREGATE (batch rows per step), the number the
+/// batch-8 >= 2x single-stream gate reads.
+BenchResult BenchDecodeBatched(Gpt2Lm* model, int batch, int tokens) {
+  ThreadPool::SetGlobalThreads(1);
+  std::unique_ptr<BatchDecoder> decoder = model->MakeBatchDecoder();
+  const auto& cfg = model->config();
+  std::vector<std::unique_ptr<BatchSequence>> seqs;
+  std::vector<BatchSequence*> rows(static_cast<size_t>(batch));
+  std::vector<int> toks(static_cast<size_t>(batch));
+  std::vector<float> logits(static_cast<size_t>(batch) * cfg.vocab_size);
+  BenchResult r;
+  r.op = "gpt2_decode_batched_b" + std::to_string(batch);
+  r.shape = "L" + std::to_string(cfg.num_layers) + "_d" +
+            std::to_string(cfg.dim) + "_H" + std::to_string(cfg.num_heads) +
+            "_V" + std::to_string(cfg.vocab_size);
+  r.threads = 1;
+  r.ns_per_iter = TimeNs([&] {
+    seqs.clear();  // returns pooled cache slots, then re-acquires
+    for (int i = 0; i < batch; ++i) {
+      seqs.push_back(decoder->NewSequence());
+      rows[static_cast<size_t>(i)] = seqs.back().get();
+    }
+    for (int t = 0; t < tokens; ++t) {
+      for (int i = 0; i < batch; ++i) {
+        toks[static_cast<size_t>(i)] = (t + i) % cfg.vocab_size;
+      }
+      decoder->StepBatch(batch, toks.data(), rows.data(), logits.data());
+    }
+  });
+  r.ns_per_iter /= tokens;  // per batched step
+  r.tokens_per_sec = batch * 1e9 / r.ns_per_iter;
+  return r;
+}
+
 void AppendJson(std::string* out, const BenchResult& r, bool last) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
@@ -146,8 +191,19 @@ void AppendJson(std::string* out, const BenchResult& r, bool last) {
 }
 
 int Main(int argc, char** argv) {
-  const std::string out_path =
-      argc > 1 ? argv[1] : std::string("BENCH_kernels.json");
+  std::string out_path = "BENCH_kernels.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  // Smoke mode: every gated op still runs (the CI regression gate reads
+  // them all) but with a small per-op time budget.
+  if (smoke) g_min_ms = 40.0;
+  const int decode_tokens = smoke ? 32 : 64;
   std::vector<BenchResult> results;
 
   // --- Single-thread GEMM: reference vs blocked (the >= 3x gate). ---
@@ -243,9 +299,17 @@ int Main(int argc, char** argv) {
     cfg.dropout = 0.0f;
     Gpt2Lm model(cfg);
     for (int threads : {1, 2, 4}) {
-      results.push_back(BenchDecode(model, threads, 64));
+      results.push_back(BenchDecode(model, threads, decode_tokens));
     }
     ThreadPool::SetGlobalThreads(1);
+
+    // --- Cross-session batched decode sweep (single thread). ---
+    // Aggregate tokens/sec at batch 1/2/4/8; the b8 row must reach
+    // >= 2x the b1 row (== 8 sequential m=1 decodes, which aggregate
+    // to single-stream throughput).
+    for (int batch : {1, 2, 4, 8}) {
+      results.push_back(BenchDecodeBatched(&model, batch, decode_tokens));
+    }
   }
 
   // --- Emit. ---
@@ -273,6 +337,15 @@ int Main(int argc, char** argv) {
   std::printf("\nblocked speedup over reference (256x768x768, 1 thread): "
               "%.2fx\n",
               ref_ns / blocked_ns);
+  double batched_b1 = 0.0, batched_b8 = 0.0;
+  for (const auto& r : results) {
+    if (r.op == "gpt2_decode_batched_b1") batched_b1 = r.tokens_per_sec;
+    if (r.op == "gpt2_decode_batched_b8") batched_b8 = r.tokens_per_sec;
+  }
+  if (batched_b1 > 0.0) {
+    std::printf("batch-8 aggregate speedup over sequential m=1: %.2fx\n",
+                batched_b8 / batched_b1);
+  }
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

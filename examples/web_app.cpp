@@ -44,15 +44,19 @@ int main(int argc, char** argv) {
   }
   rt::Pipeline& p = **pipeline;
 
-  // Backend tier: model inference behind REST. Two generation sessions
-  // (the trained model plus one deep copy) serve requests in parallel
-  // from the HTTP worker pool.
+  // Backend tier: model inference behind REST. Concurrent requests
+  // share one batch scheduler over the trained model, which coalesces
+  // their decode steps into batched forwards (up to 4 rows per step).
   rt::BackendOptions backend_options;
-  backend_options.model_sessions = 2;
+  backend_options.max_batch = 4;
   backend_options.models = {"word-lstm"};
-  std::vector<std::unique_ptr<rt::LanguageModel>> session_models;
+  rt::serve::BatchSchedulerOptions sched_options;
+  sched_options.max_batch = backend_options.max_batch;
+  rt::serve::BatchScheduler scheduler(p.model(), sched_options);
+  rt::InstallBatchMetrics(&scheduler, &backend_options);
   rt::BackendService backend(
-      rt::MakePipelineSessionFactory(&p, &session_models), backend_options);
+      rt::MakeBatchedPipelineSessionFactory(&p, &scheduler),
+      backend_options);
   if (auto s = backend.Start(backend_port); !s.ok()) {
     std::fprintf(stderr, "backend: %s\n", s.ToString().c_str());
     return 1;

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_kernels output.
+
+Usage:
+    check_bench.py CURRENT.json [BASELINE.json]
+
+Two families of checks:
+
+1. Machine-independent ratio gates, computed entirely within
+   CURRENT.json (these never flake across runner classes):
+     * blocked GEMM >= 3x the reference GEMM (single thread);
+     * batch-8 batched decode >= 2x the aggregate throughput of
+       sequential m=1 decodes (the gpt2_decode_batched_b1 row).
+
+2. Baseline-relative gates, only when BASELINE.json is given: each
+   gated metric must stay within TOLERANCE (25%) of the checked-in
+   baseline. When a legitimate hardware or kernel change moves the
+   numbers, regenerate the baseline:
+
+       ./build/bench/bench_kernels bench/BENCH_baseline.json --smoke
+
+Exit status 0 = all gates pass, 1 = at least one failed (CI fails the
+bench-smoke job on it).
+"""
+
+import json
+import sys
+
+# (op, threads, field, human label) of each baseline-gated metric.
+GATED = [
+    ("gemm_blocked", 1, "gflops", "single-thread blocked GEMM GFLOP/s"),
+    ("gpt2_decode_step", 1, "tokens_per_sec",
+     "single-thread decode tokens/sec"),
+    ("gpt2_decode_batched_b8", 1, "tokens_per_sec",
+     "batch-8 aggregate decode tokens/sec"),
+]
+TOLERANCE = 0.25  # fail when current < (1 - TOLERANCE) * baseline
+
+BLOCKED_MIN_SPEEDUP = 3.0  # blocked GEMM vs reference, single thread
+BATCH8_MIN_SPEEDUP = 2.0   # batch-8 aggregate vs sequential m=1
+
+
+def load(path):
+    """Maps (op, threads) -> result row (first occurrence wins)."""
+    with open(path) as f:
+        doc = json.load(f)
+    table = {}
+    for row in doc["results"]:
+        table.setdefault((row["op"], row["threads"]), row)
+    return table
+
+
+def get(table, op, threads, field, path):
+    key = (op, threads)
+    if key not in table:
+        print(f"FAIL  {path}: missing row op={op} threads={threads}")
+        return None
+    return table[key][field]
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    current_path = sys.argv[1]
+    current = load(current_path)
+    failures = 0
+
+    # Ratio gates within the current run.
+    ref = get(current, "gemm_ref", 1, "gflops", current_path)
+    blocked = get(current, "gemm_blocked", 1, "gflops", current_path)
+    if ref is None or blocked is None:
+        failures += 1
+    else:
+        speedup = blocked / ref
+        ok = speedup >= BLOCKED_MIN_SPEEDUP
+        print(f"{'PASS' if ok else 'FAIL'}  blocked GEMM speedup "
+              f"{speedup:.2f}x (gate: >= {BLOCKED_MIN_SPEEDUP:.1f}x)")
+        failures += 0 if ok else 1
+
+    b1 = get(current, "gpt2_decode_batched_b1", 1, "tokens_per_sec",
+             current_path)
+    b8 = get(current, "gpt2_decode_batched_b8", 1, "tokens_per_sec",
+             current_path)
+    if b1 is None or b8 is None:
+        failures += 1
+    else:
+        speedup = b8 / b1
+        ok = speedup >= BATCH8_MIN_SPEEDUP
+        print(f"{'PASS' if ok else 'FAIL'}  batch-8 aggregate speedup "
+              f"{speedup:.2f}x (gate: >= {BATCH8_MIN_SPEEDUP:.1f}x)")
+        failures += 0 if ok else 1
+
+    # Baseline-relative gates.
+    if len(sys.argv) > 2:
+        baseline_path = sys.argv[2]
+        baseline = load(baseline_path)
+        for op, threads, field, label in GATED:
+            base = get(baseline, op, threads, field, baseline_path)
+            cur = get(current, op, threads, field, current_path)
+            if base is None or cur is None:
+                failures += 1
+                continue
+            floor = (1.0 - TOLERANCE) * base
+            ok = cur >= floor
+            print(f"{'PASS' if ok else 'FAIL'}  {label}: "
+                  f"{cur:.1f} vs baseline {base:.1f} "
+                  f"(floor {floor:.1f})")
+            failures += 0 if ok else 1
+
+    if failures:
+        print(f"\n{failures} bench gate(s) failed. If the regression is "
+              "intentional (new hardware, algorithm change), regenerate "
+              "bench/BENCH_baseline.json — see scripts/check_bench.py "
+              "docstring.")
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Check-only formatting gate (CI `format` job). Exits nonzero when any
+# seeded file deviates from the checked-in .clang-format; never edits
+# files. Fix a finding with:  clang-format-14 -i <file>
+#
+# The list is seeded with the files the batched-decode work introduced
+# or rebuilt; append files here as they are brought into compliance so
+# the gate only ever ratchets forward.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pin clang-format-14 (the version CI installs) so local runs and CI
+# agree on the formatting; fall back to a bare clang-format when the
+# pinned one is absent.
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format-14 clang-format; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "error: clang-format-14 (or clang-format) not found" >&2
+  exit 2
+fi
+
+FILES=(
+  src/models/batch_decode.h
+  src/serve/batch_scheduler.h
+  src/serve/batch_scheduler.cc
+  tests/tensor/cache_arena_test.cc
+  tests/serve/batch_scheduler_test.cc
+)
+
+status=0
+for file in "${FILES[@]}"; do
+  if ! "${CLANG_FORMAT}" --dry-run --Werror "${file}"; then
+    status=1
+  fi
+done
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "" >&2
+  echo "formatting violations found; fix with:" >&2
+  echo "  ${CLANG_FORMAT} -i <file>" >&2
+fi
+exit "${status}"

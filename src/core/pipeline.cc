@@ -259,6 +259,20 @@ StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredientsWith(
   if (model == nullptr) {
     return Status::InvalidArgument("model is null");
   }
+  return GenerateFromIngredientsVia(
+      [model](const std::vector<int>& prompt_ids,
+              const GenerationOptions& opts) {
+        return model->Generate(prompt_ids, opts);
+      },
+      ingredients, options);
+}
+
+StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredientsVia(
+    const DecodeFn& decode, const std::vector<std::string>& ingredients,
+    const GenerationOptions& options) {
+  if (!decode) {
+    return Status::InvalidArgument("decode callback is null");
+  }
   if (ingredients.empty()) {
     return Status::InvalidArgument("ingredient list is empty");
   }
@@ -272,7 +286,7 @@ StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredientsWith(
   if (opts.stop_token < 0) opts.stop_token = stop_token_;
 
   Timer timer;
-  GenerationResult generated = model->Generate(prompt_ids, opts);
+  GenerationResult generated = decode(prompt_ids, opts);
   GeneratedRecipe out;
   out.seconds = timer.ElapsedSeconds();
   out.tokens_generated = static_cast<int>(generated.ids.size());
@@ -358,6 +372,22 @@ GenerationOptions ToGenerationOptions(const GenerateRequest& request) {
   return gen;
 }
 
+namespace {
+
+/// Maps a finished GeneratedRecipe onto the serving outcome shape.
+GenerateOutcome ToGenerateOutcome(GeneratedRecipe out) {
+  GenerateOutcome outcome;
+  outcome.recipe = std::move(out.recipe);
+  outcome.finish_reason = FinishReasonName(out.finish);
+  outcome.tokens_generated = out.tokens_generated;
+  outcome.deadline_exceeded =
+      out.finish == FinishReason::kDeadlineExceeded;
+  outcome.cancelled = out.finish == FinishReason::kCancelled;
+  return outcome;
+}
+
+}  // namespace
+
 BackendService::SessionFactory MakePipelineSessionFactory(
     Pipeline* pipeline,
     std::vector<std::unique_ptr<LanguageModel>>* session_models) {
@@ -380,15 +410,47 @@ BackendService::SessionFactory MakePipelineSessionFactory(
                           pipeline->GenerateFromIngredientsWith(
                               model, req.ingredients,
                               ToGenerationOptions(req)));
-      GenerateOutcome outcome;
-      outcome.recipe = std::move(out.recipe);
-      outcome.finish_reason = FinishReasonName(out.finish);
-      outcome.tokens_generated = out.tokens_generated;
-      outcome.deadline_exceeded =
-          out.finish == FinishReason::kDeadlineExceeded;
-      outcome.cancelled = out.finish == FinishReason::kCancelled;
-      return outcome;
+      return ToGenerateOutcome(std::move(out));
     };
+  };
+}
+
+BackendService::SessionFactory MakeBatchedPipelineSessionFactory(
+    Pipeline* pipeline, serve::BatchScheduler* scheduler) {
+  // Every session slot shares the scheduler: sessions only gate how many
+  // requests decode concurrently, while the scheduler coalesces their
+  // steps into batched forwards over the pipeline's single model.
+  return [pipeline, scheduler](int) -> BackendService::GenerateFn {
+    return [pipeline, scheduler](const GenerateRequest& req)
+               -> StatusOr<GenerateOutcome> {
+      RT_ASSIGN_OR_RETURN(
+          GeneratedRecipe out,
+          pipeline->GenerateFromIngredientsVia(
+              [scheduler](const std::vector<int>& prompt_ids,
+                          const GenerationOptions& options) {
+                return scheduler->Generate(prompt_ids, options);
+              },
+              req.ingredients, ToGenerationOptions(req)));
+      return ToGenerateOutcome(std::move(out));
+    };
+  };
+}
+
+void InstallBatchMetrics(serve::BatchScheduler* scheduler,
+                         BackendOptions* options) {
+  options->batch_metrics = [scheduler](Json* out) {
+    const serve::BatchSchedulerStats stats = scheduler->stats();
+    out->Set("batch_steps", static_cast<double>(stats.steps));
+    out->Set("batch_row_steps", static_cast<double>(stats.row_steps));
+    out->Set("batch_mean_occupancy", stats.mean_occupancy());
+    out->Set("batch_peak_occupancy",
+             static_cast<double>(stats.peak_occupancy));
+    out->Set("batch_active", static_cast<double>(stats.active));
+    out->Set("batch_pending", static_cast<double>(stats.pending));
+    out->Set("batch_admitted", static_cast<double>(stats.admitted));
+    out->Set("batch_completed", static_cast<double>(stats.completed));
+    out->Set("batch_arena_heap_allocs",
+             static_cast<double>(stats.arena_heap_allocs));
   };
 }
 

@@ -1,6 +1,7 @@
 #ifndef RATATOUILLE_CORE_PIPELINE_H_
 #define RATATOUILLE_CORE_PIPELINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "models/language_model.h"
 #include "models/trainer.h"
 #include "serve/backend_service.h"
+#include "serve/batch_scheduler.h"
 #include "text/tokenizer.h"
 
 namespace rt {
@@ -104,6 +106,20 @@ class Pipeline {
       LanguageModel* model, const std::vector<std::string>& ingredients,
       const GenerationOptions& options);
 
+  /// The decode step of a generation: prompt token ids in, generated
+  /// result out (LanguageModel::Generate is the canonical shape).
+  using DecodeFn = std::function<GenerationResult(
+      const std::vector<int>&, const GenerationOptions&)>;
+
+  /// Like GenerateFromIngredientsWith, but decoding goes through an
+  /// arbitrary callback — e.g. serve::BatchScheduler::Generate — so the
+  /// batched serving path shares prompt preparation, stop-token
+  /// resolution and recipe parsing with the sequential one.
+  StatusOr<GeneratedRecipe> GenerateFromIngredientsVia(
+      const DecodeFn& decode,
+      const std::vector<std::string>& ingredients,
+      const GenerationOptions& options);
+
   /// Deep-copies the trained model for an additional generation session
   /// (serving concurrency). Fails for model kinds without Clone().
   StatusOr<std::unique_ptr<LanguageModel>> CloneModel();
@@ -169,6 +185,19 @@ GenerationOptions ToGenerationOptions(const GenerateRequest& request);
 BackendService::SessionFactory MakePipelineSessionFactory(
     Pipeline* pipeline,
     std::vector<std::unique_ptr<LanguageModel>>* session_models);
+
+/// Builds a session factory whose sessions all submit to one shared
+/// cross-session BatchScheduler over the pipeline's own model, so
+/// concurrent requests coalesce into batched decode steps instead of
+/// each owning a model clone. The scheduler must outlive the
+/// BackendService.
+BackendService::SessionFactory MakeBatchedPipelineSessionFactory(
+    Pipeline* pipeline, serve::BatchScheduler* scheduler);
+
+/// Installs a /v1/metrics extender on `options` that reports the
+/// scheduler's occupancy gauges (the batch_* fields of docs/api.md).
+void InstallBatchMetrics(serve::BatchScheduler* scheduler,
+                         BackendOptions* options);
 
 }  // namespace rt
 

@@ -1,0 +1,63 @@
+#ifndef RATATOUILLE_MODELS_BATCH_DECODE_H_
+#define RATATOUILLE_MODELS_BATCH_DECODE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace rt {
+
+/// Upper bound on rows per batched decode step. Keeps the per-step
+/// pointer/position arrays on the stack, so a step never heap-allocates
+/// regardless of batch size.
+inline constexpr int kMaxDecodeBatch = 64;
+
+/// One decoding sequence's pooled model state inside a BatchDecoder —
+/// per-layer KV-cache planes for the GPT-2 family, recurrent h/c rows
+/// for the LSTMs. Created at admission; destroying it returns the
+/// pooled cache slot to the decoder's arena.
+class BatchSequence {
+ public:
+  virtual ~BatchSequence() = default;
+
+  /// Model positions consumed so far (tokens fed through StepBatch).
+  virtual int len() const = 0;
+};
+
+/// Iteration-level batched decoding over one model instance: each
+/// StepBatch call advances every included sequence by exactly one
+/// token, so a scheduler can admit and evict sequences between
+/// iterations (continuous batching). Not thread-safe — the owning
+/// scheduler calls it from a single thread.
+class BatchDecoder {
+ public:
+  virtual ~BatchDecoder() = default;
+
+  /// A fresh zero-length sequence backed by a pooled cache slot.
+  virtual std::unique_ptr<BatchSequence> NewSequence() = 0;
+
+  /// Feeds tokens[i] — the next input token of seqs[i] — through one
+  /// batched model step and writes each row's next-token logits to
+  /// logits + i * vocab_size(). m must be in [1, kMaxDecodeBatch] and
+  /// every seqs[i] must come from this decoder with len() below
+  /// max_context() (when bounded). Row i is bitwise identical to the
+  /// sequential single-sequence step on the same state, for any m and
+  /// any mix of co-scheduled rows — the batch-invariance contract the
+  /// parity tests pin down.
+  virtual void StepBatch(int m, const int* tokens,
+                         BatchSequence* const* seqs, float* logits) = 0;
+
+  /// Vocabulary size (the width of one logits row).
+  virtual int vocab_size() const = 0;
+
+  /// Longest sequence a row can reach, 0 when unbounded (LSTMs).
+  virtual int max_context() const = 0;
+
+  /// Heap allocations charged to the pooled cache arena so far. Flat
+  /// across steady-state admit/evict churn once the pool covers the
+  /// peak concurrent sequence count.
+  virtual int64_t arena_heap_allocs() const = 0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_MODELS_BATCH_DECODE_H_

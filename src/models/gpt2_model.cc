@@ -1,10 +1,12 @@
 #include "models/gpt2_model.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <utility>
 
+#include "tensor/cache_arena.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -401,6 +403,107 @@ std::unique_ptr<LanguageModel> Gpt2Lm::Clone() {
   copy->use_kv_cache_ = use_kv_cache_;
   if (!CopyParameters(root_, copy->root_).ok()) return nullptr;
   return copy;
+}
+
+/// Batched decoder over one Gpt2Lm: each sequence's per-layer KV planes
+/// live in one pooled arena slot (layer-major, K plane then V plane,
+/// [max_seq_len, dim] each), so admission is a freelist pop and a step
+/// only gathers row pointers. The step mirrors StepWithCache exactly —
+/// same embedding sum, block sweep, final LayerNorm and weight-tied
+/// head — with the GEMMs batched m rows at a time.
+class Gpt2Lm::BatchDecoderImpl : public BatchDecoder {
+ public:
+  explicit BatchDecoderImpl(const Gpt2Lm* model)
+      : model_(model),
+        plane_(static_cast<size_t>(model->config_.max_seq_len) *
+               model->config_.dim),
+        arena_(static_cast<size_t>(2) * model->config_.num_layers *
+                   plane_,
+               /*slots_per_block=*/4) {}
+
+  std::unique_ptr<BatchSequence> NewSequence() override {
+    return std::make_unique<Sequence>(&arena_);
+  }
+
+  void StepBatch(int m, const int* tokens, BatchSequence* const* seqs,
+                 float* logits) override {
+    assert(m >= 1 && m <= kMaxDecodeBatch);
+    const Gpt2Config& config = model_->config_;
+    const int dim = config.dim;
+    ws_.Reset();
+
+    std::array<int, kMaxDecodeBatch> positions;
+    std::array<float*, kMaxDecodeBatch> slots;
+    for (int i = 0; i < m; ++i) {
+      auto* seq = static_cast<Sequence*>(seqs[i]);
+      assert(seq->len() < config.max_seq_len);
+      assert(tokens[i] >= 0 && tokens[i] < config.vocab_size);
+      positions[i] = seq->len();
+      slots[i] = seq->slot();
+    }
+
+    // Token + position embedding rows, summed like StepWithCache.
+    float* x = ws_.Alloc(static_cast<size_t>(m) * dim);
+    kernels::GatherRows(m, dim, model_->root_.tok.table()->value.data(),
+                        tokens, x);
+    kernels::GatherAddRows(m, dim,
+                           model_->root_.pos.table()->value.data(),
+                           positions.data(), x);
+
+    float* y = ws_.Alloc(static_cast<size_t>(m) * dim);
+    std::array<float*, kMaxDecodeBatch> k_rows;
+    std::array<float*, kMaxDecodeBatch> v_rows;
+    for (size_t l = 0; l < model_->root_.blocks.size(); ++l) {
+      for (int i = 0; i < m; ++i) {
+        k_rows[i] = slots[i] + 2 * plane_ * l;
+        v_rows[i] = k_rows[i] + plane_;
+      }
+      model_->root_.blocks[l]->StepRawBatched(
+          m, x, y, k_rows.data(), v_rows.data(), positions.data(),
+          config.max_seq_len, &ws_);
+      std::swap(x, y);
+    }
+    for (int i = 0; i < m; ++i) {
+      float* row = x + static_cast<size_t>(i) * dim;
+      model_->root_.ln_f.ForwardRawRow(row, row);
+    }
+    kernels::GemmPacked(m, x, model_->PackedTokTransposed(), logits,
+                        /*accumulate=*/false);
+    for (int i = 0; i < m; ++i) {
+      static_cast<Sequence*>(seqs[i])->Advance();
+    }
+  }
+
+  int vocab_size() const override { return model_->config_.vocab_size; }
+  int max_context() const override { return model_->config_.max_seq_len; }
+  int64_t arena_heap_allocs() const override {
+    return arena_.heap_allocs();
+  }
+
+ private:
+  class Sequence : public BatchSequence {
+   public:
+    explicit Sequence(CacheArena* arena)
+        : arena_(arena), slot_(arena->Acquire()) {}
+    ~Sequence() override { arena_->Release(slot_); }
+    int len() const override { return len_; }
+    float* slot() const { return slot_; }
+    void Advance() { ++len_; }
+
+   private:
+    CacheArena* arena_;
+    float* slot_;
+    int len_ = 0;
+  };
+
+  const Gpt2Lm* model_;
+  size_t plane_;  // floats per KV plane: max_seq_len * dim
+  CacheArena arena_;
+  Workspace ws_;
+};
+
+std::unique_ptr<BatchDecoder> Gpt2Lm::MakeBatchDecoder() {
+  return std::make_unique<BatchDecoderImpl>(this);
 }
 
 }  // namespace rt

@@ -57,6 +57,7 @@ class Gpt2Lm : public LanguageModel {
   GenerationResult Generate(const std::vector<int>& prompt,
                             const GenerationOptions& options) override;
   std::unique_ptr<LanguageModel> Clone() override;
+  std::unique_ptr<BatchDecoder> MakeBatchDecoder() override;
 
   /// Toggles the KV-cache fast path for GenerateIds (default on). The
   /// naive path re-encodes the whole sequence per new token.
@@ -118,6 +119,8 @@ class Gpt2Lm : public LanguageModel {
   const Tensor& StepWithCache(int token, KvCache* cache) const;
 
  private:
+  class BatchDecoderImpl;  // gpt2_model.cc; nested for weight access
+
   class Root : public Module {
    public:
     Root(const Gpt2Config& config, Rng* rng);

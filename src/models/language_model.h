@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "data/dataset.h"
+#include "models/batch_decode.h"
 #include "models/sampler.h"
 #include "nn/module.h"
 #include "nn/optimizer.h"
@@ -132,6 +133,15 @@ class LanguageModel {
   /// in parallel while each instance stays single-threaded. Returns
   /// nullptr when the model kind does not support cloning.
   virtual std::unique_ptr<LanguageModel> Clone() { return nullptr; }
+
+  /// An iteration-level batched decoder over this model's weights (the
+  /// model must outlive it), or nullptr when the model kind does not
+  /// support batched decoding. Each decoder carries its own pooled
+  /// cache arena and scratch; rows stepped through it are bitwise
+  /// identical to the sequential Generate path.
+  virtual std::unique_ptr<BatchDecoder> MakeBatchDecoder() {
+    return nullptr;
+  }
 
   /// Vocabulary size the model was built for.
   virtual int vocab_size() const = 0;

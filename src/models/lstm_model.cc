@@ -1,6 +1,11 @@
 #include "models/lstm_model.h"
 
+#include <array>
 #include <cassert>
+
+#include "tensor/cache_arena.h"
+#include "tensor/kernels.h"
+#include "tensor/workspace.h"
 
 namespace rt {
 
@@ -114,6 +119,78 @@ std::unique_ptr<LanguageModel> LstmLm::Clone() {
   auto copy = std::make_unique<LstmLm>(config_);
   if (!CopyParameters(root_, copy->root_).ok()) return nullptr;
   return copy;
+}
+
+/// Batched decoder over one LstmLm: each sequence's recurrent state
+/// (per layer h then c) lives in one pooled arena slot, zeroed at
+/// admission exactly like the fresh LstmDecodeState of the sequential
+/// path. A step gathers embeddings, runs the batched LSTM stack, and
+/// projects the top hidden block through the head — each row bitwise
+/// matching Generate's StepRaw + ForwardRawTo(1, ...) pair.
+class LstmLm::BatchDecoderImpl : public BatchDecoder {
+ public:
+  explicit BatchDecoderImpl(const LstmLm* model)
+      : model_(model),
+        arena_(model->root_.lstm.StateFloats(), /*slots_per_block=*/4) {}
+
+  std::unique_ptr<BatchSequence> NewSequence() override {
+    return std::make_unique<Sequence>(&arena_);
+  }
+
+  void StepBatch(int m, const int* tokens, BatchSequence* const* seqs,
+                 float* logits) override {
+    assert(m >= 1 && m <= kMaxDecodeBatch);
+    const int edim = model_->config_.embed_dim;
+    const int hdim = model_->root_.lstm.hidden_dim();
+    ws_.Reset();
+
+    std::array<float*, kMaxDecodeBatch> state_rows;
+    for (int i = 0; i < m; ++i) {
+      assert(tokens[i] >= 0 && tokens[i] < model_->config_.vocab_size);
+      state_rows[i] = static_cast<Sequence*>(seqs[i])->slot();
+    }
+    float* x = ws_.Alloc(static_cast<size_t>(m) * edim);
+    kernels::GatherRows(m, edim,
+                        model_->root_.embed.table()->value.data(), tokens,
+                        x);
+    float* h_top = ws_.Alloc(static_cast<size_t>(m) * hdim);
+    model_->root_.lstm.StepRawBatched(m, x, state_rows.data(), h_top,
+                                      &ws_);
+    model_->root_.head.ForwardRawTo(m, h_top, logits);
+    for (int i = 0; i < m; ++i) {
+      static_cast<Sequence*>(seqs[i])->Advance();
+    }
+  }
+
+  int vocab_size() const override { return model_->config_.vocab_size; }
+  int max_context() const override { return 0; }
+  int64_t arena_heap_allocs() const override {
+    return arena_.heap_allocs();
+  }
+
+ private:
+  class Sequence : public BatchSequence {
+   public:
+    explicit Sequence(CacheArena* arena)
+        : arena_(arena), slot_(arena->Acquire()) {}
+    ~Sequence() override { arena_->Release(slot_); }
+    int len() const override { return len_; }
+    float* slot() const { return slot_; }
+    void Advance() { ++len_; }
+
+   private:
+    CacheArena* arena_;
+    float* slot_;
+    int len_ = 0;
+  };
+
+  const LstmLm* model_;
+  CacheArena arena_;
+  Workspace ws_;
+};
+
+std::unique_ptr<BatchDecoder> LstmLm::MakeBatchDecoder() {
+  return std::make_unique<BatchDecoderImpl>(this);
 }
 
 }  // namespace rt

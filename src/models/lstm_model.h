@@ -39,10 +39,13 @@ class LstmLm : public LanguageModel {
   GenerationResult Generate(const std::vector<int>& prompt,
                             const GenerationOptions& options) override;
   std::unique_ptr<LanguageModel> Clone() override;
+  std::unique_ptr<BatchDecoder> MakeBatchDecoder() override;
 
   const LstmConfig& config() const { return config_; }
 
  private:
+  class BatchDecoderImpl;  // lstm_model.cc; nested for weight access
+
   /// Root module that owns the layers (so NamedParameters is stable).
   class Root : public Module {
    public:

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "tensor/ops.h"
@@ -154,6 +155,26 @@ void LstmLayer::StepRaw(const float* x, float* h, float* c,
   kernels::LstmCellRow(hidden_dim_, gates, h, c);
 }
 
+void LstmLayer::StepRawBatched(int m, const float* x, const float* h_in,
+                               float* const* state_rows, size_t h_offset,
+                               float* gates) const {
+  const kernels::PackedB& pwx = RefreshPacked(
+      &pack_mutex_, &packed_wx_, &packed_wx_version_, *wx_, input_dim_,
+      4 * hidden_dim_);
+  const kernels::PackedB& pwh = RefreshPacked(
+      &pack_mutex_, &packed_wh_, &packed_wh_version_, *wh_, hidden_dim_,
+      4 * hidden_dim_);
+  const int g4 = 4 * hidden_dim_;
+  kernels::GemmPacked(m, x, pwx, gates, false);
+  kernels::GemmPacked(m, h_in, pwh, gates, true);
+  for (int i = 0; i < m; ++i) {
+    float* g = gates + static_cast<size_t>(i) * g4;
+    kernels::AddBiasRow(g4, b_->value.data(), g);
+    float* h = state_rows[i] + h_offset;
+    kernels::LstmCellRow(hidden_dim_, g, h, h + hidden_dim_);
+  }
+}
+
 Lstm::Lstm(int input_dim, int hidden_dim, int num_layers, Rng* rng)
     : hidden_dim_(hidden_dim) {
   assert(num_layers >= 1);
@@ -202,6 +223,31 @@ const float* Lstm::StepRaw(const float* x, LstmDecodeState* state,
     inp = state->h[l].data();
   }
   return inp;
+}
+
+void Lstm::StepRawBatched(int m, const float* x, float* const* state_rows,
+                          float* h_top, Workspace* ws) const {
+  assert(m >= 1);
+  const int h = hidden_dim_;
+  const size_t row = static_cast<size_t>(h);
+  float* gates = ws->Alloc(static_cast<size_t>(m) * 4 * h);
+  float* h_in = ws->Alloc(static_cast<size_t>(m) * h);
+  const float* inp = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const size_t h_off = 2 * row * l;
+    // The recurrent GEMM needs the pre-step hidden rows contiguous;
+    // the cell update then overwrites them in their pooled slots.
+    for (int i = 0; i < m; ++i) {
+      std::memcpy(h_in + row * i, state_rows[i] + h_off,
+                  row * sizeof(float));
+    }
+    layers_[l]->StepRawBatched(m, inp, h_in, state_rows, h_off, gates);
+    for (int i = 0; i < m; ++i) {
+      std::memcpy(h_top + row * i, state_rows[i] + h_off,
+                  row * sizeof(float));
+    }
+    inp = h_top;
+  }
 }
 
 TransformerBlock::TransformerBlock(int dim, int num_heads, float dropout,
@@ -341,6 +387,67 @@ void TransformerBlock::StepRaw(const float* x, float* out, Tensor* k_cache,
   float* mlp = ws->Alloc(dim_);
   mlp_proj_.ForwardRawTo(1, fc, mlp);
   for (int j = 0; j < dim_; ++j) out[j] = y[j] + mlp[j];
+}
+
+void TransformerBlock::StepRawBatched(int m, const float* x, float* out,
+                                      float* const* k_rows,
+                                      float* const* v_rows,
+                                      const int* positions, int capacity,
+                                      Workspace* ws) const {
+  assert(m >= 1);
+  const int dh = dim_ / heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const size_t d = static_cast<size_t>(dim_);
+  const size_t md = static_cast<size_t>(m) * d;
+
+  float* normed = ws->Alloc(md);
+  for (int i = 0; i < m; ++i) {
+    ln1_.ForwardRawRow(x + d * i, normed + d * i);
+  }
+  float* qkv = ws->Alloc(3 * md);
+  qkv_.ForwardRawTo(m, normed, qkv);
+
+  // Each row's new key/value lands at that row's own cache position.
+  for (int i = 0; i < m; ++i) {
+    assert(positions[i] >= 0 && positions[i] < capacity);
+    const float* q = qkv + 3 * d * i;
+    float* krow = k_rows[i] + d * positions[i];
+    float* vrow = v_rows[i] + d * positions[i];
+    for (int j = 0; j < dim_; ++j) {
+      krow[j] = q[d + j];
+      vrow[j] = q[2 * d + j];
+    }
+  }
+
+  float* attn_out = ws->Alloc(md);
+  // One capacity-sized scores lane per (row, head) work item, so the
+  // arena high-water mark is independent of the ragged cache lengths.
+  float* scores =
+      ws->Alloc(static_cast<size_t>(m) * heads_ * capacity);
+  ParallelFor(m * heads_, [&](int idx) {
+    const int i = idx / heads_;
+    const int h = idx % heads_;
+    const int c0 = h * dh;
+    kernels::AttendRow(qkv + 3 * d * i + c0, k_rows[i] + c0, dim_,
+                       v_rows[i] + c0, dim_, positions[i] + 1, dh, scale,
+                       scores + static_cast<size_t>(idx) * capacity,
+                       attn_out + d * i + c0);
+  });
+
+  float* y = ws->Alloc(md);
+  attn_proj_.ForwardRawTo(m, attn_out, y);
+  for (size_t j = 0; j < md; ++j) y[j] = x[j] + y[j];
+
+  float* normed2 = ws->Alloc(md);
+  for (int i = 0; i < m; ++i) {
+    ln2_.ForwardRawRow(y + d * i, normed2 + d * i);
+  }
+  float* fc = ws->Alloc(4 * md);
+  mlp_fc_.ForwardRawTo(m, normed2, fc);
+  kernels::GeluRow(4 * dim_ * m, fc, fc);
+  float* mlp = ws->Alloc(md);
+  mlp_proj_.ForwardRawTo(m, fc, mlp);
+  for (size_t j = 0; j < md; ++j) out[j] = y[j] + mlp[j];
 }
 
 Tensor TransformerBlock::StepRaw(const Tensor& x_row, Tensor* k_cache,

@@ -124,6 +124,16 @@ class LstmLayer : public Module {
   /// `gates` is caller scratch of 4H floats. Uses packed-weight GEMVs.
   void StepRaw(const float* x, float* h, float* c, float* gates) const;
 
+  /// Batched timestep across m independent sequences: x is [m, in],
+  /// h_in the gathered [m, H] pre-step hidden block, and row i's state
+  /// lives at state_rows[i] + h_offset (h, then c, [H] each), updated
+  /// in place. `gates` is caller scratch of m*4H floats. Row i is
+  /// bitwise identical to StepRaw on the same inputs: the GEMMs share
+  /// the per-row accumulation contract and the cell update is per-row.
+  void StepRawBatched(int m, const float* x, const float* h_in,
+                      float* const* state_rows, size_t h_offset,
+                      float* gates) const;
+
   int input_dim() const { return input_dim_; }
   int hidden_dim() const { return hidden_dim_; }
 
@@ -159,6 +169,21 @@ class Lstm : public Module {
   const float* StepRaw(const float* x, LstmDecodeState* state,
                        Workspace* ws) const;
 
+  /// Batched single-token step across m independent sequences. x is
+  /// [m, input_dim]; state_rows[i] points at row i's pooled recurrent
+  /// state of StateFloats() floats laid out per layer as h then c
+  /// ([hidden_dim] each), zeroed at admission (CacheArena::Acquire
+  /// does). h_top receives the top layer's hidden block [m, H]. Row i
+  /// matches the single-sequence StepRaw bitwise.
+  void StepRawBatched(int m, const float* x, float* const* state_rows,
+                      float* h_top, Workspace* ws) const;
+
+  /// Floats one sequence's recurrent state occupies in StepRawBatched
+  /// row storage.
+  size_t StateFloats() const {
+    return static_cast<size_t>(2) * hidden_dim_ * layers_.size();
+  }
+
   int num_layers() const { return static_cast<int>(layers_.size()); }
   int hidden_dim() const { return hidden_dim_; }
 
@@ -193,6 +218,20 @@ class TransformerBlock : public Module {
   /// `ws`, so a warmed-up Workspace makes the step heap-allocation-free.
   void StepRaw(const float* x, float* out, Tensor* k_cache, Tensor* v_cache,
                int pos, Workspace* ws) const;
+
+  /// Batched incremental forward of one new position per row. x/out are
+  /// [m, dim] (out must not alias x); row i's key/value planes are
+  /// k_rows[i]/v_rows[i] ([capacity, dim] row-major each) with
+  /// positions[i] prior steps valid — rows attend over ragged lengths
+  /// independently, and the new key/value land at row positions[i].
+  /// Row i's output is bitwise identical to the single-row StepRaw on
+  /// the same cache: the QKV/proj/MLP GEMMs batch m rows under the
+  /// kernel layer's per-row accumulation contract while LayerNorm,
+  /// attention and GELU run per row.
+  void StepRawBatched(int m, const float* x, float* out,
+                      float* const* k_rows, float* const* v_rows,
+                      const int* positions, int capacity,
+                      Workspace* ws) const;
 
   int dim() const { return dim_; }
   int num_heads() const { return heads_; }

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <thread>
 
+#include "models/batch_decode.h"
 #include "tensor/thread_pool.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
@@ -256,6 +257,13 @@ BackendOptions NormalizeOptions(BackendOptions options) {
   for (auto& [model, budget_ms] : options.model_timeout_ms) {
     budget_ms = std::clamp(budget_ms, 1, options.max_timeout_ms);
   }
+  options.max_batch = std::clamp(options.max_batch, 1, kMaxDecodeBatch);
+  if (options.max_batch > 1 &&
+      options.model_sessions < options.max_batch) {
+    // A batch can only fill if at least that many requests can hold a
+    // session concurrently.
+    options.model_sessions = options.max_batch;
+  }
   if (options.http.queue_deadline_ms <= 0) {
     // Connections that out-waited the maximum possible budget in the
     // accept queue are dead on arrival; let the HTTP layer shed them.
@@ -290,10 +298,13 @@ BackendService::BackendService(const SessionFactory& factory,
                                BackendOptions options)
     : options_(NormalizeOptions(std::move(options))),
       server_(options_.http),
-      breaker_(options_.breaker),
       drain_cancel_(std::make_shared<CancelToken>()) {
   if (options_.compute_threads > 0) {
     ThreadPool::SetGlobalThreads(options_.compute_threads);
+  }
+  for (const std::string& model : options_.models) {
+    breakers_.emplace(model,
+                      std::make_unique<ModelBreaker>(options_.breaker));
   }
   sessions_.reserve(static_cast<size_t>(options_.model_sessions));
   for (int i = 0; i < options_.model_sessions; ++i) {
@@ -336,6 +347,13 @@ void BackendService::RegisterRoutes() {
                       [this, deprecate](const HttpRequest& req) {
                         return deprecate(HandleGenerate(req));
                       });
+}
+
+BackendService::ModelBreaker& BackendService::BreakerFor(
+    const std::string& model) const {
+  // The map is immutable after construction and `model` has already
+  // been validated against options_.models, so at() cannot throw.
+  return *breakers_.at(model);
 }
 
 int BackendService::AcquireSession(const Deadline& deadline) {
@@ -402,12 +420,18 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
       Deadline::At(admitted + std::chrono::milliseconds(budget_ms));
   req.cancel = drain_cancel_;
 
+  // Breaker scope is the resolved model: a timeout storm on one model
+  // opens only that model's breaker, and requests for healthy models
+  // keep flowing.
+  ModelBreaker& model_breaker = BreakerFor(req.model);
+
   const auto deadline_response = [&](long long tokens_generated) {
     generate_deadline_exceeded_.fetch_add(1);
     // Retry-After mirrors the 503 circuit_open hint: the breaker's
     // remaining cooldown when it has already tripped, else an estimate
     // of when capacity returns from the observed mean latency.
-    const int breaker_wait_ms = breaker_.cooldown_remaining_ms();
+    const int breaker_wait_ms =
+        model_breaker.breaker.cooldown_remaining_ms();
     const int retry_s =
         breaker_wait_ms > 0
             ? std::max(1, (breaker_wait_ms + 999) / 1000)
@@ -429,12 +453,14 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
 
   // Fast-fail while the breaker is open: answering 503 in microseconds
   // beats burning a model session on a request that will time out.
-  const CircuitBreaker::Ticket ticket = breaker_.Allow();
+  const CircuitBreaker::Ticket ticket = model_breaker.breaker.Allow();
   if (ticket == 0) {
     breaker_rejected_.fetch_add(1);
+    model_breaker.rejected.fetch_add(1);
     HttpResponse resp = JsonError(
         503, "circuit_open",
-        "generation circuit breaker is open (recent requests timed out)",
+        "circuit breaker for model '" + req.model +
+            "' is open (recent requests timed out)",
         request.request_id);
     const int retry_s =
         std::max(1, (options_.breaker.cooldown_ms + 999) / 1000);
@@ -445,7 +471,7 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   // about generation health (pre-session shed, internal error,
   // cancellation) fall through to the guard's abandoned report, so a
   // half-open probe can never wedge the breaker.
-  CircuitBreaker::Outcome breaker_outcome(breaker_, ticket);
+  CircuitBreaker::Outcome breaker_outcome(model_breaker.breaker, ticket);
 
   // A request whose budget is already spent (queue wait, slow read) is
   // shed before it touches a session. Not a breaker outcome: the model
@@ -530,7 +556,21 @@ HttpResponse BackendService::HandleMetrics() const {
           static_cast<double>(server_.requests_shed()));
   out.Set("breaker_rejected",
           static_cast<double>(breaker_rejected_.load()));
-  out.Set("breaker_state", std::string(breaker_.state_name()));
+  // Top-level breaker_state tracks the default model (back-compat for
+  // single-model deployments); per-model detail lives under `breakers`.
+  out.Set("breaker_state",
+          std::string(BreakerFor(options_.models.front())
+                          .breaker.state_name()));
+  Json breakers{Json::Object{}};
+  for (const auto& [model, state] : breakers_) {
+    Json entry{Json::Object{}};
+    entry.Set("state", std::string(state->breaker.state_name()));
+    entry.Set("rejected", static_cast<double>(state->rejected.load()));
+    breakers.Set(model, std::move(entry));
+  }
+  out.Set("breakers", std::move(breakers));
+  out.Set("max_batch", static_cast<double>(options_.max_batch));
+  if (options_.batch_metrics) options_.batch_metrics(&out);
   out.Set("model_sessions", static_cast<double>(sessions_.size()));
   out.Set("model_sessions_in_use",
           static_cast<double>(sessions_in_use_.load()));

@@ -126,11 +126,25 @@ struct BackendOptions {
   int max_timeout_ms = 120000;
   /// Circuit breaker over generation timeouts: when enough recent
   /// requests blow their deadline the service fast-fails 503 +
-  /// Retry-After instead of queueing more doomed work.
+  /// Retry-After instead of queueing more doomed work. Each advertised
+  /// model gets its own breaker built from these options, so one
+  /// model's timeout storm never fast-fails the others.
   CircuitBreakerOptions breaker;
   /// Intra-op compute threads for the shared kernel pool, applied
   /// process-wide at construction (0 = leave the current setting).
   int compute_threads = 0;
+  /// Rows the cross-session batch scheduler may coalesce into one model
+  /// step (1 = sequential per-session decoding). Clamped into
+  /// [1, kMaxDecodeBatch]; when > 1, `model_sessions` is raised to at
+  /// least this value so enough concurrent requests exist to fill a
+  /// batch. The service itself only normalizes and reports the knob —
+  /// the session factory (MakeBatchedPipelineSessionFactory) owns the
+  /// scheduler.
+  int max_batch = 1;
+  /// Optional /v1/metrics extender invoked with the response object;
+  /// the batched session wiring installs one that reports scheduler
+  /// occupancy (the batch_* gauges).
+  std::function<void(Json*)> batch_metrics;
 };
 
 /// The generation backend microservice (the Flask-model container of
@@ -175,6 +189,7 @@ class BackendService {
   int model_sessions() const {
     return static_cast<int>(sessions_.size());
   }
+  int max_batch() const { return options_.max_batch; }
   const HttpServer& server() const { return server_; }
 
  private:
@@ -188,10 +203,24 @@ class BackendService {
   int AcquireSession(const Deadline& deadline);
   void ReleaseSession(int index);
 
+  /// One model's breaker plus its rejection count, so /v1/metrics can
+  /// report fast-fail pressure per model as well as in aggregate.
+  struct ModelBreaker {
+    explicit ModelBreaker(const CircuitBreakerOptions& options)
+        : breaker(options) {}
+    CircuitBreaker breaker;
+    std::atomic<long long> rejected{0};
+  };
+
+  /// The breaker for `model` (must be an advertised model name).
+  ModelBreaker& BreakerFor(const std::string& model) const;
+
   BackendOptions options_;
   std::vector<GenerateFn> sessions_;
   HttpServer server_;
-  CircuitBreaker breaker_;
+  /// Keyed by advertised model name; built once at construction, so
+  /// concurrent handlers read the map without locking.
+  std::map<std::string, std::unique_ptr<ModelBreaker>> breakers_;
   /// Fired by Stop() before the HTTP drain so in-flight generations
   /// abort at the next token instead of running to completion.
   std::shared_ptr<CancelToken> drain_cancel_;

@@ -1,0 +1,259 @@
+#include "serve/batch_scheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <utility>
+
+#include "models/sampler.h"
+
+namespace rt::serve {
+
+/// One in-flight Generate() call. Crosses the mutex exactly once on the
+/// way in (pending_) and is thread-confined to the scheduler thread
+/// afterwards; the promise carries the result back to the caller.
+struct BatchScheduler::Request {
+  std::vector<int> prompt;
+  GenerationOptions options;
+  Rng rng{0};
+  /// Pooled model state; null until first scheduled (lazy so an
+  /// aborted-before-start request never touches the cache arena).
+  std::unique_ptr<BatchSequence> seq;
+  GenerationResult result;
+  /// Next prompt index to feed; decode phase begins when the prompt is
+  /// exhausted (or the context fills mid-prompt, like the sequential
+  /// path's prompt-loop break).
+  size_t feed_idx = 0;
+  int next_token = 0;
+  bool prompt_done = false;
+  /// Beam search / unsupported models run model_->Generate inline.
+  bool inline_generate = false;
+  bool done = false;
+  std::promise<GenerationResult> promise;
+};
+
+BatchScheduler::BatchScheduler(LanguageModel* model,
+                               BatchSchedulerOptions options)
+    : model_(model),
+      decoder_(model->MakeBatchDecoder()),
+      max_batch_(std::clamp(options.max_batch, 1, kMaxDecodeBatch)) {
+  if (decoder_ != nullptr) {
+    logits_.resize(static_cast<size_t>(max_batch_) *
+                   decoder_->vocab_size());
+  }
+  thread_ = std::thread([this] { SchedulerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() { Stop(); }
+
+GenerationResult BatchScheduler::Generate(
+    const std::vector<int>& prompt, const GenerationOptions& options) {
+  assert(!prompt.empty());
+  auto request = std::make_unique<Request>();
+  request->prompt = prompt;
+  request->options = options;
+  request->rng = Rng(options.seed);
+  request->inline_generate =
+      options.beam_width > 0 || decoder_ == nullptr;
+  std::future<GenerationResult> future = request->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      GenerationResult cancelled;
+      cancelled.finish = FinishReason::kCancelled;
+      return cancelled;
+    }
+    pending_.push_back(std::move(request));
+  }
+  cv_.notify_all();
+  return future.get();
+}
+
+void BatchScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+BatchSchedulerStats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BatchSchedulerStats stats;
+  stats.steps = steps_;
+  stats.row_steps = row_steps_;
+  stats.admitted = admitted_;
+  stats.completed = completed_;
+  stats.peak_occupancy = peak_occupancy_;
+  stats.active = active_count_;
+  stats.pending = static_cast<int>(pending_.size());
+  stats.arena_heap_allocs =
+      decoder_ != nullptr ? decoder_->arena_heap_allocs() : 0;
+  return stats;
+}
+
+void BatchScheduler::SchedulerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return stop_ || !pending_.empty() || !active_.empty();
+      });
+      if (stop_) break;
+      AdmitLocked();
+    }
+    StepOnce();
+  }
+  // Drain: every resident and queued sequence aborts with kCancelled,
+  // keeping whatever partial ids it had (the PR-2 shutdown contract).
+  std::vector<std::unique_ptr<Request>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& request : active_) orphans.push_back(std::move(request));
+    active_.clear();
+    active_count_ = 0;
+    while (!pending_.empty()) {
+      orphans.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+  for (auto& request : orphans) {
+    request->seq.reset();
+    request->result.finish = FinishReason::kCancelled;
+    request->promise.set_value(std::move(request->result));
+  }
+}
+
+void BatchScheduler::AdmitLocked() {
+  while (!pending_.empty() &&
+         static_cast<int>(active_.size()) < max_batch_) {
+    active_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    ++admitted_;
+    ++active_count_;
+  }
+}
+
+bool BatchScheduler::StepOnce() {
+  // Inline requests (beam search, or a model without a BatchDecoder)
+  // run the sequential path to completion on this thread; Generate
+  // itself honors deadline/cancellation.
+  for (size_t i = 0; i < active_.size();) {
+    if (!active_[i]->inline_generate) {
+      ++i;
+      continue;
+    }
+    std::unique_ptr<Request> request = std::move(active_[i]);
+    active_.erase(active_.begin() +
+                  static_cast<std::ptrdiff_t>(i));
+    GenerationResult result =
+        model_->Generate(request->prompt, request->options);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+      --active_count_;
+    }
+    request->promise.set_value(std::move(result));
+  }
+  if (active_.empty() || decoder_ == nullptr) return false;
+
+  const int vocab = decoder_->vocab_size();
+  const int max_ctx = decoder_->max_context();
+  std::array<int, kMaxDecodeBatch> tokens;
+  std::array<BatchSequence*, kMaxDecodeBatch> rows;
+  std::array<Request*, kMaxDecodeBatch> members;
+  int m = 0;
+  for (auto& slot : active_) {
+    Request* request = slot.get();
+    // Token-granularity abort check, before any model work — an
+    // already-expired request finishes with zero tokens.
+    if (auto abort = CheckAbort(request->options)) {
+      request->done = true;
+      request->result.finish = *abort;
+      continue;
+    }
+    if (request->options.max_new_tokens <= 0) {
+      request->done = true;
+      request->result.finish = FinishReason::kMaxTokens;
+      continue;
+    }
+    if (request->seq == nullptr) {
+      request->seq = decoder_->NewSequence();
+      request->next_token = request->prompt[0];
+      request->result.ids.reserve(request->options.max_new_tokens);
+    }
+    tokens[m] = request->next_token;
+    rows[m] = request->seq.get();
+    members[m] = request;
+    ++m;
+  }
+
+  if (m > 0) {
+    decoder_->StepBatch(m, tokens.data(), rows.data(), logits_.data());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++steps_;
+      row_steps_ += m;
+      peak_occupancy_ = std::max(peak_occupancy_, m);
+    }
+    for (int i = 0; i < m; ++i) {
+      Request* request = members[i];
+      const float* row = logits_.data() + static_cast<size_t>(i) * vocab;
+      bool sample_now = request->prompt_done;
+      if (!request->prompt_done) {
+        ++request->feed_idx;
+        if (request->feed_idx >= request->prompt.size() ||
+            (max_ctx > 0 && request->seq->len() >= max_ctx)) {
+          // Prompt exhausted — or the context filled mid-prompt, which
+          // the sequential path handles by breaking out of the prompt
+          // loop and decoding from the last fed token's logits.
+          request->prompt_done = true;
+          sample_now = true;
+        } else {
+          request->next_token = request->prompt[request->feed_idx];
+        }
+      }
+      if (!sample_now) continue;
+      const int next = SampleFromLogits(
+          row, vocab, request->options.sampling, &request->rng);
+      request->result.ids.push_back(next);
+      // Same precedence as the sequential decode loop: stop token,
+      // then context exhaustion, then the token budget.
+      if (next == request->options.stop_token) {
+        request->done = true;
+        request->result.finish = FinishReason::kStopToken;
+      } else if (max_ctx > 0 && request->seq->len() >= max_ctx) {
+        request->done = true;
+        request->result.finish = FinishReason::kContextFull;
+      } else if (static_cast<int>(request->result.ids.size()) >=
+                 request->options.max_new_tokens) {
+        request->done = true;
+        request->result.finish = FinishReason::kMaxTokens;
+      } else {
+        request->next_token = next;
+      }
+    }
+  }
+
+  // Evict finished rows individually; their slots admit queued
+  // requests on the next iteration.
+  for (size_t i = 0; i < active_.size();) {
+    if (!active_[i]->done) {
+      ++i;
+      continue;
+    }
+    std::unique_ptr<Request> request = std::move(active_[i]);
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    request->seq.reset();  // return the pooled cache slot
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+      --active_count_;
+    }
+    request->promise.set_value(std::move(request->result));
+  }
+  return m > 0;
+}
+
+}  // namespace rt::serve

@@ -1,0 +1,125 @@
+#ifndef RATATOUILLE_SERVE_BATCH_SCHEDULER_H_
+#define RATATOUILLE_SERVE_BATCH_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "models/language_model.h"
+#include "util/rng.h"
+
+namespace rt::serve {
+
+/// Tuning knobs for the cross-session batched decode engine.
+struct BatchSchedulerOptions {
+  /// Rows coalesced into one batched model step. Clamped into
+  /// [1, kMaxDecodeBatch]; also bounds resident sequences, so the
+  /// pooled cache arena tops out at this many slots.
+  int max_batch = 4;
+};
+
+/// Aggregate scheduler counters, surfaced at /v1/metrics.
+struct BatchSchedulerStats {
+  /// Batched model steps executed.
+  long long steps = 0;
+  /// Total row-steps (the sum of batch sizes over all steps); one
+  /// row-step feeds one token of one sequence.
+  long long row_steps = 0;
+  /// Sequences admitted into / retired from the decode batch.
+  long long admitted = 0;
+  long long completed = 0;
+  /// Largest batch coalesced so far.
+  int peak_occupancy = 0;
+  /// Sequences currently resident / queued for admission.
+  int active = 0;
+  int pending = 0;
+  /// Heap allocations charged to the decoder's pooled cache arena.
+  long long arena_heap_allocs = 0;
+
+  /// Mean rows per step — the batch-occupancy gauge.
+  double mean_occupancy() const {
+    return steps > 0 ? static_cast<double>(row_steps) / steps : 0.0;
+  }
+};
+
+/// Cross-session continuous-batching decode engine: a single scheduler
+/// thread coalesces the runnable sequences of concurrent Generate()
+/// calls into one batched forward per iteration (one token per row),
+/// admitting queued requests the moment a slot frees and evicting each
+/// row individually on stop-token / max-tokens / context-full /
+/// deadline / cancellation — the same per-request FinishReason
+/// semantics as LanguageModel::Generate, with bitwise-identical tokens
+/// at every batch size (sampling stays per-row on a per-request Rng).
+///
+/// Beam-search requests (options.beam_width > 0) and models without a
+/// BatchDecoder run inline on the scheduler thread via the sequential
+/// Generate path, so callers never need to special-case them.
+///
+/// Thread-safe: any number of threads may call Generate concurrently.
+/// The scheduler borrows `model`; the caller keeps it alive.
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(LanguageModel* model,
+                          BatchSchedulerOptions options = {});
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Decodes `prompt` with per-request options, blocking until the
+  /// sequence finishes or aborts. Mirrors LanguageModel::Generate
+  /// exactly, including partial results on deadline/cancellation.
+  /// After Stop(), returns immediately with FinishReason::kCancelled.
+  GenerationResult Generate(const std::vector<int>& prompt,
+                            const GenerationOptions& options);
+
+  /// Evicts every resident and queued sequence with kCancelled and
+  /// joins the scheduler thread. Idempotent; the destructor calls it.
+  void Stop();
+
+  BatchSchedulerStats stats() const;
+  int max_batch() const { return max_batch_; }
+
+ private:
+  struct Request;
+
+  void SchedulerLoop();
+  /// Moves queued requests into the resident set while slots remain.
+  void AdmitLocked();
+  /// Runs one batched iteration over the resident set. Returns false
+  /// when there was nothing to do.
+  bool StepOnce();
+
+  LanguageModel* model_;
+  std::unique_ptr<BatchDecoder> decoder_;  // null: inline fallback only
+  int max_batch_;
+  /// Step scratch: [max_batch, vocab] logits block.
+  std::vector<float> logits_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::deque<std::unique_ptr<Request>> pending_;
+  /// Owned by the scheduler thread outside admission (which runs under
+  /// mutex_ on the scheduler thread only).
+  std::vector<std::unique_ptr<Request>> active_;
+
+  // Counters; guarded by mutex_. active_count_ shadows active_.size()
+  // so stats() never touches the scheduler-thread-confined vector.
+  long long steps_ = 0;
+  long long row_steps_ = 0;
+  long long admitted_ = 0;
+  long long completed_ = 0;
+  int peak_occupancy_ = 0;
+  int active_count_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace rt::serve
+
+#endif  // RATATOUILLE_SERVE_BATCH_SCHEDULER_H_

@@ -1,0 +1,63 @@
+#include "tensor/cache_arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace rt {
+
+CacheArena::CacheArena(size_t slot_floats, int slots_per_block)
+    : slot_floats_(std::max<size_t>(slot_floats, 1)),
+      slots_per_block_(std::max(slots_per_block, 1)) {}
+
+float* CacheArena::Acquire() {
+  float* slot = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) {
+      Block block;
+      block.slots = slots_per_block_;
+      block.data = std::make_unique<float[]>(
+          slot_floats_ * static_cast<size_t>(block.slots));
+      ++heap_allocs_;
+      for (int s = 0; s < block.slots; ++s) {
+        free_.push_back(block.data.get() + slot_floats_ * s);
+      }
+      blocks_.push_back(std::move(block));
+    }
+    slot = free_.back();
+    free_.pop_back();
+    ++in_use_;
+  }
+  // Zero outside the lock: recurrent decode state must start at zeros,
+  // and a recycled slot still holds the previous sequence's cache.
+  std::memset(slot, 0, slot_floats_ * sizeof(float));
+  return slot;
+}
+
+void CacheArena::Release(float* slot) {
+  if (slot == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(in_use_ > 0);
+  free_.push_back(slot);
+  --in_use_;
+}
+
+int CacheArena::slots_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+int CacheArena::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int total = 0;
+  for (const Block& block : blocks_) total += block.slots;
+  return total;
+}
+
+int64_t CacheArena::heap_allocs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_allocs_;
+}
+
+}  // namespace rt

@@ -1,0 +1,68 @@
+#ifndef RATATOUILLE_TENSOR_CACHE_ARENA_H_
+#define RATATOUILLE_TENSOR_CACHE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rt {
+
+/// Pooled storage for per-sequence decode caches (KV planes, recurrent
+/// hidden state). A slot is a fixed-size float span carved out of
+/// larger blocks; Acquire() pops the free list (growing by one block
+/// when empty) and zero-fills the slot, Release() recycles it.
+///
+/// Continuous-batching schedulers admit and retire sequences at token
+/// granularity, so cache storage churns constantly. The arena makes
+/// that churn allocation-free in the steady state: once the pool has
+/// grown to the peak concurrent batch, admissions reuse released slots
+/// and heap_allocs() stays flat — the same zero-allocs-per-token
+/// discipline Workspace gives the step scratch.
+///
+/// Thread-safe: sequences are released from whichever thread retires
+/// them while the scheduler thread acquires new ones.
+class CacheArena {
+ public:
+  /// `slot_floats` is the per-sequence cache size; `slots_per_block`
+  /// tunes how many slots one heap allocation provides.
+  explicit CacheArena(size_t slot_floats, int slots_per_block = 4);
+
+  CacheArena(const CacheArena&) = delete;
+  CacheArena& operator=(const CacheArena&) = delete;
+
+  /// Returns a zero-filled span of slot_floats() floats, valid until
+  /// Release(). Never fails (grows the pool as needed).
+  float* Acquire();
+
+  /// Returns a slot obtained from Acquire() to the free list. Passing
+  /// nullptr is a no-op.
+  void Release(float* slot);
+
+  size_t slot_floats() const { return slot_floats_; }
+  int slots_in_use() const;
+  /// Total slots ever carved (in use + free).
+  int capacity() const;
+  /// Heap allocations performed so far; flat once the pool covers the
+  /// peak batch size.
+  int64_t heap_allocs() const;
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    int slots = 0;
+  };
+
+  size_t slot_floats_;
+  int slots_per_block_;
+  mutable std::mutex mutex_;
+  std::vector<Block> blocks_;
+  std::vector<float*> free_;
+  int in_use_ = 0;
+  int64_t heap_allocs_ = 0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TENSOR_CACHE_ARENA_H_

@@ -401,4 +401,38 @@ void LstmCellRow(int hidden_dim, const float* gates, float* h, float* c) {
   }
 }
 
+void GatherRows(int m, int d, const float* table, const int* ids,
+                float* out) {
+  for (int i = 0; i < m; ++i) {
+    const float* src = table + static_cast<size_t>(ids[i]) * d;
+    float* dst = out + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) dst[j] = src[j];
+  }
+}
+
+void GatherAddRows(int m, int d, const float* table, const int* ids,
+                   float* out) {
+  for (int i = 0; i < m; ++i) {
+    const float* src = table + static_cast<size_t>(ids[i]) * d;
+    float* dst = out + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+void GatherRowPtrs(int m, int d, const float* const* src_rows, float* out) {
+  for (int i = 0; i < m; ++i) {
+    const float* src = src_rows[i];
+    float* dst = out + static_cast<size_t>(i) * d;
+    for (int j = 0; j < d; ++j) dst[j] = src[j];
+  }
+}
+
+void ScatterRowPtrs(int m, int d, const float* src, float* const* dst_rows) {
+  for (int i = 0; i < m; ++i) {
+    const float* s = src + static_cast<size_t>(i) * d;
+    float* dst = dst_rows[i];
+    for (int j = 0; j < d; ++j) dst[j] = s[j];
+  }
+}
+
 }  // namespace rt::kernels

@@ -130,6 +130,27 @@ void AttendRow(const float* q, const float* keys, std::ptrdiff_t key_stride,
 /// order: c and h ([H] each) are updated in place.
 void LstmCellRow(int hidden_dim, const float* gates, float* h, float* c);
 
+// ---------------------------------------------------------------------------
+// Batched gather/scatter helpers for the continuous-batching decode
+// path: per-row activations move between a shared [m, d] block (where
+// the blocked m>1 GEMMs run) and per-sequence cache storage.
+// ---------------------------------------------------------------------------
+
+/// out[i] = table[ids[i]] for m rows of d floats (embedding gather).
+void GatherRows(int m, int d, const float* table, const int* ids,
+                float* out);
+
+/// out[i] += table[ids[i]] (e.g. the position-embedding add on top of a
+/// token-embedding gather).
+void GatherAddRows(int m, int d, const float* table, const int* ids,
+                   float* out);
+
+/// Copies src_rows[i] ([d] floats each) into row i of out [m, d].
+void GatherRowPtrs(int m, int d, const float* const* src_rows, float* out);
+
+/// Scatters row i of src [m, d] to dst_rows[i] (KV-cache writeback).
+void ScatterRowPtrs(int m, int d, const float* src, float* const* dst_rows);
+
 }  // namespace rt::kernels
 
 #endif  // RATATOUILLE_TENSOR_KERNELS_H_

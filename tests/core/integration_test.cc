@@ -82,6 +82,52 @@ TEST(IntegrationTest, PipelineBehindWebStack) {
   backend.Stop();
 }
 
+TEST(IntegrationTest, BatchedSchedulerBehindWebStackMatchesSequential) {
+  auto pipeline = Pipeline::Create(SmallOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Train().ok());
+  Pipeline& p = **pipeline;
+
+  // Sessions share one batch scheduler over the pipeline's model
+  // (--max-batch serving mode) instead of per-session clones.
+  BackendOptions options;
+  options.max_batch = 2;
+  serve::BatchSchedulerOptions sched_options;
+  sched_options.max_batch = options.max_batch;
+  serve::BatchScheduler scheduler(p.model(), sched_options);
+  InstallBatchMetrics(&scheduler, &options);
+  BackendService backend(
+      MakeBatchedPipelineSessionFactory(&p, &scheduler), options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["tomato","onion"],)"
+                       R"("max_tokens":60,"seed":4})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+
+  // Batched serving is bitwise-faithful to the sequential pipeline path.
+  GenerationOptions gen;
+  gen.max_new_tokens = 60;
+  gen.seed = 4;
+  auto direct = p.GenerateFromIngredients({"tomato", "onion"}, gen);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(doc->Get("recipe") == RecipeToJson(direct->recipe));
+
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto mdoc = Json::Parse(metrics->body);
+  ASSERT_TRUE(mdoc.ok());
+  EXPECT_EQ(mdoc->Get("max_batch").AsNumber(), 2.0);
+  EXPECT_GE(mdoc->Get("batch_completed").AsNumber(), 1.0);
+  EXPECT_GE(mdoc->Get("batch_steps").AsNumber(), 1.0);
+
+  backend.Stop();
+  scheduler.Stop();
+}
+
 TEST(IntegrationTest, GeneratedRecipesRoundTripThroughParser) {
   // Model output (tagged text) -> Recipe -> tagged text must be stable
   // for well-formed generations: parse(serialize(parse(x))) == parse(x).

@@ -1,0 +1,219 @@
+#include "serve/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/gpt2_model.h"
+#include "models/lstm_model.h"
+
+namespace rt {
+namespace {
+
+Gpt2Config SchedulerGpt2() {
+  Gpt2Config config;
+  config.vocab_size = 53;
+  config.dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.max_seq_len = 64;
+  config.init_seed = 11;
+  return config;
+}
+
+/// Distinct per-request decoding options so co-scheduled rows exercise
+/// different sampling setups inside one batch.
+GenerationOptions RequestOptions(int i) {
+  GenerationOptions options;
+  switch (i % 3) {
+    case 0:
+      options.sampling.greedy = true;
+      break;
+    case 1:
+      options.sampling.temperature = 0.8f;
+      options.sampling.top_p = 0.9f;
+      break;
+    default:
+      options.sampling.temperature = 1.1f;
+      options.sampling.top_k = 12;
+      break;
+  }
+  options.max_new_tokens = 10 + (i % 4);
+  options.seed = 1000 + static_cast<uint64_t>(i) * 77;
+  return options;
+}
+
+std::vector<int> RequestPrompt(int i) {
+  return {1 + (i % 5), 7, 2 + (i % 11)};
+}
+
+/// Runs `n` concurrent Generate calls through the scheduler and checks
+/// every result token-for-token and reason-for-reason against the
+/// sequential LanguageModel::Generate path.
+void ExpectParity(LanguageModel* model, serve::BatchScheduler* scheduler,
+                  int n) {
+  std::vector<std::future<GenerationResult>> results;
+  for (int i = 0; i < n; ++i) {
+    results.push_back(std::async(std::launch::async, [=] {
+      return scheduler->Generate(RequestPrompt(i), RequestOptions(i));
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    GenerationResult batched = results[i].get();
+    GenerationResult reference =
+        model->Generate(RequestPrompt(i), RequestOptions(i));
+    EXPECT_EQ(batched.ids, reference.ids) << "request " << i;
+    EXPECT_EQ(batched.finish, reference.finish) << "request " << i;
+  }
+}
+
+TEST(BatchSchedulerTest, Gpt2ParityAcrossBatchSizes) {
+  Gpt2Lm model(SchedulerGpt2());
+  for (int max_batch : {1, 2, 4, 8}) {
+    serve::BatchSchedulerOptions options;
+    options.max_batch = max_batch;
+    serve::BatchScheduler scheduler(&model, options);
+    ExpectParity(&model, &scheduler, 8);
+    scheduler.Stop();
+  }
+}
+
+TEST(BatchSchedulerTest, LstmParityAcrossBatchSizes) {
+  LstmConfig config;
+  config.vocab_size = 53;
+  config.embed_dim = 16;
+  config.hidden_dim = 24;
+  config.num_layers = 2;
+  config.init_seed = 11;
+  LstmLm model(config);
+  for (int max_batch : {2, 4}) {
+    serve::BatchSchedulerOptions options;
+    options.max_batch = max_batch;
+    serve::BatchScheduler scheduler(&model, options);
+    ExpectParity(&model, &scheduler, 6);
+    scheduler.Stop();
+  }
+}
+
+TEST(BatchSchedulerTest, BeamRequestsRunInlineWithParity) {
+  Gpt2Lm model(SchedulerGpt2());
+  serve::BatchSchedulerOptions sched_options;
+  sched_options.max_batch = 4;
+  serve::BatchScheduler scheduler(&model, sched_options);
+
+  GenerationOptions beam;
+  beam.beam_width = 2;
+  beam.max_new_tokens = 8;
+  std::vector<int> prompt = {3, 1, 4};
+  // A beam request co-scheduled with sampled ones: everyone keeps the
+  // sequential path's exact output.
+  auto beam_future = std::async(std::launch::async, [&] {
+    return scheduler.Generate(prompt, beam);
+  });
+  ExpectParity(&model, &scheduler, 3);
+  GenerationResult batched = beam_future.get();
+  GenerationResult reference = model.Generate(prompt, beam);
+  EXPECT_EQ(batched.ids, reference.ids);
+  EXPECT_EQ(batched.finish, reference.finish);
+}
+
+TEST(BatchSchedulerTest, ExpiredRowEvictsMidBatchWithoutDisturbingOthers) {
+  Gpt2Lm model(SchedulerGpt2());
+  serve::BatchSchedulerOptions options;
+  options.max_batch = 4;
+  serve::BatchScheduler scheduler(&model, options);
+
+  // One row joins with an already-expired deadline; it must finish as
+  // deadline_exceeded with no tokens while its batchmates decode to
+  // completion bitwise-unchanged.
+  GenerationOptions doomed = RequestOptions(0);
+  doomed.deadline = Deadline::AfterMillis(-1);
+  auto doomed_future = std::async(std::launch::async, [&] {
+    return scheduler.Generate(RequestPrompt(0), doomed);
+  });
+  ExpectParity(&model, &scheduler, 4);
+  GenerationResult expired = doomed_future.get();
+  EXPECT_EQ(expired.finish, FinishReason::kDeadlineExceeded);
+  EXPECT_TRUE(expired.ids.empty());
+  scheduler.Stop();
+}
+
+LstmConfig UnboundedLstm() {
+  LstmConfig config;
+  config.vocab_size = 31;
+  config.embed_dim = 8;
+  config.hidden_dim = 16;
+  config.num_layers = 1;
+  config.init_seed = 3;
+  return config;
+}
+
+TEST(BatchSchedulerTest, CancelTokenEvictsWithPartialResult) {
+  // The LSTM has no context bound, so this request genuinely runs
+  // until cancelled.
+  LstmLm model(UnboundedLstm());
+  serve::BatchScheduler scheduler(&model);
+
+  auto cancel = std::make_shared<CancelToken>();
+  GenerationOptions options;
+  options.sampling.greedy = true;
+  options.max_new_tokens = 1000000;  // would outlive the test
+  options.cancel = cancel;
+  auto future = std::async(std::launch::async, [&] {
+    return scheduler.Generate({2, 4, 6}, options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cancel->RequestCancel();
+  GenerationResult result = future.get();
+  EXPECT_EQ(result.finish, FinishReason::kCancelled);
+}
+
+TEST(BatchSchedulerTest, StopDrainsInFlightAndRejectsNewWork) {
+  LstmLm model(UnboundedLstm());
+  auto scheduler = std::make_unique<serve::BatchScheduler>(&model);
+
+  GenerationOptions options;
+  options.sampling.greedy = true;
+  options.max_new_tokens = 1000000;
+  auto future = std::async(std::launch::async, [&] {
+    return scheduler->Generate({5, 3}, options);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  scheduler->Stop();
+  EXPECT_EQ(future.get().finish, FinishReason::kCancelled);
+
+  GenerationResult after = scheduler->Generate({1, 2}, options);
+  EXPECT_EQ(after.finish, FinishReason::kCancelled);
+  EXPECT_TRUE(after.ids.empty());
+}
+
+TEST(BatchSchedulerTest, StatsReportOccupancyAndArenaReuse) {
+  Gpt2Lm model(SchedulerGpt2());
+  serve::BatchSchedulerOptions options;
+  options.max_batch = 4;
+  serve::BatchScheduler scheduler(&model, options);
+
+  ExpectParity(&model, &scheduler, 8);
+  serve::BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_GT(stats.steps, 0);
+  EXPECT_GE(stats.row_steps, stats.steps);
+  EXPECT_EQ(stats.admitted, 8);
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.pending, 0);
+  EXPECT_LE(stats.peak_occupancy, 4);
+  EXPECT_GE(stats.mean_occupancy(), 1.0);
+  const long long warm = stats.arena_heap_allocs;
+  EXPECT_GT(warm, 0);
+
+  // Another full wave reuses the pooled cache slots.
+  ExpectParity(&model, &scheduler, 8);
+  EXPECT_EQ(scheduler.stats().arena_heap_allocs, warm);
+  scheduler.Stop();
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,6 +1,12 @@
 #include "serve/circuit_breaker.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/http.h"
+#include "util/json.h"
 
 namespace rt {
 namespace {
@@ -106,6 +112,86 @@ TEST(CircuitBreakerTest, ClosedWindowStillTripsOnFreshTimeouts) {
   breaker.RecordSuccess(probe);
   // Post-recovery tickets count as usual, so real regressions re-trip.
   Trip(&breaker);
+}
+
+/// A session callback that times out for model "slow" and succeeds for
+/// everything else, so one model's breaker trips while the other stays
+/// healthy.
+BackendService::GenerateFn SlowModelDecode() {
+  return [](const GenerateRequest& req) -> StatusOr<GenerateOutcome> {
+    GenerateOutcome out;
+    if (req.model == "slow") {
+      out.deadline_exceeded = true;
+      out.finish_reason = "deadline_exceeded";
+      return out;
+    }
+    out.recipe.title = "ok";
+    out.recipe.ingredients.push_back({"1", "", "rice", ""});
+    out.recipe.instructions = {"cook"};
+    return out;
+  };
+}
+
+TEST(PerModelBreakerTest, OneModelsTimeoutsDoNotFastFailAnother) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.models = {"fast", "slow"};
+  options.breaker.window = 4;
+  options.breaker.min_samples = 2;
+  options.breaker.trip_ratio = 1.0;
+  options.breaker.cooldown_ms = 60000;  // stays open for the whole test
+  BackendService backend([](int) { return SlowModelDecode(); }, options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  const std::string slow_body =
+      R"({"ingredients":["rice"],"model":"slow"})";
+  const std::string fast_body =
+      R"({"ingredients":["rice"],"model":"fast"})";
+
+  // Two timeouts open the "slow" breaker (min_samples=2, ratio 1.0).
+  for (int i = 0; i < 2; ++i) {
+    auto resp = HttpPost(backend.port(), "/v1/generate", slow_body);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 504);
+  }
+  auto rejected = HttpPost(backend.port(), "/v1/generate", slow_body);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 503);
+
+  // The healthy model keeps flowing while its neighbor fast-fails.
+  auto ok = HttpPost(backend.port(), "/v1/generate", fast_body);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  // Top-level breaker_state still tracks the default model ("fast").
+  EXPECT_EQ(doc->Get("breaker_state").AsString(), "closed");
+  const Json& breakers = doc->Get("breakers");
+  EXPECT_EQ(breakers.Get("slow").Get("state").AsString(), "open");
+  EXPECT_EQ(breakers.Get("fast").Get("state").AsString(), "closed");
+  EXPECT_GE(breakers.Get("slow").Get("rejected").AsNumber(), 1.0);
+  EXPECT_EQ(breakers.Get("fast").Get("rejected").AsNumber(), 0.0);
+  EXPECT_GE(doc->Get("breaker_rejected").AsNumber(), 1.0);
+  backend.Stop();
+}
+
+TEST(PerModelBreakerTest, MaxBatchRaisesSessionsAndShowsInMetrics) {
+  BackendOptions options;
+  options.model_sessions = 2;
+  options.max_batch = 4;
+  BackendService backend([](int) { return SlowModelDecode(); }, options);
+  // A batch can only fill if that many requests can hold sessions.
+  EXPECT_EQ(backend.model_sessions(), 4);
+  EXPECT_EQ(backend.max_batch(), 4);
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("max_batch").AsNumber(), 4.0);
+  backend.Stop();
 }
 
 }  // namespace

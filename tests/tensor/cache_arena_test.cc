@@ -1,0 +1,116 @@
+#include "tensor/cache_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/kernels.h"
+
+namespace rt {
+namespace {
+
+TEST(CacheArenaTest, AcquireReturnsZeroedSlot) {
+  CacheArena arena(/*slot_floats=*/17, /*slots_per_block=*/2);
+  float* slot = arena.Acquire();
+  ASSERT_NE(slot, nullptr);
+  for (int j = 0; j < 17; ++j) EXPECT_EQ(slot[j], 0.0f);
+  arena.Release(slot);
+}
+
+TEST(CacheArenaTest, RecycledSlotIsZeroedAgain) {
+  CacheArena arena(/*slot_floats=*/8, /*slots_per_block=*/1);
+  float* slot = arena.Acquire();
+  for (int j = 0; j < 8; ++j) slot[j] = 42.0f;
+  arena.Release(slot);
+  float* again = arena.Acquire();
+  EXPECT_EQ(again, slot);  // freelist recycles, no new block
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(again[j], 0.0f);
+  arena.Release(again);
+}
+
+TEST(CacheArenaTest, HeapAllocsFlatOncePoolCoversPeak) {
+  CacheArena arena(/*slot_floats=*/4, /*slots_per_block=*/4);
+  std::vector<float*> slots;
+  for (int i = 0; i < 8; ++i) slots.push_back(arena.Acquire());
+  const int64_t peak_allocs = arena.heap_allocs();
+  EXPECT_EQ(peak_allocs, 2);  // two blocks of four
+  EXPECT_EQ(arena.slots_in_use(), 8);
+  EXPECT_EQ(arena.capacity(), 8);
+  for (float* s : slots) arena.Release(s);
+  EXPECT_EQ(arena.slots_in_use(), 0);
+  // Steady-state churn at or below the peak never touches the heap.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<float*> again;
+    for (int i = 0; i < 8; ++i) again.push_back(arena.Acquire());
+    for (float* s : again) arena.Release(s);
+  }
+  EXPECT_EQ(arena.heap_allocs(), peak_allocs);
+  EXPECT_EQ(arena.capacity(), 8);
+}
+
+TEST(CacheArenaTest, SlotsAreDisjoint) {
+  CacheArena arena(/*slot_floats=*/16, /*slots_per_block=*/3);
+  std::vector<float*> slots;
+  for (int i = 0; i < 7; ++i) slots.push_back(arena.Acquire());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    for (int j = 0; j < 16; ++j) slots[i][j] = static_cast<float>(i);
+  }
+  for (size_t i = 0; i < slots.size(); ++i) {
+    for (int j = 0; j < 16; ++j) {
+      ASSERT_EQ(slots[i][j], static_cast<float>(i));
+    }
+  }
+  for (float* s : slots) arena.Release(s);
+}
+
+TEST(GatherScatterTest, GatherRowsCopiesTableRows) {
+  const int d = 5;
+  std::vector<float> table(4 * d);
+  for (size_t i = 0; i < table.size(); ++i) {
+    table[i] = static_cast<float>(i);
+  }
+  const int ids[3] = {2, 0, 3};
+  std::vector<float> out(3 * d, -1.0f);
+  kernels::GatherRows(3, d, table.data(), ids, out.data());
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < d; ++j) {
+      EXPECT_EQ(out[i * d + j], table[ids[i] * d + j]);
+    }
+  }
+}
+
+TEST(GatherScatterTest, GatherAddRowsAccumulates) {
+  const int d = 4;
+  std::vector<float> table(3 * d, 2.0f);
+  const int ids[2] = {1, 2};
+  std::vector<float> out(2 * d, 10.0f);
+  kernels::GatherAddRows(2, d, table.data(), ids, out.data());
+  for (float v : out) EXPECT_EQ(v, 12.0f);
+}
+
+TEST(GatherScatterTest, RowPtrRoundTrip) {
+  const int d = 6;
+  std::vector<float> a(d), b(d), c(d);
+  for (int j = 0; j < d; ++j) {
+    a[j] = 1.0f + j;
+    b[j] = 100.0f + j;
+    c[j] = 200.0f + j;
+  }
+  const float* src[3] = {a.data(), b.data(), c.data()};
+  std::vector<float> block(3 * d);
+  kernels::GatherRowPtrs(3, d, src, block.data());
+  for (int j = 0; j < d; ++j) {
+    EXPECT_EQ(block[0 * d + j], a[j]);
+    EXPECT_EQ(block[1 * d + j], b[j]);
+    EXPECT_EQ(block[2 * d + j], c[j]);
+  }
+  std::vector<float> a2(d), b2(d), c2(d);
+  float* dst[3] = {a2.data(), b2.data(), c2.data()};
+  kernels::ScatterRowPtrs(3, d, block.data(), dst);
+  EXPECT_EQ(a2, a);
+  EXPECT_EQ(b2, b);
+  EXPECT_EQ(c2, c);
+}
+
+}  // namespace
+}  // namespace rt

@@ -18,6 +18,7 @@
 #include <csignal>
 #include <cstdio>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,7 @@ int Usage() {
       "  serve       --model=KIND --recipes=N --epochs=E\n"
       "              [--backend-port=P --frontend-port=P --workers=N\n"
       "               --sessions=N --queue=N --request-timeout-ms=MS\n"
-      "               --compute-threads=N]\n"
+      "               --compute-threads=N --max-batch=M]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n");
   return 2;
 }
@@ -246,10 +247,11 @@ int CmdServe(const ArgParser& args) {
   auto queue = args.GetInt("queue", 64);
   auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
   auto compute_threads = args.GetInt("compute-threads", 0);
+  auto max_batch = args.GetInt("max-batch", 1);
   if (!backend_port.ok() || !frontend_port.ok() || !workers.ok() ||
       !sessions.ok() || !queue.ok() || !request_timeout_ms.ok() ||
       *request_timeout_ms < 1 || !compute_threads.ok() ||
-      *compute_threads < 0) {
+      *compute_threads < 0 || !max_batch.ok() || *max_batch < 1) {
     return Usage();
   }
 
@@ -260,9 +262,25 @@ int CmdServe(const ArgParser& args) {
   options.default_timeout_ms = static_cast<int>(*request_timeout_ms);
   options.compute_threads = static_cast<int>(*compute_threads);
   options.models = {args.GetString("model", "word-lstm")};
+  options.max_batch = static_cast<int>(*max_batch);
+
+  // --max-batch > 1 switches serving onto the cross-session batch
+  // scheduler: sessions stop owning model clones and instead submit to
+  // one scheduler that coalesces concurrent decodes into batched steps.
   std::vector<std::unique_ptr<LanguageModel>> session_models;
-  BackendService backend(MakePipelineSessionFactory(&p, &session_models),
-                         options);
+  std::unique_ptr<serve::BatchScheduler> scheduler;
+  BackendService::SessionFactory factory;
+  if (options.max_batch > 1) {
+    serve::BatchSchedulerOptions sched_options;
+    sched_options.max_batch = options.max_batch;
+    scheduler =
+        std::make_unique<serve::BatchScheduler>(p.model(), sched_options);
+    InstallBatchMetrics(scheduler.get(), &options);
+    factory = MakeBatchedPipelineSessionFactory(&p, scheduler.get());
+  } else {
+    factory = MakePipelineSessionFactory(&p, &session_models);
+  }
+  BackendService backend(factory, options);
   Status s = backend.Start(static_cast<int>(*backend_port));
   if (!s.ok()) return Fail(s);
   FrontendService frontend(backend.port());
@@ -270,12 +288,13 @@ int CmdServe(const ArgParser& args) {
   if (!s.ok()) return Fail(s);
   std::printf("backend  http://127.0.0.1:%d  (POST /v1/generate)\n"
               "frontend http://127.0.0.1:%d  (GET /)\n"
-              "workers=%d sessions=%d queue=%d request-timeout-ms=%d\n"
+              "workers=%d sessions=%d queue=%d request-timeout-ms=%d "
+              "max-batch=%d\n"
               "Ctrl-C to stop\n",
               backend.port(), frontend.port(),
               backend.server().num_workers(), backend.model_sessions(),
               backend.server().options().max_queue,
-              static_cast<int>(*request_timeout_ms));
+              static_cast<int>(*request_timeout_ms), backend.max_batch());
   std::signal(SIGINT, OnSignal);
   while (!g_stop) {
     struct timespec ts{0, 200'000'000};
@@ -283,6 +302,7 @@ int CmdServe(const ArgParser& args) {
   }
   frontend.Stop();
   backend.Stop();
+  if (scheduler != nullptr) scheduler->Stop();
   return 0;
 }
 
