@@ -29,6 +29,7 @@
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 #include "tensor/thread_pool.h"
+#include "util/obs.h"
 
 namespace rt {
 namespace {
@@ -138,6 +139,52 @@ BenchResult BenchDecode(const Gpt2Lm& model, int threads, int tokens) {
       model.StepWithCache(t % cfg.vocab_size, &cache);
     }
   });
+  r.ns_per_iter /= tokens;  // per decoded token
+  r.tokens_per_sec = 1e9 / r.ns_per_iter;
+  return r;
+}
+
+/// Decode with the observability layer actually exercised. Three modes:
+///   "gpt2_decode_step"     (elsewhere) — hooks compiled in, disabled:
+///                          the row the 3% tracing-overhead gate reads.
+///   "gpt2_decode_traced"   — span ring enabled; the loop emits the same
+///                          batch_step + sample spans the serving decode
+///                          loop does, so the row prices enabled tracing.
+///   "gpt2_decode_profiled" — kernel profiler enabled: every GEMM
+///                          dispatch is timed and counted.
+BenchResult BenchDecodeObs(const Gpt2Lm& model, bool traced, bool profiled,
+                           int tokens) {
+  ThreadPool::SetGlobalThreads(1);
+  auto& recorder = obs::TraceRecorder::Instance();
+  auto& profiler = obs::KernelProfiler::Instance();
+  recorder.SetEnabled(traced);
+  profiler.SetEnabled(profiled);
+  if (profiled) profiler.Reset();
+  Gpt2Lm::KvCache cache;
+  BenchResult r;
+  r.op = traced ? "gpt2_decode_traced" : "gpt2_decode_profiled";
+  const auto& cfg = model.config();
+  r.shape = "L" + std::to_string(cfg.num_layers) + "_d" +
+            std::to_string(cfg.dim) + "_H" + std::to_string(cfg.num_heads) +
+            "_V" + std::to_string(cfg.vocab_size);
+  r.threads = 1;
+  r.ns_per_iter = TimeNs([&] {
+    const uint64_t trace_id = recorder.NextTraceId();
+    const auto prefill_start = obs::Now();
+    model.InitCache(&cache);
+    obs::RecordSpanSince(obs::Stage::kPrefill, trace_id, prefill_start,
+                         "prompt_tokens", 1);
+    for (int t = 0; t < tokens; ++t) {
+      const auto step_start = obs::Now();
+      model.StepWithCache(t % cfg.vocab_size, &cache);
+      obs::RecordSpanSince(obs::Stage::kBatchStep, trace_id, step_start,
+                           "batch", 1);
+      obs::RecordSpanSince(obs::Stage::kSample, trace_id, obs::Now());
+      if (profiled) profiler.CountTokens(1);
+    }
+  });
+  recorder.SetEnabled(false);
+  profiler.SetEnabled(false);
   r.ns_per_iter /= tokens;  // per decoded token
   r.tokens_per_sec = 1e9 / r.ns_per_iter;
   return r;
@@ -303,6 +350,24 @@ int Main(int argc, char** argv) {
     }
     ThreadPool::SetGlobalThreads(1);
 
+    // --- Observability overhead A/B (single thread). ---
+    // gpt2_decode_step above already runs with the hooks compiled in
+    // but disabled (the 3% gate row); these price them enabled.
+    results.push_back(
+        BenchDecodeObs(model, /*traced=*/true, /*profiled=*/false,
+                       decode_tokens));
+    results.push_back(
+        BenchDecodeObs(model, /*traced=*/false, /*profiled=*/true,
+                       decode_tokens));
+    // The traced run filled the span ring; keep a loadable sample next
+    // to the results for the CI artifact (open in Perfetto).
+    if (Status s = obs::TraceRecorder::Instance().ExportToFile(
+            "TRACE_sample.json");
+        !s.ok()) {
+      std::fprintf(stderr, "TRACE_sample.json export failed: %s\n",
+                   s.ToString().c_str());
+    }
+
     // --- Cross-session batched decode sweep (single thread). ---
     // Aggregate tokens/sec at batch 1/2/4/8; the b8 row must reach
     // >= 2x the b1 row (== 8 sequential m=1 decodes, which aggregate
@@ -345,6 +410,22 @@ int Main(int argc, char** argv) {
   if (batched_b1 > 0.0) {
     std::printf("batch-8 aggregate speedup over sequential m=1: %.2fx\n",
                 batched_b8 / batched_b1);
+  }
+  double plain_tps = 0.0, traced_tps = 0.0, profiled_tps = 0.0;
+  for (const auto& r : results) {
+    if (r.op == "gpt2_decode_step" && r.threads == 1 && plain_tps == 0.0) {
+      plain_tps = r.tokens_per_sec;
+    }
+    if (r.op == "gpt2_decode_traced") traced_tps = r.tokens_per_sec;
+    if (r.op == "gpt2_decode_profiled") profiled_tps = r.tokens_per_sec;
+  }
+  if (plain_tps > 0.0 && traced_tps > 0.0) {
+    std::printf("enabled tracing overhead vs disabled hooks: %.1f%%\n",
+                100.0 * (plain_tps - traced_tps) / plain_tps);
+  }
+  if (plain_tps > 0.0 && profiled_tps > 0.0) {
+    std::printf("enabled kernel profiling overhead: %.1f%%\n",
+                100.0 * (plain_tps - profiled_tps) / plain_tps);
   }
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -71,6 +71,12 @@ int main(int argc, char** argv) {
   std::printf("backend  : http://127.0.0.1:%d  (POST /v1/generate)\n",
               backend.port());
   std::printf("frontend : http://127.0.0.1:%d  (GET /)\n", frontend.port());
+  std::printf("trace    : http://127.0.0.1:%d/v1/trace  "
+              "(Chrome trace JSON, load in Perfetto)\n",
+              backend.port());
+  std::printf("metrics  : http://127.0.0.1:%d/v1/metrics"
+              "[?format=prometheus]\n",
+              backend.port());
   std::printf("workers=%d sessions=%d\n", backend.server().num_workers(),
               backend.model_sessions());
 

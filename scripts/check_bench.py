@@ -10,7 +10,10 @@ Two families of checks:
    CURRENT.json (these never flake across runner classes):
      * blocked GEMM >= 3x the reference GEMM (single thread);
      * batch-8 batched decode >= 2x the aggregate throughput of
-       sequential m=1 decodes (the gpt2_decode_batched_b1 row).
+       sequential m=1 decodes (the gpt2_decode_batched_b1 row);
+     * tracing overhead <= 3%: decode with the span ring enabled
+       (gpt2_decode_traced) must hold >= 97% of decode with the
+       observability hooks compiled in but disabled (gpt2_decode_step).
 
 2. Baseline-relative gates, only when BASELINE.json is given: each
    gated metric must stay within TOLERANCE (25%) of the checked-in
@@ -38,6 +41,18 @@ TOLERANCE = 0.25  # fail when current < (1 - TOLERANCE) * baseline
 
 BLOCKED_MIN_SPEEDUP = 3.0  # blocked GEMM vs reference, single thread
 BATCH8_MIN_SPEEDUP = 2.0   # batch-8 aggregate vs sequential m=1
+
+# Tracing-overhead gate: the observability hooks (span recording, kernel
+# profiler) are compiled into every decode path but default to disabled;
+# their cost must stay a single relaxed-atomic branch per hook. Gated as
+# a within-run ratio (it never flakes across runner classes, unlike a
+# 3% absolute comparison on machines whose clocks drift +-10%): the
+# gpt2_decode_traced row — hooks enabled AND two spans recorded per
+# token, a strict superset of the disabled-mode cost — must hold >= 97%
+# of gpt2_decode_step (hooks compiled in but disabled) from the same
+# run. The baseline-relative decode gate above (25%) separately bounds
+# drift of the disabled row against the checked-in baseline.
+TRACING_OVERHEAD = 0.03
 
 
 def load(path):
@@ -91,6 +106,28 @@ def main():
               f"{speedup:.2f}x (gate: >= {BATCH8_MIN_SPEEDUP:.1f}x)")
         failures += 0 if ok else 1
 
+    # Tracing-overhead ratio gate + informational profiling overhead,
+    # both measured within the current run.
+    plain = get(current, "gpt2_decode_step", 1, "tokens_per_sec",
+                current_path)
+    traced = get(current, "gpt2_decode_traced", 1, "tokens_per_sec",
+                 current_path)
+    if plain is None or traced is None:
+        failures += 1
+    else:
+        pct = 100.0 * (plain - traced) / plain
+        ok = traced >= (1.0 - TRACING_OVERHEAD) * plain
+        print(f"{'PASS' if ok else 'FAIL'}  tracing overhead {pct:.1f}% "
+              f"({traced:.1f} traced vs {plain:.1f} disabled tokens/sec, "
+              f"gate: <= {TRACING_OVERHEAD:.0%})")
+        failures += 0 if ok else 1
+    profiled = current.get(("gpt2_decode_profiled", 1), {}) \
+        .get("tokens_per_sec")
+    if plain and profiled:
+        pct = 100.0 * (plain - profiled) / plain
+        print(f"INFO  enabled kernel profiling overhead: {pct:.1f}% "
+              f"({profiled:.1f} vs {plain:.1f} tokens/sec)")
+
     # Baseline-relative gates.
     if len(sys.argv) > 2:
         baseline_path = sys.argv[2]
@@ -107,6 +144,7 @@ def main():
                   f"{cur:.1f} vs baseline {base:.1f} "
                   f"(floor {floor:.1f})")
             failures += 0 if ok else 1
+
 
     if failures:
         print(f"\n{failures} bench gate(s) failed. If the regression is "

@@ -369,6 +369,7 @@ GenerationOptions ToGenerationOptions(const GenerateRequest& request) {
   gen.seed = request.seed;
   gen.deadline = request.deadline;
   gen.cancel = request.cancel;
+  gen.trace_id = request.trace_id;
   return gen;
 }
 

@@ -9,6 +9,7 @@
 #include "tensor/cache_arena.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "util/obs.h"
 
 namespace rt {
 
@@ -341,6 +342,7 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
   if (use_kv_cache_) {
     KvCache cache;
     InitCache(&cache);
+    const auto prefill_start = obs::Now();
     for (int id : prompt) {
       if (auto abort = CheckAbort(options)) {
         result.finish = *abort;
@@ -349,12 +351,22 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
       if (cache.len >= config_.max_seq_len) break;
       StepWithCache(id, &cache);
     }
+    obs::RecordSpanSince(obs::Stage::kPrefill, options.trace_id,
+                         prefill_start, "prompt_tokens",
+                         static_cast<long long>(prompt.size()));
     for (int step = 0; step < options.max_new_tokens; ++step) {
       if (auto abort = CheckAbort(options)) {
         result.finish = *abort;
         return result;
       }
+      const auto sample_start = obs::Now();
       int next = SampleFromLogits(cache.logits, options.sampling, &rng);
+      obs::RecordSpanSince(obs::Stage::kSample, options.trace_id,
+                           sample_start);
+      obs::CountSampledTokens(1);
+      if (obs::ProfileEnabled()) {
+        obs::KernelProfiler::Instance().CountTokens(1);
+      }
       result.ids.push_back(next);
       if (next == options.stop_token) {
         result.finish = FinishReason::kStopToken;
@@ -364,7 +376,10 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
         result.finish = FinishReason::kContextFull;
         return result;
       }
+      const auto step_start = obs::Now();
       StepWithCache(next, &cache);
+      obs::RecordSpanSince(obs::Stage::kBatchStep, options.trace_id,
+                           step_start, "batch", 1);
     }
     result.finish = FinishReason::kMaxTokens;
     return result;

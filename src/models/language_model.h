@@ -35,6 +35,10 @@ struct GenerationOptions {
   /// Optional cooperative cancellation, polled once per token alongside
   /// the deadline. The model only reads the token; the owner fires it.
   std::shared_ptr<const CancelToken> cancel;
+  /// Request-scoped trace id (obs::TraceRecorder). Decode loops tag
+  /// their prefill/sample spans with it so a served request's trace is
+  /// one contiguous track. 0 = untraced (library callers).
+  uint64_t trace_id = 0;
 };
 
 /// Why a generation stopped.

@@ -6,6 +6,7 @@
 #include "tensor/cache_arena.h"
 #include "tensor/kernels.h"
 #include "tensor/workspace.h"
+#include "util/obs.h"
 
 namespace rt {
 
@@ -82,6 +83,7 @@ GenerationResult LstmLm::Generate(const std::vector<int>& prompt,
   const float* h = nullptr;
   // Feed the prompt, keeping only the final hidden state. Deadlines are
   // honored even here so an already-expired request does no work.
+  const auto prefill_start = obs::Now();
   for (int id : prompt) {
     if (auto abort = CheckAbort(options)) {
       result.finish = *abort;
@@ -92,6 +94,9 @@ GenerationResult LstmLm::Generate(const std::vector<int>& prompt,
     h = root_.lstm.StepRaw(embed.data() + static_cast<size_t>(id) * edim,
                            &state, &ws);
   }
+  obs::RecordSpanSince(obs::Stage::kPrefill, options.trace_id,
+                       prefill_start, "prompt_tokens",
+                       static_cast<long long>(prompt.size()));
   result.ids.reserve(options.max_new_tokens);
   std::vector<float> logits(config_.vocab_size);
   for (int step = 0; step < options.max_new_tokens; ++step) {
@@ -99,17 +104,27 @@ GenerationResult LstmLm::Generate(const std::vector<int>& prompt,
       result.finish = *abort;
       return result;
     }
+    const auto sample_start = obs::Now();
     root_.head.ForwardRawTo(1, h, logits.data());
     const int cur = SampleFromLogits(logits.data(), config_.vocab_size,
                                      options.sampling, &rng);
+    obs::RecordSpanSince(obs::Stage::kSample, options.trace_id,
+                         sample_start);
+    obs::CountSampledTokens(1);
+    if (obs::ProfileEnabled()) {
+      obs::KernelProfiler::Instance().CountTokens(1);
+    }
     result.ids.push_back(cur);
     if (cur == options.stop_token) {
       result.finish = FinishReason::kStopToken;
       return result;
     }
     ws.Reset();
+    const auto step_start = obs::Now();
     h = root_.lstm.StepRaw(embed.data() + static_cast<size_t>(cur) * edim,
                            &state, &ws);
+    obs::RecordSpanSince(obs::Stage::kBatchStep, options.trace_id,
+                         step_start, "batch", 1);
   }
   result.finish = FinishReason::kMaxTokens;
   return result;

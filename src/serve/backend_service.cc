@@ -9,6 +9,8 @@
 #include "models/batch_decode.h"
 #include "tensor/thread_pool.h"
 #include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/obs.h"
 #include "util/timer.h"
 
 namespace rt {
@@ -302,6 +304,7 @@ BackendService::BackendService(const SessionFactory& factory,
   if (options_.compute_threads > 0) {
     ThreadPool::SetGlobalThreads(options_.compute_threads);
   }
+  if (options_.tracing) obs::TraceRecorder::Instance().SetEnabled(true);
   for (const std::string& model : options_.models) {
     breakers_.emplace(model,
                       std::make_unique<ModelBreaker>(options_.breaker));
@@ -316,7 +319,7 @@ BackendService::BackendService(const SessionFactory& factory,
 
 void BackendService::RegisterRoutes() {
   const auto healthz = [](const HttpRequest&) {
-    return HttpResponse::JsonBody("{\"status\":\"ok\"}");
+    return HttpResponse::JsonBody(HealthzJson().Dump());
   };
   const auto deprecate = [](HttpResponse resp) {
     resp.headers["Deprecation"] = "true";
@@ -324,8 +327,11 @@ void BackendService::RegisterRoutes() {
   };
   // Versioned surface.
   (void)server_.Route("GET", "/v1/healthz", healthz);
-  (void)server_.Route("GET", "/v1/metrics", [this](const HttpRequest&) {
-    return HandleMetrics();
+  (void)server_.Route("GET", "/v1/metrics", [this](const HttpRequest& req) {
+    return HandleMetrics(req);
+  });
+  (void)server_.Route("GET", "/v1/trace", [this](const HttpRequest& req) {
+    return HandleTrace(req);
   });
   (void)server_.Route("GET", "/v1/models", [this](const HttpRequest&) {
     return HandleModels();
@@ -340,8 +346,8 @@ void BackendService::RegisterRoutes() {
                         return deprecate(healthz(req));
                       });
   (void)server_.Route("GET", "/metrics",
-                      [this, deprecate](const HttpRequest&) {
-                        return deprecate(HandleMetrics());
+                      [this, deprecate](const HttpRequest& req) {
+                        return deprecate(HandleMetrics(req));
                       });
   (void)server_.Route("POST", "/api/generate",
                       [this, deprecate](const HttpRequest& req) {
@@ -419,6 +425,7 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   req.deadline =
       Deadline::At(admitted + std::chrono::milliseconds(budget_ms));
   req.cancel = drain_cancel_;
+  req.trace_id = request.trace_id;
 
   // Breaker scope is the resolved model: a timeout storm on one model
   // opens only that model's breaker, and requests for healthy models
@@ -477,12 +484,23 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   // shed before it touches a session. Not a breaker outcome: the model
   // never ran, so this says nothing about generation health.
   if (req.deadline.expired()) {
+    RT_LOG(Warning) << "generate shed request_id=" << request.request_id
+                    << " trace_id=" << request.trace_id
+                    << " model=" << req.model
+                    << " reason=budget_spent timeout_ms=" << budget_ms;
     return deadline_response(0);
   }
 
+  const auto acquire_start = obs::Now();
   const int slot = AcquireSession(req.deadline);
+  obs::RecordSpanSince(obs::Stage::kSessionAcquire, req.trace_id,
+                       acquire_start);
   if (slot < 0) {
     breaker_outcome.Timeout();
+    RT_LOG(Warning) << "generate timeout request_id=" << request.request_id
+                    << " trace_id=" << request.trace_id
+                    << " model=" << req.model
+                    << " reason=session_wait timeout_ms=" << budget_ms;
     return deadline_response(0);
   }
   Timer timer;
@@ -517,6 +535,12 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   }
   breaker_outcome.Success();
   generate_ok_.fetch_add(1);
+  RT_LOG(Debug) << "generate ok request_id=" << request.request_id
+                << " trace_id=" << request.trace_id
+                << " model=" << req.model
+                << " finish=" << outcome->finish_reason
+                << " tokens=" << outcome->tokens_generated
+                << " seconds=" << seconds;
   Json out{Json::Object{}};
   out.Set("request_id", request.request_id);
   out.Set("model", req.model);
@@ -537,8 +561,43 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   return HttpResponse::JsonBody(out.Dump());
 }
 
-HttpResponse BackendService::HandleMetrics() const {
+HttpResponse BackendService::HandleMetrics(
+    const HttpRequest& request) const {
+  auto& faults = FaultInjector::Instance();
+  if (auto slow = faults.Hit("metrics.render.slow")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(slow->amount));
+  }
+  Json out = MetricsJson();
+  if (request.query.find("format=prometheus") != std::string::npos) {
+    HttpResponse resp;
+    resp.status = 200;
+    resp.content_type = "text/plain; version=0.0.4";
+    resp.body = obs::RenderPrometheus(out);
+    return resp;
+  }
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse BackendService::HandleTrace(
+    const HttpRequest& request) const {
+  // Injected export failure degrades only this endpoint: generate
+  // requests keep recording spans and answering 200.
+  if (FaultInjector::Instance().Hit("trace.export.fail")) {
+    RT_LOG(Warning) << "trace export failed request_id="
+                    << request.request_id
+                    << " trace_id=" << request.trace_id
+                    << " reason=injected_fault";
+    return JsonError(503, "trace_export_failed",
+                     "trace export failed (injected trace.export.fail)",
+                     request.request_id);
+  }
+  return HttpResponse::JsonBody(
+      obs::TraceRecorder::Instance().ExportChromeJson().Dump());
+}
+
+Json BackendService::MetricsJson() const {
   Json out{Json::Object{}};
+  out.Set("uptime_s", obs::UptimeSeconds());
   out.Set("requests_total",
           static_cast<double>(server_.requests_served()));
   out.Set("requests_rejected",
@@ -577,7 +636,8 @@ HttpResponse BackendService::HandleMetrics() const {
   out.Set("workers", static_cast<double>(server_.num_workers()));
   out.Set("queue_depth", static_cast<double>(server_.queue_depth()));
   latency_.FillMetrics("generate_", &out);
-  return HttpResponse::JsonBody(out.Dump());
+  obs::FillStageMetrics(&out);
+  return out;
 }
 
 HttpResponse BackendService::HandleModels() const {

@@ -41,6 +41,10 @@ struct GenerateRequest {
   /// drain token. Session callbacks thread both into GenerationOptions.
   Deadline deadline;
   std::shared_ptr<const CancelToken> cancel;
+  /// Request-scoped trace id, copied from HttpRequest by the handler;
+  /// session callbacks thread it into GenerationOptions so decode-loop
+  /// spans land on this request's trace track. 0 = untraced.
+  uint64_t trace_id = 0;
 };
 
 /// What one session callback produced: the recipe plus how decoding
@@ -145,6 +149,11 @@ struct BackendOptions {
   /// the batched session wiring installs one that reports scheduler
   /// occupancy (the batch_* gauges).
   std::function<void(Json*)> batch_metrics;
+  /// Turns on the process-wide span ring (obs::TraceRecorder) at
+  /// construction so GET /v1/trace has data. Per-span cost while serving
+  /// is one relaxed-atomic branch plus a ring write; set false to leave
+  /// the recorder in whatever state RT_TRACE chose.
+  bool tracing = true;
 };
 
 /// The generation backend microservice (the Flask-model container of
@@ -195,8 +204,16 @@ class BackendService {
  private:
   void RegisterRoutes();
   HttpResponse HandleGenerate(const HttpRequest& request);
-  HttpResponse HandleMetrics() const;
+  /// JSON by default; `?format=prometheus` answers the same metrics as
+  /// Prometheus text exposition (rendered from the same Json object, so
+  /// the surfaces cannot drift).
+  HttpResponse HandleMetrics(const HttpRequest& request) const;
+  /// GET /v1/trace: Chrome trace_event export of the span ring.
+  HttpResponse HandleTrace(const HttpRequest& request) const;
   HttpResponse HandleModels() const;
+  /// The /v1/metrics response body as a Json object (also the source of
+  /// the Prometheus rendering).
+  Json MetricsJson() const;
 
   /// Blocks until a session slot is free or the deadline expires;
   /// returns the slot index, or -1 when the wait timed out.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "models/sampler.h"
+#include "util/obs.h"
 
 namespace rt::serve {
 
@@ -26,6 +27,9 @@ struct BatchScheduler::Request {
   size_t feed_idx = 0;
   int next_token = 0;
   bool prompt_done = false;
+  /// When this request's first row-step ran; closes the prefill span
+  /// once the prompt is exhausted.
+  obs::TimePoint prefill_start{};
   /// Beam search / unsupported models run model_->Generate inline.
   bool inline_generate = false;
   bool done = false;
@@ -182,6 +186,7 @@ bool BatchScheduler::StepOnce() {
       request->seq = decoder_->NewSequence();
       request->next_token = request->prompt[0];
       request->result.ids.reserve(request->options.max_new_tokens);
+      request->prefill_start = obs::Now();
     }
     tokens[m] = request->next_token;
     rows[m] = request->seq.get();
@@ -190,7 +195,17 @@ bool BatchScheduler::StepOnce() {
   }
 
   if (m > 0) {
+    // One span per batched step, annotated with the coalesced batch
+    // size. The step is shared work, so the span lands on the first
+    // member's track; its own "batch" arg says how many rows rode along.
+    const auto step_start = obs::Now();
     decoder_->StepBatch(m, tokens.data(), rows.data(), logits_.data());
+    obs::RecordSpanSince(obs::Stage::kBatchStep,
+                         members[0]->options.trace_id, step_start, "batch",
+                         m);
+    if (obs::ProfileEnabled()) {
+      obs::KernelProfiler::Instance().CountTokens(m);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++steps_;
@@ -210,13 +225,21 @@ bool BatchScheduler::StepOnce() {
           // loop and decoding from the last fed token's logits.
           request->prompt_done = true;
           sample_now = true;
+          obs::RecordSpanSince(
+              obs::Stage::kPrefill, request->options.trace_id,
+              request->prefill_start, "prompt_tokens",
+              static_cast<long long>(request->prompt.size()));
         } else {
           request->next_token = request->prompt[request->feed_idx];
         }
       }
       if (!sample_now) continue;
+      const auto sample_start = obs::Now();
       const int next = SampleFromLogits(
           row, vocab, request->options.sampling, &request->rng);
+      obs::RecordSpanSince(obs::Stage::kSample, request->options.trace_id,
+                           sample_start);
+      obs::CountSampledTokens(1);
       request->result.ids.push_back(next);
       // Same precedence as the sequential decode loop: stop token,
       // then context exhaustion, then the token budget.

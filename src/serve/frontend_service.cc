@@ -37,7 +37,7 @@ document.getElementById('gen').addEventListener('submit', async (e) => {
 FrontendService::FrontendService(int backend_port)
     : backend_port_(backend_port) {
   const auto healthz = [](const HttpRequest&) {
-    return HttpResponse::JsonBody("{\"status\":\"ok\"}");
+    return HttpResponse::JsonBody(HealthzJson().Dump());
   };
   (void)server_.Route("GET", "/", [](const HttpRequest&) {
     return HttpResponse::Html(kIndexHtml);

@@ -16,6 +16,8 @@
 
 #include "util/fault_injection.h"
 #include "util/json.h"
+#include "util/logging.h"
+#include "util/obs.h"
 #include "util/strings.h"
 
 namespace rt {
@@ -303,6 +305,17 @@ HttpResponse JsonError(int status, const std::string& code,
   return HttpResponse::JsonBody(out.Dump(), status);
 }
 
+Json HealthzJson() {
+  const obs::BuildInfo info = obs::GetBuildInfo();
+  Json out{Json::Object{}};
+  out.Set("status", "ok");
+  out.Set("uptime_s", obs::UptimeSeconds());
+  out.Set("build_type", info.build_type);
+  out.Set("sanitizer", info.sanitizer);
+  out.Set("git_sha", info.git_sha);
+  return out;
+}
+
 HttpServer::HttpServer() : HttpServer(HttpServerOptions{}) {}
 
 HttpServer::HttpServer(HttpServerOptions options)
@@ -456,6 +469,10 @@ void HttpServer::WorkerLoop() {
         std::chrono::steady_clock::now() - conn.admitted >=
             std::chrono::milliseconds(options_.queue_deadline_ms)) {
       requests_shed_.fetch_add(1);
+      const std::string request_id = NextRequestId();
+      RT_LOG(Warning) << "http shed request_id=" << request_id
+                      << " trace_id=0 reason=queue_deadline queue_deadline_ms="
+                      << options_.queue_deadline_ms;
       // Mirrors the 503 overload path: a shed connection means the
       // queue is draining slower than requests age out, so the standing
       // retry hint applies here too.
@@ -464,7 +481,7 @@ void HttpServer::WorkerLoop() {
       HttpResponse resp = JsonError(
           504, "deadline_exceeded",
           "request deadline expired while waiting in the accept queue",
-          NextRequestId(), std::move(details));
+          request_id, std::move(details));
       resp.headers["Retry-After"] =
           std::to_string(options_.retry_after_seconds);
       SetSendTimeout(conn.fd, options_.write_timeout_ms);
@@ -590,7 +607,12 @@ void HttpServer::ServeConnection(
         close_connection = true;
       } else {
         request.request_id = NextRequestId();
+        request.trace_id = obs::TraceRecorder::Instance().NextTraceId();
         parsed = true;
+        // queue_wait: queue admission (or keep-alive read start) until a
+        // worker hands the parsed request to its handler.
+        obs::RecordSpanSince(obs::Stage::kQueueWait, request.trace_id,
+                             request_admitted);
         response = Dispatch(request);
       }
     }
@@ -611,7 +633,23 @@ void HttpServer::ServeConnection(
     }
     if (draining_.load()) close_connection = true;
     requests_served_.fetch_add(1);
-    if (!SendAll(fd, RenderResponse(response, !close_connection)).ok()) {
+    const auto write_start = obs::Now();
+    const bool sent_ok =
+        SendAll(fd, RenderResponse(response, !close_connection)).ok();
+    if (parsed) {
+      obs::RecordSpanSince(obs::Stage::kResponseWrite, request.trace_id,
+                           write_start);
+      // The root span: whole exchange from admission through the sent
+      // (or failed) response; every other span of this trace id nests
+      // inside it by time containment.
+      obs::RecordSpanSince(obs::Stage::kRequest, request.trace_id,
+                           request_admitted);
+      RT_LOG(Debug) << "http " << request.method << " " << request.path
+                    << " status=" << response.status
+                    << " request_id=" << request.request_id
+                    << " trace_id=" << request.trace_id;
+    }
+    if (!sent_ok) {
       // The peer is gone (or the send timed out); writing further
       // responses into this connection would only interleave garbage.
       return;
@@ -629,6 +667,9 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
     try {
       return route.handler(request);
     } catch (const std::exception& e) {
+      RT_LOG(Warning) << "handler threw request_id=" << request.request_id
+                      << " trace_id=" << request.trace_id
+                      << " what=" << e.what();
       return JsonError(500, "internal", e.what(), request.request_id);
     } catch (...) {
       return JsonError(500, "internal", "handler threw",

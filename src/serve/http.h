@@ -28,6 +28,12 @@ struct HttpRequest {
   /// Server-assigned id, unique per request ("req-<port>-<n>"). Handlers
   /// echo it in responses and error envelopes.
   std::string request_id;
+  /// Request-scoped trace id (obs::TraceRecorder::NextTraceId), assigned
+  /// alongside request_id. Every span this request produces — in the
+  /// HTTP layer, the backend handler, the batch scheduler, and the
+  /// decode loops — carries it, so /v1/trace groups them on one track.
+  /// 0 = untraced (e.g. a request that failed to parse).
+  uint64_t trace_id = 0;
   /// When the server took responsibility for this request: queue
   /// admission for a connection's first request, start of read for
   /// later keep-alive requests. Per-request deadlines start here, so
@@ -62,6 +68,13 @@ HttpResponse JsonError(int status, const std::string& code,
 HttpResponse JsonError(int status, const std::string& code,
                        const std::string& message,
                        const std::string& request_id, Json details);
+
+/// The health body shared by every serve tier (backend and frontend,
+/// /v1/healthz and the legacy alias): liveness plus enough identity to
+/// debug a fleet — {"status":"ok","uptime_s":<double>,
+/// "build_type":"Release|Debug|...","sanitizer":"none|thread|...",
+/// "git_sha":"<short sha>|unknown"}.
+Json HealthzJson();
 
 /// Tuning knobs for the threaded server.
 struct HttpServerOptions {

@@ -12,9 +12,29 @@
 #include <cmath>
 
 #include "tensor/thread_pool.h"
+#include "util/obs.h"
 
 namespace rt::kernels {
 namespace {
+
+/// Profiling wrapper for the dispatch-level entry points: when the
+/// kernel profiler is off this is one relaxed-atomic branch; when on it
+/// times the call and records flops = 2*m*n*k against `op`.
+template <typename Fn>
+inline void ProfiledGemm(obs::KernelProfiler::Op op, int m, int n, int k,
+                         Fn&& fn) {
+  if (!obs::ProfileEnabled()) {
+    fn();
+    return;
+  }
+  const auto start = obs::Now();
+  fn();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      obs::Now() - start)
+                      .count();
+  obs::KernelProfiler::Instance().RecordOp(
+      op, 2.0 * m * static_cast<double>(n) * k, ns);
+}
 
 /// K-slab depth: panels are consumed in fixed 256-deep slabs so the
 /// active B slab stays L2-resident. Slab boundaries are constants, and
@@ -231,29 +251,35 @@ KernelConfig& Config() {
 }
 
 void Gemm(int m, int n, int k, const float* a, const float* b, float* c) {
-  if (Config().use_blocked) {
-    GemmBlocked(m, n, k, a, b, c);
-  } else {
-    GemmRef(m, n, k, a, b, c);
-  }
+  ProfiledGemm(obs::KernelProfiler::Op::kGemm, m, n, k, [&] {
+    if (Config().use_blocked) {
+      GemmBlocked(m, n, k, a, b, c);
+    } else {
+      GemmRef(m, n, k, a, b, c);
+    }
+  });
 }
 
 void GemmTransB(int m, int n, int k, const float* a, const float* b,
                 float* c) {
-  if (Config().use_blocked) {
-    GemmTransBBlocked(m, n, k, a, b, c);
-  } else {
-    GemmTransBRef(m, n, k, a, b, c);
-  }
+  ProfiledGemm(obs::KernelProfiler::Op::kGemmTransB, m, n, k, [&] {
+    if (Config().use_blocked) {
+      GemmTransBBlocked(m, n, k, a, b, c);
+    } else {
+      GemmTransBRef(m, n, k, a, b, c);
+    }
+  });
 }
 
 void GemmTransA(int m, int n, int k, const float* a, const float* b,
                 float* c) {
-  if (Config().use_blocked) {
-    GemmTransABlocked(m, n, k, a, b, c);
-  } else {
-    GemmTransARef(m, n, k, a, b, c);
-  }
+  ProfiledGemm(obs::KernelProfiler::Op::kGemmTransA, m, n, k, [&] {
+    if (Config().use_blocked) {
+      GemmTransABlocked(m, n, k, a, b, c);
+    } else {
+      GemmTransARef(m, n, k, a, b, c);
+    }
+  });
 }
 
 void GemmBlocked(int m, int n, int k, const float* a, const float* b,
@@ -281,7 +307,9 @@ void GemmTransABlocked(int m, int n, int k, const float* a, const float* b,
 
 void GemmPacked(int m, const float* a, const PackedB& b, float* c,
                 bool accumulate) {
-  GemmPackedStrided(m, a, b.k(), 1, b, c, b.n(), accumulate);
+  ProfiledGemm(obs::KernelProfiler::Op::kGemmPacked, m, b.n(), b.k(), [&] {
+    GemmPackedStrided(m, a, b.k(), 1, b, c, b.n(), accumulate);
+  });
 }
 
 void GemmRef(int m, int n, int k, const float* a, const float* b,

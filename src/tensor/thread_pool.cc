@@ -1,8 +1,11 @@
 #include "tensor/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <utility>
+
+#include "util/obs.h"
 
 namespace rt {
 namespace {
@@ -14,6 +17,26 @@ thread_local bool t_in_parallel_region = false;
 struct RegionGuard {
   RegionGuard() { t_in_parallel_region = true; }
   ~RegionGuard() { t_in_parallel_region = false; }
+};
+
+/// Records one top-level ParallelFor region (fork + items + join) in the
+/// kernel profiler. Nested/serialized inner regions are skipped so a
+/// region's wall time is counted once. Destructor-based so the rethrow
+/// path is covered too.
+struct RegionProfile {
+  bool on;
+  obs::TimePoint start;
+  RegionProfile()
+      : on(obs::ProfileEnabled() && !t_in_parallel_region),
+        start(on ? obs::Now() : obs::TimePoint{}) {}
+  ~RegionProfile() {
+    if (!on) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        obs::Now() - start)
+                        .count();
+    obs::KernelProfiler::Instance().RecordOp(
+        obs::KernelProfiler::Op::kParallelFor, 0.0, ns);
+  }
 };
 
 int ThreadsFromEnv() {
@@ -47,6 +70,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  RegionProfile profile;
   const bool serial = num_threads_ <= 1 || n == 1 || t_in_parallel_region;
   std::unique_lock<std::mutex> region(region_mutex_, std::defer_lock);
   // A busy pool (another caller mid-region) degrades to inline serial

@@ -35,6 +35,9 @@ namespace rt {
 ///   backend.generate.latency  sleep `amount` ms inside the session slot
 ///   backend.generate.fail     fail the generation with Internal
 ///   ckpt.truncate       chop `amount` (>=4) bytes off a saved checkpoint
+///   trace.export.fail   fail the /v1/trace export (503 envelope; never
+///                       touches the generate path)
+///   metrics.render.slow sleep `amount` ms while rendering /v1/metrics
 class FaultInjector {
  public:
   /// When and how a fault point fires. Hits are counted per point from

@@ -1,8 +1,11 @@
 #include "util/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <cstdio>
+#include <cerrno>
 #include <cstdlib>
+#include <mutex>
 
 namespace rt {
 namespace {
@@ -31,6 +34,30 @@ const char* Basename(const char* path) {
   return base;
 }
 
+/// Writes one fully-formatted line to stderr with a single write(2)
+/// per chunk under a process-wide mutex. stdio (fputs) buffers lines
+/// in pieces, so the HTTP worker pool, the batch-scheduler thread, and
+/// the compute pool logging concurrently could interleave fragments
+/// mid-line; serializing the raw fd writes keeps every line atomic.
+/// The fd is written directly (not via FILE*) so a concurrent legacy
+/// fprintf(stderr, ...) can tear at worst against a whole line, never
+/// inside one.
+void EmitLogLine(const std::string& line) {
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  size_t offset = 0;
+  while (offset < line.size()) {
+    const ssize_t n =
+        ::write(STDERR_FILENO, line.data() + offset, line.size() - offset);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stderr is gone; nothing useful left to do
+    }
+    if (n == 0) return;
+    offset += static_cast<size_t>(n);
+  }
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
@@ -49,7 +76,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    EmitLogLine(stream_.str());
   }
 }
 
@@ -60,7 +87,7 @@ CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
 
 CheckFailure::~CheckFailure() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  EmitLogLine(stream_.str());
   std::abort();
 }
 

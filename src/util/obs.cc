@@ -1,0 +1,628 @@
+#include "util/obs.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace rt {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_profile_enabled{false};
+}  // namespace internal
+
+namespace {
+
+bool EnvFlagSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+/// Captures the process-start instant and applies RT_TRACE / RT_PROFILE
+/// before main() runs, so hooks reached from any thread see the right
+/// flags without ever touching a singleton guard.
+struct ProcessInit {
+  ProcessInit() : start(Clock::now()) {
+    if (EnvFlagSet("RT_TRACE")) internal::g_trace_enabled.store(true);
+    if (EnvFlagSet("RT_PROFILE")) internal::g_profile_enabled.store(true);
+  }
+  TimePoint start;
+};
+const ProcessInit g_process_init;
+
+long long ToNs(Clock::duration d) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+}
+
+}  // namespace
+
+TimePoint ProcessStart() { return g_process_init.start; }
+
+double UptimeSeconds() {
+  return std::chrono::duration<double>(Now() - ProcessStart()).count();
+}
+
+// ---------------------------------------------------------------------------
+// Stages
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kRequest:
+      return "request";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kSessionAcquire:
+      return "session_acquire";
+    case Stage::kPrefill:
+      return "prefill";
+    case Stage::kBatchStep:
+      return "batch_step";
+    case Stage::kSample:
+      return "sample";
+    case Stage::kResponseWrite:
+      return "response_write";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// StageHistogram
+
+// 1-2-5 per decade, 1us .. 10s.
+const double StageHistogram::kBoundsSeconds[StageHistogram::kNumBounds] = {
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3,
+    5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0,  2.0,  5.0,  10.0};
+
+void StageHistogram::Record(long long ns) {
+  if (ns < 0) ns = 0;
+  const double seconds = static_cast<double>(ns) * 1e-9;
+  int bucket = kNumBounds;  // +Inf
+  for (int i = 0; i < kNumBounds; ++i) {
+    if (seconds <= kBoundsSeconds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  long long seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void StageHistogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+long long StageHistogram::count() const {
+  long long total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void StageHistogram::FillMetrics(const std::string& prefix,
+                                 Json* object) const {
+  // Same key shape as the serve request-latency histogram (see
+  // LatencyHistogram::FillMetrics) so RenderPrometheus treats both
+  // families identically.
+  long long observations = 0;
+  Json bounds{Json::Array{}};
+  Json counts{Json::Array{}};
+  for (int i = 0; i <= kNumBounds; ++i) {
+    if (i < kNumBounds) {
+      bounds.Append(kBoundsSeconds[i]);
+    } else {
+      bounds.Append("inf");
+    }
+    const long long n = buckets_[i].load(std::memory_order_relaxed);
+    observations += n;
+    counts.Append(static_cast<double>(n));
+  }
+  const double total_seconds =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  object->Set(prefix + "seconds_total", total_seconds);
+  object->Set(prefix + "seconds_max",
+              static_cast<double>(max_ns_.load(std::memory_order_relaxed)) *
+                  1e-9);
+  object->Set(prefix + "seconds_mean",
+              observations > 0
+                  ? total_seconds / static_cast<double>(observations)
+                  : 0.0);
+  object->Set(prefix + "latency_bucket_le", std::move(bounds));
+  object->Set(prefix + "latency_bucket_count", std::move(counts));
+}
+
+namespace {
+
+struct StageState {
+  StageHistogram histograms[kStageCount];
+  std::atomic<long long> tokens_sampled{0};
+  /// Wall time spent inside batch_step spans, the denominator of the
+  /// decode-throughput gauge.
+  std::atomic<long long> decode_ns{0};
+};
+
+StageState& Stages() {
+  static StageState state;
+  return state;
+}
+
+}  // namespace
+
+StageHistogram& HistogramFor(Stage stage) {
+  return Stages().histograms[static_cast<int>(stage)];
+}
+
+void CountSampledTokens(long long n) {
+  Stages().tokens_sampled.fetch_add(n, std::memory_order_relaxed);
+}
+
+void FillStageMetrics(Json* object) {
+  StageState& state = Stages();
+  static const Stage kAll[kStageCount] = {
+      Stage::kRequest,   Stage::kQueueWait, Stage::kSessionAcquire,
+      Stage::kPrefill,   Stage::kBatchStep, Stage::kSample,
+      Stage::kResponseWrite};
+  for (Stage stage : kAll) {
+    HistogramFor(stage).FillMetrics(
+        std::string("stage_") + StageName(stage) + "_", object);
+  }
+  const long long tokens =
+      state.tokens_sampled.load(std::memory_order_relaxed);
+  const double decode_seconds =
+      static_cast<double>(state.decode_ns.load(std::memory_order_relaxed)) *
+      1e-9;
+  object->Set("stage_tokens_sampled", static_cast<double>(tokens));
+  object->Set("stage_tokens_per_sec",
+              decode_seconds > 0.0
+                  ? static_cast<double>(tokens) / decode_seconds
+                  : 0.0);
+}
+
+void ResetStageMetrics() {
+  StageState& state = Stages();
+  for (auto& histogram : state.histograms) histogram.Reset();
+  state.tokens_sampled.store(0, std::memory_order_relaxed);
+  state.decode_ns.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::TraceRecorder() = default;
+
+void TraceRecorder::SetEnabled(bool enabled) {
+  internal::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  head_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.seq.store(0, std::memory_order_release);
+  }
+}
+
+uint64_t TraceRecorder::NextTraceId() {
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const char* name, uint64_t trace_id,
+                           long long ts_ns, long long dur_ns,
+                           const char* arg_name, long long arg_value) {
+  if (!enabled()) return;
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % kCapacity];
+  // Seqlock write: odd = in progress. Readers that observe any of the
+  // field stores below are guaranteed (release fence) to also observe
+  // the odd seq, so a torn slot can never validate.
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.arg_name.store(arg_name, std::memory_order_relaxed);
+  slot.arg_value.store(arg_value, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+long long TraceRecorder::recorded() const {
+  return static_cast<long long>(head_.load(std::memory_order_relaxed));
+}
+
+long long TraceRecorder::dropped() const {
+  const long long total = recorded();
+  return total > kCapacity ? total - kCapacity : 0;
+}
+
+Json TraceRecorder::ExportChromeJson() const {
+  struct Event {
+    const char* name;
+    uint64_t trace_id;
+    long long ts_ns;
+    long long dur_ns;
+    const char* arg_name;
+    long long arg_value;
+  };
+  std::vector<Event> events;
+  events.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    const uint64_t v1 = slot.seq.load(std::memory_order_acquire);
+    if (v1 == 0 || (v1 & 1) != 0) continue;
+    Event ev;
+    ev.name = slot.name.load(std::memory_order_relaxed);
+    ev.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    ev.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    ev.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+    ev.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != v1) continue;
+    if (ev.name == nullptr) continue;
+    events.push_back(ev);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              // Longer spans first at equal start so parents precede
+              // children in the export.
+              return a.dur_ns > b.dur_ns;
+            });
+
+  Json trace_events{Json::Array{}};
+  std::vector<uint64_t> tids;
+  for (const Event& ev : events) {
+    Json entry{Json::Object{}};
+    entry.Set("name", ev.name);
+    entry.Set("cat", "rt");
+    entry.Set("ph", "X");
+    entry.Set("ts", static_cast<double>(ev.ts_ns) * 1e-3);   // micros
+    entry.Set("dur", static_cast<double>(ev.dur_ns) * 1e-3);
+    entry.Set("pid", 1);
+    entry.Set("tid", static_cast<double>(ev.trace_id));
+    Json args{Json::Object{}};
+    args.Set("trace_id", static_cast<double>(ev.trace_id));
+    if (ev.arg_name != nullptr) {
+      args.Set(ev.arg_name, static_cast<double>(ev.arg_value));
+    }
+    entry.Set("args", std::move(args));
+    trace_events.Append(std::move(entry));
+    if (std::find(tids.begin(), tids.end(), ev.trace_id) == tids.end()) {
+      tids.push_back(ev.trace_id);
+    }
+  }
+  // Name each per-request track (and the process) so Perfetto shows
+  // "trace N" lanes instead of bare numeric tids.
+  {
+    Json process_name{Json::Object{}};
+    process_name.Set("name", "process_name");
+    process_name.Set("ph", "M");
+    process_name.Set("pid", 1);
+    Json args{Json::Object{}};
+    args.Set("name", "ratatouille");
+    process_name.Set("args", std::move(args));
+    trace_events.Append(std::move(process_name));
+  }
+  for (const uint64_t tid : tids) {
+    Json thread_name{Json::Object{}};
+    thread_name.Set("name", "thread_name");
+    thread_name.Set("ph", "M");
+    thread_name.Set("pid", 1);
+    thread_name.Set("tid", static_cast<double>(tid));
+    Json args{Json::Object{}};
+    char label[32];
+    if (tid == 0) {
+      std::snprintf(label, sizeof(label), "untraced");
+    } else {
+      std::snprintf(label, sizeof(label), "trace %" PRIu64, tid);
+    }
+    args.Set("name", label);
+    thread_name.Set("args", std::move(args));
+    trace_events.Append(std::move(thread_name));
+  }
+
+  Json out{Json::Object{}};
+  out.Set("traceEvents", std::move(trace_events));
+  out.Set("displayTimeUnit", "ms");
+  out.Set("spans_recorded", static_cast<double>(recorded()));
+  out.Set("spans_dropped", static_cast<double>(dropped()));
+  if (ProfileEnabled()) {
+    out.Set("kernelProfile", KernelProfiler::Instance().ToJson());
+  }
+  return out;
+}
+
+Status TraceRecorder::ExportToFile(const std::string& path) const {
+  const std::string text = ExportChromeJson().Dump();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open trace file '" + path + "'");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    return Status::IoError("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void RecordSpan(Stage stage, uint64_t trace_id, TimePoint start,
+                TimePoint end, const char* arg_name, long long arg_value) {
+  const long long dur_ns = ToNs(end - start);
+  HistogramFor(stage).Record(dur_ns);
+  if (stage == Stage::kBatchStep) {
+    Stages().decode_ns.fetch_add(dur_ns < 0 ? 0 : dur_ns,
+                                 std::memory_order_relaxed);
+  }
+  if (TraceEnabled()) {
+    TraceRecorder::Instance().Record(
+        StageName(stage), trace_id, ToNs(start - ProcessStart()),
+        dur_ns < 0 ? 0 : dur_ns, arg_name, arg_value);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KernelProfiler
+
+KernelProfiler& KernelProfiler::Instance() {
+  static KernelProfiler profiler;
+  return profiler;
+}
+
+const char* KernelProfiler::OpName(Op op) {
+  switch (op) {
+    case Op::kGemm:
+      return "gemm";
+    case Op::kGemmTransB:
+      return "gemm_trans_b";
+    case Op::kGemmTransA:
+      return "gemm_trans_a";
+    case Op::kGemmPacked:
+      return "gemm_packed";
+    case Op::kParallelFor:
+      return "parallel_for";
+  }
+  return "unknown";
+}
+
+void KernelProfiler::SetEnabled(bool enabled) {
+  internal::g_profile_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void KernelProfiler::Reset() {
+  for (Counter& counter : counters_) {
+    counter.calls.store(0, std::memory_order_relaxed);
+    counter.flops.store(0, std::memory_order_relaxed);
+    counter.ns.store(0, std::memory_order_relaxed);
+  }
+  tokens_.store(0, std::memory_order_relaxed);
+}
+
+void KernelProfiler::RecordOp(Op op, long long flops, long long ns) {
+  Counter& counter = counters_[static_cast<int>(op)];
+  counter.calls.fetch_add(1, std::memory_order_relaxed);
+  counter.flops.fetch_add(flops, std::memory_order_relaxed);
+  counter.ns.fetch_add(ns < 0 ? 0 : ns, std::memory_order_relaxed);
+}
+
+void KernelProfiler::CountTokens(long long n) {
+  tokens_.fetch_add(n, std::memory_order_relaxed);
+}
+
+Json KernelProfiler::ToJson() const {
+  Json out{Json::Object{}};
+  out.Set("enabled", enabled());
+  const long long tokens = tokens_.load(std::memory_order_relaxed);
+  out.Set("tokens", static_cast<double>(tokens));
+  Json ops{Json::Object{}};
+  long long gemm_calls = 0;
+  long long total_flops = 0;
+  long long total_ns = 0;
+  for (int i = 0; i < kOpCount; ++i) {
+    const Counter& counter = counters_[i];
+    const long long calls = counter.calls.load(std::memory_order_relaxed);
+    const long long flops = counter.flops.load(std::memory_order_relaxed);
+    const long long ns = counter.ns.load(std::memory_order_relaxed);
+    const Op op = static_cast<Op>(i);
+    if (op != Op::kParallelFor) {
+      gemm_calls += calls;
+      total_flops += flops;
+      total_ns += ns;
+    }
+    Json entry{Json::Object{}};
+    entry.Set("calls", static_cast<double>(calls));
+    entry.Set("flops", static_cast<double>(flops));
+    entry.Set("seconds", static_cast<double>(ns) * 1e-9);
+    entry.Set("gflops", ns > 0 ? static_cast<double>(flops) /
+                                     static_cast<double>(ns)
+                               : 0.0);
+    ops.Set(OpName(op), std::move(entry));
+  }
+  out.Set("ops", std::move(ops));
+  Json per_token{Json::Object{}};
+  const double denom = tokens > 0 ? static_cast<double>(tokens) : 1.0;
+  per_token.Set("gemm_calls", static_cast<double>(gemm_calls) / denom);
+  per_token.Set("mflops",
+                static_cast<double>(total_flops) * 1e-6 / denom);
+  per_token.Set("micros", static_cast<double>(total_ns) * 1e-3 / denom);
+  out.Set("per_token", std::move(per_token));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus rendering
+
+namespace {
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+constexpr const char kLeSuffix[] = "latency_bucket_le";
+constexpr const char kCountSuffix[] = "latency_bucket_count";
+
+bool EndsWith(const std::string& text, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return text.size() >= n &&
+         text.compare(text.size() - n, n, suffix) == 0;
+}
+
+void AppendTypeLine(const std::string& name, const char* type,
+                    std::string* out) {
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+/// Renders `<prefix>latency_bucket_le` / `_count` pairs as one
+/// cumulative Prometheus histogram.
+void RenderHistogramFamily(const std::string& family_prefix,
+                           const Json::Object& fields, const Json& le,
+                           const Json& counts, std::string* out) {
+  const std::string name =
+      SanitizeMetricName("rt_" + family_prefix + "latency_seconds");
+  AppendTypeLine(name, "histogram", out);
+  const auto& bounds = le.AsArray();
+  const auto& bucket_counts = counts.AsArray();
+  long long cumulative = 0;
+  const size_t n = std::min(bounds.size(), bucket_counts.size());
+  for (size_t i = 0; i < n; ++i) {
+    cumulative +=
+        static_cast<long long>(bucket_counts[i].AsNumber() + 0.5);
+    const std::string bound =
+        bounds[i].is_number() ? FormatNumber(bounds[i].AsNumber())
+                              : std::string("+Inf");
+    *out += name + "_bucket{le=\"" + bound + "\"} " +
+            FormatNumber(static_cast<double>(cumulative)) + "\n";
+  }
+  const auto sum = fields.find(family_prefix + "seconds_total");
+  if (sum != fields.end() && sum->second.is_number()) {
+    *out += name + "_sum " + FormatNumber(sum->second.AsNumber()) + "\n";
+  }
+  *out += name + "_count " +
+          FormatNumber(static_cast<double>(cumulative)) + "\n";
+}
+
+void RenderObject(const Json& object, const std::string& prefix,
+                  std::string* out) {
+  if (!object.is_object()) return;
+  const Json::Object& fields = object.AsObject();
+  for (const auto& [key, value] : fields) {
+    const std::string flat = prefix + key;
+    if (EndsWith(key, kLeSuffix) && value.is_array()) {
+      const std::string family_prefix =
+          key.substr(0, key.size() - std::strlen(kLeSuffix));
+      const auto counts = fields.find(family_prefix + kCountSuffix);
+      if (counts != fields.end() && counts->second.is_array()) {
+        RenderHistogramFamily(prefix + family_prefix, fields, value,
+                              counts->second, out);
+        continue;
+      }
+    }
+    if (EndsWith(key, kCountSuffix) && value.is_array()) {
+      continue;  // consumed by the matching _le family above
+    }
+    if (value.is_number()) {
+      const std::string name = SanitizeMetricName("rt_" + flat);
+      AppendTypeLine(name, "gauge", out);
+      *out += name + " " + FormatNumber(value.AsNumber()) + "\n";
+    } else if (value.is_bool()) {
+      const std::string name = SanitizeMetricName("rt_" + flat);
+      AppendTypeLine(name, "gauge", out);
+      *out += name + (value.AsBool() ? " 1\n" : " 0\n");
+    } else if (value.is_string()) {
+      const std::string name = SanitizeMetricName("rt_" + flat);
+      AppendTypeLine(name, "gauge", out);
+      *out += name + "{value=\"" + EscapeLabelValue(value.AsString()) +
+              "\"} 1\n";
+    } else if (value.is_object()) {
+      RenderObject(value, flat + "_", out);
+    }
+    // Arrays outside histogram families have no Prometheus shape; the
+    // schema test keeps the JSON free of any.
+  }
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const Json& metrics) {
+  std::string out;
+  RenderObject(metrics, "", &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Build info
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+#ifdef RT_GIT_SHA
+  info.git_sha = RT_GIT_SHA;
+#else
+  info.git_sha = "unknown";
+#endif
+#ifdef RT_BUILD_TYPE
+  info.build_type = (RT_BUILD_TYPE[0] != '\0') ? RT_BUILD_TYPE
+                                               : "unspecified";
+#else
+  info.build_type = "unspecified";
+#endif
+#ifdef RT_SANITIZE_MODE
+  info.sanitizer = (RT_SANITIZE_MODE[0] != '\0') ? RT_SANITIZE_MODE
+                                                 : "none";
+#else
+  info.sanitizer = "none";
+#endif
+  return info;
+}
+
+}  // namespace obs
+}  // namespace rt

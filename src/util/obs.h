@@ -1,0 +1,290 @@
+#ifndef RATATOUILLE_UTIL_OBS_H_
+#define RATATOUILLE_UTIL_OBS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace rt {
+namespace obs {
+
+/// Observability primitives shared by every layer of the request path:
+///
+///   * TraceRecorder — a lock-light ring buffer of spans keyed by a
+///     request-scoped trace id, exported as Chrome trace_event JSON
+///     (load at chrome://tracing or https://ui.perfetto.dev).
+///   * StageHistogram — always-on, lock-free latency histograms with
+///     fixed log-spaced buckets, one per pipeline stage.
+///   * KernelProfiler — opt-in per-op GEMM call/FLOP/wall-time counters
+///     (RT_PROFILE=1 or --profile), aggregated per generated token.
+///
+/// Cost model: stage histograms are metrics and always record (a few
+/// relaxed atomic adds per span). Ring recording and kernel profiling
+/// are guarded by a single relaxed atomic load each and cost nothing
+/// when disabled — the guarantee the bench tracing-overhead gate
+/// enforces.
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+
+inline TimePoint Now() { return Clock::now(); }
+
+/// Steady-clock instant captured at process start (static init); trace
+/// timestamps and /healthz uptime_s are measured from it.
+TimePoint ProcessStart();
+double UptimeSeconds();
+
+// ---------------------------------------------------------------------------
+// Span taxonomy
+
+/// The stages a request passes through. Each has an always-on latency
+/// histogram and names the spans in the trace export.
+enum class Stage : int {
+  kRequest = 0,     ///< whole HTTP exchange, admission to response sent
+  kQueueWait,       ///< accept-queue wait before a worker picks the conn up
+  kSessionAcquire,  ///< wait for a model session slot
+  kPrefill,         ///< prompt encoding before the first sampled token
+  kBatchStep,       ///< one batched (or sequential) decoder forward step
+  kSample,          ///< logits -> token-id selection for one row
+  kResponseWrite,   ///< serializing + sending the HTTP response
+};
+inline constexpr int kStageCount = 7;
+
+/// Stable lowercase span/metric name, e.g. "queue_wait".
+const char* StageName(Stage stage);
+
+// ---------------------------------------------------------------------------
+// Fast-path guards (single relaxed atomic load; see Cost model above)
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+extern std::atomic<bool> g_profile_enabled;
+}  // namespace internal
+
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+inline bool ProfileEnabled() {
+  return internal::g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage latency histograms
+
+/// Lock-free latency histogram over fixed log-spaced (1-2-5 decade)
+/// bucket upper bounds from 1us to 10s plus an overflow bucket.
+/// Record() is a few relaxed atomic RMWs; reads are monotonic
+/// snapshots (safe to render while writers are active).
+class StageHistogram {
+ public:
+  static constexpr int kNumBounds = 22;
+  /// Finite bucket upper bounds in seconds, ascending.
+  static const double kBoundsSeconds[kNumBounds];
+
+  void Record(long long ns);
+  void Reset();
+  long long count() const;
+
+  /// Writes prefix+{"seconds_total","seconds_max","seconds_mean",
+  /// "latency_bucket_le","latency_bucket_count"} into `object` — the
+  /// same key shape the serve request-latency histogram uses, so one
+  /// Prometheus renderer handles both.
+  void FillMetrics(const std::string& prefix, Json* object) const;
+
+ private:
+  std::atomic<long long> buckets_[kNumBounds + 1] = {};
+  std::atomic<long long> sum_ns_{0};
+  std::atomic<long long> max_ns_{0};
+};
+
+/// Process-wide histogram for one stage (always recording).
+StageHistogram& HistogramFor(Stage stage);
+
+/// Adds every stage histogram to `object` under "stage_<name>_" key
+/// prefixes, plus "stage_tokens_sampled" and "stage_tokens_per_sec"
+/// (sampled-token throughput while decode was active).
+void FillStageMetrics(Json* object);
+
+/// Clears all stage histograms and the token counters (tests).
+void ResetStageMetrics();
+
+/// Counts sampled tokens for the tokens/sec gauge. Called once per
+/// sampled token by the decode paths (scheduler + sequential).
+void CountSampledTokens(long long n);
+
+// ---------------------------------------------------------------------------
+// Trace recorder
+
+/// Fixed-capacity ring of completed spans. Record() claims a slot with
+/// one atomic fetch_add and publishes it seqlock-style (per-slot
+/// version counter, all-atomic fields), so concurrent writers never
+/// block each other and Export can run while recording continues; a
+/// slot caught mid-rewrite is skipped, and once the ring wraps the
+/// oldest spans are overwritten (dropped() counts them).
+class TraceRecorder {
+ public:
+  static constexpr int kCapacity = 16384;  // slots (power of two)
+
+  static TraceRecorder& Instance();
+
+  bool enabled() const { return TraceEnabled(); }
+  void SetEnabled(bool enabled);
+
+  /// Drops every recorded span and resets the drop counter. Trace ids
+  /// keep advancing (they are never reused within a process).
+  void Clear();
+
+  /// Allocates a fresh request-scoped trace id (>= 1; 0 = untraced).
+  uint64_t NextTraceId();
+
+  /// Records one completed span. `name` must point at storage that
+  /// outlives the recorder (string literals / StageName). ts_ns is
+  /// relative to ProcessStart(). No-op when disabled.
+  void Record(const char* name, uint64_t trace_id, long long ts_ns,
+              long long dur_ns, const char* arg_name = nullptr,
+              long long arg_value = 0);
+
+  /// Chrome trace_event export: {"traceEvents":[...]} with one "X"
+  /// (complete) event per span, tid = trace id so each request gets
+  /// its own track, per-track thread_name metadata, and — when the
+  /// profiler is enabled — a top-level "kernelProfile" object.
+  Json ExportChromeJson() const;
+
+  /// Dump()s ExportChromeJson() to `path`.
+  Status ExportToFile(const std::string& path) const;
+
+  /// Spans recorded since Clear() (including since-overwritten ones).
+  long long recorded() const;
+  /// Spans lost to ring wrap-around since Clear().
+  long long dropped() const;
+
+ private:
+  TraceRecorder();
+
+  struct Slot {
+    /// 0 = empty; odd = being written; 2*ticket+2 = published.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<long long> ts_ns{0};
+    std::atomic<long long> dur_ns{0};
+    std::atomic<const char*> arg_name{nullptr};
+    std::atomic<long long> arg_value{0};
+  };
+
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> next_trace_id_{1};
+  Slot slots_[kCapacity];
+};
+
+/// Records a completed span: always feeds the stage histogram, and the
+/// ring too when tracing is enabled.
+void RecordSpan(Stage stage, uint64_t trace_id, TimePoint start,
+                TimePoint end, const char* arg_name = nullptr,
+                long long arg_value = 0);
+
+inline void RecordSpanSince(Stage stage, uint64_t trace_id, TimePoint start,
+                            const char* arg_name = nullptr,
+                            long long arg_value = 0) {
+  RecordSpan(stage, trace_id, start, Now(), arg_name, arg_value);
+}
+
+/// RAII span covering a scope.
+class ScopedSpan {
+ public:
+  ScopedSpan(Stage stage, uint64_t trace_id, const char* arg_name = nullptr,
+             long long arg_value = 0)
+      : stage_(stage),
+        trace_id_(trace_id),
+        arg_name_(arg_name),
+        arg_value_(arg_value),
+        start_(Now()) {}
+  ~ScopedSpan() {
+    RecordSpanSince(stage_, trace_id_, start_, arg_name_, arg_value_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Stage stage_;
+  uint64_t trace_id_;
+  const char* arg_name_;
+  long long arg_value_;
+  TimePoint start_;
+};
+
+// ---------------------------------------------------------------------------
+// Kernel profiler
+
+/// Opt-in per-op counters for the kernel layer: GEMM dispatch calls,
+/// FLOPs, and wall time, plus thread-pool parallel regions, aggregated
+/// per sampled token. Enabled by RT_PROFILE=1 in the environment or
+/// --profile on the CLI; hooks cost one relaxed atomic load when off.
+class KernelProfiler {
+ public:
+  enum class Op : int {
+    kGemm = 0,
+    kGemmTransB,
+    kGemmTransA,
+    kGemmPacked,
+    kParallelFor,
+  };
+  static constexpr int kOpCount = 5;
+
+  static KernelProfiler& Instance();
+  static const char* OpName(Op op);
+
+  bool enabled() const { return ProfileEnabled(); }
+  void SetEnabled(bool enabled);
+  void Reset();
+
+  /// Adds one call of `op`. flops = 0 for non-arithmetic ops.
+  void RecordOp(Op op, long long flops, long long ns);
+
+  /// Counts sampled tokens so ToJson can report per-token aggregates.
+  void CountTokens(long long n);
+
+  /// {"enabled","tokens","ops":{<op>:{calls,flops,seconds,gflops}},
+  ///  "per_token":{gemm_calls,mflops,micros}}.
+  Json ToJson() const;
+
+ private:
+  KernelProfiler() = default;
+
+  struct Counter {
+    std::atomic<long long> calls{0};
+    std::atomic<long long> flops{0};
+    std::atomic<long long> ns{0};
+  };
+  Counter counters_[kOpCount];
+  std::atomic<long long> tokens_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Prometheus rendering & build info
+
+/// Renders a /v1/metrics JSON object as Prometheus text exposition
+/// (version 0.0.4). Mechanical mapping — numbers become rt_<key>
+/// gauges, <prefix>latency_bucket_le/_count array pairs become
+/// cumulative rt_<prefix>latency_seconds histograms, strings become
+/// info-style gauges with a value label, nested objects recurse with
+/// the key as prefix — so the two representations cannot drift.
+std::string RenderPrometheus(const Json& metrics);
+
+/// Compile-time build identity for /healthz.
+struct BuildInfo {
+  const char* git_sha;     ///< short SHA or "unknown"
+  const char* build_type;  ///< CMAKE_BUILD_TYPE or "unspecified"
+  const char* sanitizer;   ///< RT_SANITIZE or "none"
+};
+BuildInfo GetBuildInfo();
+
+}  // namespace obs
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_OBS_H_

@@ -1,0 +1,154 @@
+// End-to-end trace test: one POST /v1/generate against the full web
+// stack in batched serving mode (max_batch=4) must produce a /v1/trace
+// export whose spans share the request's trace id, nest inside the root
+// request span by time containment, and appear in pipeline order.
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ratatouille.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace {
+
+PipelineOptions SmallOptions() {
+  PipelineOptions options;
+  options.corpus.num_recipes = 80;
+  options.corpus.seed = 31;
+  options.model = ModelKind::kWordLstm;
+  options.trainer.epochs = 2;
+  options.trainer.batch_size = 4;
+  options.trainer.seq_len = 32;
+  return options;
+}
+
+struct Span {
+  std::string name;
+  double ts = 0.0;   // micros
+  double dur = 0.0;  // micros
+  double end() const { return ts + dur; }
+  double batch = 0.0;  // "batch" arg, 0 when absent
+};
+
+TEST(TraceIntegrationTest, GenerateProducesNestedSpanTreeOnOneTraceId) {
+  auto pipeline = Pipeline::Create(SmallOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Train().ok());
+  Pipeline& p = **pipeline;
+
+  BackendOptions options;
+  options.max_batch = 4;
+  serve::BatchSchedulerOptions sched_options;
+  sched_options.max_batch = options.max_batch;
+  serve::BatchScheduler scheduler(p.model(), sched_options);
+  InstallBatchMetrics(&scheduler, &options);
+  BackendService backend(
+      MakeBatchedPipelineSessionFactory(&p, &scheduler), options);
+  ASSERT_TRUE(backend.Start(0).ok());  // options.tracing enables the ring
+
+  auto& recorder = obs::TraceRecorder::Instance();
+  recorder.Clear();  // only this test's requests from here on
+
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["tomato","onion"],)"
+                       R"("max_tokens":40,"seed":4})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+
+  auto trace = HttpGet(backend.port(), "/v1/trace");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->status, 200);
+  auto doc = Json::Parse(trace->body);
+  ASSERT_TRUE(doc.ok());
+
+  // Group complete events by trace id.
+  std::map<double, std::vector<Span>> by_trace;
+  for (const Json& ev : doc->Get("traceEvents").AsArray()) {
+    if (ev.Get("ph").AsString() != "X") continue;
+    Span span;
+    span.name = ev.Get("name").AsString();
+    span.ts = ev.Get("ts").AsNumber();
+    span.dur = ev.Get("dur").AsNumber();
+    const Json& batch = ev.Get("args").Get("batch");
+    if (batch.is_number()) span.batch = batch.AsNumber();
+    by_trace[ev.Get("args").Get("trace_id").AsNumber()].push_back(span);
+  }
+
+  // The generate is the only finished exchange with a root request span
+  // (the in-flight /v1/trace GET has not recorded its own root yet).
+  const std::vector<Span>* request_spans = nullptr;
+  double request_tid = 0.0;
+  for (const auto& [tid, spans] : by_trace) {
+    for (const Span& span : spans) {
+      if (span.name == "request") {
+        ASSERT_EQ(request_spans, nullptr)
+            << "two completed request spans after Clear()";
+        request_spans = &spans;
+        request_tid = tid;
+      }
+    }
+  }
+  ASSERT_NE(request_spans, nullptr);
+  EXPECT_GT(request_tid, 0.0);
+
+  // >= 5 distinct span types on the one trace id — with the word-lstm
+  // decode loop behind the batch scheduler, all seven stages appear.
+  std::set<std::string> names;
+  for (const Span& span : *request_spans) names.insert(span.name);
+  EXPECT_GE(names.size(), 5u);
+  for (const char* expected :
+       {"request", "queue_wait", "session_acquire", "prefill",
+        "batch_step", "sample", "response_write"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+  }
+
+  // Parenting: the root request span contains every other span of its
+  // trace (0.5us slack for ns -> us rounding).
+  const Span* root = nullptr;
+  for (const Span& span : *request_spans) {
+    if (span.name == "request") root = &span;
+  }
+  ASSERT_NE(root, nullptr);
+  constexpr double kSlackUs = 0.5;
+  double queue_wait_end = 0.0;
+  double prefill_start = 0.0;
+  double first_sample_start = 0.0;
+  for (const Span& span : *request_spans) {
+    if (span.name == "request") continue;
+    EXPECT_GE(span.ts, root->ts - kSlackUs) << span.name;
+    EXPECT_LE(span.end(), root->end() + kSlackUs) << span.name;
+    if (span.name == "queue_wait") queue_wait_end = span.end();
+    if (span.name == "prefill") prefill_start = span.ts;
+    if (span.name == "sample" &&
+        (first_sample_start == 0.0 || span.ts < first_sample_start)) {
+      first_sample_start = span.ts;
+    }
+    if (span.name == "batch_step") {
+      // Batched steps are annotated with the coalesced row count.
+      EXPECT_GE(span.batch, 1.0);
+      EXPECT_LE(span.batch, 4.0);
+    }
+  }
+
+  // Ordering along the pipeline: the queue wait finishes before prompt
+  // prefill begins, and prefill begins before the first sampled token.
+  EXPECT_GT(queue_wait_end, 0.0);
+  EXPECT_GT(prefill_start, 0.0);
+  EXPECT_GT(first_sample_start, 0.0);
+  EXPECT_LE(queue_wait_end, prefill_start + kSlackUs);
+  EXPECT_LT(prefill_start, first_sample_start + kSlackUs);
+
+  backend.Stop();
+  scheduler.Stop();
+  recorder.SetEnabled(false);
+  recorder.Clear();
+}
+
+}  // namespace
+}  // namespace rt

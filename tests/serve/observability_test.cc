@@ -1,0 +1,233 @@
+// Observability surface tests against a stub backend: the /v1/metrics
+// JSON <-> Prometheus schema-sync contract, the /v1/trace export, and
+// graceful degradation under the trace.export.fail /
+// metrics.render.slow fault points.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "util/fault_injection.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace {
+
+StatusOr<Recipe> FakeGenerate(const GenerateRequest& req) {
+  Recipe r;
+  r.title = "dish";
+  for (const auto& ing : req.ingredients) {
+    r.ingredients.push_back({"1", "", ing, ""});
+  }
+  r.instructions = {"cook"};
+  return r;
+}
+
+class ObservabilityTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    obs::TraceRecorder::Instance().Clear();
+    BackendOptions options;
+    options.models = {"word-lstm"};
+    backend_ = std::make_unique<BackendService>(
+        [](int) -> BackendService::GenerateFn {
+          return BackendService::WrapRecipeFn(FakeGenerate);
+        },
+        options);  // options.tracing defaults true -> recorder enabled
+    ASSERT_TRUE(backend_->Start(0).ok());
+  }
+  void TearDown() override {
+    if (backend_) backend_->Stop();
+    FaultInjector::Instance().Reset();
+    obs::TraceRecorder::Instance().SetEnabled(false);
+    obs::TraceRecorder::Instance().Clear();
+  }
+
+  std::unique_ptr<BackendService> backend_;
+};
+
+/// Mirrors obs's metric-name sanitizer so the test can predict the
+/// Prometheus name of any JSON key.
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(),
+                      suffix) == 0;
+}
+
+/// Walks the metrics JSON and asserts every field has its Prometheus
+/// counterpart: numbers/bools/strings as rt_<flat> lines, histogram
+/// bucket-array pairs as rt_<prefix>latency_seconds families, nested
+/// objects recursively. Any other array is a schema violation.
+void AssertSchemaSync(const Json& object, const std::string& prefix,
+                      const std::string& text) {
+  ASSERT_TRUE(object.is_object());
+  for (const auto& [key, value] : object.AsObject()) {
+    const std::string flat = prefix + key;
+    if (value.is_array()) {
+      if (EndsWith(key, "latency_bucket_le")) {
+        const std::string family =
+            flat.substr(0, flat.size() -
+                               std::string("latency_bucket_le").size());
+        const std::string name =
+            Sanitize("rt_" + family + "latency_seconds");
+        EXPECT_NE(text.find(name + "_bucket{le=\"+Inf\"} "),
+                  std::string::npos)
+            << "histogram family missing: " << name;
+        EXPECT_NE(text.find(name + "_count "), std::string::npos)
+            << "histogram count missing: " << name;
+        EXPECT_NE(text.find(name + "_sum "), std::string::npos)
+            << "histogram sum missing: " << name;
+      } else {
+        EXPECT_TRUE(EndsWith(key, "latency_bucket_count"))
+            << "array key '" << flat
+            << "' has no Prometheus mapping — extend RenderPrometheus "
+               "or change the metric's shape";
+      }
+      continue;
+    }
+    if (value.is_object()) {
+      AssertSchemaSync(value, flat + "_", text);
+      continue;
+    }
+    const std::string name = Sanitize("rt_" + flat);
+    if (value.is_number() || value.is_bool()) {
+      EXPECT_NE(text.find(name + " "), std::string::npos)
+          << "gauge missing: " << name;
+    } else if (value.is_string()) {
+      EXPECT_NE(text.find(name + "{value=\""), std::string::npos)
+          << "info gauge missing: " << name;
+    }
+  }
+}
+
+TEST_F(ObservabilityTest, MetricsJsonAndPrometheusStayInSync) {
+  // Generate once so latency histograms and stage metrics have data.
+  auto gen = HttpPost(backend_->port(), "/v1/generate",
+                      R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(gen.ok());
+  ASSERT_EQ(gen->status, 200);
+
+  auto json_resp = HttpGet(backend_->port(), "/v1/metrics");
+  ASSERT_TRUE(json_resp.ok());
+  ASSERT_EQ(json_resp->status, 200);
+  auto doc = Json::Parse(json_resp->body);
+  ASSERT_TRUE(doc.ok());
+
+  auto prom_resp =
+      HttpGet(backend_->port(), "/v1/metrics?format=prometheus");
+  ASSERT_TRUE(prom_resp.ok());
+  ASSERT_EQ(prom_resp->status, 200);
+  EXPECT_EQ(prom_resp->headers.at("content-type"),
+            "text/plain; version=0.0.4");
+
+  AssertSchemaSync(*doc, "", prom_resp->body);
+
+  // Spot-check the families this PR added.
+  EXPECT_TRUE(doc->Get("uptime_s").is_number());
+  EXPECT_TRUE(doc->Get("stage_tokens_sampled").is_number());
+  for (const char* stage :
+       {"request", "queue_wait", "session_acquire", "prefill",
+        "batch_step", "sample", "response_write"}) {
+    const std::string key =
+        std::string("stage_") + stage + "_seconds_total";
+    EXPECT_TRUE(doc->Get(key).is_number()) << key;
+  }
+  EXPECT_NE(prom_resp->body.find(
+                "rt_stage_request_latency_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // The request was actually observed by the request-stage histogram.
+  EXPECT_GE(doc->Get("stage_request_latency_bucket_count")
+                .AsArray()
+                .back()
+                .AsNumber() +
+                doc->Get("stage_request_seconds_total").AsNumber(),
+            0.0);
+}
+
+TEST_F(ObservabilityTest, TraceEndpointExportsSpansForAGenerate) {
+  auto gen = HttpPost(backend_->port(), "/v1/generate",
+                      R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(gen.ok());
+  ASSERT_EQ(gen->status, 200);
+
+  auto trace = HttpGet(backend_->port(), "/v1/trace");
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->status, 200);
+  auto doc = Json::Parse(trace->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("displayTimeUnit").AsString(), "ms");
+  EXPECT_GT(doc->Get("spans_recorded").AsNumber(), 0.0);
+
+  std::set<std::string> names;
+  bool saw_traced_span = false;
+  for (const Json& ev : doc->Get("traceEvents").AsArray()) {
+    if (ev.Get("ph").AsString() != "X") continue;
+    names.insert(ev.Get("name").AsString());
+    if (ev.Get("args").Get("trace_id").AsNumber() > 0.0) {
+      saw_traced_span = true;
+    }
+  }
+  // The stub backend skips the decode loop, but the serve-layer spans
+  // must all be there for the generate we just issued.
+  EXPECT_TRUE(names.count("request")) << "have: " << names.size();
+  EXPECT_TRUE(names.count("session_acquire"));
+  EXPECT_TRUE(names.count("response_write"));
+  EXPECT_TRUE(saw_traced_span);
+}
+
+TEST_F(ObservabilityTest, TraceExportFaultNever500sGenerate) {
+  FaultInjector::Instance().Arm("trace.export.fail", {});
+
+  auto trace = HttpGet(backend_->port(), "/v1/trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->status, 503);
+  auto doc = Json::Parse(trace->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("error").Get("code").AsString(),
+            "trace_export_failed");
+  EXPECT_TRUE(doc->Get("error").Get("request_id").is_string());
+
+  // The generate path is untouched by the armed trace fault.
+  auto gen = HttpPost(backend_->port(), "/v1/generate",
+                      R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->status, 200);
+
+  FaultInjector::Instance().Disarm("trace.export.fail");
+  auto recovered = HttpGet(backend_->port(), "/v1/trace");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->status, 200);
+}
+
+TEST_F(ObservabilityTest, SlowMetricsRenderStillAnswers200) {
+  FaultInjector::FaultSpec spec;
+  spec.amount = 50;  // ms of injected render latency
+  FaultInjector::Instance().Arm("metrics.render.slow", spec);
+
+  const auto start = obs::Now();
+  auto resp = HttpGet(backend_->port(), "/v1/metrics");
+  const auto elapsed = obs::Now() - start;
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_TRUE(Json::Parse(resp->body).ok());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            50);
+  EXPECT_GT(FaultInjector::Instance().fires("metrics.render.slow"), 0);
+}
+
+}  // namespace
+}  // namespace rt

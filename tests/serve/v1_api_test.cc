@@ -166,11 +166,17 @@ TEST_F(V1ApiTest, LegacyAliasesAnswerWithDeprecationHeader) {
   EXPECT_EQ(post->headers.count("deprecation"), 1u);
 }
 
-TEST_F(V1ApiTest, HealthzBodyIsStable) {
+TEST_F(V1ApiTest, HealthzReportsStatusAndBuildIdentity) {
   auto resp = HttpGet(backend_->port(), "/v1/healthz");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
-  EXPECT_EQ(resp->body, "{\"status\":\"ok\"}");
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("status").AsString(), "ok");
+  EXPECT_GE(doc->Get("uptime_s").AsNumber(), 0.0);
+  EXPECT_FALSE(doc->Get("build_type").AsString().empty());
+  EXPECT_FALSE(doc->Get("sanitizer").AsString().empty());
+  EXPECT_FALSE(doc->Get("git_sha").AsString().empty());
 }
 
 TEST_F(V1ApiTest, UnknownPathGets404Envelope) {

@@ -1,0 +1,286 @@
+// Unit tests for the observability core (src/util/obs.h): the span
+// ring's seqlock publication and Chrome export shape, the lock-free
+// stage histograms, the kernel profiler aggregates, the Prometheus
+// renderer, and the build-info surface.
+
+#include "util/obs.h"
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace obs {
+namespace {
+
+/// Every test runs against the process-wide singletons, so each one
+/// starts from a clean slate and leaves recording disabled.
+class ObsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Instance().SetEnabled(false);
+    TraceRecorder::Instance().Clear();
+    KernelProfiler::Instance().SetEnabled(false);
+    KernelProfiler::Instance().Reset();
+    ResetStageMetrics();
+  }
+  void TearDown() override { SetUp(); }
+};
+
+TEST_F(ObsTest, StageNamesAreStable) {
+  EXPECT_STREQ(StageName(Stage::kRequest), "request");
+  EXPECT_STREQ(StageName(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(StageName(Stage::kSessionAcquire), "session_acquire");
+  EXPECT_STREQ(StageName(Stage::kPrefill), "prefill");
+  EXPECT_STREQ(StageName(Stage::kBatchStep), "batch_step");
+  EXPECT_STREQ(StageName(Stage::kSample), "sample");
+  EXPECT_STREQ(StageName(Stage::kResponseWrite), "response_write");
+}
+
+TEST_F(ObsTest, TraceIdsAreUniqueAndNonZero) {
+  auto& recorder = TraceRecorder::Instance();
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = recorder.NextTraceId();
+    EXPECT_GT(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+}
+
+TEST_F(ObsTest, DisabledRecorderDropsSpans) {
+  auto& recorder = TraceRecorder::Instance();
+  recorder.Record("x", 1, 10, 20);
+  EXPECT_EQ(recorder.recorded(), 0);
+  const Json out = recorder.ExportChromeJson();
+  // Only metadata events (process_name) — no "X" spans.
+  for (const Json& ev : out.Get("traceEvents").AsArray()) {
+    EXPECT_NE(ev.Get("ph").AsString(), "X");
+  }
+}
+
+TEST_F(ObsTest, ExportEmitsChromeCompleteEvents) {
+  auto& recorder = TraceRecorder::Instance();
+  recorder.SetEnabled(true);
+  recorder.Record("prefill", 7, 1000, 500, "prompt_tokens", 3);
+  recorder.Record("sample", 7, 1600, 100);
+  const Json out = recorder.ExportChromeJson();
+  EXPECT_EQ(out.Get("displayTimeUnit").AsString(), "ms");
+  EXPECT_EQ(out.Get("spans_recorded").AsNumber(), 2.0);
+  EXPECT_EQ(out.Get("spans_dropped").AsNumber(), 0.0);
+
+  std::vector<Json> spans;
+  bool saw_thread_name = false;
+  for (const Json& ev : out.Get("traceEvents").AsArray()) {
+    if (ev.Get("ph").AsString() == "X") spans.push_back(ev);
+    if (ev.Get("ph").AsString() == "M" &&
+        ev.Get("name").AsString() == "thread_name") {
+      saw_thread_name = true;
+      EXPECT_EQ(ev.Get("args").Get("name").AsString(), "trace 7");
+    }
+  }
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by start time; timestamps/durations are microseconds.
+  EXPECT_EQ(spans[0].Get("name").AsString(), "prefill");
+  EXPECT_NEAR(spans[0].Get("ts").AsNumber(), 1.0, 1e-9);
+  EXPECT_NEAR(spans[0].Get("dur").AsNumber(), 0.5, 1e-9);
+  EXPECT_EQ(spans[0].Get("args").Get("trace_id").AsNumber(), 7.0);
+  EXPECT_EQ(spans[0].Get("args").Get("prompt_tokens").AsNumber(), 3.0);
+  EXPECT_EQ(spans[1].Get("name").AsString(), "sample");
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST_F(ObsTest, RingWrapCountsDroppedSpans) {
+  auto& recorder = TraceRecorder::Instance();
+  recorder.SetEnabled(true);
+  const int extra = 10;
+  for (int i = 0; i < TraceRecorder::kCapacity + extra; ++i) {
+    recorder.Record("s", 1, i, 1);
+  }
+  EXPECT_EQ(recorder.recorded(), TraceRecorder::kCapacity + extra);
+  EXPECT_EQ(recorder.dropped(), extra);
+}
+
+TEST_F(ObsTest, ConcurrentRecordAndExportStayConsistent) {
+  auto& recorder = TraceRecorder::Instance();
+  recorder.SetEnabled(true);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < 2000; ++i) {
+        recorder.Record("batch_step", static_cast<uint64_t>(t + 1),
+                        i * 10, 5, "batch", 2);
+      }
+    });
+  }
+  // Export concurrently with the writers: every validated span must be
+  // fully-formed (name/args never torn).
+  for (int i = 0; i < 20; ++i) {
+    const Json out = recorder.ExportChromeJson();
+    for (const Json& ev : out.Get("traceEvents").AsArray()) {
+      if (ev.Get("ph").AsString() != "X") continue;
+      EXPECT_EQ(ev.Get("name").AsString(), "batch_step");
+      EXPECT_EQ(ev.Get("args").Get("batch").AsNumber(), 2.0);
+      const double tid = ev.Get("tid").AsNumber();
+      EXPECT_GE(tid, 1.0);
+      EXPECT_LE(tid, 4.0);
+    }
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(recorder.recorded(), 4 * 2000);
+}
+
+TEST_F(ObsTest, StageHistogramBucketsAndSummary) {
+  StageHistogram h;
+  h.Record(1500);             // 1.5us -> le=2e-6 bucket
+  h.Record(1'000'000);        // 1ms
+  h.Record(50'000'000'000);   // 50s -> overflow bucket
+  EXPECT_EQ(h.count(), 3);
+
+  Json out{Json::Object{}};
+  h.FillMetrics("x_", &out);
+  const auto& bounds = out.Get("x_latency_bucket_le").AsArray();
+  const auto& counts = out.Get("x_latency_bucket_count").AsArray();
+  ASSERT_EQ(bounds.size(), static_cast<size_t>(
+                               StageHistogram::kNumBounds + 1));
+  ASSERT_EQ(counts.size(), bounds.size());
+  EXPECT_EQ(bounds.back().AsString(), "inf");
+  double total = 0.0;
+  for (const Json& c : counts) total += c.AsNumber();
+  EXPECT_EQ(total, 3.0);
+  EXPECT_EQ(counts.back().AsNumber(), 1.0);  // the 50s outlier
+  EXPECT_NEAR(out.Get("x_seconds_total").AsNumber(), 50.0010015, 1e-6);
+  EXPECT_NEAR(out.Get("x_seconds_max").AsNumber(), 50.0, 1e-9);
+  // Each recorded value lands in the first bucket whose bound >= it.
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    if (counts[i].AsNumber() > 0.0) {
+      EXPECT_GE(bounds[i].AsNumber(), 1.5e-6);
+      break;
+    }
+  }
+}
+
+TEST_F(ObsTest, RecordSpanFeedsHistogramEvenWhenTracingDisabled) {
+  const TimePoint start = Now();
+  RecordSpanSince(Stage::kSample, 0, start);
+  EXPECT_EQ(HistogramFor(Stage::kSample).count(), 1);
+  EXPECT_EQ(TraceRecorder::Instance().recorded(), 0);
+}
+
+TEST_F(ObsTest, FillStageMetricsEmitsEveryStageAndTokenGauges) {
+  CountSampledTokens(5);
+  Json out{Json::Object{}};
+  FillStageMetrics(&out);
+  for (const char* stage :
+       {"request", "queue_wait", "session_acquire", "prefill",
+        "batch_step", "sample", "response_write"}) {
+    const std::string prefix = std::string("stage_") + stage + "_";
+    EXPECT_TRUE(out.Get(prefix + "seconds_total").is_number()) << stage;
+    EXPECT_TRUE(out.Get(prefix + "latency_bucket_le").is_array()) << stage;
+  }
+  EXPECT_EQ(out.Get("stage_tokens_sampled").AsNumber(), 5.0);
+  EXPECT_TRUE(out.Get("stage_tokens_per_sec").is_number());
+}
+
+TEST_F(ObsTest, KernelProfilerAggregatesPerToken) {
+  auto& profiler = KernelProfiler::Instance();
+  profiler.SetEnabled(true);
+  profiler.RecordOp(KernelProfiler::Op::kGemmPacked, 1'000'000, 500'000);
+  profiler.RecordOp(KernelProfiler::Op::kGemmPacked, 1'000'000, 500'000);
+  profiler.RecordOp(KernelProfiler::Op::kParallelFor, 0, 100'000);
+  profiler.CountTokens(2);
+  const Json out = profiler.ToJson();
+  EXPECT_TRUE(out.Get("enabled").AsBool());
+  EXPECT_EQ(out.Get("tokens").AsNumber(), 2.0);
+  const Json& packed = out.Get("ops").Get("gemm_packed");
+  EXPECT_EQ(packed.Get("calls").AsNumber(), 2.0);
+  EXPECT_EQ(packed.Get("flops").AsNumber(), 2'000'000.0);
+  EXPECT_NEAR(packed.Get("seconds").AsNumber(), 1e-3, 1e-12);
+  // Per-token aggregates cover GEMM ops only (not parallel_for).
+  const Json& per_token = out.Get("per_token");
+  EXPECT_EQ(per_token.Get("gemm_calls").AsNumber(), 1.0);
+  EXPECT_EQ(per_token.Get("mflops").AsNumber(), 1.0);
+}
+
+TEST_F(ObsTest, PrometheusRendererCoversEveryJsonShape) {
+  Json metrics{Json::Object{}};
+  metrics.Set("requests_total", 42.0);
+  metrics.Set("breaker_state", std::string("closed"));
+  Json nested{Json::Object{}};
+  Json inner{Json::Object{}};
+  inner.Set("rejected", 3.0);
+  nested.Set("word-lstm", std::move(inner));
+  metrics.Set("breakers", std::move(nested));
+  StageHistogram h;
+  h.Record(1'000'000);  // 1ms
+  h.Record(3'000'000);  // 3ms
+  h.FillMetrics("gen_", &metrics);
+
+  const std::string text = RenderPrometheus(metrics);
+  EXPECT_NE(text.find("rt_requests_total 42\n"), std::string::npos);
+  // Strings render as info-style gauges with a value label.
+  EXPECT_NE(text.find("rt_breaker_state{value=\"closed\"} 1"),
+            std::string::npos);
+  // Nested objects flatten with '_' separators ('-' sanitized).
+  EXPECT_NE(text.find("rt_breakers_word_lstm_rejected 3"),
+            std::string::npos);
+  // Histogram family: TYPE line, cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("# TYPE rt_gen_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_gen_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_gen_latency_seconds_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rt_gen_latency_seconds_sum"), std::string::npos);
+  // The raw bucket arrays must not leak as their own metrics.
+  EXPECT_EQ(text.find("latency_bucket_le"), std::string::npos);
+
+  // Buckets are cumulative: each le line's value >= the previous one.
+  double prev = -1.0;
+  size_t pos = 0;
+  while ((pos = text.find("rt_gen_latency_seconds_bucket{le=",
+                          pos)) != std::string::npos) {
+    const size_t brace = text.find("} ", pos);
+    ASSERT_NE(brace, std::string::npos);
+    const double v = std::stod(text.substr(brace + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    pos = brace;
+  }
+  EXPECT_EQ(prev, 2.0);  // +Inf bucket holds every observation
+}
+
+TEST_F(ObsTest, BuildInfoAndUptimeArePopulated) {
+  const BuildInfo info = GetBuildInfo();
+  EXPECT_NE(info.git_sha, nullptr);
+  EXPECT_NE(info.build_type, nullptr);
+  EXPECT_NE(info.sanitizer, nullptr);
+  EXPECT_GT(std::string(info.git_sha).size(), 0u);
+  EXPECT_GT(UptimeSeconds(), 0.0);
+}
+
+TEST_F(ObsTest, ExportToFileWritesParseableJson) {
+  auto& recorder = TraceRecorder::Instance();
+  recorder.SetEnabled(true);
+  recorder.Record("request", 3, 0, 1000);
+  const std::string path = testing::TempDir() + "/obs_trace.json";
+  ASSERT_TRUE(recorder.ExportToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(doc->Get("traceEvents").is_array());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rt

@@ -26,6 +26,7 @@
 #include "data/recipe_io.h"
 #include "nn/checkpoint.h"
 #include "util/flags.h"
+#include "util/obs.h"
 
 namespace rt {
 namespace {
@@ -48,8 +49,13 @@ int Usage() {
       "  serve       --model=KIND --recipes=N --epochs=E\n"
       "              [--backend-port=P --frontend-port=P --workers=N\n"
       "               --sessions=N --queue=N --request-timeout-ms=MS\n"
-      "               --compute-threads=N --max-batch=M]\n"
-      "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n");
+      "               --compute-threads=N --max-batch=M\n"
+      "               --trace-file=FILE --profile]\n"
+      "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n"
+      "serve observability: GET /v1/trace (Chrome trace JSON),\n"
+      "  GET /v1/metrics[?format=prometheus]; --trace-file writes the\n"
+      "  trace on shutdown, --profile adds per-op kernel counters\n"
+      "  (env: RT_TRACE=1, RT_PROFILE=1)\n");
   return 2;
 }
 
@@ -248,12 +254,15 @@ int CmdServe(const ArgParser& args) {
   auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
   auto compute_threads = args.GetInt("compute-threads", 0);
   auto max_batch = args.GetInt("max-batch", 1);
+  const std::string trace_file = args.GetString("trace-file");
+  const bool profile = args.GetBool("profile");
   if (!backend_port.ok() || !frontend_port.ok() || !workers.ok() ||
       !sessions.ok() || !queue.ok() || !request_timeout_ms.ok() ||
       *request_timeout_ms < 1 || !compute_threads.ok() ||
       *compute_threads < 0 || !max_batch.ok() || *max_batch < 1) {
     return Usage();
   }
+  if (profile) obs::KernelProfiler::Instance().SetEnabled(true);
 
   BackendOptions options;
   options.model_sessions = static_cast<int>(*sessions);
@@ -303,6 +312,17 @@ int CmdServe(const ArgParser& args) {
   frontend.Stop();
   backend.Stop();
   if (scheduler != nullptr) scheduler->Stop();
+  if (!trace_file.empty()) {
+    Status exported = obs::TraceRecorder::Instance().ExportToFile(trace_file);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   exported.ToString().c_str());
+    } else {
+      std::printf("trace written to %s (load in Perfetto / "
+                  "chrome://tracing)\n",
+                  trace_file.c_str());
+    }
+  }
   return 0;
 }
 
