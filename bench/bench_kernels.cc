@@ -226,6 +226,53 @@ BenchResult BenchDecodeBatched(Gpt2Lm* model, int batch, int tokens) {
   return r;
 }
 
+/// Admission-to-first-token with a 64-token prompt, cold vs warm.
+/// Cold prefills the whole prompt; warm restores a published
+/// shared-prefix KV snapshot and steps once. ns_per_iter is the full
+/// time-to-first-token, the number the TTFT >= 2x gate reads — the
+/// point of the prefix cache is that the warm row stops scaling with
+/// prompt length.
+BenchResult BenchTtft(Gpt2Lm* model, bool warm, int prompt_tokens) {
+  ThreadPool::SetGlobalThreads(1);
+  std::unique_ptr<BatchDecoder> decoder = model->MakeBatchDecoder();
+  decoder->EnablePrefixCache({});
+  const auto& cfg = model->config();
+  std::vector<int> prompt(static_cast<size_t>(prompt_tokens));
+  for (int i = 0; i < prompt_tokens; ++i) {
+    prompt[static_cast<size_t>(i)] = (7 * i + 3) % cfg.vocab_size;
+  }
+  std::vector<float> logits(static_cast<size_t>(cfg.vocab_size));
+  if (warm) {
+    // Seed the cache the way the batch scheduler does: prefill up to
+    // the final prompt token, publish that snapshot.
+    int restored = 0;
+    auto seed = decoder->NewSequenceWithPrefix(prompt.data(),
+                                               prompt_tokens, &restored);
+    decoder->PrefillSeq(seed.get(), prompt.data(), prompt_tokens - 1);
+    decoder->PublishPrefix(seed.get(), prompt.data(), prompt_tokens - 1);
+  }
+  BenchResult r;
+  r.op = warm ? "gpt2_ttft_warm_prefix" : "gpt2_ttft_cold_prefill";
+  r.shape = "P" + std::to_string(prompt_tokens) + "_L" +
+            std::to_string(cfg.num_layers) + "_d" +
+            std::to_string(cfg.dim);
+  r.threads = 1;
+  r.ns_per_iter = TimeNs([&] {
+    int restored = 0;
+    auto seq = decoder->NewSequenceWithPrefix(prompt.data(), prompt_tokens,
+                                              &restored);
+    if (prompt_tokens - 1 > restored) {
+      decoder->PrefillSeq(seq.get(), prompt.data() + restored,
+                          prompt_tokens - 1 - restored);
+    }
+    int last = prompt[static_cast<size_t>(prompt_tokens - 1)];
+    BatchSequence* row = seq.get();
+    decoder->StepBatch(1, &last, &row, logits.data());
+  });
+  r.tokens_per_sec = 1e9 / r.ns_per_iter;  // first tokens per second
+  return r;
+}
+
 void AppendJson(std::string* out, const BenchResult& r, bool last) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
@@ -374,6 +421,14 @@ int Main(int argc, char** argv) {
     // to single-stream throughput).
     for (int batch : {1, 2, 4, 8}) {
       results.push_back(BenchDecodeBatched(&model, batch, decode_tokens));
+    }
+
+    // --- Shared-prefix TTFT A/B (single thread). ---
+    // Cold prefills a 64-token prompt from scratch; warm restores the
+    // published prefix snapshot first. check_bench.py gates
+    // cold/warm >= 2x within the run.
+    for (bool warm : {false, true}) {
+      results.push_back(BenchTtft(&model, warm, /*prompt_tokens=*/64));
     }
   }
 

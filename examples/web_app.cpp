@@ -4,15 +4,25 @@
 // API calls, exactly mirroring the Flask + ReactJS split.
 //
 //   ./build/examples/web_app [backend_port frontend_port]
+//       [--enable-deprecated-routes] [--no-prefix-cache]
 //
 // Then: curl -s localhost:<frontend>/v1/generate \
 //         -d '{"ingredients":["tomato","basil"]}'
+// Or stream tokens as they decode:
+//       curl -sN localhost:<frontend>/v1/generate \
+//         -d '{"ingredients":["tomato","basil"],"stream":true}'
 // Pass 0 0 (default) for ephemeral ports. The demo issues a self-request
 // and exits; give explicit ports to keep it serving until Ctrl-C.
+//
+// --enable-deprecated-routes restores the pre-/v1 aliases (/healthz,
+// /metrics, /api/generate) with their Deprecation header; API v2 drops
+// them by default. --no-prefix-cache disables the shared-prefix KV
+// cache (useful for A/B-ing TTFT or verifying bitwise parity).
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -26,8 +36,27 @@ void OnSignal(int) { g_stop = 1; }
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int backend_port = argc > 1 ? std::atoi(argv[1]) : 0;
-  const int frontend_port = argc > 2 ? std::atoi(argv[2]) : 0;
+  int backend_port = 0;
+  int frontend_port = 0;
+  bool enable_deprecated_routes = false;
+  bool enable_prefix_cache = true;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--enable-deprecated-routes") == 0) {
+      enable_deprecated_routes = true;
+    } else if (std::strcmp(argv[i], "--no-prefix-cache") == 0) {
+      enable_prefix_cache = false;
+    } else if (positional == 0) {
+      backend_port = std::atoi(argv[i]);
+      ++positional;
+    } else if (positional == 1) {
+      frontend_port = std::atoi(argv[i]);
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
   const bool serve_forever = backend_port != 0 || frontend_port != 0;
 
   std::printf("Training the backing model (word-LSTM, small)...\n");
@@ -50,8 +79,10 @@ int main(int argc, char** argv) {
   rt::BackendOptions backend_options;
   backend_options.max_batch = 4;
   backend_options.models = {"word-lstm"};
+  backend_options.enable_deprecated_routes = enable_deprecated_routes;
   rt::serve::BatchSchedulerOptions sched_options;
   sched_options.max_batch = backend_options.max_batch;
+  sched_options.enable_prefix_cache = enable_prefix_cache;
   rt::serve::BatchScheduler scheduler(p.model(), sched_options);
   rt::InstallBatchMetrics(&scheduler, &backend_options);
   rt::BackendService backend(
@@ -77,8 +108,12 @@ int main(int argc, char** argv) {
   std::printf("metrics  : http://127.0.0.1:%d/v1/metrics"
               "[?format=prometheus]\n",
               backend.port());
-  std::printf("workers=%d sessions=%d\n", backend.server().num_workers(),
-              backend.model_sessions());
+  std::printf("workers=%d sessions=%d prefix_cache=%s\n",
+              backend.server().num_workers(), backend.model_sessions(),
+              enable_prefix_cache ? "on" : "off");
+  std::printf("stream   : curl -sN http://127.0.0.1:%d/v1/generate "
+              "-d '{\"ingredients\":[\"tomato\"],\"stream\":true}'\n",
+              frontend.port());
 
   if (serve_forever) {
     std::signal(SIGINT, OnSignal);

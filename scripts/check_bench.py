@@ -13,7 +13,11 @@ Two families of checks:
        sequential m=1 decodes (the gpt2_decode_batched_b1 row);
      * tracing overhead <= 3%: decode with the span ring enabled
        (gpt2_decode_traced) must hold >= 97% of decode with the
-       observability hooks compiled in but disabled (gpt2_decode_step).
+       observability hooks compiled in but disabled (gpt2_decode_step);
+     * warm shared-prefix TTFT >= 2x better than cold: restoring a
+       published prefix snapshot (gpt2_ttft_warm_prefix) must reach the
+       first token at least twice as fast as prefilling the same
+       64-token prompt from scratch (gpt2_ttft_cold_prefill).
 
 2. Baseline-relative gates, only when BASELINE.json is given: each
    gated metric must stay within TOLERANCE (25%) of the checked-in
@@ -41,6 +45,7 @@ TOLERANCE = 0.25  # fail when current < (1 - TOLERANCE) * baseline
 
 BLOCKED_MIN_SPEEDUP = 3.0  # blocked GEMM vs reference, single thread
 BATCH8_MIN_SPEEDUP = 2.0   # batch-8 aggregate vs sequential m=1
+TTFT_MIN_SPEEDUP = 2.0     # warm shared-prefix TTFT vs cold prefill
 
 # Tracing-overhead gate: the observability hooks (span recording, kernel
 # profiler) are compiled into every decode path but default to disabled;
@@ -104,6 +109,20 @@ def main():
         ok = speedup >= BATCH8_MIN_SPEEDUP
         print(f"{'PASS' if ok else 'FAIL'}  batch-8 aggregate speedup "
               f"{speedup:.2f}x (gate: >= {BATCH8_MIN_SPEEDUP:.1f}x)")
+        failures += 0 if ok else 1
+
+    cold = get(current, "gpt2_ttft_cold_prefill", 1, "ns_per_iter",
+               current_path)
+    warm = get(current, "gpt2_ttft_warm_prefix", 1, "ns_per_iter",
+               current_path)
+    if cold is None or warm is None:
+        failures += 1
+    else:
+        speedup = cold / warm
+        ok = speedup >= TTFT_MIN_SPEEDUP
+        print(f"{'PASS' if ok else 'FAIL'}  warm shared-prefix TTFT speedup "
+              f"{speedup:.2f}x ({warm / 1e6:.2f} ms warm vs "
+              f"{cold / 1e6:.2f} ms cold, gate: >= {TTFT_MIN_SPEEDUP:.1f}x)")
         failures += 0 if ok else 1
 
     # Tracing-overhead ratio gate + informational profiling overhead,

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# SSE smoke check over the real two-tier web app.
+#
+# Usage: check_sse.sh [path/to/web_app]   (default: build/examples/web_app)
+#
+# Boots the demo stack (backend + frontend reverse proxy, shared-prefix
+# KV cache on), then drives it with plain curl:
+#
+#   1. a streamed generation through the FRONTEND proxy must arrive as
+#      well-formed SSE: >= 1 `event: token` frame and a terminal
+#      `event: done` frame carrying a finish_reason;
+#   2. repeating the identical request must warm the prefix cache —
+#      /v1/metrics prefix_cache_hits has to move;
+#   3. a streamed request with an unknown field must come back as a
+#      buffered JSON 400, not an SSE stream.
+#
+# Exit 0 = all checks pass. Any failure prints the offending response.
+set -euo pipefail
+
+WEB_APP="${1:-build/examples/web_app}"
+BACKEND_PORT=18641
+FRONTEND_PORT=18642
+BASE="http://127.0.0.1:${FRONTEND_PORT}"
+METRICS="http://127.0.0.1:${BACKEND_PORT}/v1/metrics"
+
+if [[ ! -x "$WEB_APP" ]]; then
+  echo "FAIL  web_app binary not found at $WEB_APP" >&2
+  exit 1
+fi
+
+"$WEB_APP" "$BACKEND_PORT" "$FRONTEND_PORT" >/tmp/web_app.log 2>&1 &
+APP_PID=$!
+trap 'kill "$APP_PID" 2>/dev/null || true; wait "$APP_PID" 2>/dev/null || true' EXIT
+
+# The app trains a small word-LSTM before listening; poll until the
+# frontend answers (or the process dies / 180s pass).
+for _ in $(seq 1 180); do
+  if ! kill -0 "$APP_PID" 2>/dev/null; then
+    echo "FAIL  web_app exited during startup:" >&2
+    cat /tmp/web_app.log >&2
+    exit 1
+  fi
+  if curl -sf --max-time 2 "$BASE/v1/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 1
+done
+curl -sf --max-time 2 "$BASE/v1/healthz" >/dev/null || {
+  echo "FAIL  frontend never became healthy" >&2
+  cat /tmp/web_app.log >&2
+  exit 1
+}
+
+BODY='{"ingredients":["tomato","basil","onion"],"max_tokens":24,"stream":true}'
+
+check_stream() {
+  local label="$1" out="$2"
+  if ! grep -q "^event: token" <<<"$out"; then
+    echo "FAIL  $label: no 'event: token' frame in stream:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if ! grep -q "^event: done" <<<"$out"; then
+    echo "FAIL  $label: no terminal 'event: done' frame:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if ! grep -q '"finish_reason"' <<<"$out"; then
+    echo "FAIL  $label: done frame carries no finish_reason:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  echo "PASS  $label: token frames + done(finish_reason) via frontend proxy"
+}
+
+hits_gauge() {
+  curl -sf --max-time 5 "$METRICS" \
+    | python3 -c 'import json,sys; print(int(json.load(sys.stdin).get("prefix_cache_hits", 0)))'
+}
+
+# 1. Cold streamed request through the proxy.
+COLD=$(curl -sN --max-time 60 "$BASE/v1/generate" -d "$BODY")
+check_stream "cold stream" "$COLD"
+HITS_BEFORE=$(hits_gauge)
+
+# 2. Identical repeat: the shared-prefix KV cache must serve the prefill.
+WARM=$(curl -sN --max-time 60 "$BASE/v1/generate" -d "$BODY")
+check_stream "warm stream" "$WARM"
+HITS_AFTER=$(hits_gauge)
+if (( HITS_AFTER <= HITS_BEFORE )); then
+  echo "FAIL  prefix_cache_hits did not move on the warm request" \
+       "($HITS_BEFORE -> $HITS_AFTER)" >&2
+  exit 1
+fi
+echo "PASS  warm request hit the prefix cache" \
+     "(prefix_cache_hits $HITS_BEFORE -> $HITS_AFTER)"
+
+# 3. Pre-stream validation failures stay buffered JSON errors.
+ERR=$(curl -s --max-time 10 -w '\n%{http_code}' "$BASE/v1/generate" \
+  -d '{"ingredients":["tomato"],"stream":true,"bogus":1}')
+CODE=${ERR##*$'\n'}
+if [[ "$CODE" != "400" ]] || ! grep -q '"unknown_field"' <<<"$ERR"; then
+  echo "FAIL  unknown field on a streamed request: want buffered 400" \
+       "unknown_field, got:" >&2
+  echo "$ERR" >&2
+  exit 1
+fi
+echo "PASS  streamed request with unknown field -> buffered 400 unknown_field"
+
+echo
+echo "all SSE smoke checks passed"

@@ -290,6 +290,7 @@ StatusOr<GeneratedRecipe> Pipeline::GenerateFromIngredientsVia(
   GeneratedRecipe out;
   out.seconds = timer.ElapsedSeconds();
   out.tokens_generated = static_cast<int>(generated.ids.size());
+  out.prompt_tokens = static_cast<int>(prompt_ids.size());
   out.finish = generated.finish;
   out.raw_tagged = prompt + " " + tokenizer_->Decode(generated.ids);
   auto parsed = ParseTaggedRecipe(out.raw_tagged);
@@ -379,12 +380,34 @@ namespace {
 GenerateOutcome ToGenerateOutcome(GeneratedRecipe out) {
   GenerateOutcome outcome;
   outcome.recipe = std::move(out.recipe);
-  outcome.finish_reason = FinishReasonName(out.finish);
+  outcome.finish = out.finish;
   outcome.tokens_generated = out.tokens_generated;
-  outcome.deadline_exceeded =
-      out.finish == FinishReason::kDeadlineExceeded;
-  outcome.cancelled = out.finish == FinishReason::kCancelled;
+  outcome.prompt_tokens = out.prompt_tokens;
   return outcome;
+}
+
+/// ToGenerationOptions plus the streaming bridge: when the request
+/// carries an on_token hook, the model-level hook decodes each token's
+/// incremental text by diffing the full decode against the previous
+/// prefix (tokenizers are not prefix-stable token-by-token — BPE
+/// merges and word-level spacing depend on context).
+GenerationOptions ToStreamedOptions(const Pipeline* pipeline,
+                                    const GenerateRequest& req) {
+  GenerationOptions opts = ToGenerationOptions(req);
+  if (!req.on_token) return opts;
+  const Tokenizer* tokenizer = &pipeline->tokenizer();
+  auto ids = std::make_shared<std::vector<int>>();
+  auto prev_len = std::make_shared<size_t>(0);
+  opts.on_token = [on_token = req.on_token, tokenizer, ids,
+                   prev_len](int id) {
+    ids->push_back(id);
+    const std::string full = tokenizer->Decode(*ids);
+    const std::string delta =
+        full.size() >= *prev_len ? full.substr(*prev_len) : full;
+    *prev_len = full.size();
+    on_token(id, delta);
+  };
+  return opts;
 }
 
 }  // namespace
@@ -410,7 +433,7 @@ BackendService::SessionFactory MakePipelineSessionFactory(
       RT_ASSIGN_OR_RETURN(GeneratedRecipe out,
                           pipeline->GenerateFromIngredientsWith(
                               model, req.ingredients,
-                              ToGenerationOptions(req)));
+                              ToStreamedOptions(pipeline, req)));
       return ToGenerateOutcome(std::move(out));
     };
   };
@@ -431,7 +454,7 @@ BackendService::SessionFactory MakeBatchedPipelineSessionFactory(
                           const GenerationOptions& options) {
                 return scheduler->Generate(prompt_ids, options);
               },
-              req.ingredients, ToGenerationOptions(req)));
+              req.ingredients, ToStreamedOptions(pipeline, req)));
       return ToGenerateOutcome(std::move(out));
     };
   };
@@ -452,6 +475,14 @@ void InstallBatchMetrics(serve::BatchScheduler* scheduler,
     out->Set("batch_completed", static_cast<double>(stats.completed));
     out->Set("batch_arena_heap_allocs",
              static_cast<double>(stats.arena_heap_allocs));
+    out->Set("prefix_cache_hits",
+             static_cast<double>(stats.prefix_cache_hits));
+    out->Set("prefix_cache_misses",
+             static_cast<double>(stats.prefix_cache_misses));
+    out->Set("prefix_cache_evictions",
+             static_cast<double>(stats.prefix_cache_evictions));
+    out->Set("prefix_cache_entries",
+             static_cast<double>(stats.prefix_cache_entries));
   };
 }
 

@@ -60,6 +60,8 @@ struct GeneratedRecipe {
   std::string raw_tagged;  // prompt + generated text
   double seconds = 0.0;    // wall-clock generation time
   int tokens_generated = 0;
+  /// Prompt tokens fed to the model (usage accounting).
+  int prompt_tokens = 0;
   /// How decoding ended; kDeadlineExceeded / kCancelled mean the recipe
   /// was parsed from a partial decode.
   FinishReason finish = FinishReason::kStopToken;

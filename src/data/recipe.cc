@@ -1,6 +1,7 @@
 #include "data/recipe.h"
 
 #include <cctype>
+#include <set>
 
 #include "text/special_tokens.h"
 #include "util/strings.h"
@@ -181,8 +182,19 @@ IngredientLine ParseIngredientLine(const std::string& text) {
     ++i;
   }
   line.quantity = qty;
-  // Heuristic: if at least two tokens remain, the first is the unit.
-  if (toks.size() - i >= 2 && !qty.empty()) {
+  // A token is only consumed as a unit when it belongs to the closed
+  // measure vocabulary the catalog can emit; otherwise unit-less
+  // multi-word names ("bay leaf", "bell pepper") keep their first word.
+  auto is_unit = [](const std::string& t) {
+    static const std::set<std::string> kUnits = {
+        "can",   "clove", "cup",  "pinch", "pound",
+        "sprig", "stalk", "tbsp", "tsp"};
+    if (kUnits.count(t) > 0) return true;
+    // Accept plural measures ("cups", "cloves") from model output.
+    return t.size() > 1 && t.back() == 's' &&
+           kUnits.count(t.substr(0, t.size() - 1)) > 0;
+  };
+  if (toks.size() - i >= 2 && !qty.empty() && is_unit(toks[i])) {
     line.unit = toks[i];
     ++i;
   }

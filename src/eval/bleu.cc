@@ -57,23 +57,17 @@ MatchStats MatchesForOrder(
   return stats;
 }
 
-/// Reference length closest to the candidate length (ties -> shorter).
-long long ClosestRefLength(
-    size_t cand_len,
+/// Shortest reference length (the NIST brevity convention). Under it,
+/// adding a reference can only raise clipped matches and can only lower
+/// the brevity target, so BLEU is monotone in the reference set.
+long long ShortestRefLength(
     const std::vector<std::vector<std::string>>& references) {
-  long long best = 0;
-  long long best_dist = -1;
+  long long best = -1;
   for (const auto& ref : references) {
-    long long len = static_cast<long long>(ref.size());
-    long long dist =
-        std::llabs(len - static_cast<long long>(cand_len));
-    if (best_dist < 0 || dist < best_dist ||
-        (dist == best_dist && len < best)) {
-      best = len;
-      best_dist = dist;
-    }
+    const long long len = static_cast<long long>(ref.size());
+    if (best < 0 || len < best) best = len;
   }
-  return best;
+  return best < 0 ? 0 : best;
 }
 
 double BleuFromStats(const std::vector<MatchStats>& per_order,
@@ -109,8 +103,7 @@ double SentenceBleu(const std::vector<std::string>& candidate,
     per_order.push_back(MatchesForOrder(candidate, references, n));
   }
   return BleuFromStats(per_order, static_cast<long long>(candidate.size()),
-                       ClosestRefLength(candidate.size(), references),
-                       options);
+                       ShortestRefLength(references), options);
 }
 
 double CorpusBleu(
@@ -128,7 +121,7 @@ double CorpusBleu(
       pooled[n - 1].total += s.total;
     }
     cand_len += static_cast<long long>(candidates[i].size());
-    ref_len += ClosestRefLength(candidates[i].size(), references[i]);
+    ref_len += ShortestRefLength(references[i]);
   }
   return BleuFromStats(pooled, cand_len, ref_len, options);
 }

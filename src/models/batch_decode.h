@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
+
+#include "tensor/prefix_cache.h"
 
 namespace rt {
 
@@ -34,6 +37,52 @@ class BatchDecoder {
 
   /// A fresh zero-length sequence backed by a pooled cache slot.
   virtual std::unique_ptr<BatchSequence> NewSequence() = 0;
+
+  /// Like NewSequence(), but first restores the longest cached prefix
+  /// of tokens[0..n) from the decoder's shared-prefix KV cache into
+  /// the fresh slot, reporting how many positions were restored via
+  /// *restored (0 on a miss or when no cache is enabled). The restored
+  /// state is bitwise identical to prefilling those tokens, so the
+  /// caller resumes feeding at tokens[*restored].
+  virtual std::unique_ptr<BatchSequence> NewSequenceWithPrefix(
+      const int* tokens, int n, int* restored) {
+    (void)tokens;
+    (void)n;
+    if (restored != nullptr) *restored = 0;
+    return NewSequence();
+  }
+
+  /// Feeds tokens[0..count) through the model for `seq` alone,
+  /// advancing its cache state. Implementations may skip the logits
+  /// head — prefill only needs the cache writes — but the state after
+  /// PrefillSeq must stay bitwise identical to feeding the same tokens
+  /// through StepBatch one at a time. The base implementation does
+  /// exactly that, into scratch logits.
+  virtual void PrefillSeq(BatchSequence* seq, const int* tokens, int count) {
+    std::vector<float> scratch(static_cast<size_t>(vocab_size()));
+    for (int i = 0; i < count; ++i) {
+      BatchSequence* row = seq;
+      StepBatch(1, tokens + i, &row, scratch.data());
+    }
+  }
+
+  /// Publishes seq's current cache state as the prefill result for
+  /// exactly tokens[0..n), making it restorable by later sequences.
+  /// No-op without an enabled prefix cache.
+  virtual void PublishPrefix(BatchSequence* seq, const int* tokens, int n) {
+    (void)seq;
+    (void)tokens;
+    (void)n;
+  }
+
+  /// Installs a shared-prefix KV cache over the decoder's arena.
+  /// No-op for decoders without cache support.
+  virtual void EnablePrefixCache(const PrefixCacheOptions& options) {
+    (void)options;
+  }
+
+  /// Prefix-cache counters; all zeros when no cache is enabled.
+  virtual PrefixCacheStats prefix_cache_stats() const { return {}; }
 
   /// Feeds tokens[i] — the next input token of seqs[i] — through one
   /// batched model step and writes each row's next-token logits to

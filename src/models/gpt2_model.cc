@@ -368,6 +368,7 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
         obs::KernelProfiler::Instance().CountTokens(1);
       }
       result.ids.push_back(next);
+      if (options.on_token) options.on_token(next);
       if (next == options.stop_token) {
         result.finish = FinishReason::kStopToken;
         return result;
@@ -403,6 +404,7 @@ GenerationResult Gpt2Lm::Generate(const std::vector<int>& prompt,
         logits.data() + static_cast<size_t>(last) * logits.cols(),
         logits.cols(), options.sampling, &rng);
     result.ids.push_back(next);
+    if (options.on_token) options.on_token(next);
     if (next == options.stop_token) {
       result.finish = FinishReason::kStopToken;
       return result;
@@ -438,6 +440,72 @@ class Gpt2Lm::BatchDecoderImpl : public BatchDecoder {
 
   std::unique_ptr<BatchSequence> NewSequence() override {
     return std::make_unique<Sequence>(&arena_);
+  }
+
+  std::unique_ptr<BatchSequence> NewSequenceWithPrefix(
+      const int* tokens, int n, int* restored) override {
+    auto seq = std::make_unique<Sequence>(&arena_);
+    int r = 0;
+    if (prefix_cache_ != nullptr && n > 1) {
+      // Cap at n-1: the last prompt token always goes through StepBatch
+      // so the row has fresh sampling logits.
+      r = prefix_cache_->Restore(tokens, n - 1, seq->slot());
+      seq->SetLen(r);
+    }
+    if (restored != nullptr) *restored = r;
+    return seq;
+  }
+
+  /// Prompt bulk-feed for one row: the same embedding sum and block
+  /// sweep as StepBatch, minus the final LayerNorm and logits head —
+  /// those read state but never write it, so skipping them leaves the
+  /// KV planes bitwise identical to stepping token by token.
+  void PrefillSeq(BatchSequence* bseq, const int* tokens,
+                  int count) override {
+    auto* seq = static_cast<Sequence*>(bseq);
+    const Gpt2Config& config = model_->config_;
+    const int dim = config.dim;
+    for (int t = 0; t < count; ++t) {
+      assert(seq->len() < config.max_seq_len);
+      assert(tokens[t] >= 0 && tokens[t] < config.vocab_size);
+      ws_.Reset();
+      int position = seq->len();
+      float* x = ws_.Alloc(static_cast<size_t>(dim));
+      kernels::GatherRows(1, dim, model_->root_.tok.table()->value.data(),
+                          tokens + t, x);
+      kernels::GatherAddRows(1, dim,
+                             model_->root_.pos.table()->value.data(),
+                             &position, x);
+      float* y = ws_.Alloc(static_cast<size_t>(dim));
+      for (size_t l = 0; l < model_->root_.blocks.size(); ++l) {
+        float* k_row = seq->slot() + 2 * plane_ * l;
+        float* v_row = k_row + plane_;
+        model_->root_.blocks[l]->StepRawBatched(
+            1, x, y, &k_row, &v_row, &position, config.max_seq_len,
+            &ws_);
+        std::swap(x, y);
+      }
+      seq->Advance();
+    }
+  }
+
+  void PublishPrefix(BatchSequence* bseq, const int* tokens,
+                     int n) override {
+    auto* seq = static_cast<Sequence*>(bseq);
+    // Only a slot holding exactly the prefill of tokens[0..n) is a
+    // valid snapshot for that key.
+    if (prefix_cache_ != nullptr && seq->len() == n) {
+      prefix_cache_->Publish(tokens, n, seq->slot());
+    }
+  }
+
+  void EnablePrefixCache(const PrefixCacheOptions& options) override {
+    prefix_cache_ = std::make_unique<PrefixKvCache>(&arena_, options);
+  }
+
+  PrefixCacheStats prefix_cache_stats() const override {
+    return prefix_cache_ != nullptr ? prefix_cache_->stats()
+                                    : PrefixCacheStats{};
   }
 
   void StepBatch(int m, const int* tokens, BatchSequence* const* seqs,
@@ -504,6 +572,8 @@ class Gpt2Lm::BatchDecoderImpl : public BatchDecoder {
     int len() const override { return len_; }
     float* slot() const { return slot_; }
     void Advance() { ++len_; }
+    /// Adopts `n` restored cache positions as already consumed.
+    void SetLen(int n) { len_ = n; }
 
    private:
     CacheArena* arena_;
@@ -515,6 +585,7 @@ class Gpt2Lm::BatchDecoderImpl : public BatchDecoder {
   size_t plane_;  // floats per KV plane: max_seq_len * dim
   CacheArena arena_;
   Workspace ws_;
+  std::unique_ptr<PrefixKvCache> prefix_cache_;
 };
 
 std::unique_ptr<BatchDecoder> Gpt2Lm::MakeBatchDecoder() {

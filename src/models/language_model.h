@@ -1,6 +1,7 @@
 #ifndef RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
 #define RATATOUILLE_MODELS_LANGUAGE_MODEL_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,11 @@ struct GenerationOptions {
   /// their prefill/sample spans with it so a served request's trace is
   /// one contiguous track. 0 = untraced (library callers).
   uint64_t trace_id = 0;
+  /// Streaming hook: invoked with each newly decoded token id right
+  /// after it is appended to the result, on the decoding thread. Beam
+  /// search emits nothing until the whole beam resolves. Must not
+  /// block for long — it runs inside the decode (or scheduler) loop.
+  std::function<void(int)> on_token;
 };
 
 /// Why a generation stopped.

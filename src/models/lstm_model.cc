@@ -5,6 +5,7 @@
 
 #include "tensor/cache_arena.h"
 #include "tensor/kernels.h"
+#include "tensor/prefix_cache.h"
 #include "tensor/workspace.h"
 #include "util/obs.h"
 
@@ -115,6 +116,7 @@ GenerationResult LstmLm::Generate(const std::vector<int>& prompt,
       obs::KernelProfiler::Instance().CountTokens(1);
     }
     result.ids.push_back(cur);
+    if (options.on_token) options.on_token(cur);
     if (cur == options.stop_token) {
       result.finish = FinishReason::kStopToken;
       return result;
@@ -150,6 +152,59 @@ class LstmLm::BatchDecoderImpl : public BatchDecoder {
 
   std::unique_ptr<BatchSequence> NewSequence() override {
     return std::make_unique<Sequence>(&arena_);
+  }
+
+  std::unique_ptr<BatchSequence> NewSequenceWithPrefix(
+      const int* tokens, int n, int* restored) override {
+    auto seq = std::make_unique<Sequence>(&arena_);
+    int r = 0;
+    if (prefix_cache_ != nullptr && n > 1) {
+      // Cap at n-1: the last prompt token always goes through StepBatch
+      // so the row has fresh sampling logits.
+      r = prefix_cache_->Restore(tokens, n - 1, seq->slot());
+      seq->SetLen(r);
+    }
+    if (restored != nullptr) *restored = r;
+    return seq;
+  }
+
+  /// Prompt bulk-feed for one row: the recurrent state update without
+  /// the head projection. The h/c rows written are bitwise identical to
+  /// stepping token by token — the head only reads h_top.
+  void PrefillSeq(BatchSequence* bseq, const int* tokens,
+                  int count) override {
+    auto* seq = static_cast<Sequence*>(bseq);
+    const int edim = model_->config_.embed_dim;
+    const int hdim = model_->root_.lstm.hidden_dim();
+    for (int t = 0; t < count; ++t) {
+      assert(tokens[t] >= 0 && tokens[t] < model_->config_.vocab_size);
+      ws_.Reset();
+      float* state_row = seq->slot();
+      float* x = ws_.Alloc(static_cast<size_t>(edim));
+      kernels::GatherRows(1, edim,
+                          model_->root_.embed.table()->value.data(),
+                          tokens + t, x);
+      float* h_top = ws_.Alloc(static_cast<size_t>(hdim));
+      model_->root_.lstm.StepRawBatched(1, x, &state_row, h_top, &ws_);
+      seq->Advance();
+    }
+  }
+
+  void PublishPrefix(BatchSequence* bseq, const int* tokens,
+                     int n) override {
+    auto* seq = static_cast<Sequence*>(bseq);
+    if (prefix_cache_ != nullptr && seq->len() == n) {
+      prefix_cache_->Publish(tokens, n, seq->slot());
+    }
+  }
+
+  void EnablePrefixCache(const PrefixCacheOptions& options) override {
+    prefix_cache_ = std::make_unique<PrefixKvCache>(&arena_, options);
+  }
+
+  PrefixCacheStats prefix_cache_stats() const override {
+    return prefix_cache_ != nullptr ? prefix_cache_->stats()
+                                    : PrefixCacheStats{};
   }
 
   void StepBatch(int m, const int* tokens, BatchSequence* const* seqs,
@@ -192,6 +247,8 @@ class LstmLm::BatchDecoderImpl : public BatchDecoder {
     int len() const override { return len_; }
     float* slot() const { return slot_; }
     void Advance() { ++len_; }
+    /// Adopts `n` restored state positions as already consumed.
+    void SetLen(int n) { len_ = n; }
 
    private:
     CacheArena* arena_;
@@ -202,6 +259,7 @@ class LstmLm::BatchDecoderImpl : public BatchDecoder {
   const LstmLm* model_;
   CacheArena arena_;
   Workspace ws_;
+  std::unique_ptr<PrefixKvCache> prefix_cache_;
 };
 
 std::unique_ptr<BatchDecoder> LstmLm::MakeBatchDecoder() {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <climits>
 #include <cmath>
+#include <deque>
 #include <thread>
 
 #include "models/batch_decode.h"
@@ -41,6 +42,41 @@ const std::array<double, LatencyHistogram::kNumBuckets - 1> kLatencyBounds =
     {0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
      0.1,   0.2,   0.5,   1.0,  2.0,  5.0};
 
+/// One SSE frame: `event: <type>` plus a single `data:` JSON line.
+std::string SseEvent(const char* type, const Json& data) {
+  return std::string("event: ") + type + "\ndata: " + data.Dump() +
+         "\n\n";
+}
+
+/// The token-accounting object shared by unary responses and the SSE
+/// `done` event.
+Json UsageJson(const GenerateOutcome& outcome) {
+  Json usage{Json::Object{}};
+  usage.Set("prompt_tokens",
+            static_cast<double>(outcome.prompt_tokens));
+  usage.Set("completion_tokens",
+            static_cast<double>(outcome.tokens_generated));
+  usage.Set("total_tokens",
+            static_cast<double>(outcome.prompt_tokens +
+                                outcome.tokens_generated));
+  return usage;
+}
+
+/// The resolved decoding params echoed on responses (unary body and
+/// SSE `done` event alike).
+Json ParamsJson(const GenerateRequest& req) {
+  Json params{Json::Object{}};
+  params.Set("max_tokens", req.max_tokens);
+  params.Set("temperature", req.temperature);
+  params.Set("top_k", req.top_k);
+  params.Set("top_p", req.top_p);
+  params.Set("greedy", req.greedy);
+  params.Set("beam_width", req.beam_width);
+  params.Set("seed", static_cast<double>(req.seed));
+  params.Set("timeout_ms", req.timeout_ms);
+  return params;
+}
+
 }  // namespace
 
 StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
@@ -57,9 +93,9 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
                            "request must be a JSON object");
   }
   static const std::vector<std::string> kKnownFields = {
-      "ingredients", "max_tokens", "temperature", "top_k",      "top_p",
-      "greedy",      "beam_width", "seed",        "model",
-      "timeout_ms"};
+      "ingredients", "max_tokens", "temperature", "top_k",
+      "top_p",       "greedy",     "beam_width",  "seed",
+      "model",       "timeout_ms", "stream",      "stream_options"};
   for (const auto& [key, value] : doc.AsObject()) {
     if (std::find(kKnownFields.begin(), kKnownFields.end(), key) ==
         kKnownFields.end()) {
@@ -167,6 +203,40 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
     if (!IntInRange(doc.Get("timeout_ms"), 0, INT_MAX, &req.timeout_ms)) {
       return ValidationError(error_code, "bad_timeout_ms",
                              "timeout_ms out of range");
+    }
+  }
+  if (!doc.Get("stream").is_null()) {
+    if (!doc.Get("stream").is_bool()) {
+      return ValidationError(error_code, "bad_stream",
+                             "'stream' must be a boolean");
+    }
+    req.stream = doc.Get("stream").AsBool();
+  }
+  if (!doc.Get("stream_options").is_null()) {
+    const Json& opts = doc.Get("stream_options");
+    if (!opts.is_object()) {
+      return ValidationError(error_code, "bad_stream_options",
+                             "'stream_options' must be an object");
+    }
+    for (const auto& [key, value] : opts.AsObject()) {
+      if (key != "include_usage" && key != "include_recipe") {
+        return ValidationError(
+            error_code, "unknown_field",
+            "unknown field 'stream_options." + key + "'");
+      }
+      if (!value.is_bool()) {
+        return ValidationError(
+            error_code, "bad_stream_options",
+            "'stream_options." + key + "' must be a boolean");
+      }
+    }
+    if (!opts.Get("include_usage").is_null()) {
+      req.stream_options.include_usage =
+          opts.Get("include_usage").AsBool();
+    }
+    if (!opts.Get("include_recipe").is_null()) {
+      req.stream_options.include_recipe =
+          opts.Get("include_recipe").AsBool();
     }
   }
   return req;
@@ -340,7 +410,10 @@ void BackendService::RegisterRoutes() {
                       [this](const HttpRequest& req) {
                         return HandleGenerate(req);
                       });
-  // Deprecated aliases: identical behavior + Deprecation header.
+  // Pre-/v1 aliases, retired by default since API v2: registered (with
+  // their Deprecation header) only when the deployment opts back in via
+  // --enable-deprecated-routes; otherwise the paths 404.
+  if (!options_.enable_deprecated_routes) return;
   (void)server_.Route("GET", "/healthz",
                       [healthz, deprecate](const HttpRequest& req) {
                         return deprecate(healthz(req));
@@ -433,29 +506,8 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   ModelBreaker& model_breaker = BreakerFor(req.model);
 
   const auto deadline_response = [&](long long tokens_generated) {
-    generate_deadline_exceeded_.fetch_add(1);
-    // Retry-After mirrors the 503 circuit_open hint: the breaker's
-    // remaining cooldown when it has already tripped, else an estimate
-    // of when capacity returns from the observed mean latency.
-    const int breaker_wait_ms =
-        model_breaker.breaker.cooldown_remaining_ms();
-    const int retry_s =
-        breaker_wait_ms > 0
-            ? std::max(1, (breaker_wait_ms + 999) / 1000)
-            : std::max(1, static_cast<int>(
-                              std::ceil(latency_.MeanSeconds())));
-    Json details{Json::Object{}};
-    details.Set("tokens_generated",
-                static_cast<double>(tokens_generated));
-    details.Set("timeout_ms", budget_ms);
-    details.Set("retry_after_s", retry_s);
-    HttpResponse resp =
-        JsonError(504, "deadline_exceeded",
-                  "generation exceeded its " +
-                      std::to_string(budget_ms) + " ms budget",
-                  request.request_id, std::move(details));
-    resp.headers["Retry-After"] = std::to_string(retry_s);
-    return resp;
+    return DeadlineResponse(request.request_id, model_breaker, budget_ms,
+                            tokens_generated);
   };
 
   // Fast-fail while the breaker is open: answering 503 in microseconds
@@ -474,6 +526,14 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
     resp.headers["Retry-After"] = std::to_string(retry_s);
     return resp;
   }
+  // Streamed responses settle the ticket inside the SSE callback — the
+  // RAII guard below cannot follow the request there — so branch before
+  // arming it.
+  if (req.stream) {
+    return HandleGenerateStream(request, std::move(req), model_breaker,
+                                ticket, budget_ms);
+  }
+
   // Every exit below must settle the ticket; paths that learn nothing
   // about generation health (pre-session shed, internal error,
   // cancellation) fall through to the guard's abandoned report, so a
@@ -522,14 +582,14 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
     return JsonError(500, "generation_failed",
                      outcome.status().ToString(), request.request_id);
   }
-  if (outcome->cancelled) {
+  if (outcome->cancelled()) {
     generate_cancelled_.fetch_add(1);
     return JsonError(503, "shutting_down",
                      "generation was cancelled because the server is "
                      "shutting down",
                      request.request_id);
   }
-  if (outcome->deadline_exceeded || req.deadline.expired()) {
+  if (outcome->deadline_exceeded() || req.deadline.expired()) {
     breaker_outcome.Timeout();
     return deadline_response(outcome->tokens_generated);
   }
@@ -538,27 +598,251 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   RT_LOG(Debug) << "generate ok request_id=" << request.request_id
                 << " trace_id=" << request.trace_id
                 << " model=" << req.model
-                << " finish=" << outcome->finish_reason
+                << " finish=" << FinishReasonName(outcome->finish)
                 << " tokens=" << outcome->tokens_generated
                 << " seconds=" << seconds;
   Json out{Json::Object{}};
   out.Set("request_id", request.request_id);
   out.Set("model", req.model);
-  out.Set("finish_reason", outcome->finish_reason);
+  out.Set("finish_reason",
+          std::string(FinishReasonName(outcome->finish)));
   out.Set("tokens_generated",
           static_cast<double>(outcome->tokens_generated));
-  Json params{Json::Object{}};
-  params.Set("max_tokens", req.max_tokens);
-  params.Set("temperature", req.temperature);
-  params.Set("top_k", req.top_k);
-  params.Set("top_p", req.top_p);
-  params.Set("greedy", req.greedy);
-  params.Set("beam_width", req.beam_width);
-  params.Set("seed", static_cast<double>(req.seed));
-  params.Set("timeout_ms", req.timeout_ms);
-  out.Set("params", std::move(params));
+  out.Set("usage", UsageJson(*outcome));
+  out.Set("params", ParamsJson(req));
   out.Set("recipe", RecipeToJson(outcome->recipe));
   return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse BackendService::DeadlineResponse(
+    const std::string& request_id, ModelBreaker& model_breaker,
+    int budget_ms, long long tokens_generated) {
+  generate_deadline_exceeded_.fetch_add(1);
+  // Retry-After mirrors the 503 circuit_open hint: the breaker's
+  // remaining cooldown when it has already tripped, else an estimate
+  // of when capacity returns from the observed mean latency.
+  const int breaker_wait_ms =
+      model_breaker.breaker.cooldown_remaining_ms();
+  const int retry_s =
+      breaker_wait_ms > 0
+          ? std::max(1, (breaker_wait_ms + 999) / 1000)
+          : std::max(1, static_cast<int>(
+                            std::ceil(latency_.MeanSeconds())));
+  Json details{Json::Object{}};
+  details.Set("tokens_generated",
+              static_cast<double>(tokens_generated));
+  details.Set("timeout_ms", budget_ms);
+  details.Set("retry_after_s", retry_s);
+  HttpResponse resp =
+      JsonError(504, "deadline_exceeded",
+                "generation exceeded its " + std::to_string(budget_ms) +
+                    " ms budget",
+                request_id, std::move(details));
+  resp.headers["Retry-After"] = std::to_string(retry_s);
+  return resp;
+}
+
+HttpResponse BackendService::HandleGenerateStream(
+    const HttpRequest& request, GenerateRequest req,
+    ModelBreaker& model_breaker, CircuitBreaker::Ticket ticket,
+    int budget_ms) {
+  // Pre-stream failures still answer plain HTTP errors, settling the
+  // ticket explicitly (the Outcome guard cannot ride into the stream
+  // callback).
+  if (req.deadline.expired()) {
+    model_breaker.breaker.RecordAbandoned(ticket);
+    RT_LOG(Warning) << "generate shed request_id=" << request.request_id
+                    << " trace_id=" << request.trace_id
+                    << " model=" << req.model
+                    << " reason=budget_spent timeout_ms=" << budget_ms;
+    return DeadlineResponse(request.request_id, model_breaker, budget_ms,
+                            0);
+  }
+  const auto acquire_start = obs::Now();
+  const int slot = AcquireSession(req.deadline);
+  obs::RecordSpanSince(obs::Stage::kSessionAcquire, req.trace_id,
+                       acquire_start);
+  if (slot < 0) {
+    model_breaker.breaker.RecordTimeout(ticket);
+    RT_LOG(Warning) << "generate timeout request_id="
+                    << request.request_id
+                    << " trace_id=" << request.trace_id
+                    << " model=" << req.model
+                    << " reason=session_wait timeout_ms=" << budget_ms;
+    return DeadlineResponse(request.request_id, model_breaker, budget_ms,
+                            0);
+  }
+  streams_started_.fetch_add(1);
+  HttpResponse resp;
+  resp.content_type = "text/event-stream";
+  ModelBreaker* breaker = &model_breaker;
+  const std::string request_id = request.request_id;
+  const uint64_t trace_id = request.trace_id;
+  resp.stream = [this, req = std::move(req), breaker, ticket, slot,
+                 request_id, trace_id](ResponseWriter& writer) {
+    RunStream(writer, req, *breaker, ticket, slot, request_id, trace_id);
+  };
+  return resp;
+}
+
+void BackendService::RunStream(ResponseWriter& writer,
+                               GenerateRequest req,
+                               ModelBreaker& model_breaker,
+                               CircuitBreaker::Ticket ticket, int slot,
+                               const std::string& request_id,
+                               uint64_t trace_id) {
+  // From here every exit settles the ticket exactly once: Timeout /
+  // Success below, or the guard's abandoned report.
+  CircuitBreaker::Outcome breaker_outcome(model_breaker.breaker, ticket);
+
+  // Decoded tokens cross from the decoding thread to this connection
+  // thread through a queue, so a slow client throttles only its own
+  // chunked writes — never the decode loop or a shared batch scheduler.
+  struct TokenEvent {
+    int id;
+    std::string text;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<TokenEvent> queue;
+  bool generation_done = false;
+
+  // Per-stream cancel token: fired when the client disconnects (or a
+  // write out-waits the send timeout) and when the server drain token
+  // fires, so a dead stream releases its decode — and its prefix-cache
+  // pins — within about one token step.
+  auto stream_cancel = std::make_shared<CancelToken>();
+  req.cancel = stream_cancel;
+  req.on_token = [&](int id, const std::string& text) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back({id, text});
+    }
+    cv.notify_one();
+  };
+
+  Timer timer;
+  StatusOr<GenerateOutcome> outcome(
+      Status::Internal("generation never ran"));
+  std::thread generator([&] {
+    auto& faults = FaultInjector::Instance();
+    if (auto slow = faults.Hit("backend.generate.latency")) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(slow->amount));
+    }
+    StatusOr<GenerateOutcome> result =
+        faults.Hit("backend.generate.fail")
+            ? StatusOr<GenerateOutcome>(Status::Internal(
+                  "generation failed (injected backend.generate.fail)"))
+            : sessions_[static_cast<size_t>(slot)](req);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      outcome = std::move(result);
+      generation_done = true;
+    }
+    cv.notify_one();
+  });
+
+  long long index = 0;
+  for (;;) {
+    std::deque<TokenEvent> batch;
+    bool finished = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      // The periodic wakeup bounds how long a token-less stream takes
+      // to notice the server draining underneath it.
+      cv.wait_for(lock, std::chrono::milliseconds(50), [&] {
+        return generation_done || !queue.empty();
+      });
+      batch.swap(queue);
+      finished = generation_done && batch.empty();
+    }
+    if (drain_cancel_->cancelled() || writer.dead()) {
+      stream_cancel->RequestCancel();
+    }
+    for (const TokenEvent& event : batch) {
+      if (!writer.dead()) {
+        Json data{Json::Object{}};
+        data.Set("index", static_cast<double>(index));
+        data.Set("token_id", event.id);
+        data.Set("text", event.text);
+        data.Set("request_id", request_id);
+        data.Set("trace_id", std::to_string(trace_id));
+        if (writer.Write(SseEvent("token", data))) {
+          stream_tokens_.fetch_add(1);
+        } else {
+          // Disconnect or backpressure death: abort the decode but
+          // keep draining the queue so the generator never blocks.
+          stream_cancel->RequestCancel();
+        }
+      }
+      ++index;
+    }
+    if (finished) break;
+  }
+  generator.join();
+  const double seconds = timer.ElapsedSeconds();
+  ReleaseSession(slot);
+  latency_.Record(seconds);
+
+  if (!outcome.ok()) {
+    generate_server_error_.fetch_add(1);
+    streams_aborted_.fetch_add(1);
+    Json error{Json::Object{}};
+    error.Set("code", "generation_failed");
+    error.Set("message", outcome.status().ToString());
+    error.Set("request_id", request_id);
+    writer.Write(SseEvent("error", error));
+    return;  // the guard reports the ticket abandoned
+  }
+
+  // Same settle precedence as the unary path: cancellation (not a
+  // breaker signal), then deadline, then success.
+  if (outcome->cancelled()) {
+    generate_cancelled_.fetch_add(1);
+  } else if (outcome->deadline_exceeded() || req.deadline.expired()) {
+    breaker_outcome.Timeout();
+    generate_deadline_exceeded_.fetch_add(1);
+  } else {
+    breaker_outcome.Success();
+    generate_ok_.fetch_add(1);
+  }
+  // A budget that lapsed between the last token and now still reports
+  // deadline_exceeded, mirroring the unary 504.
+  FinishReason finish = outcome->finish;
+  if (finish != FinishReason::kCancelled &&
+      finish != FinishReason::kDeadlineExceeded &&
+      req.deadline.expired()) {
+    finish = FinishReason::kDeadlineExceeded;
+  }
+
+  Json done{Json::Object{}};
+  done.Set("request_id", request_id);
+  done.Set("trace_id", std::to_string(trace_id));
+  done.Set("model", req.model);
+  done.Set("finish_reason", std::string(FinishReasonName(finish)));
+  done.Set("tokens_generated",
+           static_cast<double>(outcome->tokens_generated));
+  if (req.stream_options.include_usage) {
+    done.Set("usage", UsageJson(*outcome));
+  }
+  done.Set("params", ParamsJson(req));
+  if (req.stream_options.include_recipe) {
+    done.Set("recipe", RecipeToJson(outcome->recipe));
+  }
+  const bool done_sent = writer.Write(SseEvent("done", done));
+  const bool clean = finish != FinishReason::kCancelled &&
+                     finish != FinishReason::kDeadlineExceeded;
+  if (clean && done_sent) {
+    streams_completed_.fetch_add(1);
+  } else {
+    streams_aborted_.fetch_add(1);
+  }
+  RT_LOG(Debug) << "generate stream request_id=" << request_id
+                << " trace_id=" << trace_id << " model=" << req.model
+                << " finish=" << FinishReasonName(finish)
+                << " tokens=" << outcome->tokens_generated
+                << " seconds=" << seconds;
 }
 
 HttpResponse BackendService::HandleMetrics(
@@ -613,6 +897,13 @@ Json BackendService::MetricsJson() const {
           static_cast<double>(generate_cancelled_.load()));
   out.Set("requests_shed",
           static_cast<double>(server_.requests_shed()));
+  out.Set("streams_started",
+          static_cast<double>(streams_started_.load()));
+  out.Set("streams_completed",
+          static_cast<double>(streams_completed_.load()));
+  out.Set("streams_aborted",
+          static_cast<double>(streams_aborted_.load()));
+  out.Set("stream_tokens", static_cast<double>(stream_tokens_.load()));
   out.Set("breaker_rejected",
           static_cast<double>(breaker_rejected_.load()));
   // Top-level breaker_state tracks the default model (back-compat for

@@ -12,12 +12,21 @@
 #include <vector>
 
 #include "data/recipe.h"
+#include "models/language_model.h"
 #include "serve/circuit_breaker.h"
 #include "serve/http.h"
 #include "util/deadline.h"
 #include "util/json.h"
 
 namespace rt {
+
+/// Client-tunable shape of a streamed (`"stream": true`) response.
+struct StreamOptions {
+  /// Include the `usage` object on the terminal `done` event.
+  bool include_usage = true;
+  /// Include the parsed recipe on the terminal `done` event.
+  bool include_recipe = true;
+};
 
 /// A parsed /v1/generate request. Defaults are the resolved decoding
 /// parameters echoed back in the response.
@@ -30,6 +39,9 @@ struct GenerateRequest {
   bool greedy = false;
   int beam_width = 0;
   uint64_t seed = 0;
+  /// SSE token streaming instead of one JSON body.
+  bool stream = false;
+  StreamOptions stream_options;
   /// Model selection by name; empty picks the service default. The
   /// handler resolves it before the callback runs.
   std::string model;
@@ -45,6 +57,11 @@ struct GenerateRequest {
   /// session callbacks thread it into GenerationOptions so decode-loop
   /// spans land on this request's trace track. 0 = untraced.
   uint64_t trace_id = 0;
+  /// Streaming hook, set by the handler on stream=true requests and
+  /// invoked by the session callback once per decoded token with the
+  /// token id and its incremental text. Runs on whatever thread decodes
+  /// (the batch scheduler thread under batching) and must not block.
+  std::function<void(int token_id, const std::string& text)> on_token;
 };
 
 /// What one session callback produced: the recipe plus how decoding
@@ -52,13 +69,19 @@ struct GenerateRequest {
 /// metadata instead of a bare error.
 struct GenerateOutcome {
   Recipe recipe;
-  /// "stop_token", "max_tokens", "context_full", "deadline_exceeded" or
-  /// "cancelled" (FinishReasonName of the model's finish reason).
-  std::string finish_reason = "stop_token";
+  /// Canonical finish reason — one enum shared by the sequential,
+  /// batched and streaming paths (rendered with FinishReasonName in
+  /// responses and SSE `done` events).
+  FinishReason finish = FinishReason::kStopToken;
   /// Tokens the model emitted before finishing or being interrupted.
   long long tokens_generated = 0;
-  bool deadline_exceeded = false;
-  bool cancelled = false;
+  /// Prompt tokens fed (usage accounting on streamed responses).
+  long long prompt_tokens = 0;
+
+  bool deadline_exceeded() const {
+    return finish == FinishReason::kDeadlineExceeded;
+  }
+  bool cancelled() const { return finish == FinishReason::kCancelled; }
 };
 
 /// Stable machine-readable error codes emitted by request validation
@@ -66,7 +89,7 @@ struct GenerateOutcome {
 ///   invalid_json, invalid_request, unknown_field, missing_ingredients,
 ///   bad_ingredients, bad_max_tokens, bad_temperature, bad_top_k,
 ///   bad_top_p, bad_beam_width, bad_greedy, bad_seed, bad_model,
-///   bad_timeout_ms
+///   bad_timeout_ms, bad_stream, bad_stream_options
 /// Runtime codes: deadline_exceeded (504), circuit_open (503),
 ///   shutting_down (503), generation_failed (500).
 
@@ -154,6 +177,10 @@ struct BackendOptions {
   /// is one relaxed-atomic branch plus a ring write; set false to leave
   /// the recorder in whatever state RT_TRACE chose.
   bool tracing = true;
+  /// Registers the pre-/v1 aliases (/healthz, /metrics, /api/generate)
+  /// with their Deprecation header. Off by default since API v2; turn
+  /// on with --enable-deprecated-routes for clients mid-migration.
+  bool enable_deprecated_routes = false;
 };
 
 /// The generation backend microservice (the Flask-model container of
@@ -232,6 +259,34 @@ class BackendService {
   /// The breaker for `model` (must be an advertised model name).
   ModelBreaker& BreakerFor(const std::string& model) const;
 
+  /// The SSE (`"stream": true`) arm of HandleGenerate. Shed / session
+  /// wait still answer plain HTTP errors on the worker thread; once a
+  /// session is held the response becomes a chunked-transfer callback
+  /// that runs RunStream on the connection. `ticket` is the admitted
+  /// breaker ticket — settled here on pre-stream failures, inside
+  /// RunStream otherwise.
+  HttpResponse HandleGenerateStream(const HttpRequest& request,
+                                    GenerateRequest req,
+                                    ModelBreaker& model_breaker,
+                                    CircuitBreaker::Ticket ticket,
+                                    int budget_ms);
+
+  /// Streams one generation over `writer`: decodes on a helper thread,
+  /// writes one SSE `token` event per decoded token, and finishes with
+  /// a terminal `done` (or `error`) event. Owns teardown: releases the
+  /// session slot, settles the breaker ticket, and cancels the decode
+  /// when the client disconnects or the server drains.
+  void RunStream(ResponseWriter& writer, GenerateRequest req,
+                 ModelBreaker& model_breaker,
+                 CircuitBreaker::Ticket ticket, int slot,
+                 const std::string& request_id, uint64_t trace_id);
+
+  /// The 504 deadline_exceeded envelope (with Retry-After) shared by
+  /// the unary and pre-stream paths; bumps the deadline counter.
+  HttpResponse DeadlineResponse(const std::string& request_id,
+                                ModelBreaker& model_breaker, int budget_ms,
+                                long long tokens_generated);
+
   BackendOptions options_;
   std::vector<GenerateFn> sessions_;
   HttpServer server_;
@@ -253,6 +308,13 @@ class BackendService {
   std::atomic<long long> generate_cancelled_{0};
   std::atomic<long long> breaker_rejected_{0};
   std::atomic<long long> sessions_in_use_{0};
+  /// SSE streaming counters (stream_* gauges at /v1/metrics).
+  std::atomic<long long> streams_started_{0};
+  std::atomic<long long> streams_completed_{0};
+  /// Streams torn down early: client disconnect, backpressure timeout,
+  /// deadline, cancellation, or a generation error mid-stream.
+  std::atomic<long long> streams_aborted_{0};
+  std::atomic<long long> stream_tokens_{0};
   LatencyHistogram latency_;
 };
 

@@ -40,10 +40,14 @@ BatchScheduler::BatchScheduler(LanguageModel* model,
                                BatchSchedulerOptions options)
     : model_(model),
       decoder_(model->MakeBatchDecoder()),
-      max_batch_(std::clamp(options.max_batch, 1, kMaxDecodeBatch)) {
+      max_batch_(std::clamp(options.max_batch, 1, kMaxDecodeBatch)),
+      prefill_chunk_(std::max(options.prefill_chunk, 1)) {
   if (decoder_ != nullptr) {
     logits_.resize(static_cast<size_t>(max_batch_) *
                    decoder_->vocab_size());
+    if (options.enable_prefix_cache) {
+      decoder_->EnablePrefixCache(options.prefix_cache);
+    }
   }
   thread_ = std::thread([this] { SchedulerLoop(); });
 }
@@ -94,6 +98,13 @@ BatchSchedulerStats BatchScheduler::stats() const {
   stats.pending = static_cast<int>(pending_.size());
   stats.arena_heap_allocs =
       decoder_ != nullptr ? decoder_->arena_heap_allocs() : 0;
+  if (decoder_ != nullptr) {
+    const PrefixCacheStats cache = decoder_->prefix_cache_stats();
+    stats.prefix_cache_hits = cache.hits;
+    stats.prefix_cache_misses = cache.misses;
+    stats.prefix_cache_evictions = cache.evictions;
+    stats.prefix_cache_entries = cache.entries;
+  }
   return stats;
 }
 
@@ -183,10 +194,63 @@ bool BatchScheduler::StepOnce() {
       continue;
     }
     if (request->seq == nullptr) {
-      request->seq = decoder_->NewSequence();
-      request->next_token = request->prompt[0];
-      request->result.ids.reserve(request->options.max_new_tokens);
+      // First scheduling: restore the longest cached prompt prefix, if
+      // any, and resume feeding right after it. The restore is a
+      // memcpy, so the first token's cost no longer scales with the
+      // shared prefix length.
+      int restored = 0;
       request->prefill_start = obs::Now();
+      request->seq = decoder_->NewSequenceWithPrefix(
+          request->prompt.data(),
+          static_cast<int>(request->prompt.size()), &restored);
+      if (restored > 0) {
+        obs::RecordSpanSince(obs::Stage::kPrefillCached,
+                             request->options.trace_id,
+                             request->prefill_start, "restored_tokens",
+                             restored);
+      }
+      request->feed_idx = static_cast<size_t>(restored);
+      request->result.ids.reserve(request->options.max_new_tokens);
+    }
+    if (!request->prompt_done) {
+      // Chunked prefill inside the loop: bulk-feed up to one chunk of
+      // prompt tokens, always leaving the final prompt token for
+      // StepBatch so the row ends up with sampling logits. Rows with
+      // prompt left after their chunk skip this iteration's batched
+      // step instead of blocking co-resident decoding rows.
+      size_t remaining = request->prompt.size() - request->feed_idx;
+      if (remaining > 1) {
+        size_t chunk =
+            std::min<size_t>(static_cast<size_t>(prefill_chunk_),
+                             remaining - 1);
+        if (max_ctx > 0) {
+          const int room = max_ctx - 1 - request->seq->len();
+          chunk = std::min<size_t>(
+              chunk, room > 0 ? static_cast<size_t>(room) : 0);
+        }
+        if (chunk > 0) {
+          decoder_->PrefillSeq(request->seq.get(),
+                               request->prompt.data() + request->feed_idx,
+                               static_cast<int>(chunk));
+          request->feed_idx += chunk;
+          remaining -= chunk;
+        }
+        const bool context_edge =
+            max_ctx > 0 && request->seq->len() >= max_ctx - 1;
+        if (remaining > 1 && !context_edge) continue;
+      }
+      if (request->feed_idx + 1 == request->prompt.size()) {
+        // The slot now holds the prefill of every prompt token but the
+        // last (which always goes through StepBatch for sampling
+        // logits). Publish that snapshot so a follower sharing the
+        // prefix — including an identical repeat prompt — restores it
+        // instead of re-encoding. (No-op on duplicates, when the
+        // context filled mid-prompt, or without a cache.)
+        decoder_->PublishPrefix(request->seq.get(),
+                                request->prompt.data(),
+                                static_cast<int>(request->feed_idx));
+      }
+      request->next_token = request->prompt[request->feed_idx];
     }
     tokens[m] = request->next_token;
     rows[m] = request->seq.get();
@@ -241,6 +305,7 @@ bool BatchScheduler::StepOnce() {
                            sample_start);
       obs::CountSampledTokens(1);
       request->result.ids.push_back(next);
+      if (request->options.on_token) request->options.on_token(next);
       // Same precedence as the sequential decode loop: stop token,
       // then context exhaustion, then the token budget.
       if (next == request->options.stop_token) {

@@ -20,6 +20,16 @@ struct BatchSchedulerOptions {
   /// [1, kMaxDecodeBatch]; also bounds resident sequences, so the
   /// pooled cache arena tops out at this many slots.
   int max_batch = 4;
+  /// Prompt tokens bulk-fed per scheduler iteration per row (chunked
+  /// prefill). Admitted rows prefill inside the loop, so a long prompt
+  /// never blocks co-resident decoding rows for more than one chunk.
+  int prefill_chunk = 16;
+  /// Shares prefill KV state between requests with a common prompt
+  /// prefix. Tokens are bitwise identical either way (the restore is a
+  /// memcpy of deterministically-computed state); the cache only
+  /// changes prefill cost.
+  bool enable_prefix_cache = true;
+  PrefixCacheOptions prefix_cache;
 };
 
 /// Aggregate scheduler counters, surfaced at /v1/metrics.
@@ -39,6 +49,11 @@ struct BatchSchedulerStats {
   int pending = 0;
   /// Heap allocations charged to the decoder's pooled cache arena.
   long long arena_heap_allocs = 0;
+  /// Shared-prefix KV cache counters (all zero when disabled).
+  long long prefix_cache_hits = 0;
+  long long prefix_cache_misses = 0;
+  long long prefix_cache_evictions = 0;
+  int prefix_cache_entries = 0;
 
   /// Mean rows per step — the batch-occupancy gauge.
   double mean_occupancy() const {
@@ -97,6 +112,7 @@ class BatchScheduler {
   LanguageModel* model_;
   std::unique_ptr<BatchDecoder> decoder_;  // null: inline fallback only
   int max_batch_;
+  int prefill_chunk_;
   /// Step scratch: [max_batch, vocab] logits block.
   std::vector<float> logits_;
 

@@ -1,5 +1,8 @@
 #include "serve/frontend_service.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace rt {
 namespace {
 
@@ -32,10 +35,22 @@ document.getElementById('gen').addEventListener('submit', async (e) => {
 </html>
 )html";
 
+/// An SSE relay occupies its worker for the whole stream, so sizing
+/// the pool to hardware_concurrency() (1 on small containers) would
+/// let a single streaming client starve the page and every other
+/// proxied call. These workers are I/O-bound relays, not compute —
+/// floor the pool at 4.
+HttpServerOptions FrontendServerOptions() {
+  HttpServerOptions options;
+  options.num_workers = static_cast<int>(
+      std::max(4u, std::thread::hardware_concurrency()));
+  return options;
+}
+
 }  // namespace
 
 FrontendService::FrontendService(int backend_port)
-    : backend_port_(backend_port) {
+    : backend_port_(backend_port), server_(FrontendServerOptions()) {
   const auto healthz = [](const HttpRequest&) {
     return HttpResponse::JsonBody(HealthzJson().Dump());
   };
@@ -51,7 +66,51 @@ FrontendService::FrontendService(int backend_port)
                       });
   // Reverse proxy: the frontend never imports model code; it forwards
   // /v1/* (and the deprecated /api/*) to the backend tier over HTTP.
+  // Requests asking for `"stream": true` are relayed incrementally —
+  // each SSE event re-chunks to the browser the moment the backend
+  // writes it — everything else buffers as before.
   const auto proxy = [this](const HttpRequest& req) {
+    bool wants_stream = false;
+    if (auto doc = Json::Parse(req.body); doc.ok() && doc->is_object()) {
+      const Json& stream = doc->Get("stream");
+      wants_stream = stream.is_bool() && stream.AsBool();
+    }
+    if (wants_stream) {
+      auto call = std::make_shared<StreamingHttpCall>();
+      if (Status opened = call->Open(backend_port_, req.path, req.body);
+          !opened.ok()) {
+        return JsonError(502, "backend_unreachable",
+                         "backend did not answer: " + opened.message(),
+                         req.request_id);
+      }
+      if (!call->chunked()) {
+        // Pre-stream failure (validation, breaker, shed): a plain JSON
+        // error, forwarded buffered like any unary response.
+        auto body = call->ReadAll();
+        if (!body.ok()) {
+          return JsonError(502, "backend_unreachable",
+                           "backend hung up mid-response: " +
+                               body.status().message(),
+                           req.request_id);
+        }
+        return HttpResponse::JsonBody(*std::move(body), call->status());
+      }
+      HttpResponse out;
+      out.status = call->status();
+      const auto ct = call->headers().find("content-type");
+      out.content_type = ct != call->headers().end()
+                             ? ct->second
+                             : "text/event-stream";
+      // Dropping `call` at the end of the relay closes the backend
+      // connection, which cancels the upstream decode if the browser
+      // walked away first.
+      out.stream = [call](ResponseWriter& writer) {
+        (void)call->Pump([&writer](const std::string& data) {
+          return writer.Write(data);
+        });
+      };
+      return out;
+    }
     auto resp = HttpPost(backend_port_, req.path, req.body);
     if (!resp.ok()) {
       return JsonError(502, "backend_unreachable",

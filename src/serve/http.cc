@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <thread>
@@ -122,6 +123,59 @@ Status SendAll(int fd, const std::string& data) {
   return Status::OK();
 }
 
+/// Status line + headers for a streaming response: chunked framing
+/// instead of Content-Length, and the connection always closes when the
+/// stream ends.
+std::string RenderStreamHeaders(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "Transfer-Encoding: chunked\r\n";
+  out += "Cache-Control: no-cache\r\n";
+  out += "Connection: close\r\n\r\n";
+  return out;
+}
+
+/// ResponseWriter over one connection: each Write is one chunk through
+/// SendAll, so backpressure (SO_SNDTIMEO expiry) and disconnects
+/// surface as a dead writer within one Write call.
+class ChunkedWriter : public ResponseWriter {
+ public:
+  ChunkedWriter(int fd, uint64_t trace_id)
+      : fd_(fd), trace_id_(trace_id) {}
+
+  bool Write(const std::string& data) override {
+    if (dead_) return false;
+    if (data.empty()) return true;
+    const auto start = obs::Now();
+    char size_hex[32];
+    std::snprintf(size_hex, sizeof(size_hex), "%zx\r\n", data.size());
+    std::string chunk = size_hex;
+    chunk += data;
+    chunk += "\r\n";
+    if (!SendAll(fd_, chunk).ok()) dead_ = true;
+    obs::RecordSpanSince(obs::Stage::kResponseStreamWrite, trace_id_,
+                         start, "bytes",
+                         static_cast<long long>(data.size()));
+    return !dead_;
+  }
+
+  bool dead() const override { return dead_; }
+
+  /// Marks the writer dead without touching the socket (used when the
+  /// header send already failed, so the handler still runs its stream
+  /// callback — and its teardown — against a dead writer).
+  void Kill() { dead_ = true; }
+
+ private:
+  int fd_;
+  uint64_t trace_id_;
+  bool dead_ = false;
+};
+
 std::string RenderResponse(const HttpResponse& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusText(response.status) + "\r\n";
@@ -181,9 +235,37 @@ int ConnectLoopback(int port) {
   return fd;
 }
 
-/// Parses a complete response (status line + headers + Content-Length
-/// body) from the front of `buffer`. Returns false when more bytes are
-/// needed; `*consumed` is set on success.
+/// Decodes a Transfer-Encoding: chunked body starting at `start`.
+/// Returns false when the terminal chunk has not arrived yet; on
+/// success `*body` holds the concatenated chunk payloads and
+/// `*consumed` is one past the final CRLF.
+bool DecodeChunkedBody(const std::string& data, size_t start,
+                       std::string* body, size_t* consumed) {
+  std::string out;
+  size_t pos = start;
+  for (;;) {
+    const size_t line_end = data.find("\r\n", pos);
+    if (line_end == std::string::npos) return false;
+    const size_t size =
+        std::strtoull(data.c_str() + pos, nullptr, 16);
+    pos = line_end + 2;
+    if (size == 0) {
+      // Terminal chunk; tolerate (and skip) an empty trailer line.
+      if (data.size() < pos + 2) return false;
+      *body = std::move(out);
+      *consumed = pos + 2;
+      return true;
+    }
+    if (data.size() < pos + size + 2) return false;
+    out.append(data, pos, size);
+    pos += size + 2;
+  }
+}
+
+/// Parses a complete response (status line + headers + body, framed by
+/// Content-Length or chunked transfer coding) from the front of
+/// `buffer`. Returns false when more bytes are needed; `*consumed` is
+/// set on success.
 bool TryParseClientResponse(const std::string& buffer,
                             HttpClientResponse* resp, size_t* consumed) {
   const size_t header_end = buffer.find("\r\n\r\n");
@@ -191,9 +273,19 @@ bool TryParseClientResponse(const std::string& buffer,
   if (buffer.size() < 12 || buffer.compare(0, 5, "HTTP/") != 0) {
     return false;
   }
-  const size_t body_len = ContentLengthOf(ToLower(buffer.substr(0, header_end)));
-  const size_t total = header_end + 4 + body_len;
-  if (buffer.size() < total) return false;
+  const std::string head_lower = ToLower(buffer.substr(0, header_end));
+  std::string body;
+  size_t total = 0;
+  if (head_lower.find("transfer-encoding: chunked") != std::string::npos) {
+    if (!DecodeChunkedBody(buffer, header_end + 4, &body, &total)) {
+      return false;
+    }
+  } else {
+    const size_t body_len = ContentLengthOf(head_lower);
+    total = header_end + 4 + body_len;
+    if (buffer.size() < total) return false;
+    body = buffer.substr(header_end + 4, body_len);
+  }
   resp->status = std::atoi(buffer.c_str() + 9);
   resp->headers.clear();
   std::istringstream head(buffer.substr(0, header_end));
@@ -206,7 +298,7 @@ bool TryParseClientResponse(const std::string& buffer,
     resp->headers[ToLower(Trim(line.substr(0, colon)))] =
         Trim(line.substr(colon + 1));
   }
-  resp->body = buffer.substr(header_end + 4, body_len);
+  resp->body = std::move(body);
   *consumed = total;
   return true;
 }
@@ -633,6 +725,34 @@ void HttpServer::ServeConnection(
     }
     if (draining_.load()) close_connection = true;
     requests_served_.fetch_add(1);
+    if (response.stream) {
+      // Streaming response: headers first, then the handler drives
+      // chunk writes through a ResponseWriter on this worker thread;
+      // the zero-length chunk closes the framing. Never keep-alive.
+      const auto stream_start = obs::Now();
+      const bool header_ok =
+          SendAll(fd, RenderStreamHeaders(response)).ok();
+      ChunkedWriter writer(fd, request.trace_id);
+      if (!header_ok) writer.Kill();
+      // The callback always runs, even against a dead writer — it owns
+      // resource teardown (session slots, breaker tickets, cache pins)
+      // that must not leak because the client vanished early.
+      response.stream(writer);
+      const bool stream_ok =
+          header_ok && !writer.dead() && SendAll(fd, "0\r\n\r\n").ok();
+      if (parsed) {
+        obs::RecordSpanSince(obs::Stage::kResponseWrite, request.trace_id,
+                             stream_start);
+        obs::RecordSpanSince(obs::Stage::kRequest, request.trace_id,
+                             request_admitted);
+        RT_LOG(Debug) << "http " << request.method << " " << request.path
+                      << " status=" << response.status << " streamed=1"
+                      << " complete=" << (stream_ok ? 1 : 0)
+                      << " request_id=" << request.request_id
+                      << " trace_id=" << request.trace_id;
+      }
+      return;
+    }
     const auto write_start = obs::Now();
     const bool sent_ok =
         SendAll(fd, RenderResponse(response, !close_connection)).ok();
@@ -693,6 +813,118 @@ StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
   return OneShotRoundTrip(
       port, FormatPostRequest(path, body, content_type,
                               /*keep_alive=*/false));
+}
+
+StreamingHttpCall::~StreamingHttpCall() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool StreamingHttpCall::Fill() {
+  char buf[4096];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n <= 0) return false;
+  buffer_.append(buf, static_cast<size_t>(n));
+  return true;
+}
+
+Status StreamingHttpCall::Open(int port, const std::string& path,
+                               const std::string& body,
+                               const std::string& content_type) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already open");
+  fd_ = ConnectLoopback(port);
+  if (fd_ < 0) {
+    return Status::IoError("connect failed to port " +
+                           std::to_string(port));
+  }
+  if (Status sent =
+          SendAll(fd_, FormatPostRequest(path, body, content_type,
+                                         /*keep_alive=*/false));
+      !sent.ok()) {
+    return sent;
+  }
+  size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (!Fill()) {
+      return Status::IoError("connection closed before response head");
+    }
+  }
+  if (buffer_.size() < 12 || buffer_.compare(0, 5, "HTTP/") != 0) {
+    return Status::IoError("malformed HTTP response");
+  }
+  status_ = std::atoi(buffer_.c_str() + 9);
+  std::istringstream head(buffer_.substr(0, header_end));
+  std::string line;
+  std::getline(head, line);  // status line
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    headers_[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+  const auto te = headers_.find("transfer-encoding");
+  chunked_ = te != headers_.end() && ToLower(te->second) == "chunked";
+  const auto cl = headers_.find("content-length");
+  content_length_ = cl != headers_.end()
+                        ? std::strtoull(cl->second.c_str(), nullptr, 10)
+                        : 0;
+  buffer_.erase(0, header_end + 4);
+  return Status::OK();
+}
+
+StatusOr<std::string> StreamingHttpCall::ReadAll() {
+  std::string out;
+  Status pumped = Pump([&out](const std::string& data) {
+    out += data;
+    return true;
+  });
+  if (!pumped.ok()) return pumped;
+  return out;
+}
+
+Status StreamingHttpCall::Pump(
+    const std::function<bool(const std::string&)>& on_data) {
+  if (fd_ < 0) return Status::FailedPrecondition("not open");
+  if (!chunked_) {
+    // Content-Length framing (or read-to-EOF when absent, since the
+    // request asked Connection: close).
+    size_t delivered = 0;
+    const bool until_eof =
+        content_length_ == 0 && headers_.count("content-length") == 0;
+    for (;;) {
+      if (!buffer_.empty()) {
+        std::string data;
+        data.swap(buffer_);
+        if (!until_eof &&
+            delivered + data.size() > content_length_) {
+          data.resize(content_length_ - delivered);
+        }
+        delivered += data.size();
+        if (!on_data(data)) return Status::OK();
+      }
+      if (!until_eof && delivered >= content_length_) return Status::OK();
+      if (!Fill()) {
+        if (until_eof) return Status::OK();
+        return Status::IoError("connection closed mid-body");
+      }
+    }
+  }
+  // Chunked framing: decode and deliver each chunk as it completes, so
+  // an SSE relay forwards every event the moment it arrives.
+  for (;;) {
+    size_t line_end;
+    while ((line_end = buffer_.find("\r\n")) == std::string::npos) {
+      if (!Fill()) return Status::IoError("truncated chunked body");
+    }
+    const size_t size = std::strtoull(buffer_.c_str(), nullptr, 16);
+    if (size == 0) return Status::OK();
+    while (buffer_.size() < line_end + 2 + size + 2) {
+      if (!Fill()) return Status::IoError("truncated chunked body");
+    }
+    const std::string data = buffer_.substr(line_end + 2, size);
+    buffer_.erase(0, line_end + 2 + size + 2);
+    if (!on_data(data)) return Status::OK();
+  }
 }
 
 HttpClient::HttpClient(int port) : port_(port) {}

@@ -43,6 +43,25 @@ struct HttpRequest {
   std::chrono::steady_clock::time_point admitted_at{};
 };
 
+/// Incremental writer handed to a streaming handler (HttpResponse::
+/// stream). Each Write sends one HTTP/1.1 chunk to the client on the
+/// calling thread; the socket's SO_SNDTIMEO bounds how long a slow
+/// reader can stall a write (backpressure), after which the writer is
+/// dead and the handler should stop producing.
+class ResponseWriter {
+ public:
+  virtual ~ResponseWriter() = default;
+
+  /// Sends `data` as one chunk. Returns false once the client is gone
+  /// — disconnect, or a write that out-waited the send timeout. After
+  /// the first failure every call returns false without touching the
+  /// socket.
+  virtual bool Write(const std::string& data) = 0;
+
+  /// True after any Write has failed.
+  virtual bool dead() const = 0;
+};
+
 /// An HTTP response under construction.
 struct HttpResponse {
   int status = 200;
@@ -50,6 +69,12 @@ struct HttpResponse {
   std::string body;
   /// Extra response headers (e.g. "Retry-After", "Deprecation").
   std::map<std::string, std::string> headers;
+  /// When set the response streams: the server sends the status line
+  /// and headers with Transfer-Encoding: chunked, invokes this callback
+  /// on the worker thread with a live ResponseWriter, and finishes the
+  /// framing when it returns. `body` is ignored and the connection
+  /// always closes afterwards (no keep-alive reuse).
+  std::function<void(ResponseWriter&)> stream;
 
   static HttpResponse Text(std::string body, int status = 200);
   static HttpResponse Html(std::string body, int status = 200);
@@ -227,6 +252,54 @@ StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
                                       const std::string& body,
                                       const std::string& content_type =
                                           "application/json");
+
+/// Client side of one streaming exchange (the frontend's SSE relay):
+/// Open() sends a POST and blocks until the response head arrives, so
+/// the caller can commit status/headers before any body bytes; Pump()
+/// then delivers decoded body data incrementally as the peer writes
+/// it. Not thread-safe; the destructor closes the connection (which
+/// tears down the upstream stream).
+class StreamingHttpCall {
+ public:
+  StreamingHttpCall() = default;
+  ~StreamingHttpCall();
+
+  StreamingHttpCall(const StreamingHttpCall&) = delete;
+  StreamingHttpCall& operator=(const StreamingHttpCall&) = delete;
+
+  /// Connects to 127.0.0.1:`port`, sends the POST, and reads the
+  /// response head (status line + headers).
+  Status Open(int port, const std::string& path, const std::string& body,
+              const std::string& content_type = "application/json");
+
+  /// Valid after a successful Open().
+  int status() const { return status_; }
+  const std::map<std::string, std::string>& headers() const {
+    return headers_;  // lower-cased keys
+  }
+  /// True when the body uses chunked framing — stream it with Pump().
+  bool chunked() const { return chunked_; }
+
+  /// Buffers the whole remaining body (non-streaming responses).
+  StatusOr<std::string> ReadAll();
+
+  /// Delivers body payloads to `on_data` as they arrive (one call per
+  /// decoded chunk when chunked) until the body ends. `on_data`
+  /// returning false stops the relay early (still OK) — the caller's
+  /// client is gone.
+  Status Pump(const std::function<bool(const std::string&)>& on_data);
+
+ private:
+  /// Reads more bytes into buffer_. False on EOF.
+  bool Fill();
+
+  int fd_ = -1;
+  int status_ = 0;
+  bool chunked_ = false;
+  size_t content_length_ = 0;
+  std::map<std::string, std::string> headers_;
+  std::string buffer_;  // body bytes past the parsed head
+};
 
 /// Persistent keep-alive client: issues sequential requests over one
 /// connection, reconnecting transparently if the server closed it.

@@ -1,0 +1,164 @@
+#include "tensor/prefix_cache.h"
+
+#include <cstring>
+#include <vector>
+
+namespace rt {
+
+struct PrefixKvCache::Node {
+  Node* parent = nullptr;
+  int token = -1;
+  int depth = 0;
+  std::map<int, std::unique_ptr<Node>> children;
+  float* slot = nullptr;  // non-null once published
+  int refcount = 0;       // restores copying this slot right now
+  uint64_t last_used = 0;
+};
+
+PrefixKvCache::PrefixKvCache(CacheArena* arena, PrefixCacheOptions options)
+    : arena_(arena), options_(options), root_(std::make_unique<Node>()) {
+  if (options_.max_entries < 1) options_.max_entries = 1;
+  if (options_.min_tokens < 1) options_.min_tokens = 1;
+}
+
+PrefixKvCache::~PrefixKvCache() { Clear(); }
+
+int PrefixKvCache::Restore(const int* tokens, int n, float* dst) {
+  Node* best = nullptr;
+  int depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node* node = root_.get();
+    for (int i = 0; i < n; ++i) {
+      auto it = node->children.find(tokens[i]);
+      if (it == node->children.end()) break;
+      node = it->second.get();
+      if (node->slot != nullptr) best = node;
+    }
+    if (best == nullptr) {
+      ++misses_;
+      return 0;
+    }
+    ++hits_;
+    best->last_used = ++tick_;
+    ++best->refcount;  // pin across the unlocked copy
+    depth = best->depth;
+  }
+  std::memcpy(dst, best->slot, arena_->slot_floats() * sizeof(float));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --best->refcount;
+  }
+  // Not best->depth: dropping the refcount released the pin, so the
+  // node may already be evicted and freed by now.
+  return depth;
+}
+
+bool PrefixKvCache::Publish(const int* tokens, int n, const float* state) {
+  if (n < options_.min_tokens) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node* node = root_.get();
+    bool exists = true;
+    for (int i = 0; i < n && exists; ++i) {
+      auto it = node->children.find(tokens[i]);
+      if (it == node->children.end()) {
+        exists = false;
+      } else {
+        node = it->second.get();
+      }
+    }
+    if (exists && node->slot != nullptr) {
+      node->last_used = ++tick_;
+      return false;
+    }
+  }
+  // Copy outside the lock: the snapshot is invisible until inserted.
+  float* slot = arena_->Acquire();
+  std::memcpy(slot, state, arena_->slot_floats() * sizeof(float));
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node* node = root_.get();
+  for (int i = 0; i < n; ++i) {
+    auto& child = node->children[tokens[i]];
+    if (!child) {
+      child = std::make_unique<Node>();
+      child->parent = node;
+      child->token = tokens[i];
+      child->depth = node->depth + 1;
+    }
+    node = child.get();
+  }
+  if (node->slot != nullptr) {
+    // Raced with another publisher of the same prefix; keep theirs.
+    arena_->Release(slot);
+    node->last_used = ++tick_;
+    return false;
+  }
+  node->slot = slot;
+  node->last_used = ++tick_;
+  ++entries_;
+  EvictIfNeededLocked();
+  return true;
+}
+
+void PrefixKvCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Node*> stack = {root_.get()};
+  std::vector<Node*> published;
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    for (auto& child : node->children) stack.push_back(child.second.get());
+    if (node->slot != nullptr && node->refcount == 0) {
+      published.push_back(node);
+    }
+  }
+  // Removing a payload never erases another published node: pruning
+  // only deletes payload-free childless chains.
+  for (Node* node : published) RemoveLocked(node);
+}
+
+PrefixCacheStats PrefixKvCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PrefixCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = entries_;
+  return s;
+}
+
+void PrefixKvCache::EvictIfNeededLocked() {
+  while (entries_ > options_.max_entries) {
+    Node* victim = nullptr;
+    std::vector<Node*> stack = {root_.get()};
+    while (!stack.empty()) {
+      Node* node = stack.back();
+      stack.pop_back();
+      for (auto& child : node->children) stack.push_back(child.second.get());
+      if (node->slot != nullptr && node->refcount == 0 &&
+          (victim == nullptr || node->last_used < victim->last_used)) {
+        victim = node;
+      }
+    }
+    if (victim == nullptr) return;  // every entry is pinned right now
+    RemoveLocked(victim);
+    ++evictions_;
+  }
+}
+
+void PrefixKvCache::RemoveLocked(Node* node) {
+  arena_->Release(node->slot);
+  node->slot = nullptr;
+  --entries_;
+  // Prune the now payload-free chain upward; stops at any node that
+  // still anchors a payload, children, or an in-flight restore.
+  while (node != root_.get() && node->slot == nullptr &&
+         node->children.empty() && node->refcount == 0) {
+    Node* parent = node->parent;
+    parent->children.erase(node->token);
+    node = parent;
+  }
+}
+
+}  // namespace rt

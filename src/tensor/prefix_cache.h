@@ -1,0 +1,89 @@
+#ifndef RATATOUILLE_TENSOR_PREFIX_CACHE_H_
+#define RATATOUILLE_TENSOR_PREFIX_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "tensor/cache_arena.h"
+
+namespace rt {
+
+/// Tuning knobs for PrefixKvCache.
+struct PrefixCacheOptions {
+  /// Max published prefixes held at once. Each entry pins one arena
+  /// slot, so this is the cache's arena-pressure budget; beyond it the
+  /// least recently used unreferenced entry is evicted.
+  int max_entries = 32;
+  /// Prefixes shorter than this are not worth a slot copy.
+  int min_tokens = 2;
+};
+
+struct PrefixCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int entries = 0;
+};
+
+/// Shared-prefix KV cache: a trie keyed on prompt token ids whose
+/// terminal nodes hold an arena-slot snapshot of the decode cache after
+/// prefilling exactly that prefix. Concurrent requests sharing a prompt
+/// prefix restore the snapshot with one memcpy instead of re-encoding
+/// it token by token, making admission-to-first-token cost
+/// near-constant in prompt length.
+///
+/// The kernels are deterministic and batch-invariant, so a restored
+/// snapshot continues decoding bitwise-identically to a cold prefill —
+/// the cache changes cost, never tokens.
+///
+/// Thread-safe: restores pin their node with a refcount while copying
+/// outside the lock, and eviction skips pinned nodes.
+class PrefixKvCache {
+ public:
+  /// `arena` provides snapshot storage; it must outlive the cache and
+  /// its slot_floats() must equal the decoder's per-sequence state
+  /// size.
+  explicit PrefixKvCache(CacheArena* arena, PrefixCacheOptions options = {});
+  ~PrefixKvCache();
+
+  PrefixKvCache(const PrefixKvCache&) = delete;
+  PrefixKvCache& operator=(const PrefixKvCache&) = delete;
+
+  /// Copies the longest published prefix of tokens[0..n) into `dst`
+  /// (an acquired arena slot) and returns its length in tokens; 0
+  /// means miss and leaves `dst` untouched.
+  int Restore(const int* tokens, int n, float* dst);
+
+  /// Publishes `state` as the decode cache after prefilling exactly
+  /// tokens[0..n). Returns false without copying when that prefix is
+  /// already published or n is below min_tokens. May evict the least
+  /// recently used unreferenced entry to stay within budget.
+  bool Publish(const int* tokens, int n, const float* state);
+
+  /// Drops every unreferenced entry (pinned entries stay).
+  void Clear();
+
+  PrefixCacheStats stats() const;
+
+ private:
+  struct Node;
+
+  void EvictIfNeededLocked();
+  void RemoveLocked(Node* node);
+
+  CacheArena* arena_;
+  PrefixCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<Node> root_;
+  uint64_t tick_ = 0;
+  int entries_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_TENSOR_PREFIX_CACHE_H_

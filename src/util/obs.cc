@@ -61,12 +61,16 @@ const char* StageName(Stage stage) {
       return "session_acquire";
     case Stage::kPrefill:
       return "prefill";
+    case Stage::kPrefillCached:
+      return "prefill_cached";
     case Stage::kBatchStep:
       return "batch_step";
     case Stage::kSample:
       return "sample";
     case Stage::kResponseWrite:
       return "response_write";
+    case Stage::kResponseStreamWrite:
+      return "response_stream_write";
   }
   return "unknown";
 }
@@ -172,9 +176,10 @@ void CountSampledTokens(long long n) {
 void FillStageMetrics(Json* object) {
   StageState& state = Stages();
   static const Stage kAll[kStageCount] = {
-      Stage::kRequest,   Stage::kQueueWait, Stage::kSessionAcquire,
-      Stage::kPrefill,   Stage::kBatchStep, Stage::kSample,
-      Stage::kResponseWrite};
+      Stage::kRequest,       Stage::kQueueWait, Stage::kSessionAcquire,
+      Stage::kPrefill,       Stage::kPrefillCached,
+      Stage::kBatchStep,     Stage::kSample,    Stage::kResponseWrite,
+      Stage::kResponseStreamWrite};
   for (Stage stage : kAll) {
     HistogramFor(stage).FillMetrics(
         std::string("stage_") + StageName(stage) + "_", object);

@@ -48,11 +48,13 @@ enum class Stage : int {
   kQueueWait,       ///< accept-queue wait before a worker picks the conn up
   kSessionAcquire,  ///< wait for a model session slot
   kPrefill,         ///< prompt encoding before the first sampled token
+  kPrefillCached,   ///< prefix-cache restore replacing prefill work
   kBatchStep,       ///< one batched (or sequential) decoder forward step
   kSample,          ///< logits -> token-id selection for one row
   kResponseWrite,   ///< serializing + sending the HTTP response
+  kResponseStreamWrite,  ///< one SSE chunk write on a streaming response
 };
-inline constexpr int kStageCount = 7;
+inline constexpr int kStageCount = 9;
 
 /// Stable lowercase span/metric name, e.g. "queue_wait".
 const char* StageName(Stage stage);

@@ -1,0 +1,133 @@
+// Acceptance-level test for API v2 streaming over the shared-prefix KV
+// cache: a real (tiny) trained pipeline served in batched mode behind
+// the frontend proxy. A cold streamed request publishes the prompt
+// prefix; an identical warm request must restore it (prefix_cache_hits
+// moves, a prefill_cached span appears) while producing the exact same
+// token text — the cache changes cost, never tokens.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ratatouille.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace {
+
+PipelineOptions TinyOptions() {
+  PipelineOptions options;
+  options.corpus.num_recipes = 80;
+  options.corpus.seed = 31;
+  options.model = ModelKind::kWordLstm;
+  options.trainer.epochs = 2;
+  options.trainer.batch_size = 4;
+  options.trainer.seq_len = 32;
+  return options;
+}
+
+/// 16 ingredients -> a prompt prefix comfortably past 32 tokens.
+std::string StreamBody() {
+  std::string body = R"({"ingredients":[)";
+  const std::vector<std::string> names = {
+      "tomato", "onion",  "garlic", "basil",  "rice",   "beans",
+      "pepper", "salt",   "butter", "flour",  "sugar",  "milk",
+      "egg",    "cheese", "oil",    "water"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i) body += ",";
+    body += "\"" + names[i] + "\"";
+  }
+  body += R"(],"max_tokens":24,"greedy":true,"seed":9,"stream":true})";
+  return body;
+}
+
+/// Concatenates the `text` of every SSE token event in `body` and
+/// returns {joined_text, finish_reason}.
+std::pair<std::string, std::string> DigestStream(const std::string& body) {
+  std::string text;
+  std::string finish;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t end = body.find("\n\n", pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string block = body.substr(pos, end - pos);
+    pos = end + 2;
+    const size_t data_at = block.find("data: ");
+    if (data_at == std::string::npos) continue;
+    auto doc = Json::Parse(block.substr(data_at + 6));
+    if (!doc.ok()) continue;
+    if (block.rfind("event: token", 0) == 0) {
+      text += doc->Get("text").AsString();
+    } else if (block.rfind("event: done", 0) == 0) {
+      finish = doc->Get("finish_reason").AsString();
+    }
+  }
+  return {text, finish};
+}
+
+TEST(StreamingPrefixCacheStackTest, WarmStreamHitsCacheWithSameTokens) {
+  auto pipeline = Pipeline::Create(TinyOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Train().ok());
+  Pipeline& p = **pipeline;
+
+  BackendOptions options;
+  options.max_batch = 4;
+  serve::BatchSchedulerOptions sched_options;
+  sched_options.max_batch = options.max_batch;
+  ASSERT_TRUE(sched_options.enable_prefix_cache);  // the v2 default
+  serve::BatchScheduler scheduler(p.model(), sched_options);
+  InstallBatchMetrics(&scheduler, &options);
+  BackendService backend(
+      MakeBatchedPipelineSessionFactory(&p, &scheduler), options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  FrontendService frontend(backend.port());
+  ASSERT_TRUE(frontend.Start(0).ok());
+
+  const auto metric = [&](const std::string& key) {
+    auto resp = HttpGet(backend.port(), "/v1/metrics");
+    if (!resp.ok()) return -1.0;
+    auto doc = Json::Parse(resp->body);
+    return doc.ok() ? doc->Get(key).AsNumber() : -1.0;
+  };
+
+  // Cold request through the full stack: browser -> frontend relay ->
+  // backend SSE -> batch scheduler. Publishes the prompt prefix.
+  auto cold = HttpPost(frontend.port(), "/v1/generate", StreamBody());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->status, 200);
+  auto [cold_text, cold_finish] = DigestStream(cold->body);
+  EXPECT_FALSE(cold_text.empty());
+  EXPECT_FALSE(cold_finish.empty());
+  EXPECT_GE(metric("prefix_cache_misses"), 1.0);
+  const double hits_before = metric("prefix_cache_hits");
+
+  obs::TraceRecorder::Instance().Clear();
+
+  // Warm request: identical prompt, so the scheduler restores the
+  // cached KV snapshot instead of re-prefilling token by token.
+  auto warm = HttpPost(frontend.port(), "/v1/generate", StreamBody());
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->status, 200);
+  auto [warm_text, warm_finish] = DigestStream(warm->body);
+  EXPECT_EQ(warm_text, cold_text);
+  EXPECT_EQ(warm_finish, cold_finish);
+  EXPECT_GE(metric("prefix_cache_hits"), hits_before + 1.0);
+  EXPECT_GE(metric("streams_completed"), 2.0);
+  EXPECT_GT(metric("stream_tokens"), 0.0);
+
+  // The warm trace shows restore work (prefill_cached) in place of the
+  // per-token prefill grind, plus the streaming write spans.
+  auto trace = HttpGet(backend.port(), "/v1/trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->body.find("prefill_cached"), std::string::npos);
+  EXPECT_NE(trace->body.find("response_stream_write"), std::string::npos);
+
+  frontend.Stop();
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

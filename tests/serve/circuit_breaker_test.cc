@@ -121,8 +121,7 @@ BackendService::GenerateFn SlowModelDecode() {
   return [](const GenerateRequest& req) -> StatusOr<GenerateOutcome> {
     GenerateOutcome out;
     if (req.model == "slow") {
-      out.deadline_exceeded = true;
-      out.finish_reason = "deadline_exceeded";
+      out.finish = FinishReason::kDeadlineExceeded;
       return out;
     }
     out.recipe.title = "ok";

@@ -35,19 +35,17 @@ BackendService::GenerateFn SimulatedDecode(int token_ms, int max_tokens) {
     GenerateOutcome out;
     for (int i = 0; i < max_tokens; ++i) {
       if (req.cancel != nullptr && req.cancel->cancelled()) {
-        out.cancelled = true;
-        out.finish_reason = "cancelled";
+        out.finish = FinishReason::kCancelled;
         return out;
       }
       if (req.deadline.expired()) {
-        out.deadline_exceeded = true;
-        out.finish_reason = "deadline_exceeded";
+        out.finish = FinishReason::kDeadlineExceeded;
         return out;
       }
       std::this_thread::sleep_for(milliseconds(token_ms));
       ++out.tokens_generated;
     }
-    out.finish_reason = "max_tokens";
+    out.finish = FinishReason::kMaxTokens;
     out.recipe.title = "done";
     out.recipe.ingredients.push_back({"1", "", "rice", ""});
     out.recipe.instructions = {"cook"};
@@ -154,8 +152,7 @@ TEST_F(FaultInjectionServeTest, BreakerTripsFastFailsAndRecovers) {
                    -> StatusOr<GenerateOutcome> {
           GenerateOutcome out;
           if (should_timeout.load()) {
-            out.deadline_exceeded = true;
-            out.finish_reason = "deadline_exceeded";
+            out.finish = FinishReason::kDeadlineExceeded;
             return out;
           }
           out.recipe.title = "ok";

@@ -31,20 +31,20 @@ TEST(MetricsEndpointTest, CountsSuccessAndErrors) {
   ASSERT_TRUE(backend.Start(0).ok());
 
   // 2 ok, 1 server error, 1 client error.
-  auto ok1 = HttpPost(backend.port(), "/api/generate",
+  auto ok1 = HttpPost(backend.port(), "/v1/generate",
                       R"({"ingredients":["a"]})");
-  auto ok2 = HttpPost(backend.port(), "/api/generate",
+  auto ok2 = HttpPost(backend.port(), "/v1/generate",
                       R"({"ingredients":["b"]})");
   fail_next = 1;
-  auto err5 = HttpPost(backend.port(), "/api/generate",
+  auto err5 = HttpPost(backend.port(), "/v1/generate",
                        R"({"ingredients":["c"]})");
-  auto err4 = HttpPost(backend.port(), "/api/generate", "{}");
+  auto err4 = HttpPost(backend.port(), "/v1/generate", "{}");
   ASSERT_TRUE(ok1.ok() && ok2.ok() && err5.ok() && err4.ok());
   EXPECT_EQ(ok1->status, 200);
   EXPECT_EQ(err5->status, 500);
   EXPECT_EQ(err4->status, 400);
 
-  auto metrics = HttpGet(backend.port(), "/metrics");
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
   ASSERT_TRUE(metrics.ok());
   auto doc = Json::Parse(metrics->body);
   ASSERT_TRUE(doc.ok());
@@ -61,7 +61,7 @@ TEST(MetricsEndpointTest, CountsSuccessAndErrors) {
 TEST(MetricsEndpointTest, FreshServiceReportsZeros) {
   BackendService backend(BackendService::WrapRecipeFn(OkGenerate));
   ASSERT_TRUE(backend.Start(0).ok());
-  auto metrics = HttpGet(backend.port(), "/metrics");
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
   ASSERT_TRUE(metrics.ok());
   auto doc = Json::Parse(metrics->body);
   ASSERT_TRUE(doc.ok());

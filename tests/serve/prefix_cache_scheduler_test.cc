@@ -1,0 +1,204 @@
+// Shared-prefix KV cache through the batch scheduler: warm restores
+// must keep tokens bitwise identical to both the cache-off scheduler
+// and the sequential model path, the hit/miss/eviction counters must
+// move, and concurrent sessions hammering overlapping prefixes under a
+// tight entry budget must stay race-free (TSan).
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/gpt2_model.h"
+#include "models/lstm_model.h"
+#include "serve/batch_scheduler.h"
+
+namespace rt {
+namespace {
+
+Gpt2Config CacheGpt2() {
+  Gpt2Config config;
+  config.vocab_size = 53;
+  config.dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.max_seq_len = 96;
+  config.init_seed = 11;
+  return config;
+}
+
+LstmConfig CacheLstm() {
+  LstmConfig config;
+  config.vocab_size = 53;
+  config.embed_dim = 16;
+  config.hidden_dim = 24;
+  config.num_layers = 2;
+  config.init_seed = 11;
+  return config;
+}
+
+/// A prompt of `shared` common tokens plus a per-request tail.
+std::vector<int> SharedPrefixPrompt(int shared, int i) {
+  std::vector<int> prompt;
+  prompt.reserve(shared + 2);
+  for (int t = 0; t < shared; ++t) prompt.push_back(1 + (t % 40));
+  prompt.push_back(5 + i);
+  prompt.push_back(3 + 2 * i);
+  return prompt;
+}
+
+GenerationOptions CacheOptions(int i) {
+  GenerationOptions options;
+  options.max_new_tokens = 8;
+  options.sampling.temperature = 0.9f;
+  options.sampling.top_k = 10;
+  options.seed = 500 + static_cast<uint64_t>(i) * 31;
+  return options;
+}
+
+/// Runs `n` concurrent requests sharing a `shared`-token prefix through
+/// `scheduler` and returns the per-request results.
+std::vector<GenerationResult> RunWave(serve::BatchScheduler* scheduler,
+                                      int shared, int n) {
+  std::vector<std::future<GenerationResult>> futures;
+  for (int i = 0; i < n; ++i) {
+    futures.push_back(std::async(std::launch::async, [=] {
+      return scheduler->Generate(SharedPrefixPrompt(shared, i),
+                                 CacheOptions(i));
+    }));
+  }
+  std::vector<GenerationResult> results;
+  results.reserve(n);
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+TEST(PrefixCacheSchedulerTest, WarmRestoresAreBitwiseIdenticalGpt2) {
+  Gpt2Lm model(CacheGpt2());
+  constexpr int kShared = 32;
+  constexpr int kRequests = 4;
+
+  serve::BatchSchedulerOptions cached;
+  cached.max_batch = 4;
+  serve::BatchScheduler warm(&model, cached);
+  // First wave seeds the trie, second wave decodes from restores.
+  RunWave(&warm, kShared, kRequests);
+  std::vector<GenerationResult> cached_results =
+      RunWave(&warm, kShared, kRequests);
+
+  serve::BatchSchedulerStats stats = warm.stats();
+  EXPECT_GT(stats.prefix_cache_hits, 0);
+  EXPECT_GT(stats.prefix_cache_misses, 0);
+  EXPECT_GT(stats.prefix_cache_entries, 0);
+  warm.Stop();
+
+  serve::BatchSchedulerOptions uncached = cached;
+  uncached.enable_prefix_cache = false;
+  serve::BatchScheduler cold(&model, uncached);
+  std::vector<GenerationResult> cold_results =
+      RunWave(&cold, kShared, kRequests);
+  EXPECT_EQ(cold.stats().prefix_cache_hits, 0);
+  EXPECT_EQ(cold.stats().prefix_cache_misses, 0);
+  cold.Stop();
+
+  for (int i = 0; i < kRequests; ++i) {
+    GenerationResult reference = model.Generate(
+        SharedPrefixPrompt(kShared, i), CacheOptions(i));
+    EXPECT_EQ(cached_results[i].ids, reference.ids) << "request " << i;
+    EXPECT_EQ(cold_results[i].ids, reference.ids) << "request " << i;
+    EXPECT_EQ(cached_results[i].finish, reference.finish);
+  }
+}
+
+TEST(PrefixCacheSchedulerTest, WarmRestoresAreBitwiseIdenticalLstm) {
+  LstmLm model(CacheLstm());
+  constexpr int kShared = 32;
+
+  serve::BatchSchedulerOptions options;
+  options.max_batch = 2;
+  serve::BatchScheduler scheduler(&model, options);
+  RunWave(&scheduler, kShared, 2);
+  std::vector<GenerationResult> warmed = RunWave(&scheduler, kShared, 2);
+  EXPECT_GT(scheduler.stats().prefix_cache_hits, 0);
+  scheduler.Stop();
+
+  for (int i = 0; i < 2; ++i) {
+    GenerationResult reference =
+        model.Generate(SharedPrefixPrompt(kShared, i), CacheOptions(i));
+    EXPECT_EQ(warmed[i].ids, reference.ids) << "request " << i;
+  }
+}
+
+TEST(PrefixCacheSchedulerTest, EvictionUnderTightBudgetKeepsParity) {
+  Gpt2Lm model(CacheGpt2());
+  serve::BatchSchedulerOptions options;
+  options.max_batch = 4;
+  options.prefix_cache.max_entries = 2;
+  serve::BatchScheduler scheduler(&model, options);
+
+  // Waves over distinct prefixes churn the two-entry cache.
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int shared = 8; shared <= 24; shared += 8) {
+      std::vector<GenerationResult> results = RunWave(&scheduler, shared, 2);
+      for (int i = 0; i < 2; ++i) {
+        GenerationResult reference = model.Generate(
+            SharedPrefixPrompt(shared, i), CacheOptions(i));
+        EXPECT_EQ(results[i].ids, reference.ids)
+            << "wave " << wave << " shared " << shared << " req " << i;
+      }
+    }
+  }
+  serve::BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_GT(stats.prefix_cache_evictions, 0);
+  EXPECT_LE(stats.prefix_cache_entries, 2);
+  scheduler.Stop();
+}
+
+TEST(PrefixCacheSchedulerTest, ConcurrentSessionsStressRefcounts) {
+  // The serve-side TSan companion to the tensor-layer stress test:
+  // many client threads, overlapping prefixes, and constant eviction
+  // pressure while the scheduler thread publishes and restores.
+  Gpt2Lm model(CacheGpt2());
+  serve::BatchSchedulerOptions options;
+  options.max_batch = 4;
+  options.prefix_cache.max_entries = 3;
+  serve::BatchScheduler scheduler(&model, options);
+
+  // References computed sequentially up front: the model itself is
+  // single-threaded; only the scheduler may drive it concurrently.
+  std::vector<std::vector<GenerationResult>> reference(3);
+  for (int shared_idx = 0; shared_idx < 3; ++shared_idx) {
+    for (int req = 0; req < 3; ++req) {
+      reference[shared_idx].push_back(model.Generate(
+          SharedPrefixPrompt(8 + 8 * shared_idx, req), CacheOptions(req)));
+    }
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 3;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int shared_idx = (t + i) % 3;
+        const int req = t % 3;
+        GenerationResult got = scheduler.Generate(
+            SharedPrefixPrompt(8 + 8 * shared_idx, req), CacheOptions(req));
+        if (got.ids != reference[shared_idx][req].ids) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_LE(scheduler.stats().prefix_cache_entries, 3);
+  scheduler.Stop();
+}
+
+}  // namespace
+}  // namespace rt

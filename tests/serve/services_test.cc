@@ -82,7 +82,7 @@ class ServiceStackTest : public testing::Test {
 };
 
 TEST_F(ServiceStackTest, BackendHealthz) {
-  auto resp = HttpGet(backend_->port(), "/healthz");
+  auto resp = HttpGet(backend_->port(), "/v1/healthz");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
   auto doc = Json::Parse(resp->body);
@@ -103,9 +103,25 @@ TEST_F(ServiceStackTest, BackendGeneratesRecipe) {
   EXPECT_TRUE(doc->Get("request_id").is_string());
 }
 
-TEST_F(ServiceStackTest, DeprecatedAliasStillServes) {
-  // /api/generate answers identically to /v1/generate but flags itself.
+TEST_F(ServiceStackTest, DeprecatedAliasRetiredByDefault) {
+  // Since API v2 the pre-/v1 aliases are gone unless the deployment
+  // opts back in with BackendOptions::enable_deprecated_routes.
   auto resp = HttpPost(backend_->port(), "/api/generate",
+                       R"({"ingredients":["tomato","basil"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST(DeprecatedAliasTest, ServesWithDeprecationHeaderWhenEnabled) {
+  BackendOptions options;
+  options.enable_deprecated_routes = true;
+  BackendService backend(
+      [](int) -> BackendService::GenerateFn {
+        return BackendService::WrapRecipeFn(FakeGenerate);
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto resp = HttpPost(backend.port(), "/api/generate",
                        R"({"ingredients":["tomato","basil"]})");
   ASSERT_TRUE(resp.ok());
   EXPECT_EQ(resp->status, 200);
@@ -115,6 +131,7 @@ TEST_F(ServiceStackTest, DeprecatedAliasStillServes) {
   auto dep = resp->headers.find("deprecation");
   ASSERT_NE(dep, resp->headers.end());
   EXPECT_EQ(dep->second, "true");
+  backend.Stop();
 }
 
 TEST_F(ServiceStackTest, BackendRejectsBadRequestWith400) {

@@ -1,0 +1,351 @@
+// Wire-contract tests for `"stream": true`: per-token SSE events with
+// a terminal `done`, stream_options shaping, validation codes, client
+// disconnect and deadline teardown mid-stream, and the relay through
+// the frontend proxy (the full web stack) at max_batch=4.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/frontend_service.h"
+
+namespace rt {
+namespace {
+
+/// One parsed SSE frame.
+struct SseFrame {
+  std::string type;
+  Json data;
+};
+
+/// Splits an SSE body ("event: t\ndata: {...}\n\n" frames) into frames.
+std::vector<SseFrame> ParseSse(const std::string& body) {
+  std::vector<SseFrame> frames;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t end = body.find("\n\n", pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string block = body.substr(pos, end - pos);
+    pos = end + 2;
+    SseFrame frame;
+    size_t line_start = 0;
+    while (line_start < block.size()) {
+      size_t line_end = block.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = block.size();
+      const std::string line =
+          block.substr(line_start, line_end - line_start);
+      line_start = line_end + 1;
+      if (line.rfind("event: ", 0) == 0) {
+        frame.type = line.substr(7);
+      } else if (line.rfind("data: ", 0) == 0) {
+        if (auto doc = Json::Parse(line.substr(6)); doc.ok()) {
+          frame.data = *std::move(doc);
+        }
+      }
+    }
+    if (!frame.type.empty()) frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+/// A session callback that streams three fixed tokens then finishes
+/// cleanly with a recipe.
+StatusOr<GenerateOutcome> StreamThreeTokens(const GenerateRequest& req) {
+  const std::vector<std::pair<int, std::string>> tokens = {
+      {11, "stir"}, {12, " the"}, {13, " pot"}};
+  for (const auto& [id, text] : tokens) {
+    if (req.on_token) req.on_token(id, text);
+  }
+  GenerateOutcome out;
+  out.recipe.title = "streamed dish";
+  out.recipe.ingredients.push_back({"1", "cup", "broth", ""});
+  out.recipe.instructions = {"stir the pot"};
+  out.finish = FinishReason::kStopToken;
+  out.tokens_generated = static_cast<long long>(tokens.size());
+  out.prompt_tokens = static_cast<long long>(req.ingredients.size()) + 2;
+  return out;
+}
+
+BackendService::SessionFactory FixedStreamFactory() {
+  return [](int) -> BackendService::GenerateFn { return StreamThreeTokens; };
+}
+
+class StreamingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    BackendOptions options;
+    options.max_batch = 4;
+    backend_ = std::make_unique<BackendService>(FixedStreamFactory(),
+                                                options);
+    ASSERT_TRUE(backend_->Start(0).ok());
+  }
+  void TearDown() override {
+    if (backend_) backend_->Stop();
+  }
+
+  double Metric(const std::string& key) {
+    auto resp = HttpGet(backend_->port(), "/v1/metrics");
+    if (!resp.ok()) return -1.0;
+    auto doc = Json::Parse(resp->body);
+    if (!doc.ok()) return -1.0;
+    return doc->Get(key).AsNumber();
+  }
+
+  std::unique_ptr<BackendService> backend_;
+};
+
+TEST_F(StreamingTest, DeliversTokenEventsAndTerminalDone) {
+  auto resp = HttpPost(backend_->port(), "/v1/generate",
+                       R"({"ingredients":["broth"],"stream":true})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+
+  std::vector<SseFrame> frames = ParseSse(resp->body);
+  ASSERT_EQ(frames.size(), 4u);
+  const std::vector<std::string> texts = {"stir", " the", " pot"};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(frames[i].type, "token");
+    EXPECT_EQ(frames[i].data.Get("index").AsNumber(), i);
+    EXPECT_EQ(frames[i].data.Get("token_id").AsNumber(), 11.0 + i);
+    EXPECT_EQ(frames[i].data.Get("text").AsString(), texts[i]);
+    EXPECT_TRUE(frames[i].data.Get("request_id").is_string());
+    EXPECT_TRUE(frames[i].data.Get("trace_id").is_string());
+  }
+  const Json& done = frames[3].data;
+  EXPECT_EQ(frames[3].type, "done");
+  EXPECT_EQ(done.Get("finish_reason").AsString(), "stop_token");
+  EXPECT_EQ(done.Get("tokens_generated").AsNumber(), 3.0);
+  EXPECT_EQ(done.Get("usage").Get("completion_tokens").AsNumber(), 3.0);
+  EXPECT_EQ(done.Get("usage").Get("prompt_tokens").AsNumber(), 3.0);
+  EXPECT_EQ(done.Get("usage").Get("total_tokens").AsNumber(), 6.0);
+  EXPECT_EQ(done.Get("recipe").Get("title").AsString(), "streamed dish");
+  EXPECT_TRUE(done.Get("params").Get("max_tokens").is_number());
+  EXPECT_EQ(done.Get("request_id").AsString(),
+            frames[0].data.Get("request_id").AsString());
+
+  EXPECT_GE(Metric("streams_started"), 1.0);
+  EXPECT_GE(Metric("streams_completed"), 1.0);
+  EXPECT_GE(Metric("stream_tokens"), 3.0);
+}
+
+TEST_F(StreamingTest, StreamOptionsTrimTheDoneEvent) {
+  auto resp = HttpPost(
+      backend_->port(), "/v1/generate",
+      R"({"ingredients":["broth"],"stream":true,)"
+      R"("stream_options":{"include_usage":false,"include_recipe":false}})");
+  ASSERT_TRUE(resp.ok());
+  std::vector<SseFrame> frames = ParseSse(resp->body);
+  ASSERT_GE(frames.size(), 1u);
+  const SseFrame& done = frames.back();
+  ASSERT_EQ(done.type, "done");
+  EXPECT_EQ(done.data.Get("finish_reason").AsString(), "stop_token");
+  EXPECT_TRUE(done.data.Get("usage").is_null());
+  EXPECT_TRUE(done.data.Get("recipe").is_null());
+}
+
+TEST_F(StreamingTest, StreamValidationHasStableCodes) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {R"({"ingredients":["a"],"stream":"yes"})", "bad_stream"},
+      {R"({"ingredients":["a"],"stream_options":7})", "bad_stream_options"},
+      {R"({"ingredients":["a"],)"
+       R"("stream_options":{"include_usage":"x"}})",
+       "bad_stream_options"},
+      {R"({"ingredients":["a"],"stream_options":{"verbose":true}})",
+       "unknown_field"},
+  };
+  for (const auto& [body, code] : cases) {
+    auto resp = HttpPost(backend_->port(), "/v1/generate", body);
+    ASSERT_TRUE(resp.ok()) << body;
+    EXPECT_EQ(resp->status, 400) << body;
+    auto doc = Json::Parse(resp->body);
+    ASSERT_TRUE(doc.ok()) << body;
+    EXPECT_EQ(doc->Get("error").Get("code").AsString(), code) << body;
+  }
+}
+
+TEST(StreamingTeardownTest, ClientDisconnectCancelsTheDecode) {
+  // The session callback streams forever until its cancel token fires;
+  // the client walks away after the first event. Teardown must reach
+  // the decode loop (cancel observed) and the stream must count as
+  // aborted — this is the wire-level version of "disconnect releases
+  // cache pins": the abort path is what returns slots and nodes.
+  std::atomic<bool> saw_cancel{false};
+  std::atomic<bool> done{false};
+  BackendOptions options;
+  BackendService backend(
+      [&](int) -> BackendService::GenerateFn {
+        return [&](const GenerateRequest& req)
+                   -> StatusOr<GenerateOutcome> {
+          long long emitted = 0;
+          while (!(req.cancel && req.cancel->cancelled())) {
+            if (req.deadline.expired()) break;
+            if (req.on_token) {
+              req.on_token(static_cast<int>(emitted), "x");
+            }
+            ++emitted;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+          saw_cancel = req.cancel && req.cancel->cancelled();
+          done = true;
+          GenerateOutcome out;
+          out.finish = FinishReason::kCancelled;
+          out.tokens_generated = emitted;
+          return out;
+        };
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  {
+    StreamingHttpCall call;
+    ASSERT_TRUE(call.Open(backend.port(), "/v1/generate",
+                          R"({"ingredients":["x"],"stream":true})")
+                    .ok());
+    EXPECT_EQ(call.status(), 200);
+    EXPECT_TRUE(call.chunked());
+    // Read one delivery, then hang up (the destructor closes the fd).
+    ASSERT_TRUE(call.Pump([](const std::string&) { return false; }).ok());
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(done.load());
+  EXPECT_TRUE(saw_cancel.load());
+
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc->Get("streams_aborted").AsNumber(), 1.0);
+  backend.Stop();
+}
+
+TEST(StreamingTeardownTest, DeadlineMidStreamFinishesWithReason) {
+  BackendService backend(
+      [](int) -> BackendService::GenerateFn {
+        return [](const GenerateRequest& req) -> StatusOr<GenerateOutcome> {
+          long long emitted = 0;
+          while (!req.deadline.expired() &&
+                 !(req.cancel && req.cancel->cancelled())) {
+            if (req.on_token) {
+              req.on_token(static_cast<int>(emitted), "y");
+            }
+            ++emitted;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+          GenerateOutcome out;
+          out.finish = FinishReason::kDeadlineExceeded;
+          out.tokens_generated = emitted;
+          return out;
+        };
+      },
+      BackendOptions{});
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  auto resp = HttpPost(
+      backend.port(), "/v1/generate",
+      R"({"ingredients":["x"],"stream":true,"timeout_ms":120})");
+  ASSERT_TRUE(resp.ok());
+  std::vector<SseFrame> frames = ParseSse(resp->body);
+  ASSERT_GE(frames.size(), 2u);  // at least one token + done
+  EXPECT_EQ(frames.back().type, "done");
+  EXPECT_EQ(frames.back().data.Get("finish_reason").AsString(),
+            "deadline_exceeded");
+
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  auto doc = Json::Parse(metrics->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_GE(doc->Get("generate_deadline_exceeded").AsNumber(), 1.0);
+  backend.Stop();
+}
+
+TEST(StreamingStackTest, SseRelaysThroughTheFrontendAtMaxBatch4) {
+  BackendOptions options;
+  options.max_batch = 4;
+  BackendService backend(FixedStreamFactory(), options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  FrontendService frontend(backend.port());
+  ASSERT_TRUE(frontend.Start(0).ok());
+
+  // Concurrent streamed requests through the proxy, plus a buffered one
+  // to prove the relay did not disturb the unary path.
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_streams{0};
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&] {
+      auto resp = HttpPost(frontend.port(), "/v1/generate",
+                           R"({"ingredients":["broth"],"stream":true})");
+      if (!resp.ok() || resp->status != 200) return;
+      std::vector<SseFrame> frames = ParseSse(resp->body);
+      if (frames.size() == 4 && frames[0].type == "token" &&
+          frames.back().type == "done" &&
+          frames.back().data.Get("finish_reason").AsString() ==
+              "stop_token") {
+        ok_streams.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok_streams.load(), 3);
+
+  auto unary = HttpPost(frontend.port(), "/v1/generate",
+                        R"({"ingredients":["broth"]})");
+  ASSERT_TRUE(unary.ok());
+  EXPECT_EQ(unary->status, 200);
+  auto doc = Json::Parse(unary->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("recipe").Get("title").AsString(), "streamed dish");
+
+  // Streamed validation errors come back buffered with real status.
+  auto bad = HttpPost(frontend.port(), "/v1/generate",
+                      R"({"ingredients":[],"stream":true})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+
+  frontend.Stop();
+  backend.Stop();
+}
+
+TEST(StreamingClientTest, StreamingHttpCallDeliversIncrementally) {
+  BackendOptions options;
+  BackendService backend(FixedStreamFactory(), options);
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  StreamingHttpCall call;
+  ASSERT_TRUE(call.Open(backend.port(), "/v1/generate",
+                        R"({"ingredients":["broth"],"stream":true})")
+                  .ok());
+  EXPECT_EQ(call.status(), 200);
+  EXPECT_TRUE(call.chunked());
+  auto ct = call.headers().find("content-type");
+  ASSERT_NE(ct, call.headers().end());
+  EXPECT_EQ(ct->second, "text/event-stream");
+
+  std::string body;
+  int deliveries = 0;
+  ASSERT_TRUE(call.Pump([&](const std::string& data) {
+                    body += data;
+                    ++deliveries;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_GE(deliveries, 2);  // tokens arrive as separate chunks
+  std::vector<SseFrame> frames = ParseSse(body);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames.back().type, "done");
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace rt

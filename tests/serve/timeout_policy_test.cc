@@ -27,14 +27,13 @@ BackendService::GenerateFn SlowDecode(int token_ms, int max_tokens) {
     GenerateOutcome out;
     for (int i = 0; i < max_tokens; ++i) {
       if (req.deadline.expired()) {
-        out.deadline_exceeded = true;
-        out.finish_reason = "deadline_exceeded";
+        out.finish = FinishReason::kDeadlineExceeded;
         return out;
       }
       std::this_thread::sleep_for(milliseconds(token_ms));
       ++out.tokens_generated;
     }
-    out.finish_reason = "max_tokens";
+    out.finish = FinishReason::kMaxTokens;
     out.recipe.title = "done";
     out.recipe.ingredients.push_back({"1", "", "rice", ""});
     out.recipe.instructions = {"cook"};

@@ -150,20 +150,43 @@ TEST_F(V1ApiTest, VersionedRoutesCarryNoDeprecationHeader) {
   }
 }
 
-TEST_F(V1ApiTest, LegacyAliasesAnswerWithDeprecationHeader) {
+TEST_F(V1ApiTest, LegacyAliasesAre404ByDefault) {
+  // API v2 retires the pre-/v1 aliases; without
+  // --enable-deprecated-routes the paths do not exist.
   for (const std::string path : {"/healthz", "/metrics"}) {
     auto resp = HttpGet(backend_->port(), path);
+    ASSERT_TRUE(resp.ok()) << path;
+    EXPECT_EQ(resp->status, 404) << path;
+  }
+  auto post = HttpPost(backend_->port(), "/api/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 404);
+}
+
+TEST(DeprecatedRoutesTest, AliasesAnswerWithDeprecationHeaderWhenEnabled) {
+  BackendOptions options;
+  options.enable_deprecated_routes = true;
+  BackendService backend(
+      [](int) -> BackendService::GenerateFn {
+        return BackendService::WrapRecipeFn(FakeGenerate);
+      },
+      options);
+  ASSERT_TRUE(backend.Start(0).ok());
+  for (const std::string path : {"/healthz", "/metrics"}) {
+    auto resp = HttpGet(backend.port(), path);
     ASSERT_TRUE(resp.ok()) << path;
     EXPECT_EQ(resp->status, 200) << path;
     auto it = resp->headers.find("deprecation");
     ASSERT_NE(it, resp->headers.end()) << path;
     EXPECT_EQ(it->second, "true") << path;
   }
-  auto post = HttpPost(backend_->port(), "/api/generate",
+  auto post = HttpPost(backend.port(), "/api/generate",
                        R"({"ingredients":["rice"]})");
   ASSERT_TRUE(post.ok());
   EXPECT_EQ(post->status, 200);
   EXPECT_EQ(post->headers.count("deprecation"), 1u);
+  backend.Stop();
 }
 
 TEST_F(V1ApiTest, HealthzReportsStatusAndBuildIdentity) {

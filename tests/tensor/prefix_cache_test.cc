@@ -1,0 +1,180 @@
+// PrefixKvCache unit + concurrency tests: trie matching, refcounted
+// pins, LRU eviction under arena pressure, and a multi-threaded
+// publish/restore/clear stress run for the TSan job.
+
+#include "tensor/prefix_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "tensor/cache_arena.h"
+
+namespace rt {
+namespace {
+
+constexpr size_t kSlotFloats = 8;
+
+/// A recognizable slot payload derived from `tag`.
+std::vector<float> StateFor(float tag) {
+  std::vector<float> state(kSlotFloats);
+  for (size_t i = 0; i < state.size(); ++i) {
+    state[i] = tag + static_cast<float>(i) * 0.5f;
+  }
+  return state;
+}
+
+TEST(PrefixKvCacheTest, PublishThenRestoreRoundtrips) {
+  CacheArena arena(kSlotFloats);
+  PrefixKvCache cache(&arena);
+
+  const std::vector<int> tokens = {4, 8, 15, 16};
+  const std::vector<float> state = StateFor(1.0f);
+  EXPECT_TRUE(cache.Publish(tokens.data(), 4, state.data()));
+
+  std::vector<float> dst(kSlotFloats, -1.0f);
+  EXPECT_EQ(cache.Restore(tokens.data(), 4, dst.data()), 4);
+  EXPECT_EQ(dst, state);
+
+  PrefixCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(PrefixKvCacheTest, RestorePicksTheLongestPublishedPrefix) {
+  CacheArena arena(kSlotFloats);
+  PrefixKvCache cache(&arena);
+
+  const std::vector<int> tokens = {1, 2, 3, 4, 5, 6};
+  const std::vector<float> short_state = StateFor(10.0f);
+  const std::vector<float> long_state = StateFor(20.0f);
+  ASSERT_TRUE(cache.Publish(tokens.data(), 2, short_state.data()));
+  ASSERT_TRUE(cache.Publish(tokens.data(), 4, long_state.data()));
+
+  // A query extending past both entries restores the deeper one.
+  std::vector<float> dst(kSlotFloats, 0.0f);
+  EXPECT_EQ(cache.Restore(tokens.data(), 6, dst.data()), 4);
+  EXPECT_EQ(dst, long_state);
+
+  // A query that diverges after token 2 falls back to the short entry.
+  const std::vector<int> diverged = {1, 2, 99};
+  EXPECT_EQ(cache.Restore(diverged.data(), 3, dst.data()), 2);
+  EXPECT_EQ(dst, short_state);
+}
+
+TEST(PrefixKvCacheTest, MissLeavesDestinationUntouched) {
+  CacheArena arena(kSlotFloats);
+  PrefixKvCache cache(&arena);
+
+  const std::vector<int> tokens = {7, 7, 7};
+  std::vector<float> dst(kSlotFloats, 42.0f);
+  EXPECT_EQ(cache.Restore(tokens.data(), 3, dst.data()), 0);
+  EXPECT_EQ(dst, std::vector<float>(kSlotFloats, 42.0f));
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(PrefixKvCacheTest, RejectsShortAndDuplicatePublishes) {
+  CacheArena arena(kSlotFloats);
+  PrefixCacheOptions options;
+  options.min_tokens = 2;
+  PrefixKvCache cache(&arena, options);
+
+  const std::vector<int> tokens = {3, 9};
+  const std::vector<float> state = StateFor(5.0f);
+  EXPECT_FALSE(cache.Publish(tokens.data(), 1, state.data()));
+  EXPECT_TRUE(cache.Publish(tokens.data(), 2, state.data()));
+  EXPECT_FALSE(cache.Publish(tokens.data(), 2, state.data()));
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(PrefixKvCacheTest, EvictsLeastRecentlyUsedUnderBudget) {
+  CacheArena arena(kSlotFloats);
+  PrefixCacheOptions options;
+  options.max_entries = 2;
+  PrefixKvCache cache(&arena, options);
+
+  const std::vector<int> a = {1, 1, 1};
+  const std::vector<int> b = {2, 2, 2};
+  const std::vector<int> c = {3, 3, 3};
+  ASSERT_TRUE(cache.Publish(a.data(), 3, StateFor(1.0f).data()));
+  ASSERT_TRUE(cache.Publish(b.data(), 3, StateFor(2.0f).data()));
+
+  // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+  std::vector<float> dst(kSlotFloats);
+  ASSERT_EQ(cache.Restore(a.data(), 3, dst.data()), 3);
+  ASSERT_TRUE(cache.Publish(c.data(), 3, StateFor(3.0f).data()));
+
+  PrefixCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(cache.Restore(b.data(), 3, dst.data()), 0);  // evicted
+  EXPECT_EQ(cache.Restore(a.data(), 3, dst.data()), 3);  // survived
+  EXPECT_EQ(cache.Restore(c.data(), 3, dst.data()), 3);  // newest
+}
+
+TEST(PrefixKvCacheTest, EntriesPinArenaSlotsAndClearReleasesThem) {
+  CacheArena arena(kSlotFloats);
+  PrefixKvCache cache(&arena);
+
+  const std::vector<int> a = {5, 6, 7};
+  const std::vector<int> b = {8, 9, 10};
+  ASSERT_TRUE(cache.Publish(a.data(), 3, StateFor(1.0f).data()));
+  ASSERT_TRUE(cache.Publish(b.data(), 3, StateFor(2.0f).data()));
+  EXPECT_EQ(arena.slots_in_use(), 2);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0);
+  EXPECT_EQ(arena.slots_in_use(), 0);
+
+  std::vector<float> dst(kSlotFloats);
+  EXPECT_EQ(cache.Restore(a.data(), 3, dst.data()), 0);
+}
+
+TEST(PrefixKvCacheTest, ConcurrentPublishRestoreClearIsRaceFree) {
+  // The TSan target: writers publish overlapping prefixes, readers
+  // restore them, and one thread periodically clears — all against a
+  // tight max_entries so eviction runs constantly. Restores must only
+  // ever see fully-copied states (each published state is constant per
+  // prefix, so a torn copy would mix tags).
+  CacheArena arena(kSlotFloats);
+  PrefixCacheOptions options;
+  options.max_entries = 4;
+  PrefixKvCache cache(&arena, options);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::atomic<bool> torn{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<float> dst(kSlotFloats);
+      for (int i = 0; i < kIters; ++i) {
+        const int key = (t + i) % 6;
+        std::vector<int> tokens = {key, key + 1, key + 2};
+        const std::vector<float> state =
+            StateFor(static_cast<float>(key) * 100.0f);
+        if (t == 0 && i % 50 == 49) cache.Clear();
+        (void)cache.Publish(tokens.data(), 3, state.data());
+        const int matched =
+            cache.Restore(tokens.data(), 3, dst.data());
+        if (matched == 3 && dst != state) torn = true;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(torn.load());
+
+  PrefixCacheStats stats = cache.stats();
+  EXPECT_LE(stats.entries, 4);
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kThreads) * kIters);
+  cache.Clear();
+  EXPECT_EQ(arena.slots_in_use(), 0);
+}
+
+}  // namespace
+}  // namespace rt
