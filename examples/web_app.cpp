@@ -40,12 +40,17 @@ int main(int argc, char** argv) {
   int frontend_port = 0;
   bool enable_deprecated_routes = false;
   bool enable_prefix_cache = true;
+  bool enable_fault_admin = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--enable-deprecated-routes") == 0) {
       enable_deprecated_routes = true;
     } else if (std::strcmp(argv[i], "--no-prefix-cache") == 0) {
       enable_prefix_cache = false;
+    } else if (std::strcmp(argv[i], "--enable-fault-admin") == 0) {
+      // Exposes POST /v1/admin/fault so faults can be armed remotely —
+      // a demo/testing aid, never for a real deployment.
+      enable_fault_admin = true;
     } else if (positional == 0) {
       backend_port = std::atoi(argv[i]);
       ++positional;
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
   backend_options.max_batch = 4;
   backend_options.models = {"word-lstm"};
   backend_options.enable_deprecated_routes = enable_deprecated_routes;
+  backend_options.enable_fault_admin = enable_fault_admin;
   rt::serve::BatchSchedulerOptions sched_options;
   sched_options.max_batch = backend_options.max_batch;
   sched_options.enable_prefix_cache = enable_prefix_cache;

@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# Chaos smoke check over the supervised replica fleet.
+#
+# Usage: check_chaos.sh [path/to/ratatouille_cli]
+#        (default: build/tools/ratatouille_cli)
+#
+# Boots `serve --replicas 3 --chaos-seed <fixed>` (three supervised
+# backend processes behind the retrying router, with the seeded chaos
+# driver arming process-level faults on a deterministic schedule), then
+# drives it with plain curl while killing a replica mid-load:
+#
+#   1. the router must report all 3 replicas healthy before load starts;
+#   2. a mixed buffered + streamed load must see ZERO unexpected client
+#      errors: every buffered response is 200 or a structured 503, and
+#      every accepted stream ends in a terminal `done` or a structured
+#      `error` frame (backend_lost / generation_failed /
+#      deadline_exceeded) — never silent truncation;
+#   3. mid-load, one replica is SIGKILLed by hand (on top of whatever
+#      the chaos schedule is doing); the supervisor must restart it and
+#      the fleet must return to 3 healthy replicas with
+#      replica_restarts_total >= 1.
+#
+# Exit 0 = all checks pass. Any failure prints the offending response.
+set -euo pipefail
+
+CLI="${1:-build/tools/ratatouille_cli}"
+ROUTER_PORT=18651
+FRONTEND_PORT=18652
+ROUTER="http://127.0.0.1:${ROUTER_PORT}"
+CHAOS_SEED=20260808
+REQUESTS=24
+KILL_AT=8
+
+if [[ ! -x "$CLI" ]]; then
+  echo "FAIL  ratatouille_cli binary not found at $CLI" >&2
+  exit 1
+fi
+
+"$CLI" serve --model=word-lstm --recipes=120 --epochs=1 \
+  --replicas=3 --chaos-seed="$CHAOS_SEED" \
+  --backend-port="$ROUTER_PORT" --frontend-port="$FRONTEND_PORT" \
+  >/tmp/chaos_fleet.log 2>&1 &
+FLEET_PID=$!
+trap 'kill "$FLEET_PID" 2>/dev/null || true; wait "$FLEET_PID" 2>/dev/null || true' EXIT
+
+metrics_field() {
+  # metrics_field <python-expr over parsed metrics dict `m`>
+  curl -sf --max-time 5 "$ROUTER/v1/metrics" \
+    | python3 -c "import json,sys; m=json.load(sys.stdin); print($1)"
+}
+
+# The parent trains the small model once before spawning replicas; poll
+# until the router reports every replica healthy (or 180s pass).
+for _ in $(seq 1 180); do
+  if ! kill -0 "$FLEET_PID" 2>/dev/null; then
+    echo "FAIL  fleet exited during startup:" >&2
+    cat /tmp/chaos_fleet.log >&2
+    exit 1
+  fi
+  HEALTHY=$(metrics_field "int(m['replicas']['healthy'])" 2>/dev/null || echo 0)
+  if [[ "$HEALTHY" == "3" ]]; then
+    break
+  fi
+  sleep 1
+done
+if [[ "${HEALTHY:-0}" != "3" ]]; then
+  echo "FAIL  fleet never reached 3 healthy replicas" >&2
+  cat /tmp/chaos_fleet.log >&2
+  exit 1
+fi
+echo "PASS  fleet up: 3/3 replicas healthy behind the router"
+
+BUFFERED_BODY='{"ingredients":["tomato","basil"],"max_tokens":16}'
+STREAM_BODY='{"ingredients":["tomato","basil"],"max_tokens":16,"stream":true}'
+
+VIOLATIONS=0
+OK_COUNT=0
+ALLOWED_503=0
+
+check_buffered() {
+  local out code
+  out=$(curl -s --max-time 45 -w '\n%{http_code}' \
+        "$ROUTER/v1/generate" -d "$BUFFERED_BODY" || echo $'\ncurlfail')
+  code=${out##*$'\n'}
+  case "$code" in
+    200) OK_COUNT=$((OK_COUNT + 1)) ;;
+    503) ALLOWED_503=$((ALLOWED_503 + 1)) ;;
+    *)
+      echo "FAIL  buffered request: unexpected outcome ($code):" >&2
+      echo "$out" >&2
+      VIOLATIONS=$((VIOLATIONS + 1))
+      ;;
+  esac
+}
+
+check_stream() {
+  local out code body
+  out=$(curl -sN --max-time 45 -w '\n%{http_code}' \
+        "$ROUTER/v1/generate" -d "$STREAM_BODY" || echo $'\ncurlfail')
+  code=${out##*$'\n'}
+  body=${out%$'\n'*}
+  if [[ "$code" == "503" ]]; then
+    ALLOWED_503=$((ALLOWED_503 + 1))
+    return
+  fi
+  if [[ "$code" != "200" ]]; then
+    echo "FAIL  streamed request: unexpected outcome ($code):" >&2
+    echo "$body" >&2
+    VIOLATIONS=$((VIOLATIONS + 1))
+    return
+  fi
+  # A 200 stream must end in a terminal frame: done, or a structured
+  # error with an allowed code. Silent truncation is the failure mode
+  # the router + relay exist to kill.
+  local last_event
+  last_event=$(grep '^event: ' <<<"$body" | tail -1)
+  if [[ "$last_event" == "event: done" ]]; then
+    OK_COUNT=$((OK_COUNT + 1))
+  elif [[ "$last_event" == "event: error" ]] && \
+       grep -qE '"code": ?"(backend_lost|generation_failed|deadline_exceeded)"' \
+         <<<"$body"; then
+    OK_COUNT=$((OK_COUNT + 1))
+  else
+    echo "FAIL  stream truncated without a terminal frame:" >&2
+    echo "$body" | tail -5 >&2
+    VIOLATIONS=$((VIOLATIONS + 1))
+  fi
+}
+
+for i in $(seq 1 "$REQUESTS"); do
+  if (( i == KILL_AT )); then
+    # Mid-load, SIGKILL replica 1 by hand on top of the chaos schedule.
+    VICTIM=$(metrics_field "int(m['replica_detail'][1]['pid'])" || echo 0)
+    if (( VICTIM > 0 )); then
+      kill -9 "$VICTIM" 2>/dev/null || true
+      echo "INFO  SIGKILLed replica 1 (pid $VICTIM) mid-load"
+    fi
+  fi
+  if (( i % 3 == 0 )); then
+    check_stream
+  else
+    check_buffered
+  fi
+done
+
+if (( VIOLATIONS > 0 )); then
+  echo "FAIL  $VIOLATIONS unexpected client-visible error(s) under chaos" >&2
+  exit 1
+fi
+if (( OK_COUNT == 0 )); then
+  echo "FAIL  no request succeeded during the soak" >&2
+  exit 1
+fi
+echo "PASS  $REQUESTS requests under chaos: $OK_COUNT ok," \
+     "$ALLOWED_503 structured 503(s), 0 unexpected errors"
+
+# The fleet heals: the kill shows up in the restart counter and all 3
+# replicas come back healthy.
+HEALED=0
+for _ in $(seq 1 90); do
+  STATE=$(metrics_field \
+    "str(int(m['replicas']['healthy'])) + ' ' + str(int(m['replica_restarts_total']))" \
+    2>/dev/null || echo "0 0")
+  if [[ "$STATE" == "3 "* ]] && (( ${STATE#3 } >= 1 )); then
+    HEALED=1
+    break
+  fi
+  sleep 1
+done
+if (( HEALED != 1 )); then
+  echo "FAIL  fleet did not heal (healthy/restarts: ${STATE:-unknown})" >&2
+  cat /tmp/chaos_fleet.log >&2
+  exit 1
+fi
+echo "PASS  fleet healed: 3/3 healthy, replica_restarts_total >= 1"
+
+echo
+echo "all chaos smoke checks passed"

@@ -1,6 +1,10 @@
 #include "data/recipe_io.h"
 
+#include <algorithm>
 #include <fstream>
+#include <sstream>
+
+#include "util/fault_injection.h"
 
 namespace rt {
 
@@ -85,8 +89,18 @@ Status SaveRecipesJsonl(const std::vector<Recipe>& recipes,
 }
 
 StatusOr<std::vector<Recipe>> LoadRecipesJsonl(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for read: " + path);
+  std::string raw((std::istreambuf_iterator<char>(file)),
+                  std::istreambuf_iterator<char>());
+  if (auto fired = FaultInjector::Instance().Hit("data.load.truncate")) {
+    // Injected short read: the file vanishes mid-stream (NFS hiccup,
+    // torn copy). The chopped tail must surface as the structured
+    // parse error below, never as a crash or a silently smaller set.
+    const size_t chop = static_cast<size_t>(std::max(fired->amount, 1));
+    raw.resize(raw.size() > chop ? raw.size() - chop : 0);
+  }
+  std::istringstream in(raw);
   std::vector<Recipe> out;
   std::string line;
   int line_no = 0;

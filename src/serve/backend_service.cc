@@ -4,6 +4,7 @@
 #include <chrono>
 #include <climits>
 #include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <thread>
 
@@ -389,6 +390,17 @@ BackendService::BackendService(const SessionFactory& factory,
 
 void BackendService::RegisterRoutes() {
   const auto healthz = [](const HttpRequest&) {
+    auto& faults = FaultInjector::Instance();
+    if (faults.Hit("replica.exit")) {
+      RT_LOG(Warning) << "replica.exit fired; exiting hard";
+      std::_Exit(23);
+    }
+    if (auto hang = faults.Hit("replica.hang")) {
+      // Wedge the probe (capped) so the supervisor's probe timeout —
+      // not this sleep — decides when the replica counts as dead.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(std::max(hang->amount, 0), 10000)));
+    }
     return HttpResponse::JsonBody(HealthzJson().Dump());
   };
   const auto deprecate = [](HttpResponse resp) {
@@ -410,6 +422,12 @@ void BackendService::RegisterRoutes() {
                       [this](const HttpRequest& req) {
                         return HandleGenerate(req);
                       });
+  if (options_.enable_fault_admin) {
+    (void)server_.Route("POST", "/v1/admin/fault",
+                        [this](const HttpRequest& req) {
+                          return HandleFaultAdmin(req);
+                        });
+  }
   // Pre-/v1 aliases, retired by default since API v2: registered (with
   // their Deprecation header) only when the deployment opts back in via
   // --enable-deprecated-routes; otherwise the paths 404.
@@ -459,6 +477,13 @@ void BackendService::ReleaseSession(int index) {
 }
 
 HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
+  if (FaultInjector::Instance().Hit("replica.exit")) {
+    // Chaos: the replica dies mid-admission, exactly as a crashed
+    // process would — the router's retry and the supervisor's restart
+    // are what keep this invisible to the client.
+    RT_LOG(Warning) << "replica.exit fired; exiting hard";
+    std::_Exit(23);
+  }
   std::string code;
   auto parsed = ParseGenerateRequest(request.body, &code);
   if (!parsed.ok()) {
@@ -859,6 +884,65 @@ HttpResponse BackendService::HandleMetrics(
     resp.body = obs::RenderPrometheus(out);
     return resp;
   }
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse BackendService::HandleFaultAdmin(
+    const HttpRequest& request) const {
+  auto doc = Json::Parse(request.body);
+  if (!doc.ok() || !doc->is_object()) {
+    return JsonError(400, "bad_json", "body must be a JSON object",
+                     request.request_id);
+  }
+  std::string action = "arm";
+  if (const Json& a = doc->Get("action"); a.is_string()) {
+    action = a.AsString();
+  }
+  auto& faults = FaultInjector::Instance();
+  std::string point;
+  if (const Json& p = doc->Get("point"); p.is_string()) {
+    point = p.AsString();
+  }
+  if (action == "reset") {
+    faults.Reset();
+  } else if (point.empty()) {
+    return JsonError(400, "bad_fault_point",
+                     "'point' must name a fault point",
+                     request.request_id);
+  } else if (action == "arm") {
+    FaultInjector::FaultSpec spec;
+    if (const Json& v = doc->Get("skip"); v.is_number()) {
+      spec.skip = static_cast<int>(v.AsNumber());
+    }
+    if (const Json& v = doc->Get("count"); v.is_number()) {
+      spec.count = static_cast<int>(v.AsNumber());
+    }
+    if (const Json& v = doc->Get("probability"); v.is_number()) {
+      spec.probability = v.AsNumber();
+    }
+    if (const Json& v = doc->Get("seed"); v.is_number()) {
+      spec.seed = static_cast<uint64_t>(v.AsNumber());
+    }
+    if (const Json& v = doc->Get("amount"); v.is_number()) {
+      spec.amount = static_cast<int>(v.AsNumber());
+    }
+    faults.Arm(point, spec);
+    RT_LOG(Warning) << "fault admin armed point=" << point
+                    << " count=" << spec.count
+                    << " amount=" << spec.amount
+                    << " request_id=" << request.request_id;
+  } else if (action == "disarm") {
+    faults.Disarm(point);
+  } else {
+    return JsonError(400, "bad_action",
+                     "action must be arm, disarm, or reset",
+                     request.request_id);
+  }
+  Json out{Json::Object{}};
+  out.Set("point", point);
+  out.Set("action", action);
+  out.Set("hits", static_cast<double>(faults.hits(point)));
+  out.Set("fires", static_cast<double>(faults.fires(point)));
   return HttpResponse::JsonBody(out.Dump());
 }
 

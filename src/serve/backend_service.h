@@ -181,6 +181,11 @@ struct BackendOptions {
   /// with their Deprecation header. Off by default since API v2; turn
   /// on with --enable-deprecated-routes for clients mid-migration.
   bool enable_deprecated_routes = false;
+  /// Registers POST /v1/admin/fault, which arms/disarms rt::FaultInjector
+  /// points in THIS process. The router's chaos mode uses it to reach
+  /// into replicas; it is off by default because it exists to break the
+  /// server on purpose — never enable it on a real deployment.
+  bool enable_fault_admin = false;
 };
 
 /// The generation backend microservice (the Flask-model container of
@@ -235,6 +240,7 @@ class BackendService {
   /// Prometheus text exposition (rendered from the same Json object, so
   /// the surfaces cannot drift).
   HttpResponse HandleMetrics(const HttpRequest& request) const;
+  HttpResponse HandleFaultAdmin(const HttpRequest& request) const;
   /// GET /v1/trace: Chrome trace_event export of the span ring.
   HttpResponse HandleTrace(const HttpRequest& request) const;
   HttpResponse HandleModels() const;

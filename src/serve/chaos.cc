@@ -1,0 +1,128 @@
+#include "serve/chaos.h"
+
+#include <chrono>
+
+#include "serve/http.h"
+#include "util/logging.h"
+
+namespace rt {
+namespace {
+
+/// One entry in the deterministic fault menu. `amount` and `count`
+/// mirror FaultSpec; probability stays 1.0 — determinism comes from the
+/// driver's seeded choices, not per-hit coin flips.
+struct ChaosFault {
+  const char* point;
+  int amount;
+  int count;
+};
+
+/// Weighted toward transient request-level faults; the process-level
+/// ones (exit/hang) are rare enough that the fleet usually has spare
+/// healthy replicas to absorb them.
+constexpr ChaosFault kFaultMenu[] = {
+    {"backend.generate.latency", /*amount=*/40, /*count=*/2},
+    {"backend.generate.latency", /*amount=*/40, /*count=*/2},
+    {"backend.generate.fail", /*amount=*/0, /*count=*/1},
+    {"backend.generate.fail", /*amount=*/0, /*count=*/1},
+    {"http.write.slow", /*amount=*/20, /*count=*/3},
+    {"http.read.slow", /*amount=*/10, /*count=*/3},
+    {"replica.slow-accept", /*amount=*/50, /*count=*/3},
+    {"replica.hang", /*amount=*/2000, /*count=*/1},
+    {"replica.exit", /*amount=*/0, /*count=*/1},
+};
+constexpr size_t kFaultMenuSize =
+    sizeof(kFaultMenu) / sizeof(kFaultMenu[0]);
+
+}  // namespace
+
+ChaosDriver::ChaosDriver(ReplicaFleet* fleet, ChaosOptions options)
+    : fleet_(fleet), options_(options), rng_(options.seed) {
+  if (options_.interval_ms < 50) options_.interval_ms = 50;
+}
+
+ChaosDriver::~ChaosDriver() { Stop(); }
+
+void ChaosDriver::Start() {
+  if (options_.seed == 0 || running_.load()) return;
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  RT_LOG(Info) << "chaos mode armed, seed=" << options_.seed
+               << " interval_ms=" << options_.interval_ms;
+}
+
+void ChaosDriver::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ChaosDriver::Loop() {
+  while (running_.load()) {
+    ArmOne();
+    // Interruptible sleep so Stop() does not wait out a whole tick.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.interval_ms);
+    while (running_.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+}
+
+void ChaosDriver::ArmOne() {
+  std::vector<ReplicaStatus> healthy;
+  for (const ReplicaStatus& status : fleet_->Snapshot()) {
+    if (status.state == ReplicaState::kHealthy) healthy.push_back(status);
+  }
+  if (healthy.empty()) return;
+  // Both draws come from the seeded stream, so the whole schedule —
+  // which replica, which fault, in which order — replays byte-for-byte
+  // under the same seed.
+  const ReplicaStatus target =
+      healthy[rng_.NextBelow(healthy.size())];
+  const ChaosFault& fault = kFaultMenu[rng_.NextBelow(kFaultMenuSize)];
+
+  Json body{Json::Object{}};
+  body.Set("action", "arm");
+  body.Set("point", fault.point);
+  body.Set("count", fault.count);
+  if (fault.amount > 0) body.Set("amount", fault.amount);
+  HttpCallOptions call;
+  call.timeout_ms = options_.admin_timeout_ms;
+  auto resp = HttpPost(target.port, "/v1/admin/fault", body.Dump(),
+                       "application/json", call);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (!resp.ok() || resp->status != 200) {
+    // A replica can die between the snapshot and the arm; that is the
+    // game we are playing. Count it and move on.
+    ++arm_failures_;
+    return;
+  }
+  ++armed_total_;
+  for (auto& [point, count] : armed_by_point_) {
+    if (point == fault.point) {
+      ++count;
+      return;
+    }
+  }
+  armed_by_point_.emplace_back(fault.point, 1);
+}
+
+Json ChaosDriver::StatsJson() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  Json out{Json::Object{}};
+  out.Set("enabled", options_.seed != 0);
+  out.Set("seed", static_cast<double>(options_.seed));
+  out.Set("interval_ms", options_.interval_ms);
+  out.Set("armed_total", static_cast<double>(armed_total_));
+  out.Set("arm_failures", static_cast<double>(arm_failures_));
+  Json armed{Json::Object{}};
+  for (const auto& [point, count] : armed_by_point_) {
+    armed.Set(point, static_cast<double>(count));
+  }
+  out.Set("armed", std::move(armed));
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,75 @@
+#ifndef RATATOUILLE_SERVE_CHAOS_H_
+#define RATATOUILLE_SERVE_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/replica_supervisor.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace rt {
+
+/// Tuning for the seeded chaos driver.
+struct ChaosOptions {
+  /// 0 disables chaos entirely. Any other value seeds the fault
+  /// schedule deterministically: same seed + same fleet = same faults
+  /// in the same order.
+  uint64_t seed = 0;
+  /// How often one fault is armed somewhere in the fleet.
+  int interval_ms = 400;
+  /// Per-arm HTTP budget against the replica's fault-admin endpoint.
+  int admin_timeout_ms = 1000;
+};
+
+/// Seeded chaos mode: a background thread that walks a deterministic
+/// schedule of fault injections across a live fleet. Each tick picks a
+/// healthy replica and arms one fault point on it over POST
+/// /v1/admin/fault (replicas must run with fault admin enabled). The
+/// fault table spans request-level faults (generation failure/latency,
+/// slow socket I/O) and process-level ones (replica.exit — the process
+/// _Exit(23)s at next admission; replica.hang — healthz wedges;
+/// replica.slow-accept) so supervision, retry, and failover all get
+/// exercised. The soak gate asserts the client saw nothing worse than
+/// a 503 while this runs.
+class ChaosDriver {
+ public:
+  ChaosDriver(ReplicaFleet* fleet, ChaosOptions options);
+  ~ChaosDriver();
+
+  ChaosDriver(const ChaosDriver&) = delete;
+  ChaosDriver& operator=(const ChaosDriver&) = delete;
+
+  /// No-op when options.seed == 0.
+  void Start();
+  void Stop();
+
+  /// Faults armed so far, and per-point counts:
+  ///   {"enabled":true,"seed":7,"armed_total":12,
+  ///    "armed":{"replica.exit":2,...},"arm_failures":0}
+  Json StatsJson() const;
+
+ private:
+  void Loop();
+  /// One tick: pick a healthy replica and a fault, arm it remotely.
+  void ArmOne();
+
+  ReplicaFleet* fleet_;
+  ChaosOptions options_;
+  Rng rng_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  mutable std::mutex stats_mutex_;
+  std::vector<std::pair<std::string, long long>> armed_by_point_;
+  long long armed_total_ = 0;
+  long long arm_failures_ = 0;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_CHAOS_H_

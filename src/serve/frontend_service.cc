@@ -104,10 +104,29 @@ FrontendService::FrontendService(int backend_port)
       // Dropping `call` at the end of the relay closes the backend
       // connection, which cancels the upstream decode if the browser
       // walked away first.
-      out.stream = [call](ResponseWriter& writer) {
-        (void)call->Pump([&writer](const std::string& data) {
-          return writer.Write(data);
-        });
+      const std::string request_id = req.request_id;
+      out.stream = [this, call, request_id](ResponseWriter& writer) {
+        const Status pumped =
+            call->Pump([&writer](const std::string& data) {
+              return writer.Write(data);
+            });
+        if (pumped.ok() || writer.dead()) {
+          // Backend finished, or the browser left first — either way
+          // the relay ran its course.
+          streams_relayed_.fetch_add(1);
+          return;
+        }
+        // The backend died mid-stream. Without a terminal frame the
+        // browser would see the SSE stream simply stop and could not
+        // tell a finished recipe from a truncated one; say so in-band.
+        streams_aborted_.fetch_add(1);
+        Json error{Json::Object{}};
+        error.Set("code", "backend_lost");
+        error.Set("message", "backend connection lost mid-stream: " +
+                                 pumped.message());
+        error.Set("request_id", request_id);
+        error.Set("finish_reason", "backend_lost");
+        writer.Write("event: error\ndata: " + error.Dump() + "\n\n");
       };
       return out;
     }

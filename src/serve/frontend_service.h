@@ -1,6 +1,8 @@
 #ifndef RATATOUILLE_SERVE_FRONTEND_SERVICE_H_
 #define RATATOUILLE_SERVE_FRONTEND_SERVICE_H_
 
+#include <atomic>
+
 #include "serve/http.h"
 
 namespace rt {
@@ -21,9 +23,19 @@ class FrontendService {
   /// The embedded single-page UI markup (exposed for tests).
   static const char* IndexHtml();
 
+  /// Streams relayed to their natural end (backend finished, or the
+  /// browser walked away — both are clean from the relay's view).
+  long long streams_relayed() const { return streams_relayed_.load(); }
+  /// Streams whose backend died mid-relay; each one ended with a
+  /// terminal SSE error frame (code "backend_lost") instead of a
+  /// silent truncation.
+  long long streams_aborted() const { return streams_aborted_.load(); }
+
  private:
   int backend_port_;
   HttpServer server_;
+  std::atomic<long long> streams_relayed_{0};
+  std::atomic<long long> streams_aborted_{0};
 };
 
 }  // namespace rt

@@ -28,6 +28,57 @@ constexpr size_t kMaxRequestBytes = 16u << 20;  // 16 MiB
 /// Blocking reads happen in short poll slices so Stop() stays responsive
 /// without per-connection wakeup plumbing.
 constexpr int kPollSliceMs = 50;
+/// Client-side cap on a response head (status line + headers). A replica
+/// that streams garbage without ever finishing its headers is rejected
+/// as malformed instead of buffered without bound.
+constexpr size_t kMaxClientHeaderBytes = 64u << 10;  // 64 KiB
+
+/// recv() bounded by `timeout_ms` (-1 = no limit): polls until readable,
+/// retrying EINTR on both the poll and the recv so a signal-interrupted
+/// probe read resumes instead of masquerading as connection close.
+/// Returns >0 bytes read, 0 on EOF, -1 on socket error (errno set), -2
+/// when the timeout expired first.
+ssize_t RecvWithDeadline(int fd, char* buf, size_t cap, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      const long long left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (left <= 0) return -2;
+      wait = static_cast<int>(std::min<long long>(left, 1 << 20));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (ready == 0) continue;  // deadline re-checked at the loop top
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return n;
+  }
+}
+
+/// Remaining budget of a whole-call deadline in ms: -1 when unlimited,
+/// else clamped at 0 so an expired deadline times out on the next read.
+int RemainingMs(bool limited,
+                std::chrono::steady_clock::time_point deadline) {
+  if (!limited) return -1;
+  const long long left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now())
+          .count();
+  return left > 0 ? static_cast<int>(std::min<long long>(left, 1 << 20))
+                  : 0;
+}
 
 bool ParseRequest(const std::string& raw, HttpRequest* out) {
   const size_t header_end = raw.find("\r\n\r\n");
@@ -303,9 +354,14 @@ bool TryParseClientResponse(const std::string& buffer,
   return true;
 }
 
-/// One-shot exchange: send, half-close, read to EOF, parse.
-StatusOr<HttpClientResponse> OneShotRoundTrip(int port,
-                                              const std::string& request) {
+/// One-shot exchange: send, half-close, read to EOF, parse. The
+/// options' timeout_ms bounds the whole exchange; EINTR mid-read
+/// resumes instead of truncating the response.
+StatusOr<HttpClientResponse> OneShotRoundTrip(
+    int port, const std::string& request, const HttpCallOptions& options) {
+  const bool limited = options.timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.timeout_ms);
   const int fd = ConnectLoopback(port);
   if (fd < 0) {
     return Status::IoError("connect failed to port " +
@@ -318,10 +374,29 @@ StatusOr<HttpClientResponse> OneShotRoundTrip(int port,
   ::shutdown(fd, SHUT_WR);
   std::string raw;
   char buf[4096];
+  bool have_head = false;
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    const ssize_t n = RecvWithDeadline(fd, buf, sizeof(buf),
+                                       RemainingMs(limited, deadline));
+    if (n == 0) break;
+    if (n == -2) {
+      ::close(fd);
+      return Status::IoError("response timed out after " +
+                             std::to_string(options.timeout_ms) + "ms");
+    }
+    if (n < 0) {
+      ::close(fd);
+      return Status::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
     raw.append(buf, static_cast<size_t>(n));
+    if (!have_head) {
+      have_head = raw.find("\r\n\r\n") != std::string::npos;
+      if (!have_head && raw.size() > kMaxClientHeaderBytes) {
+        ::close(fd);
+        return Status::IoError("response headers exceed the 64 KiB cap");
+      }
+    }
   }
   ::close(fd);
   HttpClientResponse resp;
@@ -338,20 +413,33 @@ StatusOr<HttpClientResponse> OneShotRoundTrip(int port,
   return resp;
 }
 
-std::string FormatGetRequest(const std::string& path, bool keep_alive) {
-  return "GET " + path +
-         " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: " +
+std::string FormatGetRequest(
+    const std::string& path, bool keep_alive,
+    const std::map<std::string, std::string>& extra_headers = {}) {
+  std::string out = "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n";
+  for (const auto& [key, value] : extra_headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += std::string("Connection: ") +
          (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+  return out;
 }
 
-std::string FormatPostRequest(const std::string& path,
-                              const std::string& body,
-                              const std::string& content_type,
-                              bool keep_alive) {
-  return "POST " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: " +
-         content_type + "\r\nContent-Length: " +
-         std::to_string(body.size()) + "\r\nConnection: " +
-         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n" + body;
+std::string FormatPostRequest(
+    const std::string& path, const std::string& body,
+    const std::string& content_type, bool keep_alive,
+    const std::map<std::string, std::string>& extra_headers = {}) {
+  std::string out = "POST " + path +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: " +
+                    content_type + "\r\nContent-Length: " +
+                    std::to_string(body.size()) + "\r\n";
+  for (const auto& [key, value] : extra_headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += std::string("Connection: ") +
+         (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+  out += body;
+  return out;
 }
 
 }  // namespace
@@ -517,6 +605,12 @@ void HttpServer::AcceptLoop() {
       if (!running_.load() || draining_.load()) break;
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
+    }
+    if (auto slow = FaultInjector::Instance().Hit("replica.slow-accept")) {
+      // Chaos: stall the single acceptor thread so the listen backlog
+      // grows and clients see admission latency, as on an overloaded
+      // replica.
+      std::this_thread::sleep_for(std::chrono::milliseconds(slow->amount));
     }
     bool queued = false;
     {
@@ -698,8 +792,23 @@ void HttpServer::ServeConnection(
                              NextRequestId());
         close_connection = true;
       } else {
-        request.request_id = NextRequestId();
-        request.trace_id = obs::TraceRecorder::Instance().NextTraceId();
+        // A fronting router forwards its ids so replica logs, error
+        // envelopes, and spans correlate with the client-visible
+        // request; without the headers the server mints its own.
+        const auto fwd_id = request.headers.find("x-rt-request-id");
+        request.request_id =
+            fwd_id != request.headers.end() && !fwd_id->second.empty()
+                ? fwd_id->second
+                : NextRequestId();
+        const auto fwd_trace = request.headers.find("x-rt-trace-id");
+        const uint64_t forwarded_trace =
+            fwd_trace != request.headers.end()
+                ? std::strtoull(fwd_trace->second.c_str(), nullptr, 10)
+                : 0;
+        request.trace_id =
+            forwarded_trace != 0
+                ? forwarded_trace
+                : obs::TraceRecorder::Instance().NextTraceId();
         parsed = true;
         // queue_wait: queue admission (or keep-alive read start) until a
         // worker hands the parsed request to its handler.
@@ -803,16 +912,23 @@ HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
   return resp;
 }
 
-StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path) {
-  return OneShotRoundTrip(port, FormatGetRequest(path, /*keep_alive=*/false));
+StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path,
+                                     const HttpCallOptions& options) {
+  return OneShotRoundTrip(port,
+                          FormatGetRequest(path, /*keep_alive=*/false,
+                                           options.headers),
+                          options);
 }
 
 StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
                                       const std::string& body,
-                                      const std::string& content_type) {
+                                      const std::string& content_type,
+                                      const HttpCallOptions& options) {
   return OneShotRoundTrip(
-      port, FormatPostRequest(path, body, content_type,
-                              /*keep_alive=*/false));
+      port,
+      FormatPostRequest(path, body, content_type,
+                        /*keep_alive=*/false, options.headers),
+      options);
 }
 
 StreamingHttpCall::~StreamingHttpCall() {
@@ -821,7 +937,8 @@ StreamingHttpCall::~StreamingHttpCall() {
 
 bool StreamingHttpCall::Fill() {
   char buf[4096];
-  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  const int wait = stall_timeout_ms_ > 0 ? stall_timeout_ms_ : -1;
+  const ssize_t n = RecvWithDeadline(fd_, buf, sizeof(buf), wait);
   if (n <= 0) return false;
   buffer_.append(buf, static_cast<size_t>(n));
   return true;
@@ -829,24 +946,40 @@ bool StreamingHttpCall::Fill() {
 
 Status StreamingHttpCall::Open(int port, const std::string& path,
                                const std::string& body,
-                               const std::string& content_type) {
+                               const std::string& content_type,
+                               const HttpCallOptions& options) {
   if (fd_ >= 0) return Status::FailedPrecondition("already open");
+  stall_timeout_ms_ = options.stall_timeout_ms;
+  const bool limited = options.timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.timeout_ms);
   fd_ = ConnectLoopback(port);
   if (fd_ < 0) {
     return Status::IoError("connect failed to port " +
                            std::to_string(port));
   }
-  if (Status sent =
-          SendAll(fd_, FormatPostRequest(path, body, content_type,
-                                         /*keep_alive=*/false));
+  if (Status sent = SendAll(
+          fd_, FormatPostRequest(path, body, content_type,
+                                 /*keep_alive=*/false, options.headers));
       !sent.ok()) {
     return sent;
   }
   size_t header_end;
   while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
-    if (!Fill()) {
+    if (buffer_.size() > kMaxClientHeaderBytes) {
+      return Status::IoError("response headers exceed the 64 KiB cap");
+    }
+    char buf[4096];
+    const ssize_t n = RecvWithDeadline(fd_, buf, sizeof(buf),
+                                       RemainingMs(limited, deadline));
+    if (n == -2) {
+      return Status::IoError("response head timed out after " +
+                             std::to_string(options.timeout_ms) + "ms");
+    }
+    if (n <= 0) {
       return Status::IoError("connection closed before response head");
     }
+    buffer_.append(buf, static_cast<size_t>(n));
   }
   if (buffer_.size() < 12 || buffer_.compare(0, 5, "HTTP/") != 0) {
     return Status::IoError("malformed HTTP response");
@@ -900,6 +1033,7 @@ Status StreamingHttpCall::Pump(
           data.resize(content_length_ - delivered);
         }
         delivered += data.size();
+        bytes_delivered_ += data.size();
         if (!on_data(data)) return Status::OK();
       }
       if (!until_eof && delivered >= content_length_) return Status::OK();
@@ -923,11 +1057,15 @@ Status StreamingHttpCall::Pump(
     }
     const std::string data = buffer_.substr(line_end + 2, size);
     buffer_.erase(0, line_end + 2 + size + 2);
+    bytes_delivered_ += data.size();
     if (!on_data(data)) return Status::OK();
   }
 }
 
 HttpClient::HttpClient(int port) : port_(port) {}
+
+HttpClient::HttpClient(int port, HttpCallOptions defaults)
+    : port_(port), defaults_(std::move(defaults)) {}
 
 HttpClient::~HttpClient() { Close(); }
 
@@ -940,20 +1078,25 @@ void HttpClient::Close() {
 }
 
 StatusOr<HttpClientResponse> HttpClient::Get(const std::string& path) {
-  return RoundTrip(FormatGetRequest(path, /*keep_alive=*/true),
-                   /*retry_on_stale=*/true);
+  return RoundTrip(
+      FormatGetRequest(path, /*keep_alive=*/true, defaults_.headers),
+      /*retry_on_stale=*/true);
 }
 
 StatusOr<HttpClientResponse> HttpClient::Post(
     const std::string& path, const std::string& body,
     const std::string& content_type) {
   return RoundTrip(FormatPostRequest(path, body, content_type,
-                                     /*keep_alive=*/true),
+                                     /*keep_alive=*/true,
+                                     defaults_.headers),
                    /*retry_on_stale=*/true);
 }
 
 StatusOr<HttpClientResponse> HttpClient::RoundTrip(
     const std::string& request, bool retry_on_stale) {
+  const bool limited = defaults_.timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(defaults_.timeout_ms);
   const bool fresh_connection = fd_ < 0;
   if (fd_ < 0) {
     fd_ = ConnectLoopback(port_);
@@ -977,7 +1120,20 @@ StatusOr<HttpClientResponse> HttpClient::RoundTrip(
   size_t consumed = 0;
   char buf[4096];
   while (!TryParseClientResponse(buffer_, &resp, &consumed)) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (buffer_.find("\r\n\r\n") == std::string::npos &&
+        buffer_.size() > kMaxClientHeaderBytes) {
+      Close();
+      return Status::IoError("response headers exceed the 64 KiB cap");
+    }
+    const ssize_t n = RecvWithDeadline(fd_, buf, sizeof(buf),
+                                       RemainingMs(limited, deadline));
+    if (n == -2) {
+      // A timeout is not a stale connection: retrying would double the
+      // caller's wait on a peer that is genuinely slow or wedged.
+      Close();
+      return Status::IoError("response timed out after " +
+                             std::to_string(defaults_.timeout_ms) + "ms");
+    }
     if (n <= 0) {
       // The server may have closed an idle keep-alive connection between
       // requests; retry once on a fresh connection.

@@ -245,13 +245,34 @@ struct HttpClientResponse {
   std::map<std::string, std::string> headers;  // lower-cased keys
 };
 
+/// Client-side knobs shared by the one-shot helpers, StreamingHttpCall,
+/// and HttpClient. The router tier leans on these: per-try budgets come
+/// from the request deadline, and forwarded x-rt-request-id /
+/// x-rt-trace-id headers keep one trace across the hop.
+struct HttpCallOptions {
+  /// Whole-exchange budget in ms (send + response head + body). 0 = no
+  /// limit. On expiry the call fails with DeadlineExceeded.
+  int timeout_ms = 0;
+  /// Longest silence tolerated between body bytes on a streaming Pump()
+  /// (ms). 0 = wait forever. A wedged replica mid-stream surfaces as an
+  /// IoError instead of a relay that never returns.
+  int stall_timeout_ms = 0;
+  /// Extra request headers, e.g. {"x-rt-request-id", "req-8080-17"}.
+  std::map<std::string, std::string> headers;
+};
+
 /// One-shot GET/POST to 127.0.0.1:`port` (Connection: close). Returns
-/// IoError on connection failure or malformed response.
-StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path);
+/// IoError on connection failure or malformed response, and
+/// DeadlineExceeded when options.timeout_ms expires first. Response
+/// heads larger than 64 KiB are rejected as malformed instead of
+/// buffered unboundedly.
+StatusOr<HttpClientResponse> HttpGet(int port, const std::string& path,
+                                     const HttpCallOptions& options = {});
 StatusOr<HttpClientResponse> HttpPost(int port, const std::string& path,
                                       const std::string& body,
                                       const std::string& content_type =
-                                          "application/json");
+                                          "application/json",
+                                      const HttpCallOptions& options = {});
 
 /// Client side of one streaming exchange (the frontend's SSE relay):
 /// Open() sends a POST and blocks until the response head arrives, so
@@ -268,9 +289,12 @@ class StreamingHttpCall {
   StreamingHttpCall& operator=(const StreamingHttpCall&) = delete;
 
   /// Connects to 127.0.0.1:`port`, sends the POST, and reads the
-  /// response head (status line + headers).
+  /// response head (status line + headers). options.timeout_ms bounds
+  /// the whole head exchange; options.stall_timeout_ms carries over to
+  /// Pump()/ReadAll(). Heads larger than 64 KiB are rejected.
   Status Open(int port, const std::string& path, const std::string& body,
-              const std::string& content_type = "application/json");
+              const std::string& content_type = "application/json",
+              const HttpCallOptions& options = {});
 
   /// Valid after a successful Open().
   int status() const { return status_; }
@@ -286,17 +310,26 @@ class StreamingHttpCall {
   /// Delivers body payloads to `on_data` as they arrive (one call per
   /// decoded chunk when chunked) until the body ends. `on_data`
   /// returning false stops the relay early (still OK) — the caller's
-  /// client is gone.
+  /// client is gone. When the Open() options set stall_timeout_ms, a
+  /// silent peer fails the pump with IoError after that long.
   Status Pump(const std::function<bool(const std::string&)>& on_data);
 
+  /// Body bytes delivered by Pump()/ReadAll() so far. The relay uses
+  /// this to decide whether failover is still safe (nothing sent to the
+  /// client yet) or the stream must die with a terminal error frame.
+  size_t bytes_delivered() const { return bytes_delivered_; }
+
  private:
-  /// Reads more bytes into buffer_. False on EOF.
+  /// Reads more bytes into buffer_. False on EOF, error, or a stall
+  /// that out-waited stall_timeout_ms.
   bool Fill();
 
   int fd_ = -1;
   int status_ = 0;
   bool chunked_ = false;
   size_t content_length_ = 0;
+  size_t bytes_delivered_ = 0;
+  int stall_timeout_ms_ = 0;
   std::map<std::string, std::string> headers_;
   std::string buffer_;  // body bytes past the parsed head
 };
@@ -307,6 +340,10 @@ class StreamingHttpCall {
 class HttpClient {
  public:
   explicit HttpClient(int port);
+  /// `defaults` applies to every request: timeout_ms bounds each round
+  /// trip (the supervisor's probe client uses this so a wedged replica
+  /// cannot hang the monitor), headers ride on each request.
+  HttpClient(int port, HttpCallOptions defaults);
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -326,6 +363,7 @@ class HttpClient {
                                          bool retry_on_stale);
 
   int port_;
+  HttpCallOptions defaults_;
   int fd_ = -1;
   std::string buffer_;  // bytes past the previous response
 };

@@ -1,0 +1,385 @@
+#include "serve/replica_supervisor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "serve/http.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rt {
+namespace {
+
+/// Binds `n` ephemeral listeners at once (so the kernel hands out
+/// distinct ports), reads the ports back, then closes them. The usual
+/// pick-a-free-port race is acceptable here: the replica rebinds with
+/// SO_REUSEADDR milliseconds later.
+StatusOr<std::vector<int>> PickFreePorts(int n) {
+  std::vector<int> fds;
+  std::vector<int> ports;
+  auto cleanup = [&fds] {
+    for (int fd : fds) ::close(fd);
+  };
+  for (int i = 0; i < n; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      cleanup();
+      return Status::IoError("socket() failed picking replica ports");
+    }
+    fds.push_back(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      cleanup();
+      return Status::IoError("bind() failed picking replica ports");
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ports.push_back(ntohs(addr.sin_port));
+  }
+  cleanup();
+  return ports;
+}
+
+}  // namespace
+
+const char* ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kStarting:
+      return "starting";
+    case ReplicaState::kHealthy:
+      return "healthy";
+    case ReplicaState::kDraining:
+      return "draining";
+    case ReplicaState::kRestarting:
+      return "restarting";
+  }
+  return "unknown";
+}
+
+ReplicaSupervisor::ReplicaSupervisor(ReplicaSupervisorOptions options)
+    : options_(std::move(options)), jitter_(options_.jitter_seed) {
+  if (options_.replicas < 1) options_.replicas = 1;
+  if (options_.backoff_initial_ms < 1) options_.backoff_initial_ms = 1;
+  if (options_.backoff_max_ms < options_.backoff_initial_ms) {
+    options_.backoff_max_ms = options_.backoff_initial_ms;
+  }
+}
+
+ReplicaSupervisor::~ReplicaSupervisor() { Stop(); }
+
+Status ReplicaSupervisor::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  if (options_.command.empty()) {
+    return Status::InvalidArgument("replica command must not be empty");
+  }
+  std::vector<int> ports;
+  if (options_.base_port > 0) {
+    for (int i = 0; i < options_.replicas; ++i) {
+      ports.push_back(options_.base_port + i);
+    }
+  } else {
+    auto picked = PickFreePorts(options_.replicas);
+    if (!picked.ok()) return picked.status();
+    ports = *std::move(picked);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    replicas_.clear();
+    replicas_.resize(static_cast<size_t>(options_.replicas));
+    for (int i = 0; i < options_.replicas; ++i) {
+      Replica& replica = replicas_[static_cast<size_t>(i)];
+      replica.index = i;
+      replica.port = ports[static_cast<size_t>(i)];
+      replica.backoff_ms = options_.backoff_initial_ms;
+      SpawnLocked(replica);
+    }
+  }
+  running_.store(true);
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  return Status::OK();
+}
+
+void ReplicaSupervisor::Stop() {
+  if (!running_.exchange(false)) return;
+  if (monitor_.joinable()) monitor_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Replica& replica : replicas_) {
+    if (replica.pid > 0) {
+      ::kill(static_cast<pid_t>(replica.pid), SIGTERM);
+    }
+  }
+  // Graceful window, then the hammer: SIGTERM'd children get
+  // drain_grace_ms to exit before SIGKILL; everything is reaped so no
+  // zombies outlive the supervisor.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.drain_grace_ms);
+  for (;;) {
+    bool alive = false;
+    for (Replica& replica : replicas_) {
+      if (replica.pid <= 0) continue;
+      int wstatus = 0;
+      if (::waitpid(static_cast<pid_t>(replica.pid), &wstatus, WNOHANG) ==
+          static_cast<pid_t>(replica.pid)) {
+        replica.pid = -1;
+      } else {
+        alive = true;
+      }
+    }
+    if (!alive || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (Replica& replica : replicas_) {
+    if (replica.pid <= 0) continue;
+    ::kill(static_cast<pid_t>(replica.pid), SIGKILL);
+    int wstatus = 0;
+    ::waitpid(static_cast<pid_t>(replica.pid), &wstatus, 0);
+    replica.pid = -1;
+  }
+}
+
+Status ReplicaSupervisor::WaitHealthy(int min_healthy, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int healthy = 0;
+    for (const ReplicaStatus& status : Snapshot()) {
+      if (status.state == ReplicaState::kHealthy) ++healthy;
+    }
+    if (healthy >= min_healthy) return Status::OK();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IoError(
+          "fleet never reached " + std::to_string(min_healthy) +
+          " healthy replicas within " + std::to_string(timeout_ms) + "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+int ReplicaSupervisor::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(replicas_.size());
+}
+
+std::vector<ReplicaStatus> ReplicaSupervisor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ReplicaStatus> out;
+  out.reserve(replicas_.size());
+  for (const Replica& replica : replicas_) {
+    ReplicaStatus status;
+    status.index = replica.index;
+    status.port = replica.port;
+    status.pid = replica.pid;
+    status.state = replica.state;
+    status.restarts = replica.restarts;
+    status.probe_failures = replica.probe_failures;
+    out.push_back(status);
+  }
+  return out;
+}
+
+void ReplicaSupervisor::ReportFailure(int index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index < 0 || index >= static_cast<int>(replicas_.size())) return;
+  ++replicas_[static_cast<size_t>(index)].pending_reports;
+}
+
+long long ReplicaSupervisor::total_restarts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_restarts_;
+}
+
+void ReplicaSupervisor::SpawnLocked(Replica& replica) {
+  // Everything the child needs is prepared before fork(): between
+  // fork and exec only async-signal-safe calls are legal, because the
+  // supervisor lives in a multithreaded process.
+  std::vector<std::string> args;
+  args.reserve(options_.command.size());
+  for (const std::string& arg : options_.command) {
+    args.push_back(ReplaceAll(arg, "{port}", std::to_string(replica.port)));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child. Die with the supervisor instead of orphaning.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (pid < 0) {
+    RT_LOG(Error) << "replica " << replica.index
+                  << " fork failed: " << std::strerror(errno);
+    ScheduleRestartLocked(replica);
+    return;
+  }
+  if (replica.ever_spawned) {
+    ++replica.restarts;
+    ++total_restarts_;
+  }
+  replica.ever_spawned = true;
+  replica.pid = pid;
+  replica.state = ReplicaState::kStarting;
+  replica.state_since = now;
+  replica.probe_failures = 0;
+  replica.pending_reports = 0;
+  RT_LOG(Info) << "replica " << replica.index << " spawned pid=" << pid
+               << " port=" << replica.port
+               << " restarts=" << replica.restarts;
+}
+
+void ReplicaSupervisor::ScheduleRestartLocked(Replica& replica) {
+  const auto now = std::chrono::steady_clock::now();
+  if (replica.backoff_ms < options_.backoff_initial_ms) {
+    replica.backoff_ms = options_.backoff_initial_ms;
+  }
+  const int jitter = static_cast<int>(
+      jitter_.NextBelow(static_cast<uint64_t>(replica.backoff_ms / 2 + 1)));
+  replica.pid = -1;
+  replica.state = ReplicaState::kRestarting;
+  replica.state_since = now;
+  replica.next_action =
+      now + std::chrono::milliseconds(replica.backoff_ms + jitter);
+  RT_LOG(Warning) << "replica " << replica.index << " restart in "
+                  << replica.backoff_ms + jitter << "ms (backoff "
+                  << replica.backoff_ms << "ms)";
+  replica.backoff_ms =
+      std::min(replica.backoff_ms * 2, options_.backoff_max_ms);
+}
+
+void ReplicaSupervisor::MonitorLoop() {
+  // Probe clients are monitor-thread-local: one keep-alive connection
+  // per replica slot, reconnecting transparently after a restart.
+  std::vector<std::unique_ptr<HttpClient>> probes(replicas_.size());
+  while (running_.load()) {
+    std::vector<std::pair<int, int>> to_probe;  // (index, port)
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      for (Replica& replica : replicas_) {
+        if (replica.pid > 0) {
+          int wstatus = 0;
+          const pid_t reaped = ::waitpid(static_cast<pid_t>(replica.pid),
+                                         &wstatus, WNOHANG);
+          if (reaped == static_cast<pid_t>(replica.pid)) {
+            RT_LOG(Warning)
+                << "replica " << replica.index << " pid=" << replica.pid
+                << (WIFSIGNALED(wstatus)
+                        ? " killed by signal " +
+                              std::to_string(WTERMSIG(wstatus))
+                        : " exited status " +
+                              std::to_string(WEXITSTATUS(wstatus)));
+            ScheduleRestartLocked(replica);
+          }
+        }
+        switch (replica.state) {
+          case ReplicaState::kDraining:
+            if (replica.pid > 0 && now >= replica.next_action) {
+              // Out-lived the drain grace: stop being polite.
+              ::kill(static_cast<pid_t>(replica.pid), SIGKILL);
+              // Reaped (and rescheduled) on the next tick.
+            }
+            break;
+          case ReplicaState::kRestarting:
+            if (now >= replica.next_action) SpawnLocked(replica);
+            break;
+          case ReplicaState::kStarting:
+          case ReplicaState::kHealthy:
+            if (replica.pid > 0) {
+              replica.probe_failures += replica.pending_reports;
+              replica.pending_reports = 0;
+              to_probe.emplace_back(replica.index, replica.port);
+            }
+            break;
+        }
+      }
+    }
+    // Probe I/O off the lock: a wedged replica stalls only this loop's
+    // tick (bounded by probe_timeout_ms per replica), never Snapshot().
+    std::vector<std::pair<int, bool>> results;
+    results.reserve(to_probe.size());
+    for (const auto& [index, port] : to_probe) {
+      auto& probe = probes[static_cast<size_t>(index)];
+      if (!probe) {
+        HttpCallOptions probe_options;
+        probe_options.timeout_ms = options_.probe_timeout_ms;
+        probe = std::make_unique<HttpClient>(port, probe_options);
+      }
+      auto resp = probe->Get("/v1/healthz");
+      const bool ok = resp.ok() && resp->status == 200;
+      if (!ok) probe->Close();
+      results.emplace_back(index, ok);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto now = std::chrono::steady_clock::now();
+      for (const auto& [index, ok] : results) {
+        Replica& replica = replicas_[static_cast<size_t>(index)];
+        // The state may have moved while we probed (e.g. the process
+        // died and was rescheduled) — only kStarting/kHealthy consume
+        // probe results.
+        if (replica.state != ReplicaState::kStarting &&
+            replica.state != ReplicaState::kHealthy) {
+          continue;
+        }
+        if (ok) {
+          if (replica.state == ReplicaState::kStarting) {
+            replica.state = ReplicaState::kHealthy;
+            replica.state_since = now;
+            replica.backoff_ms = options_.backoff_initial_ms;
+            RT_LOG(Info) << "replica " << replica.index
+                         << " healthy on port " << replica.port;
+          }
+          replica.probe_failures = 0;
+          continue;
+        }
+        ++replica.probe_failures;
+        const bool wedged_healthy =
+            replica.state == ReplicaState::kHealthy &&
+            replica.probe_failures >= options_.probe_failures_to_restart;
+        const bool wedged_starting =
+            replica.state == ReplicaState::kStarting &&
+            now - replica.state_since >
+                std::chrono::milliseconds(options_.startup_grace_ms);
+        if (wedged_healthy || wedged_starting) {
+          // Alive but unresponsive: drain, then kill after the grace.
+          replica.state = ReplicaState::kDraining;
+          replica.state_since = now;
+          replica.next_action =
+              now + std::chrono::milliseconds(options_.drain_grace_ms);
+          if (replica.pid > 0) {
+            ::kill(static_cast<pid_t>(replica.pid), SIGTERM);
+          }
+          RT_LOG(Warning) << "replica " << replica.index
+                          << " wedged (probe_failures="
+                          << replica.probe_failures << "); draining";
+        }
+      }
+    }
+    // Interruptible sleep so Stop() returns promptly.
+    int slept = 0;
+    while (running_.load() && slept < options_.probe_interval_ms) {
+      const int slice = std::min(20, options_.probe_interval_ms - slept);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+}  // namespace rt

@@ -1,0 +1,184 @@
+#ifndef RATATOUILLE_SERVE_REPLICA_SUPERVISOR_H_
+#define RATATOUILLE_SERVE_REPLICA_SUPERVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rt {
+
+/// Lifecycle of one supervised backend process.
+///
+///   starting   -> spawned, not yet answering /v1/healthz; covered by
+///                 the startup grace (model load / training).
+///   healthy    -> probes answer; the router may dispatch to it.
+///   draining   -> wedged (probe timeouts) and sent SIGTERM; killed
+///                 with SIGKILL if it out-lives the drain grace.
+///   restarting -> dead and waiting out the exponential backoff before
+///                 the next spawn.
+enum class ReplicaState { kStarting, kHealthy, kDraining, kRestarting };
+
+/// Stable lowercase name, e.g. "healthy" (for /v1/metrics).
+const char* ReplicaStateName(ReplicaState state);
+
+/// One replica as the router sees it.
+struct ReplicaStatus {
+  int index = 0;
+  int port = 0;
+  long long pid = -1;  ///< -1 while no process is running
+  ReplicaState state = ReplicaState::kStarting;
+  /// Times this slot was respawned after its initial spawn.
+  long long restarts = 0;
+  /// Consecutive failed liveness probes (resets on success).
+  long long probe_failures = 0;
+};
+
+/// What the router needs from a set of backends: how many there are,
+/// where they listen, which are dispatchable, and a channel to report
+/// transport-level failures so supervision can react faster than the
+/// next probe tick.
+class ReplicaFleet {
+ public:
+  virtual ~ReplicaFleet() = default;
+
+  virtual int size() const = 0;
+
+  virtual std::vector<ReplicaStatus> Snapshot() const = 0;
+
+  /// The router could not complete an exchange with replica `index`
+  /// (connect refused, mid-response hangup, per-try timeout). Default:
+  /// ignored.
+  virtual void ReportFailure(int index) { (void)index; }
+};
+
+/// A fleet over caller-managed, always-healthy backends — no processes,
+/// no probes. Lets the router (and its tests and bench) run against
+/// in-process BackendServices.
+class StaticFleet : public ReplicaFleet {
+ public:
+  explicit StaticFleet(std::vector<int> ports) : ports_(std::move(ports)) {}
+
+  int size() const override { return static_cast<int>(ports_.size()); }
+
+  std::vector<ReplicaStatus> Snapshot() const override {
+    std::vector<ReplicaStatus> out;
+    out.reserve(ports_.size());
+    for (size_t i = 0; i < ports_.size(); ++i) {
+      ReplicaStatus status;
+      status.index = static_cast<int>(i);
+      status.port = ports_[i];
+      status.state = ReplicaState::kHealthy;
+      out.push_back(status);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<int> ports_;
+};
+
+/// Tuning for the process supervisor.
+struct ReplicaSupervisorOptions {
+  /// argv template for one replica; every occurrence of "{port}" in an
+  /// element is replaced with the replica's port. command[0] is the
+  /// executable path.
+  std::vector<std::string> command;
+  int replicas = 1;
+  /// First replica's port; replica i listens on base_port + i. 0 picks
+  /// free ports at Start(). Ports stay stable across restarts.
+  int base_port = 0;
+  /// Liveness probe cadence and per-probe budget. A probe is one GET
+  /// /v1/healthz over a per-replica keep-alive connection.
+  int probe_interval_ms = 200;
+  int probe_timeout_ms = 500;
+  /// Consecutive failed probes before a live process counts as wedged
+  /// and is drained. Router-reported failures count toward this too.
+  int probe_failures_to_restart = 3;
+  /// How long a fresh spawn may stay unresponsive before it is treated
+  /// as wedged (model load / training happens in this window).
+  int startup_grace_ms = 180000;
+  /// SIGTERM-to-SIGKILL grace when draining a wedged replica (and when
+  /// stopping the fleet).
+  int drain_grace_ms = 2000;
+  /// Exponential restart backoff: initial delay, doubling per
+  /// consecutive restart, capped, with deterministic jitter.
+  int backoff_initial_ms = 100;
+  int backoff_max_ms = 5000;
+  uint64_t jitter_seed = 1;
+};
+
+/// Supervised fleet of fork/exec'd backend processes (the elastic-agent
+/// idiom: spawn, monitor, restart on failure). A monitor thread reaps
+/// exits, probes /v1/healthz, drains wedged replicas (SIGTERM, then
+/// SIGKILL after the grace), and respawns dead ones with exponential
+/// backoff. Probe I/O happens off the state mutex, so Snapshot() never
+/// blocks on a slow replica.
+class ReplicaSupervisor : public ReplicaFleet {
+ public:
+  explicit ReplicaSupervisor(ReplicaSupervisorOptions options);
+  ~ReplicaSupervisor() override;
+
+  ReplicaSupervisor(const ReplicaSupervisor&) = delete;
+  ReplicaSupervisor& operator=(const ReplicaSupervisor&) = delete;
+
+  /// Resolves ports, spawns every replica, starts the monitor.
+  Status Start();
+
+  /// SIGTERMs the fleet, escalates to SIGKILL after the drain grace,
+  /// reaps everything, joins the monitor. Idempotent.
+  void Stop();
+
+  /// Blocks until at least `min_healthy` replicas answer probes, or
+  /// fails after `timeout_ms`.
+  Status WaitHealthy(int min_healthy, int timeout_ms);
+
+  int size() const override;
+  std::vector<ReplicaStatus> Snapshot() const override;
+  void ReportFailure(int index) override;
+
+  /// Fleet-wide respawn count (for /v1/metrics and the chaos gate).
+  long long total_restarts() const;
+
+ private:
+  struct Replica {
+    int index = 0;
+    int port = 0;
+    long long pid = -1;
+    ReplicaState state = ReplicaState::kStarting;
+    long long restarts = 0;
+    int probe_failures = 0;   // consecutive, resets on a good probe
+    int pending_reports = 0;  // router-reported failures since last tick
+    bool ever_spawned = false;
+    int backoff_ms = 0;
+    std::chrono::steady_clock::time_point state_since{};
+    /// kDraining: when to escalate to SIGKILL. kRestarting: when to
+    /// respawn.
+    std::chrono::steady_clock::time_point next_action{};
+  };
+
+  void MonitorLoop();
+  /// Forks and execs replica `index`'s process. Caller holds mutex_.
+  void SpawnLocked(Replica& replica);
+  /// Moves a dead replica into kRestarting with backoff. Caller holds
+  /// mutex_.
+  void ScheduleRestartLocked(Replica& replica);
+
+  ReplicaSupervisorOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Replica> replicas_;
+  Rng jitter_;
+  long long total_restarts_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread monitor_;
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_REPLICA_SUPERVISOR_H_

@@ -1,0 +1,663 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::string SseEvent(const char* type, const Json& data) {
+  return std::string("event: ") + type + "\ndata: " + data.Dump() +
+         "\n\n";
+}
+
+/// Rewrites the forwarded body's timeout_ms to the slice this attempt
+/// actually has, so the replica's own deadline matches the router's
+/// per-try budget instead of the client's whole-request ask. Non-object
+/// bodies pass through untouched.
+std::string ForwardBody(const std::string& body, int timeout_ms) {
+  auto doc = Json::Parse(body);
+  if (!doc.ok() || !doc->is_object()) return body;
+  doc->Set("timeout_ms", timeout_ms);
+  return doc->Dump();
+}
+
+std::string ContentTypeOf(const HttpRequest& request) {
+  const auto it = request.headers.find("content-type");
+  return it != request.headers.end() ? it->second : "application/json";
+}
+
+long long MillisUntil(SteadyClock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             deadline - SteadyClock::now())
+      .count();
+}
+
+/// SSE relays park a worker for their whole duration, same as the
+/// frontend tier — floor the pool so streams cannot starve probes of
+/// the router's own endpoints.
+HttpServerOptions ResolveHttpOptions(HttpServerOptions options,
+                                     int default_timeout_ms) {
+  if (options.num_workers <= 0) {
+    options.num_workers = static_cast<int>(
+        std::max(4u, std::thread::hardware_concurrency()));
+  }
+  if (options.queue_deadline_ms == 0) {
+    options.queue_deadline_ms = default_timeout_ms;
+  }
+  return options;
+}
+
+}  // namespace
+
+Router::Router(ReplicaFleet* fleet, RouterOptions options)
+    : fleet_(fleet),
+      options_(options),
+      server_(ResolveHttpOptions(options.http, options.default_timeout_ms)),
+      jitter_(options.jitter_seed) {
+  slots_.reserve(static_cast<size_t>(fleet_->size()));
+  for (int i = 0; i < fleet_->size(); ++i) {
+    auto slot = std::make_unique<ReplicaSlot>();
+    slot->breaker = std::make_unique<CircuitBreaker>(options_.breaker);
+    slots_.push_back(std::move(slot));
+  }
+  (void)server_.Route("GET", "/v1/healthz", [this](const HttpRequest& req) {
+    return HandleHealthz(req);
+  });
+  (void)server_.Route("GET", "/v1/metrics", [this](const HttpRequest& req) {
+    return HandleMetrics(req);
+  });
+  (void)server_.Route("GET", "/v1/trace", [this](const HttpRequest& req) {
+    return HandleTrace(req);
+  });
+  (void)server_.Route("GET", "/v1/models", [this](const HttpRequest& req) {
+    return HandleModels(req);
+  });
+  (void)server_.RoutePrefix("POST", "/v1/", [this](const HttpRequest& req) {
+    return HandleRoute(req);
+  });
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start(int port) {
+  if (options_.tracing) obs::TraceRecorder::Instance().SetEnabled(true);
+  return server_.Start(port);
+}
+
+void Router::Stop() { server_.Stop(); }
+
+int Router::JitterMs(int base) {
+  std::lock_guard<std::mutex> lock(jitter_mutex_);
+  return static_cast<int>(
+      jitter_.NextBelow(static_cast<uint64_t>(base) + 1));
+}
+
+int Router::TryTimeoutMs(SteadyClock::time_point deadline,
+                         int attempt) const {
+  if (options_.per_try_timeout_ms > 0) return options_.per_try_timeout_ms;
+  const long long remaining = MillisUntil(deadline);
+  const int tries_left = std::max(1, options_.max_tries - attempt);
+  const long long slice = remaining / tries_left;
+  return static_cast<int>(std::max<long long>(
+      slice, options_.min_try_timeout_ms));
+}
+
+bool Router::BackoffBeforeRetry(int attempt,
+                                SteadyClock::time_point deadline) {
+  const long long remaining = MillisUntil(deadline);
+  if (remaining <= 0) return false;
+  int base = options_.retry_backoff_ms;
+  for (int i = 0; i < attempt && base < options_.retry_backoff_max_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, options_.retry_backoff_max_ms);
+  const int delay = static_cast<int>(std::min<long long>(
+      base + JitterMs(base / 2 + 1), remaining - 1));
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
+  return true;
+}
+
+bool Router::PickReplica(const std::set<int>& exclude, Pick* pick) {
+  const std::vector<ReplicaStatus> snapshot = fleet_->Snapshot();
+  std::vector<const ReplicaStatus*> healthy;
+  for (const ReplicaStatus& status : snapshot) {
+    if (status.state != ReplicaState::kHealthy) continue;
+    if (status.index < 0 ||
+        status.index >= static_cast<int>(slots_.size())) {
+      continue;
+    }
+    healthy.push_back(&status);
+  }
+  // Least-loaded first; stable so equal loads fall back to index order.
+  std::stable_sort(healthy.begin(), healthy.end(),
+                   [this](const ReplicaStatus* a, const ReplicaStatus* b) {
+                     return slots_[static_cast<size_t>(a->index)]
+                                ->in_flight.load() <
+                            slots_[static_cast<size_t>(b->index)]
+                                ->in_flight.load();
+                   });
+  // Pass 0 prefers replicas this request has not burned yet; pass 1
+  // lets a retry land on an already-tried (still healthy, still
+  // admitted) replica rather than fail outright.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const ReplicaStatus* status : healthy) {
+      const bool excluded = exclude.count(status->index) > 0;
+      if ((pass == 0) == excluded) continue;
+      ReplicaSlot& slot = *slots_[static_cast<size_t>(status->index)];
+      const CircuitBreaker::Ticket ticket = slot.breaker->Allow();
+      if (ticket == 0) continue;
+      pick->index = status->index;
+      pick->port = status->port;
+      pick->ticket = ticket;
+      return true;
+    }
+  }
+  return false;
+}
+
+HttpResponse Router::HandleRoute(const HttpRequest& request) {
+  // Resolve the whole-request budget exactly like the backend: client
+  // ask capped at the maximum, else the default; anchored at queue
+  // admission so time spent waiting for a worker counts against it.
+  int budget_ms = options_.default_timeout_ms;
+  bool wants_stream = false;
+  if (auto doc = Json::Parse(request.body); doc.ok() && doc->is_object()) {
+    if (const Json& t = doc->Get("timeout_ms");
+        t.is_number() && t.AsNumber() > 0) {
+      budget_ms = std::min(static_cast<int>(t.AsNumber()),
+                           options_.max_timeout_ms);
+    }
+    const Json& stream = doc->Get("stream");
+    wants_stream = stream.is_bool() && stream.AsBool();
+  }
+  const auto admitted =
+      request.admitted_at == SteadyClock::time_point{}
+          ? SteadyClock::now()
+          : request.admitted_at;
+  const auto deadline = admitted + std::chrono::milliseconds(budget_ms);
+  return wants_stream ? RouteStream(request, deadline)
+                      : RouteBuffered(request, deadline);
+}
+
+HttpResponse Router::RouteBuffered(const HttpRequest& request,
+                                   SteadyClock::time_point deadline) {
+  std::set<int> tried;
+  std::string last_transport;
+  bool have_reply = false;
+  int reply_status = 0;
+  std::string reply_body;
+  for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
+    if (MillisUntil(deadline) <= 0) break;
+    Pick pick;
+    if (!PickReplica(tried, &pick)) {
+      route_no_replica_.fetch_add(1);
+      HttpResponse resp =
+          JsonError(503, "no_healthy_replica",
+                    "no replica can accept this request right now",
+                    request.request_id);
+      resp.headers["Retry-After"] = "1";
+      return resp;
+    }
+    tried.insert(pick.index);
+    ReplicaSlot& slot = *slots_[static_cast<size_t>(pick.index)];
+    CircuitBreaker::Outcome outcome(*slot.breaker, pick.ticket);
+    const int try_timeout = TryTimeoutMs(deadline, attempt);
+    HttpCallOptions call;
+    call.timeout_ms = try_timeout;
+    call.headers["x-rt-request-id"] = request.request_id;
+    call.headers["x-rt-trace-id"] = std::to_string(request.trace_id);
+    slot.in_flight.fetch_add(1);
+    slot.dispatched.fetch_add(1);
+    const auto try_start = obs::Now();
+    auto resp = HttpPost(pick.port, request.path,
+                         ForwardBody(request.body, try_timeout),
+                         ContentTypeOf(request), call);
+    slot.in_flight.fetch_sub(1);
+    obs::RecordSpanSince(obs::Stage::kRouteTry, request.trace_id,
+                         try_start, "replica", pick.index);
+    if (!resp.ok()) {
+      // Transport failure: the replica is gone or wedged. Blame it,
+      // tell the supervisor, try another.
+      outcome.Timeout();
+      slot.failures.fetch_add(1);
+      fleet_->ReportFailure(pick.index);
+      route_retries_.fetch_add(1);
+      last_transport = resp.status().message();
+      RT_LOG(Warning) << "route attempt " << attempt << " replica "
+                      << pick.index << " transport error: "
+                      << last_transport
+                      << " request_id=" << request.request_id;
+      if (!BackoffBeforeRetry(attempt, deadline)) break;
+      continue;
+    }
+    const int status = resp->status;
+    if (status == 500 || status == 502) {
+      // The replica answered but generation is broken there; counts
+      // toward its breaker and retries elsewhere.
+      outcome.Timeout();
+      slot.failures.fetch_add(1);
+      route_retries_.fetch_add(1);
+      have_reply = true;
+      reply_status = status;
+      reply_body = resp->body;
+      if (!BackoffBeforeRetry(attempt, deadline)) break;
+      continue;
+    }
+    if (status == 503) {
+      // Overloaded or draining — a capacity signal, not a generation
+      // health signal: the Outcome guard reports the ticket abandoned.
+      route_retries_.fetch_add(1);
+      have_reply = true;
+      reply_status = status;
+      reply_body = resp->body;
+      if (!BackoffBeforeRetry(attempt, deadline)) break;
+      continue;
+    }
+    if (status == 504) {
+      // The budget died inside the replica; retrying cannot help.
+      outcome.Timeout();
+    } else {
+      outcome.Success();
+    }
+    route_ok_.fetch_add(1);
+    HttpResponse out = HttpResponse::JsonBody(resp->body, status);
+    const auto ct = resp->headers.find("content-type");
+    if (ct != resp->headers.end()) out.content_type = ct->second;
+    for (const char* header : {"retry-after", "deprecation"}) {
+      const auto it = resp->headers.find(header);
+      if (it != resp->headers.end()) out.headers[header] = it->second;
+    }
+    return out;
+  }
+  route_exhausted_.fetch_add(1);
+  if (MillisUntil(deadline) <= 0) {
+    return JsonError(504, "deadline_exceeded",
+                     "request budget exhausted while routing",
+                     request.request_id);
+  }
+  if (have_reply) {
+    // Every try got the same class of refusal; relay the last one
+    // rather than invent a new error.
+    return HttpResponse::JsonBody(reply_body, reply_status);
+  }
+  return JsonError(502, "upstream_unreachable",
+                   "no replica completed the request: " + last_transport,
+                   request.request_id);
+}
+
+HttpResponse Router::RouteStream(const HttpRequest& request,
+                                 SteadyClock::time_point deadline) {
+  auto tried = std::make_shared<std::set<int>>();
+  for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
+    if (MillisUntil(deadline) <= 0) break;
+    Pick pick;
+    if (!PickReplica(*tried, &pick)) {
+      route_no_replica_.fetch_add(1);
+      HttpResponse resp =
+          JsonError(503, "no_healthy_replica",
+                    "no replica can accept this request right now",
+                    request.request_id);
+      resp.headers["Retry-After"] = "1";
+      return resp;
+    }
+    tried->insert(pick.index);
+    ReplicaSlot& slot = *slots_[static_cast<size_t>(pick.index)];
+    // The head exchange gets a per-try slice; the generation itself
+    // gets the whole remaining budget, enforced by the replica's own
+    // deadline plus our stall timeout.
+    const int head_timeout = TryTimeoutMs(deadline, attempt);
+    const int remaining = static_cast<int>(
+        std::max<long long>(MillisUntil(deadline), 1));
+    HttpCallOptions call_options;
+    call_options.timeout_ms = head_timeout;
+    call_options.stall_timeout_ms = options_.stream_stall_timeout_ms;
+    call_options.headers["x-rt-request-id"] = request.request_id;
+    call_options.headers["x-rt-trace-id"] =
+        std::to_string(request.trace_id);
+    auto call = std::make_shared<StreamingHttpCall>();
+    slot.in_flight.fetch_add(1);
+    slot.dispatched.fetch_add(1);
+    const auto try_start = obs::Now();
+    const Status opened =
+        call->Open(pick.port, request.path,
+                   ForwardBody(request.body, remaining),
+                   ContentTypeOf(request), call_options);
+    obs::RecordSpanSince(obs::Stage::kRouteTry, request.trace_id,
+                         try_start, "replica", pick.index);
+    if (!opened.ok()) {
+      slot.in_flight.fetch_sub(1);
+      slot.breaker->RecordTimeout(pick.ticket);
+      slot.failures.fetch_add(1);
+      fleet_->ReportFailure(pick.index);
+      route_retries_.fetch_add(1);
+      streams_failed_over_.fetch_add(1);
+      RT_LOG(Warning) << "stream open failed replica " << pick.index
+                      << ": " << opened.message()
+                      << " request_id=" << request.request_id;
+      if (!BackoffBeforeRetry(attempt, deadline)) break;
+      continue;
+    }
+    if (!call->chunked()) {
+      // A buffered reply instead of a stream: pre-stream validation,
+      // shed, or breaker fast-fail. Same retry rules as unary.
+      auto body = call->ReadAll();
+      slot.in_flight.fetch_sub(1);
+      const int status = call->status();
+      if (!body.ok()) {
+        slot.breaker->RecordTimeout(pick.ticket);
+        slot.failures.fetch_add(1);
+        fleet_->ReportFailure(pick.index);
+        route_retries_.fetch_add(1);
+        if (!BackoffBeforeRetry(attempt, deadline)) break;
+        continue;
+      }
+      if (status == 500 || status == 502 || status == 503) {
+        if (status == 503) {
+          slot.breaker->RecordAbandoned(pick.ticket);
+        } else {
+          slot.breaker->RecordTimeout(pick.ticket);
+          slot.failures.fetch_add(1);
+        }
+        route_retries_.fetch_add(1);
+        if (!BackoffBeforeRetry(attempt, deadline)) break;
+        continue;
+      }
+      if (status == 504) {
+        slot.breaker->RecordTimeout(pick.ticket);
+      } else {
+        slot.breaker->RecordSuccess(pick.ticket);
+      }
+      route_ok_.fetch_add(1);
+      return HttpResponse::JsonBody(*std::move(body), status);
+    }
+    // Chunked head arrived: commit to streaming. The call, the ticket,
+    // and the in-flight count move into the relay callback, which runs
+    // on the worker thread after our headers are sent — and always
+    // runs, so nothing leaks when the client is already gone.
+    route_ok_.fetch_add(1);
+    HttpResponse out;
+    out.status = call->status();
+    const auto ct = call->headers().find("content-type");
+    out.content_type = ct != call->headers().end()
+                           ? ct->second
+                           : "text/event-stream";
+    const int index = pick.index;
+    const CircuitBreaker::Ticket ticket = pick.ticket;
+    const std::string request_id = request.request_id;
+    const uint64_t trace_id = request.trace_id;
+    const std::string path = request.path;
+    const std::string body = request.body;
+    const std::string content_type = ContentTypeOf(request);
+    out.stream = [this, call, index, ticket, tried, request_id, trace_id,
+                  path, body, content_type,
+                  deadline](ResponseWriter& writer) mutable {
+      int current = index;
+      CircuitBreaker::Ticket current_ticket = ticket;
+      auto current_call = call;
+      for (;;) {
+        const Status pumped =
+            current_call->Pump([&writer](const std::string& data) {
+              return writer.Write(data);
+            });
+        ReplicaSlot& current_slot =
+            *slots_[static_cast<size_t>(current)];
+        current_slot.in_flight.fetch_sub(1);
+        if (pumped.ok()) {
+          if (writer.dead()) {
+            // The client walked away; the upstream told us nothing
+            // about its own health.
+            current_slot.breaker->RecordAbandoned(current_ticket);
+          } else {
+            current_slot.breaker->RecordSuccess(current_ticket);
+            streams_relayed_.fetch_add(1);
+          }
+          return;
+        }
+        // The upstream died or stalled mid-relay.
+        current_slot.breaker->RecordTimeout(current_ticket);
+        current_slot.failures.fetch_add(1);
+        fleet_->ReportFailure(current);
+        if (current_call->bytes_delivered() == 0 && !writer.dead() &&
+            MillisUntil(deadline) > 0 &&
+            static_cast<int>(tried->size()) < options_.max_tries) {
+          // Zero bytes have reached the client: failover is invisible.
+          Pick next;
+          if (PickReplica(*tried, &next)) {
+            tried->insert(next.index);
+            ReplicaSlot& next_slot =
+                *slots_[static_cast<size_t>(next.index)];
+            HttpCallOptions retry_options;
+            retry_options.timeout_ms = TryTimeoutMs(
+                deadline, static_cast<int>(tried->size()) - 1);
+            retry_options.stall_timeout_ms =
+                options_.stream_stall_timeout_ms;
+            retry_options.headers["x-rt-request-id"] = request_id;
+            retry_options.headers["x-rt-trace-id"] =
+                std::to_string(trace_id);
+            auto next_call = std::make_shared<StreamingHttpCall>();
+            next_slot.in_flight.fetch_add(1);
+            next_slot.dispatched.fetch_add(1);
+            const int remaining_ms = static_cast<int>(
+                std::max<long long>(MillisUntil(deadline), 1));
+            const Status reopened = next_call->Open(
+                next.port, path, ForwardBody(body, remaining_ms),
+                content_type, retry_options);
+            if (reopened.ok() && next_call->chunked()) {
+              streams_failed_over_.fetch_add(1);
+              route_retries_.fetch_add(1);
+              current = next.index;
+              current_ticket = next.ticket;
+              current_call = next_call;
+              continue;
+            }
+            next_slot.in_flight.fetch_sub(1);
+            next_slot.breaker->RecordTimeout(next.ticket);
+            next_slot.failures.fetch_add(1);
+            fleet_->ReportFailure(next.index);
+          }
+        }
+        // Terminal: tell the client the truth in-band.
+        streams_aborted_.fetch_add(1);
+        Json error{Json::Object{}};
+        error.Set("code", "backend_lost");
+        error.Set("message", "backend connection lost mid-stream: " +
+                                 pumped.message());
+        error.Set("request_id", request_id);
+        error.Set("finish_reason", "backend_lost");
+        writer.Write(SseEvent("error", error));
+        return;
+      }
+    };
+    return out;
+  }
+  route_exhausted_.fetch_add(1);
+  if (MillisUntil(deadline) <= 0) {
+    return JsonError(504, "deadline_exceeded",
+                     "request budget exhausted while routing",
+                     request.request_id);
+  }
+  return JsonError(502, "upstream_unreachable",
+                   "no replica could start the stream",
+                   request.request_id);
+}
+
+HttpResponse Router::HandleHealthz(const HttpRequest&) const {
+  int healthy = 0, starting = 0, draining = 0, restarting = 0;
+  const auto snapshot = fleet_->Snapshot();
+  for (const ReplicaStatus& status : snapshot) {
+    switch (status.state) {
+      case ReplicaState::kHealthy:
+        ++healthy;
+        break;
+      case ReplicaState::kStarting:
+        ++starting;
+        break;
+      case ReplicaState::kDraining:
+        ++draining;
+        break;
+      case ReplicaState::kRestarting:
+        ++restarting;
+        break;
+    }
+  }
+  Json body = HealthzJson();
+  body.Set("status", healthy == static_cast<int>(snapshot.size())
+                         ? "ok"
+                         : healthy > 0 ? "degraded" : "unavailable");
+  Json replicas{Json::Object{}};
+  replicas.Set("total", static_cast<double>(snapshot.size()));
+  replicas.Set("healthy", healthy);
+  replicas.Set("starting", starting);
+  replicas.Set("draining", draining);
+  replicas.Set("restarting", restarting);
+  body.Set("replicas", std::move(replicas));
+  HttpResponse resp = HttpResponse::JsonBody(body.Dump(),
+                                             healthy > 0 ? 200 : 503);
+  if (healthy == 0) resp.headers["Retry-After"] = "1";
+  return resp;
+}
+
+Json Router::MetricsJson() const {
+  Json out{Json::Object{}};
+  out.Set("uptime_s", obs::UptimeSeconds());
+  out.Set("requests_total",
+          static_cast<double>(server_.requests_served()));
+  out.Set("requests_rejected",
+          static_cast<double>(server_.requests_rejected()));
+  out.Set("requests_shed", static_cast<double>(server_.requests_shed()));
+  out.Set("route_ok", static_cast<double>(route_ok_.load()));
+  out.Set("route_retries", static_cast<double>(route_retries_.load()));
+  out.Set("route_no_replica",
+          static_cast<double>(route_no_replica_.load()));
+  out.Set("route_exhausted",
+          static_cast<double>(route_exhausted_.load()));
+  out.Set("streams_relayed",
+          static_cast<double>(streams_relayed_.load()));
+  out.Set("streams_failed_over",
+          static_cast<double>(streams_failed_over_.load()));
+  out.Set("streams_aborted",
+          static_cast<double>(streams_aborted_.load()));
+  const auto snapshot = fleet_->Snapshot();
+  int healthy = 0, starting = 0, draining = 0, restarting = 0;
+  long long restarts_total = 0;
+  Json detail{Json::Array{}};
+  for (const ReplicaStatus& status : snapshot) {
+    switch (status.state) {
+      case ReplicaState::kHealthy:
+        ++healthy;
+        break;
+      case ReplicaState::kStarting:
+        ++starting;
+        break;
+      case ReplicaState::kDraining:
+        ++draining;
+        break;
+      case ReplicaState::kRestarting:
+        ++restarting;
+        break;
+    }
+    restarts_total += status.restarts;
+    Json entry{Json::Object{}};
+    entry.Set("index", status.index);
+    entry.Set("port", status.port);
+    entry.Set("pid", static_cast<double>(status.pid));
+    entry.Set("state", std::string(ReplicaStateName(status.state)));
+    entry.Set("restarts", static_cast<double>(status.restarts));
+    entry.Set("probe_failures",
+              static_cast<double>(status.probe_failures));
+    if (status.index >= 0 &&
+        status.index < static_cast<int>(slots_.size())) {
+      const ReplicaSlot& slot =
+          *slots_[static_cast<size_t>(status.index)];
+      entry.Set("in_flight", slot.in_flight.load());
+      entry.Set("dispatched",
+                static_cast<double>(slot.dispatched.load()));
+      entry.Set("failures", static_cast<double>(slot.failures.load()));
+      entry.Set("breaker_state",
+                std::string(slot.breaker->state_name()));
+    }
+    detail.Append(std::move(entry));
+  }
+  Json replicas{Json::Object{}};
+  replicas.Set("total", static_cast<double>(snapshot.size()));
+  replicas.Set("healthy", healthy);
+  replicas.Set("starting", starting);
+  replicas.Set("draining", draining);
+  replicas.Set("restarting", restarting);
+  out.Set("replicas", std::move(replicas));
+  out.Set("replica_restarts_total",
+          static_cast<double>(restarts_total));
+  out.Set("replica_detail", std::move(detail));
+  obs::FillStageMetrics(&out);
+  return out;
+}
+
+HttpResponse Router::HandleMetrics(const HttpRequest& request) const {
+  Json out = MetricsJson();
+  if (request.query.find("format=prometheus") != std::string::npos) {
+    HttpResponse resp;
+    resp.status = 200;
+    resp.content_type = "text/plain; version=0.0.4";
+    resp.body = obs::RenderPrometheus(out);
+    return resp;
+  }
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse Router::HandleTrace(const HttpRequest& request) const {
+  // One track per process: the router's own spans (route_try per
+  // attempt) plus, best effort, every healthy replica's spans. The
+  // forwarded trace ids line the hops up on a shared timeline.
+  Json merged{Json::Array{}};
+  Json own = obs::TraceRecorder::Instance().ExportChromeJson();
+  if (const Json& events = own.Get("traceEvents"); events.is_array()) {
+    for (const Json& event : events.AsArray()) merged.Append(event);
+  }
+  for (const ReplicaStatus& status : fleet_->Snapshot()) {
+    if (status.state != ReplicaState::kHealthy) continue;
+    HttpCallOptions call;
+    call.timeout_ms = 500;
+    auto resp = HttpGet(status.port, "/v1/trace", call);
+    if (!resp.ok() || resp->status != 200) continue;
+    auto doc = Json::Parse(resp->body);
+    if (!doc.ok() || !doc->is_object()) continue;
+    if (const Json& events = doc->Get("traceEvents");
+        events.is_array()) {
+      for (const Json& event : events.AsArray()) merged.Append(event);
+    }
+  }
+  Json out{Json::Object{}};
+  if (const Json& unit = own.Get("displayTimeUnit"); unit.is_string()) {
+    out.Set("displayTimeUnit", unit.AsString());
+  }
+  out.Set("traceEvents", std::move(merged));
+  (void)request;
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse Router::HandleModels(const HttpRequest& request) const {
+  for (const ReplicaStatus& status : fleet_->Snapshot()) {
+    if (status.state != ReplicaState::kHealthy) continue;
+    HttpCallOptions call;
+    call.timeout_ms = 1000;
+    auto resp = HttpGet(status.port, "/v1/models", call);
+    if (!resp.ok()) continue;
+    return HttpResponse::JsonBody(resp->body, resp->status);
+  }
+  HttpResponse resp = JsonError(503, "no_healthy_replica",
+                                "no replica answered /v1/models",
+                                request.request_id);
+  resp.headers["Retry-After"] = "1";
+  return resp;
+}
+
+}  // namespace rt

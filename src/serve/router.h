@@ -1,0 +1,162 @@
+#ifndef RATATOUILLE_SERVE_ROUTER_H_
+#define RATATOUILLE_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/circuit_breaker.h"
+#include "serve/http.h"
+#include "serve/replica_supervisor.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rt {
+
+/// Tuning for the replica router.
+struct RouterOptions {
+  HttpServerOptions http;
+  /// Whole-request budget when the client does not ask (ms); a client
+  /// timeout_ms is honored up to max_timeout_ms, same contract as the
+  /// backend.
+  int default_timeout_ms = 30000;
+  int max_timeout_ms = 120000;
+  /// Dispatch attempts per request (first try + retries), each on a
+  /// different replica while one is available.
+  int max_tries = 3;
+  /// Per-attempt budget (ms). 0 derives it from the request deadline:
+  /// remaining budget split over the attempts left, floored at
+  /// min_try_timeout_ms so late retries still get a usable slice.
+  int per_try_timeout_ms = 0;
+  int min_try_timeout_ms = 250;
+  /// Jittered exponential backoff between retries.
+  int retry_backoff_ms = 25;
+  int retry_backoff_max_ms = 500;
+  uint64_t jitter_seed = 1;
+  /// Longest mid-stream silence tolerated while relaying SSE before the
+  /// upstream counts as lost.
+  int stream_stall_timeout_ms = 30000;
+  /// Per-replica breaker tuning (one CircuitBreaker per replica, so one
+  /// sick replica is ejected without tripping the fleet).
+  CircuitBreakerOptions breaker;
+  /// Record route_try spans in the process trace ring (same contract as
+  /// BackendOptions::tracing; the fleet parent has no backend to flip
+  /// the recorder on, so the router must).
+  bool tracing = true;
+};
+
+/// The routing tier: fronts a ReplicaFleet with least-loaded dispatch,
+/// per-try deadlines, bounded jittered retry onto different replicas,
+/// and per-replica circuit breakers.
+///
+///   POST /v1/*        -> dispatch (buffered or SSE relay)
+///   GET  /v1/models   -> proxied to a healthy replica
+///   GET  /v1/healthz  -> aggregated fleet health (503 when none)
+///   GET  /v1/metrics  -> router counters + per-replica state
+///   GET  /v1/trace    -> own spans merged with replica spans
+///
+/// Failure policy per attempt: transport errors and replica 500/502
+/// count against the replica's breaker and retry elsewhere; replica
+/// 503 (overload/drain) retries elsewhere without blaming generation
+/// health; 504 means the budget is gone and passes through; everything
+/// else (2xx/4xx) is a settled answer. Streams fail over only while
+/// zero body bytes have been relayed — after that a lost backend
+/// yields a terminal SSE error frame with finish_reason
+/// "backend_lost".
+class Router {
+ public:
+  Router(ReplicaFleet* fleet, RouterOptions options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port).
+  Status Start(int port);
+  void Stop();
+  int port() const { return server_.port(); }
+
+  Json MetricsJson() const;
+
+  /// Requests answered by a replica (any settled HTTP answer).
+  long long route_ok() const { return route_ok_.load(); }
+  /// Attempts that failed and were retried on another replica.
+  long long route_retries() const { return route_retries_.load(); }
+  /// Requests answered 503 because no dispatchable replica existed.
+  long long route_no_replica() const { return route_no_replica_.load(); }
+  /// Requests that burned every try without a settled answer.
+  long long route_exhausted() const { return route_exhausted_.load(); }
+  /// Streams that relayed to completion.
+  long long streams_relayed() const { return streams_relayed_.load(); }
+  /// Streams that switched replica before the first relayed byte.
+  long long streams_failed_over() const {
+    return streams_failed_over_.load();
+  }
+  /// Streams that died mid-relay (terminal backend_lost frame sent).
+  long long streams_aborted() const { return streams_aborted_.load(); }
+
+ private:
+  /// Per-replica routing state, index-aligned with the fleet.
+  struct ReplicaSlot {
+    std::unique_ptr<CircuitBreaker> breaker;
+    std::atomic<int> in_flight{0};
+    std::atomic<long long> dispatched{0};
+    std::atomic<long long> failures{0};
+  };
+
+  /// One admitted dispatch attempt.
+  struct Pick {
+    int index = -1;
+    int port = 0;
+    CircuitBreaker::Ticket ticket = 0;
+  };
+
+  /// Least-loaded healthy replica not in `exclude` whose breaker admits
+  /// the request. Falls back to excluded replicas (still healthy, still
+  /// admitted) when nothing else is left — a retry may land on the
+  /// same replica rather than fail outright.
+  bool PickReplica(const std::set<int>& exclude, Pick* pick);
+
+  HttpResponse RouteBuffered(const HttpRequest& request,
+                             std::chrono::steady_clock::time_point deadline);
+  HttpResponse RouteStream(const HttpRequest& request,
+                           std::chrono::steady_clock::time_point deadline);
+  HttpResponse HandleRoute(const HttpRequest& request);
+  HttpResponse HandleHealthz(const HttpRequest& request) const;
+  HttpResponse HandleMetrics(const HttpRequest& request) const;
+  HttpResponse HandleTrace(const HttpRequest& request) const;
+  HttpResponse HandleModels(const HttpRequest& request) const;
+
+  /// Remaining per-try budget for attempt `attempt` (0-based).
+  int TryTimeoutMs(std::chrono::steady_clock::time_point deadline,
+                   int attempt) const;
+  /// Sleeps the jittered backoff for attempt `attempt`, bounded by the
+  /// deadline. False when the deadline would expire first.
+  bool BackoffBeforeRetry(int attempt,
+                          std::chrono::steady_clock::time_point deadline);
+  /// Jitter draws are serialized (Rng is not thread-safe).
+  int JitterMs(int base);
+
+  ReplicaFleet* fleet_;
+  RouterOptions options_;
+  HttpServer server_;
+  std::vector<std::unique_ptr<ReplicaSlot>> slots_;
+  std::mutex jitter_mutex_;
+  Rng jitter_;
+
+  std::atomic<long long> route_ok_{0};
+  std::atomic<long long> route_retries_{0};
+  std::atomic<long long> route_no_replica_{0};
+  std::atomic<long long> route_exhausted_{0};
+  std::atomic<long long> streams_relayed_{0};
+  std::atomic<long long> streams_failed_over_{0};
+  std::atomic<long long> streams_aborted_{0};
+};
+
+}  // namespace rt
+
+#endif  // RATATOUILLE_SERVE_ROUTER_H_

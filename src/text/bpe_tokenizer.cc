@@ -8,6 +8,7 @@
 
 #include "text/special_tokens.h"
 #include "text/word_tokenizer.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace rt {
@@ -220,7 +221,13 @@ StatusOr<BpeTokenizer> BpeTokenizer::LoadFromFile(const std::string& path) {
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Deserialize(buf.str());
+  std::string text = buf.str();
+  if (FaultInjector::Instance().Hit("tokenizer.vocab.corrupt")) {
+    // Injected corruption: mangle the magic header so Deserialize
+    // answers its structured InvalidArgument instead of decoding junk.
+    if (!text.empty()) text[0] = '#';
+  }
+  return Deserialize(text);
 }
 
 std::string BpeTokenizer::Decode(const std::vector<int>& ids) const {

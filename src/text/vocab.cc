@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injection.h"
+
 namespace rt {
 
 int Vocab::AddToken(const std::string& token) {
@@ -94,7 +96,17 @@ StatusOr<Vocab> Vocab::LoadFromFile(const std::string& path) {
   if (!in) return Status::IoError("cannot open for read: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Deserialize(buf.str());
+  std::string text = buf.str();
+  if (FaultInjector::Instance().Hit("tokenizer.vocab.corrupt")) {
+    // Injected corruption: duplicate the first entry, the way a torn
+    // write or bad sector yields a structurally plausible but invalid
+    // file. Deserialize must answer InvalidArgument, not crash.
+    const size_t first_line = text.find('\n');
+    if (first_line != std::string::npos) {
+      text.insert(0, text.substr(0, first_line + 1));
+    }
+  }
+  return Deserialize(text);
 }
 
 }  // namespace rt

@@ -38,6 +38,15 @@ namespace rt {
 ///   trace.export.fail   fail the /v1/trace export (503 envelope; never
 ///                       touches the generate path)
 ///   metrics.render.slow sleep `amount` ms while rendering /v1/metrics
+///   data.load.truncate  chop `amount` (>=1) bytes off a recipes JSONL
+///                       file as it is read (structured load error)
+///   tokenizer.vocab.corrupt  corrupt a vocab/BPE file as it is read
+///                       (structured deserialize error)
+///   replica.exit        replica process _Exit(23)s at the next admission
+///   replica.hang        replica healthz wedges for `amount` ms (the
+///                       supervisor's probe timeout sees a dead replica)
+///   replica.slow-accept sleep `amount` ms before each accept()ed
+///                       connection is queued
 class FaultInjector {
  public:
   /// When and how a fault point fires. Hits are counted per point from

@@ -71,6 +71,8 @@ const char* StageName(Stage stage) {
       return "response_write";
     case Stage::kResponseStreamWrite:
       return "response_stream_write";
+    case Stage::kRouteTry:
+      return "route_try";
   }
   return "unknown";
 }
@@ -179,7 +181,7 @@ void FillStageMetrics(Json* object) {
       Stage::kRequest,       Stage::kQueueWait, Stage::kSessionAcquire,
       Stage::kPrefill,       Stage::kPrefillCached,
       Stage::kBatchStep,     Stage::kSample,    Stage::kResponseWrite,
-      Stage::kResponseStreamWrite};
+      Stage::kResponseStreamWrite, Stage::kRouteTry};
   for (Stage stage : kAll) {
     HistogramFor(stage).FillMetrics(
         std::string("stage_") + StageName(stage) + "_", object);

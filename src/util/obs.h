@@ -53,8 +53,9 @@ enum class Stage : int {
   kSample,          ///< logits -> token-id selection for one row
   kResponseWrite,   ///< serializing + sending the HTTP response
   kResponseStreamWrite,  ///< one SSE chunk write on a streaming response
+  kRouteTry,             ///< one router dispatch attempt against a replica
 };
-inline constexpr int kStageCount = 9;
+inline constexpr int kStageCount = 10;
 
 /// Stable lowercase span/metric name, e.g. "queue_wait".
 const char* StageName(Stage stage);

@@ -176,6 +176,42 @@ TEST(PerModelBreakerTest, OneModelsTimeoutsDoNotFastFailAnother) {
   backend.Stop();
 }
 
+TEST(CircuitBreakerTest, RouterRetrySettlesTicketsOnBothReplicas) {
+  // The router's retry path in miniature: a try on a failing replica
+  // settles that replica's ticket as Timeout, and the retry on the
+  // healthy replica settles its own ticket as Success. Neither breaker
+  // is left with a dangling admission, and only the failing one
+  // accumulates blame.
+  CircuitBreakerOptions options = FastOptions();
+  CircuitBreaker failing(options);
+  CircuitBreaker healthy(options);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    {
+      CircuitBreaker::Outcome outcome(failing, failing.Allow());
+      outcome.Timeout();  // transport error / 500 from this replica
+    }
+    {
+      CircuitBreaker::Outcome outcome(healthy, healthy.Allow());
+      outcome.Success();  // the retry lands and completes
+    }
+  }
+  EXPECT_EQ(failing.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(healthy.state(), CircuitBreaker::State::kClosed);
+
+  // A 503 from a replica is no verdict on its generation health: the
+  // router abandons the ticket (Outcome guard, no explicit settle) and
+  // the breaker must neither trip nor count a sample.
+  CircuitBreaker shedding(options);
+  for (int i = 0; i < 8; ++i) {
+    CircuitBreaker::Outcome outcome(shedding, shedding.Allow());
+  }
+  EXPECT_EQ(shedding.state(), CircuitBreaker::State::kClosed);
+  const CircuitBreaker::Ticket after = shedding.Allow();
+  EXPECT_NE(after, 0u);
+  shedding.RecordSuccess(after);
+}
+
 TEST(PerModelBreakerTest, MaxBatchRaisesSessionsAndShowsInMetrics) {
   BackendOptions options;
   options.model_sessions = 2;

@@ -16,8 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include "data/recipe_io.h"
 #include "serve/backend_service.h"
 #include "serve/http.h"
+#include "text/bpe_tokenizer.h"
+#include "text/vocab.h"
 #include "util/fault_injection.h"
 #include "util/json.h"
 
@@ -419,6 +422,81 @@ TEST_F(FaultInjectionServeTest, SlowlorisHeaderTrickleGets408) {
   EXPECT_NE(out.find("408"), std::string::npos) << out;
   EXPECT_NE(out.find("request_timeout"), std::string::npos) << out;
   server.Stop();
+}
+
+TEST_F(FaultInjectionServeTest, DataLoadTruncateSurfacesStructuredError) {
+  // A torn read of the recipes file must surface as a structured
+  // InvalidArgument naming the bad line — never a crash or a silently
+  // smaller dataset.
+  std::vector<Recipe> recipes(3);
+  for (int i = 0; i < 3; ++i) {
+    recipes[i].id = i;
+    recipes[i].title = "dish " + std::to_string(i);
+    recipes[i].ingredients.push_back({"1", "", "rice", ""});
+    recipes[i].instructions = {"cook"};
+  }
+  const std::string path = testing::TempDir() + "/fault_recipes.jsonl";
+  ASSERT_TRUE(SaveRecipesJsonl(recipes, path).ok());
+
+  FaultInjector::FaultSpec spec;
+  spec.count = 1;
+  spec.amount = 10;  // chop mid-record: last line no longer parses
+  FaultInjector::Instance().Arm("data.load.truncate", spec);
+  auto truncated = LoadRecipesJsonl(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("line"), std::string::npos)
+      << truncated.status().ToString();
+  EXPECT_EQ(FaultInjector::Instance().fires("data.load.truncate"), 1);
+
+  // The fault fired once and the file on disk is untouched: the next
+  // load round-trips all three records.
+  auto clean = LoadRecipesJsonl(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->size(), 3u);
+  EXPECT_EQ((*clean)[2].title, "dish 2");
+}
+
+TEST_F(FaultInjectionServeTest, VocabCorruptionSurfacesDuplicateToken) {
+  Vocab vocab;
+  vocab.AddToken("<pad>");
+  vocab.AddToken("stir");
+  vocab.AddToken("pot");
+  const std::string path = testing::TempDir() + "/fault_vocab.txt";
+  ASSERT_TRUE(vocab.SaveToFile(path).ok());
+
+  FaultInjector::FaultSpec spec;
+  spec.count = 1;
+  FaultInjector::Instance().Arm("tokenizer.vocab.corrupt", spec);
+  auto corrupt = Vocab::LoadFromFile(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("duplicate token"),
+            std::string::npos)
+      << corrupt.status().ToString();
+
+  auto clean = Vocab::LoadFromFile(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->size(), 3);
+  EXPECT_EQ(clean->GetId("pot"), 2);
+}
+
+TEST_F(FaultInjectionServeTest, BpeCorruptionSurfacesBadHeader) {
+  BpeTokenizer bpe = BpeTokenizer::Train(
+      {"stir the pot", "stir the broth", "the pot simmers"}, 64);
+  const std::string path = testing::TempDir() + "/fault_bpe.txt";
+  ASSERT_TRUE(bpe.SaveToFile(path).ok());
+
+  FaultInjector::FaultSpec spec;
+  spec.count = 1;
+  FaultInjector::Instance().Arm("tokenizer.vocab.corrupt", spec);
+  auto corrupt = BpeTokenizer::LoadFromFile(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_NE(corrupt.status().message().find("bad BPE header"),
+            std::string::npos)
+      << corrupt.status().ToString();
+
+  auto clean = BpeTokenizer::LoadFromFile(path);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_EQ(clean->vocab().size(), bpe.vocab().size());
 }
 
 TEST_F(FaultInjectionServeTest, StopCancelsInFlightGeneration) {

@@ -7,7 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <functional>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -115,6 +118,85 @@ TEST_F(HttpRobustnessTest, HeaderCaseInsensitivity) {
       "POST /echo HTTP/1.1\r\nhOsT: x\r\ncOntent-LENGTH: 3\r\n\r\nabc";
   std::string resp = RawExchange(server_.port(), req);
   EXPECT_NE(resp.find("abc"), std::string::npos);
+}
+
+/// A raw listener that accepts one connection, drains the request, and
+/// runs `respond(fd)` — for abusing the *client* side of the stack.
+class OneShotRawServer {
+ public:
+  explicit OneShotRawServer(std::function<void(int fd)> respond)
+      : respond_(std::move(respond)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    (void)::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr));
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        &len);
+    port_ = ntohs(addr.sin_port);
+    (void)::listen(listen_fd_, 1);
+    thread_ = std::thread([this] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      char buf[4096];
+      (void)::recv(fd, buf, sizeof(buf), 0);
+      respond_(fd);
+      ::close(fd);
+    });
+  }
+
+  ~OneShotRawServer() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int port() const { return port_; }
+
+ private:
+  std::function<void(int)> respond_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+TEST(HttpClientRobustnessTest, OversizedResponseHeadIsRejected) {
+  // A server that streams headers forever must trip the client's
+  // 64 KiB head cap — bounded memory, structured error, no hang.
+  OneShotRawServer server([](int fd) {
+    const std::string status = "HTTP/1.1 200 OK\r\n";
+    (void)::send(fd, status.data(), status.size(), MSG_NOSIGNAL);
+    const std::string line = "x-padding: " + std::string(1000, 'a') + "\r\n";
+    for (int i = 0; i < 80; ++i) {  // ~80 KB of headers, no terminator
+      if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) <= 0) return;
+    }
+  });
+  auto resp = HttpGet(server.port(), "/anything");
+  ASSERT_FALSE(resp.ok());
+  EXPECT_NE(resp.status().message().find("64 KiB cap"), std::string::npos)
+      << resp.status().ToString();
+}
+
+TEST(HttpClientRobustnessTest, ClientTimeoutAgainstSilentServer) {
+  // The server accepts and never answers. With a timeout_ms budget the
+  // client must give up promptly instead of blocking in recv forever.
+  OneShotRawServer server([](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2000));
+  });
+  HttpCallOptions call;
+  call.timeout_ms = 150;
+  const auto start = std::chrono::steady_clock::now();
+  auto resp = HttpGet(server.port(), "/silent", call);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_FALSE(resp.ok());
+  EXPECT_NE(resp.status().message().find("timed out"), std::string::npos)
+      << resp.status().ToString();
+  EXPECT_LT(elapsed, 1500);
 }
 
 }  // namespace

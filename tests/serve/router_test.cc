@@ -1,0 +1,703 @@
+// The routing tier end to end: least-loaded dispatch over a StaticFleet,
+// retry/failover with circuit-breaker ticket settlement on both the
+// failed and the succeeding replica, SSE failover before the first byte
+// vs terminal backend_lost after it, process supervision (spawn,
+// SIGKILL restart, wedged drain), and the seeded chaos soak that
+// asserts clients never see an unexpected error while the fleet is
+// being broken on purpose.
+//
+// This binary doubles as its own replica: `router_test
+// --rt-replica-stub --port=N` runs a cheap BackendService (fault admin
+// enabled, no model) that the ReplicaSupervisor tests fork/exec.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/chaos.h"
+#include "serve/replica_supervisor.h"
+#include "serve/router.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+/// One parsed SSE frame.
+struct SseFrame {
+  std::string type;
+  Json data;
+};
+
+std::vector<SseFrame> ParseSse(const std::string& body) {
+  std::vector<SseFrame> frames;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t end = body.find("\n\n", pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string block = body.substr(pos, end - pos);
+    pos = end + 2;
+    SseFrame frame;
+    size_t line_start = 0;
+    while (line_start < block.size()) {
+      size_t line_end = block.find('\n', line_start);
+      if (line_end == std::string::npos) line_end = block.size();
+      const std::string line =
+          block.substr(line_start, line_end - line_start);
+      line_start = line_end + 1;
+      if (line.rfind("event: ", 0) == 0) {
+        frame.type = line.substr(7);
+      } else if (line.rfind("data: ", 0) == 0) {
+        if (auto doc = Json::Parse(line.substr(6)); doc.ok()) {
+          frame.data = *std::move(doc);
+        }
+      }
+    }
+    if (!frame.type.empty()) frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+/// A session callback that streams three tokens then finishes cleanly.
+StatusOr<GenerateOutcome> StubGenerate(const GenerateRequest& req) {
+  const std::vector<std::pair<int, std::string>> tokens = {
+      {11, "stir"}, {12, " the"}, {13, " pot"}};
+  for (const auto& [id, text] : tokens) {
+    if (req.on_token) req.on_token(id, text);
+  }
+  GenerateOutcome out;
+  out.recipe.title = "stub dish";
+  out.recipe.ingredients.push_back({"1", "cup", "broth", ""});
+  out.recipe.instructions = {"stir the pot"};
+  out.finish = FinishReason::kStopToken;
+  out.tokens_generated = static_cast<long long>(tokens.size());
+  out.prompt_tokens = static_cast<long long>(req.ingredients.size()) + 2;
+  return out;
+}
+
+BackendService::SessionFactory StubFactory() {
+  return [](int) -> BackendService::GenerateFn { return StubGenerate; };
+}
+
+std::unique_ptr<BackendService> StartStubBackend(
+    bool fault_admin = false) {
+  BackendOptions options;
+  options.model_sessions = 4;
+  options.models = {"stub"};
+  options.enable_fault_admin = fault_admin;
+  // One-core CI boxes resolve hardware_concurrency to 1; a supervisor
+  // probe pins a worker via keep-alive, so a single-worker replica
+  // would starve every real request.
+  options.http.num_workers = 8;
+  auto backend =
+      std::make_unique<BackendService>(StubFactory(), options);
+  EXPECT_TRUE(backend->Start(0).ok());
+  return backend;
+}
+
+/// Binds and immediately releases an ephemeral port: connecting to it
+/// afterwards is refused, which is exactly what a dead replica looks
+/// like to the router.
+int DeadPort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  (void)::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  (void)::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+/// A raw one-connection "backend" that commits an SSE head, delivers
+/// one token frame, then drops the connection without the terminal
+/// chunk — the shape of a replica dying mid-stream.
+class FlakyStreamBackend {
+ public:
+  FlakyStreamBackend() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    (void)::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr));
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        &len);
+    port_ = ntohs(addr.sin_port);
+    (void)::listen(listen_fd_, 4);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~FlakyStreamBackend() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int port() const { return port_; }
+
+ private:
+  void Serve() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    // Drain the request head (best effort; one read is enough for the
+    // loopback-sized requests the router sends).
+    char buf[4096];
+    (void)::recv(fd, buf, sizeof(buf), 0);
+    const std::string payload =
+        "event: token\ndata: {\"index\":0,\"text\":\"stir\"}\n\n";
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "HTTP/1.1 200 OK\r\n"
+                  "Content-Type: text/event-stream\r\n"
+                  "Transfer-Encoding: chunked\r\n\r\n"
+                  "%zx\r\n",
+                  payload.size());
+    (void)::send(fd, head, std::strlen(head), MSG_NOSIGNAL);
+    (void)::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL);
+    (void)::send(fd, "\r\n", 2, MSG_NOSIGNAL);
+    // Let the relay forward the first frame before the line goes dead.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ::close(fd);
+  }
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+RouterOptions FastRouterOptions() {
+  RouterOptions options;
+  options.default_timeout_ms = 10000;
+  options.min_try_timeout_ms = 200;
+  options.retry_backoff_ms = 5;
+  options.retry_backoff_max_ms = 20;
+  return options;
+}
+
+Json RouterMetrics(const Router& router) { return router.MetricsJson(); }
+
+const Json& ReplicaDetail(const Json& metrics, int index) {
+  const Json& detail = metrics.Get("replica_detail");
+  return detail.AsArray()[static_cast<size_t>(index)];
+}
+
+// ---------------------------------------------------------------------------
+// StaticFleet routing
+
+TEST(RouterTest, DispatchesBufferedRequestAcrossFleet) {
+  auto backend_a = StartStubBackend();
+  auto backend_b = StartStubBackend();
+  StaticFleet fleet({backend_a->port(), backend_b->port()});
+  Router router(&fleet, FastRouterOptions());
+  ASSERT_TRUE(router.Start(0).ok());
+
+  for (int i = 0; i < 6; ++i) {
+    auto resp = HttpPost(router.port(), "/v1/generate",
+                         R"({"ingredients":["broth"]})");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200);
+    auto doc = Json::Parse(resp->body);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc->Get("recipe").Get("title").AsString(), "stub dish");
+  }
+  EXPECT_EQ(router.route_ok(), 6);
+  EXPECT_EQ(router.route_retries(), 0);
+
+  const Json metrics = RouterMetrics(router);
+  EXPECT_EQ(metrics.Get("replicas").Get("healthy").AsNumber(), 2);
+  const double dispatched_a =
+      ReplicaDetail(metrics, 0).Get("dispatched").AsNumber();
+  const double dispatched_b =
+      ReplicaDetail(metrics, 1).Get("dispatched").AsNumber();
+  EXPECT_EQ(dispatched_a + dispatched_b, 6);
+  router.Stop();
+}
+
+TEST(RouterTest, AggregatedHealthzReportsFleet) {
+  auto backend = StartStubBackend();
+  StaticFleet fleet({backend->port()});
+  Router router(&fleet, FastRouterOptions());
+  ASSERT_TRUE(router.Start(0).ok());
+
+  auto resp = HttpGet(router.port(), "/v1/healthz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("status").AsString(), "ok");
+  EXPECT_EQ(doc->Get("replicas").Get("healthy").AsNumber(), 1);
+  router.Stop();
+}
+
+TEST(RouterTest, RetriesOntoHealthyReplicaAndSettlesBothTickets) {
+  // Replica 0 is a dead port, replica 1 answers. Every request must
+  // succeed via failover, the dead slot's breaker must absorb the
+  // timeouts (and trip), and the live slot's breaker must stay closed
+  // — which proves the retry path settles the ticket on BOTH sides
+  // instead of leaking tickets on the failed attempt.
+  auto backend = StartStubBackend();
+  RouterOptions options = FastRouterOptions();
+  options.breaker.window = 8;
+  options.breaker.min_samples = 3;
+  options.breaker.trip_ratio = 0.5;
+  options.breaker.cooldown_ms = 60000;  // stays open for the test
+  StaticFleet fleet({DeadPort(), backend->port()});
+  Router router(&fleet, options);
+  ASSERT_TRUE(router.Start(0).ok());
+
+  for (int i = 0; i < 8; ++i) {
+    auto resp = HttpPost(router.port(), "/v1/generate",
+                         R"({"ingredients":["broth"]})");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200) << "request " << i;
+  }
+  EXPECT_EQ(router.route_ok(), 8);
+  EXPECT_GE(router.route_retries(), 3);
+
+  const Json metrics = RouterMetrics(router);
+  const Json& dead = ReplicaDetail(metrics, 0);
+  const Json& live = ReplicaDetail(metrics, 1);
+  EXPECT_GE(dead.Get("failures").AsNumber(), 3);
+  // Recorded timeouts tripped the dead replica's breaker; once open,
+  // later requests skip it entirely (no new failures pile up forever).
+  EXPECT_EQ(dead.Get("breaker_state").AsString(), "open");
+  EXPECT_EQ(live.Get("breaker_state").AsString(), "closed");
+  EXPECT_EQ(live.Get("failures").AsNumber(), 0);
+  EXPECT_EQ(live.Get("dispatched").AsNumber(), 8);
+  router.Stop();
+}
+
+TEST(RouterTest, AnswersNoReplica503WhenFleetIsEmpty) {
+  StaticFleet fleet({});
+  Router router(&fleet, FastRouterOptions());
+  ASSERT_TRUE(router.Start(0).ok());
+
+  auto resp = HttpPost(router.port(), "/v1/generate",
+                       R"({"ingredients":["broth"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 503);
+  EXPECT_EQ(resp->headers.count("retry-after"), 1u);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("error").Get("code").AsString(),
+            "no_healthy_replica");
+  EXPECT_EQ(router.route_no_replica(), 1);
+
+  auto health = HttpGet(router.port(), "/v1/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
+  router.Stop();
+}
+
+TEST(RouterTest, ClientValidationErrorsAreNotRetried) {
+  auto backend = StartStubBackend();
+  StaticFleet fleet({backend->port()});
+  Router router(&fleet, FastRouterOptions());
+  ASSERT_TRUE(router.Start(0).ok());
+
+  auto resp = HttpPost(router.port(), "/v1/generate",
+                       R"({"ingredients":[]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+  EXPECT_EQ(router.route_retries(), 0);
+  EXPECT_EQ(router.route_ok(), 1);  // a settled answer, relayed as-is
+  router.Stop();
+}
+
+TEST(RouterTest, StreamFailsOverBeforeFirstByte) {
+  // First pick is a dead port; the stream must open on the healthy
+  // replica instead, invisibly to the client.
+  auto backend = StartStubBackend();
+  StaticFleet fleet({DeadPort(), backend->port()});
+  Router router(&fleet, FastRouterOptions());
+  ASSERT_TRUE(router.Start(0).ok());
+
+  auto resp = HttpPost(router.port(), "/v1/generate",
+                       R"({"ingredients":["broth"],"stream":true})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  std::vector<SseFrame> frames = ParseSse(resp->body);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(frames.front().type, "token");
+  EXPECT_EQ(frames.back().type, "done");
+  EXPECT_GE(router.streams_failed_over(), 1);
+  EXPECT_EQ(router.streams_relayed(), 1);
+  EXPECT_EQ(router.streams_aborted(), 0);
+  router.Stop();
+}
+
+TEST(RouterTest, MidStreamLossEmitsTerminalBackendLostFrame) {
+  // The fake backend delivers one token then drops the connection.
+  // Bytes already reached the client, so failover is off the table:
+  // the relay must end the stream with a structured error frame, not
+  // silence.
+  FlakyStreamBackend flaky;
+  StaticFleet fleet({flaky.port()});
+  RouterOptions options = FastRouterOptions();
+  options.stream_stall_timeout_ms = 2000;
+  Router router(&fleet, options);
+  ASSERT_TRUE(router.Start(0).ok());
+
+  auto resp = HttpPost(router.port(), "/v1/generate",
+                       R"({"ingredients":["broth"],"stream":true})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  std::vector<SseFrame> frames = ParseSse(resp->body);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(frames.front().type, "token");
+  EXPECT_EQ(frames.back().type, "error");
+  EXPECT_EQ(frames.back().data.Get("code").AsString(), "backend_lost");
+  EXPECT_EQ(frames.back().data.Get("finish_reason").AsString(),
+            "backend_lost");
+  EXPECT_TRUE(frames.back().data.Get("request_id").is_string());
+  EXPECT_EQ(router.streams_aborted(), 1);
+  EXPECT_EQ(router.streams_relayed(), 0);
+  router.Stop();
+}
+
+TEST(RouterTest, ForwardsTraceAndRequestIdsToReplica) {
+  auto backend = StartStubBackend();
+  StaticFleet fleet({backend->port()});
+  Router router(&fleet, FastRouterOptions());
+  ASSERT_TRUE(router.Start(0).ok());
+
+  auto resp = HttpPost(router.port(), "/v1/generate",
+                       R"({"ingredients":["broth"]})");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  auto doc = Json::Parse(resp->body);
+  ASSERT_TRUE(doc.ok());
+  // The replica echoes the request id it served; with header
+  // propagation it is the router's id, not a replica-minted one. The
+  // router's ids are "req-<router_port>-<n>".
+  const std::string served_id = doc->Get("request_id").AsString();
+  EXPECT_NE(served_id.find("req-" + std::to_string(router.port())),
+            std::string::npos)
+      << served_id;
+
+  // The merged trace surfaces the router's route_try span.
+  auto trace = HttpGet(router.port(), "/v1/trace");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NE(trace->body.find("route_try"), std::string::npos);
+  router.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Process supervision
+
+/// Command template for spawning this binary as a replica stub.
+std::vector<std::string> StubCommand() {
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  EXPECT_GT(n, 0);
+  exe[n > 0 ? n : 0] = '\0';
+  return {exe, "--rt-replica-stub", "--port={port}"};
+}
+
+ReplicaSupervisorOptions FastSupervisorOptions(int replicas) {
+  ReplicaSupervisorOptions options;
+  options.command = StubCommand();
+  options.replicas = replicas;
+  options.probe_interval_ms = 100;
+  options.probe_timeout_ms = 500;
+  options.probe_failures_to_restart = 3;
+  options.startup_grace_ms = 30000;
+  options.drain_grace_ms = 1000;
+  options.backoff_initial_ms = 50;
+  options.backoff_max_ms = 500;
+  return options;
+}
+
+long long PidOfReplica(const ReplicaSupervisor& supervisor, int index) {
+  for (const ReplicaStatus& status : supervisor.Snapshot()) {
+    if (status.index == index) return status.pid;
+  }
+  return -1;
+}
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return pred();
+}
+
+TEST(ReplicaSupervisorTest, SpawnsFleetAndReportsHealthy) {
+  ReplicaSupervisor supervisor(FastSupervisorOptions(2));
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.WaitHealthy(2, 30000).ok());
+
+  const auto snapshot = supervisor.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_NE(snapshot[0].port, snapshot[1].port);
+  for (const ReplicaStatus& status : snapshot) {
+    EXPECT_EQ(status.state, ReplicaState::kHealthy);
+    EXPECT_GT(status.pid, 0);
+    // Each replica really answers HTTP on its own port.
+    auto resp = HttpGet(status.port, "/v1/healthz");
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->status, 200);
+  }
+  EXPECT_EQ(supervisor.total_restarts(), 0);
+  supervisor.Stop();
+  // Stop reaps: the processes are gone.
+  for (const ReplicaStatus& status : snapshot) {
+    EXPECT_EQ(::kill(static_cast<pid_t>(status.pid), 0), -1);
+  }
+}
+
+TEST(ReplicaSupervisorTest, RestartsSigkilledReplica) {
+  ReplicaSupervisor supervisor(FastSupervisorOptions(2));
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.WaitHealthy(2, 30000).ok());
+
+  const long long victim = PidOfReplica(supervisor, 0);
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(static_cast<pid_t>(victim), SIGKILL), 0);
+
+  // The monitor reaps the corpse, backs off, respawns, and the new
+  // process comes back healthy on the SAME port.
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        const auto snapshot = supervisor.Snapshot();
+        return snapshot[0].state == ReplicaState::kHealthy &&
+               snapshot[0].pid > 0 && snapshot[0].pid != victim;
+      },
+      30000));
+  EXPECT_GE(supervisor.total_restarts(), 1);
+  const auto snapshot = supervisor.Snapshot();
+  EXPECT_EQ(snapshot[0].restarts, 1);
+  EXPECT_EQ(snapshot[1].restarts, 0);
+  supervisor.Stop();
+}
+
+TEST(ReplicaSupervisorTest, DrainsWedgedReplicaAndRestartsIt) {
+  ReplicaSupervisor supervisor(FastSupervisorOptions(1));
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.WaitHealthy(1, 30000).ok());
+  const auto before = supervisor.Snapshot();
+  const long long victim = before[0].pid;
+
+  // Wedge the replica's healthz for far longer than the probe budget:
+  // probes time out, the supervisor drains (SIGTERM, then SIGKILL) and
+  // respawns.
+  auto armed = HttpPost(before[0].port, "/v1/admin/fault",
+                        R"({"point":"replica.hang","amount":10000,)"
+                        R"("count":100})");
+  ASSERT_TRUE(armed.ok());
+  ASSERT_EQ(armed->status, 200);
+
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        const auto snapshot = supervisor.Snapshot();
+        return snapshot[0].state == ReplicaState::kHealthy &&
+               snapshot[0].pid != victim;
+      },
+      60000));
+  EXPECT_GE(supervisor.total_restarts(), 1);
+  supervisor.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak
+
+TEST(ChaosSoakTest, SeededChaosNeverSurfacesUnexpectedClientErrors) {
+  // Sanitized builds run everything 5-20x slower; shrink the load so
+  // the soak stays inside CI budgets while still crossing many chaos
+  // ticks.
+  const bool sanitized =
+      std::string(obs::GetBuildInfo().sanitizer) != "none";
+  const int kRequests = sanitized ? 60 : 200;
+  const int kClients = 4;
+
+  ReplicaSupervisor supervisor(FastSupervisorOptions(3));
+  ASSERT_TRUE(supervisor.Start().ok());
+  ASSERT_TRUE(supervisor.WaitHealthy(3, 60000).ok());
+
+  RouterOptions router_options = FastRouterOptions();
+  router_options.default_timeout_ms = 15000;
+  Router router(&supervisor, router_options);
+  ASSERT_TRUE(router.Start(0).ok());
+
+  ChaosOptions chaos_options;
+  chaos_options.seed = 20260808;
+  chaos_options.interval_ms = sanitized ? 600 : 250;
+  ChaosDriver chaos(&supervisor, chaos_options);
+  chaos.Start();
+
+  std::atomic<int> issued{0};
+  std::atomic<int> ok_buffered{0};
+  std::atomic<int> ok_streamed{0};
+  std::atomic<int> allowed_503{0};
+  std::atomic<int> stream_error_frames{0};
+  std::vector<std::string> violations;
+  std::mutex violations_mutex;
+  auto record_violation = [&](const std::string& what) {
+    std::lock_guard<std::mutex> lock(violations_mutex);
+    violations.push_back(what);
+  };
+
+  auto client = [&](int client_index) {
+    for (;;) {
+      const int i = issued.fetch_add(1);
+      if (i >= kRequests) return;
+      const bool stream = (i % 3) == 0;
+      const std::string body =
+          stream ? R"({"ingredients":["broth"],"stream":true})"
+                 : R"({"ingredients":["broth"]})";
+      HttpCallOptions call;
+      call.timeout_ms = 20000;
+      call.stall_timeout_ms = 20000;
+      auto resp = HttpPost(router.port(), "/v1/generate", body,
+                           "application/json", call);
+      if (!resp.ok()) {
+        record_violation("transport error from router: " +
+                         resp.status().ToString());
+        continue;
+      }
+      if (resp->status == 503) {
+        // The one allowed refusal: whole fleet momentarily down or
+        // overloaded, structured and retryable.
+        allowed_503.fetch_add(1);
+        continue;
+      }
+      if (resp->status != 200) {
+        record_violation("unexpected status " +
+                         std::to_string(resp->status) + ": " +
+                         resp->body.substr(0, 200));
+        continue;
+      }
+      if (!stream) {
+        ok_buffered.fetch_add(1);
+        continue;
+      }
+      // A 200 stream must end in a terminal frame — done, or a
+      // structured error frame. Silent truncation is the bug class
+      // this whole PR exists to kill.
+      std::vector<SseFrame> frames = ParseSse(resp->body);
+      if (frames.empty()) {
+        record_violation("stream with no frames");
+        continue;
+      }
+      const SseFrame& last = frames.back();
+      if (last.type == "done") {
+        ok_streamed.fetch_add(1);
+      } else if (last.type == "error") {
+        const std::string code = last.data.Get("code").is_string()
+                                     ? last.data.Get("code").AsString()
+                                     : "";
+        if (code == "backend_lost" || code == "generation_failed" ||
+            code == "deadline_exceeded") {
+          stream_error_frames.fetch_add(1);
+        } else {
+          record_violation("unexpected stream error code: " + code);
+        }
+      } else {
+        record_violation("stream truncated without terminal frame, "
+                         "last=" +
+                         last.type);
+      }
+    }
+    (void)client_index;
+  };
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) clients.emplace_back(client, c);
+
+  // Mid-load, on top of the chaos schedule, SIGKILL one replica by
+  // hand and verify the supervisor brings it back. Kill early — the
+  // stub answers in microseconds, so a late kill would land after the
+  // load already drained.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const long long victim = PidOfReplica(supervisor, 1);
+  if (victim > 0) (void)::kill(static_cast<pid_t>(victim), SIGKILL);
+
+  for (auto& t : clients) t.join();
+  chaos.Stop();
+
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: " << violations[0];
+  EXPECT_GT(ok_buffered.load() + ok_streamed.load(), 0);
+
+  // The fleet heals: the kill shows up as a restart in the aggregated
+  // metrics AND every replica comes back healthy. Both conditions in
+  // one wait — healthy==3 alone is satisfied before the supervisor
+  // even notices the corpse.
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        const Json metrics = router.MetricsJson();
+        return metrics.Get("replica_restarts_total").AsNumber() >= 1 &&
+               metrics.Get("replicas").Get("healthy").AsNumber() == 3;
+      },
+      60000));
+  const Json metrics = router.MetricsJson();
+  EXPECT_GE(metrics.Get("replica_restarts_total").AsNumber(), 1);
+  EXPECT_EQ(metrics.Get("replicas").Get("total").AsNumber(), 3);
+
+  router.Stop();
+  supervisor.Stop();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Replica-stub mode
+
+/// `router_test --rt-replica-stub --port=N`: a minimal backend replica
+/// (stub generation, fault admin on) for the supervisor tests to
+/// fork/exec. Runs until killed.
+int RunReplicaStub(int argc, char** argv) {
+  int port = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = std::atoi(argv[i] + 7);
+    }
+  }
+  BackendOptions options;
+  options.model_sessions = 4;
+  options.models = {"stub"};
+  options.enable_fault_admin = true;
+  options.http.num_workers = 8;  // see StartStubBackend
+  BackendService backend(StubFactory(), options);
+  if (!backend.Start(port).ok()) return 1;
+  for (;;) ::pause();
+}
+
+}  // namespace rt
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--rt-replica-stub") == 0) {
+    return rt::RunReplicaStub(argc, argv);
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

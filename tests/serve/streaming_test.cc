@@ -3,8 +3,15 @@
 // disconnect and deadline teardown mid-stream, and the relay through
 // the frontend proxy (the full web stack) at max_batch=4.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -315,6 +322,91 @@ TEST(StreamingStackTest, SseRelaysThroughTheFrontendAtMaxBatch4) {
 
   frontend.Stop();
   backend.Stop();
+}
+
+/// A raw-socket "backend" that sends a chunked SSE head plus one token
+/// frame, then closes the connection without the terminal chunk — the
+/// wire signature of a backend process dying mid-stream.
+class DyingStreamBackend {
+ public:
+  DyingStreamBackend() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    (void)::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr));
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        &len);
+    port_ = ntohs(addr.sin_port);
+    (void)::listen(listen_fd_, 4);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~DyingStreamBackend() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int port() const { return port_; }
+
+ private:
+  void Serve() {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    char buf[4096];
+    (void)::recv(fd, buf, sizeof(buf), 0);
+    const std::string payload =
+        "event: token\ndata: {\"index\":0,\"text\":\"stir\"}\n\n";
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "HTTP/1.1 200 OK\r\n"
+                  "Content-Type: text/event-stream\r\n"
+                  "Transfer-Encoding: chunked\r\n\r\n"
+                  "%zx\r\n",
+                  payload.size());
+    (void)::send(fd, head, std::strlen(head), MSG_NOSIGNAL);
+    (void)::send(fd, payload.data(), payload.size(), MSG_NOSIGNAL);
+    (void)::send(fd, "\r\n", 2, MSG_NOSIGNAL);
+    // Let the relay forward the first frame before the line goes dead.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ::close(fd);
+  }
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+TEST(StreamingStackTest, MidStreamBackendLossEmitsTerminalErrorFrame) {
+  // The client accepted a 200 and frames are flowing; then the backend
+  // connection dies. The proxy must close the stream with a structured
+  // terminal error frame — silent truncation would leave the client
+  // waiting on a recipe that never finishes.
+  DyingStreamBackend dying;
+  FrontendService frontend(dying.port());
+  ASSERT_TRUE(frontend.Start(0).ok());
+
+  auto resp = HttpPost(frontend.port(), "/v1/generate",
+                       R"({"ingredients":["broth"],"stream":true})");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+
+  std::vector<SseFrame> frames = ParseSse(resp->body);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, "token");
+  const SseFrame& last = frames.back();
+  EXPECT_EQ(last.type, "error");
+  EXPECT_EQ(last.data.Get("code").AsString(), "backend_lost");
+  EXPECT_EQ(last.data.Get("finish_reason").AsString(), "backend_lost");
+  EXPECT_TRUE(last.data.Get("request_id").is_string());
+
+  EXPECT_EQ(frontend.streams_aborted(), 1);
+  EXPECT_EQ(frontend.streams_relayed(), 0);
+  frontend.Stop();
 }
 
 TEST(StreamingClientTest, StreamingHttpCallDeliversIncrementally) {

@@ -15,16 +15,23 @@
 // (--recipes, --seed, --model); generate/serve restore weights from
 // --checkpoint when given, so a `train` run's model is reusable.
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ratatouille.h"
 #include "data/recipe_io.h"
 #include "nn/checkpoint.h"
+#include "serve/chaos.h"
+#include "serve/replica_supervisor.h"
+#include "serve/router.h"
 #include "util/flags.h"
 #include "util/obs.h"
 
@@ -50,12 +57,16 @@ int Usage() {
       "              [--backend-port=P --frontend-port=P --workers=N\n"
       "               --sessions=N --queue=N --request-timeout-ms=MS\n"
       "               --compute-threads=N --max-batch=M\n"
+      "               --replicas=N --chaos-seed=S\n"
       "               --trace-file=FILE --profile]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n"
       "serve observability: GET /v1/trace (Chrome trace JSON),\n"
       "  GET /v1/metrics[?format=prometheus]; --trace-file writes the\n"
       "  trace on shutdown, --profile adds per-op kernel counters\n"
-      "  (env: RT_TRACE=1, RT_PROFILE=1)\n");
+      "  (env: RT_TRACE=1, RT_PROFILE=1)\n"
+      "serve --replicas=N forks N supervised backend processes behind\n"
+      "  a retrying router; --chaos-seed=S (or RT_CHAOS=S) arms seeded\n"
+      "  fault injection across the fleet\n");
   return 2;
 }
 
@@ -237,7 +248,244 @@ int CmdEvaluate(const ArgParser& args) {
 volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
 
+void WaitForStop() {
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    struct timespec ts{0, 200'000'000};
+    nanosleep(&ts, nullptr);
+  }
+}
+
+/// Builds the per-session generation callbacks for a BackendService,
+/// owning the batch scheduler / per-session model clones that back
+/// them. Shared between single-process serve and the replica process.
+struct ServingSessions {
+  std::vector<std::unique_ptr<LanguageModel>> session_models;
+  std::unique_ptr<serve::BatchScheduler> scheduler;
+  BackendService::SessionFactory factory;
+
+  // --max-batch > 1 switches serving onto the cross-session batch
+  // scheduler: sessions stop owning model clones and instead submit to
+  // one scheduler that coalesces concurrent decodes into batched steps.
+  ServingSessions(Pipeline* p, BackendOptions* options) {
+    if (options->max_batch > 1) {
+      serve::BatchSchedulerOptions sched_options;
+      sched_options.max_batch = options->max_batch;
+      scheduler = std::make_unique<serve::BatchScheduler>(p->model(),
+                                                          sched_options);
+      InstallBatchMetrics(scheduler.get(), options);
+      factory = MakeBatchedPipelineSessionFactory(p, scheduler.get());
+    } else {
+      factory = MakePipelineSessionFactory(p, &session_models);
+    }
+  }
+};
+
+/// The chaos seed: --chaos-seed flag first, RT_CHAOS env as fallback,
+/// 0 = disabled.
+uint64_t ResolveChaosSeed(const ArgParser& args) {
+  auto flag = args.GetInt("chaos-seed", 0);
+  if (flag.ok() && *flag != 0) return static_cast<uint64_t>(*flag);
+  const char* env = std::getenv("RT_CHAOS");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0;
+}
+
+/// One supervised backend process (spawned by `serve --replicas=N`;
+/// not meant to be run by hand). Loads the checkpoint the parent
+/// trained, serves /v1 on --backend-port, and exits on SIGTERM.
+int CmdServeReplica(const ArgParser& args) {
+  auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
+  if (!pipeline.ok()) return Fail(pipeline.status());
+  Pipeline& p = **pipeline;
+  if (args.GetString("checkpoint").empty()) {
+    auto train = p.Train();
+    if (!train.ok()) return Fail(train.status());
+  }
+  auto backend_port = args.GetInt("backend-port", 0);
+  auto workers = args.GetInt("workers", 0);
+  auto sessions = args.GetInt("sessions", 2);
+  auto queue = args.GetInt("queue", 64);
+  auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
+  auto compute_threads = args.GetInt("compute-threads", 0);
+  auto max_batch = args.GetInt("max-batch", 1);
+  if (!backend_port.ok() || !workers.ok() || !sessions.ok() ||
+      !queue.ok() || !request_timeout_ms.ok() || *request_timeout_ms < 1 ||
+      !compute_threads.ok() || *compute_threads < 0 || !max_batch.ok() ||
+      *max_batch < 1) {
+    return Usage();
+  }
+  BackendOptions options;
+  options.model_sessions = static_cast<int>(*sessions);
+  options.http.num_workers = static_cast<int>(*workers);
+  if (options.http.num_workers == 0) {
+    // A supervised replica serves router traffic plus the supervisor's
+    // persistent keep-alive probe connection, which pins one worker.
+    // On single-core machines the hardware_concurrency default of one
+    // worker would let the probe starve every real request.
+    unsigned hw = std::thread::hardware_concurrency();
+    options.http.num_workers = static_cast<int>(hw < 4 ? 4 : hw);
+  }
+  options.http.max_queue = static_cast<int>(*queue);
+  options.default_timeout_ms = static_cast<int>(*request_timeout_ms);
+  options.compute_threads = static_cast<int>(*compute_threads);
+  options.models = {args.GetString("model", "word-lstm")};
+  options.max_batch = static_cast<int>(*max_batch);
+  options.enable_fault_admin = args.GetBool("fault-admin");
+  ServingSessions serving(&p, &options);
+  BackendService backend(serving.factory, options);
+  Status s = backend.Start(static_cast<int>(*backend_port));
+  if (!s.ok()) return Fail(s);
+  std::printf("replica pid=%d http://127.0.0.1:%d\n",
+              static_cast<int>(getpid()), backend.port());
+  std::fflush(stdout);
+  WaitForStop();
+  backend.Stop();
+  if (serving.scheduler != nullptr) serving.scheduler->Stop();
+  return 0;
+}
+
+/// `serve --replicas=N`: train once, checkpoint, then fork/exec N
+/// supervised replica processes and front them with the retrying
+/// router. The frontend proxies to the router, so the public contract
+/// is unchanged — replicas dying and restarting underneath it stay
+/// invisible to clients (at worst a 503 while the whole fleet is
+/// down).
+int CmdServeFleet(const ArgParser& args, int replicas,
+                  uint64_t chaos_seed) {
+  auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
+  auto backend_port = args.GetInt("backend-port", 0);
+  auto frontend_port = args.GetInt("frontend-port", 0);
+  if (!request_timeout_ms.ok() || *request_timeout_ms < 1 ||
+      !backend_port.ok() || !frontend_port.ok()) {
+    return Usage();
+  }
+  // Train once in the parent; replicas only load the checkpoint, so
+  // fleet startup costs one training run, not N.
+  std::string checkpoint = args.GetString("checkpoint");
+  if (checkpoint.empty()) {
+    auto pipeline = BuildPipeline(args, /*load_checkpoint=*/false);
+    if (!pipeline.ok()) return Fail(pipeline.status());
+    std::printf("training backing model (shared by %d replicas)...\n",
+                replicas);
+    auto train = (*pipeline)->Train();
+    if (!train.ok()) return Fail(train.status());
+    checkpoint = "/tmp/ratatouille-fleet-" +
+                 std::to_string(static_cast<int>(getpid())) + ".ckpt";
+    CheckpointMetadata meta{{"epochs", static_cast<double>(
+                                train->epochs_completed)}};
+    Status saved = SaveCheckpoint((*pipeline)->model()->module(), meta,
+                                  checkpoint);
+    if (!saved.ok()) return Fail(saved);
+    // The parent's model is no longer needed; replicas own their copies.
+  }
+
+  char exe[4096];
+  const ssize_t exe_len =
+      readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (exe_len <= 0) {
+    return Fail(Status::IoError("cannot resolve /proc/self/exe"));
+  }
+  exe[exe_len] = '\0';
+
+  ReplicaSupervisorOptions fleet_options;
+  fleet_options.replicas = replicas;
+  fleet_options.jitter_seed =
+      chaos_seed != 0 ? chaos_seed : 1;
+  fleet_options.command = {
+      exe,
+      "serve-replica",
+      "--model=" + args.GetString("model", "word-lstm"),
+      "--recipes=" + std::to_string(*args.GetInt("recipes", 300)),
+      "--seed=" + std::to_string(*args.GetInt("seed", 2022)),
+      "--epochs=" + std::to_string(*args.GetInt("epochs", 4)),
+      "--checkpoint=" + checkpoint,
+      "--sessions=" + std::to_string(*args.GetInt("sessions", 2)),
+      "--queue=" + std::to_string(*args.GetInt("queue", 64)),
+      "--max-batch=" + std::to_string(*args.GetInt("max-batch", 1)),
+      "--request-timeout-ms=" + std::to_string(*request_timeout_ms),
+      "--compute-threads=" +
+          std::to_string(*args.GetInt("compute-threads", 0)),
+      "--backend-port={port}",
+  };
+  if (chaos_seed != 0) {
+    // Chaos drives faults through each replica's admin endpoint.
+    fleet_options.command.push_back("--fault-admin");
+  }
+  ReplicaSupervisor supervisor(fleet_options);
+  Status s = supervisor.Start();
+  if (!s.ok()) return Fail(s);
+  std::printf("waiting for %d replicas to come up...\n", replicas);
+  s = supervisor.WaitHealthy(replicas, /*timeout_ms=*/180000);
+  if (!s.ok()) {
+    supervisor.Stop();
+    return Fail(s);
+  }
+
+  RouterOptions router_options;
+  router_options.default_timeout_ms = static_cast<int>(*request_timeout_ms);
+  router_options.jitter_seed = chaos_seed != 0 ? chaos_seed : 1;
+  Router router(&supervisor, router_options);
+  s = router.Start(static_cast<int>(*backend_port));
+  if (!s.ok()) {
+    supervisor.Stop();
+    return Fail(s);
+  }
+  FrontendService frontend(router.port());
+  s = frontend.Start(static_cast<int>(*frontend_port));
+  if (!s.ok()) {
+    router.Stop();
+    supervisor.Stop();
+    return Fail(s);
+  }
+  ChaosOptions chaos_options;
+  chaos_options.seed = chaos_seed;
+  ChaosDriver chaos(&supervisor, chaos_options);
+  chaos.Start();
+
+  std::printf("router   http://127.0.0.1:%d  (POST /v1/generate)\n"
+              "frontend http://127.0.0.1:%d  (GET /)\n"
+              "replicas=%d request-timeout-ms=%d chaos-seed=%llu\n",
+              router.port(), frontend.port(), replicas,
+              static_cast<int>(*request_timeout_ms),
+              static_cast<unsigned long long>(chaos_seed));
+  for (const ReplicaStatus& replica : supervisor.Snapshot()) {
+    std::printf("replica %d pid=%lld http://127.0.0.1:%d\n",
+                replica.index, replica.pid, replica.port);
+  }
+  std::printf("Ctrl-C to stop\n");
+  std::fflush(stdout);
+  WaitForStop();
+  chaos.Stop();
+  frontend.Stop();
+  router.Stop();
+  supervisor.Stop();
+  const std::string trace_file = args.GetString("trace-file");
+  if (!trace_file.empty()) {
+    Status exported =
+        obs::TraceRecorder::Instance().ExportToFile(trace_file);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   exported.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
 int CmdServe(const ArgParser& args) {
+  auto replicas = args.GetInt("replicas", 1);
+  if (!replicas.ok() || *replicas < 1) return Usage();
+  const uint64_t chaos_seed = ResolveChaosSeed(args);
+  if (*replicas > 1) {
+    return CmdServeFleet(args, static_cast<int>(*replicas), chaos_seed);
+  }
+  if (chaos_seed != 0) {
+    std::fprintf(stderr,
+                 "warning: --chaos-seed needs --replicas>=2; ignored\n");
+  }
   auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
   if (!pipeline.ok()) return Fail(pipeline.status());
   Pipeline& p = **pipeline;
@@ -273,23 +521,8 @@ int CmdServe(const ArgParser& args) {
   options.models = {args.GetString("model", "word-lstm")};
   options.max_batch = static_cast<int>(*max_batch);
 
-  // --max-batch > 1 switches serving onto the cross-session batch
-  // scheduler: sessions stop owning model clones and instead submit to
-  // one scheduler that coalesces concurrent decodes into batched steps.
-  std::vector<std::unique_ptr<LanguageModel>> session_models;
-  std::unique_ptr<serve::BatchScheduler> scheduler;
-  BackendService::SessionFactory factory;
-  if (options.max_batch > 1) {
-    serve::BatchSchedulerOptions sched_options;
-    sched_options.max_batch = options.max_batch;
-    scheduler =
-        std::make_unique<serve::BatchScheduler>(p.model(), sched_options);
-    InstallBatchMetrics(scheduler.get(), &options);
-    factory = MakeBatchedPipelineSessionFactory(&p, scheduler.get());
-  } else {
-    factory = MakePipelineSessionFactory(&p, &session_models);
-  }
-  BackendService backend(factory, options);
+  ServingSessions serving(&p, &options);
+  BackendService backend(serving.factory, options);
   Status s = backend.Start(static_cast<int>(*backend_port));
   if (!s.ok()) return Fail(s);
   FrontendService frontend(backend.port());
@@ -304,14 +537,10 @@ int CmdServe(const ArgParser& args) {
               backend.server().num_workers(), backend.model_sessions(),
               backend.server().options().max_queue,
               static_cast<int>(*request_timeout_ms), backend.max_batch());
-  std::signal(SIGINT, OnSignal);
-  while (!g_stop) {
-    struct timespec ts{0, 200'000'000};
-    nanosleep(&ts, nullptr);
-  }
+  WaitForStop();
   frontend.Stop();
   backend.Stop();
-  if (scheduler != nullptr) scheduler->Stop();
+  if (serving.scheduler != nullptr) serving.scheduler->Stop();
   if (!trace_file.empty()) {
     Status exported = obs::TraceRecorder::Instance().ExportToFile(trace_file);
     if (!exported.ok()) {
@@ -336,6 +565,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "serve-replica") return CmdServeReplica(args);
   return Usage();
 }
 
