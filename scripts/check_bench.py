@@ -2,7 +2,7 @@
 """Perf-regression gate over bench_kernels output.
 
 Usage:
-    check_bench.py CURRENT.json [BASELINE.json]
+    check_bench.py CURRENT.json [BASELINE.json] [--sched=SCHED.json]
 
 Two families of checks:
 
@@ -25,6 +25,16 @@ Two families of checks:
    numbers, regenerate the baseline:
 
        ./build/bench/bench_kernels bench/BENCH_baseline.json --smoke
+
+3. Scheduling-policy gates, only when --sched=SCHED.json is given
+   (the bench_sched overload run: 2x capacity, 50/50 interactive vs
+   batch, FIFO then EDF on the same workload). In-run ratio, so it
+   never flakes across runner classes:
+     * EDF interactive p99 latency <= SCHED_P99_RATIO (0.7x) of the
+       FIFO in-run baseline — the headline claim of the deadline-aware
+       scheduler;
+     * batch token throughput under EDF is printed informationally
+       (expected to stay within ~10% of FIFO).
 
 Exit status 0 = all gates pass, 1 = at least one failed (CI fails the
 bench-smoke job on it).
@@ -59,6 +69,10 @@ TTFT_MIN_SPEEDUP = 2.0     # warm shared-prefix TTFT vs cold prefill
 # drift of the disabled row against the checked-in baseline.
 TRACING_OVERHEAD = 0.03
 
+# EDF must cut interactive p99 latency to at most this fraction of the
+# FIFO baseline measured in the same bench_sched run (>= 30% better).
+SCHED_P99_RATIO = 0.7
+
 
 def load(path):
     """Maps (op, threads) -> result row (first occurrence wins)."""
@@ -79,10 +93,17 @@ def get(table, op, threads, field, path):
 
 
 def main():
-    if len(sys.argv) < 2:
+    sched_path = None
+    positional = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--sched="):
+            sched_path = arg.split("=", 1)[1]
+        else:
+            positional.append(arg)
+    if not positional:
         print(__doc__)
         return 2
-    current_path = sys.argv[1]
+    current_path = positional[0]
     current = load(current_path)
     failures = 0
 
@@ -148,8 +169,8 @@ def main():
               f"({profiled:.1f} vs {plain:.1f} tokens/sec)")
 
     # Baseline-relative gates.
-    if len(sys.argv) > 2:
-        baseline_path = sys.argv[2]
+    if len(positional) > 1:
+        baseline_path = positional[1]
         baseline = load(baseline_path)
         for op, threads, field, label in GATED:
             base = get(baseline, op, threads, field, baseline_path)
@@ -164,6 +185,30 @@ def main():
                   f"(floor {floor:.1f})")
             failures += 0 if ok else 1
 
+    # Scheduling-policy gates (bench_sched overload run).
+    if sched_path is not None:
+        sched = load(sched_path)
+        fifo_p99 = get(sched, "sched_fifo_interactive", 1, "p99_ms",
+                       sched_path)
+        edf_p99 = get(sched, "sched_edf_interactive", 1, "p99_ms",
+                      sched_path)
+        if fifo_p99 is None or edf_p99 is None or fifo_p99 <= 0:
+            failures += 1
+        else:
+            ratio = edf_p99 / fifo_p99
+            ok = ratio <= SCHED_P99_RATIO
+            print(f"{'PASS' if ok else 'FAIL'}  EDF interactive p99 "
+                  f"{ratio:.2f}x of FIFO ({edf_p99:.2f} ms vs "
+                  f"{fifo_p99:.2f} ms, gate: <= {SCHED_P99_RATIO:.1f}x)")
+            failures += 0 if ok else 1
+        fifo_tps = get(sched, "sched_fifo_batch", 1, "tokens_per_sec",
+                       sched_path)
+        edf_tps = get(sched, "sched_edf_batch", 1, "tokens_per_sec",
+                      sched_path)
+        if fifo_tps and edf_tps:
+            print(f"INFO  batch throughput under EDF: "
+                  f"{edf_tps / fifo_tps:.2f}x of FIFO "
+                  f"({edf_tps:.1f} vs {fifo_tps:.1f} tokens/sec)")
 
     if failures:
         print(f"\n{failures} bench gate(s) failed. If the regression is "

@@ -371,6 +371,7 @@ GenerationOptions ToGenerationOptions(const GenerateRequest& request) {
   gen.deadline = request.deadline;
   gen.cancel = request.cancel;
   gen.trace_id = request.trace_id;
+  gen.sched_class = static_cast<int>(request.priority);
   return gen;
 }
 
@@ -483,6 +484,14 @@ void InstallBatchMetrics(serve::BatchScheduler* scheduler,
              static_cast<double>(stats.prefix_cache_evictions));
     out->Set("prefix_cache_entries",
              static_cast<double>(stats.prefix_cache_entries));
+    // Scheduler-policy counters. The backend seeds sched_* with the
+    // HTTP layer's shed count before this extender runs, so add the
+    // scheduler-level sheds instead of overwriting them.
+    out->Set("sched_preemptions", static_cast<double>(stats.preemptions));
+    const Json& http_shed = out->Get("sched_shed_unmeetable");
+    out->Set("sched_shed_unmeetable",
+             (http_shed.is_number() ? http_shed.AsNumber() : 0.0) +
+                 static_cast<double>(stats.shed_unmeetable));
   };
 }
 

@@ -45,6 +45,11 @@ struct GenerationOptions {
   /// search emits nothing until the whole beam resolves. Must not
   /// block for long — it runs inside the decode (or scheduler) loop.
   std::function<void(int)> on_token;
+  /// Scheduling class hint for the serving layer: 0 = interactive
+  /// (default), 1 = batch. Batch-class rows may be admitted later and
+  /// preempted in favor of tighter-deadline interactive work; the
+  /// decode loops themselves ignore it.
+  int sched_class = 0;
 };
 
 /// Why a generation stopped.
@@ -54,6 +59,7 @@ enum class FinishReason {
   kContextFull,       // ran out of attention positions
   kDeadlineExceeded,  // options.deadline passed mid-decode
   kCancelled,         // options.cancel fired mid-decode
+  kPreempted,         // evicted by the scheduler for a tighter deadline
 };
 
 /// Stable lower_snake_case name ("stop_token", "deadline_exceeded", ...)
@@ -70,6 +76,8 @@ inline const char* FinishReasonName(FinishReason reason) {
       return "deadline_exceeded";
     case FinishReason::kCancelled:
       return "cancelled";
+    case FinishReason::kPreempted:
+      return "preempted";
   }
   return "?";
 }
@@ -81,10 +89,12 @@ struct GenerationResult {
   std::vector<int> ids;
   FinishReason finish = FinishReason::kMaxTokens;
 
-  /// True when the result was cut short by deadline or cancellation.
+  /// True when the result was cut short by deadline, cancellation or
+  /// preemption.
   bool truncated() const {
     return finish == FinishReason::kDeadlineExceeded ||
-           finish == FinishReason::kCancelled;
+           finish == FinishReason::kCancelled ||
+           finish == FinishReason::kPreempted;
   }
 };
 

@@ -75,6 +75,8 @@ Json ParamsJson(const GenerateRequest& req) {
   params.Set("beam_width", req.beam_width);
   params.Set("seed", static_cast<double>(req.seed));
   params.Set("timeout_ms", req.timeout_ms);
+  params.Set("priority",
+             std::string(serve::TrafficClassName(req.priority)));
   return params;
 }
 
@@ -96,7 +98,8 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
   static const std::vector<std::string> kKnownFields = {
       "ingredients", "max_tokens", "temperature", "top_k",
       "top_p",       "greedy",     "beam_width",  "seed",
-      "model",       "timeout_ms", "stream",      "stream_options"};
+      "model",       "timeout_ms", "stream",      "stream_options",
+      "priority"};
   for (const auto& [key, value] : doc.AsObject()) {
     if (std::find(kKnownFields.begin(), kKnownFields.end(), key) ==
         kKnownFields.end()) {
@@ -205,6 +208,19 @@ StatusOr<GenerateRequest> ParseGenerateRequest(const std::string& body,
       return ValidationError(error_code, "bad_timeout_ms",
                              "timeout_ms out of range");
     }
+  }
+  if (!doc.Get("priority").is_null()) {
+    if (!doc.Get("priority").is_string()) {
+      return ValidationError(error_code, "bad_priority",
+                             "'priority' must be a string");
+    }
+    if (!serve::ParseTrafficClass(doc.Get("priority").AsString(),
+                                  &req.priority)) {
+      return ValidationError(
+          error_code, "bad_priority",
+          "priority must be 'interactive' or 'batch'");
+    }
+    req.priority_explicit = true;
   }
   if (!doc.Get("stream").is_null()) {
     if (!doc.Get("stream").is_bool()) {
@@ -453,27 +469,51 @@ BackendService::ModelBreaker& BackendService::BreakerFor(
   return *breakers_.at(model);
 }
 
-int BackendService::AcquireSession(const Deadline& deadline) {
+int BackendService::AcquireSession(const Deadline& deadline,
+                                   serve::TrafficClass cls) {
   std::unique_lock<std::mutex> lock(session_mutex_);
-  const auto have_slot = [this] { return !free_sessions_.empty(); };
+  if (!free_sessions_.empty()) {
+    // Nobody is parked (class invariant), so the slot is ours.
+    const int index = free_sessions_.back();
+    free_sessions_.pop_back();
+    sessions_in_use_.fetch_add(1);
+    return index;
+  }
+  // Park on the slack-ordered waiter list; ReleaseSession hands a freed
+  // slot to the earliest-deadline waiter (interactive first on ties,
+  // then arrival order — uniform deadlines degrade to exact FIFO).
+  serve::SlotWaitQueue::Waiter self;
+  self.key.deadline = serve::SchedKey::DeadlinePoint(deadline);
+  self.key.cls = cls;
+  self.key.seq = session_seq_++;
+  waiters_.Enqueue(&self);
+  const auto granted = [&self] { return self.granted; };
   if (deadline.is_infinite()) {
-    session_cv_.wait(lock, have_slot);
-  } else if (!session_cv_.wait_until(lock, deadline.when(), have_slot)) {
+    session_cv_.wait(lock, granted);
+  } else if (!session_cv_.wait_until(lock, deadline.when(), granted)) {
+    // Timed out. The predicate was last evaluated under the lock, so
+    // !granted here means the node is still queued and safe to unlink.
+    waiters_.Remove(&self);
     return -1;  // the budget ran out while queued for a model session
   }
-  const int index = free_sessions_.back();
-  free_sessions_.pop_back();
   sessions_in_use_.fetch_add(1);
-  return index;
+  return self.slot;
 }
 
 void BackendService::ReleaseSession(int index) {
   {
     std::lock_guard<std::mutex> lock(session_mutex_);
-    free_sessions_.push_back(index);
+    // Direct handoff: the freed slot goes to the tightest-deadline
+    // waiter if any, and only sits in the free pool when nobody waits.
+    if (waiters_.GrantBest(index) == nullptr) {
+      free_sessions_.push_back(index);
+    }
   }
   sessions_in_use_.fetch_sub(1);
-  session_cv_.notify_one();
+  // notify_all: the grant targets one specific waiter, and notify_one
+  // could wake a different (still-ungranted) one that just goes back
+  // to sleep while the granted thread keeps waiting.
+  session_cv_.notify_all();
 }
 
 HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
@@ -516,6 +556,15 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
                     : options_.default_timeout_ms;
   }
   req.timeout_ms = budget_ms;
+  // Router/frontend hops forward the class in x-rt-priority so a
+  // replica knows it even when the body omits `priority`; an explicit
+  // body field always wins.
+  if (!req.priority_explicit) {
+    const auto forwarded = request.headers.find("x-rt-priority");
+    if (forwarded != request.headers.end()) {
+      (void)serve::ParseTrafficClass(forwarded->second, &req.priority);
+    }
+  }
   const auto admitted =
       request.admitted_at == std::chrono::steady_clock::time_point{}
           ? std::chrono::steady_clock::now()
@@ -524,6 +573,13 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
       Deadline::At(admitted + std::chrono::milliseconds(budget_ms));
   req.cancel = drain_cancel_;
   req.trace_id = request.trace_id;
+  // Queue wait split by class (admission to here): the per-class view
+  // of the same wait the stage_queue_wait histogram aggregates.
+  obs::RecordClassQueueWait(
+      static_cast<int>(req.priority),
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - admitted)
+          .count());
 
   // Breaker scope is the resolved model: a timeout storm on one model
   // opens only that model's breaker, and requests for healthy models
@@ -532,7 +588,8 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
 
   const auto deadline_response = [&](long long tokens_generated) {
     return DeadlineResponse(request.request_id, model_breaker, budget_ms,
-                            tokens_generated);
+                            tokens_generated,
+                            req.deadline.remaining_millis());
   };
 
   // Fast-fail while the breaker is open: answering 503 in microseconds
@@ -577,7 +634,7 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
   }
 
   const auto acquire_start = obs::Now();
-  const int slot = AcquireSession(req.deadline);
+  const int slot = AcquireSession(req.deadline, req.priority);
   obs::RecordSpanSince(obs::Stage::kSessionAcquire, req.trace_id,
                        acquire_start);
   if (slot < 0) {
@@ -618,7 +675,14 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
     breaker_outcome.Timeout();
     return deadline_response(outcome->tokens_generated);
   }
-  breaker_outcome.Success();
+  if (outcome->finish == FinishReason::kPreempted) {
+    // A preempted row is a scheduling decision, not a model-health
+    // verdict: the guard reports the ticket abandoned, and the client
+    // gets a 200 with the valid partial result and
+    // finish_reason=preempted.
+  } else {
+    breaker_outcome.Success();
+  }
   generate_ok_.fetch_add(1);
   RT_LOG(Debug) << "generate ok request_id=" << request.request_id
                 << " trace_id=" << request.trace_id
@@ -641,7 +705,7 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
 
 HttpResponse BackendService::DeadlineResponse(
     const std::string& request_id, ModelBreaker& model_breaker,
-    int budget_ms, long long tokens_generated) {
+    int budget_ms, long long tokens_generated, long long slack_ms) {
   generate_deadline_exceeded_.fetch_add(1);
   // Retry-After mirrors the 503 circuit_open hint: the breaker's
   // remaining cooldown when it has already tripped, else an estimate
@@ -658,6 +722,11 @@ HttpResponse BackendService::DeadlineResponse(
               static_cast<double>(tokens_generated));
   details.Set("timeout_ms", budget_ms);
   details.Set("retry_after_s", retry_s);
+  // Backoff inputs for the client: how deep the accept queue currently
+  // is and how far past its deadline this request was (negative slack).
+  details.Set("queue_depth",
+              static_cast<double>(server_.queue_depth()));
+  details.Set("slack_ms", static_cast<double>(slack_ms));
   HttpResponse resp =
       JsonError(504, "deadline_exceeded",
                 "generation exceeded its " + std::to_string(budget_ms) +
@@ -681,10 +750,10 @@ HttpResponse BackendService::HandleGenerateStream(
                     << " model=" << req.model
                     << " reason=budget_spent timeout_ms=" << budget_ms;
     return DeadlineResponse(request.request_id, model_breaker, budget_ms,
-                            0);
+                            0, req.deadline.remaining_millis());
   }
   const auto acquire_start = obs::Now();
-  const int slot = AcquireSession(req.deadline);
+  const int slot = AcquireSession(req.deadline, req.priority);
   obs::RecordSpanSince(obs::Stage::kSessionAcquire, req.trace_id,
                        acquire_start);
   if (slot < 0) {
@@ -695,7 +764,7 @@ HttpResponse BackendService::HandleGenerateStream(
                     << " model=" << req.model
                     << " reason=session_wait timeout_ms=" << budget_ms;
     return DeadlineResponse(request.request_id, model_breaker, budget_ms,
-                            0);
+                            0, req.deadline.remaining_millis());
   }
   streams_started_.fetch_add(1);
   HttpResponse resp;
@@ -828,6 +897,9 @@ void BackendService::RunStream(ResponseWriter& writer,
   } else if (outcome->deadline_exceeded() || req.deadline.expired()) {
     breaker_outcome.Timeout();
     generate_deadline_exceeded_.fetch_add(1);
+  } else if (outcome->finish == FinishReason::kPreempted) {
+    // Scheduling decision, not a health verdict — ticket abandoned.
+    generate_ok_.fetch_add(1);
   } else {
     breaker_outcome.Success();
     generate_ok_.fetch_add(1);
@@ -857,7 +929,8 @@ void BackendService::RunStream(ResponseWriter& writer,
   }
   const bool done_sent = writer.Write(SseEvent("done", done));
   const bool clean = finish != FinishReason::kCancelled &&
-                     finish != FinishReason::kDeadlineExceeded;
+                     finish != FinishReason::kDeadlineExceeded &&
+                     finish != FinishReason::kPreempted;
   if (clean && done_sent) {
     streams_completed_.fetch_add(1);
   } else {
@@ -990,6 +1063,13 @@ Json BackendService::MetricsJson() const {
   out.Set("stream_tokens", static_cast<double>(stream_tokens_.load()));
   out.Set("breaker_rejected",
           static_cast<double>(breaker_rejected_.load()));
+  // EDF scheduling counters. The HTTP layer's unmeetable sheds are the
+  // base; when the batch scheduler is active its extender (installed
+  // via batch_metrics) adds its own shed count into this key and
+  // overwrites sched_preemptions with the real preemption count.
+  out.Set("sched_shed_unmeetable",
+          static_cast<double>(server_.requests_shed()));
+  out.Set("sched_preemptions", 0.0);
   // Top-level breaker_state tracks the default model (back-compat for
   // single-model deployments); per-model detail lives under `breakers`.
   out.Set("breaker_state",

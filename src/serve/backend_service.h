@@ -15,6 +15,7 @@
 #include "models/language_model.h"
 #include "serve/circuit_breaker.h"
 #include "serve/http.h"
+#include "serve/sched_policy.h"
 #include "util/deadline.h"
 #include "util/json.h"
 
@@ -48,6 +49,15 @@ struct GenerateRequest {
   /// Client-requested budget in milliseconds; 0 means "use the server
   /// default". The handler caps it at BackendOptions::max_timeout_ms.
   int timeout_ms = 0;
+  /// Traffic class from the `priority` param ("interactive" | "batch",
+  /// default interactive) or the `x-rt-priority` header when the body
+  /// omits it. Every queue on the request path orders by deadline slack
+  /// with this class as the tiebreak, and batch-class rows are
+  /// preemptible under `--batch-share` pressure.
+  serve::TrafficClass priority = serve::TrafficClass::kInteractive;
+  /// True when the body carried an explicit `priority` (the header
+  /// fallback only applies otherwise). Not echoed.
+  bool priority_explicit = false;
   /// Resolved by the handler before the session callback runs: the
   /// absolute budget (anchored at queue admission) and the server's
   /// drain token. Session callbacks thread both into GenerationOptions.
@@ -89,7 +99,7 @@ struct GenerateOutcome {
 ///   invalid_json, invalid_request, unknown_field, missing_ingredients,
 ///   bad_ingredients, bad_max_tokens, bad_temperature, bad_top_k,
 ///   bad_top_p, bad_beam_width, bad_greedy, bad_seed, bad_model,
-///   bad_timeout_ms, bad_stream, bad_stream_options
+///   bad_timeout_ms, bad_stream, bad_stream_options, bad_priority
 /// Runtime codes: deadline_exceeded (504), circuit_open (503),
 ///   shutting_down (503), generation_failed (500).
 
@@ -168,6 +178,11 @@ struct BackendOptions {
   /// the session factory (MakeBatchedPipelineSessionFactory) owns the
   /// scheduler.
   int max_batch = 1;
+  /// Fraction of batch slots batch-class (`priority: "batch"`) rows
+  /// may occupy at once (`--batch-share`); 1.0 = uncapped. Only
+  /// meaningful with max_batch > 1 — forwarded to the batch
+  /// scheduler's occupancy cap.
+  double batch_share = 1.0;
   /// Optional /v1/metrics extender invoked with the response object;
   /// the batched session wiring installs one that reports scheduler
   /// occupancy (the batch_* gauges).
@@ -249,8 +264,12 @@ class BackendService {
   Json MetricsJson() const;
 
   /// Blocks until a session slot is free or the deadline expires;
-  /// returns the slot index, or -1 when the wait timed out.
-  int AcquireSession(const Deadline& deadline);
+  /// returns the slot index, or -1 when the wait timed out. Blocked
+  /// acquirers park on a slack-ordered waiter list (serve::
+  /// SlotWaitQueue): a freed slot is handed to the tightest-deadline
+  /// waiter — interactive before batch at equal deadlines — instead of
+  /// whichever thread the OS wakes first.
+  int AcquireSession(const Deadline& deadline, serve::TrafficClass cls);
   void ReleaseSession(int index);
 
   /// One model's breaker plus its rejection count, so /v1/metrics can
@@ -289,9 +308,13 @@ class BackendService {
 
   /// The 504 deadline_exceeded envelope (with Retry-After) shared by
   /// the unary and pre-stream paths; bumps the deadline counter.
+  /// `slack_ms` is the request's remaining slack (negative once the
+  /// deadline passed) — surfaced with the live queue depth in
+  /// error.details so clients can back off proportionally.
   HttpResponse DeadlineResponse(const std::string& request_id,
                                 ModelBreaker& model_breaker, int budget_ms,
-                                long long tokens_generated);
+                                long long tokens_generated,
+                                long long slack_ms);
 
   BackendOptions options_;
   std::vector<GenerateFn> sessions_;
@@ -306,6 +329,11 @@ class BackendService {
   std::mutex session_mutex_;
   std::condition_variable session_cv_;
   std::vector<int> free_sessions_;
+  /// Invariant: free_sessions_ is non-empty only while waiters_ is
+  /// empty — ReleaseSession hands freed slots straight to the best
+  /// waiter, so a slot never sits free while someone is parked.
+  serve::SlotWaitQueue waiters_;
+  uint64_t session_seq_ = 0;  // arrival stamp, guarded by session_mutex_
 
   std::atomic<long long> generate_ok_{0};
   std::atomic<long long> generate_client_error_{0};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
+#include <limits>
 #include <utility>
 
 #include "models/sampler.h"
@@ -16,6 +18,9 @@ namespace rt::serve {
 struct BatchScheduler::Request {
   std::vector<int> prompt;
   GenerationOptions options;
+  /// EDF ordering key: deadline from options.deadline, class from
+  /// options.sched_class, seq stamped at arrival under mutex_.
+  SchedKey key;
   Rng rng{0};
   /// Pooled model state; null until first scheduled (lazy so an
   /// aborted-before-start request never touches the cache arena).
@@ -41,7 +46,12 @@ BatchScheduler::BatchScheduler(LanguageModel* model,
     : model_(model),
       decoder_(model->MakeBatchDecoder()),
       max_batch_(std::clamp(options.max_batch, 1, kMaxDecodeBatch)),
-      prefill_chunk_(std::max(options.prefill_chunk, 1)) {
+      prefill_chunk_(std::max(options.prefill_chunk, 1)),
+      policy_(options.policy),
+      batch_cap_(std::max(
+          1, static_cast<int>(std::clamp(options.batch_share, 0.0, 1.0) *
+                              std::clamp(options.max_batch, 1,
+                                         kMaxDecodeBatch)))) {
   if (decoder_ != nullptr) {
     logits_.resize(static_cast<size_t>(max_batch_) *
                    decoder_->vocab_size());
@@ -63,6 +73,9 @@ GenerationResult BatchScheduler::Generate(
   request->rng = Rng(options.seed);
   request->inline_generate =
       options.beam_width > 0 || decoder_ == nullptr;
+  request->key.deadline = SchedKey::DeadlinePoint(options.deadline);
+  request->key.cls = options.sched_class == 1 ? TrafficClass::kBatch
+                                              : TrafficClass::kInteractive;
   std::future<GenerationResult> future = request->promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -71,6 +84,7 @@ GenerationResult BatchScheduler::Generate(
       cancelled.finish = FinishReason::kCancelled;
       return cancelled;
     }
+    request->key.seq = arrival_seq_++;
     pending_.push_back(std::move(request));
   }
   cv_.notify_all();
@@ -96,6 +110,8 @@ BatchSchedulerStats BatchScheduler::stats() const {
   stats.peak_occupancy = peak_occupancy_;
   stats.active = active_count_;
   stats.pending = static_cast<int>(pending_.size());
+  stats.preemptions = preemptions_;
+  stats.shed_unmeetable = shed_unmeetable_;
   stats.arena_heap_allocs =
       decoder_ != nullptr ? decoder_->arena_heap_allocs() : 0;
   if (decoder_ != nullptr) {
@@ -110,13 +126,33 @@ BatchSchedulerStats BatchScheduler::stats() const {
 
 void BatchScheduler::SchedulerLoop() {
   for (;;) {
+    std::vector<std::unique_ptr<Request>> shed;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [&] {
         return stop_ || !pending_.empty() || !active_.empty();
       });
       if (stop_) break;
-      AdmitLocked();
+      AdmitLocked(&shed);
+    }
+    // Unmeetable rows shed at admission finish here, outside the lock:
+    // empty partial result, the same kDeadlineExceeded a zero-token
+    // expired row would get once admitted — minus the wasted slot.
+    for (auto& request : shed) {
+      request->result.finish = FinishReason::kDeadlineExceeded;
+      request->promise.set_value(std::move(request->result));
+    }
+    if (std::unique_ptr<Request> victim = MaybePreempt()) {
+      // The evicted row keeps everything it decoded; its caller gets a
+      // valid partial result with finish_reason=preempted while the
+      // freed slot admits the tighter-deadline row on the next pass.
+      obs::RecordSpanSince(obs::Stage::kPreempt, victim->options.trace_id,
+                           obs::Now(), "tokens_kept",
+                           static_cast<long long>(victim->result.ids.size()));
+      victim->seq.reset();  // return the pooled cache slot
+      victim->result.finish = FinishReason::kPreempted;
+      victim->promise.set_value(std::move(victim->result));
+      continue;  // re-admit before stepping
     }
     StepOnce();
   }
@@ -140,14 +176,123 @@ void BatchScheduler::SchedulerLoop() {
   }
 }
 
-void BatchScheduler::AdmitLocked() {
+void BatchScheduler::AdmitLocked(
+    std::vector<std::unique_ptr<Request>>* shed) {
+  if (policy_ == BatchSchedPolicy::kFifo) {
+    // Faithful pre-EDF baseline for A/B benchmarks: arrival order, no
+    // shedding, no batch-class cap.
+    while (!pending_.empty() &&
+           static_cast<int>(active_.size()) < max_batch_) {
+      active_.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+      ++admitted_;
+      ++active_count_;
+    }
+    return;
+  }
+  const auto now = SchedKey::Clock::now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (SchedPolicy::Unmeetable((*it)->key, now)) {
+      shed->push_back(std::move(*it));
+      it = pending_.erase(it);
+      ++shed_unmeetable_;
+    } else {
+      ++it;
+    }
+  }
+  int batch_rows = ActiveBatchRows();
   while (!pending_.empty() &&
          static_cast<int>(active_.size()) < max_batch_) {
-    active_.push_back(std::move(pending_.front()));
-    pending_.pop_front();
+    // EDF selection, skipping batch-class rows once the --batch-share
+    // cap is reached (interactive rows still admit past it).
+    size_t best = pending_.size();
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i]->key.cls == TrafficClass::kBatch &&
+          batch_rows >= batch_cap_) {
+        continue;
+      }
+      if (best == pending_.size() ||
+          pending_[i]->key.Before(pending_[best]->key)) {
+        best = i;
+      }
+    }
+    if (best == pending_.size()) break;  // only capped batch rows left
+    if (pending_[best]->key.cls == TrafficClass::kBatch) ++batch_rows;
+    active_.push_back(std::move(pending_[best]));
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(best));
     ++admitted_;
     ++active_count_;
   }
+}
+
+int BatchScheduler::ActiveBatchRows() const {
+  int n = 0;
+  for (const auto& request : active_) {
+    if (request->key.cls == TrafficClass::kBatch) ++n;
+  }
+  return n;
+}
+
+std::unique_ptr<BatchScheduler::Request> BatchScheduler::MaybePreempt() {
+  // Preemption needs a cost model (one step's EMA) before it can
+  // *prove* a pending deadline unmeetable; until the first batched
+  // step runs, nothing is evicted.
+  if (policy_ != BatchSchedPolicy::kEdf || step_ema_ns_ <= 0.0) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (static_cast<int>(active_.size()) < max_batch_ || pending_.empty()) {
+    return nullptr;  // a free slot (or empty queue) needs no eviction
+  }
+  // Tightest pending interactive row with a finite deadline — batch
+  // rows never preempt, and a row without a deadline can always wait.
+  const Request* urgent = nullptr;
+  for (const auto& request : pending_) {
+    if (request->key.cls != TrafficClass::kInteractive) continue;
+    if (request->key.deadline == SchedKey::Clock::time_point::max()) {
+      continue;
+    }
+    if (urgent == nullptr || request->key.Before(urgent->key)) {
+      urgent = request.get();
+    }
+  }
+  if (urgent == nullptr) return nullptr;
+  const auto now = SchedKey::Clock::now();
+  const auto slack = urgent->key.SlackAt(now);
+  // Soonest any slot frees naturally: the smallest remaining token
+  // budget across resident rows, at one batched step per token.
+  long long min_remaining = std::numeric_limits<long long>::max();
+  for (const auto& request : active_) {
+    const long long remaining =
+        std::max<long long>(0, request->options.max_new_tokens -
+                                   static_cast<long long>(
+                                       request->result.ids.size()));
+    min_remaining = std::min(min_remaining, remaining);
+  }
+  const double wait_ns = step_ema_ns_ * static_cast<double>(min_remaining);
+  if (static_cast<double>(slack.count()) >= wait_ns) {
+    return nullptr;  // the deadline survives waiting for a natural exit
+  }
+  // Victim: the batch-class row with the most slack, and strictly more
+  // of it than the row it yields to (surplus — never evict a row into
+  // the same miss it prevents).
+  size_t victim = active_.size();
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]->key.cls != TrafficClass::kBatch) continue;
+    if (active_[i]->key.SlackAt(now) <= slack) continue;
+    if (victim == active_.size() ||
+        active_[victim]->key.Before(active_[i]->key)) {
+      victim = i;
+    }
+  }
+  if (victim == active_.size()) return nullptr;
+  std::unique_ptr<Request> out = std::move(active_[victim]);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(victim));
+  ++preemptions_;
+  ++completed_;
+  --active_count_;
+  return out;
 }
 
 bool BatchScheduler::StepOnce() {
@@ -267,6 +412,14 @@ bool BatchScheduler::StepOnce() {
     obs::RecordSpanSince(obs::Stage::kBatchStep,
                          members[0]->options.trace_id, step_start, "batch",
                          m);
+    // Per-step cost EMA — the preemption check's estimate of how long
+    // a pending row waits for a slot to free naturally.
+    const double step_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(obs::Now() -
+                                                             step_start)
+            .count());
+    step_ema_ns_ =
+        step_ema_ns_ <= 0.0 ? step_ns : 0.8 * step_ema_ns_ + 0.2 * step_ns;
     if (obs::ProfileEnabled()) {
       obs::KernelProfiler::Instance().CountTokens(m);
     }

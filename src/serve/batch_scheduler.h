@@ -10,9 +10,21 @@
 #include <vector>
 
 #include "models/language_model.h"
+#include "serve/sched_policy.h"
 #include "util/rng.h"
 
 namespace rt::serve {
+
+/// How the scheduler orders its pending queue. kEdf is the production
+/// policy (SchedKey order: tighter deadline first, interactive before
+/// batch, then arrival); kFifo exists so benchmarks can A/B the
+/// pre-EDF behavior in one run. With uniform deadlines the two are
+/// identical — FIFO is EDF's degenerate case, which the determinism
+/// test locks down bitwise.
+enum class BatchSchedPolicy {
+  kEdf,
+  kFifo,
+};
 
 /// Tuning knobs for the cross-session batched decode engine.
 struct BatchSchedulerOptions {
@@ -30,6 +42,13 @@ struct BatchSchedulerOptions {
   /// changes prefill cost.
   bool enable_prefix_cache = true;
   PrefixCacheOptions prefix_cache;
+  /// Pending-queue ordering; see BatchSchedPolicy.
+  BatchSchedPolicy policy = BatchSchedPolicy::kEdf;
+  /// Cap on the fraction of batch slots batch-class rows may occupy
+  /// at once (`--batch-share`). Clamped to [0, 1]; the cap is
+  /// max(1, floor(batch_share * max_batch)) so batch traffic is
+  /// throttled, never starved. 1.0 = no cap (default).
+  double batch_share = 1.0;
 };
 
 /// Aggregate scheduler counters, surfaced at /v1/metrics.
@@ -47,6 +66,14 @@ struct BatchSchedulerStats {
   /// Sequences currently resident / queued for admission.
   int active = 0;
   int pending = 0;
+  /// Batch-class rows evicted mid-decode (with a valid partial result,
+  /// finish_reason=preempted) so a tighter-deadline interactive row
+  /// could take the slot.
+  long long preemptions = 0;
+  /// Pending rows shed at admission because their deadline had already
+  /// passed — running them would only burn a batch slot into a
+  /// guaranteed deadline_exceeded.
+  long long shed_unmeetable = 0;
   /// Heap allocations charged to the decoder's pooled cache arena.
   long long arena_heap_allocs = 0;
   /// Shared-prefix KV cache counters (all zero when disabled).
@@ -103,8 +130,18 @@ class BatchScheduler {
   struct Request;
 
   void SchedulerLoop();
-  /// Moves queued requests into the resident set while slots remain.
-  void AdmitLocked();
+  /// Moves queued requests into the resident set while slots remain,
+  /// in SchedKey order under kEdf (arrival order under kFifo) and
+  /// subject to the batch-class occupancy cap. Already-expired pending
+  /// rows are shed into `shed` instead of admitted; the caller
+  /// fulfills their promises outside the lock.
+  void AdmitLocked(std::vector<std::unique_ptr<Request>>* shed);
+  /// Number of resident batch-class rows (scheduler thread only).
+  int ActiveBatchRows() const;
+  /// Evicts the surplus-slack batch-class row whose slot the tightest
+  /// pending interactive row provably needs, if any. Returns the
+  /// evicted request (promise not yet fulfilled) or null.
+  std::unique_ptr<Request> MaybePreempt();
   /// Runs one batched iteration over the resident set. Returns false
   /// when there was nothing to do.
   bool StepOnce();
@@ -113,6 +150,15 @@ class BatchScheduler {
   std::unique_ptr<BatchDecoder> decoder_;  // null: inline fallback only
   int max_batch_;
   int prefill_chunk_;
+  BatchSchedPolicy policy_;
+  /// Max resident batch-class rows: max(1, floor(batch_share *
+  /// max_batch)). Equal to max_batch_ when batch_share = 1.
+  int batch_cap_;
+  /// EMA of one batched step's wall time in ns (scheduler thread
+  /// only). Feeds the preemption check's time-to-free estimate; 0
+  /// until the first step, so nothing preempts before the scheduler
+  /// has a cost model.
+  double step_ema_ns_ = 0.0;
   /// Step scratch: [max_batch, vocab] logits block.
   std::vector<float> logits_;
 
@@ -130,8 +176,12 @@ class BatchScheduler {
   long long row_steps_ = 0;
   long long admitted_ = 0;
   long long completed_ = 0;
+  long long preemptions_ = 0;
+  long long shed_unmeetable_ = 0;
   int peak_occupancy_ = 0;
   int active_count_ = 0;
+  /// Monotone arrival stamp for SchedKey.seq; guarded by mutex_.
+  uint64_t arrival_seq_ = 0;
 
   std::thread thread_;
 };

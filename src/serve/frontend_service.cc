@@ -75,9 +75,18 @@ FrontendService::FrontendService(int backend_port)
       const Json& stream = doc->Get("stream");
       wants_stream = stream.is_bool() && stream.AsBool();
     }
+    // Forward the scheduling-class header across the hop; the body's
+    // own `priority` param still wins at the backend, this only keeps
+    // header-only clients working through the proxy tier.
+    HttpCallOptions call_options;
+    if (const auto it = req.headers.find("x-rt-priority");
+        it != req.headers.end()) {
+      call_options.headers["x-rt-priority"] = it->second;
+    }
     if (wants_stream) {
       auto call = std::make_shared<StreamingHttpCall>();
-      if (Status opened = call->Open(backend_port_, req.path, req.body);
+      if (Status opened = call->Open(backend_port_, req.path, req.body,
+                                     "application/json", call_options);
           !opened.ok()) {
         return JsonError(502, "backend_unreachable",
                          "backend did not answer: " + opened.message(),
@@ -130,7 +139,8 @@ FrontendService::FrontendService(int backend_port)
       };
       return out;
     }
-    auto resp = HttpPost(backend_port_, req.path, req.body);
+    auto resp = HttpPost(backend_port_, req.path, req.body,
+                         "application/json", call_options);
     if (!resp.ok()) {
       return JsonError(502, "backend_unreachable",
                        "backend did not answer: " +

@@ -554,7 +554,7 @@ Status HttpServer::Start(int port) {
   draining_.store(false);
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    pending_.clear();
+    pending_.Clear();
   }
   running_.store(true);
   workers_.reserve(static_cast<size_t>(options_.num_workers));
@@ -582,8 +582,10 @@ void HttpServer::Stop() {
   workers_.clear();
   // Connections that were queued but never picked up are closed unserved.
   std::lock_guard<std::mutex> lock(queue_mutex_);
-  for (const PendingConn& conn : pending_) ::close(conn.fd);
-  pending_.clear();
+  pending_.ForEach([](const serve::EdfQueue<PendingConn>::Entry& entry) {
+    ::close(entry.value.fd);
+  });
+  pending_.Clear();
 }
 
 int HttpServer::queue_depth() const {
@@ -617,7 +619,18 @@ void HttpServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       if (static_cast<int>(pending_.size()) < options_.max_queue &&
           !draining_.load()) {
-        pending_.push_back({fd, std::chrono::steady_clock::now()});
+        // The body is unread at admission, so the effective deadline is
+        // uniform (admission + queue_deadline_ms): with one budget EDF
+        // degrades to arrival order, and class-aware ordering takes over
+        // at the layers that have parsed the request.
+        const auto now = std::chrono::steady_clock::now();
+        serve::SchedKey key;
+        key.seq = queue_seq_++;
+        if (options_.queue_deadline_ms > 0) {
+          key.deadline =
+              now + std::chrono::milliseconds(options_.queue_deadline_ms);
+        }
+        pending_.Push(key, PendingConn{fd, now});
         queued = true;
       }
     }
@@ -640,36 +653,52 @@ void HttpServer::AcceptLoop() {
 void HttpServer::WorkerLoop() {
   for (;;) {
     PendingConn conn{-1, {}};
+    bool unmeetable = false;
+    long long slack_ms = 0;
+    int retry_after_s = options_.retry_after_seconds;
+    int depth_behind = 0;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
         return draining_.load() || !pending_.empty();
       });
       if (draining_.load()) break;  // queued fds are closed by Stop()
-      conn = pending_.front();
-      pending_.pop_front();
+      // EDF: serve the connection with the least slack first; shed it
+      // unserved when the slack already ran out (its budget is provably
+      // spent) with a retry hint from the slack left in the rest of the
+      // queue — how long until roughly half the queued work has either
+      // run or aged out, a live signal instead of a static hint.
+      const auto now = std::chrono::steady_clock::now();
+      auto entry = pending_.PopBest();
+      conn = entry.value;
+      if (serve::SchedPolicy::Unmeetable(entry.key, now)) {
+        unmeetable = true;
+        slack_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       entry.key.SlackAt(now))
+                       .count();
+        depth_behind = static_cast<int>(pending_.size());
+        retry_after_s = std::max(
+            options_.retry_after_seconds,
+            serve::SchedPolicy::RetryAfterSeconds(pending_.SlacksMillis(now)));
+      }
     }
-    // A connection that out-waited the queue deadline is answered with a
-    // 504 instead of a request whose budget is already spent.
-    if (options_.queue_deadline_ms > 0 &&
-        std::chrono::steady_clock::now() - conn.admitted >=
-            std::chrono::milliseconds(options_.queue_deadline_ms)) {
+    if (unmeetable) {
       requests_shed_.fetch_add(1);
       const std::string request_id = NextRequestId();
       RT_LOG(Warning) << "http shed request_id=" << request_id
                       << " trace_id=0 reason=queue_deadline queue_deadline_ms="
-                      << options_.queue_deadline_ms;
-      // Mirrors the 503 overload path: a shed connection means the
-      // queue is draining slower than requests age out, so the standing
-      // retry hint applies here too.
+                      << options_.queue_deadline_ms
+                      << " slack_ms=" << slack_ms
+                      << " queue_depth=" << depth_behind;
       Json details{Json::Object{}};
-      details.Set("retry_after_s", options_.retry_after_seconds);
+      details.Set("retry_after_s", retry_after_s);
+      details.Set("queue_depth", depth_behind);
+      details.Set("slack_ms", static_cast<double>(slack_ms));
       HttpResponse resp = JsonError(
           504, "deadline_exceeded",
           "request deadline expired while waiting in the accept queue",
           request_id, std::move(details));
-      resp.headers["Retry-After"] =
-          std::to_string(options_.retry_after_seconds);
+      resp.headers["Retry-After"] = std::to_string(retry_after_s);
       SetSendTimeout(conn.fd, options_.write_timeout_ms);
       (void)SendAll(conn.fd, RenderResponse(resp, /*keep_alive=*/false));
       LingeringClose(conn.fd);

@@ -4,7 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/sched_policy.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -232,7 +233,13 @@ class HttpServer {
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<PendingConn> pending_;  // accepted fds awaiting a worker
+  /// Accepted fds awaiting a worker, ordered by deadline slack
+  /// (admission + queue_deadline_ms; uniform budgets make this exact
+  /// FIFO — see serve::SchedPolicy). Workers shed provably-unmeetable
+  /// connections at dequeue with a 504 whose retry hint comes from the
+  /// queue's current slack distribution.
+  serve::EdfQueue<PendingConn> pending_;
+  uint64_t queue_seq_ = 0;  // arrival stamp, guarded by queue_mutex_
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

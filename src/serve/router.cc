@@ -126,7 +126,8 @@ bool Router::BackoffBeforeRetry(int attempt,
   return true;
 }
 
-bool Router::PickReplica(const std::set<int>& exclude, Pick* pick) {
+bool Router::PickReplica(const std::set<int>& exclude,
+                         serve::TrafficClass cls, Pick* pick) {
   const std::vector<ReplicaStatus> snapshot = fleet_->Snapshot();
   std::vector<const ReplicaStatus*> healthy;
   for (const ReplicaStatus& status : snapshot) {
@@ -138,12 +139,21 @@ bool Router::PickReplica(const std::set<int>& exclude, Pick* pick) {
     healthy.push_back(&status);
   }
   // Least-loaded first; stable so equal loads fall back to index order.
+  // Interactive requests count each batch-class in-flight twice (bulk
+  // decodes hold sessions longer), so tight-deadline work lands on the
+  // replica least busy with batch traffic. Batch requests use the raw
+  // count — they can afford to queue anywhere.
+  const auto load = [this, cls](int index) {
+    const ReplicaSlot& slot = *slots_[static_cast<size_t>(index)];
+    int weight = slot.in_flight.load();
+    if (cls == serve::TrafficClass::kInteractive) {
+      weight += slot.batch_in_flight.load();
+    }
+    return weight;
+  };
   std::stable_sort(healthy.begin(), healthy.end(),
-                   [this](const ReplicaStatus* a, const ReplicaStatus* b) {
-                     return slots_[static_cast<size_t>(a->index)]
-                                ->in_flight.load() <
-                            slots_[static_cast<size_t>(b->index)]
-                                ->in_flight.load();
+                   [&load](const ReplicaStatus* a, const ReplicaStatus* b) {
+                     return load(a->index) < load(b->index);
                    });
   // Pass 0 prefers replicas this request has not burned yet; pass 1
   // lets a retry land on an already-tried (still healthy, still
@@ -170,6 +180,15 @@ HttpResponse Router::HandleRoute(const HttpRequest& request) {
   // admission so time spent waiting for a worker counts against it.
   int budget_ms = options_.default_timeout_ms;
   bool wants_stream = false;
+  // Traffic class rides the body's `priority` param (header fallback:
+  // x-rt-priority) into the pick and onto every forwarded attempt. The
+  // router stays lenient about unknown values — the body is forwarded
+  // verbatim, so the backend's own validation answers bad_priority.
+  serve::TrafficClass cls = serve::TrafficClass::kInteractive;
+  if (const auto it = request.headers.find("x-rt-priority");
+      it != request.headers.end()) {
+    (void)serve::ParseTrafficClass(it->second, &cls);
+  }
   if (auto doc = Json::Parse(request.body); doc.ok() && doc->is_object()) {
     if (const Json& t = doc->Get("timeout_ms");
         t.is_number() && t.AsNumber() > 0) {
@@ -178,27 +197,33 @@ HttpResponse Router::HandleRoute(const HttpRequest& request) {
     }
     const Json& stream = doc->Get("stream");
     wants_stream = stream.is_bool() && stream.AsBool();
+    if (const Json& priority = doc->Get("priority");
+        priority.is_string()) {
+      (void)serve::ParseTrafficClass(priority.AsString(), &cls);
+    }
   }
   const auto admitted =
       request.admitted_at == SteadyClock::time_point{}
           ? SteadyClock::now()
           : request.admitted_at;
   const auto deadline = admitted + std::chrono::milliseconds(budget_ms);
-  return wants_stream ? RouteStream(request, deadline)
-                      : RouteBuffered(request, deadline);
+  return wants_stream ? RouteStream(request, deadline, cls)
+                      : RouteBuffered(request, deadline, cls);
 }
 
 HttpResponse Router::RouteBuffered(const HttpRequest& request,
-                                   SteadyClock::time_point deadline) {
+                                   SteadyClock::time_point deadline,
+                                   serve::TrafficClass cls) {
   std::set<int> tried;
   std::string last_transport;
   bool have_reply = false;
   int reply_status = 0;
   std::string reply_body;
+  const bool is_batch = cls == serve::TrafficClass::kBatch;
   for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
     if (MillisUntil(deadline) <= 0) break;
     Pick pick;
-    if (!PickReplica(tried, &pick)) {
+    if (!PickReplica(tried, cls, &pick)) {
       route_no_replica_.fetch_add(1);
       HttpResponse resp =
           JsonError(503, "no_healthy_replica",
@@ -215,13 +240,16 @@ HttpResponse Router::RouteBuffered(const HttpRequest& request,
     call.timeout_ms = try_timeout;
     call.headers["x-rt-request-id"] = request.request_id;
     call.headers["x-rt-trace-id"] = std::to_string(request.trace_id);
+    call.headers["x-rt-priority"] = serve::TrafficClassName(cls);
     slot.in_flight.fetch_add(1);
+    if (is_batch) slot.batch_in_flight.fetch_add(1);
     slot.dispatched.fetch_add(1);
     const auto try_start = obs::Now();
     auto resp = HttpPost(pick.port, request.path,
                          ForwardBody(request.body, try_timeout),
                          ContentTypeOf(request), call);
     slot.in_flight.fetch_sub(1);
+    if (is_batch) slot.batch_in_flight.fetch_sub(1);
     obs::RecordSpanSince(obs::Stage::kRouteTry, request.trace_id,
                          try_start, "replica", pick.index);
     if (!resp.ok()) {
@@ -295,12 +323,14 @@ HttpResponse Router::RouteBuffered(const HttpRequest& request,
 }
 
 HttpResponse Router::RouteStream(const HttpRequest& request,
-                                 SteadyClock::time_point deadline) {
+                                 SteadyClock::time_point deadline,
+                                 serve::TrafficClass cls) {
   auto tried = std::make_shared<std::set<int>>();
+  const bool is_batch = cls == serve::TrafficClass::kBatch;
   for (int attempt = 0; attempt < options_.max_tries; ++attempt) {
     if (MillisUntil(deadline) <= 0) break;
     Pick pick;
-    if (!PickReplica(*tried, &pick)) {
+    if (!PickReplica(*tried, cls, &pick)) {
       route_no_replica_.fetch_add(1);
       HttpResponse resp =
           JsonError(503, "no_healthy_replica",
@@ -323,8 +353,10 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
     call_options.headers["x-rt-request-id"] = request.request_id;
     call_options.headers["x-rt-trace-id"] =
         std::to_string(request.trace_id);
+    call_options.headers["x-rt-priority"] = serve::TrafficClassName(cls);
     auto call = std::make_shared<StreamingHttpCall>();
     slot.in_flight.fetch_add(1);
+    if (is_batch) slot.batch_in_flight.fetch_add(1);
     slot.dispatched.fetch_add(1);
     const auto try_start = obs::Now();
     const Status opened =
@@ -335,6 +367,7 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
                          try_start, "replica", pick.index);
     if (!opened.ok()) {
       slot.in_flight.fetch_sub(1);
+      if (is_batch) slot.batch_in_flight.fetch_sub(1);
       slot.breaker->RecordTimeout(pick.ticket);
       slot.failures.fetch_add(1);
       fleet_->ReportFailure(pick.index);
@@ -351,6 +384,7 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
       // shed, or breaker fast-fail. Same retry rules as unary.
       auto body = call->ReadAll();
       slot.in_flight.fetch_sub(1);
+      if (is_batch) slot.batch_in_flight.fetch_sub(1);
       const int status = call->status();
       if (!body.ok()) {
         slot.breaker->RecordTimeout(pick.ticket);
@@ -398,8 +432,8 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
     const std::string body = request.body;
     const std::string content_type = ContentTypeOf(request);
     out.stream = [this, call, index, ticket, tried, request_id, trace_id,
-                  path, body, content_type,
-                  deadline](ResponseWriter& writer) mutable {
+                  path, body, content_type, deadline, cls,
+                  is_batch](ResponseWriter& writer) mutable {
       int current = index;
       CircuitBreaker::Ticket current_ticket = ticket;
       auto current_call = call;
@@ -411,6 +445,7 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
         ReplicaSlot& current_slot =
             *slots_[static_cast<size_t>(current)];
         current_slot.in_flight.fetch_sub(1);
+        if (is_batch) current_slot.batch_in_flight.fetch_sub(1);
         if (pumped.ok()) {
           if (writer.dead()) {
             // The client walked away; the upstream told us nothing
@@ -431,7 +466,7 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
             static_cast<int>(tried->size()) < options_.max_tries) {
           // Zero bytes have reached the client: failover is invisible.
           Pick next;
-          if (PickReplica(*tried, &next)) {
+          if (PickReplica(*tried, cls, &next)) {
             tried->insert(next.index);
             ReplicaSlot& next_slot =
                 *slots_[static_cast<size_t>(next.index)];
@@ -443,8 +478,11 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
             retry_options.headers["x-rt-request-id"] = request_id;
             retry_options.headers["x-rt-trace-id"] =
                 std::to_string(trace_id);
+            retry_options.headers["x-rt-priority"] =
+                serve::TrafficClassName(cls);
             auto next_call = std::make_shared<StreamingHttpCall>();
             next_slot.in_flight.fetch_add(1);
+            if (is_batch) next_slot.batch_in_flight.fetch_add(1);
             next_slot.dispatched.fetch_add(1);
             const int remaining_ms = static_cast<int>(
                 std::max<long long>(MillisUntil(deadline), 1));
@@ -460,6 +498,7 @@ HttpResponse Router::RouteStream(const HttpRequest& request,
               continue;
             }
             next_slot.in_flight.fetch_sub(1);
+            if (is_batch) next_slot.batch_in_flight.fetch_sub(1);
             next_slot.breaker->RecordTimeout(next.ticket);
             next_slot.failures.fetch_add(1);
             fleet_->ReportFailure(next.index);
@@ -579,6 +618,7 @@ Json Router::MetricsJson() const {
       const ReplicaSlot& slot =
           *slots_[static_cast<size_t>(status.index)];
       entry.Set("in_flight", slot.in_flight.load());
+      entry.Set("batch_in_flight", slot.batch_in_flight.load());
       entry.Set("dispatched",
                 static_cast<double>(slot.dispatched.load()));
       entry.Set("failures", static_cast<double>(slot.failures.load()));

@@ -11,6 +11,7 @@
 #include "serve/circuit_breaker.h"
 #include "serve/http.h"
 #include "serve/replica_supervisor.h"
+#include "serve/sched_policy.h"
 #include "util/json.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -104,6 +105,10 @@ class Router {
   struct ReplicaSlot {
     std::unique_ptr<CircuitBreaker> breaker;
     std::atomic<int> in_flight{0};
+    /// Subset of in_flight carrying the batch traffic class. The pick
+    /// weights these double for interactive requests, steering latency-
+    /// sensitive work away from replicas busy with bulk decodes.
+    std::atomic<int> batch_in_flight{0};
     std::atomic<long long> dispatched{0};
     std::atomic<long long> failures{0};
   };
@@ -118,13 +123,18 @@ class Router {
   /// Least-loaded healthy replica not in `exclude` whose breaker admits
   /// the request. Falls back to excluded replicas (still healthy, still
   /// admitted) when nothing else is left — a retry may land on the
-  /// same replica rather than fail outright.
-  bool PickReplica(const std::set<int>& exclude, Pick* pick);
+  /// same replica rather than fail outright. Interactive requests
+  /// weight a replica's batch-class load double, so latency-sensitive
+  /// work lands on the replica least busy with bulk decodes.
+  bool PickReplica(const std::set<int>& exclude, serve::TrafficClass cls,
+                   Pick* pick);
 
   HttpResponse RouteBuffered(const HttpRequest& request,
-                             std::chrono::steady_clock::time_point deadline);
+                             std::chrono::steady_clock::time_point deadline,
+                             serve::TrafficClass cls);
   HttpResponse RouteStream(const HttpRequest& request,
-                           std::chrono::steady_clock::time_point deadline);
+                           std::chrono::steady_clock::time_point deadline,
+                           serve::TrafficClass cls);
   HttpResponse HandleRoute(const HttpRequest& request);
   HttpResponse HandleHealthz(const HttpRequest& request) const;
   HttpResponse HandleMetrics(const HttpRequest& request) const;

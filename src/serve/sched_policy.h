@@ -1,0 +1,237 @@
+#ifndef RATATOUILLE_SERVE_SCHED_POLICY_H_
+#define RATATOUILLE_SERVE_SCHED_POLICY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/deadline.h"
+
+namespace rt::serve {
+
+/// The two traffic classes sharing a fleet: interactive generation
+/// (tight latency tolerance, the default) and batch work (audits,
+/// bulk scoring — throughput-oriented, preemptible). Carried by the
+/// `priority` request param and the `x-rt-priority` header.
+enum class TrafficClass {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
+inline const char* TrafficClassName(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::kInteractive:
+      return "interactive";
+    case TrafficClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+/// Parses "interactive" / "batch". Returns false on anything else
+/// (the caller answers 400 bad_priority).
+inline bool ParseTrafficClass(const std::string& text, TrafficClass* out) {
+  if (text == "interactive") {
+    *out = TrafficClass::kInteractive;
+    return true;
+  }
+  if (text == "batch") {
+    *out = TrafficClass::kBatch;
+    return true;
+  }
+  return false;
+}
+
+/// One scheduling policy for every queue in the request path
+/// (HTTP admission queue, session waiter list, batch-scheduler
+/// pending list): earliest-deadline-first over *slack* — time left
+/// until the request's deadline — with interactive beating batch at
+/// equal deadlines and arrival order (`seq`) breaking the remaining
+/// ties. Uniform deadlines therefore degrade to exact FIFO: the
+/// pre-EDF behavior is the degenerate case, not a special case.
+struct SchedKey {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute deadline; Clock::time_point::max() means "no deadline"
+  /// (infinite slack — always schedulable last).
+  Clock::time_point deadline = Clock::time_point::max();
+  TrafficClass cls = TrafficClass::kInteractive;
+  /// Monotone arrival stamp assigned by the queue owner.
+  uint64_t seq = 0;
+
+  static Clock::time_point DeadlinePoint(const Deadline& d) {
+    return d.is_infinite() ? Clock::time_point::max() : d.when();
+  }
+
+  /// Remaining slack. Negative when the deadline has passed; max()
+  /// when there is no deadline.
+  std::chrono::nanoseconds SlackAt(Clock::time_point now) const {
+    if (deadline == Clock::time_point::max()) {
+      return std::chrono::nanoseconds::max();
+    }
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(deadline -
+                                                                now);
+  }
+
+  /// Strict weak ordering: tighter deadline first, interactive before
+  /// batch at equal deadlines, then arrival order.
+  bool Before(const SchedKey& other) const {
+    if (deadline != other.deadline) return deadline < other.deadline;
+    if (cls != other.cls) return cls == TrafficClass::kInteractive;
+    return seq < other.seq;
+  }
+};
+
+/// Policy helpers shared by the four scheduling points.
+struct SchedPolicy {
+  using Clock = SchedKey::Clock;
+
+  /// A request is provably unmeetable once its deadline has passed —
+  /// any work spent on it is wasted capacity, so queues shed it at
+  /// dequeue instead of running it into a guaranteed 504.
+  static bool Unmeetable(const SchedKey& key, Clock::time_point now) {
+    return key.deadline != Clock::time_point::max() && now >= key.deadline;
+  }
+
+  /// Retry-After hint (seconds, >= 1) derived from the current slack
+  /// distribution of the queue: the median positive slack says when
+  /// roughly half the queued work will have either run or been shed —
+  /// a better estimate of when capacity returns than a static hint.
+  /// `slacks_ms` may contain negative entries (already-unmeetable
+  /// work); they are ignored. Empty/all-negative falls back to 1 s.
+  static int RetryAfterSeconds(std::vector<long long> slacks_ms) {
+    slacks_ms.erase(
+        std::remove_if(slacks_ms.begin(), slacks_ms.end(),
+                       [](long long ms) { return ms <= 0; }),
+        slacks_ms.end());
+    if (slacks_ms.empty()) return 1;
+    std::nth_element(slacks_ms.begin(),
+                     slacks_ms.begin() + slacks_ms.size() / 2,
+                     slacks_ms.end());
+    long long median_ms = slacks_ms[slacks_ms.size() / 2];
+    long long seconds = (median_ms + 999) / 1000;
+    return static_cast<int>(std::max<long long>(1, seconds));
+  }
+};
+
+/// A slack-ordered queue of T. Pop returns the entry whose SchedKey
+/// orders first (EDF). Bounded queues stay small (default HTTP queue
+/// is 64), so selection is a linear scan — no heap bookkeeping, and
+/// stability for the FIFO-degenerate case falls out of SchedKey's seq
+/// tiebreak. Not thread-safe; the owner holds its own mutex.
+template <typename T>
+class EdfQueue {
+ public:
+  struct Entry {
+    SchedKey key;
+    T value;
+  };
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  void Push(const SchedKey& key, T value) {
+    entries_.push_back(Entry{key, std::move(value)});
+  }
+
+  /// Removes and returns the earliest-deadline entry.
+  /// Precondition: !empty().
+  Entry PopBest() {
+    size_t best = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].key.Before(entries_[best].key)) best = i;
+    }
+    Entry out = std::move(entries_[best]);
+    entries_.erase(entries_.begin() + static_cast<long>(best));
+    return out;
+  }
+
+  /// Slack of every queued entry at `now`, in milliseconds (clamped to
+  /// a large finite value for no-deadline entries) — the input to
+  /// SchedPolicy::RetryAfterSeconds.
+  std::vector<long long> SlacksMillis(SchedKey::Clock::time_point now) const {
+    std::vector<long long> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      auto slack = e.key.SlackAt(now);
+      if (slack == std::chrono::nanoseconds::max()) {
+        out.push_back(std::numeric_limits<long long>::max() / 2000000);
+      } else {
+        out.push_back(
+            std::chrono::duration_cast<std::chrono::milliseconds>(slack)
+                .count());
+      }
+    }
+    return out;
+  }
+
+  /// Visits every entry (for drain/teardown).
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Entry& e : entries_) fn(e);
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// The waiter list behind BackendService::AcquireSession: blocked
+/// acquirers park a Waiter node here and a freed slot is *handed* to
+/// the earliest-deadline waiter instead of waking whoever the OS
+/// happens to schedule first. All methods require the owner's mutex.
+class SlotWaitQueue {
+ public:
+  struct Waiter {
+    SchedKey key;
+    /// Set by GrantBest under the owner's mutex; the waiter re-checks
+    /// it after every wake.
+    bool granted = false;
+    int slot = -1;
+  };
+
+  void Enqueue(Waiter* waiter) { waiters_.push_back(waiter); }
+
+  /// Removes a waiter that gave up (timeout). Returns false when the
+  /// waiter was already granted a slot — the caller must then put the
+  /// slot back rather than leak it.
+  bool Remove(Waiter* waiter) {
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i] == waiter) {
+        waiters_.erase(waiters_.begin() + static_cast<long>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Hands `slot` to the earliest-deadline waiter and returns it, or
+  /// returns nullptr when nobody is waiting (the caller keeps the
+  /// slot in the free pool).
+  Waiter* GrantBest(int slot) {
+    if (waiters_.empty()) return nullptr;
+    size_t best = 0;
+    for (size_t i = 1; i < waiters_.size(); ++i) {
+      if (waiters_[i]->key.Before(waiters_[best]->key)) best = i;
+    }
+    Waiter* out = waiters_[best];
+    waiters_.erase(waiters_.begin() + static_cast<long>(best));
+    out->granted = true;
+    out->slot = slot;
+    return out;
+  }
+
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+
+ private:
+  std::vector<Waiter*> waiters_;
+};
+
+}  // namespace rt::serve
+
+#endif  // RATATOUILLE_SERVE_SCHED_POLICY_H_

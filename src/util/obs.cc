@@ -73,6 +73,8 @@ const char* StageName(Stage stage) {
       return "response_stream_write";
     case Stage::kRouteTry:
       return "route_try";
+    case Stage::kPreempt:
+      return "preempt";
   }
   return "unknown";
 }
@@ -154,6 +156,8 @@ namespace {
 
 struct StageState {
   StageHistogram histograms[kStageCount];
+  /// Queue wait split by traffic class: [0] interactive, [1] batch.
+  StageHistogram class_queue_wait[2];
   std::atomic<long long> tokens_sampled{0};
   /// Wall time spent inside batch_step spans, the denominator of the
   /// decode-throughput gauge.
@@ -175,17 +179,25 @@ void CountSampledTokens(long long n) {
   Stages().tokens_sampled.fetch_add(n, std::memory_order_relaxed);
 }
 
+void RecordClassQueueWait(int traffic_class, long long ns) {
+  if (traffic_class < 0 || traffic_class > 1) return;
+  Stages().class_queue_wait[traffic_class].Record(ns);
+}
+
 void FillStageMetrics(Json* object) {
   StageState& state = Stages();
   static const Stage kAll[kStageCount] = {
       Stage::kRequest,       Stage::kQueueWait, Stage::kSessionAcquire,
       Stage::kPrefill,       Stage::kPrefillCached,
       Stage::kBatchStep,     Stage::kSample,    Stage::kResponseWrite,
-      Stage::kResponseStreamWrite, Stage::kRouteTry};
+      Stage::kResponseStreamWrite, Stage::kRouteTry, Stage::kPreempt};
   for (Stage stage : kAll) {
     HistogramFor(stage).FillMetrics(
         std::string("stage_") + StageName(stage) + "_", object);
   }
+  state.class_queue_wait[0].FillMetrics("stage_queue_wait_interactive_",
+                                        object);
+  state.class_queue_wait[1].FillMetrics("stage_queue_wait_batch_", object);
   const long long tokens =
       state.tokens_sampled.load(std::memory_order_relaxed);
   const double decode_seconds =
@@ -201,6 +213,7 @@ void FillStageMetrics(Json* object) {
 void ResetStageMetrics() {
   StageState& state = Stages();
   for (auto& histogram : state.histograms) histogram.Reset();
+  for (auto& histogram : state.class_queue_wait) histogram.Reset();
   state.tokens_sampled.store(0, std::memory_order_relaxed);
   state.decode_ns.store(0, std::memory_order_relaxed);
 }

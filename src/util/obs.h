@@ -54,8 +54,9 @@ enum class Stage : int {
   kResponseWrite,   ///< serializing + sending the HTTP response
   kResponseStreamWrite,  ///< one SSE chunk write on a streaming response
   kRouteTry,             ///< one router dispatch attempt against a replica
+  kPreempt,              ///< evicting a batch row for a tighter deadline
 };
-inline constexpr int kStageCount = 10;
+inline constexpr int kStageCount = 11;
 
 /// Stable lowercase span/metric name, e.g. "queue_wait".
 const char* StageName(Stage stage);
@@ -118,6 +119,14 @@ void ResetStageMetrics();
 /// Counts sampled tokens for the tokens/sec gauge. Called once per
 /// sampled token by the decode paths (scheduler + sequential).
 void CountSampledTokens(long long n);
+
+/// Per-traffic-class queue-wait histograms (admission to handler
+/// start), recorded by the backend once the request body has revealed
+/// the class. `traffic_class` is 0 = interactive, 1 = batch (an int so
+/// the util layer stays independent of rt::serve::TrafficClass);
+/// anything else is ignored. Exported by FillStageMetrics as
+/// "stage_queue_wait_interactive_*" / "stage_queue_wait_batch_*".
+void RecordClassQueueWait(int traffic_class, long long ns);
 
 // ---------------------------------------------------------------------------
 // Trace recorder

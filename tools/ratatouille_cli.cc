@@ -57,7 +57,7 @@ int Usage() {
       "              [--backend-port=P --frontend-port=P --workers=N\n"
       "               --sessions=N --queue=N --request-timeout-ms=MS\n"
       "               --compute-threads=N --max-batch=M\n"
-      "               --replicas=N --chaos-seed=S\n"
+      "               --batch-share=F --replicas=N --chaos-seed=S\n"
       "               --trace-file=FILE --profile]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n"
       "serve observability: GET /v1/trace (Chrome trace JSON),\n"
@@ -66,7 +66,10 @@ int Usage() {
       "  (env: RT_TRACE=1, RT_PROFILE=1)\n"
       "serve --replicas=N forks N supervised backend processes behind\n"
       "  a retrying router; --chaos-seed=S (or RT_CHAOS=S) arms seeded\n"
-      "  fault injection across the fleet\n");
+      "  fault injection across the fleet\n"
+      "serve scheduling: requests carry priority=interactive|batch\n"
+      "  (EDF by deadline slack); --batch-share=F caps the fraction of\n"
+      "  batch slots batch-class rows may hold (0 < F <= 1)\n");
   return 2;
 }
 
@@ -272,6 +275,7 @@ struct ServingSessions {
     if (options->max_batch > 1) {
       serve::BatchSchedulerOptions sched_options;
       sched_options.max_batch = options->max_batch;
+      sched_options.batch_share = options->batch_share;
       scheduler = std::make_unique<serve::BatchScheduler>(p->model(),
                                                           sched_options);
       InstallBatchMetrics(scheduler.get(), options);
@@ -312,10 +316,12 @@ int CmdServeReplica(const ArgParser& args) {
   auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
   auto compute_threads = args.GetInt("compute-threads", 0);
   auto max_batch = args.GetInt("max-batch", 1);
+  auto batch_share = args.GetDouble("batch-share", 1.0);
   if (!backend_port.ok() || !workers.ok() || !sessions.ok() ||
       !queue.ok() || !request_timeout_ms.ok() || *request_timeout_ms < 1 ||
       !compute_threads.ok() || *compute_threads < 0 || !max_batch.ok() ||
-      *max_batch < 1) {
+      *max_batch < 1 || !batch_share.ok() || *batch_share <= 0.0 ||
+      *batch_share > 1.0) {
     return Usage();
   }
   BackendOptions options;
@@ -334,6 +340,7 @@ int CmdServeReplica(const ArgParser& args) {
   options.compute_threads = static_cast<int>(*compute_threads);
   options.models = {args.GetString("model", "word-lstm")};
   options.max_batch = static_cast<int>(*max_batch);
+  options.batch_share = *batch_share;
   options.enable_fault_admin = args.GetBool("fault-admin");
   ServingSessions serving(&p, &options);
   BackendService backend(serving.factory, options);
@@ -406,6 +413,8 @@ int CmdServeFleet(const ArgParser& args, int replicas,
       "--sessions=" + std::to_string(*args.GetInt("sessions", 2)),
       "--queue=" + std::to_string(*args.GetInt("queue", 64)),
       "--max-batch=" + std::to_string(*args.GetInt("max-batch", 1)),
+      "--batch-share=" +
+          std::to_string(*args.GetDouble("batch-share", 1.0)),
       "--request-timeout-ms=" + std::to_string(*request_timeout_ms),
       "--compute-threads=" +
           std::to_string(*args.GetInt("compute-threads", 0)),
@@ -502,12 +511,14 @@ int CmdServe(const ArgParser& args) {
   auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
   auto compute_threads = args.GetInt("compute-threads", 0);
   auto max_batch = args.GetInt("max-batch", 1);
+  auto batch_share = args.GetDouble("batch-share", 1.0);
   const std::string trace_file = args.GetString("trace-file");
   const bool profile = args.GetBool("profile");
   if (!backend_port.ok() || !frontend_port.ok() || !workers.ok() ||
       !sessions.ok() || !queue.ok() || !request_timeout_ms.ok() ||
       *request_timeout_ms < 1 || !compute_threads.ok() ||
-      *compute_threads < 0 || !max_batch.ok() || *max_batch < 1) {
+      *compute_threads < 0 || !max_batch.ok() || *max_batch < 1 ||
+      !batch_share.ok() || *batch_share <= 0.0 || *batch_share > 1.0) {
     return Usage();
   }
   if (profile) obs::KernelProfiler::Instance().SetEnabled(true);
@@ -520,6 +531,7 @@ int CmdServe(const ArgParser& args) {
   options.compute_threads = static_cast<int>(*compute_threads);
   options.models = {args.GetString("model", "word-lstm")};
   options.max_batch = static_cast<int>(*max_batch);
+  options.batch_share = *batch_share;
 
   ServingSessions serving(&p, &options);
   BackendService backend(serving.factory, options);
