@@ -1,0 +1,170 @@
+// Int8 quantization parity benchmark. Emits BENCH_quant.json — the
+// file the CI quant-parity job feeds to scripts/check_bench.py --quant=.
+//
+// Acceptance story for the int8 inference path (see docs/quantization.md):
+// the Table-I BLEU harness is run twice on the SAME trained model and
+// the SAME held-out prompts — once with the fp32 kernels, once with
+// --quant=int8 semantics (kernels::Config().use_int8) — for a GPT-2
+// transformer and a word-level LSTM. Quantization is weight-only
+// per-channel symmetric int8 with fp32 activations, so generation BLEU
+// must stay within a small relative margin of fp32; check_bench.py
+// gates (bleu_fp32 - bleu_int8) / bleu_fp32 <= 2%. Because both
+// numbers come from one run on one machine, the gate never flakes on
+// runner-class differences.
+//
+// The same file carries the m=1 decode GEMV timing pair (packed fp32
+// vs packed int8) at the GPT-2 medium MLP up-projection shape, so the
+// quant job also enforces the >= 2x kernel speedup that justifies the
+// int8 path's existence end to end.
+//
+// Env: RT_BENCH_SCALE=quick|default|full scales corpus/epochs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/ratatouille.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
+
+namespace rt {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double TimeNs(const std::function<void()>& fn, double min_ms) {
+  fn();  // warmup: page in operands, pack panels
+  long long iters = 0;
+  auto start = Clock::now();
+  double elapsed_ns = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed_ns = std::chrono::duration<double, std::nano>(Clock::now() -
+                                                          start)
+                     .count();
+  } while (elapsed_ns < min_ms * 1e6);
+  return elapsed_ns / static_cast<double>(iters);
+}
+
+struct ParityRow {
+  std::string op;
+  double bleu_fp32 = 0.0;
+  double bleu_int8 = 0.0;
+};
+
+/// Trains one Table-I model, then evaluates BLEU twice on the identical
+/// test prompts: fp32 kernels, then int8 kernels on the same weights.
+StatusOr<ParityRow> RunParity(ModelKind kind, const std::string& op,
+                              int num_recipes) {
+  bench::TrainEvalSpec spec = bench::Table1Spec(kind, num_recipes);
+  PipelineOptions options = spec.pipeline;
+  options.model = kind;
+  RT_ASSIGN_OR_RETURN(auto pipeline, Pipeline::Create(options));
+  std::printf("[quant] training %s ...\n", ModelKindName(kind));
+  std::fflush(stdout);
+  RT_ASSIGN_OR_RETURN(auto train, pipeline->Train());
+  (void)train;
+
+  ParityRow row;
+  row.op = op;
+  kernels::Config().use_int8 = false;
+  RT_ASSIGN_OR_RETURN(
+      auto fp32_report,
+      pipeline->EvaluateOnTestSet(spec.eval_samples, spec.generation));
+  row.bleu_fp32 = fp32_report.corpus_bleu;
+  kernels::Config().use_int8 = true;
+  auto int8_report =
+      pipeline->EvaluateOnTestSet(spec.eval_samples, spec.generation);
+  kernels::Config().use_int8 = false;
+  RT_RETURN_IF_ERROR(int8_report.status());
+  row.bleu_int8 = int8_report->corpus_bleu;
+  std::printf("[quant] %s BLEU fp32=%.4f int8=%.4f (delta %+.2f%%)\n",
+              ModelKindName(kind), row.bleu_fp32, row.bleu_int8,
+              row.bleu_fp32 > 0.0
+                  ? 100.0 * (row.bleu_int8 - row.bleu_fp32) / row.bleu_fp32
+                  : 0.0);
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_quant.json";
+  for (int i = 1; i < argc; ++i) out_path = argv[i];
+
+  const int num_recipes = bench::Scaled(300, 120);
+  std::printf("[quant] corpus=%d recipes, scale=%.2f\n", num_recipes,
+              bench::ScaleFactor());
+
+  std::vector<ParityRow> rows;
+  for (const auto& [kind, op] :
+       std::vector<std::pair<ModelKind, std::string>>{
+           {ModelKind::kGpt2Medium, "quant_bleu_gpt2"},
+           {ModelKind::kWordLstm, "quant_bleu_lstm"}}) {
+    auto row = RunParity(kind, op, num_recipes);
+    if (!row.ok()) {
+      std::fprintf(stderr, "[quant] %s failed: %s\n", op.c_str(),
+                   row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*row);
+  }
+
+  // m=1 decode GEMV pair at the GPT-2 medium MLP up-projection shape
+  // (768 -> 3072); same shape as the gemv_mlp_* rows in bench_kernels.
+  ThreadPool::SetGlobalThreads(1);
+  const int gk = 768, gn = 3072;
+  Rng rng(29);
+  Tensor a = Tensor::Normal({1, gk}, 1.0f, &rng);
+  Tensor b = Tensor::Normal({gk, gn}, 1.0f, &rng);
+  Tensor c({1, gn});
+  kernels::PackedB packed_f32;
+  packed_f32.Pack(gk, gn, b.data());
+  kernels::PackedBInt8 packed_i8;
+  packed_i8.Pack(gk, gn, b.data());
+  const double ns_fp32 = TimeNs(
+      [&] { kernels::GemmPacked(1, a.data(), packed_f32, c.data(), false); },
+      200.0);
+  const double ns_int8 = TimeNs(
+      [&] {
+        kernels::GemmPackedInt8(1, a.data(), packed_i8, c.data(), false);
+      },
+      200.0);
+  std::printf("[quant] m=1 GEMV %dx%d: fp32 %.0f ns, int8 %.0f ns "
+              "(speedup %.2fx)\n",
+              gk, gn, ns_fp32, ns_int8, ns_fp32 / ns_int8);
+
+  std::string json = "{\n\"results\": [\n";
+  char buf[256];
+  for (const auto& row : rows) {
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"op\": \"%s\", \"threads\": 1, "
+                  "\"bleu_fp32\": %.6f, \"bleu_int8\": %.6f},\n",
+                  row.op.c_str(), row.bleu_fp32, row.bleu_int8);
+    json += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  {\"op\": \"quant_gemv_m1\", \"shape\": \"1x%dx%d\", "
+                "\"threads\": 1, \"ns_fp32\": %.1f, \"ns_int8\": %.1f}\n",
+                gn, gk, ns_fp32, ns_int8);
+  json += buf;
+  json += "]\n}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rt
+
+int main(int argc, char** argv) { return rt::Main(argc, argv); }

@@ -3,12 +3,17 @@
 
 Usage:
     check_bench.py CURRENT.json [BASELINE.json] [--sched=SCHED.json]
+                   [--quant=QUANT.json]
 
-Two families of checks:
+Families of checks:
 
 1. Machine-independent ratio gates, computed entirely within
    CURRENT.json (these never flake across runner classes):
      * blocked GEMM >= 3x the reference GEMM (single thread);
+     * int8 packed GEMV >= 2x the packed fp32 GEMV at m=1 (the
+       gemv_mlp_int8 / gemv_mlp_fp32 rows, GPT-2 medium MLP
+       up-projection shape) — the bandwidth claim that justifies the
+       int8 decode path;
      * batch-8 batched decode >= 2x the aggregate throughput of
        sequential m=1 decodes (the gpt2_decode_batched_b1 row);
      * tracing overhead <= 3%: decode with the span ring enabled
@@ -36,8 +41,18 @@ Two families of checks:
      * batch token throughput under EDF is printed informationally
        (expected to stay within ~10% of FIFO).
 
+4. Int8 quantization parity gates, only when --quant=QUANT.json is
+   given (the bench_quant run; CI's quant-parity job). In-run ratios:
+     * Table-I BLEU with int8 weights within QUANT_BLEU_TOLERANCE (2%
+       relative) of the fp32 BLEU measured in the same run on the same
+       trained weights and prompts, for both quant_bleu_gpt2 and
+       quant_bleu_lstm (only regressions count — int8 scoring above
+       fp32 passes);
+     * the quant_gemv_m1 row's int8 time beats fp32 by
+       >= INT8_GEMV_MIN_SPEEDUP.
+
 Exit status 0 = all gates pass, 1 = at least one failed (CI fails the
-bench-smoke job on it).
+bench-smoke / quant-parity job on it).
 """
 
 import json
@@ -73,6 +88,12 @@ TRACING_OVERHEAD = 0.03
 # FIFO baseline measured in the same bench_sched run (>= 30% better).
 SCHED_P99_RATIO = 0.7
 
+# Int8 weight quantization: m=1 decode GEMV speedup over packed fp32,
+# and how much corpus BLEU the int8 path may lose relative to fp32 on
+# the same trained weights (bench_quant run).
+INT8_GEMV_MIN_SPEEDUP = 2.0
+QUANT_BLEU_TOLERANCE = 0.02
+
 
 def load(path):
     """Maps (op, threads) -> result row (first occurrence wins)."""
@@ -89,20 +110,49 @@ def get(table, op, threads, field, path):
     if key not in table:
         print(f"FAIL  {path}: missing row op={op} threads={threads}")
         return None
+    if field not in table[key]:
+        # A schema mismatch (stale baseline, renamed field) must read as
+        # a gate failure with a pointer to the offender, not a KeyError
+        # traceback.
+        print(f"FAIL  missing gate key {field} in {path} "
+              f"(row op={op} threads={threads})")
+        return None
     return table[key][field]
 
 
 def main():
     sched_path = None
+    quant_path = None
     positional = []
     for arg in sys.argv[1:]:
         if arg.startswith("--sched="):
             sched_path = arg.split("=", 1)[1]
+        elif arg.startswith("--quant="):
+            quant_path = arg.split("=", 1)[1]
         else:
             positional.append(arg)
-    if not positional:
+    if not positional and quant_path is None and sched_path is None:
         print(__doc__)
         return 2
+    failures = 0
+    if positional:
+        failures += check_kernels(positional)
+    if sched_path is not None:
+        failures += check_sched(sched_path)
+    if quant_path is not None:
+        failures += check_quant(quant_path)
+
+    if failures:
+        print(f"\n{failures} bench gate(s) failed. If the regression is "
+              "intentional (new hardware, algorithm change), regenerate "
+              "bench/BENCH_baseline.json — see scripts/check_bench.py "
+              "docstring.")
+        return 1
+    print("\nall bench gates passed")
+    return 0
+
+
+def check_kernels(positional):
     current_path = positional[0]
     current = load(current_path)
     failures = 0
@@ -117,6 +167,18 @@ def main():
         ok = speedup >= BLOCKED_MIN_SPEEDUP
         print(f"{'PASS' if ok else 'FAIL'}  blocked GEMM speedup "
               f"{speedup:.2f}x (gate: >= {BLOCKED_MIN_SPEEDUP:.1f}x)")
+        failures += 0 if ok else 1
+
+    gemv_f32 = get(current, "gemv_mlp_fp32", 1, "ns_per_iter", current_path)
+    gemv_i8 = get(current, "gemv_mlp_int8", 1, "ns_per_iter", current_path)
+    if gemv_f32 is None or gemv_i8 is None or gemv_i8 <= 0:
+        failures += 1
+    else:
+        speedup = gemv_f32 / gemv_i8
+        ok = speedup >= INT8_GEMV_MIN_SPEEDUP
+        print(f"{'PASS' if ok else 'FAIL'}  int8 m=1 GEMV speedup "
+              f"{speedup:.2f}x over packed fp32 "
+              f"(gate: >= {INT8_GEMV_MIN_SPEEDUP:.1f}x)")
         failures += 0 if ok else 1
 
     b1 = get(current, "gpt2_decode_batched_b1", 1, "tokens_per_sec",
@@ -185,39 +247,69 @@ def main():
                   f"(floor {floor:.1f})")
             failures += 0 if ok else 1
 
-    # Scheduling-policy gates (bench_sched overload run).
-    if sched_path is not None:
-        sched = load(sched_path)
-        fifo_p99 = get(sched, "sched_fifo_interactive", 1, "p99_ms",
-                       sched_path)
-        edf_p99 = get(sched, "sched_edf_interactive", 1, "p99_ms",
-                      sched_path)
-        if fifo_p99 is None or edf_p99 is None or fifo_p99 <= 0:
-            failures += 1
-        else:
-            ratio = edf_p99 / fifo_p99
-            ok = ratio <= SCHED_P99_RATIO
-            print(f"{'PASS' if ok else 'FAIL'}  EDF interactive p99 "
-                  f"{ratio:.2f}x of FIFO ({edf_p99:.2f} ms vs "
-                  f"{fifo_p99:.2f} ms, gate: <= {SCHED_P99_RATIO:.1f}x)")
-            failures += 0 if ok else 1
-        fifo_tps = get(sched, "sched_fifo_batch", 1, "tokens_per_sec",
-                       sched_path)
-        edf_tps = get(sched, "sched_edf_batch", 1, "tokens_per_sec",
-                      sched_path)
-        if fifo_tps and edf_tps:
-            print(f"INFO  batch throughput under EDF: "
-                  f"{edf_tps / fifo_tps:.2f}x of FIFO "
-                  f"({edf_tps:.1f} vs {fifo_tps:.1f} tokens/sec)")
+    return failures
 
-    if failures:
-        print(f"\n{failures} bench gate(s) failed. If the regression is "
-              "intentional (new hardware, algorithm change), regenerate "
-              "bench/BENCH_baseline.json — see scripts/check_bench.py "
-              "docstring.")
-        return 1
-    print("\nall bench gates passed")
-    return 0
+
+def check_sched(sched_path):
+    """Scheduling-policy gates (bench_sched overload run)."""
+    failures = 0
+    sched = load(sched_path)
+    fifo_p99 = get(sched, "sched_fifo_interactive", 1, "p99_ms",
+                   sched_path)
+    edf_p99 = get(sched, "sched_edf_interactive", 1, "p99_ms",
+                  sched_path)
+    if fifo_p99 is None or edf_p99 is None or fifo_p99 <= 0:
+        failures += 1
+    else:
+        ratio = edf_p99 / fifo_p99
+        ok = ratio <= SCHED_P99_RATIO
+        print(f"{'PASS' if ok else 'FAIL'}  EDF interactive p99 "
+              f"{ratio:.2f}x of FIFO ({edf_p99:.2f} ms vs "
+              f"{fifo_p99:.2f} ms, gate: <= {SCHED_P99_RATIO:.1f}x)")
+        failures += 0 if ok else 1
+    fifo_tps = get(sched, "sched_fifo_batch", 1, "tokens_per_sec",
+                   sched_path)
+    edf_tps = get(sched, "sched_edf_batch", 1, "tokens_per_sec",
+                  sched_path)
+    if fifo_tps and edf_tps:
+        print(f"INFO  batch throughput under EDF: "
+              f"{edf_tps / fifo_tps:.2f}x of FIFO "
+              f"({edf_tps:.1f} vs {fifo_tps:.1f} tokens/sec)")
+    return failures
+
+
+def check_quant(quant_path):
+    """Int8 quantization parity gates (bench_quant run)."""
+    failures = 0
+    quant = load(quant_path)
+    for op, label in (("quant_bleu_gpt2", "GPT-2"),
+                      ("quant_bleu_lstm", "word-LSTM")):
+        fp32 = get(quant, op, 1, "bleu_fp32", quant_path)
+        int8 = get(quant, op, 1, "bleu_int8", quant_path)
+        if fp32 is None or int8 is None or fp32 <= 0:
+            failures += 1
+            continue
+        # Only a regression counts against the gate; int8 scoring above
+        # fp32 (possible — greedy decode can tie-break differently) is
+        # a pass with a 0% reported loss.
+        loss = max(0.0, (fp32 - int8) / fp32)
+        ok = loss <= QUANT_BLEU_TOLERANCE
+        print(f"{'PASS' if ok else 'FAIL'}  int8 {label} BLEU parity: "
+              f"{int8:.4f} int8 vs {fp32:.4f} fp32 "
+              f"({loss:.2%} loss, gate: <= {QUANT_BLEU_TOLERANCE:.0%})")
+        failures += 0 if ok else 1
+    ns_fp32 = get(quant, "quant_gemv_m1", 1, "ns_fp32", quant_path)
+    ns_int8 = get(quant, "quant_gemv_m1", 1, "ns_int8", quant_path)
+    if ns_fp32 is None or ns_int8 is None or ns_int8 <= 0:
+        failures += 1
+    else:
+        speedup = ns_fp32 / ns_int8
+        ok = speedup >= INT8_GEMV_MIN_SPEEDUP
+        print(f"{'PASS' if ok else 'FAIL'}  int8 m=1 GEMV speedup "
+              f"{speedup:.2f}x over packed fp32 "
+              f"(gate: >= {INT8_GEMV_MIN_SPEEDUP:.1f}x)")
+        failures += 0 if ok else 1
+    return failures
 
 
 if __name__ == "__main__":

@@ -124,8 +124,7 @@ Tensor Gpt2Lm::ForwardLogitsRaw(const std::vector<int>& ids) const {
   // Weight-tied head on the cached packed token table — bitwise
   // identical to ops::MatMulTransB, minus the per-call repack.
   Tensor logits({n, config_.vocab_size});
-  kernels::GemmPacked(n, x.data(), PackedTokTransposed(), logits.data(),
-                      /*accumulate=*/false);
+  HeadGemm(n, x.data(), logits.data());
   return logits;
 }
 
@@ -138,6 +137,27 @@ const kernels::PackedB& Gpt2Lm::PackedTokTransposed() const {
     packed_tok_version_ = table->version;
   }
   return packed_tok_t_;
+}
+
+const kernels::PackedBInt8& Gpt2Lm::PackedTokTransposedInt8() const {
+  const Parameter* table = root_.tok.table();
+  std::lock_guard<std::mutex> lock(pack_mutex_);
+  if (packed_tok_int8_version_ != table->version) {
+    packed_tok_t_int8_.PackTransposed(config_.vocab_size, config_.dim,
+                                      table->value.data());
+    packed_tok_int8_version_ = table->version;
+  }
+  return packed_tok_t_int8_;
+}
+
+void Gpt2Lm::HeadGemm(int m, const float* x, float* logits) const {
+  if (kernels::Config().use_int8) {
+    kernels::GemmPackedInt8(m, x, PackedTokTransposedInt8(), logits,
+                            /*accumulate=*/false);
+  } else {
+    kernels::GemmPacked(m, x, PackedTokTransposed(), logits,
+                        /*accumulate=*/false);
+  }
 }
 
 void Gpt2Lm::InitCache(KvCache* cache) const {
@@ -179,8 +199,7 @@ const Tensor& Gpt2Lm::StepWithCache(int token, KvCache* cache) const {
     std::swap(x, y);
   }
   root_.ln_f.ForwardRawRow(x, x);
-  kernels::GemmPacked(1, x, PackedTokTransposed(), cache->logits.data(),
-                      /*accumulate=*/false);
+  HeadGemm(1, x, cache->logits.data());
   ++cache->len;
   return cache->logits;
 }
@@ -550,8 +569,7 @@ class Gpt2Lm::BatchDecoderImpl : public BatchDecoder {
       float* row = x + static_cast<size_t>(i) * dim;
       model_->root_.ln_f.ForwardRawRow(row, row);
     }
-    kernels::GemmPacked(m, x, model_->PackedTokTransposed(), logits,
-                        /*accumulate=*/false);
+    model_->HeadGemm(m, x, logits);
     for (int i = 0; i < m; ++i) {
       static_cast<Sequence*>(seqs[i])->Advance();
     }

@@ -136,12 +136,23 @@ class Gpt2Lm : public LanguageModel {
   /// (logits = x @ table^T), refreshed lazily per parameter version.
   const kernels::PackedB& PackedTokTransposed() const;
 
+  /// Int8 twin: per-vocabulary-row symmetric quantization (each vocab
+  /// entry is an output channel of the tied head), refreshed lazily per
+  /// parameter version.
+  const kernels::PackedBInt8& PackedTokTransposedInt8() const;
+
+  /// The weight-tied head GEMM for m rows, dispatching fp32/int8 packed
+  /// panels per kernels::Config().use_int8.
+  void HeadGemm(int m, const float* x, float* logits) const;
+
   Gpt2Config config_;
   Rng init_rng_;
   Root root_;
   bool use_kv_cache_ = true;
   mutable kernels::PackedB packed_tok_t_;
   mutable uint64_t packed_tok_version_ = ~0ull;
+  mutable kernels::PackedBInt8 packed_tok_t_int8_;
+  mutable uint64_t packed_tok_int8_version_ = ~0ull;
   mutable std::mutex pack_mutex_;
 };
 

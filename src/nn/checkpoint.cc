@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "tensor/quant.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 
@@ -15,9 +16,16 @@ namespace rt {
 namespace {
 
 /// v2 appends a CRC-32 of the payload; v1 files (no checksum) still load.
+/// v3 keeps the CRC trailer and adds a per-parameter dtype tag so 2D
+/// weights can be stored as per-channel int8 (scales + int8 payload).
 constexpr char kMagic[] = "RTCKPT02";
 constexpr char kMagicV1[] = "RTCKPT01";
+constexpr char kMagicV3[] = "RTCKPT03";
 constexpr size_t kMagicLen = 8;
+
+/// Per-parameter dtype tags in the v3 format.
+constexpr uint8_t kDtypeF32 = 0;
+constexpr uint8_t kDtypeInt8PerColumn = 1;
 
 void WriteU32(std::ostream& out, uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -69,7 +77,7 @@ class ByteReader {
 }  // namespace
 
 Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
-                      const std::string& path) {
+                      const std::string& path, const SaveOptions& options) {
   // The payload is assembled in memory so the CRC covers exactly the
   // bytes that land on disk between the magic and the trailer.
   std::ostringstream payload;
@@ -85,14 +93,40 @@ Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
     const auto& shape = param->value.shape();
     WriteU32(payload, static_cast<uint32_t>(shape.size()));
     for (int d : shape) WriteU32(payload, static_cast<uint32_t>(d));
-    payload.write(reinterpret_cast<const char*>(param->value.data()),
-                  static_cast<std::streamsize>(param->value.numel() *
-                                               sizeof(float)));
+    const bool quantize =
+        options.quantize_int8 && shape.size() == 2 && shape[0] > 0 &&
+        shape[1] > 0;
+    if (options.quantize_int8) {
+      const uint8_t dtype = quantize ? kDtypeInt8PerColumn : kDtypeF32;
+      payload.write(reinterpret_cast<const char*>(&dtype), 1);
+    }
+    if (quantize) {
+      const int rows = shape[0];
+      const int cols = shape[1];
+      std::vector<int8_t> q(param->value.numel());
+      std::vector<float> scales(cols);
+      if (!quant::QuantizePerColumn(param->value.data(), rows, cols,
+                                    q.data(), scales.data())) {
+        return Status::InvalidArgument(
+            "non-finite values in parameter " + name +
+            "; refusing to quantize");
+      }
+      payload.write(reinterpret_cast<const char*>(scales.data()),
+                    static_cast<std::streamsize>(scales.size() *
+                                                 sizeof(float)));
+      payload.write(reinterpret_cast<const char*>(q.data()),
+                    static_cast<std::streamsize>(q.size()));
+    } else {
+      payload.write(reinterpret_cast<const char*>(param->value.data()),
+                    static_cast<std::streamsize>(param->value.numel() *
+                                                 sizeof(float)));
+    }
   }
 
   std::string bytes = payload.str();
   const uint32_t crc = Crc32(bytes);
-  std::string file_bytes(kMagic, kMagicLen);
+  std::string file_bytes(options.quantize_int8 ? kMagicV3 : kMagic,
+                         kMagicLen);
   file_bytes += bytes;
   file_bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
 
@@ -135,12 +169,13 @@ Status LoadCheckpoint(Module* module, const std::string& path,
   if (!file.read(magic, kMagicLen)) {
     return Status::IoError("read failed: " + path);
   }
-  const bool v2 = std::memcmp(magic, kMagic, kMagicLen) == 0;
+  const bool v3 = std::memcmp(magic, kMagicV3, kMagicLen) == 0;
+  const bool v2 = std::memcmp(magic, kMagic, kMagicLen) == 0 || v3;
   const bool v1 = std::memcmp(magic, kMagicV1, kMagicLen) == 0;
   if (!v2 && !v1) {
     return Status::InvalidArgument("bad checkpoint magic: " + path);
   }
-  // v2: the last four bytes are a CRC-32 of everything in between.
+  // v2/v3: the last four bytes are a CRC-32 of everything in between.
   // Only the payload itself is held in memory — the magic and trailer
   // are read around it, so load peaks at one copy of the checkpoint.
   if (v2 && file_size < static_cast<std::streamoff>(kMagicLen +
@@ -222,9 +257,34 @@ Status LoadCheckpoint(Module* module, const std::string& path,
     if (param->value.shape() != shape) {
       return Status::InvalidArgument("shape mismatch for " + name);
     }
-    if (!in.ReadRaw(param->value.data(),
-                    param->value.numel() * sizeof(float))) {
-      return Status::IoError("truncated tensor data: " + path);
+    uint8_t dtype = kDtypeF32;
+    if (v3 && !in.ReadRaw(&dtype, 1)) {
+      return Status::IoError("truncated dtype tag: " + path);
+    }
+    if (dtype == kDtypeF32) {
+      if (!in.ReadRaw(param->value.data(),
+                      param->value.numel() * sizeof(float))) {
+        return Status::IoError("truncated tensor data: " + path);
+      }
+    } else if (dtype == kDtypeInt8PerColumn) {
+      if (shape.size() != 2) {
+        return Status::InvalidArgument(
+            "int8 payload for non-2D parameter " + name + ": " + path);
+      }
+      const int rows = shape[0];
+      const int cols = shape[1];
+      std::vector<float> scales(cols);
+      std::vector<int8_t> q(param->value.numel());
+      if (!in.ReadRaw(scales.data(), scales.size() * sizeof(float)) ||
+          !in.ReadRaw(q.data(), q.size())) {
+        return Status::IoError("truncated tensor data: " + path);
+      }
+      quant::DequantizePerColumn(q.data(), rows, cols, scales.data(),
+                                 param->value.data());
+    } else {
+      return Status::InvalidArgument(
+          "unknown dtype tag " + std::to_string(dtype) + " for " + name +
+          ": " + path);
     }
     param->MarkUpdated();
     ++loaded;

@@ -12,24 +12,43 @@ namespace rt {
 /// Scalar run metadata stored alongside weights (epoch, step, loss, ...).
 using CheckpointMetadata = std::map<std::string, double>;
 
+/// Checkpoint save options. Defaults reproduce the v2 fp32 format
+/// byte-for-byte.
+struct SaveOptions {
+  /// Store 2D parameters quantized to per-output-channel symmetric int8
+  /// (one fp32 scale per column, int8 payload — ~4x smaller on disk).
+  /// Writes the v3 format ("RTCKPT03", per-parameter dtype tag);
+  /// non-2D parameters (biases, layernorm gains) stay fp32. Fails with
+  /// InvalidArgument if any weight is non-finite — quantizing NaN/Inf
+  /// would silently corrupt the model. Loading dequantizes back into
+  /// the module's fp32 parameters; serving with --quant int8 then
+  /// re-quantizes in the same orientation the kernels consume, which is
+  /// exact (quantization of a dequantized tensor is idempotent).
+  bool quantize_int8 = false;
+};
+
 /// Writes every named parameter of `module` plus metadata to a binary
 /// file. Format: magic "RTCKPT02", metadata entries, then per parameter:
 /// name, shape, float32 data, then a trailing CRC-32 of everything
-/// between magic and checksum. Atomic-ish: written to path + ".tmp" then
+/// between magic and checksum (v3, written when options.quantize_int8 is
+/// set, adds a per-parameter dtype tag and int8+scales payloads — see
+/// docs/quantization.md). Atomic-ish: written to path + ".tmp" then
 /// renamed, so a crash mid-save never corrupts an existing checkpoint
 /// (the paper's training environment crashed every 5-7 epochs; resumable
 /// checkpoints are a first-class feature here).
 Status SaveCheckpoint(Module* module, const CheckpointMetadata& metadata,
-                      const std::string& path);
+                      const std::string& path,
+                      const SaveOptions& options = SaveOptions{});
 
 /// Restores parameters by name into `module`. The trailing CRC-32 is
 /// verified first, so silent corruption (bit flips, torn writes that
 /// survived the rename) fails cleanly instead of loading garbage
-/// weights; legacy "RTCKPT01" files load without a checksum. Every
-/// parameter of the module must be present in the file with a matching
-/// shape. Extra entries in the file are an error (guards against loading
-/// the wrong architecture). Metadata is returned through `metadata` if
-/// non-null.
+/// weights; legacy "RTCKPT01" files load without a checksum. v3 files
+/// carry int8-quantized weight payloads which are dequantized into the
+/// fp32 parameters on load. Every parameter of the module must be
+/// present in the file with a matching shape. Extra entries in the file
+/// are an error (guards against loading the wrong architecture).
+/// Metadata is returned through `metadata` if non-null.
 Status LoadCheckpoint(Module* module, const std::string& path,
                       CheckpointMetadata* metadata = nullptr);
 

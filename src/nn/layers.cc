@@ -31,6 +31,23 @@ const kernels::PackedB& RefreshPacked(std::mutex* mu,
   return *packed;
 }
 
+/// Int8 twin of RefreshPacked: quantizes per output channel while
+/// packing. Observing the weight (per-column absmax), deriving qparams
+/// and swapping the quantized panels in all happen here, keyed on the
+/// same Parameter version — an updated weight re-observes on next use.
+const kernels::PackedBInt8& RefreshPackedInt8(std::mutex* mu,
+                                              kernels::PackedBInt8* packed,
+                                              uint64_t* cached_version,
+                                              const Parameter& p, int k,
+                                              int n) {
+  std::lock_guard<std::mutex> lock(*mu);
+  if (*cached_version != p.version) {
+    packed->Pack(k, n, p.value.data());
+    *cached_version = p.version;
+  }
+  return *packed;
+}
+
 }  // namespace
 
 Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
@@ -57,8 +74,17 @@ const kernels::PackedB& Linear::PackedWeight() const {
                        in_, out_);
 }
 
+const kernels::PackedBInt8& Linear::PackedWeightInt8() const {
+  return RefreshPackedInt8(&pack_mutex_, &packed_int8_,
+                           &packed_int8_version_, *weight_, in_, out_);
+}
+
 void Linear::ForwardRawTo(int m, const float* x, float* y) const {
-  kernels::GemmPacked(m, x, PackedWeight(), y, false);
+  if (kernels::Config().use_int8) {
+    kernels::GemmPackedInt8(m, x, PackedWeightInt8(), y, false);
+  } else {
+    kernels::GemmPacked(m, x, PackedWeight(), y, false);
+  }
   if (bias_ != nullptr) {
     for (int i = 0; i < m; ++i) {
       kernels::AddBiasRow(out_, bias_->value.data(),
@@ -141,16 +167,32 @@ LstmState LstmLayer::Step(Tape* tape, VarId x,
   return next;
 }
 
-void LstmLayer::StepRaw(const float* x, float* h, float* c,
-                        float* gates) const {
+void LstmLayer::GateGemms(int m, const float* x, const float* h_in,
+                          float* gates) const {
+  if (kernels::Config().use_int8) {
+    const kernels::PackedBInt8& pwx = RefreshPackedInt8(
+        &pack_mutex_, &packed_wx_int8_, &packed_wx_int8_version_, *wx_,
+        input_dim_, 4 * hidden_dim_);
+    const kernels::PackedBInt8& pwh = RefreshPackedInt8(
+        &pack_mutex_, &packed_wh_int8_, &packed_wh_int8_version_, *wh_,
+        hidden_dim_, 4 * hidden_dim_);
+    kernels::GemmPackedInt8(m, x, pwx, gates, false);
+    kernels::GemmPackedInt8(m, h_in, pwh, gates, true);
+    return;
+  }
   const kernels::PackedB& pwx = RefreshPacked(
       &pack_mutex_, &packed_wx_, &packed_wx_version_, *wx_, input_dim_,
       4 * hidden_dim_);
   const kernels::PackedB& pwh = RefreshPacked(
       &pack_mutex_, &packed_wh_, &packed_wh_version_, *wh_, hidden_dim_,
       4 * hidden_dim_);
-  kernels::GemmPacked(1, x, pwx, gates, false);
-  kernels::GemmPacked(1, h, pwh, gates, true);
+  kernels::GemmPacked(m, x, pwx, gates, false);
+  kernels::GemmPacked(m, h_in, pwh, gates, true);
+}
+
+void LstmLayer::StepRaw(const float* x, float* h, float* c,
+                        float* gates) const {
+  GateGemms(1, x, h, gates);
   kernels::AddBiasRow(4 * hidden_dim_, b_->value.data(), gates);
   kernels::LstmCellRow(hidden_dim_, gates, h, c);
 }
@@ -158,15 +200,8 @@ void LstmLayer::StepRaw(const float* x, float* h, float* c,
 void LstmLayer::StepRawBatched(int m, const float* x, const float* h_in,
                                float* const* state_rows, size_t h_offset,
                                float* gates) const {
-  const kernels::PackedB& pwx = RefreshPacked(
-      &pack_mutex_, &packed_wx_, &packed_wx_version_, *wx_, input_dim_,
-      4 * hidden_dim_);
-  const kernels::PackedB& pwh = RefreshPacked(
-      &pack_mutex_, &packed_wh_, &packed_wh_version_, *wh_, hidden_dim_,
-      4 * hidden_dim_);
   const int g4 = 4 * hidden_dim_;
-  kernels::GemmPacked(m, x, pwx, gates, false);
-  kernels::GemmPacked(m, h_in, pwh, gates, true);
+  GateGemms(m, x, h_in, gates);
   for (int i = 0; i < m; ++i) {
     float* g = gates + static_cast<size_t>(i) * g4;
     kernels::AddBiasRow(g4, b_->value.data(), g);

@@ -33,6 +33,13 @@ class Linear : public Module {
   /// against weight()->version.
   const kernels::PackedB& PackedWeight() const;
 
+  /// The weight matrix quantized (per-output-channel symmetric int8)
+  /// and packed for kernels::GemmPackedInt8, refreshed lazily against
+  /// weight()->version. ForwardRawTo switches onto it when
+  /// kernels::Config().use_int8 is set; both caches can coexist so
+  /// parity tests flip modes without repacking.
+  const kernels::PackedBInt8& PackedWeightInt8() const;
+
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
@@ -46,6 +53,8 @@ class Linear : public Module {
   Parameter* bias_ = nullptr;  // [out]
   mutable kernels::PackedB packed_;
   mutable uint64_t packed_version_ = ~0ull;
+  mutable kernels::PackedBInt8 packed_int8_;
+  mutable uint64_t packed_int8_version_ = ~0ull;
   mutable std::mutex pack_mutex_;
 };
 
@@ -138,6 +147,11 @@ class LstmLayer : public Module {
   int hidden_dim() const { return hidden_dim_; }
 
  private:
+  /// The two gate GEMMs (x Wx, += h Wh) for m rows, on the packed fp32
+  /// or packed int8 weights per kernels::Config().use_int8.
+  void GateGemms(int m, const float* x, const float* h_in,
+                 float* gates) const;
+
   int input_dim_;
   int hidden_dim_;
   Parameter* wx_;  // [in, 4H]
@@ -147,6 +161,10 @@ class LstmLayer : public Module {
   mutable uint64_t packed_wx_version_ = ~0ull;
   mutable kernels::PackedB packed_wh_;
   mutable uint64_t packed_wh_version_ = ~0ull;
+  mutable kernels::PackedBInt8 packed_wx_int8_;
+  mutable uint64_t packed_wx_int8_version_ = ~0ull;
+  mutable kernels::PackedBInt8 packed_wh_int8_;
+  mutable uint64_t packed_wh_int8_version_ = ~0ull;
   mutable std::mutex pack_mutex_;
 };
 

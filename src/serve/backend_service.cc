@@ -1102,6 +1102,8 @@ HttpResponse BackendService::HandleModels() const {
     entry.Set("name", options_.models[i]);
     entry.Set("default", i == 0);
     entry.Set("sessions", static_cast<double>(sessions_.size()));
+    entry.Set("quantization",
+              std::string(options_.quantized_int8 ? "int8" : "fp32"));
     models.Append(std::move(entry));
   }
   Json out{Json::Object{}};

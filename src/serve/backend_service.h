@@ -148,6 +148,10 @@ struct BackendOptions {
   /// Model names advertised by /v1/models; the first entry is the
   /// default used when a request omits `model`. Empty means {"default"}.
   std::vector<std::string> models;
+  /// Advertised in every /v1/models entry as `"quantization": "int8"`
+  /// vs `"fp32"` — set by `serve --quant int8` so clients can tell a
+  /// quantized deployment from full precision (docs/quantization.md).
+  bool quantized_int8 = false;
   /// Generation budget applied when a request omits `timeout_ms`.
   /// Deadlines start at queue admission, so time spent waiting for a
   /// worker or a model session counts against the budget.

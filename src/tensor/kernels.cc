@@ -11,6 +11,11 @@
 #include <cassert>
 #include <cmath>
 
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "tensor/quant.h"
 #include "tensor/thread_pool.h"
 #include "util/obs.h"
 
@@ -206,6 +211,248 @@ PackedB& PackScratch() {
   return scratch;
 }
 
+// ---------------------------------------------------------------------------
+// Int8 micro-kernel family. Identical chain structure to the fp32
+// kernel: each k step dequantizes one panel row lane-wise
+// (scale[j] * q — one widening convert and one multiply, exact for int8
+// magnitudes and bitwise identical regardless of which tile or thread
+// performs it) and feeds the same MacStep chains. Slab boundaries, tile
+// shapes and partitioning are shared constants with the fp32 driver, so
+// the int8 path inherits the full determinism contract without new
+// reasoning.
+//
+// The widening convert is hand-vectorized (AVX-512 / AVX2+FMA, scalar
+// fallback). The rest of the kernel family trusts the autovectorizer,
+// but GCC 12 lowers int8->float widening through a vpmovsxbw /
+// vextracti128 / vpmovsxwd shuffle chain (and scalarizes
+// __builtin_convertvector outright), which left the int8 GEMV 2.6x
+// SLOWER than the fp32 GEMV it must beat. With vpmovsxbd + vcvtdq2ps
+// the m=1 decode GEMV runs ~3x faster than packed fp32. Every lane of
+// the intrinsic path computes exactly fma(av, float(q)*scale, acc) —
+// the same correctly-rounded multiply feeding the same fused MacStep
+// as the scalar fallback (-ffp-contract is off, so the compiler cannot
+// merge the multiply into the FMA behind our back), so all three paths
+// are bitwise interchangeable and the choice never leaks into results.
+// ---------------------------------------------------------------------------
+
+template <int MR>
+void MicroKernelInt8(int kc, const float* a, std::ptrdiff_t a_row_stride,
+                     std::ptrdiff_t a_k_stride, const std::int8_t* panel,
+                     const float* scales, float* c, int ldc, int nr,
+                     bool accumulate) {
+#if defined(__AVX512F__) && defined(__FMA__)
+  static_assert(kPanelWidth == 32, "int8 kernel assumes 32-lane panels");
+  __m512 acc0[MR], acc1[MR];
+  float edge[kPanelWidth];
+  for (int r = 0; r < MR; ++r) {
+    if (accumulate) {
+      if (nr == kPanelWidth) {
+        acc0[r] = _mm512_loadu_ps(c + r * ldc);
+        acc1[r] = _mm512_loadu_ps(c + r * ldc + 16);
+      } else {
+        for (int j = 0; j < kPanelWidth; ++j) {
+          edge[j] = j < nr ? c[r * ldc + j] : 0.0f;
+        }
+        acc0[r] = _mm512_loadu_ps(edge);
+        acc1[r] = _mm512_loadu_ps(edge + 16);
+      }
+    } else {
+      acc0[r] = _mm512_setzero_ps();
+      acc1[r] = _mm512_setzero_ps();
+    }
+  }
+  const __m512 s0 = _mm512_loadu_ps(scales);
+  const __m512 s1 = _mm512_loadu_ps(scales + 16);
+  const float* ak = a;
+  const std::int8_t* bp = panel;
+  for (int kk = 0; kk < kc; ++kk, ak += a_k_stride, bp += kPanelWidth) {
+    const __m512 b0 = _mm512_mul_ps(
+        _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp)))),
+        s0);
+    const __m512 b1 = _mm512_mul_ps(
+        _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + 16)))),
+        s1);
+    for (int r = 0; r < MR; ++r) {
+      const __m512 av = _mm512_set1_ps(ak[r * a_row_stride]);
+      acc0[r] = _mm512_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm512_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    _mm512_storeu_ps(edge, acc0[r]);
+    _mm512_storeu_ps(edge + 16, acc1[r]);
+    for (int j = 0; j < nr; ++j) c[r * ldc + j] = edge[j];
+  }
+#elif defined(__AVX2__) && defined(__FMA__)
+  static_assert(kPanelWidth == 32, "int8 kernel assumes 32-lane panels");
+  __m256 acc[MR][4];
+  float edge[kPanelWidth];
+  for (int r = 0; r < MR; ++r) {
+    if (accumulate) {
+      for (int j = 0; j < kPanelWidth; ++j) {
+        edge[j] = j < nr ? c[r * ldc + j] : 0.0f;
+      }
+      for (int h = 0; h < 4; ++h) {
+        acc[r][h] = _mm256_loadu_ps(edge + 8 * h);
+      }
+    } else {
+      for (int h = 0; h < 4; ++h) acc[r][h] = _mm256_setzero_ps();
+    }
+  }
+  __m256 sc[4];
+  for (int h = 0; h < 4; ++h) sc[h] = _mm256_loadu_ps(scales + 8 * h);
+  const float* ak = a;
+  const std::int8_t* bp = panel;
+  for (int kk = 0; kk < kc; ++kk, ak += a_k_stride, bp += kPanelWidth) {
+    __m256 bv[4];
+    for (int h = 0; h < 4; ++h) {
+      bv[h] = _mm256_mul_ps(
+          _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(
+              reinterpret_cast<const __m128i*>(bp + 8 * h)))),
+          sc[h]);
+    }
+    for (int r = 0; r < MR; ++r) {
+      const __m256 av = _mm256_set1_ps(ak[r * a_row_stride]);
+      for (int h = 0; h < 4; ++h) {
+        acc[r][h] = _mm256_fmadd_ps(av, bv[h], acc[r][h]);
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int h = 0; h < 4; ++h) _mm256_storeu_ps(edge + 8 * h, acc[r][h]);
+    for (int j = 0; j < nr; ++j) c[r * ldc + j] = edge[j];
+  }
+#else
+  float acc[MR][kPanelWidth];
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < kPanelWidth; ++j) {
+      acc[r][j] = (accumulate && j < nr) ? c[r * ldc + j] : 0.0f;
+    }
+  }
+  const float* ak = a;
+  const std::int8_t* bp = panel;
+  for (int kk = 0; kk < kc; ++kk, ak += a_k_stride, bp += kPanelWidth) {
+    for (int r = 0; r < MR; ++r) {
+      const float av = ak[r * a_row_stride];
+      for (int j = 0; j < kPanelWidth; ++j) {
+        acc[r][j] =
+            MacStep(av, static_cast<float>(bp[j]) * scales[j], acc[r][j]);
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+#endif
+}
+
+void RunTileInt8(int mr, int kc, const float* a, std::ptrdiff_t a_row_stride,
+                 std::ptrdiff_t a_k_stride, const std::int8_t* panel,
+                 const float* scales, float* c, int ldc, int nr,
+                 bool accumulate) {
+  switch (mr) {
+    case 8:
+      MicroKernelInt8<8>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    case 7:
+      MicroKernelInt8<7>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    case 6:
+      MicroKernelInt8<6>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    case 5:
+      MicroKernelInt8<5>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    case 4:
+      MicroKernelInt8<4>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    case 3:
+      MicroKernelInt8<3>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    case 2:
+      MicroKernelInt8<2>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+    default:
+      MicroKernelInt8<1>(kc, a, a_row_stride, a_k_stride, panel, scales, c,
+                         ldc, nr, accumulate);
+      break;
+  }
+}
+
+void ComputeBlockInt8(int tile0, int tile1, int p0, int p1, int m,
+                      const float* a, std::ptrdiff_t a_row_stride,
+                      std::ptrdiff_t a_k_stride, const PackedBInt8& b,
+                      float* c, int ldc, bool accumulate) {
+  const int k = b.k();
+  const int n = b.n();
+  for (int k0 = 0; k0 < k; k0 += kSlabK) {
+    const int kc = std::min(kSlabK, k - k0);
+    const bool acc_slab = accumulate || k0 > 0;
+    for (int t = tile0; t < tile1; ++t) {
+      const int r0 = t * kRowTile;
+      const int mr = std::min(kRowTile, m - r0);
+      const float* a_tile = a + r0 * a_row_stride + k0 * a_k_stride;
+      float* c_tile = c + static_cast<size_t>(r0) * ldc;
+      for (int p = p0; p < p1; ++p) {
+        const int c0 = p * kPanelWidth;
+        const int nr = std::min(kPanelWidth, n - c0);
+        RunTileInt8(mr, kc, a_tile, a_row_stride, a_k_stride,
+                    b.panel(p) + static_cast<size_t>(k0) * kPanelWidth,
+                    b.panel_scales(p), c_tile + c0, ldc, nr, acc_slab);
+      }
+    }
+  }
+}
+
+/// Parallel driver over pre-packed int8 B: the same fixed-output-region
+/// partitioning as the fp32 GemmPackedStrided.
+void GemmPackedInt8Strided(int m, const float* a,
+                           std::ptrdiff_t a_row_stride,
+                           std::ptrdiff_t a_k_stride, const PackedBInt8& b,
+                           float* c, int ldc, bool accumulate) {
+  if (m <= 0 || b.empty()) return;
+  const int tiles = (m + kRowTile - 1) / kRowTile;
+  const int panels = b.num_panels();
+  const auto pool = ThreadPool::Global();
+  const int threads = pool->num_threads();
+  const double flops = 2.0 * m * b.n() * b.k();
+  if (threads <= 1 || flops < kMinParallelFlops) {
+    ComputeBlockInt8(0, tiles, 0, panels, m, a, a_row_stride, a_k_stride, b,
+                     c, ldc, accumulate);
+    return;
+  }
+  if (tiles >= threads) {
+    const int items = std::min(tiles, threads * 4);
+    pool->ParallelFor(items, [&](int it) {
+      const int t0 = static_cast<int>(static_cast<long long>(it) * tiles /
+                                      items);
+      const int t1 = static_cast<int>(
+          static_cast<long long>(it + 1) * tiles / items);
+      ComputeBlockInt8(t0, t1, 0, panels, m, a, a_row_stride, a_k_stride, b,
+                       c, ldc, accumulate);
+    });
+  } else {
+    const int items = std::min(panels, threads * 4);
+    pool->ParallelFor(items, [&](int it) {
+      const int q0 = static_cast<int>(static_cast<long long>(it) * panels /
+                                      items);
+      const int q1 = static_cast<int>(
+          static_cast<long long>(it + 1) * panels / items);
+      ComputeBlockInt8(0, tiles, q0, q1, m, a, a_row_stride, a_k_stride, b,
+                       c, ldc, accumulate);
+    });
+  }
+}
+
 }  // namespace
 
 void PackedB::Pack(int k, int n, const float* b) {
@@ -240,6 +487,87 @@ void PackedB::PackTransposed(int n, int k, const float* b) {
         dst[j] = b[static_cast<size_t>(c0 + j) * k + kk];
       }
       for (int j = nr; j < kPanelWidth; ++j) dst[j] = 0.0f;
+      dst += kPanelWidth;
+    }
+  }
+}
+
+void PackedBInt8::Pack(int k, int n, const float* b) {
+  k_ = k;
+  n_ = n;
+  const int panels = num_panels();
+  data_.resize(static_cast<size_t>(panels) * k * kPanelWidth);
+  scales_.assign(static_cast<size_t>(panels) * kPanelWidth, 0.0f);
+  for (int j = 0; j < n; ++j) {
+    // Trained weights are finite by construction (the fp32 path would
+    // already be producing NaNs otherwise); the checkpoint/save API is
+    // where non-finite tensors get rejected with an error.
+    quant::ChannelScale(b + j, k, n, &scales_[j + 0]);
+  }
+  // scales_ is panel-padded storage addressed as panel_scales(p)[j];
+  // column j's scale lives at flat index j because panels are
+  // kPanelWidth-aligned column ranges.
+  for (int p = 0; p < panels; ++p) {
+    const int c0 = p * kPanelWidth;
+    const int nr = std::min(kPanelWidth, n - c0);
+    const float* scale = scales_.data() + static_cast<size_t>(c0);
+    std::int8_t* dst =
+        data_.data() + static_cast<size_t>(p) * k * kPanelWidth;
+    for (int kk = 0; kk < k; ++kk) {
+      const float* src = b + static_cast<size_t>(kk) * n + c0;
+      for (int j = 0; j < nr; ++j) {
+        dst[j] = quant::QuantizeValue(src[j], scale[j]);
+      }
+      for (int j = nr; j < kPanelWidth; ++j) dst[j] = 0;
+      dst += kPanelWidth;
+    }
+  }
+}
+
+void PackedBInt8::PackTransposed(int n, int k, const float* b) {
+  k_ = k;
+  n_ = n;
+  const int panels = num_panels();
+  data_.resize(static_cast<size_t>(panels) * k * kPanelWidth);
+  scales_.assign(static_cast<size_t>(panels) * kPanelWidth, 0.0f);
+  for (int j = 0; j < n; ++j) {
+    quant::ChannelScale(b + static_cast<size_t>(j) * k, k, 1,
+                        &scales_[j + 0]);
+  }
+  for (int p = 0; p < panels; ++p) {
+    const int c0 = p * kPanelWidth;
+    const int nr = std::min(kPanelWidth, n - c0);
+    const float* scale = scales_.data() + static_cast<size_t>(c0);
+    std::int8_t* dst =
+        data_.data() + static_cast<size_t>(p) * k * kPanelWidth;
+    for (int kk = 0; kk < k; ++kk) {
+      for (int j = 0; j < nr; ++j) {
+        dst[j] = quant::QuantizeValue(b[static_cast<size_t>(c0 + j) * k + kk],
+                                      scale[j]);
+      }
+      for (int j = nr; j < kPanelWidth; ++j) dst[j] = 0;
+      dst += kPanelWidth;
+    }
+  }
+}
+
+void PackedBInt8::PackQuantized(int k, int n, const std::int8_t* q,
+                                const float* scales) {
+  k_ = k;
+  n_ = n;
+  const int panels = num_panels();
+  data_.resize(static_cast<size_t>(panels) * k * kPanelWidth);
+  scales_.assign(static_cast<size_t>(panels) * kPanelWidth, 0.0f);
+  for (int j = 0; j < n; ++j) scales_[j] = scales[j];
+  for (int p = 0; p < panels; ++p) {
+    const int c0 = p * kPanelWidth;
+    const int nr = std::min(kPanelWidth, n - c0);
+    std::int8_t* dst =
+        data_.data() + static_cast<size_t>(p) * k * kPanelWidth;
+    for (int kk = 0; kk < k; ++kk) {
+      const std::int8_t* src = q + static_cast<size_t>(kk) * n + c0;
+      for (int j = 0; j < nr; ++j) dst[j] = src[j];
+      for (int j = nr; j < kPanelWidth; ++j) dst[j] = 0;
       dst += kPanelWidth;
     }
   }
@@ -310,6 +638,31 @@ void GemmPacked(int m, const float* a, const PackedB& b, float* c,
   ProfiledGemm(obs::KernelProfiler::Op::kGemmPacked, m, b.n(), b.k(), [&] {
     GemmPackedStrided(m, a, b.k(), 1, b, c, b.n(), accumulate);
   });
+}
+
+void GemmPackedInt8(int m, const float* a, const PackedBInt8& b, float* c,
+                    bool accumulate) {
+  ProfiledGemm(obs::KernelProfiler::Op::kGemmPackedInt8, m, b.n(), b.k(),
+               [&] {
+                 GemmPackedInt8Strided(m, a, b.k(), 1, b, c, b.n(),
+                                       accumulate);
+               });
+}
+
+void GemmInt8Ref(int m, int n, int k, const float* a, const std::int8_t* bq,
+                 const float* scales, float* c) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const std::int8_t* brow = bq + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) {
+        crow[j] += av * (static_cast<float>(brow[j]) * scales[j]);
+      }
+    }
+  }
 }
 
 void GemmRef(int m, int n, int k, const float* a, const float* b,

@@ -2,6 +2,7 @@
 #define RATATOUILLE_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace rt::kernels {
@@ -44,11 +45,57 @@ class PackedB {
   int n_ = 0;
 };
 
+/// B quantized to int8 (per-column symmetric scales, zero-point 0) and
+/// packed into the same kPanelWidth-column panel layout as PackedB.
+/// Panels are 4x smaller than fp32, so the packed weight set of a model
+/// that blew out L2 as fp32 becomes cache-resident — the decode GEMV is
+/// weight-bandwidth-bound, so bytes moved is the whole game. The kernel
+/// dequantizes on load (bv = scale[j] * q) and accumulates in fp32, so
+/// it inherits the fp32 determinism contract verbatim.
+class PackedBInt8 {
+ public:
+  /// Quantizes and packs row-major B [k, n], one scale per column.
+  void Pack(int k, int n, const float* b);
+
+  /// Quantizes and packs the transpose of row-major B [n, k] — the
+  /// GemmTransB orientation (logits = x @ table^T); one scale per
+  /// source row (= packed column).
+  void PackTransposed(int n, int k, const float* b);
+
+  /// Packs pre-quantized row-major q [k, n] with caller-supplied
+  /// per-column scales (the quantized-checkpoint load path).
+  void PackQuantized(int k, int n, const std::int8_t* q,
+                     const float* scales);
+
+  bool empty() const { return k_ == 0; }
+  int k() const { return k_; }
+  int n() const { return n_; }
+  int num_panels() const { return (n_ + kPanelWidth - 1) / kPanelWidth; }
+  const std::int8_t* panel(int p) const {
+    return data_.data() + static_cast<size_t>(p) * k_ * kPanelWidth;
+  }
+  /// Per-column dequantization scales for panel p (kPanelWidth entries,
+  /// ragged tail zero — matching the zero-padded panel columns).
+  const float* panel_scales(int p) const {
+    return scales_.data() + static_cast<size_t>(p) * kPanelWidth;
+  }
+
+ private:
+  std::vector<std::int8_t> data_;
+  std::vector<float> scales_;  // padded to num_panels() * kPanelWidth
+  int k_ = 0;
+  int n_ = 0;
+};
+
 /// Process-wide kernel dispatch. Blocked kernels are the default; parity
 /// tests flip use_blocked to run the reference implementations through
-/// the same ops:: call sites.
+/// the same ops:: call sites. use_int8 switches the inference weight
+/// GEMMs (Linear::ForwardRawTo, the LSTM gate GEMVs, the GPT-2 tied
+/// head) onto int8 packed weights with fp32 activations/accumulation —
+/// the `--quant int8` serving mode. Training tape paths ignore it.
 struct KernelConfig {
   bool use_blocked = true;
+  bool use_int8 = false;
 };
 KernelConfig& Config();
 
@@ -97,6 +144,20 @@ void GemmTransARef(int m, int n, int k, const float* a, const float* b,
 /// each element's chain before the k loop.
 void GemmPacked(int m, const float* a, const PackedB& b, float* c,
                 bool accumulate);
+
+/// Int8 twin of GemmPacked: C[m, b.n()] (+)= A[m, b.k()] * dequant(B).
+/// Same tile/panel partitioning, k-slabbing and strictly k-ordered
+/// per-element chains as the fp32 kernel, so results are bitwise
+/// identical across thread counts and batch sizes (m=1 reproduces the
+/// corresponding row of any batched call exactly).
+void GemmPackedInt8(int m, const float* a, const PackedBInt8& b, float* c,
+                    bool accumulate);
+
+/// Reference int8 GEMM (naive loops, single-threaded): C[m,n] =
+/// A[m,k] * (scales[j] * Bq[k,n]) with row-major quantized Bq — the
+/// numeric oracle for GemmPackedInt8 parity tests.
+void GemmInt8Ref(int m, int n, int k, const float* a, const std::int8_t* bq,
+                 const float* scales, float* c);
 
 // ---------------------------------------------------------------------------
 // Strict row helpers shared by the batched and incremental decode paths.

@@ -1,0 +1,74 @@
+// Compiled without -ffast-math (see src/tensor/CMakeLists.txt):
+// -ffinite-math-only would fold the std::isfinite rejection checks to
+// constants, and scale selection must round identically everywhere.
+
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rt::quant {
+
+bool ChannelScale(const float* x, int count, std::ptrdiff_t stride,
+                  float* scale_out) {
+  float absmax = 0.0f;
+  for (int i = 0; i < count; ++i) {
+    const float v = x[static_cast<std::ptrdiff_t>(i) * stride];
+    if (!std::isfinite(v)) return false;
+    absmax = std::max(absmax, std::fabs(v));
+  }
+  *scale_out = absmax > 0.0f ? absmax / static_cast<float>(kQMax) : 0.0f;
+  return true;
+}
+
+std::int8_t QuantizeValue(float v, float scale) {
+  if (scale == 0.0f) return 0;
+  const long r = std::lrintf(v / scale);
+  const long clamped =
+      std::clamp(r, static_cast<long>(-kQMax), static_cast<long>(kQMax));
+  return static_cast<std::int8_t>(clamped);
+}
+
+bool QuantizePerColumn(const float* w, int rows, int cols, std::int8_t* q,
+                       float* scales) {
+  for (int c = 0; c < cols; ++c) {
+    if (!ChannelScale(w + c, rows, cols, &scales[c])) return false;
+  }
+  for (int r = 0; r < rows; ++r) {
+    const float* src = w + static_cast<std::size_t>(r) * cols;
+    std::int8_t* dst = q + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = QuantizeValue(src[c], scales[c]);
+  }
+  return true;
+}
+
+void DequantizePerColumn(const std::int8_t* q, int rows, int cols,
+                         const float* scales, float* w) {
+  for (int r = 0; r < rows; ++r) {
+    const std::int8_t* src = q + static_cast<std::size_t>(r) * cols;
+    float* dst = w + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = DequantizeValue(src[c], scales[c]);
+  }
+}
+
+bool QuantizePerRow(const float* w, int rows, int cols, std::int8_t* q,
+                    float* scales) {
+  for (int r = 0; r < rows; ++r) {
+    const float* src = w + static_cast<std::size_t>(r) * cols;
+    if (!ChannelScale(src, cols, 1, &scales[r])) return false;
+    std::int8_t* dst = q + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = QuantizeValue(src[c], scales[r]);
+  }
+  return true;
+}
+
+void DequantizePerRow(const std::int8_t* q, int rows, int cols,
+                      const float* scales, float* w) {
+  for (int r = 0; r < rows; ++r) {
+    const std::int8_t* src = q + static_cast<std::size_t>(r) * cols;
+    float* dst = w + static_cast<std::size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) dst[c] = DequantizeValue(src[c], scales[r]);
+  }
+}
+
+}  // namespace rt::quant

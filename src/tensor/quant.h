@@ -1,0 +1,55 @@
+#ifndef RATATOUILLE_TENSOR_QUANT_H_
+#define RATATOUILLE_TENSOR_QUANT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rt::quant {
+
+/// Symmetric int8 range: quantized values live in [-127, 127] (the
+/// -128 slot is unused so negation stays in range and the scheme is
+/// symmetric around zero — zero_point is always 0).
+inline constexpr int kQMax = 127;
+
+/// Per-channel symmetric scale over `count` strided floats: absmax /
+/// 127, or 0.0f for an all-zero channel (quantized values are then all
+/// zero and dequantization reproduces the zeros exactly). Returns false
+/// without writing *scale_out when any value is non-finite — quantizing
+/// NaN/Inf weights would silently corrupt the model, so callers must
+/// reject the tensor instead.
+bool ChannelScale(const float* x, int count, std::ptrdiff_t stride,
+                  float* scale_out);
+
+/// Rounds v/scale to the nearest int (ties to even, the default FP
+/// rounding mode) and clamps to [-127, 127]. scale == 0 means the
+/// channel was all-zero; every value quantizes to 0.
+std::int8_t QuantizeValue(float v, float scale);
+
+inline float DequantizeValue(std::int8_t q, float scale) {
+  return scale * static_cast<float>(q);
+}
+
+/// Quantizes row-major w [rows, cols] with one scale per column (the
+/// output-channel axis of a y = x W layer weight). q receives
+/// rows*cols values, scales receives cols. Returns false — leaving the
+/// outputs unspecified — if any weight is non-finite.
+bool QuantizePerColumn(const float* w, int rows, int cols, std::int8_t* q,
+                       float* scales);
+
+/// Inverse of QuantizePerColumn: w[r, c] = q[r, c] * scales[c].
+void DequantizePerColumn(const std::int8_t* q, int rows, int cols,
+                         const float* scales, float* w);
+
+/// Quantizes row-major w [rows, cols] with one scale per row (the
+/// orientation of a weight-tied embedding table consumed as logits =
+/// x @ table^T: each vocabulary row is an output channel). Returns
+/// false on non-finite input.
+bool QuantizePerRow(const float* w, int rows, int cols, std::int8_t* q,
+                    float* scales);
+
+void DequantizePerRow(const std::int8_t* q, int rows, int cols,
+                      const float* scales, float* w);
+
+}  // namespace rt::quant
+
+#endif  // RATATOUILLE_TENSOR_QUANT_H_

@@ -416,6 +416,8 @@ const char* KernelProfiler::OpName(Op op) {
       return "gemm_trans_a";
     case Op::kGemmPacked:
       return "gemm_packed";
+    case Op::kGemmPackedInt8:
+      return "gemm_packed_int8";
     case Op::kParallelFor:
       return "parallel_for";
   }

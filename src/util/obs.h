@@ -244,9 +244,10 @@ class KernelProfiler {
     kGemmTransB,
     kGemmTransA,
     kGemmPacked,
+    kGemmPackedInt8,
     kParallelFor,
   };
-  static constexpr int kOpCount = 5;
+  static constexpr int kOpCount = 6;
 
   static KernelProfiler& Instance();
   static const char* OpName(Op op);

@@ -1,7 +1,10 @@
 #include "nn/checkpoint.h"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -169,6 +172,126 @@ TEST(CheckpointTest, InjectedTruncationOnSaveFailsLoadCleanly) {
   ASSERT_TRUE(LoadCheckpoint(&c, path, &meta).ok());
   EXPECT_DOUBLE_EQ(meta.at("step"), 2.0);
   EXPECT_EQ(c.w_->value[0], a.w_->value[0]);
+}
+
+TEST(CheckpointTest, QuantizedSaveLoadRoundTrip) {
+  TinyModel a(30);
+  const std::string path = TempPath("ckpt_quant.bin");
+  SaveOptions options;
+  options.quantize_int8 = true;
+  ASSERT_TRUE(SaveCheckpoint(&a, {{"epoch", 5.0}}, path, options).ok());
+
+  // The file leads with the v3 magic.
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "RTCKPT03");
+  in.close();
+
+  TinyModel b(31);
+  CheckpointMetadata meta;
+  ASSERT_TRUE(LoadCheckpoint(&b, path, &meta).ok());
+  EXPECT_DOUBLE_EQ(meta.at("epoch"), 5.0);
+  // 2D weight: dequantized values within half a quantization step per
+  // column. Columns of w ({3, 2}) are the output channels.
+  float absmax[2] = {0.0f, 0.0f};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      absmax[c] = std::max(absmax[c], std::fabs(a.w_->value[r * 2 + c]));
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      const float step = absmax[c] / 127.0f;
+      EXPECT_NEAR(b.w_->value[r * 2 + c], a.w_->value[r * 2 + c],
+                  0.5f * step * 1.001f);
+    }
+  }
+  // 1D bias stays fp32: exact.
+  for (size_t i = 0; i < a.b_->value.numel(); ++i) {
+    EXPECT_EQ(b.b_->value[i], a.b_->value[i]);
+  }
+}
+
+TEST(CheckpointTest, QuantizedResaveIsIdempotent) {
+  // Save quantized, load, save quantized again: the second file must be
+  // byte-identical to the first (re-quantization of dequantized weights
+  // is exact), so repeated checkpoint/restore cycles never drift.
+  TinyModel a(32);
+  const std::string p1 = TempPath("ckpt_quant_idem1.bin");
+  const std::string p2 = TempPath("ckpt_quant_idem2.bin");
+  SaveOptions options;
+  options.quantize_int8 = true;
+  ASSERT_TRUE(SaveCheckpoint(&a, {{"s", 1.0}}, p1, options).ok());
+  TinyModel b(33);
+  ASSERT_TRUE(LoadCheckpoint(&b, p1).ok());
+  ASSERT_TRUE(SaveCheckpoint(&b, {{"s", 1.0}}, p2, options).ok());
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp(p1), slurp(p2));
+}
+
+TEST(CheckpointTest, QuantizedSaveRejectsNonFiniteWeights) {
+  TinyModel a(34);
+  a.w_->value[2] = std::numeric_limits<float>::quiet_NaN();
+  const std::string path = TempPath("ckpt_quant_nan.bin");
+  std::remove(path.c_str());  // TempDir persists across runs
+  SaveOptions options;
+  options.quantize_int8 = true;
+  Status s = SaveCheckpoint(&a, {}, path, options);
+  ASSERT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("non-finite"), std::string::npos)
+      << s.ToString();
+  // The failed save must not leave a file (or a stale tmp) behind.
+  std::ifstream f(path);
+  EXPECT_FALSE(f.good());
+  // fp32 save of the same module still works — NaN rejection is
+  // specific to quantization.
+  EXPECT_TRUE(SaveCheckpoint(&a, {}, path).ok());
+}
+
+TEST(CheckpointTest, QuantizedFileChecksummedLikeV2) {
+  TinyModel a(35);
+  const std::string path = TempPath("ckpt_quant_crc.bin");
+  SaveOptions options;
+  options.quantize_int8 = true;
+  ASSERT_TRUE(SaveCheckpoint(&a, {}, path, options).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x01);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  TinyModel b(36);
+  Status s = LoadCheckpoint(&b, path);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("CRC"), std::string::npos) << s.ToString();
+}
+
+TEST(CheckpointTest, Fp32FilesStillLoadAfterV3) {
+  // Back-compat: a default (v2) save loads exactly as before the v3
+  // format existed.
+  TinyModel a(37);
+  const std::string path = TempPath("ckpt_v2_compat.bin");
+  ASSERT_TRUE(SaveCheckpoint(&a, {{"v", 9.0}}, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "RTCKPT02");
+  in.close();
+  TinyModel b(38);
+  CheckpointMetadata meta;
+  ASSERT_TRUE(LoadCheckpoint(&b, path, &meta).ok());
+  EXPECT_DOUBLE_EQ(meta.at("v"), 9.0);
+  for (size_t i = 0; i < a.w_->value.numel(); ++i) {
+    EXPECT_EQ(b.w_->value[i], a.w_->value[i]);
+  }
 }
 
 TEST(CheckpointTest, OverwriteIsAtomicViaRename) {

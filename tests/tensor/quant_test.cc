@@ -1,0 +1,183 @@
+// Property tests for per-channel symmetric int8 quantization: round-trip
+// error bounds, the all-zero-channel and extreme-outlier edge cases,
+// non-finite rejection, and the re-quantization idempotency the
+// checkpoint-v3 load path relies on.
+
+#include "tensor/quant.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace rt {
+namespace {
+
+std::vector<float> RandomVec(int n, uint64_t seed, float spread = 1.0f) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian()) * spread;
+  return v;
+}
+
+TEST(QuantTest, ChannelScaleIsAbsmaxOver127) {
+  std::vector<float> x = {0.5f, -2.0f, 1.25f, 0.0f};
+  float scale = -1.0f;
+  ASSERT_TRUE(quant::ChannelScale(x.data(), 4, 1, &scale));
+  EXPECT_FLOAT_EQ(scale, 2.0f / quant::kQMax);
+}
+
+TEST(QuantTest, ChannelScaleHonorsStride) {
+  // Column access pattern of a row-major [rows, cols] matrix.
+  std::vector<float> w = {1.0f, 9.0f,  //
+                          -4.0f, 2.0f};
+  float scale = -1.0f;
+  ASSERT_TRUE(quant::ChannelScale(w.data(), 2, 2, &scale));  // column 0
+  EXPECT_FLOAT_EQ(scale, 4.0f / quant::kQMax);
+  ASSERT_TRUE(quant::ChannelScale(w.data() + 1, 2, 2, &scale));  // column 1
+  EXPECT_FLOAT_EQ(scale, 9.0f / quant::kQMax);
+}
+
+TEST(QuantTest, RoundTripErrorBoundedByHalfScale) {
+  const int rows = 37, cols = 19;
+  const auto w = RandomVec(rows * cols, 42);
+  std::vector<std::int8_t> q(w.size());
+  std::vector<float> scales(cols), back(w.size());
+  ASSERT_TRUE(
+      quant::QuantizePerColumn(w.data(), rows, cols, q.data(),
+                               scales.data()));
+  quant::DequantizePerColumn(q.data(), rows, cols, scales.data(),
+                             back.data());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Nearest-int rounding means the dequantized value sits within
+      // half a quantization step of the original (plus a hair of fp
+      // slack for the scale division itself).
+      const float err = std::fabs(back[r * cols + c] - w[r * cols + c]);
+      EXPECT_LE(err, 0.5f * scales[c] * 1.001f)
+          << "element (" << r << ", " << c << ")";
+    }
+  }
+}
+
+TEST(QuantTest, AbsmaxElementQuantizesToFullRange) {
+  const int rows = 8, cols = 3;
+  auto w = RandomVec(rows * cols, 7, 0.1f);
+  w[4 * cols + 1] = -3.0f;  // column 1's absmax
+  std::vector<std::int8_t> q(w.size());
+  std::vector<float> scales(cols);
+  ASSERT_TRUE(
+      quant::QuantizePerColumn(w.data(), rows, cols, q.data(),
+                               scales.data()));
+  EXPECT_EQ(q[4 * cols + 1], -quant::kQMax);
+}
+
+TEST(QuantTest, AllZeroChannelRoundTripsToExactZeros) {
+  const int rows = 11, cols = 4;
+  auto w = RandomVec(rows * cols, 9);
+  for (int r = 0; r < rows; ++r) w[r * cols + 2] = 0.0f;
+  std::vector<std::int8_t> q(w.size());
+  std::vector<float> scales(cols), back(w.size());
+  ASSERT_TRUE(
+      quant::QuantizePerColumn(w.data(), rows, cols, q.data(),
+                               scales.data()));
+  EXPECT_EQ(scales[2], 0.0f);
+  quant::DequantizePerColumn(q.data(), rows, cols, scales.data(),
+                             back.data());
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_EQ(q[r * cols + 2], 0);
+    EXPECT_EQ(back[r * cols + 2], 0.0f);
+  }
+}
+
+TEST(QuantTest, ExtremeOutlierCrushesSmallValuesToZeroButStaysBounded) {
+  // One 1e6 outlier in a column of ~1.0 values: the small values all
+  // quantize to 0 (the documented per-channel failure mode) but nothing
+  // overflows and the outlier itself round-trips exactly.
+  const int rows = 6, cols = 2;
+  std::vector<float> w(rows * cols, 1.0f);
+  w[3 * cols] = 1e6f;
+  std::vector<std::int8_t> q(w.size());
+  std::vector<float> scales(cols), back(w.size());
+  ASSERT_TRUE(
+      quant::QuantizePerColumn(w.data(), rows, cols, q.data(),
+                               scales.data()));
+  quant::DequantizePerColumn(q.data(), rows, cols, scales.data(),
+                             back.data());
+  EXPECT_FLOAT_EQ(back[3 * cols], 1e6f);
+  for (int r = 0; r < rows; ++r) {
+    if (r == 3) continue;
+    EXPECT_EQ(q[r * cols], 0) << "row " << r;
+  }
+  // Column 1 is untouched by the outlier: per-channel scales isolate it.
+  for (int r = 0; r < rows; ++r) {
+    EXPECT_NEAR(back[r * cols + 1], 1.0f, 0.5f * scales[1] * 1.001f);
+  }
+}
+
+TEST(QuantTest, NonFiniteRejected) {
+  const int rows = 4, cols = 4;
+  for (float bad : {std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::infinity(),
+                    -std::numeric_limits<float>::infinity()}) {
+    auto w = RandomVec(rows * cols, 11);
+    w[7] = bad;
+    std::vector<std::int8_t> q(w.size());
+    std::vector<float> scales(cols);
+    EXPECT_FALSE(quant::QuantizePerColumn(w.data(), rows, cols, q.data(),
+                                          scales.data()));
+    float scale = 0.0f;
+    EXPECT_FALSE(quant::ChannelScale(w.data(), rows * cols, 1, &scale));
+  }
+}
+
+TEST(QuantTest, RequantizationIsIdempotent) {
+  // quantize(dequantize(q, s)) == (q, s): the absmax element maps to
+  // +-127 exactly, so the recomputed scale equals the stored scale and
+  // every value re-rounds to the same integer. Checkpoint v3 relies on
+  // this — load dequantizes into fp32 params, serve re-quantizes at
+  // pack time, and the weights the kernels see are bit-identical to
+  // what was saved.
+  const int rows = 29, cols = 13;
+  const auto w = RandomVec(rows * cols, 23);
+  std::vector<std::int8_t> q1(w.size()), q2(w.size());
+  std::vector<float> s1(cols), s2(cols), back(w.size());
+  ASSERT_TRUE(
+      quant::QuantizePerColumn(w.data(), rows, cols, q1.data(), s1.data()));
+  quant::DequantizePerColumn(q1.data(), rows, cols, s1.data(), back.data());
+  ASSERT_TRUE(quant::QuantizePerColumn(back.data(), rows, cols, q2.data(),
+                                       s2.data()));
+  EXPECT_EQ(0, std::memcmp(q1.data(), q2.data(), q1.size()));
+  EXPECT_EQ(0, std::memcmp(s1.data(), s2.data(), cols * sizeof(float)));
+}
+
+TEST(QuantTest, PerRowMatchesPerColumnOnTranspose) {
+  const int rows = 12, cols = 7;
+  const auto w = RandomVec(rows * cols, 31);
+  // Transpose w, quantize per column, and compare against per-row
+  // quantization of the original: the two orientations must agree.
+  std::vector<float> wt(w.size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) wt[c * rows + r] = w[r * cols + c];
+  }
+  std::vector<std::int8_t> q_row(w.size()), q_col(w.size());
+  std::vector<float> s_row(rows), s_col(rows);
+  ASSERT_TRUE(
+      quant::QuantizePerRow(w.data(), rows, cols, q_row.data(),
+                            s_row.data()));
+  ASSERT_TRUE(quant::QuantizePerColumn(wt.data(), cols, rows, q_col.data(),
+                                       s_col.data()));
+  EXPECT_EQ(0, std::memcmp(s_row.data(), s_col.data(),
+                           rows * sizeof(float)));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_EQ(q_row[r * cols + c], q_col[c * rows + r]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rt

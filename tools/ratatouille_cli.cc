@@ -32,6 +32,7 @@
 #include "serve/chaos.h"
 #include "serve/replica_supervisor.h"
 #include "serve/router.h"
+#include "tensor/kernels.h"
 #include "util/flags.h"
 #include "util/obs.h"
 
@@ -47,18 +48,20 @@ int Usage() {
       "  preprocess  --in=FILE --out=FILE\n"
       "  train       --model=KIND --recipes=N --epochs=E\n"
       "              [--seed=S --lr=F --seq-len=T --batch=B\n"
-      "               --checkpoint=FILE --patience=P\n"
-      "               --compute-threads=N]\n"
+      "               --checkpoint=FILE --quant-checkpoint=FILE\n"
+      "               --patience=P --compute-threads=N]\n"
       "  generate    --model=KIND --recipes=N [--checkpoint=FILE\n"
       "               --max-tokens=M --temperature=F --top-k=K --top-p=F\n"
-      "               --greedy --beam=W --gen-seed=S] INGREDIENT...\n"
+      "               --greedy --beam=W --gen-seed=S --quant=MODE]\n"
+      "              INGREDIENT...\n"
       "  evaluate    --model=KIND --recipes=N --epochs=E --samples=K\n"
+      "              [--quant=MODE]\n"
       "  serve       --model=KIND --recipes=N --epochs=E\n"
       "              [--backend-port=P --frontend-port=P --workers=N\n"
       "               --sessions=N --queue=N --request-timeout-ms=MS\n"
       "               --compute-threads=N --max-batch=M\n"
       "               --batch-share=F --replicas=N --chaos-seed=S\n"
-      "               --trace-file=FILE --profile]\n"
+      "               --trace-file=FILE --profile --quant=MODE]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n"
       "serve observability: GET /v1/trace (Chrome trace JSON),\n"
       "  GET /v1/metrics[?format=prometheus]; --trace-file writes the\n"
@@ -69,13 +72,32 @@ int Usage() {
       "  fault injection across the fleet\n"
       "serve scheduling: requests carry priority=interactive|batch\n"
       "  (EDF by deadline slack); --batch-share=F caps the fraction of\n"
-      "  batch slots batch-class rows may hold (0 < F <= 1)\n");
+      "  batch slots batch-class rows may hold (0 < F <= 1)\n"
+      "quantization: --quant=int8 runs inference on per-channel int8\n"
+      "  weights (fp32 activations; see docs/quantization.md);\n"
+      "  --quant=fp32 is the default. train --quant-checkpoint=FILE\n"
+      "  writes an additional int8-quantized (v3) checkpoint\n");
   return 2;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Parses --quant=MODE (fp32 default, int8 = quantized inference) and
+/// applies it process-wide: every Linear/LSTM/tied-head matmul on the
+/// raw inference paths switches onto the packed int8 kernels. Training
+/// tape paths are unaffected — quantization is inference-only.
+StatusOr<bool> ApplyQuantFlag(const ArgParser& args) {
+  const std::string mode = args.GetString("quant", "fp32");
+  if (mode != "fp32" && mode != "int8") {
+    return Status::InvalidArgument(
+        "unknown --quant mode '" + mode + "' (expected fp32 or int8)");
+  }
+  const bool int8 = mode == "int8";
+  kernels::Config().use_int8 = int8;
+  return int8;
 }
 
 StatusOr<PipelineOptions> PipelineOptionsFromFlags(const ArgParser& args) {
@@ -186,6 +208,18 @@ int CmdTrain(const ArgParser& args) {
               result->seconds, result->tokens_per_second,
               result->resumed ? " (resumed)" : "",
               result->early_stopped ? " (early stop)" : "");
+  const std::string quant_ckpt = args.GetString("quant-checkpoint");
+  if (!quant_ckpt.empty()) {
+    SaveOptions save_options;
+    save_options.quantize_int8 = true;
+    CheckpointMetadata meta{
+        {"epochs", static_cast<double>(result->epochs_completed)}};
+    Status saved = SaveCheckpoint(p.model()->module(), meta, quant_ckpt,
+                                  save_options);
+    if (!saved.ok()) return Fail(saved);
+    std::printf("int8 quantized checkpoint written to %s\n",
+                quant_ckpt.c_str());
+  }
   return 0;
 }
 
@@ -195,6 +229,8 @@ int CmdGenerate(const ArgParser& args) {
   if (ingredients.empty()) {
     ingredients = {"tomato", "onion", "garlic"};
   }
+  auto quant = ApplyQuantFlag(args);
+  if (!quant.ok()) return Fail(quant.status());
   auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
   if (!pipeline.ok()) return Fail(pipeline.status());
   GenerationOptions gen;
@@ -224,6 +260,8 @@ int CmdGenerate(const ArgParser& args) {
 }
 
 int CmdEvaluate(const ArgParser& args) {
+  auto quant = ApplyQuantFlag(args);
+  if (!quant.ok()) return Fail(quant.status());
   auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
   if (!pipeline.ok()) return Fail(pipeline.status());
   Pipeline& p = **pipeline;
@@ -302,6 +340,8 @@ uint64_t ResolveChaosSeed(const ArgParser& args) {
 /// not meant to be run by hand). Loads the checkpoint the parent
 /// trained, serves /v1 on --backend-port, and exits on SIGTERM.
 int CmdServeReplica(const ArgParser& args) {
+  auto quant = ApplyQuantFlag(args);
+  if (!quant.ok()) return Fail(quant.status());
   auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
   if (!pipeline.ok()) return Fail(pipeline.status());
   Pipeline& p = **pipeline;
@@ -341,6 +381,7 @@ int CmdServeReplica(const ArgParser& args) {
   options.models = {args.GetString("model", "word-lstm")};
   options.max_batch = static_cast<int>(*max_batch);
   options.batch_share = *batch_share;
+  options.quantized_int8 = *quant;
   options.enable_fault_admin = args.GetBool("fault-admin");
   ServingSessions serving(&p, &options);
   BackendService backend(serving.factory, options);
@@ -366,6 +407,8 @@ int CmdServeFleet(const ArgParser& args, int replicas,
   auto request_timeout_ms = args.GetInt("request-timeout-ms", 30000);
   auto backend_port = args.GetInt("backend-port", 0);
   auto frontend_port = args.GetInt("frontend-port", 0);
+  auto quant = ApplyQuantFlag(args);
+  if (!quant.ok()) return Fail(quant.status());
   if (!request_timeout_ms.ok() || *request_timeout_ms < 1 ||
       !backend_port.ok() || !frontend_port.ok()) {
     return Usage();
@@ -384,8 +427,13 @@ int CmdServeFleet(const ArgParser& args, int replicas,
                  std::to_string(static_cast<int>(getpid())) + ".ckpt";
     CheckpointMetadata meta{{"epochs", static_cast<double>(
                                 train->epochs_completed)}};
+    // With --quant=int8 the shared checkpoint is stored quantized (v3,
+    // ~4x smaller): N replicas each read a quarter of the bytes and the
+    // runtime re-quantization of the dequantized weights is exact.
+    SaveOptions save_options;
+    save_options.quantize_int8 = *quant;
     Status saved = SaveCheckpoint((*pipeline)->model()->module(), meta,
-                                  checkpoint);
+                                  checkpoint, save_options);
     if (!saved.ok()) return Fail(saved);
     // The parent's model is no longer needed; replicas own their copies.
   }
@@ -418,6 +466,7 @@ int CmdServeFleet(const ArgParser& args, int replicas,
       "--request-timeout-ms=" + std::to_string(*request_timeout_ms),
       "--compute-threads=" +
           std::to_string(*args.GetInt("compute-threads", 0)),
+      std::string("--quant=") + (*quant ? "int8" : "fp32"),
       "--backend-port={port}",
   };
   if (chaos_seed != 0) {
@@ -495,6 +544,8 @@ int CmdServe(const ArgParser& args) {
     std::fprintf(stderr,
                  "warning: --chaos-seed needs --replicas>=2; ignored\n");
   }
+  auto quant = ApplyQuantFlag(args);
+  if (!quant.ok()) return Fail(quant.status());
   auto pipeline = BuildPipeline(args, /*load_checkpoint=*/true);
   if (!pipeline.ok()) return Fail(pipeline.status());
   Pipeline& p = **pipeline;
@@ -532,6 +583,7 @@ int CmdServe(const ArgParser& args) {
   options.models = {args.GetString("model", "word-lstm")};
   options.max_batch = static_cast<int>(*max_batch);
   options.batch_share = *batch_share;
+  options.quantized_int8 = *quant;
 
   ServingSessions serving(&p, &options);
   BackendService backend(serving.factory, options);
