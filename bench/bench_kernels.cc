@@ -30,6 +30,7 @@
 #include "tensor/tensor.h"
 #include "tensor/thread_pool.h"
 #include "util/obs.h"
+#include "util/slo.h"
 
 namespace rt {
 namespace {
@@ -186,6 +187,63 @@ BenchResult BenchDecodeObs(const Gpt2Lm& model, bool traced, bool profiled,
   });
   recorder.SetEnabled(false);
   profiler.SetEnabled(false);
+  r.ns_per_iter /= tokens;  // per decoded token
+  r.tokens_per_sec = 1e9 / r.ns_per_iter;
+  return r;
+}
+
+/// Decode with the full rt::obs v2 stack hot: span ring enabled, every
+/// token priced into the SLO engine as a completed request, and a
+/// MetricsHistory ring sampling the SLO gauges at 100x the serving
+/// cadence in the background. The row prices tracing + SLO recording +
+/// history sampling together; check_bench.py holds it to >= 97% of the
+/// disabled-hooks row in the same run.
+BenchResult BenchDecodeSampled(const Gpt2Lm& model, int tokens) {
+  ThreadPool::SetGlobalThreads(1);
+  auto& recorder = obs::TraceRecorder::Instance();
+  auto& slo = obs::SloEngine::Instance();
+  recorder.SetEnabled(true);
+  slo.Reset();
+  obs::MetricsHistory history;
+  obs::MetricsHistory::Options opts;
+  opts.capacity = 64;
+  opts.interval_ms = 100;
+  history.Configure(opts, [&slo] {
+    Json out{Json::Object{}};
+    slo.FillMetrics(&out);
+    return out;
+  });
+  history.Start();
+  Gpt2Lm::KvCache cache;
+  BenchResult r;
+  r.op = "gpt2_decode_sampled";
+  const auto& cfg = model.config();
+  r.shape = "L" + std::to_string(cfg.num_layers) + "_d" +
+            std::to_string(cfg.dim) + "_H" + std::to_string(cfg.num_heads) +
+            "_V" + std::to_string(cfg.vocab_size);
+  r.threads = 1;
+  r.ns_per_iter = TimeNs([&] {
+    const uint64_t trace_id = recorder.NextTraceId();
+    const auto prefill_start = obs::Now();
+    model.InitCache(&cache);
+    obs::RecordSpanSince(obs::Stage::kPrefill, trace_id, prefill_start,
+                         "prompt_tokens", 1);
+    for (int t = 0; t < tokens; ++t) {
+      const auto step_start = obs::Now();
+      model.StepWithCache(t % cfg.vocab_size, &cache);
+      obs::RecordSpanSince(obs::Stage::kBatchStep, trace_id, step_start,
+                           "batch", 1);
+      slo.RecordRequest(
+          /*traffic_class=*/0,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              obs::Now() - step_start)
+              .count(),
+          /*error=*/false);
+    }
+  });
+  history.Stop();
+  recorder.SetEnabled(false);
+  slo.Reset();
   r.ns_per_iter /= tokens;  // per decoded token
   r.tokens_per_sec = 1e9 / r.ns_per_iter;
   return r;
@@ -466,6 +524,7 @@ int Main(int argc, char** argv) {
     results.push_back(
         BenchDecodeObs(model, /*traced=*/false, /*profiled=*/true,
                        decode_tokens));
+    results.push_back(BenchDecodeSampled(model, decode_tokens));
     // The traced run filled the span ring; keep a loadable sample next
     // to the results for the CI artifact (open in Perfetto).
     if (Status s = obs::TraceRecorder::Instance().ExportToFile(
@@ -535,13 +594,15 @@ int Main(int argc, char** argv) {
     std::printf("batch-8 aggregate speedup over sequential m=1: %.2fx\n",
                 batched_b8 / batched_b1);
   }
-  double plain_tps = 0.0, traced_tps = 0.0, profiled_tps = 0.0;
+  double plain_tps = 0.0, traced_tps = 0.0, profiled_tps = 0.0,
+         sampled_tps = 0.0;
   for (const auto& r : results) {
     if (r.op == "gpt2_decode_step" && r.threads == 1 && plain_tps == 0.0) {
       plain_tps = r.tokens_per_sec;
     }
     if (r.op == "gpt2_decode_traced") traced_tps = r.tokens_per_sec;
     if (r.op == "gpt2_decode_profiled") profiled_tps = r.tokens_per_sec;
+    if (r.op == "gpt2_decode_sampled") sampled_tps = r.tokens_per_sec;
   }
   if (plain_tps > 0.0 && traced_tps > 0.0) {
     std::printf("enabled tracing overhead vs disabled hooks: %.1f%%\n",
@@ -550,6 +611,10 @@ int Main(int argc, char** argv) {
   if (plain_tps > 0.0 && profiled_tps > 0.0) {
     std::printf("enabled kernel profiling overhead: %.1f%%\n",
                 100.0 * (plain_tps - profiled_tps) / plain_tps);
+  }
+  if (plain_tps > 0.0 && sampled_tps > 0.0) {
+    std::printf("tracing + SLO + history sampling overhead: %.1f%%\n",
+                100.0 * (plain_tps - sampled_tps) / plain_tps);
   }
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -19,6 +19,9 @@ Families of checks:
      * tracing overhead <= 3%: decode with the span ring enabled
        (gpt2_decode_traced) must hold >= 97% of decode with the
        observability hooks compiled in but disabled (gpt2_decode_step);
+     * full observability overhead <= 3%: decode with tracing + per-
+       token SLO recording + background metrics-history sampling all on
+       (gpt2_decode_sampled) must also hold >= 97% of the disabled row;
      * warm shared-prefix TTFT >= 2x better than cold: restoring a
        published prefix snapshot (gpt2_ttft_warm_prefix) must reach the
        first token at least twice as fast as prefilling the same
@@ -229,6 +232,21 @@ def check_kernels(positional):
         pct = 100.0 * (plain - profiled) / plain
         print(f"INFO  enabled kernel profiling overhead: {pct:.1f}% "
               f"({profiled:.1f} vs {plain:.1f} tokens/sec)")
+
+    # Full-stack observability gate: tracing + per-token SLO recording
+    # + background metrics-history sampling together must also stay
+    # within the same in-run overhead budget.
+    sampled = get(current, "gpt2_decode_sampled", 1, "tokens_per_sec",
+                  current_path)
+    if plain is None or sampled is None:
+        failures += 1
+    else:
+        pct = 100.0 * (plain - sampled) / plain
+        ok = sampled >= (1.0 - TRACING_OVERHEAD) * plain
+        print(f"{'PASS' if ok else 'FAIL'}  tracing+SLO+history overhead "
+              f"{pct:.1f}% ({sampled:.1f} sampled vs {plain:.1f} disabled "
+              f"tokens/sec, gate: <= {TRACING_OVERHEAD:.0%})")
+        failures += 0 if ok else 1
 
     # Baseline-relative gates.
     if len(positional) > 1:

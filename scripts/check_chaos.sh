@@ -18,7 +18,11 @@
 #   3. mid-load, one replica is SIGKILLed by hand (on top of whatever
 #      the chaos schedule is doing); the supervisor must restart it and
 #      the fleet must return to 3 healthy replicas with
-#      replica_restarts_total >= 1.
+#      replica_restarts_total >= 1;
+#   4. the dead replica's flight-recorder postmortem file must be
+#      collected by the supervisor and served at the router's
+#      GET /v1/debug/postmortem (saved to /tmp/chaos_postmortem.json as
+#      the CI artifact).
 #
 # Exit 0 = all checks pass. Any failure prints the offending response.
 set -euo pipefail
@@ -36,8 +40,12 @@ if [[ ! -x "$CLI" ]]; then
   exit 1
 fi
 
+POSTMORTEM_DIR="/tmp/chaos-postmortems-$$"
+mkdir -p "$POSTMORTEM_DIR"
+
 "$CLI" serve --model=word-lstm --recipes=120 --epochs=1 \
   --replicas=3 --chaos-seed="$CHAOS_SEED" \
+  --postmortem-dir="$POSTMORTEM_DIR" \
   --backend-port="$ROUTER_PORT" --frontend-port="$FRONTEND_PORT" \
   >/tmp/chaos_fleet.log 2>&1 &
 FLEET_PID=$!
@@ -173,6 +181,51 @@ if (( HEALED != 1 )); then
   exit 1
 fi
 echo "PASS  fleet healed: 3/3 healthy, replica_restarts_total >= 1"
+
+# The dead replica left a flight-recorder file behind (heartbeats at
+# minimum — SIGKILL gives no handler a chance to run); the supervisor
+# collects it on reap and the router serves the fleet-wide archive.
+PM_JSON=/tmp/chaos_postmortem.json
+COLLECTED=0
+for _ in $(seq 1 30); do
+  if curl -sf --max-time 5 "$ROUTER/v1/debug/postmortem" -o "$PM_JSON"; then
+    COLLECTED=$(python3 -c \
+      "import json; print(int(json.load(open('$PM_JSON'))['collected']))" \
+      2>/dev/null || echo 0)
+    if (( COLLECTED >= 1 )); then
+      break
+    fi
+  fi
+  sleep 1
+done
+if (( COLLECTED < 1 )); then
+  echo "FAIL  router served no collected postmortem after the SIGKILL" >&2
+  cat "$PM_JSON" >&2 2>/dev/null || true
+  cat /tmp/chaos_fleet.log >&2
+  exit 1
+fi
+# Every collected record must be a parseable flight-recorder dump with
+# the supervisor's annotations attached.
+if ! python3 - "$PM_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+records = doc["postmortems"]
+assert records, "collected counter positive but postmortems array empty"
+for r in records:
+    assert r["postmortem_version"] == 1, r
+    assert "replica_port" in r and "replica_pid" in r, r
+    assert "gauges" in r, r
+print(f"INFO  {len(records)} postmortem record(s), "
+      f"signals={[int(r.get('killed_by_signal', 0)) for r in records]}")
+EOF
+then
+  echo "FAIL  collected postmortem records failed validation" >&2
+  exit 1
+fi
+echo "PASS  postmortem collected and served by the router" \
+     "(artifact: $PM_JSON)"
+
+rm -rf "$POSTMORTEM_DIR"
 
 echo
 echo "all chaos smoke checks passed"

@@ -11,6 +11,7 @@
 #include "models/batch_decode.h"
 #include "tensor/thread_pool.h"
 #include "util/fault_injection.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/obs.h"
 #include "util/timer.h"
@@ -392,6 +393,31 @@ BackendService::BackendService(const SessionFactory& factory,
     ThreadPool::SetGlobalThreads(options_.compute_threads);
   }
   if (options_.tracing) obs::TraceRecorder::Instance().SetEnabled(true);
+  // rt::obs v2: objectives into the process-wide SLO engine, the
+  // slow-trace archive bound, and the metrics-history sampler source.
+  {
+    std::vector<obs::SloObjective> objectives(2);
+    objectives[0].traffic_class = 0;
+    objectives[0].latency_target_ms = options_.slo_interactive_p99_ms;
+    objectives[0].max_error_ratio = options_.slo_error_ratio;
+    objectives[0].fast_burn_threshold = options_.slo_fast_burn_threshold;
+    objectives[1] = objectives[0];
+    objectives[1].traffic_class = 1;
+    objectives[1].latency_target_ms = options_.slo_batch_p99_ms;
+    obs::SloEngine::Instance().Configure(objectives);
+    obs::SlowTraceArchive::Instance().SetCapacity(
+        options_.slow_trace_capacity);
+    obs::MetricsHistory::Options history;
+    history.capacity = options_.history_capacity;
+    history.interval_ms = options_.history_interval_ms;
+    history_.Configure(history, [this] {
+      Json snapshot = MetricsJson();
+      // Each sample doubles as the flight recorder's "last known
+      // state": the next heartbeat persists it to the postmortem file.
+      obs::FlightRecorder::Instance().StoreSnapshot(snapshot.Dump());
+      return snapshot;
+    });
+  }
   for (const std::string& model : options_.models) {
     breakers_.emplace(model,
                       std::make_unique<ModelBreaker>(options_.breaker));
@@ -417,7 +443,15 @@ void BackendService::RegisterRoutes() {
       std::this_thread::sleep_for(std::chrono::milliseconds(
           std::min(std::max(hang->amount, 0), 10000)));
     }
-    return HttpResponse::JsonBody(HealthzJson().Dump());
+    Json body = HealthzJson();
+    if (obs::SloEngine::Instance().AnyFastBurn()) {
+      // Fast burn degrades the health body but stays HTTP 200: the
+      // process is alive and serving (the supervisor must not restart
+      // it for missing an objective), the SLO is what suffers.
+      body.Set("status", "degraded");
+      body.Set("slo_fast_burn", true);
+    }
+    return HttpResponse::JsonBody(body.Dump());
   };
   const auto deprecate = [](HttpResponse resp) {
     resp.headers["Deprecation"] = "true";
@@ -428,6 +462,14 @@ void BackendService::RegisterRoutes() {
   (void)server_.Route("GET", "/v1/metrics", [this](const HttpRequest& req) {
     return HandleMetrics(req);
   });
+  (void)server_.Route("GET", "/v1/metrics/history",
+                      [this](const HttpRequest& req) {
+                        return HandleMetricsHistory(req);
+                      });
+  (void)server_.Route("GET", "/v1/debug/slow",
+                      [this](const HttpRequest& req) {
+                        return HandleDebugSlow(req);
+                      });
   (void)server_.Route("GET", "/v1/trace", [this](const HttpRequest& req) {
     return HandleTrace(req);
   });
@@ -580,6 +622,9 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - admitted)
           .count());
+  // Mark the request for the SLO engine: class selects the objective,
+  // and the completion hook in http.cc consumes the annotation.
+  obs::AnnotateRequestClass(static_cast<int>(req.priority));
 
   // Breaker scope is the resolved model: a timeout storm on one model
   // opens only that model's breaker, and requests for healthy models
@@ -630,7 +675,11 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
                     << " trace_id=" << request.trace_id
                     << " model=" << req.model
                     << " reason=budget_spent timeout_ms=" << budget_ms;
-    return deadline_response(0);
+    HttpResponse shed = deadline_response(0);
+    // The later annotation wins: this was a shed, not a decode that ran
+    // out of budget, and the slow-trace archive distinguishes the two.
+    obs::AnnotateRequestReason(obs::PromoteReason::kShed);
+    return shed;
   }
 
   const auto acquire_start = obs::Now();
@@ -680,6 +729,7 @@ HttpResponse BackendService::HandleGenerate(const HttpRequest& request) {
     // verdict: the guard reports the ticket abandoned, and the client
     // gets a 200 with the valid partial result and
     // finish_reason=preempted.
+    obs::AnnotateRequestReason(obs::PromoteReason::kPreempted);
   } else {
     breaker_outcome.Success();
   }
@@ -707,6 +757,7 @@ HttpResponse BackendService::DeadlineResponse(
     const std::string& request_id, ModelBreaker& model_breaker,
     int budget_ms, long long tokens_generated, long long slack_ms) {
   generate_deadline_exceeded_.fetch_add(1);
+  obs::AnnotateRequestReason(obs::PromoteReason::kDeadlineExceeded);
   // Retry-After mirrors the 503 circuit_open hint: the breaker's
   // remaining cooldown when it has already tripped, else an estimate
   // of when capacity returns from the observed mean latency.
@@ -749,8 +800,13 @@ HttpResponse BackendService::HandleGenerateStream(
                     << " trace_id=" << request.trace_id
                     << " model=" << req.model
                     << " reason=budget_spent timeout_ms=" << budget_ms;
-    return DeadlineResponse(request.request_id, model_breaker, budget_ms,
-                            0, req.deadline.remaining_millis());
+    HttpResponse shed = DeadlineResponse(
+        request.request_id, model_breaker, budget_ms, 0,
+        req.deadline.remaining_millis());
+    // The later annotation wins: this was a shed, not a decode that ran
+    // out of budget, and the slow-trace archive distinguishes the two.
+    obs::AnnotateRequestReason(obs::PromoteReason::kShed);
+    return shed;
   }
   const auto acquire_start = obs::Now();
   const int slot = AcquireSession(req.deadline, req.priority);
@@ -912,6 +968,14 @@ void BackendService::RunStream(ResponseWriter& writer,
       req.deadline.expired()) {
     finish = FinishReason::kDeadlineExceeded;
   }
+  // SSE streams answer 200 before the outcome is known, so the status
+  // code can't carry the verdict — annotate the reason for the SLO /
+  // slow-trace completion hook instead.
+  if (finish == FinishReason::kDeadlineExceeded) {
+    obs::AnnotateRequestReason(obs::PromoteReason::kDeadlineExceeded);
+  } else if (finish == FinishReason::kPreempted) {
+    obs::AnnotateRequestReason(obs::PromoteReason::kPreempted);
+  }
 
   Json done{Json::Object{}};
   done.Set("request_id", request_id);
@@ -958,6 +1022,17 @@ HttpResponse BackendService::HandleMetrics(
     return resp;
   }
   return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse BackendService::HandleMetricsHistory(
+    const HttpRequest& request) const {
+  return HttpResponse::JsonBody(
+      history_.RollupForQuery(request.query).Dump());
+}
+
+HttpResponse BackendService::HandleDebugSlow(const HttpRequest&) const {
+  return HttpResponse::JsonBody(
+      obs::SlowTraceArchive::Instance().ExportChromeJson().Dump());
 }
 
 HttpResponse BackendService::HandleFaultAdmin(
@@ -1092,6 +1167,17 @@ Json BackendService::MetricsJson() const {
   out.Set("queue_depth", static_cast<double>(server_.queue_depth()));
   latency_.FillMetrics("generate_", &out);
   obs::FillStageMetrics(&out);
+  // rt::obs v2 gauges: SLO burn rates, span-ring health, slow-trace
+  // archive occupancy, and the history sampler's own state.
+  obs::SloEngine::Instance().FillMetrics(&out);
+  obs::FillTraceRingMetrics(&out);
+  obs::SlowTraceArchive::Instance().FillMetrics(&out);
+  out.Set("history_samples", static_cast<double>(history_.samples()));
+  out.Set("history_interval_ms",
+          static_cast<double>(history_.interval_ms()));
+  out.Set("postmortem_dumps",
+          static_cast<double>(
+              obs::FlightRecorder::Instance().dumps_written()));
   return out;
 }
 
@@ -1114,10 +1200,24 @@ HttpResponse BackendService::HandleModels() const {
 Status BackendService::Start(int port) {
   // Safe: no worker polls the token while the server is stopped.
   drain_cancel_->Reset();
-  return server_.Start(port);
+  Status status = server_.Start(port);
+  if (!status.ok()) return status;
+  if (!options_.postmortem_file.empty()) {
+    if (Status installed =
+            obs::FlightRecorder::Instance().Install(
+                options_.postmortem_file);
+        !installed.ok()) {
+      // Degraded observability, not a startup failure.
+      RT_LOG(Warning) << "flight recorder install failed: "
+                      << installed.ToString();
+    }
+  }
+  history_.Start();
+  return status;
 }
 
 void BackendService::Stop() {
+  history_.Stop();
   // Fire the drain token first so in-flight generations abort at their
   // next token check; the HTTP drain below then finishes quickly with
   // 503 "shutting_down" responses instead of waiting out full decodes.

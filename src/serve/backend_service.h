@@ -18,6 +18,7 @@
 #include "serve/sched_policy.h"
 #include "util/deadline.h"
 #include "util/json.h"
+#include "util/slo.h"
 
 namespace rt {
 
@@ -205,6 +206,26 @@ struct BackendOptions {
   /// into replicas; it is off by default because it exists to break the
   /// server on purpose — never enable it on a real deployment.
   bool enable_fault_admin = false;
+  /// SLO objectives per traffic class, configured into the process-wide
+  /// obs::SloEngine at construction: "p99 of <class> requests completes
+  /// within <X> ms" plus a shared error-ratio budget. Burn rates are
+  /// exported as slo_* gauges and a fast burn (1m window) degrades
+  /// /v1/healthz to "degraded" (still HTTP 200 — the process serves,
+  /// the objective suffers).
+  double slo_interactive_p99_ms = 2000.0;
+  double slo_batch_p99_ms = 30000.0;
+  double slo_error_ratio = 0.01;
+  double slo_fast_burn_threshold = 14.0;
+  /// Metrics-history sampler (GET /v1/metrics/history): snapshot
+  /// cadence and ring capacity (defaults hold one hour on box).
+  int history_interval_ms = 10000;
+  int history_capacity = 360;
+  /// Bound of the slow-trace archive (GET /v1/debug/slow).
+  int slow_trace_capacity = 32;
+  /// When non-empty, installs the crash flight recorder writing this
+  /// pre-opened postmortem file; the history sampler heartbeats it so
+  /// even a SIGKILLed process leaves a collectible dump.
+  std::string postmortem_file;
 };
 
 /// The generation backend microservice (the Flask-model container of
@@ -251,6 +272,9 @@ class BackendService {
   }
   int max_batch() const { return options_.max_batch; }
   const HttpServer& server() const { return server_; }
+  /// The on-box time-series ring behind GET /v1/metrics/history
+  /// (tests drive SampleNow() directly for determinism).
+  obs::MetricsHistory& history() { return history_; }
 
  private:
   void RegisterRoutes();
@@ -259,6 +283,12 @@ class BackendService {
   /// Prometheus text exposition (rendered from the same Json object, so
   /// the surfaces cannot drift).
   HttpResponse HandleMetrics(const HttpRequest& request) const;
+  /// GET /v1/metrics/history?window=<seconds>[&key=<flat key>]:
+  /// windowed rollups from the on-box metrics-history ring.
+  HttpResponse HandleMetricsHistory(const HttpRequest& request) const;
+  /// GET /v1/debug/slow: the tail-sampled slow-trace archive in Chrome
+  /// trace format with per-stage budget attribution.
+  HttpResponse HandleDebugSlow(const HttpRequest& request) const;
   HttpResponse HandleFaultAdmin(const HttpRequest& request) const;
   /// GET /v1/trace: Chrome trace_event export of the span ring.
   HttpResponse HandleTrace(const HttpRequest& request) const;
@@ -354,6 +384,9 @@ class BackendService {
   std::atomic<long long> streams_aborted_{0};
   std::atomic<long long> stream_tokens_{0};
   LatencyHistogram latency_;
+  /// Snapshots MetricsJson() on a cadence; also feeds the flight
+  /// recorder's heartbeat. Mutable: Rollup serves const handlers.
+  mutable obs::MetricsHistory history_;
 };
 
 }  // namespace rt

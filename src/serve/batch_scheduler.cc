@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "models/sampler.h"
+#include "util/flight_recorder.h"
 #include "util/obs.h"
 
 namespace rt::serve {
@@ -125,6 +126,16 @@ BatchSchedulerStats BatchScheduler::stats() const {
 }
 
 void BatchScheduler::SchedulerLoop() {
+  // Flight-recorder gauges: the crash handler can only read
+  // pre-registered atomics, so occupancy is mirrored out here every
+  // pass instead of being computed from the locked queues at dump time.
+  auto& recorder = obs::FlightRecorder::Instance();
+  static const int kGaugeActive = recorder.RegisterGauge("sched_active");
+  static const int kGaugePending =
+      recorder.RegisterGauge("sched_pending");
+  static const int kGaugeSteps = recorder.RegisterGauge("sched_steps");
+  static const int kGaugePreemptions =
+      recorder.RegisterGauge("sched_preemptions");
   for (;;) {
     std::vector<std::unique_ptr<Request>> shed;
     {
@@ -134,6 +145,12 @@ void BatchScheduler::SchedulerLoop() {
       });
       if (stop_) break;
       AdmitLocked(&shed);
+      recorder.SetGauge(kGaugeActive,
+                        static_cast<long long>(active_.size()));
+      recorder.SetGauge(kGaugePending,
+                        static_cast<long long>(pending_.size()));
+      recorder.SetGauge(kGaugeSteps, steps_);
+      recorder.SetGauge(kGaugePreemptions, preemptions_);
     }
     // Unmeetable rows shed at admission finish here, outside the lock:
     // empty partial result, the same kDeadlineExceeded a zero-token

@@ -19,6 +19,7 @@
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/obs.h"
+#include "util/slo.h"
 #include "util/strings.h"
 
 namespace rt {
@@ -702,6 +703,11 @@ void HttpServer::WorkerLoop() {
       SetSendTimeout(conn.fd, options_.write_timeout_ms);
       (void)SendAll(conn.fd, RenderResponse(resp, /*keep_alive=*/false));
       LingeringClose(conn.fd);
+      // A shed burns the error budget: no handler ran and no trace
+      // exists, but the SLO engine must see the failed exchange.
+      obs::OnRequestShed(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - conn.admitted)
+                             .count());
       continue;
     }
     ServeConnection(conn.fd, conn.admitted);
@@ -883,6 +889,14 @@ void HttpServer::ServeConnection(
                              stream_start);
         obs::RecordSpanSince(obs::Stage::kRequest, request.trace_id,
                              request_admitted);
+        // SLO + slow-trace retention hook: runs on this worker thread,
+        // so handler annotations (class, preempt/deadline reason) set
+        // during Dispatch / the stream callback are still visible.
+        obs::OnRequestComplete(
+            request.trace_id, request.request_id, response.status,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                obs::Now() - request_admitted)
+                .count());
         RT_LOG(Debug) << "http " << request.method << " " << request.path
                       << " status=" << response.status << " streamed=1"
                       << " complete=" << (stream_ok ? 1 : 0)
@@ -902,6 +916,11 @@ void HttpServer::ServeConnection(
       // inside it by time containment.
       obs::RecordSpanSince(obs::Stage::kRequest, request.trace_id,
                            request_admitted);
+      obs::OnRequestComplete(
+          request.trace_id, request.request_id, response.status,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              obs::Now() - request_admitted)
+              .count());
       RT_LOG(Debug) << "http " << request.method << " " << request.path
                     << " status=" << response.status
                     << " request_id=" << request.request_id

@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "serve/http.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -53,6 +54,13 @@ StatusOr<std::vector<int>> PickFreePorts(int n) {
 }
 
 }  // namespace
+
+StatusOr<Json> CollectPostmortemFile(const std::string& path,
+                                     bool remove_after) {
+  StatusOr<Json> parsed = obs::ParsePostmortemFile(path);
+  if (parsed.ok() && remove_after) ::unlink(path.c_str());
+  return parsed;
+}
 
 const char* ReplicaStateName(ReplicaState state) {
   switch (state) {
@@ -201,6 +209,18 @@ long long ReplicaSupervisor::total_restarts() const {
   return total_restarts_;
 }
 
+Json ReplicaSupervisor::PostmortemsJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json out{Json::Array{}};
+  for (const Json& record : postmortems_) out.Append(record);
+  return out;
+}
+
+long long ReplicaSupervisor::postmortems_collected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return postmortems_collected_;
+}
+
 void ReplicaSupervisor::SpawnLocked(Replica& replica) {
   // Everything the child needs is prepared before fork(): between
   // fork and exec only async-signal-safe calls are legal, because the
@@ -267,8 +287,15 @@ void ReplicaSupervisor::MonitorLoop() {
   // Probe clients are monitor-thread-local: one keep-alive connection
   // per replica slot, reconnecting transparently after a restart.
   std::vector<std::unique_ptr<HttpClient>> probes(replicas_.size());
+  struct DeadReplica {
+    int index = 0;
+    int port = 0;
+    long long pid = -1;
+    int wstatus = 0;
+  };
   while (running_.load()) {
     std::vector<std::pair<int, int>> to_probe;  // (index, port)
+    std::vector<DeadReplica> to_collect;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       const auto now = std::chrono::steady_clock::now();
@@ -285,6 +312,10 @@ void ReplicaSupervisor::MonitorLoop() {
                               std::to_string(WTERMSIG(wstatus))
                         : " exited status " +
                               std::to_string(WEXITSTATUS(wstatus)));
+            if (!options_.postmortem_path_template.empty()) {
+              to_collect.push_back({replica.index, replica.port,
+                                    replica.pid, wstatus});
+            }
             ScheduleRestartLocked(replica);
           }
         }
@@ -309,6 +340,44 @@ void ReplicaSupervisor::MonitorLoop() {
             break;
         }
       }
+    }
+    // Postmortem collection is plain file I/O on a dead replica's dump
+    // — done off the lock like the probes so Snapshot() never waits on
+    // the filesystem.
+    for (const DeadReplica& dead : to_collect) {
+      const std::string path =
+          ReplaceAll(options_.postmortem_path_template, "{port}",
+                     std::to_string(dead.port));
+      auto parsed = CollectPostmortemFile(path, /*remove_after=*/true);
+      if (!parsed.ok()) {
+        // A clean exit (or a kill faster than the first heartbeat)
+        // leaves nothing behind; that is not an error.
+        RT_LOG(Info) << "replica " << dead.index << " left no postmortem"
+                     << " (" << parsed.status().ToString() << ")";
+        continue;
+      }
+      Json record = *std::move(parsed);
+      record.Set("replica_index", static_cast<double>(dead.index));
+      record.Set("replica_port", static_cast<double>(dead.port));
+      record.Set("replica_pid", static_cast<double>(dead.pid));
+      record.Set("killed_by_signal",
+                 static_cast<double>(
+                     WIFSIGNALED(dead.wstatus) ? WTERMSIG(dead.wstatus)
+                                               : 0));
+      record.Set("exit_status",
+                 static_cast<double>(WIFEXITED(dead.wstatus)
+                                         ? WEXITSTATUS(dead.wstatus)
+                                         : 0));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        postmortems_.push_back(std::move(record));
+        while (postmortems_.size() > kMaxPostmortems) {
+          postmortems_.pop_front();
+        }
+        ++postmortems_collected_;
+      }
+      RT_LOG(Warning) << "replica " << dead.index
+                      << " postmortem collected from " << path;
     }
     // Probe I/O off the lock: a wedged replica stalls only this loop's
     // tick (bounded by probe_timeout_ms per replica), never Snapshot().

@@ -3,12 +3,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -56,6 +58,13 @@ class ReplicaFleet {
   /// (connect refused, mid-response hangup, per-try timeout). Default:
   /// ignored.
   virtual void ReportFailure(int index) { (void)index; }
+
+  /// Flight-recorder postmortems collected from dead replicas, newest
+  /// last (JSON array, bounded). Default: none.
+  virtual Json PostmortemsJson() const { return Json{Json::Array{}}; }
+
+  /// Total postmortem files collected over the fleet's lifetime.
+  virtual long long postmortems_collected() const { return 0; }
 };
 
 /// A fleet over caller-managed, always-healthy backends — no processes,
@@ -112,7 +121,19 @@ struct ReplicaSupervisorOptions {
   int backoff_initial_ms = 100;
   int backoff_max_ms = 5000;
   uint64_t jitter_seed = 1;
+  /// When non-empty, where each replica writes its flight-recorder
+  /// postmortem file; "{port}" is replaced with the replica's port.
+  /// The monitor collects (parses, annotates, removes) the file when
+  /// that replica's process dies.
+  std::string postmortem_path_template;
 };
+
+/// Reads and parses a flight-recorder postmortem file left behind by a
+/// dead replica, removing it afterwards when `remove_after` is set (so
+/// a stale dump is never collected twice). Split out from the
+/// supervisor so tests can exercise collection without fork/exec.
+StatusOr<Json> CollectPostmortemFile(const std::string& path,
+                                     bool remove_after);
 
 /// Supervised fleet of fork/exec'd backend processes (the elastic-agent
 /// idiom: spawn, monitor, restart on failure). A monitor thread reaps
@@ -146,6 +167,9 @@ class ReplicaSupervisor : public ReplicaFleet {
   /// Fleet-wide respawn count (for /v1/metrics and the chaos gate).
   long long total_restarts() const;
 
+  Json PostmortemsJson() const override;
+  long long postmortems_collected() const override;
+
  private:
   struct Replica {
     int index = 0;
@@ -170,9 +194,15 @@ class ReplicaSupervisor : public ReplicaFleet {
   /// mutex_.
   void ScheduleRestartLocked(Replica& replica);
 
+  /// Bound on retained postmortems: old crashes age out, and a
+  /// crash-looping replica cannot grow the router's memory.
+  static constexpr size_t kMaxPostmortems = 8;
+
   ReplicaSupervisorOptions options_;
   mutable std::mutex mutex_;
   std::vector<Replica> replicas_;
+  std::deque<Json> postmortems_;  // newest last, bounded
+  long long postmortems_collected_ = 0;
   Rng jitter_;
   long long total_restarts_ = 0;
   std::atomic<bool> running_{false};

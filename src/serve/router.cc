@@ -79,19 +79,43 @@ Router::Router(ReplicaFleet* fleet, RouterOptions options)
   (void)server_.Route("GET", "/v1/models", [this](const HttpRequest& req) {
     return HandleModels(req);
   });
+  (void)server_.Route("GET", "/v1/metrics/history",
+                      [this](const HttpRequest& req) {
+                        return HandleMetricsHistory(req);
+                      });
+  (void)server_.Route("GET", "/v1/debug/slow",
+                      [this](const HttpRequest& req) {
+                        return HandleDebugSlow(req);
+                      });
+  (void)server_.Route("GET", "/v1/debug/postmortem",
+                      [this](const HttpRequest& req) {
+                        return HandleDebugPostmortem(req);
+                      });
   (void)server_.RoutePrefix("POST", "/v1/", [this](const HttpRequest& req) {
     return HandleRoute(req);
   });
+  obs::MetricsHistory::Options history;
+  history.interval_ms = options_.history_interval_ms;
+  history.capacity = options_.history_capacity;
+  // The router's snapshot embeds the fleet SLO aggregate, so the
+  // history ring records fleet burn rates over time, not just local
+  // routing counters.
+  history_.Configure(history, [this] { return MetricsJson(); });
 }
 
 Router::~Router() { Stop(); }
 
 Status Router::Start(int port) {
   if (options_.tracing) obs::TraceRecorder::Instance().SetEnabled(true);
-  return server_.Start(port);
+  Status status = server_.Start(port);
+  if (status.ok()) history_.Start();
+  return status;
 }
 
-void Router::Stop() { server_.Stop(); }
+void Router::Stop() {
+  history_.Stop();
+  server_.Stop();
+}
 
 int Router::JitterMs(int base) {
   std::lock_guard<std::mutex> lock(jitter_mutex_);
@@ -549,9 +573,21 @@ HttpResponse Router::HandleHealthz(const HttpRequest&) const {
     }
   }
   Json body = HealthzJson();
-  body.Set("status", healthy == static_cast<int>(snapshot.size())
-                         ? "ok"
-                         : healthy > 0 ? "degraded" : "unavailable");
+  std::string status = healthy == static_cast<int>(snapshot.size())
+                           ? "ok"
+                           : healthy > 0 ? "degraded" : "unavailable";
+  if (status == "ok") {
+    // A fleet that answers probes but burns its error budget is
+    // degraded, not ok — same contract as the backend's own healthz
+    // (still HTTP 200: restarts don't fix an SLO burn).
+    Json aggregate{Json::Object{}};
+    obs::AggregateSloMetrics(FetchReplicaMetrics(), &aggregate);
+    if (obs::FleetFastBurn(aggregate)) {
+      status = "degraded";
+      body.Set("slo_fast_burn", true);
+    }
+  }
+  body.Set("status", std::move(status));
   Json replicas{Json::Object{}};
   replicas.Set("total", static_cast<double>(snapshot.size()));
   replicas.Set("healthy", healthy);
@@ -638,7 +674,106 @@ Json Router::MetricsJson() const {
           static_cast<double>(restarts_total));
   out.Set("replica_detail", std::move(detail));
   obs::FillStageMetrics(&out);
+  // Fleet-wide view: sum per-replica SLO counts into fleet_slo_* burn
+  // rates and fold replica stage_* histograms into this process's own
+  // (the router's buckets then cover every hop in the fleet).
+  const std::vector<Json> replica_metrics = FetchReplicaMetrics();
+  obs::AggregateSloMetrics(replica_metrics, &out);
+  for (const Json& metrics : replica_metrics) {
+    obs::MergeHistogramFamilies(&out, metrics, "stage_");
+  }
+  out.Set("replica_postmortems_collected",
+          static_cast<double>(fleet_->postmortems_collected()));
+  out.Set("history_samples", static_cast<double>(history_.samples()));
+  out.Set("history_interval_ms",
+          static_cast<double>(history_.interval_ms()));
   return out;
+}
+
+std::vector<Json> Router::FetchReplicaMetrics() const {
+  std::vector<Json> out;
+  for (const ReplicaStatus& status : fleet_->Snapshot()) {
+    if (status.state != ReplicaState::kHealthy) continue;
+    HttpCallOptions call;
+    call.timeout_ms = 500;
+    auto resp = HttpGet(status.port, "/v1/metrics", call);
+    if (!resp.ok() || resp->status != 200) continue;
+    auto doc = Json::Parse(resp->body);
+    if (!doc.ok() || !doc->is_object()) continue;
+    out.push_back(*std::move(doc));
+  }
+  return out;
+}
+
+HttpResponse Router::HandleMetricsHistory(
+    const HttpRequest& request) const {
+  // The router's own ring (fleet aggregate over time); per-replica
+  // rings stay one hop away on the replicas themselves.
+  return HttpResponse::JsonBody(
+      history_.RollupForQuery(request.query).Dump());
+}
+
+HttpResponse Router::HandleDebugSlow(const HttpRequest&) const {
+  // Same merge idiom as HandleTrace: the router's own archive (empty
+  // unless something promotes locally) plus every healthy replica's
+  // retained slow traces, one shared Chrome-trace timeline.
+  Json own = obs::SlowTraceArchive::Instance().ExportChromeJson();
+  Json merged_events{Json::Array{}};
+  Json merged_traces{Json::Array{}};
+  double promoted_total = 0;
+  double evicted_total = 0;
+  const auto accumulate = [&](const Json& doc) {
+    if (const Json& events = doc.Get("traceEvents");
+        events.is_array()) {
+      for (const Json& event : events.AsArray()) {
+        merged_events.Append(event);
+      }
+    }
+    if (const Json& traces = doc.Get("slow_traces");
+        traces.is_array()) {
+      for (const Json& trace : traces.AsArray()) {
+        merged_traces.Append(trace);
+      }
+    }
+    if (const Json& promoted = doc.Get("promoted_total");
+        promoted.is_number()) {
+      promoted_total += promoted.AsNumber();
+    }
+    if (const Json& evicted = doc.Get("evicted_total");
+        evicted.is_number()) {
+      evicted_total += evicted.AsNumber();
+    }
+  };
+  accumulate(own);
+  for (const ReplicaStatus& status : fleet_->Snapshot()) {
+    if (status.state != ReplicaState::kHealthy) continue;
+    HttpCallOptions call;
+    call.timeout_ms = 500;
+    auto resp = HttpGet(status.port, "/v1/debug/slow", call);
+    if (!resp.ok() || resp->status != 200) continue;
+    auto doc = Json::Parse(resp->body);
+    if (!doc.ok() || !doc->is_object()) continue;
+    accumulate(*doc);
+  }
+  Json out{Json::Object{}};
+  if (const Json& unit = own.Get("displayTimeUnit"); unit.is_string()) {
+    out.Set("displayTimeUnit", unit.AsString());
+  }
+  out.Set("archived",
+          static_cast<double>(merged_traces.AsArray().size()));
+  out.Set("promoted_total", promoted_total);
+  out.Set("evicted_total", evicted_total);
+  out.Set("traceEvents", std::move(merged_events));
+  out.Set("slow_traces", std::move(merged_traces));
+  return HttpResponse::JsonBody(out.Dump());
+}
+
+HttpResponse Router::HandleDebugPostmortem(const HttpRequest&) const {
+  Json out{Json::Object{}};
+  out.Set("collected",
+          static_cast<double>(fleet_->postmortems_collected()));
+  out.Set("postmortems", fleet_->PostmortemsJson());
+  return HttpResponse::JsonBody(out.Dump());
 }
 
 HttpResponse Router::HandleMetrics(const HttpRequest& request) const {

@@ -14,6 +14,7 @@
 #include "serve/sched_policy.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/slo.h"
 #include "util/status.h"
 
 namespace rt {
@@ -48,6 +49,10 @@ struct RouterOptions {
   /// BackendOptions::tracing; the fleet parent has no backend to flip
   /// the recorder on, so the router must).
   bool tracing = true;
+  /// On-box metrics-history ring over the router's own MetricsJson
+  /// (which embeds the fleet SLO aggregate), same knobs as the backend.
+  int history_interval_ms = 10000;
+  int history_capacity = 360;
 };
 
 /// The routing tier: fronts a ReplicaFleet with least-loaded dispatch,
@@ -140,6 +145,14 @@ class Router {
   HttpResponse HandleMetrics(const HttpRequest& request) const;
   HttpResponse HandleTrace(const HttpRequest& request) const;
   HttpResponse HandleModels(const HttpRequest& request) const;
+  HttpResponse HandleMetricsHistory(const HttpRequest& request) const;
+  HttpResponse HandleDebugSlow(const HttpRequest& request) const;
+  HttpResponse HandleDebugPostmortem(const HttpRequest& request) const;
+
+  /// GETs and parses /v1/metrics from every healthy replica (best
+  /// effort, short per-replica timeout). Feeds the fleet SLO aggregate
+  /// and the stage_* histogram merge.
+  std::vector<Json> FetchReplicaMetrics() const;
 
   /// Remaining per-try budget for attempt `attempt` (0-based).
   int TryTimeoutMs(std::chrono::steady_clock::time_point deadline,
@@ -154,6 +167,7 @@ class Router {
   ReplicaFleet* fleet_;
   RouterOptions options_;
   HttpServer server_;
+  mutable obs::MetricsHistory history_;
   std::vector<std::unique_ptr<ReplicaSlot>> slots_;
   std::mutex jitter_mutex_;
   Rng jitter_;

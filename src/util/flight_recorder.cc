@@ -1,0 +1,279 @@
+#include "util/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/obs.h"
+
+namespace rt {
+namespace obs {
+
+namespace {
+
+/// One writer may serialize to the file at a time. Heartbeats that
+/// lose the race skip (the next tick retries); the crash handler spins
+/// a bounded while for an in-flight heartbeat to drain, then writes
+/// regardless (better a possibly-torn dump than none).
+std::atomic<bool> g_dump_busy{false};
+
+void CrashHandler(int signal_number) {
+  FlightRecorder::Instance().WriteDumpForSignal(signal_number);
+  // Restore the default disposition and re-raise: the signal is
+  // blocked for the duration of this handler, so the re-raise lands
+  // on return and the process dies with the honest wait status.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SIG_DFL;
+  sigaction(signal_number, &action, nullptr);
+  raise(signal_number);
+}
+
+/// Buffered async-signal-safe writer over pwrite: no allocation, no
+/// stdio, no locale. All content is ASCII produced by the methods
+/// below.
+struct DumpWriter {
+  explicit DumpWriter(int fd) : fd(fd) {}
+
+  void Flush() {
+    int written = 0;
+    while (written < len) {
+      const ssize_t n =
+          pwrite(fd, buf + written, static_cast<size_t>(len - written),
+                 offset + written);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      written += static_cast<int>(n);
+    }
+    offset += len;
+    len = 0;
+  }
+
+  void Put(char c) {
+    if (len == static_cast<int>(sizeof(buf))) Flush();
+    buf[len++] = c;
+  }
+
+  void Str(const char* s) {
+    for (; *s != '\0'; ++s) Put(*s);
+  }
+
+  void Int(long long value) {
+    char digits[24];
+    int n = 0;
+    unsigned long long magnitude;
+    if (value < 0) {
+      Put('-');
+      magnitude = static_cast<unsigned long long>(-(value + 1)) + 1;
+    } else {
+      magnitude = static_cast<unsigned long long>(value);
+    }
+    do {
+      digits[n++] = static_cast<char>('0' + magnitude % 10);
+      magnitude /= 10;
+    } while (magnitude != 0);
+    while (n > 0) Put(digits[--n]);
+  }
+
+  /// JSON string literal; escapes quotes/backslashes, drops other
+  /// control characters (our names are lowercase identifiers anyway).
+  void Quoted(const char* s) {
+    Put('"');
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        Put('\\');
+        Put(c);
+      } else if (static_cast<unsigned char>(c) >= 0x20) {
+        Put(c);
+      }
+    }
+    Put('"');
+  }
+
+  int fd;
+  off_t offset = 0;
+  int len = 0;
+  bool ok = true;
+  char buf[4096];
+};
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+Status FlightRecorder::Install(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open postmortem file '" + path + "'");
+  }
+  const int previous = fd_.exchange(fd, std::memory_order_acq_rel);
+  if (previous >= 0) ::close(previous);
+  path_ = path;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = CrashHandler;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGSEGV, &action, nullptr);
+  sigaction(SIGABRT, &action, nullptr);
+  sigaction(SIGBUS, &action, nullptr);
+
+  // The file is collectible from the first instant — a replica
+  // SIGKILLed before its first sampler tick still leaves a dump.
+  WriteHeartbeat();
+  return Status::OK();
+}
+
+std::string FlightRecorder::path() const { return path_; }
+
+int FlightRecorder::RegisterGauge(const char* name) {
+  for (int i = 0; i < kMaxGauges; ++i) {
+    const char* existing =
+        gauges_[i].name.load(std::memory_order_acquire);
+    if (existing == nullptr) {
+      const char* expected = nullptr;
+      if (gauges_[i].name.compare_exchange_strong(
+              expected, name, std::memory_order_acq_rel)) {
+        return i;
+      }
+      existing = expected;
+    }
+    if (existing == name || std::strcmp(existing, name) == 0) return i;
+  }
+  return -1;
+}
+
+void FlightRecorder::SetGauge(int index, long long value) {
+  if (index < 0 || index >= kMaxGauges) return;
+  gauges_[index].value.store(value, std::memory_order_relaxed);
+}
+
+long long FlightRecorder::gauge(int index) const {
+  if (index < 0 || index >= kMaxGauges) return 0;
+  return gauges_[index].value.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::StoreSnapshot(const std::string& metrics_json) {
+  if (metrics_json.size() >= kMaxSnapshotBytes) return;
+  const int current = published_.load(std::memory_order_acquire);
+  const int next = current == 0 ? 1 : 0;
+  std::memcpy(snapshots_[next], metrics_json.data(), metrics_json.size());
+  snapshot_lens_[next].store(static_cast<int>(metrics_json.size()),
+                             std::memory_order_release);
+  published_.store(next, std::memory_order_release);
+}
+
+void FlightRecorder::WriteHeartbeat() {
+  if (!installed()) return;
+  if (g_dump_busy.exchange(true, std::memory_order_acquire)) return;
+  WriteDump(0);
+  g_dump_busy.store(false, std::memory_order_release);
+}
+
+void FlightRecorder::WriteDumpForSignal(int signal_number) {
+  if (!installed()) return;
+  // Wait (bounded) for an in-flight heartbeat; then take the file.
+  for (long spin = 0; spin < 1000000; ++spin) {
+    if (!g_dump_busy.exchange(true, std::memory_order_acquire)) break;
+  }
+  WriteDump(signal_number);
+  g_dump_busy.store(false, std::memory_order_release);
+}
+
+void FlightRecorder::WriteDump(int signal_number) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return;
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+
+  DumpWriter w(fd);
+  w.Str("{\"postmortem_version\":1,\"signal\":");
+  w.Int(signal_number);
+  w.Str(",\"pid\":");
+  w.Int(static_cast<long long>(::getpid()));
+  w.Str(",\"uptime_s\":");
+  // Integer seconds: no floating-point formatting in signal context.
+  w.Int(static_cast<long long>(UptimeSeconds()));
+  w.Str(",\"dumps_written\":");
+  w.Int(dumps_.load(std::memory_order_relaxed));
+
+  w.Str(",\"gauges\":{");
+  bool first = true;
+  for (const Gauge& gauge : gauges_) {
+    const char* name = gauge.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    if (!first) w.Put(',');
+    first = false;
+    w.Quoted(name);
+    w.Put(':');
+    w.Int(gauge.value.load(std::memory_order_relaxed));
+  }
+  w.Put('}');
+
+  // Most recent ring spans, newest first (what was the process doing).
+  static SpanCopy spans[kMaxDumpSpans];  // static: keep handler stack flat
+  const int span_count =
+      TraceRecorder::Instance().SnapshotRecent(spans, kMaxDumpSpans);
+  w.Str(",\"spans\":[");
+  for (int i = 0; i < span_count; ++i) {
+    if (i > 0) w.Put(',');
+    w.Str("{\"name\":");
+    w.Quoted(spans[i].name);
+    w.Str(",\"trace_id\":");
+    w.Int(static_cast<long long>(spans[i].trace_id));
+    w.Str(",\"ts_ns\":");
+    w.Int(spans[i].ts_ns);
+    w.Str(",\"dur_ns\":");
+    w.Int(spans[i].dur_ns);
+    if (spans[i].arg_name != nullptr) {
+      w.Put(',');
+      w.Quoted(spans[i].arg_name);
+      w.Put(':');
+      w.Int(spans[i].arg_value);
+    }
+    w.Put('}');
+  }
+  w.Put(']');
+
+  // Last published metrics snapshot (already-valid JSON text).
+  w.Str(",\"metrics\":");
+  const int published = published_.load(std::memory_order_acquire);
+  if (published >= 0) {
+    const int length =
+        snapshot_lens_[published].load(std::memory_order_acquire);
+    const char* text = snapshots_[published];
+    for (int i = 0; i < length; ++i) w.Put(text[i]);
+  } else {
+    w.Str("null");
+  }
+  w.Str("}\n");
+  w.Flush();
+  // Drop any longer previous dump so the file stays parseable.
+  if (w.ok) ftruncate(fd, w.offset);
+}
+
+StatusOr<Json> ParsePostmortemFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open postmortem file '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string content = text.str();
+  if (content.empty()) {
+    return Status::IoError("postmortem file '" + path + "' is empty");
+  }
+  return Json::Parse(content);
+}
+
+}  // namespace obs
+}  // namespace rt

@@ -1,0 +1,105 @@
+#ifndef RATATOUILLE_UTIL_FLIGHT_RECORDER_H_
+#define RATATOUILLE_UTIL_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace rt {
+namespace obs {
+
+/// Crash flight recorder: a black box that survives the process.
+///
+/// Install() pre-opens a postmortem file and registers a SIGSEGV /
+/// SIGABRT / SIGBUS handler. The handler rewrites the file with the
+/// crash signal, the gauge table (sched/batch occupancy, updated by
+/// the hot loops with plain atomic stores), the last published metrics
+/// snapshot, and the most recent spans from the trace ring — using
+/// only async-signal-safe primitives (pwrite/ftruncate, hand-rolled
+/// number formatting, no allocation, no locks) — then re-raises with
+/// the default disposition so exit codes stay honest.
+///
+/// SIGKILL never runs a handler, so the metrics-history sampler also
+/// calls WriteHeartbeat() on its cadence: a killed replica still
+/// leaves its last pre-kill snapshot (signal = 0) behind. Either way
+/// the replica supervisor collects the file when it reaps the process,
+/// and the router serves the collection at GET /v1/debug/postmortem.
+class FlightRecorder {
+ public:
+  static constexpr int kMaxGauges = 32;
+  static constexpr int kMaxSnapshotBytes = 64 * 1024;
+  /// Most recent ring spans included in a dump (newest first).
+  static constexpr int kMaxDumpSpans = 256;
+
+  static FlightRecorder& Instance();
+
+  /// Opens (truncating) the postmortem file, installs the signal
+  /// handlers, and writes an initial heartbeat so the file is
+  /// collectible from the first instant. Idempotent per path; a second
+  /// call switches files. Not thread-safe against concurrent dumps —
+  /// call during startup.
+  Status Install(const std::string& path);
+  bool installed() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  std::string path() const;
+
+  /// Registers (or finds) a named gauge slot; returns its index, or -1
+  /// when the table is full. Names must be string literals (stored by
+  /// pointer, read from the signal handler).
+  int RegisterGauge(const char* name);
+  /// Plain relaxed store — cheap enough for per-batch-step updates.
+  void SetGauge(int index, long long value);
+  long long gauge(int index) const;
+
+  /// Publishes a metrics snapshot (JSON text) for inclusion in dumps.
+  /// Double-buffered with an atomic publish index, so a dump taken
+  /// mid-store still reads a complete older snapshot. Oversized
+  /// snapshots (> kMaxSnapshotBytes) are dropped.
+  void StoreSnapshot(const std::string& metrics_json);
+
+  /// Writes a heartbeat dump (signal = 0) from normal context. No-op
+  /// until installed.
+  void WriteHeartbeat();
+
+  /// Test hook: runs the exact dump path the signal handler uses.
+  void WriteDumpForSignal(int signal);
+
+  /// Heartbeats + crash dumps written so far.
+  long long dumps_written() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FlightRecorder() = default;
+
+  /// The async-signal-safe core: serializes state to fd_ at offset 0.
+  void WriteDump(int signal);
+
+  std::atomic<int> fd_{-1};
+  /// Guarded copy of the path for path(); never touched in handlers.
+  std::string path_;
+
+  struct Gauge {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<long long> value{0};
+  };
+  Gauge gauges_[kMaxGauges];
+
+  /// Double-buffered snapshot text; published_ is the readable index
+  /// (-1 = none yet), lengths tracked per buffer.
+  char snapshots_[2][kMaxSnapshotBytes];
+  std::atomic<int> snapshot_lens_[2] = {};
+  std::atomic<int> published_{-1};
+
+  std::atomic<long long> dumps_{0};
+};
+
+/// Parses a postmortem file written by FlightRecorder. Errors on
+/// missing/empty/syntactically torn files.
+StatusOr<Json> ParsePostmortemFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_FLIGHT_RECORDER_H_

@@ -120,6 +120,30 @@ long long StageHistogram::count() const {
   return total;
 }
 
+double StageHistogram::QuantileUpperBoundSeconds(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  long long counts[kNumBounds + 1];
+  long long total = 0;
+  for (int i = 0; i <= kNumBounds; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  long long cumulative = 0;
+  for (int i = 0; i < kNumBounds; ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return kBoundsSeconds[i];
+    }
+  }
+  // Quantile lands in the overflow bucket; the max observed latency is
+  // the tightest honest bound we have.
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
 void StageHistogram::FillMetrics(const std::string& prefix,
                                  Json* object) const {
   // Same key shape as the serve request-latency histogram (see
@@ -234,6 +258,7 @@ void TraceRecorder::SetEnabled(bool enabled) {
 
 void TraceRecorder::Clear() {
   head_.store(0, std::memory_order_relaxed);
+  export_torn_.store(0, std::memory_order_relaxed);
   for (Slot& slot : slots_) {
     slot.seq.store(0, std::memory_order_release);
   }
@@ -272,6 +297,97 @@ long long TraceRecorder::dropped() const {
   return total > kCapacity ? total - kCapacity : 0;
 }
 
+long long TraceRecorder::export_torn() const {
+  return export_torn_.load(std::memory_order_relaxed);
+}
+
+int TraceRecorder::occupancy() const {
+  int published = 0;
+  for (const Slot& slot : slots_) {
+    const uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+    if (seq != 0 && (seq & 1) == 0) ++published;
+  }
+  return published;
+}
+
+int TraceRecorder::CollectTrace(uint64_t trace_id,
+                                std::vector<SpanCopy>* out) const {
+  struct Keyed {
+    uint64_t ticket;
+    SpanCopy span;
+  };
+  std::vector<Keyed> found;
+  for (const Slot& slot : slots_) {
+    const uint64_t v1 = slot.seq.load(std::memory_order_acquire);
+    if (v1 == 0) continue;
+    if ((v1 & 1) != 0) {
+      export_torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    SpanCopy span;
+    span.name = slot.name.load(std::memory_order_relaxed);
+    span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    span.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    span.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    span.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+    span.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != v1) {
+      export_torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (span.name == nullptr || span.trace_id != trace_id) continue;
+    found.push_back({v1 / 2 - 1, span});
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Keyed& a, const Keyed& b) {
+              return a.ticket < b.ticket;
+            });
+  for (const Keyed& keyed : found) out->push_back(keyed.span);
+  return static_cast<int>(found.size());
+}
+
+int TraceRecorder::SnapshotRecent(SpanCopy* out, int max) const {
+  if (max <= 0) return 0;
+  int copied = 0;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t window =
+      head > static_cast<uint64_t>(kCapacity) ? kCapacity : head;
+  for (uint64_t back = 1; back <= window && copied < max; ++back) {
+    const uint64_t ticket = head - back;
+    const Slot& slot = slots_[ticket % kCapacity];
+    const uint64_t want = 2 * ticket + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    SpanCopy span;
+    span.name = slot.name.load(std::memory_order_relaxed);
+    span.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    span.ts_ns = slot.ts_ns.load(std::memory_order_relaxed);
+    span.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+    span.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+    span.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    if (span.name == nullptr) continue;
+    out[copied++] = span;
+  }
+  return copied;
+}
+
+void FillTraceRingMetrics(Json* object) {
+  const TraceRecorder& recorder = TraceRecorder::Instance();
+  object->Set("trace_enabled", TraceEnabled());
+  object->Set("trace_spans_recorded",
+              static_cast<double>(recorder.recorded()));
+  object->Set("trace_spans_dropped",
+              static_cast<double>(recorder.dropped()));
+  object->Set("trace_ring_capacity",
+              static_cast<double>(TraceRecorder::kCapacity));
+  object->Set("trace_ring_occupancy",
+              static_cast<double>(recorder.occupancy()));
+  object->Set("trace_export_torn_skipped",
+              static_cast<double>(recorder.export_torn()));
+}
+
 Json TraceRecorder::ExportChromeJson() const {
   struct Event {
     const char* name;
@@ -285,7 +401,11 @@ Json TraceRecorder::ExportChromeJson() const {
   events.reserve(kCapacity);
   for (const Slot& slot : slots_) {
     const uint64_t v1 = slot.seq.load(std::memory_order_acquire);
-    if (v1 == 0 || (v1 & 1) != 0) continue;
+    if (v1 == 0) continue;
+    if ((v1 & 1) != 0) {
+      export_torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     Event ev;
     ev.name = slot.name.load(std::memory_order_relaxed);
     ev.trace_id = slot.trace_id.load(std::memory_order_relaxed);
@@ -294,7 +414,10 @@ Json TraceRecorder::ExportChromeJson() const {
     ev.arg_name = slot.arg_name.load(std::memory_order_relaxed);
     ev.arg_value = slot.arg_value.load(std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_acquire);
-    if (slot.seq.load(std::memory_order_relaxed) != v1) continue;
+    if (slot.seq.load(std::memory_order_relaxed) != v1) {
+      export_torn_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (ev.name == nullptr) continue;
     events.push_back(ev);
   }
@@ -539,8 +662,11 @@ bool EndsWith(const std::string& text, const char* suffix) {
          text.compare(text.size() - n, n, suffix) == 0;
 }
 
-void AppendTypeLine(const std::string& name, const char* type,
-                    std::string* out) {
+/// Every family gets a # HELP line ahead of # TYPE so scrapers stop
+/// guessing types (exposition format 0.0.4 wants HELP first).
+void AppendFamilyHeader(const std::string& name, const char* type,
+                        const std::string& help, std::string* out) {
+  *out += "# HELP " + name + " " + help + "\n";
   *out += "# TYPE " + name + " " + type + "\n";
 }
 
@@ -551,7 +677,10 @@ void RenderHistogramFamily(const std::string& family_prefix,
                            const Json& counts, std::string* out) {
   const std::string name =
       SanitizeMetricName("rt_" + family_prefix + "latency_seconds");
-  AppendTypeLine(name, "histogram", out);
+  AppendFamilyHeader(name, "histogram",
+                     "Cumulative latency histogram (seconds) for '" +
+                         family_prefix + "' from /v1/metrics",
+                     out);
   const auto& bounds = le.AsArray();
   const auto& bucket_counts = counts.AsArray();
   long long cumulative = 0;
@@ -594,15 +723,23 @@ void RenderObject(const Json& object, const std::string& prefix,
     }
     if (value.is_number()) {
       const std::string name = SanitizeMetricName("rt_" + flat);
-      AppendTypeLine(name, "gauge", out);
+      AppendFamilyHeader(name, "gauge",
+                         "Gauge for /v1/metrics field '" + flat + "'",
+                         out);
       *out += name + " " + FormatNumber(value.AsNumber()) + "\n";
     } else if (value.is_bool()) {
       const std::string name = SanitizeMetricName("rt_" + flat);
-      AppendTypeLine(name, "gauge", out);
+      AppendFamilyHeader(name, "gauge",
+                         "Gauge for /v1/metrics field '" + flat + "'",
+                         out);
       *out += name + (value.AsBool() ? " 1\n" : " 0\n");
     } else if (value.is_string()) {
       const std::string name = SanitizeMetricName("rt_" + flat);
-      AppendTypeLine(name, "gauge", out);
+      AppendFamilyHeader(
+          name, "gauge",
+          "Info gauge; the 'value' label carries /v1/metrics field '" +
+              flat + "'",
+          out);
       *out += name + "{value=\"" + EscapeLabelValue(value.AsString()) +
               "\"} 1\n";
     } else if (value.is_object()) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/json.h"
 #include "util/status.h"
@@ -93,6 +94,13 @@ class StageHistogram {
   void Reset();
   long long count() const;
 
+  /// Upper bound (seconds) of the smallest bucket whose cumulative
+  /// count reaches quantile `q` in [0,1] — a conservative estimate of
+  /// the q-th latency quantile (the SLO engine's "slower than the class
+  /// p99" promotion test). 0 before any observation; the overflow
+  /// bucket reports the max observed latency instead of +Inf.
+  double QuantileUpperBoundSeconds(double q) const;
+
   /// Writes prefix+{"seconds_total","seconds_max","seconds_mean",
   /// "latency_bucket_le","latency_bucket_count"} into `object` — the
   /// same key shape the serve request-latency histogram uses, so one
@@ -130,6 +138,18 @@ void RecordClassQueueWait(int traffic_class, long long ns);
 
 // ---------------------------------------------------------------------------
 // Trace recorder
+
+/// One span copied out of the ring by TraceRecorder::CollectTrace —
+/// the retention store's snapshot unit. `name`/`arg_name` point at
+/// process-lifetime literals (StageName), so copies stay cheap.
+struct SpanCopy {
+  const char* name = nullptr;
+  uint64_t trace_id = 0;
+  long long ts_ns = 0;
+  long long dur_ns = 0;
+  const char* arg_name = nullptr;
+  long long arg_value = 0;
+};
 
 /// Fixed-capacity ring of completed spans. Record() claims a slot with
 /// one atomic fetch_add and publishes it seqlock-style (per-slot
@@ -169,10 +189,29 @@ class TraceRecorder {
   /// Dump()s ExportChromeJson() to `path`.
   Status ExportToFile(const std::string& path) const;
 
+  /// Copies every published span with `trace_id` still present in the
+  /// ring into `out` (appended in ticket order). Returns the number of
+  /// spans copied. Seqlock-validated like the export: slots caught
+  /// mid-rewrite are skipped and counted in export_torn().
+  int CollectTrace(uint64_t trace_id, std::vector<SpanCopy>* out) const;
+
+  /// Async-signal-safe: copies up to `max` of the most recently
+  /// published spans (newest first) into caller-provided storage — no
+  /// allocation, no locks, atomic loads only. The crash flight
+  /// recorder calls this from its signal handler. Returns the count.
+  int SnapshotRecent(SpanCopy* out, int max) const;
+
   /// Spans recorded since Clear() (including since-overwritten ones).
   long long recorded() const;
   /// Spans lost to ring wrap-around since Clear().
   long long dropped() const;
+  /// Slots an export/collect pass skipped because a writer was mid-
+  /// rewrite (torn seqlock read). Nonzero values mean trace exports
+  /// under-report concurrent activity — surfaced at /v1/metrics so the
+  /// tail-sampling loss is measurable.
+  long long export_torn() const;
+  /// Published spans currently resident in the ring (<= kCapacity).
+  int occupancy() const;
 
  private:
   TraceRecorder();
@@ -190,8 +229,17 @@ class TraceRecorder {
 
   std::atomic<uint64_t> head_{0};
   std::atomic<uint64_t> next_trace_id_{1};
+  /// Bumped by const readers (export/collect) when a torn slot is
+  /// skipped, hence mutable.
+  mutable std::atomic<long long> export_torn_{0};
   Slot slots_[kCapacity];
 };
+
+/// Adds the span-ring health gauges to `object`: "trace_enabled",
+/// "trace_spans_recorded", "trace_spans_dropped" (ring wrap losses),
+/// "trace_ring_capacity", "trace_ring_occupancy", and
+/// "trace_export_torn_skipped".
+void FillTraceRingMetrics(Json* object);
 
 /// Records a completed span: always feeds the stage histogram, and the
 /// ring too when tracing is enabled.

@@ -1,0 +1,814 @@
+#include "util/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/flight_recorder.h"
+
+namespace rt {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// SloEngine
+
+const int SloEngine::kWindowSeconds[SloEngine::kNumWindows] = {60, 600,
+                                                               3600};
+const char* const SloEngine::kWindowNames[SloEngine::kNumWindows] = {
+    "1m", "10m", "1h"};
+
+const char* SloClassName(int traffic_class) {
+  return traffic_class == 1 ? "batch" : "interactive";
+}
+
+double SloBurnRate(long long total, long long bad, double allowed_ratio) {
+  if (total <= 0 || allowed_ratio <= 0.0) return 0.0;
+  const double bad_ratio =
+      static_cast<double>(bad) / static_cast<double>(total);
+  return bad_ratio / allowed_ratio;
+}
+
+SloEngine& SloEngine::Instance() {
+  static SloEngine engine;
+  return engine;
+}
+
+SloEngine::SloEngine() {
+  // Defaults: a tight interactive objective and a loose batch one, both
+  // overridable via Configure (CLI --slo-* flags).
+  classes_[0].objective.traffic_class = 0;
+  classes_[1].objective.traffic_class = 1;
+  classes_[1].objective.latency_target_ms = 30000.0;
+  for (ClassState& state : classes_) {
+    state.ring.resize(kWindowSeconds[kNumWindows - 1]);
+  }
+}
+
+void SloEngine::Configure(const std::vector<SloObjective>& objectives) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const SloObjective& objective : objectives) {
+    const int cls = objective.traffic_class;
+    if (cls < 0 || cls >= kNumClasses) continue;
+    classes_[cls].objective = objective;
+    classes_[cls].objective.traffic_class = cls;
+  }
+  ResetLocked();
+}
+
+void SloEngine::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResetLocked();
+}
+
+void SloEngine::ResetLocked() {
+  for (ClassState& state : classes_) {
+    for (SecondBucket& bucket : state.ring) bucket = SecondBucket{};
+    state.latency.Reset();
+  }
+}
+
+SloObjective SloEngine::objective(int traffic_class) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (traffic_class < 0 || traffic_class >= kNumClasses) traffic_class = 0;
+  return classes_[traffic_class].objective;
+}
+
+void SloEngine::RecordRequest(int traffic_class, long long latency_ns,
+                              bool error) {
+  RecordRequestAt(traffic_class,
+                  static_cast<long long>(UptimeSeconds()), latency_ns,
+                  error);
+}
+
+void SloEngine::RecordRequestAt(int traffic_class, long long epoch_s,
+                                long long latency_ns, bool error) {
+  if (traffic_class < 0 || traffic_class >= kNumClasses) return;
+  if (epoch_s < 0) epoch_s = 0;
+  if (latency_ns < 0) latency_ns = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ClassState& state = classes_[traffic_class];
+  SecondBucket& bucket =
+      state.ring[static_cast<size_t>(epoch_s) % state.ring.size()];
+  if (bucket.epoch != epoch_s) {
+    // The ring lapped this second (or it is fresh); the old counts fell
+    // out of even the longest window.
+    bucket = SecondBucket{};
+    bucket.epoch = epoch_s;
+  }
+  bucket.total += 1;
+  const double latency_ms = static_cast<double>(latency_ns) * 1e-6;
+  if (latency_ms > state.objective.latency_target_ms) bucket.slow += 1;
+  if (error) bucket.errors += 1;
+  state.latency.Record(latency_ns);
+}
+
+SloEngine::ClassStatus SloEngine::Evaluate(int traffic_class) const {
+  return EvaluateAt(traffic_class,
+                    static_cast<long long>(UptimeSeconds()));
+}
+
+SloEngine::ClassStatus SloEngine::EvaluateAt(int traffic_class,
+                                             long long now_epoch_s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EvaluateLocked(traffic_class, now_epoch_s);
+}
+
+SloEngine::ClassStatus SloEngine::EvaluateLocked(
+    int traffic_class, long long now_epoch_s) const {
+  ClassStatus status;
+  if (traffic_class < 0 || traffic_class >= kNumClasses) return status;
+  const ClassState& state = classes_[traffic_class];
+  // One pass over the ring; each live bucket lands in every window wide
+  // enough to contain it ((now - epoch) < window, i.e. the trailing
+  // `window` seconds including the current one).
+  for (const SecondBucket& bucket : state.ring) {
+    if (bucket.epoch < 0 || bucket.epoch > now_epoch_s) continue;
+    const long long age = now_epoch_s - bucket.epoch;
+    for (int w = 0; w < kNumWindows; ++w) {
+      if (age >= kWindowSeconds[w]) continue;
+      status.windows[w].total += bucket.total;
+      status.windows[w].slow += bucket.slow;
+      status.windows[w].errors += bucket.errors;
+    }
+  }
+  const SloObjective& objective = state.objective;
+  const double latency_allowed = 1.0 - objective.latency_quantile;
+  for (int w = 0; w < kNumWindows; ++w) {
+    status.latency_burn[w] = SloBurnRate(
+        status.windows[w].total, status.windows[w].slow, latency_allowed);
+    status.error_burn[w] =
+        SloBurnRate(status.windows[w].total, status.windows[w].errors,
+                    objective.max_error_ratio);
+  }
+  status.fast_burn =
+      status.windows[0].total >= objective.min_samples &&
+      (status.latency_burn[0] >= objective.fast_burn_threshold ||
+       status.error_burn[0] >= objective.fast_burn_threshold);
+  status.p99_estimate_ms =
+      state.latency.QuantileUpperBoundSeconds(0.99) * 1e3;
+  return status;
+}
+
+bool SloEngine::AnyFastBurn() const {
+  const long long now = static_cast<long long>(UptimeSeconds());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (EvaluateLocked(cls, now).fast_burn) return true;
+  }
+  return false;
+}
+
+double SloEngine::P99EstimateMs(int traffic_class) const {
+  if (traffic_class < 0 || traffic_class >= kNumClasses) return 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return classes_[traffic_class].latency.QuantileUpperBoundSeconds(0.99) *
+         1e3;
+}
+
+namespace {
+
+/// Writes one class's status under "slo_<class>_..." flat keys.
+void FillClassMetrics(const std::string& prefix,
+                      const SloObjective& objective,
+                      const SloEngine::ClassStatus& status, Json* out) {
+  out->Set(prefix + "latency_target_ms", objective.latency_target_ms);
+  out->Set(prefix + "latency_quantile", objective.latency_quantile);
+  out->Set(prefix + "max_error_ratio", objective.max_error_ratio);
+  out->Set(prefix + "fast_burn_threshold", objective.fast_burn_threshold);
+  for (int w = 0; w < SloEngine::kNumWindows; ++w) {
+    const std::string window =
+        prefix + SloEngine::kWindowNames[w] + std::string("_");
+    out->Set(window + "total",
+             static_cast<double>(status.windows[w].total));
+    out->Set(window + "slow",
+             static_cast<double>(status.windows[w].slow));
+    out->Set(window + "errors",
+             static_cast<double>(status.windows[w].errors));
+    out->Set(window + "latency_burn", status.latency_burn[w]);
+    out->Set(window + "error_burn", status.error_burn[w]);
+  }
+  out->Set(prefix + "fast_burn", status.fast_burn ? 1.0 : 0.0);
+  out->Set(prefix + "p99_estimate_ms", status.p99_estimate_ms);
+}
+
+}  // namespace
+
+void SloEngine::FillMetrics(Json* object) const {
+  const long long now = static_cast<long long>(UptimeSeconds());
+  bool any_fast_burn = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    const ClassStatus status = EvaluateLocked(cls, now);
+    any_fast_burn = any_fast_burn || status.fast_burn;
+    FillClassMetrics(
+        std::string("slo_") + SloClassName(cls) + "_",
+        classes_[cls].objective, status, object);
+  }
+  object->Set("slo_fast_burn", any_fast_burn ? 1.0 : 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet aggregation
+
+namespace {
+
+double NumberOr(const Json& object, const std::string& key,
+                double fallback) {
+  const Json& value = object.Get(key);
+  return value.is_number() ? value.AsNumber() : fallback;
+}
+
+}  // namespace
+
+void AggregateSloMetrics(const std::vector<Json>& replica_metrics,
+                         Json* out) {
+  bool fleet_fast_burn = false;
+  int replicas_reporting = 0;
+  for (int cls = 0; cls < SloEngine::kNumClasses; ++cls) {
+    const std::string prefix =
+        std::string("slo_") + SloClassName(cls) + "_";
+    // Objectives are deployment-uniform (same CLI flags fleet-wide);
+    // echo the first replica that reports them.
+    double target_ms = -1.0, quantile = 0.0, error_ratio = 0.0,
+           threshold = 0.0;
+    long long totals[SloEngine::kNumWindows] = {};
+    long long slows[SloEngine::kNumWindows] = {};
+    long long errors[SloEngine::kNumWindows] = {};
+    double p99_max = 0.0;
+    for (const Json& metrics : replica_metrics) {
+      if (!metrics.is_object()) continue;
+      if (!metrics.Get(prefix + "latency_target_ms").is_number()) {
+        continue;
+      }
+      if (cls == 0) ++replicas_reporting;
+      if (target_ms < 0.0) {
+        target_ms = NumberOr(metrics, prefix + "latency_target_ms", 0.0);
+        quantile = NumberOr(metrics, prefix + "latency_quantile", 0.99);
+        error_ratio = NumberOr(metrics, prefix + "max_error_ratio", 0.01);
+        threshold =
+            NumberOr(metrics, prefix + "fast_burn_threshold", 14.0);
+      }
+      for (int w = 0; w < SloEngine::kNumWindows; ++w) {
+        const std::string window =
+            prefix + SloEngine::kWindowNames[w] + std::string("_");
+        totals[w] += static_cast<long long>(
+            NumberOr(metrics, window + "total", 0.0) + 0.5);
+        slows[w] += static_cast<long long>(
+            NumberOr(metrics, window + "slow", 0.0) + 0.5);
+        errors[w] += static_cast<long long>(
+            NumberOr(metrics, window + "errors", 0.0) + 0.5);
+      }
+      p99_max = std::max(
+          p99_max, NumberOr(metrics, prefix + "p99_estimate_ms", 0.0));
+    }
+    if (target_ms < 0.0) continue;  // no replica reported this class
+    const std::string fleet_prefix = "fleet_" + prefix;
+    out->Set(fleet_prefix + "latency_target_ms", target_ms);
+    out->Set(fleet_prefix + "latency_quantile", quantile);
+    out->Set(fleet_prefix + "max_error_ratio", error_ratio);
+    bool class_fast_burn = false;
+    for (int w = 0; w < SloEngine::kNumWindows; ++w) {
+      const std::string window =
+          fleet_prefix + SloEngine::kWindowNames[w] + std::string("_");
+      const double latency_burn =
+          SloBurnRate(totals[w], slows[w], 1.0 - quantile);
+      const double error_burn =
+          SloBurnRate(totals[w], errors[w], error_ratio);
+      out->Set(window + "total", static_cast<double>(totals[w]));
+      out->Set(window + "slow", static_cast<double>(slows[w]));
+      out->Set(window + "errors", static_cast<double>(errors[w]));
+      out->Set(window + "latency_burn", latency_burn);
+      out->Set(window + "error_burn", error_burn);
+      if (w == 0 && totals[0] >= 12 &&
+          (latency_burn >= threshold || error_burn >= threshold)) {
+        class_fast_burn = true;
+      }
+    }
+    out->Set(fleet_prefix + "fast_burn", class_fast_burn ? 1.0 : 0.0);
+    out->Set(fleet_prefix + "p99_estimate_ms", p99_max);
+    fleet_fast_burn = fleet_fast_burn || class_fast_burn;
+  }
+  out->Set("fleet_slo_replicas_reporting",
+           static_cast<double>(replicas_reporting));
+  out->Set("fleet_slo_fast_burn", fleet_fast_burn ? 1.0 : 0.0);
+}
+
+bool FleetFastBurn(const Json& aggregated) {
+  return NumberOr(aggregated, "fleet_slo_fast_burn", 0.0) >= 1.0;
+}
+
+void MergeHistogramFamilies(Json* dst, const Json& src,
+                            const std::string& prefix) {
+  if (!dst->is_object() || !src.is_object()) return;
+  constexpr const char kLe[] = "latency_bucket_le";
+  constexpr const char kCount[] = "latency_bucket_count";
+  for (const auto& [key, value] : src.AsObject()) {
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    const size_t le_len = std::strlen(kLe);
+    if (key.size() < le_len ||
+        key.compare(key.size() - le_len, le_len, kLe) != 0 ||
+        !value.is_array()) {
+      continue;
+    }
+    const std::string family = key.substr(0, key.size() - le_len);
+    const Json& src_counts = src.Get(family + kCount);
+    if (!src_counts.is_array()) continue;
+    const Json& dst_counts = dst->Get(family + kCount);
+    if (!dst_counts.is_array()) {
+      // Family unknown on this side: copy it whole.
+      dst->Set(family + kLe, value);
+      dst->Set(family + kCount, src_counts);
+      dst->Set(family + "seconds_total",
+               NumberOr(src, family + "seconds_total", 0.0));
+      dst->Set(family + "seconds_max",
+               NumberOr(src, family + "seconds_max", 0.0));
+      dst->Set(family + "seconds_mean",
+               NumberOr(src, family + "seconds_mean", 0.0));
+      continue;
+    }
+    Json merged{Json::Array{}};
+    const auto& a = dst_counts.AsArray();
+    const auto& b = src_counts.AsArray();
+    const size_t n = std::min(a.size(), b.size());
+    double observations = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double sum = a[i].AsNumber() + b[i].AsNumber();
+      observations += sum;
+      merged.Append(sum);
+    }
+    const double total = NumberOr(*dst, family + "seconds_total", 0.0) +
+                         NumberOr(src, family + "seconds_total", 0.0);
+    dst->Set(family + kCount, std::move(merged));
+    dst->Set(family + "seconds_total", total);
+    dst->Set(family + "seconds_max",
+             std::max(NumberOr(*dst, family + "seconds_max", 0.0),
+                      NumberOr(src, family + "seconds_max", 0.0)));
+    dst->Set(family + "seconds_mean",
+             observations > 0.0 ? total / observations : 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsHistory
+
+MetricsHistory::MetricsHistory() = default;
+
+MetricsHistory::~MetricsHistory() { Stop(); }
+
+void MetricsHistory::Configure(const Options& options,
+                               std::function<Json()> sampler) {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = options;
+  if (options_.capacity < 2) options_.capacity = 2;
+  if (options_.interval_ms < 1) options_.interval_ms = 1;
+  sampler_ = std::move(sampler);
+  keys_.clear();
+  times_.clear();
+  values_.clear();
+  head_ = 0;
+  count_ = 0;
+}
+
+void MetricsHistory::Start() {
+  if (running_.load() || !sampler_) return;
+  running_.store(true);
+  thread_ = std::thread([this] { SamplerLoop(); });
+}
+
+void MetricsHistory::Stop() {
+  if (running_.exchange(false)) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+    }
+    wake_cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHistory::SamplerLoop() {
+  // The first sample lands one interval after Start(), not at t=0: the
+  // sampler callback may fan out over the network (the router's embeds
+  // per-replica metrics fetches), and an immediate sample races the
+  // owner's own startup and its very first client requests.
+  while (running_.load()) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.interval_ms),
+                        [this] { return !running_.load(); });
+    }
+    if (!running_.load()) break;
+    SampleNow();
+    // Heartbeat the flight recorder on the same cadence: a SIGKILLed
+    // process leaves its last pre-kill snapshot behind for the
+    // supervisor to collect (SIGKILL never runs a handler).
+    FlightRecorder::Instance().WriteHeartbeat();
+  }
+}
+
+void MetricsHistory::Flatten(const Json& value, std::string* key_buf,
+                             std::vector<double>* row, size_t* cursor,
+                             bool first) {
+  if (!value.is_object()) return;
+  const size_t base_len = key_buf->size();
+  for (const auto& [key, field] : value.AsObject()) {
+    key_buf->resize(base_len);
+    key_buf->append(key);
+    if (field.is_number() || field.is_bool()) {
+      const double number =
+          field.is_number() ? field.AsNumber() : (field.AsBool() ? 1 : 0);
+      if (first) {
+        keys_.push_back(*key_buf);
+        row->push_back(number);
+      } else if (*cursor < keys_.size() && keys_[*cursor] == *key_buf) {
+        // Fast path: the snapshot schema is stable (sorted-map dump),
+        // so keys arrive in frozen order and no allocation happens.
+        (*row)[*cursor] = number;
+        ++*cursor;
+      } else {
+        // Schema drift (a key appeared/disappeared after freeze, e.g.
+        // a new per-model breaker): realign by search; unknown keys
+        // are dropped, missing ones keep NaN.
+        for (size_t i = 0; i < keys_.size(); ++i) {
+          if (keys_[i] == *key_buf) {
+            (*row)[i] = number;
+            *cursor = i + 1;
+            break;
+          }
+        }
+      }
+    } else if (field.is_object()) {
+      key_buf->push_back('_');
+      Flatten(field, key_buf, row, cursor, first);
+    }
+    // Strings and arrays (histogram bucket vectors) are not series
+    // material; the bucket families already surface as seconds_total /
+    // seconds_mean summary numbers.
+  }
+  key_buf->resize(base_len);
+}
+
+void MetricsHistory::SampleNow() {
+  std::function<Json()> sampler;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sampler = sampler_;
+  }
+  if (!sampler) return;
+  const Json snapshot = sampler();  // outside the lock: may be slow
+  const double now_s = UptimeSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool first = keys_.empty();
+  static thread_local std::string key_buf;
+  key_buf.clear();
+  if (first) {
+    std::vector<double> row;
+    size_t cursor = 0;
+    Flatten(snapshot, &key_buf, &row, &cursor, /*first=*/true);
+    if (keys_.empty()) return;
+    times_.assign(options_.capacity, 0.0);
+    values_.assign(static_cast<size_t>(options_.capacity) * keys_.size(),
+                   std::nan(""));
+    std::copy(row.begin(), row.end(), values_.begin());
+    times_[0] = now_s;
+    head_ = 1 % options_.capacity;
+    count_ = 1;
+    return;
+  }
+  const size_t stride = keys_.size();
+  double* row = &values_[static_cast<size_t>(head_) * stride];
+  size_t cursor = 0;
+  // Steady state: flatten into a reusable scratch row (capacity sticks
+  // across samples, so no heap after the first lap) and copy into the
+  // ring slot.
+  static thread_local std::vector<double> scratch;
+  scratch.assign(stride, std::nan(""));
+  Flatten(snapshot, &key_buf, &scratch, &cursor, /*first=*/false);
+  std::copy(scratch.begin(), scratch.end(), row);
+  times_[head_] = now_s;
+  head_ = (head_ + 1) % options_.capacity;
+  if (count_ < options_.capacity) ++count_;
+}
+
+int MetricsHistory::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+int MetricsHistory::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_.capacity;
+}
+
+int MetricsHistory::interval_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return options_.interval_ms;
+}
+
+Json MetricsHistory::Rollup(double window_s,
+                            const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json out{Json::Object{}};
+  out.Set("interval_ms", options_.interval_ms);
+  out.Set("capacity", options_.capacity);
+  const double now_s = UptimeSeconds();
+  const double cutoff = window_s > 0.0 ? now_s - window_s : -1.0;
+  out.Set("window_s", window_s > 0.0 ? window_s : 0.0);
+  // Collect in-ring indices oldest-first within the window.
+  std::vector<int> picked;
+  picked.reserve(count_);
+  const size_t stride = keys_.size();
+  for (int i = 0; i < count_; ++i) {
+    const int idx =
+        (head_ - count_ + i + 2 * options_.capacity) % options_.capacity;
+    if (times_[idx] < cutoff) continue;
+    picked.push_back(idx);
+  }
+  out.Set("samples", static_cast<double>(picked.size()));
+  if (!picked.empty()) {
+    out.Set("span_s",
+            times_[picked.back()] - times_[picked.front()]);
+  } else {
+    out.Set("span_s", 0.0);
+  }
+  Json series{Json::Object{}};
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    if (!key.empty() && keys_[k] != key) continue;
+    double first = std::nan(""), last = std::nan("");
+    double min = std::nan(""), max = std::nan("");
+    for (const int idx : picked) {
+      const double v = values_[static_cast<size_t>(idx) * stride + k];
+      if (std::isnan(v)) continue;
+      if (std::isnan(first)) first = v;
+      last = v;
+      if (std::isnan(min) || v < min) min = v;
+      if (std::isnan(max) || v > max) max = v;
+    }
+    if (std::isnan(first)) continue;
+    Json entry{Json::Object{}};
+    entry.Set("first", first);
+    entry.Set("last", last);
+    entry.Set("min", min);
+    entry.Set("max", max);
+    entry.Set("delta", last - first);
+    series.Set(keys_[k], std::move(entry));
+    if (!key.empty()) {
+      Json points{Json::Array{}};
+      for (const int idx : picked) {
+        const double v = values_[static_cast<size_t>(idx) * stride + k];
+        if (std::isnan(v)) continue;
+        Json point{Json::Array{}};
+        point.Append(times_[idx]);
+        point.Append(v);
+        points.Append(std::move(point));
+      }
+      out.Set("points", std::move(points));
+    }
+  }
+  out.Set("series", std::move(series));
+  return out;
+}
+
+Json MetricsHistory::RollupForQuery(const std::string& query) const {
+  double window_s = 0.0;  // 0 = whole ring
+  std::string key;
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string param = query.substr(pos, end - pos);
+    const size_t eq = param.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = param.substr(0, eq);
+      const std::string value = param.substr(eq + 1);
+      if (name == "window") {
+        window_s = std::atof(value.c_str());
+      } else if (name == "key") {
+        key = value;
+      }
+    }
+    pos = end + 1;
+  }
+  return Rollup(window_s, key);
+}
+
+// ---------------------------------------------------------------------------
+// SlowTraceArchive
+
+const char* PromoteReasonName(PromoteReason reason) {
+  switch (reason) {
+    case PromoteReason::kNone:
+      return "none";
+    case PromoteReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case PromoteReason::kPreempted:
+      return "preempted";
+    case PromoteReason::kShed:
+      return "shed";
+    case PromoteReason::kError5xx:
+      return "error_5xx";
+    case PromoteReason::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
+
+SlowTraceArchive& SlowTraceArchive::Instance() {
+  static SlowTraceArchive archive;
+  return archive;
+}
+
+void SlowTraceArchive::SetCapacity(int capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+  while (static_cast<int>(retained_.size()) > capacity_) {
+    retained_.pop_front();
+    ++evicted_;
+  }
+}
+
+void SlowTraceArchive::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retained_.clear();
+  promoted_ = 0;
+  evicted_ = 0;
+}
+
+void SlowTraceArchive::Promote(uint64_t trace_id,
+                               const std::string& request_id,
+                               PromoteReason reason, int traffic_class,
+                               int status, long long duration_ns) {
+  Retained entry;
+  entry.trace_id = trace_id;
+  entry.request_id = request_id;
+  entry.reason = reason;
+  entry.traffic_class = traffic_class;
+  entry.status = status;
+  entry.duration_ns = duration_ns < 0 ? 0 : duration_ns;
+  entry.captured_uptime_s = UptimeSeconds();
+  if (trace_id != 0 && TraceEnabled()) {
+    TraceRecorder::Instance().CollectTrace(trace_id, &entry.spans);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++promoted_;
+  retained_.push_back(std::move(entry));
+  while (static_cast<int>(retained_.size()) > capacity_) {
+    retained_.pop_front();
+    ++evicted_;
+  }
+}
+
+int SlowTraceArchive::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(retained_.size());
+}
+
+long long SlowTraceArchive::promoted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return promoted_;
+}
+
+long long SlowTraceArchive::evicted_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+Json SlowTraceArchive::ExportChromeJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json trace_events{Json::Array{}};
+  Json summaries{Json::Array{}};
+  for (const Retained& entry : retained_) {
+    // Per-stage budget attribution: wall time per span name, so the
+    // summary answers "which stage consumed the deadline".
+    Json stages_ms{Json::Object{}};
+    Json budget_fraction{Json::Object{}};
+    for (const SpanCopy& span : entry.spans) {
+      Json event{Json::Object{}};
+      event.Set("name", span.name);
+      event.Set("cat", "rt_slow");
+      event.Set("ph", "X");
+      event.Set("ts", static_cast<double>(span.ts_ns) * 1e-3);
+      event.Set("dur", static_cast<double>(span.dur_ns) * 1e-3);
+      event.Set("pid", 1);
+      event.Set("tid", static_cast<double>(span.trace_id));
+      Json args{Json::Object{}};
+      args.Set("trace_id", static_cast<double>(span.trace_id));
+      args.Set("promote_reason", PromoteReasonName(entry.reason));
+      if (span.arg_name != nullptr) {
+        args.Set(span.arg_name, static_cast<double>(span.arg_value));
+      }
+      event.Set("args", std::move(args));
+      trace_events.Append(std::move(event));
+      if (std::strcmp(span.name, "request") == 0) continue;  // the whole
+      const double prior = stages_ms.Get(span.name).is_number()
+                               ? stages_ms.Get(span.name).AsNumber()
+                               : 0.0;
+      stages_ms.Set(span.name,
+                    prior + static_cast<double>(span.dur_ns) * 1e-6);
+    }
+    if (entry.duration_ns > 0) {
+      const double total_ms =
+          static_cast<double>(entry.duration_ns) * 1e-6;
+      for (const auto& [stage, ms] : stages_ms.AsObject()) {
+        budget_fraction.Set(stage, ms.AsNumber() / total_ms);
+      }
+    }
+    Json summary{Json::Object{}};
+    summary.Set("trace_id", static_cast<double>(entry.trace_id));
+    summary.Set("request_id", entry.request_id);
+    summary.Set("reason", PromoteReasonName(entry.reason));
+    summary.Set("traffic_class", SloClassName(entry.traffic_class));
+    summary.Set("status", entry.status);
+    summary.Set("duration_ms",
+                static_cast<double>(entry.duration_ns) * 1e-6);
+    summary.Set("captured_uptime_s", entry.captured_uptime_s);
+    summary.Set("spans", static_cast<double>(entry.spans.size()));
+    summary.Set("stages_ms", std::move(stages_ms));
+    summary.Set("budget_fraction", std::move(budget_fraction));
+    summaries.Append(std::move(summary));
+  }
+  Json out{Json::Object{}};
+  out.Set("traceEvents", std::move(trace_events));
+  out.Set("displayTimeUnit", "ms");
+  out.Set("slow_traces", std::move(summaries));
+  out.Set("archived", static_cast<double>(retained_.size()));
+  out.Set("promoted_total", static_cast<double>(promoted_));
+  out.Set("evicted_total", static_cast<double>(evicted_));
+  return out;
+}
+
+void SlowTraceArchive::FillMetrics(Json* object) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  object->Set("slow_traces_archived",
+              static_cast<double>(retained_.size()));
+  object->Set("slow_traces_promoted_total",
+              static_cast<double>(promoted_));
+  object->Set("slow_traces_evicted_total",
+              static_cast<double>(evicted_));
+}
+
+// ---------------------------------------------------------------------------
+// Request-outcome hook
+
+namespace {
+
+struct RequestAnnotations {
+  int traffic_class = -1;  // -1 = not annotated (non-generate exchange)
+  PromoteReason reason = PromoteReason::kNone;
+};
+
+thread_local RequestAnnotations t_annotations;
+
+}  // namespace
+
+void AnnotateRequestClass(int traffic_class) {
+  t_annotations.traffic_class = traffic_class;
+}
+
+void AnnotateRequestReason(PromoteReason reason) {
+  t_annotations.reason = reason;
+}
+
+void OnRequestComplete(uint64_t trace_id, const std::string& request_id,
+                       int status, long long duration_ns) {
+  const RequestAnnotations annotations = t_annotations;
+  t_annotations = RequestAnnotations{};
+  const bool annotated = annotations.traffic_class >= 0 &&
+                         annotations.traffic_class < SloEngine::kNumClasses;
+  const int cls = annotated ? annotations.traffic_class : 0;
+  double p99_ms = 0.0;
+  if (annotated) {
+    // p99 BEFORE recording, so this request cannot promote itself by
+    // moving its own threshold.
+    p99_ms = SloEngine::Instance().P99EstimateMs(cls);
+    SloEngine::Instance().RecordRequest(cls, duration_ns,
+                                        status >= 500);
+  }
+  // Promotion policy, most specific first.
+  PromoteReason reason = annotations.reason;
+  if (reason == PromoteReason::kNone) {
+    if (status == 504) {
+      reason = PromoteReason::kDeadlineExceeded;
+    } else if (status >= 500) {
+      reason = PromoteReason::kError5xx;
+    } else if (annotated && p99_ms > 0.0 &&
+               static_cast<double>(duration_ns) * 1e-6 > p99_ms) {
+      reason = PromoteReason::kSlow;
+    }
+  }
+  if (reason != PromoteReason::kNone) {
+    SlowTraceArchive::Instance().Promote(trace_id, request_id, reason,
+                                         cls, status, duration_ns);
+  }
+}
+
+void OnRequestShed(long long waited_ns) {
+  // The class is unknown (the body was never parsed); count it against
+  // the interactive budget — sheds hurt the tightest objective.
+  SloEngine::Instance().RecordRequest(0, waited_ns, /*error=*/true);
+}
+
+}  // namespace obs
+}  // namespace rt

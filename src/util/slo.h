@@ -1,0 +1,343 @@
+#ifndef RATATOUILLE_UTIL_SLO_H_
+#define RATATOUILLE_UTIL_SLO_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace obs {
+
+/// rt::obs v2 — the "over time" half of the observability layer:
+///
+///   * SloEngine — declarative latency/error objectives per traffic
+///     class, evaluated over multi-window rolling rings (1m/10m/1h)
+///     with burn-rate computation. Fast burn degrades /v1/healthz.
+///   * MetricsHistory — a fixed-size on-box time-series ring that
+///     snapshots every flat counter/gauge at a configurable cadence
+///     and serves windowed rollups (GET /v1/metrics/history).
+///   * SlowTraceArchive — tail-sampled trace retention: completed
+///     traces matching a promotion policy (deadline, preempt, shed,
+///     5xx, slower than the class p99 estimate) are copied out of the
+///     span ring into a bounded archive (GET /v1/debug/slow) before
+///     the ring overwrites the evidence.
+///
+/// The HTTP layer drives all three through OnRequestComplete(); the
+/// generate handler annotates requests via thread-locals so only real
+/// generation traffic feeds the objectives (a /v1/metrics scrape never
+/// burns the interactive latency budget).
+
+// ---------------------------------------------------------------------------
+// SLO engine
+
+/// One traffic class's service-level objectives. The latency objective
+/// reads "quantile `latency_quantile` of requests completes within
+/// `latency_target_ms`" — i.e. at most (1 - latency_quantile) of
+/// requests may be slower. The error objective caps the 5xx ratio.
+struct SloObjective {
+  /// 0 = interactive, 1 = batch (mirrors serve::TrafficClass without
+  /// the util layer depending on rt::serve).
+  int traffic_class = 0;
+  double latency_target_ms = 2000.0;
+  double latency_quantile = 0.99;
+  double max_error_ratio = 0.01;
+  /// Burn rate on the shortest window at/above which the class is
+  /// "fast burning" (the classic 14.4 = exhausting a 30-day budget in
+  /// ~2 days page threshold, rounded).
+  double fast_burn_threshold = 14.0;
+  /// Minimum requests in the shortest window before fast burn can
+  /// trip — a single failed request in an idle second is not a page.
+  long long min_samples = 12;
+};
+
+/// Stable lowercase class name for metric keys ("interactive"/"batch").
+const char* SloClassName(int traffic_class);
+
+/// Burn rate = (bad / total) / allowed_ratio: 1.0 means consuming the
+/// error budget exactly as fast as the objective allows, >1 means the
+/// budget runs out early. 0 when the window is empty or the objective
+/// allows everything.
+double SloBurnRate(long long total, long long bad, double allowed_ratio);
+
+/// Rolling multi-window SLO evaluation. Recording is mutex-protected
+/// (one lock per completed request — noise next to a model forward);
+/// evaluation walks a ring of per-second buckets, so reads are O(ring)
+/// and only happen on metrics renders and healthz probes.
+class SloEngine {
+ public:
+  static constexpr int kNumWindows = 3;
+  /// Window lengths in seconds: 1m / 10m / 1h (the longest one sizes
+  /// the ring).
+  static const int kWindowSeconds[kNumWindows];
+  static const char* const kWindowNames[kNumWindows];
+
+  static SloEngine& Instance();
+
+  SloEngine();
+
+  /// Replaces the objectives and clears all recorded samples. Classes
+  /// not listed keep defaults. Thread-safe, but meant for startup.
+  void Configure(const std::vector<SloObjective>& objectives);
+  void Reset();
+  SloObjective objective(int traffic_class) const;
+
+  /// Records one completed request: `error` marks a 5xx (or shed)
+  /// outcome; latency feeds both the window rings and the cumulative
+  /// class histogram behind the p99 estimate.
+  void RecordRequest(int traffic_class, long long latency_ns, bool error);
+  /// Deterministic variant pinning the ring second (tests).
+  void RecordRequestAt(int traffic_class, long long epoch_s,
+                       long long latency_ns, bool error);
+
+  struct WindowCounts {
+    long long total = 0;
+    long long slow = 0;
+    long long errors = 0;
+  };
+  struct ClassStatus {
+    WindowCounts windows[kNumWindows];
+    double latency_burn[kNumWindows] = {};
+    double error_burn[kNumWindows] = {};
+    bool fast_burn = false;
+    /// Conservative class p99 estimate (bucket upper bound) in ms, from
+    /// the cumulative class latency histogram; 0 before any sample.
+    double p99_estimate_ms = 0.0;
+  };
+
+  ClassStatus Evaluate(int traffic_class) const;
+  /// Deterministic variant pinning "now" to `now_epoch_s` (tests).
+  ClassStatus EvaluateAt(int traffic_class, long long now_epoch_s) const;
+
+  /// True when any class is fast-burning — /v1/healthz reports
+  /// "degraded" (still HTTP 200; the process serves, the SLO suffers).
+  bool AnyFastBurn() const;
+
+  /// Adds the flat `slo_*` gauges to `object`: per class and window the
+  /// raw counts (slo_<class>_<window>_{total,slow,errors}) plus burn
+  /// rates, targets, fast_burn flags, the p99 estimate, and a global
+  /// slo_fast_burn. Raw counts are exported (not just ratios) so the
+  /// router can sum them across replicas and recompute fleet burns.
+  void FillMetrics(Json* object) const;
+
+  /// Class p99 latency estimate in milliseconds (0 = no data yet) —
+  /// the slow-trace promotion threshold.
+  double P99EstimateMs(int traffic_class) const;
+
+  static constexpr int kNumClasses = 2;
+
+ private:
+  struct SecondBucket {
+    long long epoch = -1;  // uptime second this bucket counts, -1 = unused
+    long long total = 0;
+    long long slow = 0;
+    long long errors = 0;
+  };
+  struct ClassState {
+    SloObjective objective;
+    std::vector<SecondBucket> ring;  // kWindowSeconds[kNumWindows-1] slots
+    StageHistogram latency;
+  };
+
+  void ResetLocked();
+  ClassStatus EvaluateLocked(int traffic_class, long long now_epoch_s) const;
+
+  mutable std::mutex mutex_;
+  ClassState classes_[kNumClasses];
+};
+
+/// Fleet aggregation: sums the raw per-window `slo_*` counts found in
+/// each replica's /v1/metrics JSON and recomputes burn rates with the
+/// objectives echoed by the first replica that reports them, writing
+/// the same flat `slo_*` key shape (prefixed `fleet_`) into `out`.
+/// Pure JSON-level so the router logic is testable without HTTP.
+void AggregateSloMetrics(const std::vector<Json>& replica_metrics,
+                         Json* out);
+
+/// True when the aggregated fleet view reports any fast-burning class
+/// (reads the `fleet_slo_fast_burn` key written by AggregateSloMetrics).
+bool FleetFastBurn(const Json& aggregated);
+
+/// Merges every `<prefix>*latency_bucket_le/_count` histogram family in
+/// `src` into `dst` (summing bucket counts and seconds_total, maxing
+/// seconds_max, recomputing seconds_mean). Families missing from `dst`
+/// are copied. The router uses this to fold per-replica `stage_*`
+/// histograms into fleet-wide ones.
+void MergeHistogramFamilies(Json* dst, const Json& src,
+                            const std::string& prefix);
+
+// ---------------------------------------------------------------------------
+// Metrics history
+
+/// Fixed-size time-series ring over the flat numeric fields of a
+/// metrics snapshot. The key schema is frozen at the first sample, and
+/// every later sample writes into preallocated rows — zero heap per
+/// sample after warmup. Serves windowed rollups for
+/// GET /v1/metrics/history?window=<seconds>[&key=<flat key>].
+class MetricsHistory {
+ public:
+  struct Options {
+    /// Ring capacity in samples (default 360 x 10s = 1h on box).
+    int capacity = 360;
+    /// Sampler cadence; also the flight-recorder heartbeat cadence.
+    int interval_ms = 10000;
+  };
+
+  MetricsHistory();
+  ~MetricsHistory();
+
+  /// Sets the ring shape and the snapshot source (typically the
+  /// service's MetricsJson). Must be called before Start/SampleNow.
+  void Configure(const Options& options,
+                 std::function<Json()> sampler);
+
+  /// Starts/stops the background sampler thread. Start is a no-op
+  /// without Configure or when already running.
+  void Start();
+  void Stop();
+
+  /// Takes one snapshot synchronously (the thread calls this; tests
+  /// call it directly for determinism).
+  void SampleNow();
+
+  int samples() const;
+  int capacity() const;
+  int interval_ms() const;
+
+  /// Rollup over the trailing `window_s` seconds (<= 0 = whole ring):
+  /// {"window_s","interval_ms","samples","span_s",
+  ///  "series":{<key>:{"first","last","min","max","delta"}}} and, when
+  /// `key` is non-empty, a "points" array of [uptime_s, value] pairs
+  /// for that key only (series is then restricted to it too).
+  Json Rollup(double window_s, const std::string& key) const;
+
+  /// Parses an HTTP query string "window=<seconds>[&key=<flat key>]"
+  /// (any order, unknown params ignored, bare or url-style) and
+  /// answers Rollup() — shared by the backend and router endpoints so
+  /// the query grammar cannot drift.
+  Json RollupForQuery(const std::string& query) const;
+
+ private:
+  void SamplerLoop();
+  /// Flattens the numeric fields of `value` depth-first into key_buf_/
+  /// scratch order; on the first call it freezes keys_.
+  void Flatten(const Json& value, std::string* key_buf,
+               std::vector<double>* row, size_t* cursor, bool first);
+
+  mutable std::mutex mutex_;
+  Options options_;
+  std::function<Json()> sampler_;
+  std::vector<std::string> keys_;     // frozen at first sample
+  std::vector<double> times_;         // ring: uptime seconds per sample
+  std::vector<double> values_;        // ring: capacity x keys_.size()
+  int head_ = 0;                      // next slot to write
+  int count_ = 0;                     // valid samples (<= capacity)
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+// ---------------------------------------------------------------------------
+// Tail-sampled trace retention
+
+/// Why a completed trace was promoted into the slow-trace archive.
+enum class PromoteReason : int {
+  kNone = 0,
+  kDeadlineExceeded,
+  kPreempted,
+  kShed,
+  kError5xx,
+  kSlow,  ///< duration above the class p99 estimate
+};
+const char* PromoteReasonName(PromoteReason reason);
+
+/// Bounded archive of traces worth keeping. Promotion copies the
+/// trace's spans out of the live ring (before wrap-around destroys
+/// them) together with outcome metadata; the archive evicts oldest
+/// first. Export is Chrome trace_event format (same shape as
+/// /v1/trace) plus a "slow_traces" summary with per-stage budget
+/// attribution — which stage consumed the deadline.
+class SlowTraceArchive {
+ public:
+  static constexpr int kDefaultCapacity = 32;
+
+  static SlowTraceArchive& Instance();
+
+  void SetCapacity(int capacity);
+  void Clear();
+
+  /// Promotes `trace_id` (spans collected from the live ring; may be
+  /// empty when tracing is disabled — the summary entry still lands).
+  void Promote(uint64_t trace_id, const std::string& request_id,
+               PromoteReason reason, int traffic_class, int status,
+               long long duration_ns);
+
+  int size() const;
+  long long promoted_total() const;
+  long long evicted_total() const;
+
+  /// {"traceEvents":[...], "displayTimeUnit":"ms",
+  ///  "slow_traces":[{trace_id,request_id,reason,traffic_class,status,
+  ///    duration_ms,captured_uptime_s,stages_ms:{...},
+  ///    budget_fraction:{...}}],
+  ///  "archived","promoted_total","evicted_total"}.
+  Json ExportChromeJson() const;
+
+  /// Adds "slow_traces_archived", "slow_traces_promoted_total",
+  /// "slow_traces_evicted_total" to `object`.
+  void FillMetrics(Json* object) const;
+
+ private:
+  struct Retained {
+    uint64_t trace_id = 0;
+    std::string request_id;
+    PromoteReason reason = PromoteReason::kNone;
+    int traffic_class = 0;
+    int status = 0;
+    long long duration_ns = 0;
+    double captured_uptime_s = 0.0;
+    std::vector<SpanCopy> spans;
+  };
+
+  mutable std::mutex mutex_;
+  int capacity_ = kDefaultCapacity;
+  std::deque<Retained> retained_;
+  long long promoted_ = 0;
+  long long evicted_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Request-outcome hook (HTTP layer -> SLO engine + archive)
+
+/// Handler-side annotations, stored thread-local so they survive from
+/// the generate handler into the HTTP layer's completion hook on the
+/// same worker thread. Cleared by OnRequestComplete.
+void AnnotateRequestClass(int traffic_class);
+void AnnotateRequestReason(PromoteReason reason);
+
+/// Called by the HTTP server once per completed exchange, after the
+/// root request span is recorded. Consumes the thread-local
+/// annotations: annotated (generate) requests feed the SLO engine;
+/// traces matching the promotion policy (explicit reason, 5xx status,
+/// 504, or slower than the class p99 estimate) enter the archive.
+void OnRequestComplete(uint64_t trace_id, const std::string& request_id,
+                       int status, long long duration_ns);
+
+/// Called when the HTTP layer sheds a queued connection before any
+/// handler ran (no trace exists): counts an interactive-class error
+/// sample against the SLO.
+void OnRequestShed(long long waited_ns);
+
+}  // namespace obs
+}  // namespace rt
+
+#endif  // RATATOUILLE_UTIL_SLO_H_

@@ -1,0 +1,242 @@
+// End-to-end coverage for the rt::obs v2 serve integration: generate
+// outcomes feeding the SLO engine through the HTTP completion hook,
+// tail-sampled promotion into /v1/debug/slow, the /v1/metrics/history
+// ring endpoint, healthz degrading (but staying 200) on fast burn, and
+// the supervisor-side postmortem collection helper.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/backend_service.h"
+#include "serve/http.h"
+#include "serve/replica_supervisor.h"
+#include "util/flight_recorder.h"
+#include "util/json.h"
+#include "util/slo.h"
+
+namespace rt {
+namespace {
+
+using std::chrono::milliseconds;
+
+StatusOr<Recipe> OkGenerate(const GenerateRequest& req) {
+  Recipe r;
+  r.title = "dish";
+  for (const auto& ing : req.ingredients) {
+    r.ingredients.push_back({"1", "", ing, ""});
+  }
+  r.instructions = {"cook"};
+  return r;
+}
+
+Json ParseBody(const HttpClientResponse& resp) {
+  auto doc = Json::Parse(resp.body);
+  EXPECT_TRUE(doc.ok()) << resp.body;
+  return doc.ok() ? *doc : Json{};
+}
+
+/// Constructing a BackendService reconfigures the process-wide SLO
+/// engine and archive; tests clear them AFTER construction so earlier
+/// tests in this binary cannot leak promoted traces or samples in.
+void ResetObsState() {
+  obs::SloEngine::Instance().Reset();
+  obs::SlowTraceArchive::Instance().Clear();
+}
+
+TEST(SlowTraceE2ETest, GenerateOutcomesFeedSloAndPromoteErrors) {
+  std::atomic<int> fail_next{0};
+  BackendService backend(BackendService::WrapRecipeFn(
+      [&fail_next](const GenerateRequest& req) -> StatusOr<Recipe> {
+        if (fail_next.fetch_sub(1) > 0) {
+          return Status::Internal("boom");
+        }
+        fail_next.fetch_add(1);
+        return OkGenerate(req);
+      }));
+  ResetObsState();
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  auto ok = HttpPost(backend.port(), "/v1/generate",
+                     R"({"ingredients":["rice"]})");
+  fail_next = 1;
+  auto err = HttpPost(backend.port(), "/v1/generate",
+                      R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(ok.ok() && err.ok());
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_EQ(err->status, 500);
+
+  // Both generates were annotated interactive; the metrics scrapes
+  // below are not annotated and must not move the counters.
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const Json doc = ParseBody(*metrics);
+  EXPECT_EQ(doc.Get("slo_interactive_1m_total").AsNumber(), 2.0);
+  EXPECT_EQ(doc.Get("slo_interactive_1m_errors").AsNumber(), 1.0);
+  EXPECT_EQ(doc.Get("slow_traces_archived").AsNumber(), 1.0);
+
+  // The 500 was promoted into the slow-trace archive with its spans.
+  auto slow = HttpGet(backend.port(), "/v1/debug/slow");
+  ASSERT_TRUE(slow.ok());
+  const Json archive = ParseBody(*slow);
+  ASSERT_TRUE(archive.Get("slow_traces").is_array());
+  const auto& traces = archive.Get("slow_traces").AsArray();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].Get("reason").AsString(), "error_5xx");
+  EXPECT_EQ(traces[0].Get("status").AsNumber(), 500.0);
+  EXPECT_EQ(traces[0].Get("traffic_class").AsString(), "interactive");
+  backend.Stop();
+  ResetObsState();
+}
+
+TEST(SlowTraceE2ETest, DeadlineExceededPromotesWithReason) {
+  BackendOptions options;
+  options.model_sessions = 1;
+  options.default_timeout_ms = 30;
+  BackendService backend(
+      [](int) {
+        return [](const GenerateRequest& req)
+                   -> StatusOr<GenerateOutcome> {
+          GenerateOutcome out;
+          while (!req.deadline.expired()) {
+            std::this_thread::sleep_for(milliseconds(5));
+          }
+          out.finish = FinishReason::kDeadlineExceeded;
+          return out;
+        };
+      },
+      options);
+  ResetObsState();
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  auto resp = HttpPost(backend.port(), "/v1/generate",
+                       R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 504);
+
+  const auto& archive = obs::SlowTraceArchive::Instance();
+  ASSERT_GE(archive.size(), 1);
+  const Json exported = archive.ExportChromeJson();
+  const auto& traces = exported.Get("slow_traces").AsArray();
+  EXPECT_EQ(traces.back().Get("reason").AsString(), "deadline_exceeded");
+  EXPECT_GE(traces.back().Get("duration_ms").AsNumber(), 25.0);
+  // Deadline misses are SLO errors (a 504 is a broken promise).
+  EXPECT_GE(
+      obs::SloEngine::Instance().Evaluate(0).windows[0].errors, 1);
+  backend.Stop();
+  ResetObsState();
+}
+
+TEST(SlowTraceE2ETest, HealthzDegradesOnFastBurnButStays200) {
+  BackendService backend(BackendService::WrapRecipeFn(OkGenerate));
+  ResetObsState();
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  auto healthy = HttpGet(backend.port(), "/v1/healthz");
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy->status, 200);
+  EXPECT_EQ(ParseBody(*healthy).Get("status").AsString(), "ok");
+
+  // 20 interactive errors in the current second: error burn 100x with
+  // enough samples to page.
+  for (int i = 0; i < 20; ++i) {
+    obs::SloEngine::Instance().RecordRequest(0, 1'000'000, true);
+  }
+  auto degraded = HttpGet(backend.port(), "/v1/healthz");
+  ASSERT_TRUE(degraded.ok());
+  // Still HTTP 200: the process serves, the SLO suffers — the
+  // supervisor must not restart a replica for missing an objective.
+  EXPECT_EQ(degraded->status, 200);
+  const Json body = ParseBody(*degraded);
+  EXPECT_EQ(body.Get("status").AsString(), "degraded");
+  EXPECT_TRUE(body.Get("slo_fast_burn").AsBool());
+
+  obs::SloEngine::Instance().Reset();
+  auto recovered = HttpGet(backend.port(), "/v1/healthz");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(ParseBody(*recovered).Get("status").AsString(), "ok");
+  backend.Stop();
+  ResetObsState();
+}
+
+TEST(SlowTraceE2ETest, MetricsHistoryEndpointServesRollups) {
+  BackendService backend(BackendService::WrapRecipeFn(OkGenerate));
+  ResetObsState();
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto ok = HttpPost(backend.port(), "/v1/generate",
+                     R"({"ingredients":["rice"]})");
+  ASSERT_TRUE(ok.ok());
+  // The background sampler runs on a 10s cadence; force deterministic
+  // samples instead of waiting.
+  backend.history().SampleNow();
+  backend.history().SampleNow();
+
+  auto history = HttpGet(backend.port(),
+                         "/v1/metrics/history?window=60&key=requests_total");
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->status, 200);
+  const Json rollup = ParseBody(*history);
+  EXPECT_EQ(rollup.Get("window_s").AsNumber(), 60.0);
+  EXPECT_GE(rollup.Get("samples").AsNumber(), 2.0);
+  EXPECT_TRUE(rollup.Get("points").is_array());
+  EXPECT_GE(rollup.Get("series")
+                .Get("requests_total")
+                .Get("last")
+                .AsNumber(),
+            1.0);
+  backend.Stop();
+  ResetObsState();
+}
+
+TEST(SlowTraceE2ETest, MetricsExposeObsV2Gauges) {
+  BackendService backend(BackendService::WrapRecipeFn(OkGenerate));
+  ResetObsState();
+  ASSERT_TRUE(backend.Start(0).ok());
+  auto metrics = HttpGet(backend.port(), "/v1/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const Json doc = ParseBody(*metrics);
+  // Trace-ring health gauges.
+  EXPECT_TRUE(doc.Get("trace_enabled").is_bool());
+  EXPECT_TRUE(doc.Get("trace_spans_recorded").is_number());
+  EXPECT_TRUE(doc.Get("trace_spans_dropped").is_number());
+  EXPECT_EQ(doc.Get("trace_ring_capacity").AsNumber(),
+            static_cast<double>(obs::TraceRecorder::kCapacity));
+  EXPECT_TRUE(doc.Get("trace_export_torn_skipped").is_number());
+  // Archive + history + recorder gauges.
+  EXPECT_TRUE(doc.Get("slow_traces_promoted_total").is_number());
+  EXPECT_TRUE(doc.Get("history_samples").is_number());
+  EXPECT_TRUE(doc.Get("history_interval_ms").is_number());
+  EXPECT_TRUE(doc.Get("postmortem_dumps").is_number());
+  // SLO objectives echoed for both classes.
+  EXPECT_TRUE(doc.Get("slo_interactive_latency_target_ms").is_number());
+  EXPECT_TRUE(doc.Get("slo_batch_latency_target_ms").is_number());
+  backend.Stop();
+  ResetObsState();
+}
+
+TEST(PostmortemCollectTest, CollectParsesAnnotatesAndRemoves) {
+  const std::string path = "/tmp/rt_slow_trace_collect_" +
+                           std::to_string(::getpid()) + ".json";
+  auto& recorder = obs::FlightRecorder::Instance();
+  ASSERT_TRUE(recorder.Install(path).ok());  // writes first heartbeat
+
+  auto collected = CollectPostmortemFile(path, /*remove_after=*/true);
+  ASSERT_TRUE(collected.ok()) << collected.status().ToString();
+  EXPECT_EQ(collected->Get("postmortem_version").AsNumber(), 1.0);
+  EXPECT_EQ(collected->Get("signal").AsNumber(), 0.0);
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), 0);  // consumed on collection
+
+  // A replica that never started leaves nothing: collection errors
+  // instead of fabricating a record.
+  EXPECT_FALSE(CollectPostmortemFile(path, true).ok());
+}
+
+}  // namespace
+}  // namespace rt

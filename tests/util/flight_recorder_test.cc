@@ -1,0 +1,202 @@
+// Tests for the crash flight recorder (src/util/flight_recorder.h):
+// the postmortem round-trip through a real signal death in a forked
+// child, heartbeat dumps, gauge registration, snapshot publication,
+// and the parse-side error handling the supervisor relies on.
+
+#include "util/flight_recorder.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+#include "util/obs.h"
+
+namespace rt {
+namespace obs {
+namespace {
+
+std::string TempPostmortemPath(const char* tag) {
+  return "/tmp/rt_flight_recorder_test_" + std::to_string(::getpid()) +
+         "_" + tag + ".json";
+}
+
+TEST(FlightRecorderTest, ParseErrorsOnMissingAndEmptyFiles) {
+  EXPECT_FALSE(ParsePostmortemFile("/tmp/rt_no_such_postmortem.json").ok());
+  const std::string path = TempPostmortemPath("empty");
+  { std::ofstream(path).close(); }
+  EXPECT_FALSE(ParsePostmortemFile(path).ok());
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorderTest, GaugeRegistrationIsIdempotent) {
+  auto& recorder = FlightRecorder::Instance();
+  const int a = recorder.RegisterGauge("fr_test_gauge_a");
+  const int b = recorder.RegisterGauge("fr_test_gauge_b");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(recorder.RegisterGauge("fr_test_gauge_a"), a);
+  recorder.SetGauge(a, 42);
+  EXPECT_EQ(recorder.gauge(a), 42);
+  recorder.SetGauge(-1, 99);  // out of range: ignored
+  recorder.SetGauge(FlightRecorder::kMaxGauges, 99);
+  EXPECT_EQ(recorder.gauge(-1), 0);
+}
+
+TEST(FlightRecorderTest, InstallWritesImmediateHeartbeat) {
+  // The file must be collectible from the first instant: a replica
+  // SIGKILLed before its first sampler tick still leaves a dump.
+  const std::string path = TempPostmortemPath("install");
+  auto& recorder = FlightRecorder::Instance();
+  ASSERT_TRUE(recorder.Install(path).ok());
+  EXPECT_TRUE(recorder.installed());
+  EXPECT_EQ(recorder.path(), path);
+  auto parsed = ParsePostmortemFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& dump = parsed.value();
+  EXPECT_EQ(dump.Get("postmortem_version").AsNumber(), 1.0);
+  EXPECT_EQ(dump.Get("signal").AsNumber(), 0.0);  // heartbeat, no crash
+  EXPECT_EQ(dump.Get("pid").AsNumber(),
+            static_cast<double>(::getpid()));
+  EXPECT_TRUE(dump.Get("gauges").is_object());
+  EXPECT_TRUE(dump.Get("spans").is_array());
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorderTest, HeartbeatCarriesGaugesSnapshotAndSpans) {
+  const std::string path = TempPostmortemPath("heartbeat");
+  auto& recorder = FlightRecorder::Instance();
+  ASSERT_TRUE(recorder.Install(path).ok());
+  const int gauge = recorder.RegisterGauge("fr_test_active");
+  ASSERT_GE(gauge, 0);
+  recorder.SetGauge(gauge, 7);
+  recorder.StoreSnapshot("{\"requests_total\":12}");
+
+  auto& traces = TraceRecorder::Instance();
+  traces.Clear();
+  traces.SetEnabled(true);
+  const uint64_t trace_id = traces.NextTraceId();
+  RecordSpanSince(Stage::kPrefill, trace_id, Now());
+  const long long before = recorder.dumps_written();
+  recorder.WriteHeartbeat();
+  traces.SetEnabled(false);
+  EXPECT_EQ(recorder.dumps_written(), before + 1);
+
+  auto parsed = ParsePostmortemFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& dump = parsed.value();
+  EXPECT_EQ(dump.Get("gauges").Get("fr_test_active").AsNumber(), 7.0);
+  EXPECT_EQ(dump.Get("metrics").Get("requests_total").AsNumber(), 12.0);
+  bool saw_prefill = false;
+  for (const Json& span : dump.Get("spans").AsArray()) {
+    if (span.Get("name").AsString() == "prefill") saw_prefill = true;
+  }
+  EXPECT_TRUE(saw_prefill);
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorderTest, SmallerLaterDumpTruncatesStaleTail) {
+  // A dump shorter than its predecessor must ftruncate the leftovers,
+  // or the supervisor would read "…}<stale garbage>" and fail to parse.
+  const std::string path = TempPostmortemPath("shrink");
+  auto& recorder = FlightRecorder::Instance();
+  ASSERT_TRUE(recorder.Install(path).ok());
+  std::string fat = "{\"padding\":\"";
+  fat.append(8192, 'x');
+  fat += "\"}";
+  recorder.StoreSnapshot(fat);
+  recorder.WriteHeartbeat();
+  struct stat st;
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  const off_t fat_size = st.st_size;
+  recorder.StoreSnapshot("{\"thin\":1}");
+  recorder.WriteHeartbeat();
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_LT(st.st_size, fat_size);
+  auto parsed = ParsePostmortemFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Get("metrics").Get("thin").AsNumber(), 1.0);
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorderTest, OversizedSnapshotIsDroppedNotTorn) {
+  const std::string path = TempPostmortemPath("oversize");
+  auto& recorder = FlightRecorder::Instance();
+  ASSERT_TRUE(recorder.Install(path).ok());
+  recorder.StoreSnapshot("{\"kept\":1}");
+  std::string huge = "{\"too_big\":\"";
+  huge.append(FlightRecorder::kMaxSnapshotBytes, 'y');
+  huge += "\"}";
+  recorder.StoreSnapshot(huge);  // over the cap: must not publish
+  recorder.WriteHeartbeat();
+  auto parsed = ParsePostmortemFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Get("metrics").Get("kept").AsNumber(), 1.0);
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorderTest, CrashedChildLeavesParseablePostmortem) {
+  // The end-to-end contract: a process that dies on SIGSEGV leaves a
+  // black box behind, written by the handler with only signal-safe
+  // primitives, then re-raises so the wait status stays honest.
+  const std::string path = TempPostmortemPath("crash");
+  ::unlink(path.c_str());
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    auto& recorder = FlightRecorder::Instance();
+    if (!recorder.Install(path).ok()) ::_exit(2);
+    const int gauge = recorder.RegisterGauge("fr_child_active");
+    recorder.SetGauge(gauge, 3);
+    recorder.StoreSnapshot("{\"child_requests\":5}");
+    ::raise(SIGSEGV);
+    ::_exit(3);  // unreachable: the handler re-raises with SIG_DFL
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGSEGV);
+
+  auto parsed = ParsePostmortemFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& dump = parsed.value();
+  EXPECT_EQ(dump.Get("postmortem_version").AsNumber(), 1.0);
+  EXPECT_EQ(dump.Get("signal").AsNumber(),
+            static_cast<double>(SIGSEGV));
+  EXPECT_EQ(dump.Get("pid").AsNumber(), static_cast<double>(child));
+  EXPECT_EQ(dump.Get("gauges").Get("fr_child_active").AsNumber(), 3.0);
+  EXPECT_EQ(dump.Get("metrics").Get("child_requests").AsNumber(), 5.0);
+  ::unlink(path.c_str());
+}
+
+TEST(FlightRecorderTest, AbortingChildReportsSigabrt) {
+  const std::string path = TempPostmortemPath("abort");
+  ::unlink(path.c_str());
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    if (!FlightRecorder::Instance().Install(path).ok()) ::_exit(2);
+    ::abort();
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+  EXPECT_EQ(WTERMSIG(wstatus), SIGABRT);
+  auto parsed = ParsePostmortemFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Get("signal").AsNumber(),
+            static_cast<double>(SIGABRT));
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rt

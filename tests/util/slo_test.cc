@@ -1,0 +1,557 @@
+// Unit tests for the rt::obs v2 "over time" layer (src/util/slo.h):
+// burn-rate math, the multi-window SLO engine over synthetic second
+// rings, fleet aggregation from per-replica metrics JSON, histogram
+// family merging, the metrics-history ring, the slow-trace archive's
+// retention policy, and the Prometheus HELP/TYPE headers.
+
+#include "util/slo.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/obs.h"
+
+namespace rt {
+namespace obs {
+namespace {
+
+constexpr long long kMs = 1'000'000;  // ns per millisecond
+
+// ---------------------------------------------------------------------------
+// Burn-rate math
+
+TEST(SloBurnRateTest, ExactBudgetConsumptionIsOne) {
+  // 1% allowed, 1% observed -> burning exactly at budget.
+  EXPECT_DOUBLE_EQ(SloBurnRate(100, 1, 0.01), 1.0);
+}
+
+TEST(SloBurnRateTest, ScalesLinearlyWithBadRatio) {
+  EXPECT_DOUBLE_EQ(SloBurnRate(100, 2, 0.01), 2.0);
+  EXPECT_DOUBLE_EQ(SloBurnRate(200, 1, 0.01), 0.5);
+}
+
+TEST(SloBurnRateTest, EmptyWindowAndZeroAllowanceAreZero) {
+  EXPECT_DOUBLE_EQ(SloBurnRate(0, 0, 0.01), 0.0);
+  EXPECT_DOUBLE_EQ(SloBurnRate(10, 5, 0.0), 0.0);
+}
+
+TEST(SloClassNameTest, StableNames) {
+  EXPECT_STREQ(SloClassName(0), "interactive");
+  EXPECT_STREQ(SloClassName(1), "batch");
+}
+
+// ---------------------------------------------------------------------------
+// SLO engine over pinned epochs
+
+SloObjective TightObjective() {
+  SloObjective o;
+  o.traffic_class = 0;
+  o.latency_target_ms = 100.0;
+  o.latency_quantile = 0.99;  // 1% of requests may be slower
+  o.max_error_ratio = 0.01;
+  o.fast_burn_threshold = 14.0;
+  o.min_samples = 12;
+  return o;
+}
+
+TEST(SloEngineTest, AllFastRequestsBurnNothing) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  for (int i = 0; i < 100; ++i) {
+    engine.RecordRequestAt(0, /*epoch_s=*/1000, 10 * kMs, /*error=*/false);
+  }
+  const auto status = engine.EvaluateAt(0, 1000);
+  EXPECT_EQ(status.windows[0].total, 100);
+  EXPECT_EQ(status.windows[0].slow, 0);
+  EXPECT_DOUBLE_EQ(status.latency_burn[0], 0.0);
+  EXPECT_DOUBLE_EQ(status.error_burn[0], 0.0);
+  EXPECT_FALSE(status.fast_burn);
+}
+
+TEST(SloEngineTest, SlowRequestsRaiseLatencyBurn) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  // 100 requests, 2 above the 100ms target: 2% slow vs 1% allowed.
+  for (int i = 0; i < 98; ++i) {
+    engine.RecordRequestAt(0, 1000, 10 * kMs, false);
+  }
+  engine.RecordRequestAt(0, 1000, 500 * kMs, false);
+  engine.RecordRequestAt(0, 1000, 500 * kMs, false);
+  const auto status = engine.EvaluateAt(0, 1000);
+  EXPECT_EQ(status.windows[0].slow, 2);
+  // 1 - 0.99 is not exact in binary; compare with a tolerance.
+  EXPECT_NEAR(status.latency_burn[0], 2.0, 1e-9);
+}
+
+TEST(SloEngineTest, FastBurnTripsAboveThresholdWithEnoughSamples) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  // 20 requests, 10 slow: burn = (10/20)/0.01 = 50 >= 14.
+  for (int i = 0; i < 10; ++i) engine.RecordRequestAt(0, 50, 10 * kMs, false);
+  for (int i = 0; i < 10; ++i) {
+    engine.RecordRequestAt(0, 50, 500 * kMs, false);
+  }
+  EXPECT_TRUE(engine.EvaluateAt(0, 50).fast_burn);
+}
+
+TEST(SloEngineTest, FastBurnNeedsMinSamples) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  // 100% failure but only 4 samples (< min_samples 12): not a page.
+  for (int i = 0; i < 4; ++i) engine.RecordRequestAt(0, 50, 10 * kMs, true);
+  EXPECT_FALSE(engine.EvaluateAt(0, 50).fast_burn);
+}
+
+TEST(SloEngineTest, WindowsSeparateByAge) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  // One error 70s ago: outside the 1m window, inside 10m and 1h.
+  engine.RecordRequestAt(0, /*epoch_s=*/100, 10 * kMs, /*error=*/true);
+  const auto status = engine.EvaluateAt(0, /*now_epoch_s=*/170);
+  EXPECT_EQ(status.windows[0].total, 0);  // 1m
+  EXPECT_EQ(status.windows[1].total, 1);  // 10m
+  EXPECT_EQ(status.windows[1].errors, 1);
+  EXPECT_EQ(status.windows[2].total, 1);  // 1h
+}
+
+TEST(SloEngineTest, RingLapResetsStaleBuckets) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  engine.RecordRequestAt(0, /*epoch_s=*/10, 10 * kMs, true);
+  // Same ring slot one full lap (3600s) later must not double-count.
+  engine.RecordRequestAt(0, /*epoch_s=*/10 + 3600, 10 * kMs, false);
+  const auto status = engine.EvaluateAt(0, 10 + 3600);
+  EXPECT_EQ(status.windows[2].total, 1);
+  EXPECT_EQ(status.windows[2].errors, 0);
+}
+
+TEST(SloEngineTest, P99EstimateIsConservativeUpperBound) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  for (int i = 0; i < 200; ++i) {
+    engine.RecordRequestAt(0, 1000, 20 * kMs, false);
+  }
+  const double p99 = engine.P99EstimateMs(0);
+  EXPECT_GE(p99, 20.0);   // never below the observed latency
+  EXPECT_LE(p99, 100.0);  // but a nearby bucket bound, not overflow
+}
+
+TEST(SloEngineTest, FillMetricsExportsRawCountsAndBurns) {
+  SloEngine engine;
+  engine.Configure({TightObjective()});
+  for (int i = 0; i < 20; ++i) {
+    engine.RecordRequest(0, 10 * kMs, /*error=*/i < 2);
+  }
+  Json out{Json::Object{}};
+  engine.FillMetrics(&out);
+  EXPECT_EQ(out.Get("slo_interactive_1m_total").AsNumber(), 20.0);
+  EXPECT_EQ(out.Get("slo_interactive_1m_errors").AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(out.Get("slo_interactive_1m_error_burn").AsNumber(),
+                   10.0);
+  EXPECT_TRUE(out.Get("slo_interactive_latency_target_ms").is_number());
+  EXPECT_TRUE(out.Get("slo_batch_1m_total").is_number());
+  EXPECT_TRUE(out.Get("slo_fast_burn").is_number());
+}
+
+// ---------------------------------------------------------------------------
+// StageHistogram quantile upper bound (the p99 promotion threshold)
+
+TEST(StageHistogramQuantileTest, UpperBoundCoversObservations) {
+  StageHistogram histogram;
+  EXPECT_DOUBLE_EQ(histogram.QuantileUpperBoundSeconds(0.99), 0.0);
+  for (int i = 0; i < 99; ++i) histogram.Record(1 * kMs);  // 1ms
+  histogram.Record(400 * kMs);  // one 400ms outlier
+  const double p99 = histogram.QuantileUpperBoundSeconds(0.99);
+  EXPECT_GE(p99, 0.001);
+  const double p999 = histogram.QuantileUpperBoundSeconds(0.999);
+  EXPECT_GE(p999, 0.4);  // must cover the outlier
+}
+
+TEST(StageHistogramQuantileTest, OverflowBucketReportsMaxObserved) {
+  StageHistogram histogram;
+  histogram.Record(60ll * 1000 * kMs);  // 60s, beyond the last bound
+  EXPECT_DOUBLE_EQ(histogram.QuantileUpperBoundSeconds(0.5), 60.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet aggregation
+
+Json ReplicaMetricsWith(int total, int slow, int errors) {
+  SloEngine engine;
+  SloObjective o = TightObjective();
+  engine.Configure({o});
+  for (int i = 0; i < total; ++i) {
+    const bool error = i < errors;
+    const long long latency = i < slow ? 500 * kMs : 10 * kMs;
+    engine.RecordRequest(0, latency, error);
+  }
+  Json out{Json::Object{}};
+  engine.FillMetrics(&out);
+  return out;
+}
+
+TEST(AggregateSloMetricsTest, SumsCountsAndRecomputesBurns) {
+  const std::vector<Json> replicas = {ReplicaMetricsWith(100, 1, 0),
+                                      ReplicaMetricsWith(100, 3, 2)};
+  Json out{Json::Object{}};
+  AggregateSloMetrics(replicas, &out);
+  EXPECT_EQ(out.Get("fleet_slo_replicas_reporting").AsNumber(), 2.0);
+  EXPECT_EQ(out.Get("fleet_slo_interactive_1m_total").AsNumber(), 200.0);
+  EXPECT_EQ(out.Get("fleet_slo_interactive_1m_slow").AsNumber(), 4.0);
+  // (4/200)/0.01 = 2.0 — recomputed from the summed counts, not
+  // averaged from the replica burns.
+  EXPECT_NEAR(out.Get("fleet_slo_interactive_1m_latency_burn").AsNumber(),
+              2.0, 1e-9);
+  EXPECT_FALSE(FleetFastBurn(out));
+}
+
+TEST(AggregateSloMetricsTest, FleetFastBurnFromCombinedCounts) {
+  // Each replica alone is under min_samples; together they page.
+  const std::vector<Json> replicas = {ReplicaMetricsWith(8, 8, 8),
+                                      ReplicaMetricsWith(8, 8, 8)};
+  Json out{Json::Object{}};
+  AggregateSloMetrics(replicas, &out);
+  EXPECT_EQ(out.Get("fleet_slo_interactive_1m_total").AsNumber(), 16.0);
+  EXPECT_TRUE(FleetFastBurn(out));
+}
+
+TEST(AggregateSloMetricsTest, EmptyFleetReportsZeroReplicas) {
+  Json out{Json::Object{}};
+  AggregateSloMetrics({}, &out);
+  EXPECT_EQ(out.Get("fleet_slo_replicas_reporting").AsNumber(), 0.0);
+  EXPECT_FALSE(FleetFastBurn(out));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram family merging
+
+TEST(MergeHistogramFamiliesTest, SumsCountsMaxesMaxRecomputesMean) {
+  StageHistogram a, b;
+  a.Record(1 * kMs);
+  a.Record(2 * kMs);
+  b.Record(10 * kMs);
+  Json dst{Json::Object{}};
+  Json src{Json::Object{}};
+  a.FillMetrics("stage_prefill_", &dst);
+  b.FillMetrics("stage_prefill_", &src);
+  MergeHistogramFamilies(&dst, src, "stage_");
+  long long total = 0;
+  for (const Json& c :
+       dst.Get("stage_prefill_latency_bucket_count").AsArray()) {
+    total += static_cast<long long>(c.AsNumber());
+  }
+  EXPECT_EQ(total, 3);
+  EXPECT_NEAR(dst.Get("stage_prefill_seconds_total").AsNumber(), 0.013,
+              1e-9);
+  EXPECT_NEAR(dst.Get("stage_prefill_seconds_max").AsNumber(), 0.010,
+              1e-9);
+  EXPECT_NEAR(dst.Get("stage_prefill_seconds_mean").AsNumber(),
+              0.013 / 3.0, 1e-9);
+}
+
+TEST(MergeHistogramFamiliesTest, CopiesUnknownFamiliesAndHonorsPrefix) {
+  StageHistogram h;
+  h.Record(5 * kMs);
+  Json dst{Json::Object{}};
+  Json src{Json::Object{}};
+  h.FillMetrics("stage_sample_", &src);
+  h.FillMetrics("generate_", &src);  // outside the stage_ prefix
+  MergeHistogramFamilies(&dst, src, "stage_");
+  EXPECT_TRUE(dst.Get("stage_sample_latency_bucket_count").is_array());
+  EXPECT_TRUE(dst.Get("generate_latency_bucket_count").is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics history ring
+
+TEST(MetricsHistoryTest, RollupReportsFirstLastMinMaxDelta) {
+  MetricsHistory history;
+  MetricsHistory::Options options;
+  options.capacity = 16;
+  double counter = 0.0;
+  history.Configure(options, [&counter] {
+    Json out{Json::Object{}};
+    out.Set("requests_total", counter);
+    counter += 5.0;
+    return out;
+  });
+  for (int i = 0; i < 4; ++i) history.SampleNow();
+  EXPECT_EQ(history.samples(), 4);
+  const Json rollup = history.Rollup(/*window_s=*/0.0, "requests_total");
+  const Json& series = rollup.Get("series").Get("requests_total");
+  EXPECT_DOUBLE_EQ(series.Get("first").AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(series.Get("last").AsNumber(), 15.0);
+  EXPECT_DOUBLE_EQ(series.Get("min").AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(series.Get("max").AsNumber(), 15.0);
+  EXPECT_DOUBLE_EQ(series.Get("delta").AsNumber(), 15.0);
+  EXPECT_EQ(rollup.Get("points").AsArray().size(), 4u);
+}
+
+TEST(MetricsHistoryTest, RingEvictsOldestBeyondCapacity) {
+  MetricsHistory history;
+  MetricsHistory::Options options;
+  options.capacity = 4;
+  double counter = 0.0;
+  history.Configure(options, [&counter] {
+    Json out{Json::Object{}};
+    out.Set("n", counter);
+    counter += 1.0;
+    return out;
+  });
+  for (int i = 0; i < 10; ++i) history.SampleNow();
+  EXPECT_EQ(history.samples(), 4);
+  const Json rollup = history.Rollup(0.0, "");
+  // Oldest retained sample is #6 (counter 6..9 kept).
+  EXPECT_DOUBLE_EQ(
+      rollup.Get("series").Get("n").Get("first").AsNumber(), 6.0);
+  EXPECT_DOUBLE_EQ(
+      rollup.Get("series").Get("n").Get("last").AsNumber(), 9.0);
+}
+
+TEST(MetricsHistoryTest, SchemaFrozenAtFirstSampleSurvivesDrift) {
+  MetricsHistory history;
+  MetricsHistory::Options options;
+  options.capacity = 8;
+  int tick = 0;
+  history.Configure(options, [&tick] {
+    Json out{Json::Object{}};
+    out.Set("stable", static_cast<double>(tick));
+    if (tick > 0) out.Set("late_key", 123.0);  // appears after freeze
+    if (tick != 1) out.Set("flaky", 7.0);      // missing on tick 1
+    ++tick;
+    return out;
+  });
+  for (int i = 0; i < 3; ++i) history.SampleNow();
+  const Json rollup = history.Rollup(0.0, "");
+  // Keys are frozen at the first sample: late_key never enters, the
+  // stable key tracks every tick, the flaky key's gap becomes NaN
+  // (dropped from min/max which stay finite).
+  EXPECT_TRUE(rollup.Get("series").Get("late_key").is_null());
+  EXPECT_DOUBLE_EQ(
+      rollup.Get("series").Get("stable").Get("last").AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      rollup.Get("series").Get("flaky").Get("max").AsNumber(), 7.0);
+}
+
+TEST(MetricsHistoryTest, NestedKeysFlattenWithUnderscores) {
+  MetricsHistory history;
+  MetricsHistory::Options options;
+  options.capacity = 2;
+  history.Configure(options, [] {
+    Json out{Json::Object{}};
+    Json inner{Json::Object{}};
+    inner.Set("healthy", 3.0);
+    out.Set("replicas", std::move(inner));
+    return out;
+  });
+  history.SampleNow();
+  const Json rollup = history.Rollup(0.0, "");
+  EXPECT_DOUBLE_EQ(
+      rollup.Get("series").Get("replicas_healthy").Get("last").AsNumber(),
+      3.0);
+}
+
+TEST(MetricsHistoryTest, RollupForQueryParsesWindowAndKey) {
+  MetricsHistory history;
+  MetricsHistory::Options options;
+  options.capacity = 4;
+  history.Configure(options, [] {
+    Json out{Json::Object{}};
+    out.Set("a", 1.0);
+    out.Set("b", 2.0);
+    return out;
+  });
+  history.SampleNow();
+  const Json rollup = history.RollupForQuery("window=600&key=b");
+  EXPECT_DOUBLE_EQ(rollup.Get("window_s").AsNumber(), 600.0);
+  EXPECT_TRUE(rollup.Get("series").Get("a").is_null());
+  EXPECT_TRUE(rollup.Get("series").Get("b").is_object());
+  EXPECT_TRUE(rollup.Get("points").is_array());
+}
+
+// ---------------------------------------------------------------------------
+// Slow-trace archive retention policy
+
+class SlowTraceArchiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SlowTraceArchive::Instance().SetCapacity(8);
+    SlowTraceArchive::Instance().Clear();
+  }
+  void TearDown() override {
+    SlowTraceArchive::Instance().SetCapacity(
+        SlowTraceArchive::kDefaultCapacity);
+    SlowTraceArchive::Instance().Clear();
+  }
+};
+
+TEST_F(SlowTraceArchiveTest, PromotedTracesAppearInExport) {
+  auto& archive = SlowTraceArchive::Instance();
+  archive.Promote(0x1234, "req-1", PromoteReason::kDeadlineExceeded, 0,
+                  504, 150 * kMs);
+  EXPECT_EQ(archive.size(), 1);
+  const Json out = archive.ExportChromeJson();
+  const auto& traces = out.Get("slow_traces").AsArray();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].Get("request_id").AsString(), "req-1");
+  EXPECT_EQ(traces[0].Get("reason").AsString(), "deadline_exceeded");
+  EXPECT_EQ(traces[0].Get("status").AsNumber(), 504.0);
+  EXPECT_NEAR(traces[0].Get("duration_ms").AsNumber(), 150.0, 1e-6);
+}
+
+TEST_F(SlowTraceArchiveTest, BoundedEvictionOldestFirst) {
+  auto& archive = SlowTraceArchive::Instance();
+  for (int i = 0; i < 12; ++i) {
+    archive.Promote(static_cast<uint64_t>(i + 1),
+                    "req-" + std::to_string(i), PromoteReason::kError5xx,
+                    0, 500, 10 * kMs);
+  }
+  EXPECT_EQ(archive.size(), 8);
+  EXPECT_EQ(archive.promoted_total(), 12);
+  EXPECT_EQ(archive.evicted_total(), 4);
+  const Json out = archive.ExportChromeJson();
+  const auto& traces = out.Get("slow_traces").AsArray();
+  EXPECT_EQ(traces.front().Get("request_id").AsString(), "req-4");
+}
+
+TEST_F(SlowTraceArchiveTest, PromotionCopiesSpansFromLiveRing) {
+  auto& recorder = TraceRecorder::Instance();
+  recorder.Clear();
+  recorder.SetEnabled(true);
+  const uint64_t trace_id = recorder.NextTraceId();
+  const auto start = Now();
+  RecordSpanSince(Stage::kPrefill, trace_id, start);
+  RecordSpanSince(Stage::kBatchStep, trace_id, start, "batch", 2);
+  auto& archive = SlowTraceArchive::Instance();
+  archive.Promote(trace_id, "req-spans", PromoteReason::kSlow, 0, 200,
+                  80 * kMs);
+  recorder.SetEnabled(false);
+  const Json out = archive.ExportChromeJson();
+  const auto& events = out.Get("traceEvents").AsArray();
+  ASSERT_GE(events.size(), 2u);
+  bool saw_batch_step = false;
+  for (const Json& event : events) {
+    if (event.Get("name").AsString() == "batch_step") {
+      saw_batch_step = true;
+      EXPECT_EQ(event.Get("cat").AsString(), "rt_slow");
+    }
+  }
+  EXPECT_TRUE(saw_batch_step);
+  const auto& traces = out.Get("slow_traces").AsArray();
+  ASSERT_EQ(traces.size(), 1u);
+  // Per-stage budget attribution: both stages appear with a fraction
+  // of the total duration.
+  EXPECT_TRUE(traces[0].Get("stages_ms").Get("batch_step").is_number());
+  EXPECT_TRUE(
+      traces[0].Get("budget_fraction").Get("batch_step").is_number());
+}
+
+// ---------------------------------------------------------------------------
+// Request-outcome hook policy
+
+class RequestOutcomeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SloEngine::Instance().Configure({TightObjective()});
+    SlowTraceArchive::Instance().Clear();
+  }
+  void TearDown() override {
+    SloEngine::Instance().Configure({});
+    SloEngine::Instance().Reset();
+    SlowTraceArchive::Instance().Clear();
+  }
+};
+
+TEST_F(RequestOutcomeTest, UnannotatedSuccessDoesNotFeedSlo) {
+  // A /v1/metrics scrape (no annotation) must not burn budget.
+  OnRequestComplete(0, "scrape", 200, 1 * kMs);
+  EXPECT_EQ(SloEngine::Instance().Evaluate(0).windows[0].total, 0);
+}
+
+TEST_F(RequestOutcomeTest, AnnotatedRequestFeedsSloAndErrorPromotes) {
+  AnnotateRequestClass(0);
+  OnRequestComplete(0x42, "ok-req", 200, 1 * kMs);
+  EXPECT_EQ(SloEngine::Instance().Evaluate(0).windows[0].total, 1);
+  EXPECT_EQ(SlowTraceArchive::Instance().size(), 0);  // fast + ok
+
+  AnnotateRequestClass(0);
+  OnRequestComplete(0x43, "err-req", 500, 1 * kMs);
+  const auto status = SloEngine::Instance().Evaluate(0);
+  EXPECT_EQ(status.windows[0].total, 2);
+  EXPECT_EQ(status.windows[0].errors, 1);
+  ASSERT_EQ(SlowTraceArchive::Instance().size(), 1);
+  const Json out = SlowTraceArchive::Instance().ExportChromeJson();
+  const auto& traces = out.Get("slow_traces").AsArray();
+  EXPECT_EQ(traces[0].Get("reason").AsString(), "error_5xx");
+}
+
+TEST_F(RequestOutcomeTest, ExplicitReasonWinsOverStatus) {
+  AnnotateRequestClass(0);
+  AnnotateRequestReason(PromoteReason::kShed);
+  OnRequestComplete(0x44, "shed-req", 504, 1 * kMs);
+  const Json out = SlowTraceArchive::Instance().ExportChromeJson();
+  const auto& traces = out.Get("slow_traces").AsArray();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0].Get("reason").AsString(), "shed");
+  // Sheds and 5xx both count as SLO errors.
+  EXPECT_EQ(SloEngine::Instance().Evaluate(0).windows[0].errors, 1);
+}
+
+TEST_F(RequestOutcomeTest, AnnotationsClearAfterCompletion) {
+  AnnotateRequestClass(0);
+  AnnotateRequestReason(PromoteReason::kPreempted);
+  OnRequestComplete(0x45, "first", 200, 1 * kMs);
+  // Next completion on this thread carries no stale annotation.
+  OnRequestComplete(0x46, "second", 200, 1 * kMs);
+  EXPECT_EQ(SloEngine::Instance().Evaluate(0).windows[0].total, 1);
+  EXPECT_EQ(SlowTraceArchive::Instance().size(), 1);
+}
+
+TEST_F(RequestOutcomeTest, ShedHookCountsInteractiveError) {
+  OnRequestShed(5 * kMs);
+  const auto status = SloEngine::Instance().Evaluate(0);
+  EXPECT_EQ(status.windows[0].total, 1);
+  EXPECT_EQ(status.windows[0].errors, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus HELP/TYPE headers
+
+TEST(PrometheusHeadersTest, EveryFamilyGetsHelpAndType) {
+  Json metrics{Json::Object{}};
+  metrics.Set("requests_total", 41.0);
+  metrics.Set("build_type", "Release");
+  StageHistogram histogram;
+  histogram.Record(3 * kMs);
+  histogram.FillMetrics("stage_prefill_", &metrics);
+  const std::string text = RenderPrometheus(metrics);
+  EXPECT_NE(text.find("# HELP rt_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rt_requests_total gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP rt_build_type"), std::string::npos);
+  EXPECT_NE(text.find("# HELP rt_stage_prefill_latency_seconds"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rt_stage_prefill_latency_seconds histogram"),
+            std::string::npos);
+  // Every # TYPE line is preceded by a # HELP line for the same family.
+  size_t pos = 0;
+  int type_lines = 0;
+  while ((pos = text.find("# TYPE ", pos)) != std::string::npos) {
+    ++type_lines;
+    const size_t name_start = pos + 7;
+    const size_t name_end = text.find(' ', name_start);
+    const std::string name = text.substr(name_start,
+                                         name_end - name_start);
+    EXPECT_NE(text.find("# HELP " + name + " "), std::string::npos)
+        << "missing HELP for " << name;
+    pos = name_end;
+  }
+  EXPECT_GE(type_lines, 3);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rt

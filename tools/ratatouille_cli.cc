@@ -15,11 +15,14 @@
 // (--recipes, --seed, --model); generate/serve restore weights from
 // --checkpoint when given, so a `train` run's model is reusable.
 
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <memory>
 #include <string>
@@ -61,12 +64,21 @@ int Usage() {
       "               --sessions=N --queue=N --request-timeout-ms=MS\n"
       "               --compute-threads=N --max-batch=M\n"
       "               --batch-share=F --replicas=N --chaos-seed=S\n"
-      "               --trace-file=FILE --profile --quant=MODE]\n"
+      "               --trace-file=FILE --profile --quant=MODE\n"
+      "               --postmortem-file=FILE --postmortem-dir=DIR\n"
+      "               --history-interval-ms=MS\n"
+      "               --slo-interactive-p99-ms=MS --slo-batch-p99-ms=MS\n"
+      "               --slo-error-ratio=F --slo-fast-burn=X]\n"
       "models: char-lstm word-lstm distilgpt2 gpt2-medium gpt-deep\n"
       "serve observability: GET /v1/trace (Chrome trace JSON),\n"
-      "  GET /v1/metrics[?format=prometheus]; --trace-file writes the\n"
-      "  trace on shutdown, --profile adds per-op kernel counters\n"
-      "  (env: RT_TRACE=1, RT_PROFILE=1)\n"
+      "  GET /v1/metrics[?format=prometheus],\n"
+      "  GET /v1/metrics/history?window=S[&key=K] (on-box ring),\n"
+      "  GET /v1/debug/slow (tail-sampled slow traces); --trace-file\n"
+      "  writes the trace on shutdown, --profile adds per-op kernel\n"
+      "  counters (env: RT_TRACE=1, RT_PROFILE=1)\n"
+      "  --postmortem-file=FILE arms the crash flight recorder; the\n"
+      "  fleet does this per replica (--postmortem-dir=DIR, default\n"
+      "  /tmp) and serves collected dumps at GET /v1/debug/postmortem\n"
       "serve --replicas=N forks N supervised backend processes behind\n"
       "  a retrying router; --chaos-seed=S (or RT_CHAOS=S) arms seeded\n"
       "  fault injection across the fleet\n"
@@ -324,6 +336,32 @@ struct ServingSessions {
   }
 };
 
+/// SLO / observability knobs shared by serve and serve-replica (and
+/// forwarded through the fleet command template). False = a flag
+/// failed to validate (caller answers Usage()).
+bool ApplyObsFlags(const ArgParser& args, BackendOptions* options) {
+  auto history_interval = args.GetInt("history-interval-ms", 10000);
+  auto interactive_p99 =
+      args.GetDouble("slo-interactive-p99-ms", 2000.0);
+  auto batch_p99 = args.GetDouble("slo-batch-p99-ms", 30000.0);
+  auto error_ratio = args.GetDouble("slo-error-ratio", 0.01);
+  auto fast_burn = args.GetDouble("slo-fast-burn", 14.0);
+  if (!history_interval.ok() || *history_interval < 100 ||
+      !interactive_p99.ok() || *interactive_p99 <= 0.0 ||
+      !batch_p99.ok() || *batch_p99 <= 0.0 || !error_ratio.ok() ||
+      *error_ratio <= 0.0 || *error_ratio >= 1.0 || !fast_burn.ok() ||
+      *fast_burn <= 0.0) {
+    return false;
+  }
+  options->history_interval_ms = static_cast<int>(*history_interval);
+  options->slo_interactive_p99_ms = *interactive_p99;
+  options->slo_batch_p99_ms = *batch_p99;
+  options->slo_error_ratio = *error_ratio;
+  options->slo_fast_burn_threshold = *fast_burn;
+  options->postmortem_file = args.GetString("postmortem-file");
+  return true;
+}
+
 /// The chaos seed: --chaos-seed flag first, RT_CHAOS env as fallback,
 /// 0 = disabled.
 uint64_t ResolveChaosSeed(const ArgParser& args) {
@@ -383,6 +421,7 @@ int CmdServeReplica(const ArgParser& args) {
   options.batch_share = *batch_share;
   options.quantized_int8 = *quant;
   options.enable_fault_admin = args.GetBool("fault-admin");
+  if (!ApplyObsFlags(args, &options)) return Usage();
   ServingSessions serving(&p, &options);
   BackendService backend(serving.factory, options);
   Status s = backend.Start(static_cast<int>(*backend_port));
@@ -467,8 +506,34 @@ int CmdServeFleet(const ArgParser& args, int replicas,
       "--compute-threads=" +
           std::to_string(*args.GetInt("compute-threads", 0)),
       std::string("--quant=") + (*quant ? "int8" : "fp32"),
+      "--history-interval-ms=" +
+          std::to_string(*args.GetInt("history-interval-ms", 10000)),
+      "--slo-interactive-p99-ms=" +
+          std::to_string(
+              *args.GetDouble("slo-interactive-p99-ms", 2000.0)),
+      "--slo-batch-p99-ms=" +
+          std::to_string(*args.GetDouble("slo-batch-p99-ms", 30000.0)),
+      "--slo-error-ratio=" +
+          std::to_string(*args.GetDouble("slo-error-ratio", 0.01)),
+      "--slo-fast-burn=" +
+          std::to_string(*args.GetDouble("slo-fast-burn", 14.0)),
       "--backend-port={port}",
   };
+  // Each replica pre-opens a per-port postmortem file; the supervisor
+  // collects (and removes) it when that replica's process dies.
+  const std::string postmortem_dir =
+      args.GetString("postmortem-dir", "/tmp");
+  if (::mkdir(postmortem_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    std::fprintf(stderr,
+                 "warning: cannot create --postmortem-dir=%s: %s "
+                 "(flight recorder will be disabled)\n",
+                 postmortem_dir.c_str(), std::strerror(errno));
+  }
+  const std::string postmortem_template =
+      postmortem_dir + "/rt-postmortem-{port}.json";
+  fleet_options.postmortem_path_template = postmortem_template;
+  fleet_options.command.push_back("--postmortem-file=" +
+                                  postmortem_template);
   if (chaos_seed != 0) {
     // Chaos drives faults through each replica's admin endpoint.
     fleet_options.command.push_back("--fault-admin");
@@ -486,6 +551,10 @@ int CmdServeFleet(const ArgParser& args, int replicas,
   RouterOptions router_options;
   router_options.default_timeout_ms = static_cast<int>(*request_timeout_ms);
   router_options.jitter_seed = chaos_seed != 0 ? chaos_seed : 1;
+  // The router samples on the same cadence the replicas do, so the
+  // fleet-level history ring lines up with theirs.
+  router_options.history_interval_ms =
+      static_cast<int>(*args.GetInt("history-interval-ms", 10000));
   Router router(&supervisor, router_options);
   s = router.Start(static_cast<int>(*backend_port));
   if (!s.ok()) {
@@ -584,6 +653,7 @@ int CmdServe(const ArgParser& args) {
   options.max_batch = static_cast<int>(*max_batch);
   options.batch_share = *batch_share;
   options.quantized_int8 = *quant;
+  if (!ApplyObsFlags(args, &options)) return Usage();
 
   ServingSessions serving(&p, &options);
   BackendService backend(serving.factory, options);
